@@ -1,0 +1,111 @@
+//! Block sizes (Figure 13): daily mean gas used ± standard deviation for
+//! PBS and non-PBS blocks against the EIP-1559 target.
+
+use crate::stats::{mean, std_dev};
+use crate::util::by_day;
+use eth_types::DayIndex;
+use scenario::RunArtifacts;
+
+/// Daily gas-usage series.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BlockSizeSeries {
+    /// Day of each row.
+    pub days: Vec<DayIndex>,
+    /// PBS: (mean gas, std dev); NaN when no PBS blocks that day.
+    pub pbs: Vec<(f64, f64)>,
+    /// Non-PBS: (mean gas, std dev).
+    pub non_pbs: Vec<(f64, f64)>,
+    /// The target block size (gas limit / 2).
+    pub target: f64,
+}
+
+/// Computes Figure 13.
+pub fn daily_block_size(run: &RunArtifacts) -> BlockSizeSeries {
+    let target = run.config.gas_limit as f64 / 2.0;
+    let mut out = BlockSizeSeries {
+        target,
+        ..Default::default()
+    };
+    for (day, blocks) in by_day(run) {
+        let pbs: Vec<f64> = blocks
+            .iter()
+            .filter(|b| b.pbs_truth)
+            .map(|b| b.gas_used.0 as f64)
+            .collect();
+        let non: Vec<f64> = blocks
+            .iter()
+            .filter(|b| !b.pbs_truth)
+            .map(|b| b.gas_used.0 as f64)
+            .collect();
+        out.days.push(day);
+        out.pbs.push(if pbs.is_empty() {
+            (f64::NAN, f64::NAN)
+        } else {
+            (mean(&pbs), std_dev(&pbs))
+        });
+        out.non_pbs.push(if non.is_empty() {
+            (f64::NAN, f64::NAN)
+        } else {
+            (mean(&non), std_dev(&non))
+        });
+    }
+    out
+}
+
+impl BlockSizeSeries {
+    /// Window-mean PBS block size.
+    pub fn pbs_mean(&self) -> f64 {
+        let v: Vec<f64> = self.pbs.iter().map(|t| t.0).filter(|x| x.is_finite()).collect();
+        mean(&v)
+    }
+
+    /// Window-mean non-PBS block size.
+    pub fn non_pbs_mean(&self) -> f64 {
+        let v: Vec<f64> = self
+            .non_pbs
+            .iter()
+            .map(|t| t.0)
+            .filter(|x| x.is_finite())
+            .collect();
+        mean(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::testutil::shared_run;
+
+    #[test]
+    fn sizes_respect_limit_and_target() {
+        let run = shared_run();
+        let s = daily_block_size(run);
+        assert_eq!(s.target, run.config.gas_limit as f64 / 2.0);
+        for (m, _) in s.pbs.iter().chain(s.non_pbs.iter()) {
+            if m.is_finite() {
+                assert!(*m <= run.config.gas_limit as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn pbs_blocks_are_fuller() {
+        // Figure 13: PBS blocks hover at/above target, non-PBS below it.
+        let run = shared_run();
+        let s = daily_block_size(run);
+        assert!(
+            s.pbs_mean() > s.non_pbs_mean(),
+            "pbs {} non {}",
+            s.pbs_mean(),
+            s.non_pbs_mean()
+        );
+    }
+
+    #[test]
+    fn both_populations_have_dispersion() {
+        let run = shared_run();
+        let s = daily_block_size(run);
+        let any_pbs_std = s.pbs.iter().any(|(_, sd)| sd.is_finite() && *sd > 0.0);
+        assert!(any_pbs_std, "no PBS size variance");
+    }
+}

@@ -1,0 +1,191 @@
+//! Block value (Figure 9) and proposer profits (Figure 10).
+//!
+//! Block value is "the amount of user-generated reward available in a
+//! block (i.e., priority fees and direct transfers)". Figure 9 scatters it
+//! per block for PBS vs non-PBS; Figure 10 tracks the daily median
+//! proposer profit with the 25th–75th percentile band, annotating the FTX
+//! and USDC event days.
+
+use crate::stats::percentile;
+use crate::util::by_day;
+use eth_types::{DayIndex, Slot};
+use scenario::RunArtifacts;
+
+/// One Figure 9 scatter point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValuePoint {
+    /// Slot of the block.
+    pub slot: Slot,
+    /// Whether it was a PBS block.
+    pub pbs: bool,
+    /// Block value in ETH.
+    pub value_eth: f64,
+}
+
+/// Extracts the Figure 9 scatter (optionally thinned to every `stride`-th
+/// block for plotting).
+pub fn value_scatter(run: &RunArtifacts, stride: usize) -> Vec<ValuePoint> {
+    run.blocks
+        .iter()
+        .step_by(stride.max(1))
+        .map(|b| ValuePoint {
+            slot: b.slot,
+            pbs: b.pbs_truth,
+            value_eth: b.block_value.as_eth(),
+        })
+        .collect()
+}
+
+/// Daily median + interquartile band of proposer profits, split by PBS.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProposerProfitSeries {
+    /// Day of each row.
+    pub days: Vec<DayIndex>,
+    /// PBS: (q25, median, q75) in ETH; NaN triple when no blocks.
+    pub pbs: Vec<(f64, f64, f64)>,
+    /// Non-PBS: (q25, median, q75) in ETH.
+    pub non_pbs: Vec<(f64, f64, f64)>,
+}
+
+fn quartiles(values: &[f64]) -> (f64, f64, f64) {
+    if values.is_empty() {
+        return (f64::NAN, f64::NAN, f64::NAN);
+    }
+    (
+        percentile(values, 25.0),
+        percentile(values, 50.0),
+        percentile(values, 75.0),
+    )
+}
+
+/// Computes Figure 10.
+pub fn daily_proposer_profit(run: &RunArtifacts) -> ProposerProfitSeries {
+    let mut out = ProposerProfitSeries::default();
+    for (day, blocks) in by_day(run) {
+        let pbs: Vec<f64> = blocks
+            .iter()
+            .filter(|b| b.pbs_truth)
+            .map(|b| b.proposer_profit().as_eth())
+            .collect();
+        let non: Vec<f64> = blocks
+            .iter()
+            .filter(|b| !b.pbs_truth)
+            .map(|b| b.proposer_profit().as_eth())
+            .collect();
+        out.days.push(day);
+        out.pbs.push(quartiles(&pbs));
+        out.non_pbs.push(quartiles(&non));
+    }
+    out
+}
+
+/// Summary comparison for the §5.1 claims.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueComparison {
+    /// Mean PBS block value (ETH).
+    pub pbs_mean_value: f64,
+    /// Mean non-PBS block value (ETH).
+    pub non_pbs_mean_value: f64,
+    /// Share of days where the PBS 25th percentile of proposer profit
+    /// exceeds the non-PBS 75th percentile — the paper's "startling"
+    /// finding, generally true.
+    pub pbs_q25_above_non_q75_share: f64,
+}
+
+/// Computes the §5.1 comparison.
+pub fn value_comparison(run: &RunArtifacts) -> ValueComparison {
+    let pbs: Vec<f64> = run
+        .blocks
+        .iter()
+        .filter(|b| b.pbs_truth)
+        .map(|b| b.block_value.as_eth())
+        .collect();
+    let non: Vec<f64> = run
+        .blocks
+        .iter()
+        .filter(|b| !b.pbs_truth)
+        .map(|b| b.block_value.as_eth())
+        .collect();
+    let profits = daily_proposer_profit(run);
+    let mut dominated = 0usize;
+    let mut comparable = 0usize;
+    for (p, n) in profits.pbs.iter().zip(profits.non_pbs.iter()) {
+        if p.0.is_finite() && n.2.is_finite() {
+            comparable += 1;
+            if p.0 > n.2 {
+                dominated += 1;
+            }
+        }
+    }
+    ValueComparison {
+        pbs_mean_value: crate::stats::mean(&pbs),
+        non_pbs_mean_value: crate::stats::mean(&non),
+        pbs_q25_above_non_q75_share: if comparable == 0 {
+            0.0
+        } else {
+            dominated as f64 / comparable as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::testutil::shared_run;
+
+    #[test]
+    fn scatter_covers_blocks_with_stride() {
+        let run = shared_run();
+        let all = value_scatter(run, 1);
+        assert_eq!(all.len(), run.blocks.len());
+        let thinned = value_scatter(run, 10);
+        assert!(thinned.len() <= all.len() / 10 + 1);
+        assert!(all.iter().all(|p| p.value_eth >= 0.0));
+    }
+
+    #[test]
+    fn pbs_blocks_are_worth_more() {
+        // The paper's §5.1 headline: PBS block value is consistently and
+        // significantly higher.
+        let run = shared_run();
+        let c = value_comparison(run);
+        assert!(
+            c.pbs_mean_value > c.non_pbs_mean_value * 1.3,
+            "pbs {} non {}",
+            c.pbs_mean_value,
+            c.non_pbs_mean_value
+        );
+    }
+
+    #[test]
+    fn pbs_proposers_earn_more() {
+        let run = shared_run();
+        let profits = daily_proposer_profit(run);
+        let pbs_medians: Vec<f64> = profits.pbs.iter().map(|t| t.1).filter(|x| x.is_finite()).collect();
+        let non_medians: Vec<f64> =
+            profits.non_pbs.iter().map(|t| t.1).filter(|x| x.is_finite()).collect();
+        assert!(crate::stats::mean(&pbs_medians) > crate::stats::mean(&non_medians));
+    }
+
+    #[test]
+    fn quartile_band_is_ordered() {
+        let run = shared_run();
+        let profits = daily_proposer_profit(run);
+        for (q1, m, q3) in profits.pbs.iter().chain(profits.non_pbs.iter()) {
+            if q1.is_finite() {
+                assert!(q1 <= m && m <= q3);
+            }
+        }
+    }
+
+    #[test]
+    fn pbs_lower_quartile_usually_beats_non_pbs_upper() {
+        let run = shared_run();
+        let c = value_comparison(run);
+        assert!(
+            c.pbs_q25_above_non_q75_share > 0.4,
+            "share {}",
+            c.pbs_q25_above_non_q75_share
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Censorship resistance (§6, Figures 17 and 18).
+//!
+//! Figure 17 tracks the share of PBS blocks produced by relays that
+//! self-report OFAC compliance; Figure 18 compares the share of PBS vs
+//! non-PBS blocks containing non-compliant transactions — the paper's
+//! central negative finding is that non-PBS blocks are about *twice* as
+//! likely to include them, i.e. PBS aids rather than prevents censorship.
+
+use crate::util::{by_day, PbsVsNonPbsDaily};
+use eth_types::DayIndex;
+use pbs::PAPER_RELAYS;
+use scenario::RunArtifacts;
+
+/// Figure 17 series: among PBS blocks, the share produced through
+/// OFAC-compliant relays (multi-relay blocks split equally).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CensoringRelayShare {
+    /// Day of each row.
+    pub days: Vec<DayIndex>,
+    /// Share of PBS blocks from compliant relays.
+    pub compliant_share: Vec<f64>,
+}
+
+/// Computes Figure 17.
+pub fn daily_censoring_relay_share(run: &RunArtifacts) -> CensoringRelayShare {
+    let compliant: Vec<bool> = PAPER_RELAYS.iter().map(|r| r.ofac_compliant).collect();
+    let mut out = CensoringRelayShare::default();
+    for (day, blocks) in by_day(run) {
+        let mut pbs_weight = 0.0f64;
+        let mut compliant_weight = 0.0f64;
+        for b in blocks.iter().filter(|b| b.pbs_truth && !b.relays.is_empty()) {
+            pbs_weight += 1.0;
+            let w = 1.0 / b.relays.len() as f64;
+            for r in &b.relays {
+                if compliant[r.0 as usize] {
+                    compliant_weight += w;
+                }
+            }
+        }
+        if pbs_weight == 0.0 {
+            continue;
+        }
+        out.days.push(day);
+        out.compliant_share.push(compliant_weight / pbs_weight);
+    }
+    out
+}
+
+/// Figure 18: daily share of blocks containing non-OFAC-compliant
+/// transactions, PBS vs non-PBS.
+pub fn daily_sanctioned_share(run: &RunArtifacts) -> PbsVsNonPbsDaily {
+    PbsVsNonPbsDaily::compute(run, |blocks| {
+        if blocks.is_empty() {
+            f64::NAN
+        } else {
+            blocks.iter().filter(|b| b.sanctioned).count() as f64 / blocks.len() as f64
+        }
+    })
+}
+
+/// The §6 headline ratio: how much likelier a non-PBS block is to carry
+/// sanctioned transactions than a PBS block (paper: ≈2×).
+pub fn non_pbs_to_pbs_sanctioned_ratio(run: &RunArtifacts) -> f64 {
+    let pbs: Vec<_> = run.blocks.iter().filter(|b| b.pbs_truth).collect();
+    let non: Vec<_> = run.blocks.iter().filter(|b| !b.pbs_truth).collect();
+    let rate = |v: &[&scenario::BlockRecord]| {
+        if v.is_empty() {
+            return f64::NAN;
+        }
+        v.iter().filter(|b| b.sanctioned).count() as f64 / v.len() as f64
+    };
+    let p = rate(&pbs);
+    let n = rate(&non);
+    if p <= 0.0 {
+        f64::INFINITY
+    } else {
+        n / p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::testutil::shared_run;
+
+    #[test]
+    fn compliant_share_is_high_early() {
+        // September: Flashbots (compliant) dominates → >80% in the paper.
+        let run = shared_run();
+        let s = daily_censoring_relay_share(run);
+        assert!(!s.days.is_empty());
+        let mean = crate::stats::mean(&s.compliant_share);
+        assert!(mean > 0.5, "compliant share {mean}");
+        for v in &s.compliant_share {
+            assert!((0.0..=1.0).contains(v));
+        }
+    }
+
+    #[test]
+    fn sanctioned_shares_are_probabilities() {
+        let run = shared_run();
+        let s = daily_sanctioned_share(run);
+        for v in s.pbs.iter().chain(s.non_pbs.iter()) {
+            if v.is_finite() {
+                assert!((0.0..=1.0).contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn non_pbs_blocks_leak_more_sanctioned_txs() {
+        // The §6 finding. On a 6-day window counts are small, so assert
+        // the direction rather than the exact 2× factor.
+        let run = shared_run();
+        let s = daily_sanctioned_share(run);
+        assert!(
+            s.non_pbs_mean() >= s.pbs_mean(),
+            "non-PBS {} vs PBS {}",
+            s.non_pbs_mean(),
+            s.pbs_mean()
+        );
+        assert!(s.non_pbs_mean() > 0.0, "no sanctioned traffic landed at all");
+    }
+}

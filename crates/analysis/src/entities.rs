@@ -1,0 +1,149 @@
+//! Validator-entity analysis — design goal 1, operationalized (§5.1, §8).
+//!
+//! "PBS effectively provides all validators, regardless of size, access to
+//! competitive blocks, thus preventing hobbyists from being outcompeted by
+//! institutional players who can optimize block profitability better."
+//!
+//! The check: within PBS blocks, a hobbyist proposer's profit distribution
+//! must match an institutional pool's — the payment depends on the slot's
+//! auction, not on who proposes. Without PBS both populations build
+//! naively here, so the *access* to professional blocks is the entire
+//! advantage PBS confers.
+
+use scenario::RunArtifacts;
+use std::collections::BTreeMap;
+
+/// Per-entity profit summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntityRow {
+    /// Entity name ("lido", "hobbyist", …).
+    pub name: String,
+    /// Blocks proposed.
+    pub blocks: u64,
+    /// Share of the entity's blocks that went through PBS.
+    pub pbs_share: f64,
+    /// Mean proposer profit on the entity's PBS blocks (ETH).
+    pub pbs_mean_profit: f64,
+    /// Mean proposer profit on the entity's non-PBS blocks (ETH).
+    pub non_pbs_mean_profit: f64,
+}
+
+/// Computes the per-entity comparison.
+pub fn entity_profit_rows(run: &RunArtifacts) -> Vec<EntityRow> {
+    #[derive(Default)]
+    struct Acc {
+        blocks: u64,
+        pbs: u64,
+        pbs_profit: f64,
+        non_pbs: u64,
+        non_profit: f64,
+    }
+    let mut acc: BTreeMap<u32, Acc> = BTreeMap::new();
+    for b in &run.blocks {
+        let e = acc.entry(b.proposer_entity).or_default();
+        e.blocks += 1;
+        if b.pbs_truth {
+            e.pbs += 1;
+            e.pbs_profit += b.proposer_profit().as_eth();
+        } else {
+            e.non_pbs += 1;
+            e.non_profit += b.proposer_profit().as_eth();
+        }
+    }
+    acc.into_iter()
+        .map(|(idx, a)| EntityRow {
+            name: run.entity_names[idx as usize].clone(),
+            blocks: a.blocks,
+            pbs_share: a.pbs as f64 / a.blocks.max(1) as f64,
+            pbs_mean_profit: if a.pbs == 0 { f64::NAN } else { a.pbs_profit / a.pbs as f64 },
+            non_pbs_mean_profit: if a.non_pbs == 0 {
+                f64::NAN
+            } else {
+                a.non_profit / a.non_pbs as f64
+            },
+        })
+        .collect()
+}
+
+/// The design-goal-1 statistic: hobbyist mean PBS profit divided by the
+/// institutional (non-hobbyist) mean PBS profit. A value near 1 means PBS
+/// levels the field; well below 1 would mean hobbyists are outcompeted.
+pub fn hobbyist_parity(run: &RunArtifacts) -> f64 {
+    let rows = entity_profit_rows(run);
+    let hobbyist = rows
+        .iter()
+        .find(|r| r.name == "hobbyist")
+        .map(|r| r.pbs_mean_profit)
+        .unwrap_or(f64::NAN);
+    let institutional: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.name != "hobbyist" && r.pbs_mean_profit.is_finite())
+        .map(|r| r.pbs_mean_profit)
+        .collect();
+    hobbyist / crate::stats::mean(&institutional)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::testutil::shared_run;
+
+    #[test]
+    fn every_entity_appears_with_consistent_counts() {
+        let run = shared_run();
+        let rows = entity_profit_rows(run);
+        assert!(rows.len() >= 5, "expected the full entity mix, got {}", rows.len());
+        let total: u64 = rows.iter().map(|r| r.blocks).sum();
+        assert_eq!(total as usize, run.blocks.len());
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.pbs_share), "{}: {}", r.name, r.pbs_share);
+        }
+    }
+
+    #[test]
+    fn hobbyists_reach_parity_inside_pbs() {
+        // Design goal 1: once a hobbyist's slot goes through PBS, their
+        // profit matches the institutions' — access is equal.
+        let run = shared_run();
+        let parity = hobbyist_parity(run);
+        if parity.is_finite() {
+            assert!(
+                (0.3..=3.0).contains(&parity),
+                "hobbyist/institutional PBS profit ratio {parity}"
+            );
+        }
+    }
+
+    #[test]
+    fn pbs_beats_local_building_for_entities_with_both() {
+        // For any entity with both kinds of blocks, PBS pays more on
+        // average — the §5.1 access advantage.
+        let run = shared_run();
+        let mut checked = 0;
+        for r in entity_profit_rows(run) {
+            if r.pbs_mean_profit.is_finite() && r.non_pbs_mean_profit.is_finite() && r.blocks > 30 {
+                checked += 1;
+                assert!(
+                    r.pbs_mean_profit > r.non_pbs_mean_profit * 0.8,
+                    "{}: PBS {} vs local {}",
+                    r.name,
+                    r.pbs_mean_profit,
+                    r.non_pbs_mean_profit
+                );
+            }
+        }
+        assert!(checked > 0, "no entity had both PBS and non-PBS blocks");
+    }
+
+    #[test]
+    fn censoring_entities_still_propose_pbs_blocks() {
+        // coinbase/kraken restrict themselves to compliant relays but still
+        // participate in PBS.
+        let run = shared_run();
+        let rows = entity_profit_rows(run);
+        for name in ["coinbase", "kraken"] {
+            let row = rows.iter().find(|r| r.name == name).unwrap();
+            assert!(row.blocks > 0);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Incident signatures: verifies that the documented timeline events leave
+//! the marks in the data that the paper narrates.
+//!
+//! * 10 Nov 2022 — the timestamp-bug dip in the PBS share (§4),
+//! * 11 Nov 2022 / 11 Mar 2023 — FTX-bankruptcy and USDC-depeg profit
+//!   spikes (Figure 10),
+//! * 15 Oct 2022 — Manifold's delivered value collapses (§5.2),
+//! * February 2023 — the negative builder-profit spike (Appendix C),
+//! * 8 Nov 2022 / 1 Feb 2023 — compliant-relay leaks clustered in the
+//!   blacklist-lag window after OFAC updates (§6).
+
+use crate::stats::mean;
+use crate::util::by_day;
+use eth_types::DayIndex;
+use scenario::timeline::days;
+use scenario::RunArtifacts;
+
+/// A signature check: the event-window metric vs its baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventSignature {
+    /// Event name.
+    pub name: &'static str,
+    /// Day(s) the event occupies.
+    pub day: DayIndex,
+    /// Metric inside the event window.
+    pub inside: f64,
+    /// Metric over the surrounding baseline days.
+    pub baseline: f64,
+    /// Whether the signature points the documented way.
+    pub detected: bool,
+}
+
+/// All signature checks the run's window covers.
+pub fn event_report(run: &RunArtifacts) -> Vec<EventSignature> {
+    let grouped = by_day(run);
+    let covered = |d: DayIndex| grouped.contains_key(&d);
+    let mut out = Vec::new();
+
+    // Helper: PBS share on one day.
+    let pbs_share = |d: DayIndex| -> f64 {
+        grouped
+            .get(&d)
+            .map(|blocks| {
+                blocks.iter().filter(|b| b.pbs_truth).count() as f64 / blocks.len() as f64
+            })
+            .unwrap_or(f64::NAN)
+    };
+
+    // 1. Timestamp-bug dip: PBS share on the day vs ±3-day neighbours.
+    if covered(days::TIMESTAMP_BUG) {
+        let inside = pbs_share(days::TIMESTAMP_BUG);
+        let neighbours: Vec<f64> = (1..=3)
+            .flat_map(|k| {
+                [
+                    DayIndex(days::TIMESTAMP_BUG.0.saturating_sub(k)),
+                    DayIndex(days::TIMESTAMP_BUG.0 + k),
+                ]
+            })
+            .map(pbs_share)
+            .filter(|v| v.is_finite())
+            .collect();
+        let baseline = mean(&neighbours);
+        out.push(EventSignature {
+            name: "timestamp-bug dip (10 Nov 2022)",
+            day: days::TIMESTAMP_BUG,
+            inside,
+            baseline,
+            detected: inside < baseline - 0.15,
+        });
+    }
+
+    // 2/3. High-MEV days: median PBS proposer profit spikes.
+    for (name, day) in [
+        ("FTX-bankruptcy profit spike (11 Nov 2022)", days::FTX_BANKRUPTCY),
+        ("USDC-depeg profit spike (11 Mar 2023)", days::USDC_DEPEG),
+    ] {
+        if !covered(day) {
+            continue;
+        }
+        let median_profit = |d: DayIndex| -> f64 {
+            grouped
+                .get(&d)
+                .map(|blocks| {
+                    let v: Vec<f64> = blocks
+                        .iter()
+                        .filter(|b| b.pbs_truth)
+                        .map(|b| b.proposer_profit().as_eth())
+                        .collect();
+                    crate::stats::median(&v)
+                })
+                .unwrap_or(f64::NAN)
+        };
+        let inside = median_profit(day);
+        let neighbours: Vec<f64> = (2..=5)
+            .flat_map(|k| [DayIndex(day.0.saturating_sub(k)), DayIndex(day.0 + k)])
+            .map(median_profit)
+            .filter(|v| v.is_finite())
+            .collect();
+        let baseline = mean(&neighbours);
+        out.push(EventSignature {
+            name,
+            day,
+            inside,
+            baseline,
+            detected: inside > baseline * 1.5,
+        });
+    }
+
+    // 4. Manifold exploit: per-block shortfall on the day.
+    if covered(days::MANIFOLD_EXPLOIT) {
+        let shortfall = |d: DayIndex| -> f64 {
+            grouped
+                .get(&d)
+                .map(|blocks| {
+                    blocks
+                        .iter()
+                        .filter(|b| b.pbs_truth)
+                        .map(|b| b.promised.saturating_sub(b.delivered).as_eth())
+                        .sum::<f64>()
+                })
+                .unwrap_or(0.0)
+        };
+        let inside = shortfall(days::MANIFOLD_EXPLOIT);
+        let neighbours: Vec<f64> = (1..=4)
+            .flat_map(|k| {
+                [
+                    DayIndex(days::MANIFOLD_EXPLOIT.0.saturating_sub(k)),
+                    DayIndex(days::MANIFOLD_EXPLOIT.0 + k),
+                ]
+            })
+            .map(shortfall)
+            .collect();
+        let baseline = mean(&neighbours);
+        out.push(EventSignature {
+            name: "Manifold exploit shortfall (15 Oct 2022)",
+            day: days::MANIFOLD_EXPLOIT,
+            inside,
+            baseline,
+            detected: inside > baseline * 5.0 + 1.0,
+        });
+    }
+
+    // 5. February builder-loss spike.
+    if covered(days::BEAVER_SUBSIDY_START) {
+        let builder_profit = |lo: u32, hi: u32| -> f64 {
+            run.blocks
+                .iter()
+                .filter(|b| b.pbs_truth && (lo..=hi).contains(&b.day.0))
+                .map(|b| b.builder_profit_wei() as f64 / 1e18)
+                .sum()
+        };
+        let inside = builder_profit(days::BEAVER_SUBSIDY_START.0, days::BEAVER_SUBSIDY_END.0);
+        let baseline = builder_profit(108, 138); // January
+        out.push(EventSignature {
+            name: "beaverbuild February losses (App. C)",
+            day: days::BEAVER_SUBSIDY_START,
+            inside,
+            baseline,
+            detected: inside < 0.0 && baseline > 0.0,
+        });
+    }
+
+    // 6. OFAC updates: compliant-relay leaks inside the lag window.
+    for (name, day) in [
+        ("post-update compliant-relay leaks (8 Nov 2022)", days::OFAC_UPDATE_1),
+        ("post-update compliant-relay leaks (1 Feb 2023)", days::OFAC_UPDATE_2),
+    ] {
+        if !covered(day) {
+            continue;
+        }
+        let leaks_in = |lo: u32, hi: u32| -> f64 {
+            run.blocks
+                .iter()
+                .filter(|b| {
+                    b.pbs_truth
+                        && b.sanctioned
+                        && (lo..hi).contains(&b.day.0)
+                        && b.relays
+                            .iter()
+                            .any(|r| pbs::PAPER_RELAYS[r.0 as usize].ofac_compliant)
+                })
+                .count() as f64
+        };
+        // Per-day leak rate inside the 2-day lag window vs the 20 days after.
+        let inside = leaks_in(day.0, day.0 + 2) / 2.0;
+        let baseline = leaks_in(day.0 + 2, day.0 + 22) / 20.0;
+        out.push(EventSignature {
+            name,
+            day,
+            inside,
+            baseline,
+            detected: inside > baseline,
+        });
+    }
+
+    out
+}
+
+/// Renders the signatures as a text report.
+pub fn render_event_report(signatures: &[EventSignature]) -> String {
+    let mut out = String::from("incident signatures (inside vs baseline):\n");
+    if signatures.is_empty() {
+        out.push_str("  (window covers no documented events)\n");
+    }
+    for s in signatures {
+        out.push_str(&format!(
+            "  [{}] {:<48} {} — inside {:.4}, baseline {:.4}\n",
+            if s.detected { "x" } else { " " },
+            s.name,
+            s.day,
+            s.inside,
+            s.baseline
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::testutil::shared_run;
+
+    #[test]
+    fn early_window_has_no_event_signatures() {
+        // The shared 6-day run ends long before the first documented event.
+        let run = shared_run();
+        let report = event_report(run);
+        assert!(report.is_empty());
+        let text = render_event_report(&report);
+        assert!(text.contains("no documented events"));
+    }
+
+    #[test]
+    fn manifold_signature_detects_on_a_window_covering_it() {
+        use scenario::{ScenarioConfig, Simulation};
+        let mut cfg = ScenarioConfig::test_small(31, 35);
+        cfg.calendar = eth_types::StudyCalendar::new(16, 35);
+        let run = Simulation::new(cfg).run();
+        let report = event_report(&run);
+        let manifold = report
+            .iter()
+            .find(|s| s.name.contains("Manifold"))
+            .expect("window covers 15 Oct");
+        assert!(
+            manifold.detected,
+            "shortfall inside {} vs baseline {}",
+            manifold.inside, manifold.baseline
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Gossip-to-inclusion delays — the Yang et al. cross-check (§7).
+//!
+//! The related work the paper cites found that "in the first couple months
+//! of PBS, sanctioned transactions experienced waiting times that were, on
+//! average, 68% longer than those of regular transactions". With the
+//! observatory's first-seen timestamps and the inclusion slot, the same
+//! statistic is computable here: censoring relays refuse sanctioned
+//! transactions, so those wait for a non-censoring (or non-PBS) block.
+
+use crate::util::by_day;
+use eth_types::DayIndex;
+use scenario::RunArtifacts;
+
+/// Aggregate inclusion-delay comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayComparison {
+    /// Mean delay of regular (non-sanctioned) public transactions, ms.
+    pub regular_ms: f64,
+    /// Mean delay of sanctioned-address public transactions, ms.
+    pub sanctioned_ms: f64,
+    /// Relative excess: `sanctioned/regular − 1` (the cited study: +0.68).
+    pub excess: f64,
+    /// Sample sizes (regular, sanctioned).
+    pub samples: (u64, u64),
+}
+
+/// Computes the aggregate comparison over a run.
+pub fn delay_comparison(run: &RunArtifacts) -> DelayComparison {
+    let mut total = 0u64;
+    let mut count = 0u64;
+    let mut s_total = 0u64;
+    let mut s_count = 0u64;
+    for b in &run.blocks {
+        total += b.delay_sum_ms;
+        count += b.delay_count as u64;
+        s_total += b.sanctioned_delay_sum_ms;
+        s_count += b.sanctioned_delay_count as u64;
+    }
+    // Regular = all public minus the sanctioned slice.
+    let r_total = total - s_total;
+    let r_count = count - s_count;
+    let regular_ms = if r_count == 0 { f64::NAN } else { r_total as f64 / r_count as f64 };
+    let sanctioned_ms = if s_count == 0 { f64::NAN } else { s_total as f64 / s_count as f64 };
+    DelayComparison {
+        regular_ms,
+        sanctioned_ms,
+        excess: sanctioned_ms / regular_ms - 1.0,
+        samples: (r_count, s_count),
+    }
+}
+
+/// Daily mean inclusion delay of public transactions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DelaySeries {
+    /// Day of each row.
+    pub days: Vec<DayIndex>,
+    /// Mean delay in milliseconds.
+    pub mean_ms: Vec<f64>,
+}
+
+/// Computes the daily delay series.
+pub fn daily_mean_delay(run: &RunArtifacts) -> DelaySeries {
+    let mut out = DelaySeries::default();
+    for (day, blocks) in by_day(run) {
+        let total: u64 = blocks.iter().map(|b| b.delay_sum_ms).sum();
+        let count: u64 = blocks.iter().map(|b| b.delay_count as u64).sum();
+        if count == 0 {
+            continue;
+        }
+        out.days.push(day);
+        out.mean_ms.push(total as f64 / count as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::testutil::shared_run;
+
+    #[test]
+    fn delays_are_positive_and_bounded_by_mempool_age() {
+        let run = shared_run();
+        let series = daily_mean_delay(run);
+        assert!(!series.days.is_empty());
+        for v in &series.mean_ms {
+            // Public txs wait at least part of a slot and at most the
+            // mempool's realistic backlog horizon.
+            assert!(*v > 0.0);
+            assert!(*v < 3_600_000.0, "mean delay {v} ms implausible");
+        }
+    }
+
+    #[test]
+    fn comparison_has_samples_and_finite_regular_mean() {
+        let run = shared_run();
+        let c = delay_comparison(run);
+        assert!(c.samples.0 > 100, "regular samples {}", c.samples.0);
+        assert!(c.regular_ms.is_finite() && c.regular_ms > 0.0);
+        // Sanctioned samples are sparse on 6 days; when present, the mean
+        // must be finite and nonnegative.
+        if c.samples.1 > 0 {
+            assert!(c.sanctioned_ms.is_finite() && c.sanctioned_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn delay_accounting_matches_block_records() {
+        let run = shared_run();
+        let c = delay_comparison(run);
+        let total: u64 = run.blocks.iter().map(|b| b.delay_count as u64).sum();
+        assert_eq!(c.samples.0 + c.samples.1, total);
+        // Sanctioned sums are a subset of the totals.
+        for b in &run.blocks {
+            assert!(b.sanctioned_delay_sum_ms <= b.delay_sum_ms);
+            assert!(b.sanctioned_delay_count <= b.delay_count);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! The measurement pipeline: every table and figure of the paper,
+//! recomputed from a simulation run's artifacts.
+//!
+//! Each module mirrors one analysis of the paper (the mapping lives in
+//! DESIGN.md §3):
+//!
+//! * [`stats`] — percentiles, box-plot summaries, HHI,
+//! * [`adoption`] — Figure 4 and the §4 PBS-detection cross-check,
+//! * [`relay_share`] — Figures 5 and 7,
+//! * [`concentration`] — Figure 6 (relay & builder HHI),
+//! * [`builder_share`] — Figure 8 and the Appendix B pubkey clustering,
+//! * [`payments`] — Figure 3 (burned vs priority vs direct),
+//! * [`block_value`] — Figures 9 and 10,
+//! * [`profit_split`] — Figures 11, 12 and 19,
+//! * [`block_size`] — Figure 13,
+//! * [`private_flow`] — Figure 14,
+//! * [`mev_stats`] — Figures 15, 16, 20–22,
+//! * [`censorship`] — Figures 17 and 18,
+//! * [`relay_audit`] — Table 4 and the §5.4 bloXroute (E) filter gap,
+//! * [`tables`] — renderers for Tables 2, 3 and 5,
+//! * [`report`] — one call that computes everything.
+
+pub mod adoption;
+pub mod block_size;
+pub mod block_value;
+pub mod builder_share;
+pub mod censorship;
+pub mod entities;
+pub mod events;
+pub mod inclusion_delay;
+pub mod concentration;
+pub mod mev_stats;
+pub mod payments;
+pub mod private_flow;
+pub mod profit_split;
+pub mod relay_audit;
+pub mod relay_share;
+pub mod report;
+pub mod stats;
+pub mod tables;
+pub mod util;
+
+pub use report::PaperReport;
+pub use stats::{hhi, mean, percentile, std_dev, BoxStats};

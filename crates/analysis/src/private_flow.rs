@@ -1,0 +1,95 @@
+//! Private transaction share (Figure 14).
+//!
+//! A transaction in a block is *private* when none of the seven mempool
+//! observers ever saw it (§3.2). PBS blocks carry far more private flow —
+//! searcher bundles and protect-RPC traffic route straight to builders —
+//! while non-PBS blocks are nearly all-public, except the December window
+//! when AnkrPool proposers received Binance's direct transfers (§5.3).
+
+use crate::util::PbsVsNonPbsDaily;
+use scenario::RunArtifacts;
+
+/// Computes the Figure 14 series: daily share of included transactions
+/// that were private, split PBS vs non-PBS.
+pub fn daily_private_share(run: &RunArtifacts) -> PbsVsNonPbsDaily {
+    PbsVsNonPbsDaily::compute(run, |blocks| {
+        let txs: u64 = blocks.iter().map(|b| b.tx_count as u64).sum();
+        let private: u64 = blocks.iter().map(|b| b.private_txs as u64).sum();
+        if txs == 0 {
+            f64::NAN
+        } else {
+            private as f64 / txs as f64
+        }
+    })
+}
+
+/// The December-window comparison for the Binance→AnkrPool finding: the
+/// non-PBS private share inside vs outside the window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinanceWindowEffect {
+    /// Mean non-PBS private share inside the December window.
+    pub inside: f64,
+    /// Mean non-PBS private share outside it.
+    pub outside: f64,
+}
+
+/// Computes the window effect (only meaningful for runs covering December).
+pub fn binance_window_effect(run: &RunArtifacts) -> BinanceWindowEffect {
+    let series = daily_private_share(run);
+    let t = scenario::Timeline;
+    let mut inside = Vec::new();
+    let mut outside = Vec::new();
+    for (i, day) in series.days.iter().enumerate() {
+        let v = series.non_pbs[i];
+        if !v.is_finite() {
+            continue;
+        }
+        if t.binance_flow_active(*day) {
+            inside.push(v);
+        } else {
+            outside.push(v);
+        }
+    }
+    BinanceWindowEffect {
+        inside: crate::stats::mean(&inside),
+        outside: crate::stats::mean(&outside),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::testutil::shared_run;
+
+    #[test]
+    fn shares_are_probabilities() {
+        let run = shared_run();
+        let s = daily_private_share(run);
+        for v in s.pbs.iter().chain(s.non_pbs.iter()) {
+            if v.is_finite() {
+                assert!((0.0..=1.0).contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn pbs_blocks_carry_more_private_flow() {
+        // Figure 14's headline: private transactions live in PBS blocks.
+        let run = shared_run();
+        let s = daily_private_share(run);
+        assert!(
+            s.pbs_mean() > s.non_pbs_mean(),
+            "pbs {} non {}",
+            s.pbs_mean(),
+            s.non_pbs_mean()
+        );
+        assert!(s.pbs_mean() > 0.01, "PBS private share {}", s.pbs_mean());
+    }
+
+    #[test]
+    fn non_pbs_flow_is_nearly_all_public_outside_december() {
+        let run = shared_run(); // early window: no Binance flow
+        let s = daily_private_share(run);
+        assert!(s.non_pbs_mean() < 0.05, "non-PBS private {}", s.non_pbs_mean());
+    }
+}

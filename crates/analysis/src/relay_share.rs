@@ -1,0 +1,163 @@
+//! Relay market shares (Figure 5) and builders per relay (Figure 7).
+//!
+//! "In case more than one relay proposes the same block, we attribute the
+//! block to each relay equally" (§4.1) — multi-relay blocks contribute
+//! `1/k` to each of their `k` relays.
+
+use crate::util::by_day;
+use eth_types::DayIndex;
+use pbs::{RelayId, PAPER_RELAYS};
+use scenario::RunArtifacts;
+
+/// Number of relays in the study.
+pub const NUM_RELAYS: usize = 11;
+
+/// Daily per-relay block shares.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RelayShareSeries {
+    /// Day of each row.
+    pub days: Vec<DayIndex>,
+    /// `shares[d][r]` = relay `r`'s share of day `d`'s blocks.
+    pub shares: Vec<[f64; NUM_RELAYS]>,
+}
+
+impl RelayShareSeries {
+    /// Total share of each relay over the whole run.
+    pub fn totals(&self) -> [f64; NUM_RELAYS] {
+        let mut out = [0.0; NUM_RELAYS];
+        if self.shares.is_empty() {
+            return out;
+        }
+        for day in &self.shares {
+            for (i, v) in day.iter().enumerate() {
+                out[i] += v;
+            }
+        }
+        for v in &mut out {
+            *v /= self.shares.len() as f64;
+        }
+        out
+    }
+}
+
+/// Relay display name for an id.
+pub fn relay_name(id: RelayId) -> &'static str {
+    PAPER_RELAYS[id.0 as usize].name
+}
+
+/// Computes the daily per-relay share of all blocks (PBS and non-PBS in
+/// the denominator, as in Figure 5's "share of blocks").
+pub fn daily_relay_share(run: &RunArtifacts) -> RelayShareSeries {
+    let mut out = RelayShareSeries::default();
+    for (day, blocks) in by_day(run) {
+        let mut shares = [0.0f64; NUM_RELAYS];
+        for b in blocks.iter() {
+            if b.relays.is_empty() {
+                continue;
+            }
+            let w = 1.0 / b.relays.len() as f64;
+            for r in &b.relays {
+                shares[r.0 as usize] += w;
+            }
+        }
+        for s in &mut shares {
+            *s /= blocks.len() as f64;
+        }
+        out.days.push(day);
+        out.shares.push(shares);
+    }
+    out
+}
+
+/// Share of PBS blocks claimed by more than one relay (§4.1: ~5%).
+pub fn multi_relay_share(run: &RunArtifacts) -> f64 {
+    let pbs: Vec<_> = run.blocks.iter().filter(|b| b.pbs_truth).collect();
+    if pbs.is_empty() {
+        return 0.0;
+    }
+    pbs.iter().filter(|b| b.relays.len() > 1).count() as f64 / pbs.len() as f64
+}
+
+/// Daily number of distinct builders submitting to each relay (Figure 7).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BuildersPerRelay {
+    /// `(day, relay, distinct builder count)` rows.
+    pub rows: Vec<(DayIndex, RelayId, u32)>,
+}
+
+impl BuildersPerRelay {
+    /// Count for a specific day/relay (0 when absent).
+    pub fn count(&self, day: DayIndex, relay: RelayId) -> u32 {
+        self.rows
+            .iter()
+            .find(|(d, r, _)| *d == day && *r == relay)
+            .map(|(_, _, c)| *c)
+            .unwrap_or(0)
+    }
+}
+
+/// Extracts the builders-per-relay series from a run.
+pub fn builders_per_relay(run: &RunArtifacts) -> BuildersPerRelay {
+    BuildersPerRelay {
+        rows: run.relay_builders_daily.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::testutil::shared_run;
+
+    #[test]
+    fn daily_shares_never_exceed_pbs_total() {
+        let run = shared_run();
+        let series = daily_relay_share(run);
+        for (i, day) in series.days.iter().enumerate() {
+            let total: f64 = series.shares[i].iter().sum();
+            let blocks: Vec<_> = run.blocks_on(*day).collect();
+            let pbs_share =
+                blocks.iter().filter(|b| b.pbs_truth).count() as f64 / blocks.len() as f64;
+            assert!(
+                (total - pbs_share).abs() < 1e-9,
+                "relay shares {total} vs pbs share {pbs_share}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_relay_share_is_small_but_present() {
+        let run = shared_run();
+        let m = multi_relay_share(run);
+        assert!((0.0..0.35).contains(&m), "multi-relay share {m}");
+    }
+
+    #[test]
+    fn totals_are_normalized() {
+        let run = shared_run();
+        let totals = daily_relay_share(run).totals();
+        let sum: f64 = totals.iter().sum();
+        assert!(sum <= 1.0 + 1e-9);
+        assert!(sum > 0.0);
+    }
+
+    #[test]
+    fn flashbots_dominates_early_window() {
+        // In September, most builders submit only to Flashbots (§4.1).
+        let run = shared_run();
+        let totals = daily_relay_share(run).totals();
+        let fb = totals[6]; // Flashbots is index 6 in Table 2 order
+        assert_eq!(relay_name(RelayId(6)), "Flashbots");
+        let max = totals.iter().cloned().fold(0.0, f64::max);
+        assert!(fb >= max * 0.99, "Flashbots {fb} should lead, max {max}");
+    }
+
+    #[test]
+    fn builders_per_relay_is_populated() {
+        let run = shared_run();
+        let bpr = builders_per_relay(run);
+        assert!(!bpr.rows.is_empty());
+        // Flashbots sees several builders even in the early window.
+        let any_day = bpr.rows[0].0;
+        assert!(bpr.count(any_day, RelayId(6)) >= 1);
+    }
+}

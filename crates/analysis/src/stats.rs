@@ -1,0 +1,183 @@
+//! Statistics toolbox: percentiles, box-plot summaries, and the
+//! Herfindahl–Hirschman Index the paper uses to quantify centralization
+//! (§4.1: `HHI = Σ MSᵢ²`).
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation (0 for fewer than two values).
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// The `p`-th percentile (0 ≤ p ≤ 100) with linear interpolation.
+/// Returns 0 for an empty slice.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(values: &[f64]) -> f64 {
+    percentile(values, 50.0)
+}
+
+/// The Herfindahl–Hirschman Index of a share vector. Shares are
+/// normalized internally, so raw counts are acceptable input.
+///
+/// Returns a value in `[0, 1]`; by the convention the paper cites, above
+/// 0.25 is highly concentrated, 0.15–0.25 moderately, below 0.15
+/// unconcentrated.
+pub fn hhi(shares: &[f64]) -> f64 {
+    let total: f64 = shares.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    shares.iter().map(|s| (s / total) * (s / total)).sum()
+}
+
+/// Box-plot summary statistics for one distribution (Figures 11/12).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean (the black dot on the paper's box plots).
+    pub mean: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Lower whisker: min value ≥ q1 − 1.5·IQR.
+    pub whisker_lo: f64,
+    /// Upper whisker: max value ≤ q3 + 1.5·IQR.
+    pub whisker_hi: f64,
+}
+
+impl BoxStats {
+    /// Computes the summary; `None` for empty input.
+    pub fn of(values: &[f64]) -> Option<BoxStats> {
+        if values.is_empty() {
+            return None;
+        }
+        let q1 = percentile(values, 25.0);
+        let q3 = percentile(values, 75.0);
+        let iqr = q3 - q1;
+        let lo_bound = q1 - 1.5 * iqr;
+        let hi_bound = q3 + 1.5 * iqr;
+        let whisker_lo = values
+            .iter()
+            .copied()
+            .filter(|v| *v >= lo_bound)
+            .fold(f64::INFINITY, f64::min);
+        let whisker_hi = values
+            .iter()
+            .copied()
+            .filter(|v| *v <= hi_bound)
+            .fold(f64::NEG_INFINITY, f64::max);
+        Some(BoxStats {
+            count: values.len(),
+            mean: mean(values),
+            q1,
+            median: median(values),
+            q3,
+            whisker_lo,
+            whisker_hi,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&v, 50.0), 2.5);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_handles_unsorted_input() {
+        let v = [9.0, 1.0, 5.0];
+        assert_eq!(percentile(&v, 50.0), 5.0);
+    }
+
+    #[test]
+    fn hhi_known_values() {
+        // Monopoly.
+        assert!((hhi(&[1.0]) - 1.0).abs() < 1e-12);
+        // Two equal players.
+        assert!((hhi(&[5.0, 5.0]) - 0.5).abs() < 1e-12);
+        // Ten equal players: 0.1 (unconcentrated).
+        let shares = vec![1.0; 10];
+        assert!((hhi(&shares) - 0.1).abs() < 1e-12);
+        // Normalization: raw counts give the same result as shares.
+        assert!((hhi(&[30.0, 70.0]) - hhi(&[0.3, 0.7])).abs() < 1e-12);
+        assert_eq!(hhi(&[]), 0.0);
+        assert_eq!(hhi(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn hhi_increases_with_concentration() {
+        assert!(hhi(&[9.0, 1.0]) > hhi(&[6.0, 4.0]));
+    }
+
+    #[test]
+    fn box_stats_shape() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let b = BoxStats::of(&values).unwrap();
+        assert_eq!(b.count, 100);
+        assert!((b.median - 50.5).abs() < 1e-9);
+        assert!(b.q1 < b.median && b.median < b.q3);
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 100.0);
+        assert!(BoxStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn box_whiskers_exclude_outliers() {
+        let mut values: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        values.push(1000.0); // far outlier
+        let b = BoxStats::of(&values).unwrap();
+        assert!(b.whisker_hi < 1000.0);
+        // The mean, however, is dragged up — the skew the paper notes in
+        // proposer profits (§5.2).
+        assert!(b.mean > b.median);
+    }
+}

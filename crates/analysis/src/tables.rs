@@ -1,0 +1,119 @@
+//! Renderers for the static tables: Table 2 (relay endpoints), Table 3
+//! (relay policies), and Table 5 (builder identities).
+
+use pbs::{BuilderPolicy, PAPER_RELAYS};
+use scenario::RunArtifacts;
+
+/// Renders Table 2: the crawled relays with endpoints and forks.
+pub fn render_table2() -> String {
+    let mut out = String::from("Table 2: list of PBS relays crawled\n");
+    out.push_str(&format!("{:<16} {:<52} {}\n", "Relay Name", "Endpoint", "Fork"));
+    for r in &PAPER_RELAYS {
+        out.push_str(&format!("{:<16} {:<52} {}\n", r.name, r.endpoint, r.fork));
+    }
+    out
+}
+
+/// Renders Table 3: builder access, censorship and MEV-filter policies.
+pub fn render_table3() -> String {
+    let mut out = String::from("Table 3: relay policy overview\n");
+    out.push_str(&format!(
+        "{:<16} {:<28} {:<16} {}\n",
+        "Relay Name", "Builders", "Censorship", "MEV Filter"
+    ));
+    for r in &PAPER_RELAYS {
+        let builders = match r.builder_policy {
+            BuilderPolicy::Internal => "internal",
+            BuilderPolicy::InternalAndExternal => "internal & external",
+            BuilderPolicy::Permissionless => "permissionless",
+            BuilderPolicy::InternalAndPermissionless => "internal & permissionless",
+        };
+        let censorship = if r.ofac_compliant { "OFAC-compliant" } else { "x" };
+        let filter = r.mev_filter.unwrap_or("x");
+        out.push_str(&format!(
+            "{:<16} {:<28} {:<16} {}\n",
+            r.name, builders, censorship, filter
+        ));
+    }
+    out
+}
+
+/// Renders Table 5: builder names, fee recipients, and pubkeys, for the
+/// top `n` builders by blocks built in this run.
+pub fn render_table5(run: &RunArtifacts, n: usize) -> String {
+    // Count blocks per builder.
+    let mut counts: Vec<(usize, u64)> = (0..run.builder_names.len()).map(|i| (i, 0)).collect();
+    for b in &run.blocks {
+        if let Some(id) = b.builder {
+            counts[id.0 as usize].1 += 1;
+        }
+    }
+    counts.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+
+    let mut out = String::from("Table 5: builder name, address, and public keys\n");
+    out.push_str(&format!("{:<16} {:<44} {}\n", "Name", "Address", "Public Keys"));
+    for &(i, c) in counts.iter().take(n) {
+        if c == 0 {
+            continue;
+        }
+        let addr = run.builder_fee_recipients[i]
+            .map(|a| format!("{a}"))
+            .unwrap_or_else(|| "(uses proposer address)".to_string());
+        let keys: Vec<String> = run.builder_pubkeys[i]
+            .iter()
+            .map(|k| format!("0x{}…", k.short()))
+            .collect();
+        out.push_str(&format!(
+            "{:<16} {:<44} {}\n",
+            run.builder_names[i],
+            addr,
+            keys.join(" ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::testutil::shared_run;
+
+    #[test]
+    fn table2_lists_all_eleven_relays() {
+        let t = render_table2();
+        for r in &PAPER_RELAYS {
+            assert!(t.contains(r.name), "missing {}", r.name);
+            assert!(t.contains(r.endpoint));
+        }
+        assert!(t.contains("Dreamboat"));
+    }
+
+    #[test]
+    fn table3_matches_paper_policies() {
+        let t = render_table3();
+        assert!(t.contains("permissionless"));
+        assert!(t.contains("OFAC-compliant"));
+        assert!(t.contains("front-running"));
+        // Exactly four compliant relays.
+        assert_eq!(t.matches("OFAC-compliant").count(), 4);
+    }
+
+    #[test]
+    fn table5_lists_active_builders() {
+        let run = shared_run();
+        let t = render_table5(run, 17);
+        assert!(t.contains("Flashbots") || t.contains("builder"));
+        assert!(t.contains("0x"));
+    }
+
+    #[test]
+    fn table5_marks_traceless_builders_when_present() {
+        let run = shared_run();
+        let t = render_table5(run, 40);
+        // Builders 3/6 are only listed if they won blocks; when they do,
+        // they have no address.
+        if t.contains("Builder 3") || t.contains("Builder 6") {
+            assert!(t.contains("(uses proposer address)"));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Shared helpers for the analysis modules.
+
+use eth_types::DayIndex;
+use scenario::{BlockRecord, RunArtifacts};
+use std::collections::BTreeMap;
+
+/// Groups block records by calendar day, preserving slot order.
+pub fn by_day(run: &RunArtifacts) -> BTreeMap<DayIndex, Vec<&BlockRecord>> {
+    let mut out: BTreeMap<DayIndex, Vec<&BlockRecord>> = BTreeMap::new();
+    for b in &run.blocks {
+        out.entry(b.day).or_default().push(b);
+    }
+    out
+}
+
+/// A daily two-population series (PBS vs non-PBS), the shape most figures
+/// share.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PbsVsNonPbsDaily {
+    /// Day of each row.
+    pub days: Vec<DayIndex>,
+    /// PBS-population value per day.
+    pub pbs: Vec<f64>,
+    /// Non-PBS-population value per day.
+    pub non_pbs: Vec<f64>,
+}
+
+impl PbsVsNonPbsDaily {
+    /// Builds the series by applying `f` to each day's PBS and non-PBS
+    /// block groups.
+    pub fn compute<F: Fn(&[&BlockRecord]) -> f64>(run: &RunArtifacts, f: F) -> Self {
+        let mut out = PbsVsNonPbsDaily::default();
+        for (day, blocks) in by_day(run) {
+            let pbs: Vec<&BlockRecord> = blocks.iter().copied().filter(|b| b.pbs_truth).collect();
+            let non: Vec<&BlockRecord> = blocks.iter().copied().filter(|b| !b.pbs_truth).collect();
+            out.days.push(day);
+            out.pbs.push(f(&pbs));
+            out.non_pbs.push(f(&non));
+        }
+        out
+    }
+
+    /// Mean of the PBS column (ignoring NaN days).
+    pub fn pbs_mean(&self) -> f64 {
+        finite_mean(&self.pbs)
+    }
+
+    /// Mean of the non-PBS column (ignoring NaN days).
+    pub fn non_pbs_mean(&self) -> f64 {
+        finite_mean(&self.non_pbs)
+    }
+}
+
+fn finite_mean(v: &[f64]) -> f64 {
+    let finite: Vec<f64> = v.iter().copied().filter(|x| x.is_finite()).collect();
+    crate::stats::mean(&finite)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use scenario::{RunArtifacts, ScenarioConfig, Simulation};
+    use std::sync::OnceLock;
+
+    /// A shared small run for analysis unit tests (6 early-window days).
+    pub fn shared_run() -> &'static RunArtifacts {
+        static RUN: OnceLock<RunArtifacts> = OnceLock::new();
+        RUN.get_or_init(|| Simulation::new(ScenarioConfig::test_small(99, 6)).run())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_day_partitions_all_blocks() {
+        let run = testutil::shared_run();
+        let grouped = by_day(run);
+        let total: usize = grouped.values().map(|v| v.len()).sum();
+        assert_eq!(total, run.blocks.len());
+        assert_eq!(grouped.len(), 6);
+    }
+
+    #[test]
+    fn pbs_vs_non_series_covers_every_day() {
+        let run = testutil::shared_run();
+        let series = PbsVsNonPbsDaily::compute(run, |blocks| blocks.len() as f64);
+        assert_eq!(series.days.len(), 6);
+        // Counts per day sum to the day's block count.
+        let grouped = by_day(run);
+        for (i, day) in series.days.iter().enumerate() {
+            let expected = grouped[day].len() as f64;
+            assert_eq!(series.pbs[i] + series.non_pbs[i], expected);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The beacon chain itself: one optional block per slot.
+//!
+//! "There is a chance for a single block to be added to the Ethereum chain
+//! in every Beacon slot" (§2.1) — slots can be missed (proposer offline, or
+//! the 10 Nov 2022 incident where proposers rejected relay blocks with bad
+//! timestamps and fell back to local building, §4). The chain records the
+//! outcome of every slot plus the reward bookkeeping.
+
+use crate::rewards::RewardLedger;
+use crate::schedule::ProposerSchedule;
+use crate::validator::ValidatorId;
+use eth_types::{Slot, H256};
+
+/// What happened in a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotOutcome {
+    /// A block was proposed and accepted; carries its execution-block hash.
+    Proposed(H256),
+    /// The proposer missed the slot entirely.
+    Missed,
+}
+
+/// The canonical beacon chain over the simulated window.
+#[derive(Debug)]
+pub struct BeaconChain {
+    schedule: ProposerSchedule,
+    outcomes: Vec<(Slot, ValidatorId, SlotOutcome)>,
+    rewards: RewardLedger,
+    head: H256,
+}
+
+impl BeaconChain {
+    /// Creates an empty chain with the genesis execution hash as head.
+    pub fn new(schedule: ProposerSchedule) -> Self {
+        BeaconChain {
+            schedule,
+            outcomes: Vec::new(),
+            rewards: RewardLedger::new(),
+            head: H256::derive("genesis"),
+        }
+    }
+
+    /// The proposer scheduled for `slot`.
+    pub fn proposer(&self, slot: Slot) -> ValidatorId {
+        self.schedule.proposer(slot)
+    }
+
+    /// The schedule (for relays registering upcoming proposers).
+    pub fn schedule(&self) -> &ProposerSchedule {
+        &self.schedule
+    }
+
+    /// Current head execution-block hash.
+    pub fn head(&self) -> H256 {
+        self.head
+    }
+
+    /// Records an accepted proposal, credits rewards, advances the head.
+    ///
+    /// Panics if slots are recorded out of order — the driver must walk
+    /// slots monotonically.
+    pub fn record_proposal(&mut self, slot: Slot, block_hash: H256) {
+        self.assert_next(slot);
+        let proposer = self.schedule.proposer(slot);
+        self.rewards.credit_proposal(proposer);
+        for member in self.schedule.committee(slot).members {
+            self.rewards.credit_attestation(member);
+        }
+        self.outcomes.push((slot, proposer, SlotOutcome::Proposed(block_hash)));
+        self.head = block_hash;
+    }
+
+    /// Records a missed slot.
+    pub fn record_missed(&mut self, slot: Slot) {
+        self.assert_next(slot);
+        let proposer = self.schedule.proposer(slot);
+        self.outcomes.push((slot, proposer, SlotOutcome::Missed));
+    }
+
+    fn assert_next(&self, slot: Slot) {
+        if let Some((last, _, _)) = self.outcomes.last() {
+            assert!(
+                slot > *last,
+                "slot {slot} recorded after slot {last} (must be monotone)"
+            );
+        }
+    }
+
+    /// Outcomes recorded so far.
+    pub fn outcomes(&self) -> &[(Slot, ValidatorId, SlotOutcome)] {
+        &self.outcomes
+    }
+
+    /// Number of proposed (non-missed) blocks.
+    pub fn proposed_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|(_, _, o)| matches!(o, SlotOutcome::Proposed(_)))
+            .count()
+    }
+
+    /// Fraction of recorded slots that produced a block.
+    pub fn participation(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.proposed_count() as f64 / self.outcomes.len() as f64
+    }
+
+    /// Consensus-layer reward bookkeeping.
+    pub fn rewards(&self) -> &RewardLedger {
+        &self.rewards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validator::{EntityProfile, ValidatorRegistry};
+    use simcore::SeedDomain;
+
+    fn chain() -> BeaconChain {
+        let seeds = SeedDomain::new(3);
+        let reg = ValidatorRegistry::build(
+            &[EntityProfile::hobbyist(100.0, true)],
+            200,
+            &seeds,
+        );
+        BeaconChain::new(ProposerSchedule::new(&reg, &seeds))
+    }
+
+    #[test]
+    fn proposals_advance_head_and_credit_rewards() {
+        let mut c = chain();
+        let h1 = H256::derive("b1");
+        c.record_proposal(Slot(0), h1);
+        assert_eq!(c.head(), h1);
+        let proposer = c.proposer(Slot(0));
+        assert_eq!(c.rewards().proposals(proposer), 1);
+        assert_eq!(c.proposed_count(), 1);
+    }
+
+    #[test]
+    fn missed_slots_do_not_move_head() {
+        let mut c = chain();
+        let genesis = c.head();
+        c.record_missed(Slot(0));
+        assert_eq!(c.head(), genesis);
+        assert_eq!(c.proposed_count(), 0);
+        assert_eq!(c.participation(), 0.0);
+    }
+
+    #[test]
+    fn participation_mixes_outcomes() {
+        let mut c = chain();
+        c.record_proposal(Slot(0), H256::derive("a"));
+        c.record_missed(Slot(1));
+        c.record_proposal(Slot(2), H256::derive("b"));
+        assert!((c.participation() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.outcomes().len(), 3);
+    }
+
+    #[test]
+    fn committee_members_earn_attestation_rewards() {
+        let mut c = chain();
+        c.record_proposal(Slot(0), H256::derive("a"));
+        let committee = c.schedule().committee(Slot(0));
+        let m = committee.members[0];
+        assert!(c.rewards().earnings(m) >= crate::rewards::ATTESTATION_REWARD);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_slots_panic() {
+        let mut c = chain();
+        c.record_proposal(Slot(5), H256::derive("a"));
+        c.record_proposal(Slot(4), H256::derive("b"));
+    }
+
+    #[test]
+    fn empty_chain_participation_is_zero() {
+        assert_eq!(chain().participation(), 0.0);
+    }
+}

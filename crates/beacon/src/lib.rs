@@ -1,0 +1,36 @@
+//! Beacon-chain consensus substrate (paper §2.1).
+//!
+//! Models the parts of Ethereum Proof-of-Stake the PBS study depends on:
+//! a validator registry (each validator stakes 32 ETH and belongs to an
+//! operating *entity* — a staking pool or a hobbyist), a RANDAO-style
+//! proposer schedule announced at least one epoch ahead, per-slot
+//! committees, and the fixed beacon rewards (~0.034 ETH per proposed block,
+//! ~0.0000125 ETH per attestation) that the paper deliberately *excludes*
+//! from its block-value analyses because they are orthogonal to PBS.
+//!
+//! # Example
+//!
+//! ```
+//! use beacon::{ValidatorRegistry, EntityProfile, ProposerSchedule};
+//! use simcore::SeedDomain;
+//!
+//! let seeds = SeedDomain::new(1);
+//! let registry = ValidatorRegistry::build(
+//!     &[EntityProfile::pool("lido", 30.0, true), EntityProfile::hobbyist(70.0, false)],
+//!     1000,
+//!     &seeds,
+//! );
+//! let schedule = ProposerSchedule::new(&registry, &seeds);
+//! let v = schedule.proposer(eth_types::Slot(0));
+//! assert!(registry.validator(v).is_some());
+//! ```
+
+pub mod chain;
+pub mod rewards;
+pub mod schedule;
+pub mod validator;
+
+pub use chain::{BeaconChain, SlotOutcome};
+pub use rewards::{RewardLedger, ATTESTATION_REWARD, BLOCK_REWARD};
+pub use schedule::{Committee, ProposerSchedule, COMMITTEE_SIZE};
+pub use validator::{EntityProfile, Validator, ValidatorId, ValidatorRegistry};

@@ -1,0 +1,105 @@
+//! Beacon-chain rewards (paper §2.1).
+//!
+//! A successful proposal earns ~0.034 ETH on the consensus layer and each
+//! committee member earns ~0.0000125 ETH. The paper *omits* these from its
+//! block-value analyses ("they are set values and orthogonal to the PBS
+//! scheme", §3.1) — the ledger here exists so the simulation is complete
+//! and so tests can verify the omission is principled: consensus rewards
+//! never flow through the fee-recipient path the analyses measure.
+
+use crate::validator::ValidatorId;
+use eth_types::Wei;
+use std::collections::BTreeMap;
+
+/// Consensus-layer reward for proposing a block (~0.034 ETH).
+pub const BLOCK_REWARD: Wei = Wei(34_000_000_000_000_000);
+
+/// Consensus-layer reward per committee attestation (~0.0000125 ETH).
+pub const ATTESTATION_REWARD: Wei = Wei(12_500_000_000_000);
+
+/// Accumulates consensus-layer rewards per validator.
+#[derive(Debug, Clone, Default)]
+pub struct RewardLedger {
+    proposals: BTreeMap<ValidatorId, u64>,
+    attestations: BTreeMap<ValidatorId, u64>,
+}
+
+impl RewardLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Credits a successful proposal.
+    pub fn credit_proposal(&mut self, v: ValidatorId) {
+        *self.proposals.entry(v).or_insert(0) += 1;
+    }
+
+    /// Credits one attestation.
+    pub fn credit_attestation(&mut self, v: ValidatorId) {
+        *self.attestations.entry(v).or_insert(0) += 1;
+    }
+
+    /// Number of proposals credited to `v`.
+    pub fn proposals(&self, v: ValidatorId) -> u64 {
+        self.proposals.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Total consensus-layer earnings of `v`.
+    pub fn earnings(&self, v: ValidatorId) -> Wei {
+        let p = self.proposals.get(&v).copied().unwrap_or(0) as u128;
+        let a = self.attestations.get(&v).copied().unwrap_or(0) as u128;
+        Wei(p * BLOCK_REWARD.0 + a * ATTESTATION_REWARD.0)
+    }
+
+    /// Total rewards issued across all validators.
+    pub fn total_issued(&self) -> Wei {
+        let p: u128 = self.proposals.values().map(|&c| c as u128).sum();
+        let a: u128 = self.attestations.values().map(|&c| c as u128).sum();
+        Wei(p * BLOCK_REWARD.0 + a * ATTESTATION_REWARD.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reward_constants_match_paper_magnitudes() {
+        assert!((BLOCK_REWARD.as_eth() - 0.034).abs() < 1e-9);
+        assert!((ATTESTATION_REWARD.as_eth() - 0.0000125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn earnings_accumulate() {
+        let mut l = RewardLedger::new();
+        let v = ValidatorId(3);
+        l.credit_proposal(v);
+        l.credit_proposal(v);
+        l.credit_attestation(v);
+        assert_eq!(l.proposals(v), 2);
+        assert_eq!(
+            l.earnings(v),
+            Wei(2 * BLOCK_REWARD.0 + ATTESTATION_REWARD.0)
+        );
+    }
+
+    #[test]
+    fn unknown_validator_earns_nothing() {
+        let l = RewardLedger::new();
+        assert_eq!(l.earnings(ValidatorId(9)), Wei::ZERO);
+        assert_eq!(l.proposals(ValidatorId(9)), 0);
+    }
+
+    #[test]
+    fn total_issued_sums_everyone() {
+        let mut l = RewardLedger::new();
+        l.credit_proposal(ValidatorId(1));
+        l.credit_attestation(ValidatorId(2));
+        l.credit_attestation(ValidatorId(3));
+        assert_eq!(
+            l.total_issued(),
+            Wei(BLOCK_REWARD.0 + 2 * ATTESTATION_REWARD.0)
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! The validator registry.
+//!
+//! Each validator stakes exactly 32 ETH, so selection probability is uniform
+//! per validator and an entity's influence is proportional to how many
+//! validators it runs. Entities model the real validator landscape the paper
+//! reasons about: large institutional staking pools versus hobbyists — the
+//! populations whose relative profits Figure 10 compares.
+
+use eth_types::{Address, Wei};
+use serde::{Deserialize, Serialize};
+use simcore::SeedDomain;
+
+/// Index of a validator in the registry.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
+)]
+pub struct ValidatorId(pub u32);
+
+/// The stake every validator must lock (32 ETH).
+pub const STAKE: Wei = Wei(32 * 1_000_000_000_000_000_000);
+
+/// Description of an operating entity used to build the registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntityProfile {
+    /// Entity name ("lido", "coinbase", "hobbyist", …).
+    pub name: String,
+    /// Share of all validators run by this entity, in percent.
+    pub share_pct: f64,
+    /// Whether this entity's validators run MEV-Boost (opt into PBS).
+    pub mev_boost: bool,
+    /// Whether the entity restricts itself to OFAC-compliant relays.
+    pub censoring_only: bool,
+}
+
+impl EntityProfile {
+    /// A staking pool with the given validator share.
+    pub fn pool(name: &str, share_pct: f64, mev_boost: bool) -> Self {
+        EntityProfile {
+            name: name.to_string(),
+            share_pct,
+            mev_boost,
+            censoring_only: false,
+        }
+    }
+
+    /// The long tail of solo stakers.
+    pub fn hobbyist(share_pct: f64, mev_boost: bool) -> Self {
+        Self::pool("hobbyist", share_pct, mev_boost)
+    }
+
+    /// Marks the entity as connecting only to OFAC-compliant relays.
+    pub fn censoring(mut self) -> Self {
+        self.censoring_only = true;
+        self
+    }
+}
+
+/// One validator: its entity, fee recipient, and PBS configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Validator {
+    /// Registry index.
+    pub id: ValidatorId,
+    /// Index into the registry's entity table.
+    pub entity: u32,
+    /// The execution-layer address that receives this validator's profits.
+    pub fee_recipient: Address,
+    /// Whether the validator runs MEV-Boost.
+    pub mev_boost: bool,
+    /// Whether the validator only connects to OFAC-compliant relays.
+    pub censoring_only: bool,
+}
+
+/// The full validator set plus the entity table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidatorRegistry {
+    validators: Vec<Validator>,
+    entities: Vec<EntityProfile>,
+}
+
+impl ValidatorRegistry {
+    /// Builds `count` validators distributed across `entities` in proportion
+    /// to their `share_pct` (shares are normalized, so they need not sum to
+    /// 100). Rounding leftovers go to the last entity.
+    pub fn build(entities: &[EntityProfile], count: u32, seeds: &SeedDomain) -> Self {
+        assert!(!entities.is_empty(), "at least one entity required");
+        assert!(count > 0, "at least one validator required");
+        let total_share: f64 = entities.iter().map(|e| e.share_pct).sum();
+        assert!(total_share > 0.0, "entity shares must be positive");
+
+        let mut validators = Vec::with_capacity(count as usize);
+        let mut assigned = 0u32;
+        for (ei, entity) in entities.iter().enumerate() {
+            let want = if ei + 1 == entities.len() {
+                count - assigned
+            } else {
+                ((entity.share_pct / total_share) * count as f64).round() as u32
+            };
+            let want = want.min(count - assigned);
+            for k in 0..want {
+                let id = ValidatorId(assigned + k);
+                // Hobbyists get individual fee recipients; pool validators
+                // share a per-entity recipient, as on mainnet.
+                let fee_recipient = if entity.name == "hobbyist" {
+                    Address::derive(&format!("validator:{}:{}", entity.name, id.0))
+                } else {
+                    Address::derive(&format!("pool:{}", entity.name))
+                };
+                validators.push(Validator {
+                    id,
+                    entity: ei as u32,
+                    fee_recipient,
+                    mev_boost: entity.mev_boost,
+                    censoring_only: entity.censoring_only,
+                });
+            }
+            assigned += want;
+        }
+        // Guarantee exactly `count` validators even under pathological rounding.
+        while assigned < count {
+            let id = ValidatorId(assigned);
+            let last = entities.len() - 1;
+            validators.push(Validator {
+                id,
+                entity: last as u32,
+                fee_recipient: Address::derive(&format!(
+                    "validator:{}:{}",
+                    entities[last].name, id.0
+                )),
+                mev_boost: entities[last].mev_boost,
+                censoring_only: entities[last].censoring_only,
+            });
+            assigned += 1;
+        }
+        // The seed domain is threaded through for future per-validator
+        // randomness (e.g. churn); building itself is deterministic.
+        let _ = seeds;
+        ValidatorRegistry {
+            validators,
+            entities: entities.to_vec(),
+        }
+    }
+
+    /// Looks up a validator.
+    pub fn validator(&self, id: ValidatorId) -> Option<&Validator> {
+        self.validators.get(id.0 as usize)
+    }
+
+    /// The entity profile a validator belongs to.
+    pub fn entity_of(&self, id: ValidatorId) -> &EntityProfile {
+        let v = &self.validators[id.0 as usize];
+        &self.entities[v.entity as usize]
+    }
+
+    /// Total number of validators.
+    pub fn len(&self) -> u32 {
+        self.validators.len() as u32
+    }
+
+    /// True if the registry is empty (never true for a built registry).
+    pub fn is_empty(&self) -> bool {
+        self.validators.is_empty()
+    }
+
+    /// Iterates over all validators.
+    pub fn iter(&self) -> impl Iterator<Item = &Validator> {
+        self.validators.iter()
+    }
+
+    /// Total stake locked by the registry.
+    pub fn total_stake(&self) -> Wei {
+        Wei(STAKE.0 * self.validators.len() as u128)
+    }
+
+    /// Share of validators running MEV-Boost, in `[0, 1]`.
+    pub fn mev_boost_share(&self) -> f64 {
+        if self.validators.is_empty() {
+            return 0.0;
+        }
+        self.validators.iter().filter(|v| v.mev_boost).count() as f64
+            / self.validators.len() as f64
+    }
+
+    /// Flips the MEV-Boost flag of a fraction of non-PBS validators,
+    /// deterministically by index stride — used by the scenario to ramp PBS
+    /// adoption over the study window (Figure 4).
+    pub fn set_mev_boost_share(&mut self, target: f64) {
+        let target = target.clamp(0.0, 1.0);
+        let n = self.validators.len();
+        let want = (target * n as f64).round() as usize;
+        // Deterministic pseudo-random order from the validator id hash so
+        // adoption spreads across entities rather than by registry order.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| {
+            eth_types::H256::derive(&format!("adoption:{i}")).to_seed()
+        });
+        for (rank, &i) in order.iter().enumerate() {
+            self.validators[i].mev_boost = rank < want;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entities() -> Vec<EntityProfile> {
+        vec![
+            EntityProfile::pool("lido", 30.0, true),
+            EntityProfile::pool("coinbase", 14.0, true).censoring(),
+            EntityProfile::hobbyist(56.0, false),
+        ]
+    }
+
+    fn registry() -> ValidatorRegistry {
+        ValidatorRegistry::build(&entities(), 1000, &SeedDomain::new(1))
+    }
+
+    #[test]
+    fn builds_exact_count() {
+        let r = registry();
+        assert_eq!(r.len(), 1000);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn shares_are_respected_approximately() {
+        let r = registry();
+        let lido = r.iter().filter(|v| v.entity == 0).count();
+        assert!((295..=305).contains(&lido), "lido validators {lido}");
+    }
+
+    #[test]
+    fn pool_validators_share_fee_recipient_hobbyists_do_not() {
+        let r = registry();
+        let lido: Vec<_> = r.iter().filter(|v| v.entity == 0).collect();
+        assert!(lido.windows(2).all(|w| w[0].fee_recipient == w[1].fee_recipient));
+        let hobby: Vec<_> = r.iter().filter(|v| v.entity == 2).take(10).collect();
+        let mut recipients: Vec<_> = hobby.iter().map(|v| v.fee_recipient).collect();
+        recipients.sort();
+        recipients.dedup();
+        assert_eq!(recipients.len(), 10);
+    }
+
+    #[test]
+    fn censoring_flag_propagates() {
+        let r = registry();
+        assert!(r.iter().filter(|v| v.entity == 1).all(|v| v.censoring_only));
+        assert!(r.iter().filter(|v| v.entity == 0).all(|v| !v.censoring_only));
+    }
+
+    #[test]
+    fn total_stake_is_32_eth_each() {
+        let r = registry();
+        assert_eq!(r.total_stake(), Wei(1000 * 32 * eth_types::units::WEI_PER_ETH));
+    }
+
+    #[test]
+    fn mev_boost_share_reflects_entities() {
+        let r = registry();
+        let expected = r.iter().filter(|v| v.mev_boost).count() as f64 / 1000.0;
+        assert!((r.mev_boost_share() - expected).abs() < 1e-12);
+        // lido (30%) + coinbase (14%) are opted in.
+        assert!((r.mev_boost_share() - 0.44).abs() < 0.02);
+    }
+
+    #[test]
+    fn set_mev_boost_share_hits_target() {
+        let mut r = registry();
+        r.set_mev_boost_share(0.9);
+        assert!((r.mev_boost_share() - 0.9).abs() < 0.001);
+        r.set_mev_boost_share(0.2);
+        assert!((r.mev_boost_share() - 0.2).abs() < 0.001);
+    }
+
+    #[test]
+    fn set_mev_boost_share_is_monotone_in_membership() {
+        // Validators opted in at 50% stay opted in at 90%.
+        let mut a = registry();
+        a.set_mev_boost_share(0.5);
+        let fifty: Vec<bool> = a.iter().map(|v| v.mev_boost).collect();
+        a.set_mev_boost_share(0.9);
+        let ninety: Vec<bool> = a.iter().map(|v| v.mev_boost).collect();
+        for (was, is) in fifty.iter().zip(ninety.iter()) {
+            if *was {
+                assert!(*is, "opted-in validator dropped out when share rose");
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_out_of_range_is_none() {
+        assert!(registry().validator(ValidatorId(10_000)).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_entities_rejected() {
+        let _ = ValidatorRegistry::build(&[], 10, &SeedDomain::new(1));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests for the consensus substrate: schedule determinism,
+//! committee validity, and adoption-share targeting.
+
+use beacon::{EntityProfile, ProposerSchedule, ValidatorRegistry, COMMITTEE_SIZE};
+use eth_types::Slot;
+use proptest::prelude::*;
+use simcore::SeedDomain;
+
+fn registry(n: u32, seed: u64) -> (ValidatorRegistry, ProposerSchedule) {
+    let seeds = SeedDomain::new(seed);
+    let reg = ValidatorRegistry::build(
+        &[
+            EntityProfile::pool("pool-a", 40.0, true),
+            EntityProfile::pool("pool-b", 25.0, false).censoring(),
+            EntityProfile::hobbyist(35.0, false),
+        ],
+        n,
+        &seeds,
+    );
+    let sched = ProposerSchedule::new(&reg, &seeds);
+    (reg, sched)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The registry always builds exactly the requested validator count,
+    /// with every validator resolvable.
+    #[test]
+    fn registry_is_exact(n in 3u32..2_000, seed in any::<u64>()) {
+        let (reg, _) = registry(n, seed);
+        prop_assert_eq!(reg.len(), n);
+        for v in reg.iter() {
+            prop_assert!(reg.validator(v.id).is_some());
+        }
+    }
+
+    /// Adoption targeting hits any requested share within one validator.
+    #[test]
+    fn adoption_share_is_hit(n in 20u32..1_000, target in 0.0f64..1.0, seed in any::<u64>()) {
+        let (mut reg, _) = registry(n, seed);
+        reg.set_mev_boost_share(target);
+        let achieved = reg.mev_boost_share();
+        prop_assert!((achieved - target).abs() <= 1.0 / n as f64 + 1e-9,
+            "target {target} achieved {achieved}");
+    }
+
+    /// Proposers are always in range; committees never contain the
+    /// proposer or duplicates, for any slot.
+    #[test]
+    fn schedule_is_valid(n in 20u32..500, slot in 0u64..1_000_000, seed in any::<u64>()) {
+        let (reg, sched) = registry(n, seed);
+        let p = sched.proposer(Slot(slot));
+        prop_assert!(reg.validator(p).is_some());
+        let c = sched.committee(Slot(slot));
+        prop_assert_eq!(c.members.len(), COMMITTEE_SIZE.min(n as usize - 1));
+        prop_assert!(!c.members.contains(&p));
+        let mut m = c.members.clone();
+        m.sort();
+        m.dedup();
+        prop_assert_eq!(m.len(), c.members.len());
+    }
+
+    /// The schedule is a pure function: same inputs, same duties — the
+    /// property MEV-Boost registration relies on.
+    #[test]
+    fn schedule_is_pure(n in 20u32..200, slot in 0u64..100_000, seed in any::<u64>()) {
+        let (_, s1) = registry(n, seed);
+        let (_, s2) = registry(n, seed);
+        prop_assert_eq!(s1.proposer(Slot(slot)), s2.proposer(Slot(slot)));
+        prop_assert_eq!(s1.committee(Slot(slot)).members, s2.committee(Slot(slot)).members);
+    }
+
+    /// Raising the adoption target never kicks out an opted-in validator.
+    #[test]
+    fn adoption_is_monotone(n in 20u32..400, lo in 0.0f64..0.5, hi_extra in 0.0f64..0.5, seed in any::<u64>()) {
+        let (mut reg, _) = registry(n, seed);
+        let hi = (lo + hi_extra).min(1.0);
+        reg.set_mev_boost_share(lo);
+        let before: Vec<bool> = reg.iter().map(|v| v.mev_boost).collect();
+        reg.set_mev_boost_share(hi);
+        let after: Vec<bool> = reg.iter().map(|v| v.mev_boost).collect();
+        for (b, a) in before.iter().zip(after.iter()) {
+            prop_assert!(*a || !*b, "validator dropped out as adoption rose");
+        }
+    }
+}

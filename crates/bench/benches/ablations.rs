@@ -1,0 +1,84 @@
+//! Ablation benches (DESIGN.md §4): time a fixed small window under each
+//! design-choice knob. The *scientific* deltas (what each knob does to the
+//! paper's findings) are printed by `cargo run -p bench --bin ablations`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scenario::{ScenarioConfig, Simulation};
+use std::hint::black_box;
+
+fn cfg(mutator: impl FnOnce(&mut ScenarioConfig)) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::test_small(55, 2);
+    mutator(&mut cfg);
+    cfg
+}
+
+fn bench_ablation_builder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_builder_sophistication");
+    g.sample_size(10);
+    g.bench_function("sophisticated", |b| {
+        b.iter(|| black_box(Simulation::new(cfg(|_| {})).run()))
+    });
+    g.bench_function("naive", |b| {
+        b.iter(|| {
+            black_box(
+                Simulation::new(cfg(|c| c.knobs.sophisticated_builders = false)).run(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_ablation_lag(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_blacklist_lag");
+    g.sample_size(10);
+    for (name, lag) in [("lag0", Some(0u32)), ("lag2", Some(2)), ("never", None)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    Simulation::new(cfg(|c| c.knobs.relay_blacklist_lag_days = lag)).run(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ablation_detectors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_label_sources");
+    g.sample_size(10);
+    for (name, sources) in [
+        ("union_of_three", [true, true, true]),
+        ("eigenphi_only", [true, false, false]),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(Simulation::new(cfg(|c| c.knobs.label_sources = sources)).run())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ablation_privateflow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_private_flow");
+    g.sample_size(10);
+    for (name, scale) in [("calibrated", 1.0), ("all_public", 0.0)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    Simulation::new(cfg(|c| c.knobs.private_flow_scale = scale)).run(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_ablation_builder,
+    bench_ablation_lag,
+    bench_ablation_detectors,
+    bench_ablation_privateflow
+);
+criterion_main!(ablations);

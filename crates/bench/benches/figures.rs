@@ -1,0 +1,152 @@
+//! One benchmark per paper artifact: times the analysis that regenerates
+//! each table/figure over the shared full-window run (DESIGN.md §3 maps
+//! every artifact to its bench here).
+
+use analysis::{
+    adoption, block_size, block_value, builder_share, censorship, concentration, mev_stats,
+    payments, private_flow, profit_split, relay_audit, relay_share,
+};
+use bench::bench_run;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_datasets(c: &mut Criterion) {
+    let run = bench_run();
+    c.bench_function("table1_dataset_summary", |b| {
+        b.iter(|| black_box(datasets::table1_rows(run)))
+    });
+}
+
+fn bench_adoption(c: &mut Criterion) {
+    let run = bench_run();
+    c.bench_function("fig4_daily_pbs_share", |b| {
+        b.iter(|| black_box(adoption::daily_pbs_share(run)))
+    });
+    c.bench_function("sec4_detection_cross_check", |b| {
+        b.iter(|| black_box(adoption::detection_cross_check(run)))
+    });
+}
+
+fn bench_payments(c: &mut Criterion) {
+    let run = bench_run();
+    c.bench_function("fig3_payment_shares", |b| {
+        b.iter(|| black_box(payments::daily_payment_shares(run)))
+    });
+}
+
+fn bench_relay_share(c: &mut Criterion) {
+    let run = bench_run();
+    c.bench_function("fig5_relay_share", |b| {
+        b.iter(|| black_box(relay_share::daily_relay_share(run)))
+    });
+    c.bench_function("fig7_builders_per_relay", |b| {
+        b.iter(|| black_box(relay_share::builders_per_relay(run)))
+    });
+}
+
+fn bench_hhi(c: &mut Criterion) {
+    let run = bench_run();
+    c.bench_function("fig6_concentration_hhi", |b| {
+        b.iter(|| black_box(concentration::daily_concentration(run)))
+    });
+}
+
+fn bench_builder_share(c: &mut Criterion) {
+    let run = bench_run();
+    c.bench_function("fig8_builder_share", |b| {
+        b.iter(|| black_box(builder_share::daily_builder_share(run)))
+    });
+    c.bench_function("appB_builder_clustering", |b| {
+        b.iter(|| black_box(builder_share::cluster_builders(run)))
+    });
+}
+
+fn bench_block_value(c: &mut Criterion) {
+    let run = bench_run();
+    c.bench_function("fig9_value_scatter", |b| {
+        b.iter(|| black_box(block_value::value_scatter(run, 1)))
+    });
+    c.bench_function("fig10_proposer_profit", |b| {
+        b.iter(|| black_box(block_value::daily_proposer_profit(run)))
+    });
+}
+
+fn bench_profit_split(c: &mut Criterion) {
+    let run = bench_run();
+    c.bench_function("fig11_12_builder_profit_boxes", |b| {
+        b.iter(|| black_box(profit_split::builder_profit_rows(run, 11)))
+    });
+    c.bench_function("fig19_daily_profit_share", |b| {
+        b.iter(|| black_box(profit_split::daily_profit_share(run)))
+    });
+}
+
+fn bench_block_size(c: &mut Criterion) {
+    let run = bench_run();
+    c.bench_function("fig13_block_size", |b| {
+        b.iter(|| black_box(block_size::daily_block_size(run)))
+    });
+}
+
+fn bench_private_flow(c: &mut Criterion) {
+    let run = bench_run();
+    c.bench_function("fig14_private_share", |b| {
+        b.iter(|| black_box(private_flow::daily_private_share(run)))
+    });
+}
+
+fn bench_mev(c: &mut Criterion) {
+    let run = bench_run();
+    c.bench_function("fig15_mev_per_block", |b| {
+        b.iter(|| black_box(mev_stats::daily_mev_per_block(run)))
+    });
+    c.bench_function("fig16_mev_value_share", |b| {
+        b.iter(|| black_box(mev_stats::daily_mev_value_share(run)))
+    });
+    c.bench_function("fig20_22_mev_kinds", |b| {
+        b.iter(|| {
+            black_box(mev_stats::daily_sandwiches_per_block(run));
+            black_box(mev_stats::daily_arbitrage_per_block(run));
+            black_box(mev_stats::daily_liquidations_per_block(run));
+        })
+    });
+}
+
+fn bench_censorship(c: &mut Criterion) {
+    let run = bench_run();
+    c.bench_function("fig17_censoring_relay_share", |b| {
+        b.iter(|| black_box(censorship::daily_censoring_relay_share(run)))
+    });
+    c.bench_function("fig18_sanctioned_share", |b| {
+        b.iter(|| black_box(censorship::daily_sanctioned_share(run)))
+    });
+}
+
+fn bench_relay_audit(c: &mut Criterion) {
+    let run = bench_run();
+    c.bench_function("table4_relay_audit", |b| {
+        b.iter(|| black_box(relay_audit::relay_audit(run)))
+    });
+    c.bench_function("sec54_bloxroute_gap", |b| {
+        b.iter(|| black_box(relay_audit::bloxroute_ethical_sandwich_gap(run)))
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(20);
+    targets = bench_datasets,
+        bench_adoption,
+        bench_payments,
+        bench_relay_share,
+        bench_hhi,
+        bench_builder_share,
+        bench_block_value,
+        bench_profit_split,
+        bench_block_size,
+        bench_private_flow,
+        bench_mev,
+        bench_censorship,
+        bench_relay_audit
+);
+criterion_main!(figures);

@@ -1,0 +1,211 @@
+//! Substrate micro-benchmarks: the hot paths under the simulation —
+//! Keccak-256, AMM math, sandwich planning, block execution, MEV
+//! detection, gossip propagation, and whole-slot simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use defi::DefiWorld;
+use eth_types::{keccak256, Address, Gas, GasPrice, Slot, Token, Transaction, TxEffect, UnixTime, Wei, H256};
+use execution::{BlockExecutor, StateLedger};
+use mev::{detect_block, SandwichAttacker};
+use netsim::{GossipNetwork, NodeId, Topology};
+use pbs::{BuildInputs, Builder, BuilderId, BuilderProfile, MarginPolicy, SubsidyPolicy};
+use scenario::{ScenarioConfig, Simulation};
+use simcore::{SeedDomain, SimTime};
+use std::hint::black_box;
+
+fn bench_keccak(c: &mut Criterion) {
+    let mut g = c.benchmark_group("keccak256");
+    for size in [32usize, 136, 1024] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| b.iter(|| black_box(keccak256(&data))));
+    }
+    g.finish();
+}
+
+fn bench_amm(c: &mut Criterion) {
+    let world = DefiWorld::standard(2);
+    let pool = world.pool(0).unwrap();
+    c.bench_function("amm_quote", |b| {
+        b.iter(|| black_box(pool.quote(Token::Weth, 10u128.pow(18)).unwrap()))
+    });
+    c.bench_function("amm_swap", |b| {
+        b.iter_batched(
+            || pool.clone(),
+            |mut p| black_box(p.swap(Token::Weth, 10u128.pow(18), 0).unwrap()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn sample_victim(world: &DefiWorld) -> Transaction {
+    let pool = world.pool(0).unwrap();
+    let amount_in = 20 * 10u128.pow(18);
+    let quote = pool.quote(Token::Weth, amount_in).unwrap();
+    let mut t = Transaction::transfer(
+        Address::derive("victim"),
+        pool.contract(),
+        Wei::ZERO,
+        0,
+        GasPrice::from_gwei(2.0),
+        GasPrice::from_gwei(100.0),
+    );
+    t.effect = TxEffect::Swap {
+        pool: 0,
+        token_in: Token::Weth,
+        token_out: Token::Usdc,
+        amount_in,
+        min_out: (quote as f64 * 0.93) as u128,
+    };
+    t.finalize()
+}
+
+fn bench_sandwich_planning(c: &mut Criterion) {
+    let world = DefiWorld::standard(2);
+    let victim = sample_victim(&world);
+    let attacker = SandwichAttacker::new("bench", 0.9, Wei(1));
+    c.bench_function("sandwich_plan", |b| {
+        b.iter(|| {
+            let mut nonce = 0;
+            black_box(attacker.plan(&world, &victim, GasPrice::from_gwei(10.0), &mut nonce))
+        })
+    });
+}
+
+fn block_of(n: usize) -> (Vec<Transaction>, StateLedger, DefiWorld) {
+    let txs: Vec<Transaction> = (0..n)
+        .map(|i| {
+            Transaction::transfer(
+                Address::derive(&format!("s{i}")),
+                Address::derive("d"),
+                Wei::from_eth(0.1),
+                0,
+                GasPrice::from_gwei(2.0),
+                GasPrice::from_gwei(100.0),
+            )
+        })
+        .collect();
+    (txs, StateLedger::new(Wei::from_eth(1000.0)), DefiWorld::standard(0))
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_execution");
+    for n in [10usize, 100] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("{n}_txs"), |b| {
+            b.iter_batched(
+                || block_of(n),
+                |(txs, mut state, mut world)| {
+                    black_box(BlockExecutor::default().execute(
+                        Slot(1),
+                        1,
+                        UnixTime(0),
+                        H256::ZERO,
+                        Address::derive("fr"),
+                        GasPrice::from_gwei(10.0),
+                        &txs,
+                        &mut state,
+                        &mut world,
+                    ))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_builder(c: &mut Criterion) {
+    let (txs, _, _) = block_of(150);
+    let mut builder = Builder::new(
+        BuilderId(0),
+        BuilderProfile::new("b", MarginPolicy::FixedEth(0.001), SubsidyPolicy::Never, 1.0),
+        SeedDomain::new(1).rng("b"),
+    );
+    c.bench_function("builder_build_150_mempool_txs", |b| {
+        b.iter(|| {
+            black_box(builder.build(&BuildInputs {
+                base_fee: GasPrice::from_gwei(10.0),
+                gas_limit: Gas::BLOCK_LIMIT,
+                mempool: &txs,
+                bundles: &[],
+            }))
+        })
+    });
+}
+
+fn bench_detector(c: &mut Criterion) {
+    // A realistic block: a sandwich + background swaps.
+    let mut world = DefiWorld::standard(2);
+    let mut txs = Vec::new();
+    let front_in = 5 * 10u128.pow(18);
+    let front_out = world.pool(0).unwrap().quote(Token::Weth, front_in).unwrap();
+    for (sender, nonce, pool, tin, tout, amt) in [
+        ("attacker", 0u64, 0u32, Token::Weth, Token::Usdc, front_in),
+        ("victim", 0, 0, Token::Weth, Token::Usdc, 10 * 10u128.pow(18)),
+        ("attacker", 1, 0, Token::Usdc, Token::Weth, front_out),
+        ("noise1", 0, 1, Token::Weth, Token::Usdc, 10u128.pow(18)),
+        ("noise2", 0, 2, Token::Weth, Token::Usdt, 10u128.pow(18)),
+    ] {
+        let mut t = Transaction::transfer(
+            Address::derive(sender),
+            Address::derive("router"),
+            Wei::ZERO,
+            nonce,
+            GasPrice::from_gwei(1.0),
+            GasPrice::from_gwei(100.0),
+        );
+        t.effect = TxEffect::Swap {
+            pool,
+            token_in: tin,
+            token_out: tout,
+            amount_in: amt,
+            min_out: 0,
+        };
+        txs.push(t.finalize());
+    }
+    let mut state = StateLedger::new(Wei::from_eth(1000.0));
+    let block = BlockExecutor::default()
+        .execute(
+            Slot(1),
+            1,
+            UnixTime(0),
+            H256::ZERO,
+            Address::derive("fr"),
+            GasPrice::from_gwei(10.0),
+            &txs,
+            &mut state,
+            &mut world,
+        )
+        .block;
+    c.bench_function("mev_detect_block", |b| b.iter(|| black_box(detect_block(&block))));
+}
+
+fn bench_gossip(c: &mut Criterion) {
+    let net = GossipNetwork::new(Topology::random(28, 3, 40.0, &SeedDomain::new(1)));
+    c.bench_function("gossip_broadcast_28_nodes", |b| {
+        b.iter(|| black_box(net.broadcast(H256::derive("tx"), NodeId(0), SimTime::ZERO)))
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    g.bench_function("two_study_days_40bpd", |b| {
+        b.iter(|| black_box(Simulation::new(ScenarioConfig::test_small(7, 2)).run()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    substrates,
+    bench_keccak,
+    bench_amm,
+    bench_sandwich_planning,
+    bench_executor,
+    bench_builder,
+    bench_detector,
+    bench_gossip,
+    bench_simulation
+);
+criterion_main!(substrates);

@@ -1,0 +1,80 @@
+//! Regenerates every table and figure of the paper into `out/`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin paper_artifacts                  # 360 blocks/day
+//! PBS_BPD=7200 cargo run --release -p bench --bin paper_artifacts     # mainnet scale
+//! PBS_OUT=/tmp/out cargo run --release -p bench --bin paper_artifacts
+//! ```
+//!
+//! Outputs:
+//! * `out/figN_*.csv` — the data series behind every figure,
+//! * `out/tables.txt` — Tables 1–5 rendered as text,
+//! * `out/summary.txt` — the headline paper-vs-measured record,
+//! * `out/run.json` — the aggregate dataset (the paper's GitHub artifact).
+
+use analysis::{tables, PaperReport};
+use datasets::summary::render_table1;
+use scenario::{ScenarioConfig, Simulation};
+use std::path::PathBuf;
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> std::io::Result<()> {
+    let bpd = env_u32("PBS_BPD", 360);
+    let seed = env_u32("PBS_SEED", 42) as u64;
+    let out: PathBuf = std::env::var("PBS_OUT").unwrap_or_else(|_| "out".into()).into();
+
+    let mut cfg = ScenarioConfig {
+        seed,
+        ..ScenarioConfig::default()
+    };
+    cfg.calendar = eth_types::StudyCalendar::new(bpd, 198);
+
+    eprintln!(
+        "simulating the full study window: 198 days × {bpd} blocks/day (seed {seed}) …"
+    );
+    let start = std::time::Instant::now();
+    let run = Simulation::new(cfg).run();
+    eprintln!(
+        "simulated {} blocks in {:.1?} ({:.0} blocks/s); computing report …",
+        run.blocks.len(),
+        start.elapsed(),
+        run.blocks.len() as f64 / start.elapsed().as_secs_f64()
+    );
+
+    let report = PaperReport::compute(&run);
+    std::fs::create_dir_all(&out)?;
+    report.write_csvs(&run, &out)?;
+
+    let mut tables_txt = String::new();
+    tables_txt.push_str(&render_table1(&report.table1));
+    tables_txt.push('\n');
+    tables_txt.push_str(&tables::render_table2());
+    tables_txt.push('\n');
+    tables_txt.push_str(&tables::render_table3());
+    tables_txt.push('\n');
+    tables_txt.push_str(&analysis::relay_audit::render_table4(
+        &report.table4,
+        &report.table4_aggregate,
+    ));
+    tables_txt.push('\n');
+    tables_txt.push_str(&tables::render_table5(&run, 17));
+    std::fs::write(out.join("tables.txt"), &tables_txt)?;
+
+    let summary = report.render_summary(&run);
+    std::fs::write(out.join("summary.txt"), &summary)?;
+
+    let json = datasets::export::run_to_json(&run).expect("serializable");
+    std::fs::write(out.join("run.json"), json)?;
+    datasets::write_csv(&out.join("blocks.csv"), &datasets::export::blocks_csv(&run))?;
+
+    println!("{summary}");
+    println!("{tables_txt}");
+    println!("artifacts written to {}/", out.display());
+    Ok(())
+}

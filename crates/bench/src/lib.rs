@@ -1,0 +1,33 @@
+//! Benchmark support: shared cached runs so every Criterion bench and
+//! artifact binary measures analysis cost against the same dataset.
+
+use scenario::{RunArtifacts, ScenarioConfig, Simulation};
+use std::sync::OnceLock;
+
+/// The standard benchmark window: the full 198-day calendar at a reduced
+/// block rate (24 blocks/day ≈ 4.8k blocks), so every timeline event —
+/// adoption ramp, incidents, OFAC updates, the February subsidy window —
+/// is exercised while a run stays in seconds.
+pub fn bench_config() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::test_small(1234, 198);
+    cfg.calendar = eth_types::StudyCalendar::new(24, 198);
+    cfg
+}
+
+/// A cached full-window run shared by all benches.
+pub fn bench_run() -> &'static RunArtifacts {
+    static RUN: OnceLock<RunArtifacts> = OnceLock::new();
+    RUN.get_or_init(|| Simulation::new(bench_config()).run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_run_covers_the_whole_window() {
+        let run = bench_run();
+        assert_eq!(run.days().len(), 198);
+        assert!(run.blocks.len() > 4000);
+    }
+}

@@ -1,0 +1,202 @@
+//! CSV and JSON export.
+//!
+//! Every figure's underlying series is exported as a CSV file (one row per
+//! data point) so plots can be regenerated with any tooling, and the full
+//! run can be dumped as JSON — the equivalent of the paper's published
+//! aggregate dataset.
+
+use scenario::RunArtifacts;
+use std::io::Write;
+use std::path::Path;
+
+/// An in-memory CSV table: headers plus stringified rows.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CsvTable {
+    /// Column names.
+    pub headers: Vec<String>,
+    /// Rows; each must match `headers` in length.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Creates a table with the given headers.
+    pub fn new(headers: &[&str]) -> Self {
+        CsvTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (panics if the width mismatches — a programming error).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "csv row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders as CSV text with minimal quoting (fields containing commas
+    /// or quotes are quoted).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&join_csv(&self.headers));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&join_csv(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows are present.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+fn join_csv(fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            if f.contains(',') || f.contains('"') || f.contains('\n') {
+                format!("\"{}\"", f.replace('"', "\"\""))
+            } else {
+                f.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Writes a [`CsvTable`] to disk.
+pub fn write_csv(path: &Path, table: &CsvTable) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(table.render().as_bytes())
+}
+
+/// Exports the per-block records as CSV.
+pub fn blocks_csv(run: &RunArtifacts) -> CsvTable {
+    let mut t = CsvTable::new(&[
+        "slot",
+        "day",
+        "number",
+        "pbs",
+        "builder",
+        "relays",
+        "promised_eth",
+        "delivered_eth",
+        "block_value_eth",
+        "priority_fees_eth",
+        "direct_transfers_eth",
+        "burned_eth",
+        "gas_used",
+        "base_fee_gwei",
+        "tx_count",
+        "private_txs",
+        "sandwich_txs",
+        "arbitrage_txs",
+        "liquidation_txs",
+        "mev_value_eth",
+        "sanctioned",
+    ]);
+    for b in &run.blocks {
+        t.push_row(vec![
+            b.slot.0.to_string(),
+            b.day.iso(),
+            b.number.to_string(),
+            b.pbs_truth.to_string(),
+            b.builder
+                .map(|id| run.builder_name(id).to_string())
+                .unwrap_or_default(),
+            b.relays
+                .iter()
+                .map(|r| r.0.to_string())
+                .collect::<Vec<_>>()
+                .join("|"),
+            format!("{:.9}", b.promised.as_eth()),
+            format!("{:.9}", b.delivered.as_eth()),
+            format!("{:.9}", b.block_value.as_eth()),
+            format!("{:.9}", b.priority_fees.as_eth()),
+            format!("{:.9}", b.direct_transfers.as_eth()),
+            format!("{:.9}", b.burned.as_eth()),
+            b.gas_used.0.to_string(),
+            format!("{:.3}", b.base_fee.as_gwei()),
+            b.tx_count.to_string(),
+            b.private_txs.to_string(),
+            b.sandwich_txs.to_string(),
+            b.arbitrage_txs.to_string(),
+            b.liquidation_txs.to_string(),
+            format!("{:.9}", b.mev_value.as_eth()),
+            b.sanctioned.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Serializes the full run to JSON (the "aggregate data set on GitHub").
+pub fn run_to_json(run: &RunArtifacts) -> serde_json::Result<String> {
+    serde_json::to_string(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scenario::{ScenarioConfig, Simulation};
+
+    #[test]
+    fn csv_render_and_quoting() {
+        let mut t = CsvTable::new(&["a", "b"]);
+        t.push_row(vec!["1".into(), "plain".into()]);
+        t.push_row(vec!["2".into(), "with,comma".into()]);
+        t.push_row(vec!["3".into(), "with\"quote".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[2], "2,\"with,comma\"");
+        assert_eq!(lines[3], "3,\"with\"\"quote\"");
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_mismatch_panics() {
+        let mut t = CsvTable::new(&["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn blocks_export_round_trips_counts() {
+        let run = Simulation::new(ScenarioConfig::test_small(21, 2)).run();
+        let t = blocks_csv(&run);
+        assert_eq!(t.len(), run.blocks.len());
+        let text = t.render();
+        assert!(text.starts_with("slot,day,number,pbs"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let run = Simulation::new(ScenarioConfig::test_small(22, 1)).run();
+        let json = run_to_json(&run).unwrap();
+        let back: scenario::RunArtifacts = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.blocks.len(), run.blocks.len());
+        assert_eq!(back.totals, run.totals);
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let run = Simulation::new(ScenarioConfig::test_small(23, 1)).run();
+        let t = blocks_csv(&run);
+        let dir = std::env::temp_dir().join("pbs-repro-test");
+        let path = dir.join("blocks.csv");
+        write_csv(&path, &t).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.lines().count() > 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,12 @@
+//! Dataset assembly and export (paper §3, Table 1).
+//!
+//! Wraps a simulation run's [`scenario::RunArtifacts`] into the shape of
+//! the paper's data collection: the Table 1 dataset inventory
+//! ([`summary`]), and CSV/JSON exporters for every record type so figures
+//! can be regenerated outside Rust ([`export`]).
+
+pub mod export;
+pub mod summary;
+
+pub use export::{write_csv, CsvTable};
+pub use summary::{table1_rows, Table1Row};

@@ -1,0 +1,353 @@
+//! Constant-product AMM pools (Uniswap-V2 math).
+//!
+//! Swaps preserve `reserve0 × reserve1 = k` modulo the 0.3% LP fee, so every
+//! trade moves the marginal price — the order dependence that makes
+//! sandwich attacks and cyclic arbitrage possible. Each executed swap emits
+//! a `Swap` log whose payload ([`SwapLogData`]) the MEV detectors decode.
+
+use eth_types::{pad_address, Address, Log, Token};
+
+/// Identifier of a pool within the DeFi world.
+pub type PoolId = u32;
+
+/// LP fee in basis points (0.3%, the Uniswap-V2 default).
+pub const AMM_FEE_BPS: u128 = 30;
+
+/// Errors from pool operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AmmError {
+    /// The pool does not trade the requested token.
+    WrongToken(Token),
+    /// Output would fall below the caller's `min_out` bound.
+    Slippage {
+        /// What the pool can deliver.
+        available: u128,
+        /// What the caller demanded.
+        min_out: u128,
+    },
+    /// Zero-amount swap.
+    ZeroAmount,
+    /// The input is so large the fixed-point math would overflow; no real
+    /// trade is this big (constant-product pools cannot be drained anyway).
+    InsufficientLiquidity,
+}
+
+impl std::fmt::Display for AmmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AmmError::WrongToken(t) => write!(f, "pool does not trade {t}"),
+            AmmError::Slippage { available, min_out } => {
+                write!(f, "slippage: can deliver {available}, need {min_out}")
+            }
+            AmmError::ZeroAmount => write!(f, "zero-amount swap"),
+            AmmError::InsufficientLiquidity => write!(f, "insufficient liquidity"),
+        }
+    }
+}
+
+impl std::error::Error for AmmError {}
+
+/// A two-token constant-product pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pool {
+    /// Pool id.
+    pub id: PoolId,
+    /// First token.
+    pub token0: Token,
+    /// Second token.
+    pub token1: Token,
+    /// Reserve of `token0` in smallest units.
+    pub reserve0: u128,
+    /// Reserve of `token1` in smallest units.
+    pub reserve1: u128,
+}
+
+/// Decoded payload of a `Swap` log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapLogData {
+    /// Pool that executed the swap.
+    pub pool: PoolId,
+    /// Token paid in.
+    pub token_in: Token,
+    /// Token received.
+    pub token_out: Token,
+    /// Input amount (smallest units).
+    pub amount_in: u128,
+    /// Output amount (smallest units).
+    pub amount_out: u128,
+}
+
+impl SwapLogData {
+    /// Encodes into log `data` bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(38);
+        out.extend_from_slice(&self.pool.to_be_bytes());
+        out.push(self.token_in.tag());
+        out.push(self.token_out.tag());
+        out.extend_from_slice(&self.amount_in.to_be_bytes());
+        out.extend_from_slice(&self.amount_out.to_be_bytes());
+        out
+    }
+
+    /// Decodes from log `data` bytes.
+    pub fn decode(data: &[u8]) -> Option<SwapLogData> {
+        if data.len() != 38 {
+            return None;
+        }
+        Some(SwapLogData {
+            pool: u32::from_be_bytes(data[0..4].try_into().ok()?),
+            token_in: Token::from_tag(data[4])?,
+            token_out: Token::from_tag(data[5])?,
+            amount_in: u128::from_be_bytes(data[6..22].try_into().ok()?),
+            amount_out: u128::from_be_bytes(data[22..38].try_into().ok()?),
+        })
+    }
+}
+
+impl Pool {
+    /// Creates a pool with opening reserves.
+    pub fn new(id: PoolId, token0: Token, token1: Token, reserve0: u128, reserve1: u128) -> Self {
+        assert!(token0 != token1, "pool tokens must differ");
+        assert!(reserve0 > 0 && reserve1 > 0, "reserves must be positive");
+        Pool {
+            id,
+            token0,
+            token1,
+            reserve0,
+            reserve1,
+        }
+    }
+
+    /// The pool's deterministic contract address.
+    pub fn contract(&self) -> Address {
+        Address::derive(&format!("pool:{}:{}:{}", self.id, self.token0, self.token1))
+    }
+
+    /// Whether the pool trades `token`.
+    pub fn trades(&self, token: Token) -> bool {
+        self.token0 == token || self.token1 == token
+    }
+
+    /// The counterparty token for `token`.
+    pub fn other(&self, token: Token) -> Option<Token> {
+        if token == self.token0 {
+            Some(self.token1)
+        } else if token == self.token1 {
+            Some(self.token0)
+        } else {
+            None
+        }
+    }
+
+    fn reserves_for(&self, token_in: Token) -> Result<(u128, u128), AmmError> {
+        if token_in == self.token0 {
+            Ok((self.reserve0, self.reserve1))
+        } else if token_in == self.token1 {
+            Ok((self.reserve1, self.reserve0))
+        } else {
+            Err(AmmError::WrongToken(token_in))
+        }
+    }
+
+    /// Quotes the output of swapping `amount_in` of `token_in`, without
+    /// mutating the pool (the searcher's simulation path).
+    pub fn quote(&self, token_in: Token, amount_in: u128) -> Result<u128, AmmError> {
+        if amount_in == 0 {
+            return Err(AmmError::ZeroAmount);
+        }
+        let (r_in, r_out) = self.reserves_for(token_in)?;
+        let amount_in_with_fee = amount_in
+            .checked_mul(10_000 - AMM_FEE_BPS)
+            .ok_or(AmmError::InsufficientLiquidity)?;
+        let numerator = amount_in_with_fee
+            .checked_mul(r_out)
+            .ok_or(AmmError::InsufficientLiquidity)?;
+        let denominator = r_in
+            .checked_mul(10_000)
+            .and_then(|x| x.checked_add(amount_in_with_fee))
+            .ok_or(AmmError::InsufficientLiquidity)?;
+        // numerator/denominator < r_out always: the pool cannot be drained.
+        Ok(numerator / denominator)
+    }
+
+    /// Executes a swap, mutating reserves; enforces `min_out`.
+    pub fn swap(
+        &mut self,
+        token_in: Token,
+        amount_in: u128,
+        min_out: u128,
+    ) -> Result<u128, AmmError> {
+        let out = self.quote(token_in, amount_in)?;
+        if out < min_out {
+            return Err(AmmError::Slippage {
+                available: out,
+                min_out,
+            });
+        }
+        if token_in == self.token0 {
+            self.reserve0 += amount_in;
+            self.reserve1 -= out;
+        } else {
+            self.reserve1 += amount_in;
+            self.reserve0 -= out;
+        }
+        Ok(out)
+    }
+
+    /// Marginal price of `token0` in units of `token1`, decimals-adjusted.
+    pub fn price0_in_1(&self) -> f64 {
+        let r0 = self.reserve0 as f64 / 10f64.powi(self.token0.decimals() as i32);
+        let r1 = self.reserve1 as f64 / 10f64.powi(self.token1.decimals() as i32);
+        r1 / r0
+    }
+
+    /// The invariant `k = reserve0 × reserve1`.
+    pub fn k(&self) -> u128 {
+        self.reserve0 * self.reserve1
+    }
+
+    /// Builds the `Swap` event log for an executed swap.
+    pub fn swap_log(&self, sender: Address, data: SwapLogData) -> Log {
+        Log {
+            address: self.contract(),
+            topics: vec![Log::swap_topic(), pad_address(sender)],
+            data: data.encode(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weth_usdc_pool() -> Pool {
+        // 1000 WETH : 1.5M USDC → price 1500 USDC/WETH.
+        Pool::new(
+            0,
+            Token::Weth,
+            Token::Usdc,
+            1000 * 10u128.pow(18),
+            1_500_000 * 10u128.pow(6),
+        )
+    }
+
+    #[test]
+    fn spot_price_reflects_reserves() {
+        let p = weth_usdc_pool();
+        assert!((p.price0_in_1() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_swap_near_spot_price() {
+        let p = weth_usdc_pool();
+        // Swap 0.1 WETH: output ≈ 150 USDC minus 0.3% fee and tiny impact.
+        let out = p.quote(Token::Weth, 10u128.pow(17)).unwrap();
+        let usdc = out as f64 / 1e6;
+        assert!(usdc > 149.0 && usdc < 149.9, "got {usdc}");
+    }
+
+    #[test]
+    fn swap_moves_price_against_trader() {
+        let mut p = weth_usdc_pool();
+        let before = p.price0_in_1();
+        p.swap(Token::Weth, 50 * 10u128.pow(18), 0).unwrap();
+        let after = p.price0_in_1();
+        assert!(after < before, "buying USDC with WETH must cheapen WETH");
+    }
+
+    #[test]
+    fn k_never_decreases() {
+        let mut p = weth_usdc_pool();
+        let k0 = p.k();
+        p.swap(Token::Weth, 10u128.pow(18), 0).unwrap();
+        assert!(p.k() >= k0, "fee must grow k");
+    }
+
+    #[test]
+    fn round_trip_loses_to_fees() {
+        // Swap WETH→USDC→WETH: you end with less than you started.
+        let mut p = weth_usdc_pool();
+        let input = 10 * 10u128.pow(18);
+        let usdc = p.swap(Token::Weth, input, 0).unwrap();
+        let back = p.swap(Token::Usdc, usdc, 0).unwrap();
+        assert!(back < input);
+    }
+
+    #[test]
+    fn slippage_bound_enforced() {
+        let mut p = weth_usdc_pool();
+        let quote = p.quote(Token::Weth, 10u128.pow(18)).unwrap();
+        let err = p.swap(Token::Weth, 10u128.pow(18), quote + 1).unwrap_err();
+        assert!(matches!(err, AmmError::Slippage { .. }));
+        // Pool untouched after the revert.
+        assert_eq!(p, weth_usdc_pool());
+    }
+
+    #[test]
+    fn wrong_token_rejected() {
+        let p = weth_usdc_pool();
+        assert_eq!(
+            p.quote(Token::Dai, 100),
+            Err(AmmError::WrongToken(Token::Dai))
+        );
+        assert!(!p.trades(Token::Dai));
+        assert_eq!(p.other(Token::Weth), Some(Token::Usdc));
+        assert_eq!(p.other(Token::Dai), None);
+    }
+
+    #[test]
+    fn zero_swap_rejected() {
+        let p = weth_usdc_pool();
+        assert_eq!(p.quote(Token::Weth, 0), Err(AmmError::ZeroAmount));
+    }
+
+    #[test]
+    fn overflowing_swap_rejected() {
+        let p = Pool::new(1, Token::Weth, Token::Usdc, 10, 10);
+        assert_eq!(
+            p.quote(Token::Weth, u128::MAX / 2),
+            Err(AmmError::InsufficientLiquidity)
+        );
+    }
+
+    #[test]
+    fn pool_cannot_be_drained() {
+        // Even absurdly large (but non-overflowing) input leaves a reserve.
+        let mut p = Pool::new(1, Token::Weth, Token::Usdc, 10, 10);
+        let out = p.swap(Token::Weth, u64::MAX as u128, 0).unwrap();
+        assert!(out < 10);
+        assert!(p.reserve1 >= 1);
+    }
+
+    #[test]
+    fn swap_log_data_round_trips() {
+        let d = SwapLogData {
+            pool: 7,
+            token_in: Token::Weth,
+            token_out: Token::LongTail(3),
+            amount_in: 123_456_789,
+            amount_out: 987_654_321,
+        };
+        assert_eq!(SwapLogData::decode(&d.encode()), Some(d));
+        assert_eq!(SwapLogData::decode(&[0u8; 10]), None);
+    }
+
+    #[test]
+    fn swap_log_carries_sender_topic() {
+        let p = weth_usdc_pool();
+        let sender = Address::derive("trader");
+        let log = p.swap_log(
+            sender,
+            SwapLogData {
+                pool: p.id,
+                token_in: Token::Weth,
+                token_out: Token::Usdc,
+                amount_in: 1,
+                amount_out: 1,
+            },
+        );
+        assert_eq!(log.topics[0], Log::swap_topic());
+        assert_eq!(eth_types::log::unpad_address(&log.topics[1]), sender);
+        assert_eq!(log.address, p.contract());
+    }
+}

@@ -1,0 +1,359 @@
+//! The lending market.
+//!
+//! Borrowers post collateral in one token and draw debt in another. A
+//! position's *health factor* is `collateral_value × liquidation_threshold
+//! / debt_value`; once it drops below 1 (an oracle move), anyone may repay
+//! the debt and seize the collateral plus a bonus — the *liquidation* MEV
+//! the paper counts in Figure 22. Each liquidation emits an Aave-style
+//! `LiquidationCall` log.
+
+use crate::oracle::PriceOracle;
+use eth_types::{pad_address, Address, Log, Token};
+
+/// Fraction of collateral value that can back debt (e.g. 0.8 = 80% LTV cap,
+/// used here directly as the liquidation threshold).
+pub const LIQUIDATION_THRESHOLD: f64 = 0.80;
+
+/// Liquidator bonus on seized collateral (8%).
+pub const LIQUIDATION_BONUS: f64 = 0.08;
+
+/// Errors from market operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LendingError {
+    /// Unknown borrower.
+    NoPosition(Address),
+    /// Position is healthy; cannot liquidate.
+    Healthy {
+        /// Its current health factor.
+        health: f64,
+    },
+}
+
+impl std::fmt::Display for LendingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LendingError::NoPosition(a) => write!(f, "no position for {a}"),
+            LendingError::Healthy { health } => {
+                write!(f, "position healthy (health factor {health:.3})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LendingError {}
+
+/// A borrower's position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Position {
+    /// Borrower address.
+    pub borrower: Address,
+    /// Collateral token.
+    pub collateral_token: Token,
+    /// Collateral amount (smallest units).
+    pub collateral: u128,
+    /// Debt token.
+    pub debt_token: Token,
+    /// Debt amount (smallest units).
+    pub debt: u128,
+}
+
+impl Position {
+    /// Health factor at current oracle prices. `f64::INFINITY` with no debt.
+    pub fn health(&self, oracle: &PriceOracle) -> f64 {
+        let debt_value = oracle.value_usd(self.debt_token, self.debt);
+        if debt_value <= 0.0 {
+            return f64::INFINITY;
+        }
+        let collateral_value = oracle.value_usd(self.collateral_token, self.collateral);
+        collateral_value * LIQUIDATION_THRESHOLD / debt_value
+    }
+}
+
+/// Decoded payload of a `LiquidationCall` log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiquidationLogData {
+    /// Market id.
+    pub market: u32,
+    /// Debt repaid (smallest units of the debt token).
+    pub debt_repaid: u128,
+    /// Collateral seized (smallest units of the collateral token).
+    pub collateral_seized: u128,
+}
+
+impl LiquidationLogData {
+    /// Encodes into log `data` bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(36);
+        out.extend_from_slice(&self.market.to_be_bytes());
+        out.extend_from_slice(&self.debt_repaid.to_be_bytes());
+        out.extend_from_slice(&self.collateral_seized.to_be_bytes());
+        out
+    }
+
+    /// Decodes from log `data` bytes.
+    pub fn decode(data: &[u8]) -> Option<LiquidationLogData> {
+        if data.len() != 36 {
+            return None;
+        }
+        Some(LiquidationLogData {
+            market: u32::from_be_bytes(data[0..4].try_into().ok()?),
+            debt_repaid: u128::from_be_bytes(data[4..20].try_into().ok()?),
+            collateral_seized: u128::from_be_bytes(data[20..36].try_into().ok()?),
+        })
+    }
+}
+
+/// Outcome of a successful liquidation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiquidationOutcome {
+    /// The emitted `LiquidationCall` log.
+    pub log: Log,
+    /// Liquidator's profit expressed in USD (bonus value minus nothing —
+    /// gas is paid at the transaction layer).
+    pub profit_usd: f64,
+}
+
+/// A single-market lending protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LendingMarket {
+    /// Market id.
+    pub id: u32,
+    positions: Vec<Position>,
+}
+
+impl LendingMarket {
+    /// Creates an empty market.
+    pub fn new(id: u32) -> Self {
+        LendingMarket {
+            id,
+            positions: Vec::new(),
+        }
+    }
+
+    /// The market's deterministic contract address.
+    pub fn contract(&self) -> Address {
+        Address::derive(&format!("lending:{}", self.id))
+    }
+
+    /// Opens (or replaces) a borrower's position.
+    pub fn open_position(&mut self, position: Position) {
+        self.positions.retain(|p| p.borrower != position.borrower);
+        self.positions.push(position);
+    }
+
+    /// Looks up a borrower's position.
+    pub fn position(&self, borrower: Address) -> Option<&Position> {
+        self.positions.iter().find(|p| p.borrower == borrower)
+    }
+
+    /// Number of open positions.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True if the market has no positions.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// All borrowers whose health factor is below 1 — what liquidation bots
+    /// scan for after every oracle update.
+    pub fn liquidatable(&self, oracle: &PriceOracle) -> Vec<Address> {
+        self.positions
+            .iter()
+            .filter(|p| p.health(oracle) < 1.0)
+            .map(|p| p.borrower)
+            .collect()
+    }
+
+    /// Liquidates `borrower`: repays up to half the debt, seizes equivalent
+    /// collateral plus the bonus, closes the position if it empties.
+    pub fn liquidate(
+        &mut self,
+        liquidator: Address,
+        borrower: Address,
+        oracle: &PriceOracle,
+    ) -> Result<LiquidationOutcome, LendingError> {
+        let idx = self
+            .positions
+            .iter()
+            .position(|p| p.borrower == borrower)
+            .ok_or(LendingError::NoPosition(borrower))?;
+        let health = self.positions[idx].health(oracle);
+        if health >= 1.0 {
+            return Err(LendingError::Healthy { health });
+        }
+
+        let p = &mut self.positions[idx];
+        let repay = p.debt / 2 + p.debt % 2; // close factor 50%, round up
+        let repay_value = oracle.value_usd(p.debt_token, repay);
+        let seize_value = repay_value * (1.0 + LIQUIDATION_BONUS);
+        let collateral_price = oracle.price_usd(p.collateral_token);
+        let collateral_units = if collateral_price > 0.0 {
+            seize_value / collateral_price
+        } else {
+            0.0
+        };
+        let seize_raw = ((collateral_units
+            * 10f64.powi(p.collateral_token.decimals() as i32)) as u128)
+            .min(p.collateral);
+
+        p.debt -= repay;
+        p.collateral -= seize_raw;
+        let market = self.id;
+        let data = LiquidationLogData {
+            market,
+            debt_repaid: repay,
+            collateral_seized: seize_raw,
+        };
+        let log = Log {
+            address: self.contract(),
+            topics: vec![
+                Log::liquidation_topic(),
+                pad_address(liquidator),
+                pad_address(borrower),
+            ],
+            data: data.encode(),
+        };
+        let seized_value = oracle.value_usd(self.positions[idx].collateral_token, seize_raw);
+        if self.positions[idx].debt == 0 {
+            self.positions.remove(idx);
+        }
+        Ok(LiquidationOutcome {
+            log,
+            profit_usd: (seized_value - repay_value).max(0.0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle() -> PriceOracle {
+        PriceOracle::with_reference_prices(Token::MONITORED.into_iter())
+    }
+
+    fn healthy_position() -> Position {
+        // 10 WETH collateral (=15k USD) backing 10k USDC debt:
+        // health = 15000*0.8/10000 = 1.2.
+        Position {
+            borrower: Address::derive("borrower"),
+            collateral_token: Token::Weth,
+            collateral: 10 * 10u128.pow(18),
+            debt_token: Token::Usdc,
+            debt: 10_000 * 10u128.pow(6),
+        }
+    }
+
+    #[test]
+    fn health_factor_math() {
+        let p = healthy_position();
+        assert!((p.health(&oracle()) - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_debt_means_infinite_health() {
+        let mut p = healthy_position();
+        p.debt = 0;
+        assert_eq!(p.health(&oracle()), f64::INFINITY);
+    }
+
+    #[test]
+    fn healthy_position_cannot_be_liquidated() {
+        let mut m = LendingMarket::new(0);
+        m.open_position(healthy_position());
+        let o = oracle();
+        assert!(m.liquidatable(&o).is_empty());
+        let err = m
+            .liquidate(Address::derive("liq"), Address::derive("borrower"), &o)
+            .unwrap_err();
+        assert!(matches!(err, LendingError::Healthy { .. }));
+    }
+
+    #[test]
+    fn oracle_drop_makes_position_liquidatable() {
+        let mut m = LendingMarket::new(0);
+        m.open_position(healthy_position());
+        let mut o = oracle();
+        o.apply_move(Token::Weth, -0.25); // 1500 → 1125: health 0.9
+        let targets = m.liquidatable(&o);
+        assert_eq!(targets, vec![Address::derive("borrower")]);
+    }
+
+    #[test]
+    fn liquidation_repays_half_and_seizes_with_bonus() {
+        let mut m = LendingMarket::new(0);
+        m.open_position(healthy_position());
+        let mut o = oracle();
+        o.apply_move(Token::Weth, -0.25);
+        let out = m
+            .liquidate(Address::derive("liq"), Address::derive("borrower"), &o)
+            .unwrap();
+        // Repaid 5000 USDC; seized 5400 USD of WETH at 1125 → 4.8 WETH.
+        let data = LiquidationLogData::decode(&out.log.data).unwrap();
+        assert_eq!(data.debt_repaid, 5_000 * 10u128.pow(6));
+        let seized_weth = data.collateral_seized as f64 / 1e18;
+        assert!((seized_weth - 4.8).abs() < 0.001, "seized {seized_weth}");
+        assert!((out.profit_usd - 400.0).abs() < 1.0, "profit {}", out.profit_usd);
+        // Position remains with half debt.
+        let p = m.position(Address::derive("borrower")).unwrap();
+        assert_eq!(p.debt, 5_000 * 10u128.pow(6));
+    }
+
+    #[test]
+    fn liquidation_log_round_trips_and_names_parties() {
+        let mut m = LendingMarket::new(3);
+        m.open_position(healthy_position());
+        let mut o = oracle();
+        o.apply_move(Token::Weth, -0.30);
+        let out = m
+            .liquidate(Address::derive("liq"), Address::derive("borrower"), &o)
+            .unwrap();
+        assert_eq!(out.log.topics[0], Log::liquidation_topic());
+        assert_eq!(
+            eth_types::log::unpad_address(&out.log.topics[1]),
+            Address::derive("liq")
+        );
+        assert_eq!(
+            eth_types::log::unpad_address(&out.log.topics[2]),
+            Address::derive("borrower")
+        );
+        let d = LiquidationLogData::decode(&out.log.data).unwrap();
+        assert_eq!(d.market, 3);
+    }
+
+    #[test]
+    fn unknown_borrower_is_an_error() {
+        let mut m = LendingMarket::new(0);
+        let err = m
+            .liquidate(Address::derive("liq"), Address::derive("ghost"), &oracle())
+            .unwrap_err();
+        assert_eq!(err, LendingError::NoPosition(Address::derive("ghost")));
+    }
+
+    #[test]
+    fn reopening_replaces_position() {
+        let mut m = LendingMarket::new(0);
+        m.open_position(healthy_position());
+        let mut p2 = healthy_position();
+        p2.debt = 1;
+        m.open_position(p2);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.position(Address::derive("borrower")).unwrap().debt, 1);
+    }
+
+    #[test]
+    fn seize_is_capped_at_collateral() {
+        let mut m = LendingMarket::new(0);
+        let mut p = healthy_position();
+        p.collateral = 10u128.pow(17); // only 0.1 WETH
+        m.open_position(p);
+        let o = oracle(); // health way below 1 now
+        let out = m
+            .liquidate(Address::derive("liq"), Address::derive("borrower"), &o)
+            .unwrap();
+        let d = LiquidationLogData::decode(&out.log.data).unwrap();
+        assert!(d.collateral_seized <= 10u128.pow(17));
+    }
+}

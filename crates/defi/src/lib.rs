@@ -1,0 +1,26 @@
+//! DeFi substrate — the source of organic MEV (paper §2.1, §5.4).
+//!
+//! "DeFi refers to a collection of smart contracts … typically transaction
+//! order dependent," and that order dependence is where MEV comes from. The
+//! crate implements the three protocol families whose interactions the
+//! paper's MEV dataset labels:
+//!
+//! * [`amm`] — constant-product AMM pools (Uniswap-V2 math, 0.3% fee);
+//!   cross-pool price divergence creates *cyclic arbitrage*, and pending
+//!   user swaps create *sandwich* opportunities,
+//! * [`lending`] — an overcollateralized lending market whose positions
+//!   become liquidatable when the oracle moves (*liquidations*),
+//! * [`oracle`] — the price oracle driving collateral valuations,
+//! * [`world`] — the combined market state, wired into the execution layer
+//!   as its [`execution::EffectBackend`]: swaps, liquidations, and oracle
+//!   updates in blocks mutate this state and emit mainnet-shaped logs.
+
+pub mod amm;
+pub mod lending;
+pub mod oracle;
+pub mod world;
+
+pub use amm::{Pool, PoolId, SwapLogData, AMM_FEE_BPS};
+pub use lending::{LendingMarket, LiquidationLogData, Position};
+pub use oracle::PriceOracle;
+pub use world::DefiWorld;

@@ -1,0 +1,116 @@
+//! The price oracle.
+//!
+//! Lending positions are valued at oracle prices; "a position of a lending
+//! protocol becomes available for liquidation once the price oracle
+//! updates" (paper, Appendix D). Prices are kept in milli-USD per whole
+//! token so the oracle is exact-integer and deterministic.
+
+use eth_types::Token;
+use std::collections::BTreeMap;
+
+/// Token prices in milli-USD per whole token.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PriceOracle {
+    prices: BTreeMap<Token, u64>,
+}
+
+impl PriceOracle {
+    /// Creates an oracle seeded with each token's reference price.
+    pub fn with_reference_prices(tokens: impl Iterator<Item = Token>) -> Self {
+        let mut prices = BTreeMap::new();
+        for t in tokens {
+            prices.insert(t, (t.reference_usd() * 1000.0).round() as u64);
+        }
+        PriceOracle { prices }
+    }
+
+    /// Current price in milli-USD, `None` if the token is unlisted.
+    pub fn price_milli_usd(&self, token: Token) -> Option<u64> {
+        self.prices.get(&token).copied()
+    }
+
+    /// Current price in USD as f64 (0 if unlisted).
+    pub fn price_usd(&self, token: Token) -> f64 {
+        self.price_milli_usd(token).unwrap_or(0) as f64 / 1000.0
+    }
+
+    /// Sets a token's price.
+    pub fn set_price_milli_usd(&mut self, token: Token, price: u64) {
+        self.prices.insert(token, price);
+    }
+
+    /// Applies a relative move, e.g. `-0.05` for a 5% drop.
+    pub fn apply_move(&mut self, token: Token, fraction: f64) {
+        if let Some(p) = self.prices.get_mut(&token) {
+            let next = (*p as f64 * (1.0 + fraction)).max(0.0);
+            *p = next.round() as u64;
+        }
+    }
+
+    /// USD value of a raw token amount.
+    pub fn value_usd(&self, token: Token, raw: u128) -> f64 {
+        let units = raw as f64 / 10f64.powi(token.decimals() as i32);
+        units * self.price_usd(token)
+    }
+
+    /// Number of listed tokens.
+    pub fn len(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// True if nothing is listed.
+    pub fn is_empty(&self) -> bool {
+        self.prices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle() -> PriceOracle {
+        PriceOracle::with_reference_prices(Token::MONITORED.into_iter())
+    }
+
+    #[test]
+    fn reference_prices_seeded() {
+        let o = oracle();
+        assert_eq!(o.price_milli_usd(Token::Weth), Some(1_500_000));
+        assert_eq!(o.price_milli_usd(Token::Usdc), Some(1_000));
+        assert_eq!(o.price_usd(Token::Wbtc), 20_000.0);
+    }
+
+    #[test]
+    fn unlisted_token_has_no_price() {
+        let o = oracle();
+        assert_eq!(o.price_milli_usd(Token::LongTail(0)), None);
+        assert_eq!(o.price_usd(Token::LongTail(0)), 0.0);
+    }
+
+    #[test]
+    fn relative_moves_apply() {
+        let mut o = oracle();
+        o.apply_move(Token::Usdc, -0.12); // the depeg
+        assert_eq!(o.price_milli_usd(Token::Usdc), Some(880));
+        o.apply_move(Token::LongTail(5), 0.5); // unlisted: no-op
+        assert_eq!(o.price_milli_usd(Token::LongTail(5)), None);
+    }
+
+    #[test]
+    fn value_usd_respects_decimals() {
+        let o = oracle();
+        // 2 WETH = 3000 USD.
+        let v = o.value_usd(Token::Weth, 2 * 10u128.pow(18));
+        assert!((v - 3000.0).abs() < 1e-6);
+        // 500 USDC = 500 USD (6 decimals).
+        let v = o.value_usd(Token::Usdc, 500 * 10u128.pow(6));
+        assert!((v - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn price_never_goes_negative() {
+        let mut o = oracle();
+        o.apply_move(Token::Tron, -2.0);
+        assert_eq!(o.price_milli_usd(Token::Tron), Some(0));
+    }
+}

@@ -1,0 +1,341 @@
+//! The combined DeFi world, wired into the execution layer.
+//!
+//! Holds every pool, the lending market, and the oracle, and implements
+//! [`execution::EffectBackend`]: when the block executor encounters a
+//! `Swap`, `Liquidate`, or `OracleUpdate` effect it dispatches here, market
+//! state mutates, and the resulting logs/internal transfers flow back into
+//! the block's receipts and traces — the artifacts the MEV detectors read.
+
+use crate::amm::{Pool, PoolId, SwapLogData};
+use crate::lending::LendingMarket;
+use crate::oracle::PriceOracle;
+use eth_types::{Token, Transaction, TxEffect, Wei};
+use execution::{EffectBackend, EffectOutcome};
+
+/// All DeFi market state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefiWorld {
+    pools: Vec<Pool>,
+    market: LendingMarket,
+    oracle: PriceOracle,
+}
+
+impl DefiWorld {
+    /// Builds the standard world: a WETH/stable pool pair per stablecoin
+    /// (two pools per pair make cyclic arbitrage possible), a WETH/WBTC
+    /// pool, and `long_tail` thin WETH/long-tail pools.
+    pub fn standard(long_tail: u8) -> Self {
+        let mut pools = Vec::new();
+        let mut id: PoolId = 0;
+        let weth = 10u128.pow(18);
+        // Two venues per WETH/stable pair with slightly different depth.
+        for (stable, depth_eth) in [(Token::Usdc, 4000u128), (Token::Usdt, 2500), (Token::Dai, 2000)] {
+            for venue in 0..2u32 {
+                let depth = depth_eth * (10 - venue as u128) / 10;
+                let stable_units = depth * 1500 * 10u128.pow(stable.decimals() as u32);
+                pools.push(Pool::new(id, Token::Weth, stable, depth * weth, stable_units));
+                id += 1;
+            }
+        }
+        // WETH/WBTC (1 WBTC = 13.33 WETH at reference prices).
+        pools.push(Pool::new(
+            id,
+            Token::Weth,
+            Token::Wbtc,
+            2000 * weth,
+            150 * 10u128.pow(8),
+        ));
+        id += 1;
+        // Thin long-tail pools: 60 WETH a side (in USD terms).
+        for i in 0..long_tail {
+            let t = Token::LongTail(i);
+            let t_units =
+                (60.0 * 1500.0 / t.reference_usd() * 10f64.powi(t.decimals() as i32)) as u128;
+            pools.push(Pool::new(id, Token::Weth, t, 60 * weth, t_units));
+            id += 1;
+        }
+
+        let oracle = PriceOracle::with_reference_prices(
+            Token::MONITORED
+                .into_iter()
+                .chain((0..long_tail).map(Token::LongTail)),
+        );
+        DefiWorld {
+            pools,
+            market: LendingMarket::new(0),
+            oracle,
+        }
+    }
+
+    /// All pools.
+    pub fn pools(&self) -> &[Pool] {
+        &self.pools
+    }
+
+    /// A pool by id.
+    pub fn pool(&self, id: PoolId) -> Option<&Pool> {
+        self.pools.get(id as usize)
+    }
+
+    /// Mutable pool access (searcher simulation paths clone the world
+    /// instead; this is for scenario setup).
+    pub fn pool_mut(&mut self, id: PoolId) -> Option<&mut Pool> {
+        self.pools.get_mut(id as usize)
+    }
+
+    /// The lending market.
+    pub fn market(&self) -> &LendingMarket {
+        &self.market
+    }
+
+    /// Mutable lending market access (scenario setup: opening positions).
+    pub fn market_mut(&mut self) -> &mut LendingMarket {
+        &mut self.market
+    }
+
+    /// The oracle.
+    pub fn oracle(&self) -> &PriceOracle {
+        &self.oracle
+    }
+
+    /// Mutable oracle access (scenario-driven price paths).
+    pub fn oracle_mut(&mut self) -> &mut PriceOracle {
+        &mut self.oracle
+    }
+
+    /// Pools trading both given tokens.
+    pub fn pools_for_pair(&self, a: Token, b: Token) -> Vec<PoolId> {
+        self.pools
+            .iter()
+            .filter(|p| p.trades(a) && p.trades(b))
+            .map(|p| p.id)
+            .collect()
+    }
+
+    /// Converts a USD profit figure into wei at the oracle's WETH price.
+    pub fn usd_to_wei(&self, usd: f64) -> Wei {
+        let eth_price = self.oracle.price_usd(Token::Weth).max(1e-9);
+        Wei::from_eth((usd / eth_price).max(0.0))
+    }
+}
+
+impl EffectBackend for DefiWorld {
+    fn apply(&mut self, tx: &Transaction) -> EffectOutcome {
+        match &tx.effect {
+            TxEffect::Swap {
+                pool,
+                token_in,
+                token_out,
+                amount_in,
+                min_out,
+            } => {
+                let Some(p) = self.pools.get_mut(*pool as usize) else {
+                    return EffectOutcome::Reverted;
+                };
+                if p.other(*token_in) != Some(*token_out) {
+                    return EffectOutcome::Reverted;
+                }
+                match p.swap(*token_in, *amount_in, *min_out) {
+                    Ok(amount_out) => {
+                        let log = p.swap_log(
+                            tx.sender,
+                            SwapLogData {
+                                pool: p.id,
+                                token_in: *token_in,
+                                token_out: *token_out,
+                                amount_in: *amount_in,
+                                amount_out,
+                            },
+                        );
+                        EffectOutcome::Applied {
+                            logs: vec![log],
+                            transfers: Vec::new(),
+                        }
+                    }
+                    Err(_) => EffectOutcome::Reverted,
+                }
+            }
+            TxEffect::Liquidate { market: _, borrower } => {
+                match self.market.liquidate(tx.sender, *borrower, &self.oracle) {
+                    Ok(outcome) => {
+                        // The liquidation bonus flows to the liquidator as an
+                        // internal ETH transfer from the market contract.
+                        let bonus = self.usd_to_wei(outcome.profit_usd);
+                        let transfers = if bonus.is_zero() {
+                            Vec::new()
+                        } else {
+                            vec![(self.market.contract(), tx.sender, bonus)]
+                        };
+                        EffectOutcome::Applied {
+                            logs: vec![outcome.log],
+                            transfers,
+                        }
+                    }
+                    Err(_) => EffectOutcome::Reverted,
+                }
+            }
+            TxEffect::OracleUpdate {
+                token,
+                price_milli_usd,
+            } => {
+                self.oracle.set_price_milli_usd(*token, *price_milli_usd);
+                EffectOutcome::Applied {
+                    logs: Vec::new(),
+                    transfers: Vec::new(),
+                }
+            }
+            // Anything else is not a DeFi effect; the executor handles it.
+            _ => EffectOutcome::empty(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lending::Position;
+    use eth_types::{Address, GasPrice};
+
+    fn swap_tx(pool: PoolId, token_in: Token, token_out: Token, amount_in: u128, min_out: u128) -> Transaction {
+        let mut tx = Transaction::transfer(
+            Address::derive("trader"),
+            Address::derive("router"),
+            Wei::ZERO,
+            0,
+            GasPrice::from_gwei(1.0),
+            GasPrice::from_gwei(100.0),
+        );
+        tx.effect = TxEffect::Swap {
+            pool,
+            token_in,
+            token_out,
+            amount_in,
+            min_out,
+        };
+        tx.finalize()
+    }
+
+    #[test]
+    fn standard_world_has_expected_venues() {
+        let w = DefiWorld::standard(4);
+        // 6 stable venues + 1 WBTC + 4 long-tail.
+        assert_eq!(w.pools().len(), 11);
+        assert_eq!(w.pools_for_pair(Token::Weth, Token::Usdc).len(), 2);
+        assert_eq!(w.pools_for_pair(Token::Weth, Token::Wbtc).len(), 1);
+        assert_eq!(w.pools_for_pair(Token::Usdc, Token::Usdt).len(), 0);
+    }
+
+    #[test]
+    fn swap_effect_mutates_pool_and_logs() {
+        let mut w = DefiWorld::standard(0);
+        let before = w.pool(0).unwrap().reserve0;
+        let tx = swap_tx(0, Token::Weth, Token::Usdc, 10u128.pow(18), 0);
+        let out = w.apply(&tx);
+        let EffectOutcome::Applied { logs, transfers } = out else {
+            panic!("swap should apply");
+        };
+        assert_eq!(logs.len(), 1);
+        assert!(transfers.is_empty());
+        assert_eq!(w.pool(0).unwrap().reserve0, before + 10u128.pow(18));
+        let data = SwapLogData::decode(&logs[0].data).unwrap();
+        assert!(data.amount_out > 0);
+    }
+
+    #[test]
+    fn swap_with_bad_min_out_reverts_without_mutation() {
+        let mut w = DefiWorld::standard(0);
+        let snapshot = w.clone();
+        let tx = swap_tx(0, Token::Weth, Token::Usdc, 10u128.pow(18), u128::MAX);
+        assert_eq!(w.apply(&tx), EffectOutcome::Reverted);
+        assert_eq!(w, snapshot);
+    }
+
+    #[test]
+    fn swap_on_missing_pool_or_wrong_pair_reverts() {
+        let mut w = DefiWorld::standard(0);
+        let tx = swap_tx(999, Token::Weth, Token::Usdc, 1, 0);
+        assert_eq!(w.apply(&tx), EffectOutcome::Reverted);
+        let tx = swap_tx(0, Token::Weth, Token::Dai, 1, 0); // pool 0 is WETH/USDC
+        assert_eq!(w.apply(&tx), EffectOutcome::Reverted);
+    }
+
+    #[test]
+    fn oracle_update_effect_applies() {
+        let mut w = DefiWorld::standard(0);
+        let mut tx = swap_tx(0, Token::Weth, Token::Usdc, 1, 0);
+        tx.effect = TxEffect::OracleUpdate {
+            token: Token::Usdc,
+            price_milli_usd: 880,
+        };
+        let out = w.apply(&tx.finalize());
+        assert!(matches!(out, EffectOutcome::Applied { .. }));
+        assert_eq!(w.oracle().price_milli_usd(Token::Usdc), Some(880));
+    }
+
+    #[test]
+    fn liquidation_effect_pays_bonus_transfer() {
+        let mut w = DefiWorld::standard(0);
+        w.market_mut().open_position(Position {
+            borrower: Address::derive("victim"),
+            collateral_token: Token::Weth,
+            collateral: 10 * 10u128.pow(18),
+            debt_token: Token::Usdc,
+            debt: 10_000 * 10u128.pow(6),
+        });
+        w.oracle_mut().apply_move(Token::Weth, -0.30);
+
+        let mut tx = swap_tx(0, Token::Weth, Token::Usdc, 1, 0);
+        tx.sender = Address::derive("liquidator");
+        tx.effect = TxEffect::Liquidate {
+            market: 0,
+            borrower: Address::derive("victim"),
+        };
+        let out = w.apply(&tx.finalize());
+        let EffectOutcome::Applied { logs, transfers } = out else {
+            panic!("liquidation should apply");
+        };
+        assert_eq!(logs.len(), 1);
+        assert_eq!(transfers.len(), 1);
+        let (from, to, bonus) = transfers[0];
+        assert_eq!(from, w.market().contract());
+        assert_eq!(to, Address::derive("liquidator"));
+        assert!(bonus > Wei::ZERO);
+    }
+
+    #[test]
+    fn liquidating_healthy_position_reverts() {
+        let mut w = DefiWorld::standard(0);
+        w.market_mut().open_position(Position {
+            borrower: Address::derive("safe"),
+            collateral_token: Token::Weth,
+            collateral: 100 * 10u128.pow(18),
+            debt_token: Token::Usdc,
+            debt: 1_000 * 10u128.pow(6),
+        });
+        let mut tx = swap_tx(0, Token::Weth, Token::Usdc, 1, 0);
+        tx.effect = TxEffect::Liquidate {
+            market: 0,
+            borrower: Address::derive("safe"),
+        };
+        assert_eq!(w.apply(&tx.finalize()), EffectOutcome::Reverted);
+    }
+
+    #[test]
+    fn usd_conversion_uses_oracle() {
+        let w = DefiWorld::standard(0);
+        assert_eq!(w.usd_to_wei(1500.0), Wei::from_eth(1.0));
+    }
+
+    #[test]
+    fn two_venues_diverge_after_one_sided_flow() {
+        let mut w = DefiWorld::standard(0);
+        let [a, b] = w.pools_for_pair(Token::Weth, Token::Usdc)[..] else {
+            panic!("expected two venues");
+        };
+        // Push venue a's price away.
+        w.pool_mut(a).unwrap().swap(Token::Weth, 200 * 10u128.pow(18), 0).unwrap();
+        let pa = w.pool(a).unwrap().price0_in_1();
+        let pb = w.pool(b).unwrap().price0_in_1();
+        assert!((pa - pb).abs() / pb > 0.01, "venues should diverge: {pa} vs {pb}");
+    }
+}

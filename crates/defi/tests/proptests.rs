@@ -1,0 +1,125 @@
+//! Property tests for the DeFi substrate: lending health monotonicity,
+//! liquidation soundness, and oracle/world consistency.
+
+use defi::{DefiWorld, LendingMarket, LiquidationLogData, Position, PriceOracle};
+use eth_types::{Address, Token};
+use proptest::prelude::*;
+
+fn oracle() -> PriceOracle {
+    PriceOracle::with_reference_prices(Token::MONITORED.into_iter())
+}
+
+proptest! {
+    /// Health is monotone: more collateral or less debt never hurts.
+    #[test]
+    fn health_is_monotone(
+        collateral in 1u64..1_000,
+        debt in 1u64..1_000_000,
+        extra in 1u64..1_000,
+    ) {
+        let o = oracle();
+        let base = Position {
+            borrower: Address::derive("b"),
+            collateral_token: Token::Weth,
+            collateral: collateral as u128 * 10u128.pow(16),
+            debt_token: Token::Usdc,
+            debt: debt as u128 * 10u128.pow(6),
+        };
+        let mut richer = base.clone();
+        richer.collateral += extra as u128 * 10u128.pow(16);
+        let mut lighter = base.clone();
+        lighter.debt = lighter.debt.saturating_sub(extra as u128 * 10u128.pow(6)).max(1);
+        prop_assert!(richer.health(&o) >= base.health(&o));
+        prop_assert!(lighter.health(&o) >= base.health(&o));
+    }
+
+    /// A liquidation strictly reduces debt, seizes no more collateral than
+    /// exists, and its log round-trips.
+    #[test]
+    fn liquidation_is_sound(
+        collateral_weth in 1.0f64..50.0,
+        health_target in 0.3f64..0.99,
+    ) {
+        let o = oracle();
+        let weth_usd = o.price_usd(Token::Weth);
+        // Construct a position at exactly the target (unhealthy) health.
+        let debt_usd = collateral_weth * weth_usd * 0.80 / health_target;
+        let position = Position {
+            borrower: Address::derive("victim"),
+            collateral_token: Token::Weth,
+            collateral: (collateral_weth * 1e18) as u128,
+            debt_token: Token::Usdc,
+            debt: (debt_usd * 1e6) as u128,
+        };
+        let debt_before = position.debt;
+        let collateral_before = position.collateral;
+        prop_assume!(position.health(&o) < 1.0);
+
+        let mut market = LendingMarket::new(0);
+        market.open_position(position);
+        let out = market
+            .liquidate(Address::derive("liq"), Address::derive("victim"), &o)
+            .unwrap();
+        let data = LiquidationLogData::decode(&out.log.data).unwrap();
+        prop_assert!(data.debt_repaid > 0);
+        prop_assert!(data.debt_repaid <= debt_before);
+        prop_assert!(data.collateral_seized <= collateral_before);
+        prop_assert!(out.profit_usd >= 0.0);
+        if let Some(p) = market.position(Address::derive("victim")) {
+            prop_assert!(p.debt < debt_before);
+        }
+    }
+
+    /// Liquidatable-set membership matches the health predicate exactly.
+    #[test]
+    fn liquidatable_matches_health(
+        healths in proptest::collection::vec(0.5f64..2.0, 1..12)
+    ) {
+        let o = oracle();
+        let weth_usd = o.price_usd(Token::Weth);
+        let mut market = LendingMarket::new(0);
+        for (i, h) in healths.iter().enumerate() {
+            let collateral_weth = 10.0;
+            let debt_usd = collateral_weth * weth_usd * 0.80 / h;
+            market.open_position(Position {
+                borrower: Address::derive(&format!("b{i}")),
+                collateral_token: Token::Weth,
+                collateral: (collateral_weth * 1e18) as u128,
+                debt_token: Token::Usdc,
+                debt: (debt_usd * 1e6) as u128,
+            });
+        }
+        let flagged = market.liquidatable(&o);
+        for (i, _) in healths.iter().enumerate() {
+            let b = Address::derive(&format!("b{i}"));
+            let h = market.position(b).unwrap().health(&o);
+            prop_assert_eq!(flagged.contains(&b), h < 1.0, "health {}", h);
+        }
+    }
+
+    /// USD valuation scales linearly with amount for every token.
+    #[test]
+    fn value_usd_is_linear(raw in 1u64..10u64.pow(12), k in 2u32..10) {
+        let o = oracle();
+        for token in Token::MONITORED {
+            let v1 = o.value_usd(token, raw as u128);
+            let vk = o.value_usd(token, raw as u128 * k as u128);
+            prop_assert!((vk - v1 * k as f64).abs() <= v1 * k as f64 * 1e-9 + 1e-9);
+        }
+    }
+
+    /// World oracle moves never corrupt pool reserves.
+    #[test]
+    fn oracle_moves_leave_pools_intact(moves in proptest::collection::vec(-0.5f64..0.5, 1..20)) {
+        let mut world = DefiWorld::standard(2);
+        let reserves: Vec<(u128, u128)> =
+            world.pools().iter().map(|p| (p.reserve0, p.reserve1)).collect();
+        for m in moves {
+            world.oracle_mut().apply_move(Token::Weth, m);
+        }
+        for (pool, (r0, r1)) in world.pools().iter().zip(reserves) {
+            prop_assert_eq!(pool.reserve0, r0);
+            prop_assert_eq!(pool.reserve1, r1);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Execution-layer blocks: header, body (transactions, receipts, traces).
+//!
+//! The header carries the fields the paper's analyses key on: the
+//! `fee_recipient` (set by the block's creator — the builder under PBS,
+//! §2.2), gas used vs. the 15M target (Figure 13), the EIP-1559 base fee
+//! (Figure 3), and the slot/number/timestamp that anchor each block to the
+//! study calendar.
+
+use crate::log::Receipt;
+use crate::primitives::{Address, H256};
+use crate::time::{Slot, UnixTime};
+use crate::trace::TraceAction;
+use crate::tx::Transaction;
+use crate::units::{Gas, GasPrice};
+use serde::{Deserialize, Serialize};
+
+/// An execution-layer block header.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct BlockHeader {
+    /// Execution block number.
+    pub number: u64,
+    /// Beacon slot in which the block was proposed.
+    pub slot: Slot,
+    /// Hash of the parent block.
+    pub parent_hash: H256,
+    /// This block's hash.
+    pub hash: H256,
+    /// Wall-clock timestamp.
+    pub timestamp: UnixTime,
+    /// The transaction-fee recipient chosen by the block's creator.
+    /// Under PBS this is the *builder's* address; for locally-built blocks
+    /// it is the proposer's own fee recipient.
+    pub fee_recipient: Address,
+    /// Block gas limit.
+    pub gas_limit: Gas,
+    /// Total gas consumed by the block's transactions.
+    pub gas_used: Gas,
+    /// EIP-1559 base fee per gas for this block.
+    pub base_fee: GasPrice,
+    /// Commitment to the ordered transaction list (hash of all tx hashes).
+    pub tx_root: H256,
+}
+
+impl BlockHeader {
+    /// Computes the transaction-list commitment for an ordered tx slice.
+    pub fn tx_root_of(txs: &[Transaction]) -> H256 {
+        let mut buf = Vec::with_capacity(32 * txs.len());
+        for tx in txs {
+            buf.extend_from_slice(&tx.hash.0);
+        }
+        H256::of(&buf)
+    }
+}
+
+impl BlockHeader {
+    /// Computes the content hash for this header (with `hash` zeroed).
+    pub fn compute_hash(&self) -> H256 {
+        let mut buf = Vec::with_capacity(96);
+        buf.extend_from_slice(&self.number.to_be_bytes());
+        buf.extend_from_slice(&self.slot.0.to_be_bytes());
+        buf.extend_from_slice(&self.parent_hash.0);
+        buf.extend_from_slice(&self.fee_recipient.0);
+        buf.extend_from_slice(&self.gas_used.0.to_be_bytes());
+        buf.extend_from_slice(&self.base_fee.0.to_be_bytes());
+        buf.extend_from_slice(&self.timestamp.0.to_be_bytes());
+        buf.extend_from_slice(&self.tx_root.0);
+        H256::of(&buf)
+    }
+
+    /// Gas utilisation relative to the limit, in `[0, 1]`.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.gas_limit.0 == 0 {
+            return 0.0;
+        }
+        self.gas_used.0 as f64 / self.gas_limit.0 as f64
+    }
+}
+
+/// The block body: ordered transactions plus their execution artifacts.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct BlockBody {
+    /// Transactions in execution order.
+    pub transactions: Vec<Transaction>,
+    /// One receipt per transaction, same order.
+    pub receipts: Vec<Receipt>,
+    /// All internal transfers observed while executing the block.
+    pub traces: Vec<TraceAction>,
+}
+
+/// A full execution-layer block.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Block {
+    /// Header.
+    pub header: BlockHeader,
+    /// Body.
+    pub body: BlockBody,
+}
+
+impl Block {
+    /// Number of transactions.
+    pub fn tx_count(&self) -> usize {
+        self.body.transactions.len()
+    }
+
+    /// The final transaction — under the PBS convention, the builder's
+    /// payment to the proposer (§2.2: "In the block's last transaction, the
+    /// builder address transfers ETH to the proposer's fee recipient").
+    pub fn last_tx(&self) -> Option<&Transaction> {
+        self.body.transactions.last()
+    }
+
+    /// Iterates over `(transaction, receipt)` pairs.
+    pub fn txs_with_receipts(&self) -> impl Iterator<Item = (&Transaction, &Receipt)> {
+        self.body.transactions.iter().zip(self.body.receipts.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Wei;
+
+    fn header() -> BlockHeader {
+        BlockHeader {
+            number: 15_537_394,
+            slot: Slot(0),
+            parent_hash: H256::derive("parent"),
+            hash: H256::ZERO,
+            timestamp: UnixTime(1_663_224_179),
+            fee_recipient: Address::derive("builder"),
+            gas_limit: Gas::BLOCK_LIMIT,
+            gas_used: Gas(15_000_000),
+            base_fee: GasPrice::from_gwei(14.0),
+            tx_root: H256::ZERO,
+        }
+    }
+
+    #[test]
+    fn hash_changes_with_content() {
+        let h1 = header().compute_hash();
+        let mut h = header();
+        h.gas_used = Gas(15_000_001);
+        assert_ne!(h1, h.compute_hash());
+    }
+
+    #[test]
+    fn fill_ratio_at_target_is_half() {
+        let h = header();
+        assert!((h.fill_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fill_ratio_handles_zero_limit() {
+        let mut h = header();
+        h.gas_limit = Gas::ZERO;
+        assert_eq!(h.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn last_tx_is_none_for_empty_block() {
+        let b = Block {
+            header: header(),
+            body: BlockBody::default(),
+        };
+        assert!(b.last_tx().is_none());
+        assert_eq!(b.tx_count(), 0);
+    }
+
+    #[test]
+    fn last_tx_returns_final_transaction() {
+        let t1 = Transaction::transfer(
+            Address::derive("a"),
+            Address::derive("b"),
+            Wei::from_eth(1.0),
+            0,
+            GasPrice::from_gwei(1.0),
+            GasPrice::from_gwei(30.0),
+        );
+        let t2 = Transaction::transfer(
+            Address::derive("builder"),
+            Address::derive("proposer"),
+            Wei::from_eth(0.08),
+            9,
+            GasPrice::ZERO,
+            GasPrice::from_gwei(30.0),
+        );
+        let b = Block {
+            header: header(),
+            body: BlockBody {
+                transactions: vec![t1, t2.clone()],
+                receipts: vec![],
+                traces: vec![],
+            },
+        };
+        assert_eq!(b.last_tx(), Some(&t2));
+    }
+}

@@ -1,0 +1,422 @@
+//! A compact, deterministic binary codec for wire messages and hashing.
+//!
+//! Relay APIs and gossip payloads need a canonical byte representation:
+//! the same value must always encode to the same bytes so hashes and
+//! signatures are stable. This module provides a minimal length-prefixed
+//! big-endian codec over [`bytes`] buffers — deliberately simpler than RLP
+//! or SSZ, but with the same canonical-form property.
+//!
+//! Varints are used for lengths and small integers: 7 bits per byte, MSB as
+//! the continuation flag, canonical (no redundant trailing zero groups).
+
+use crate::primitives::{Address, BlsPublicKey, H256};
+use crate::time::Slot;
+use crate::units::{Gas, GasPrice, Wei};
+use crate::EthTypesError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Serializes values into a growable buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an LEB128-style varint.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.put_u8(byte);
+                return;
+            }
+            self.buf.put_u8(byte | 0x80);
+        }
+    }
+
+    /// Appends a fixed-width big-endian u128.
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends raw bytes with a varint length prefix.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_varint(v.len() as u64);
+        self.buf.put_slice(v);
+    }
+
+    /// Appends fixed-size raw bytes with no length prefix.
+    pub fn put_fixed(&mut self, v: &[u8]) {
+        self.buf.put_slice(v);
+    }
+
+    /// Finishes encoding and returns the frozen buffer.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Deserializes values from a byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Decoder<'a> {
+    /// Wraps a byte slice for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf }
+    }
+
+    /// Reads a varint.
+    pub fn get_varint(&mut self) -> Result<u64, EthTypesError> {
+        let mut out = 0u64;
+        let mut shift = 0u32;
+        loop {
+            if !self.buf.has_remaining() {
+                return Err(EthTypesError::UnexpectedEof);
+            }
+            let byte = self.buf.get_u8();
+            out |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(EthTypesError::BadTag(byte));
+            }
+        }
+    }
+
+    /// Reads a fixed-width big-endian u128.
+    pub fn get_u128(&mut self) -> Result<u128, EthTypesError> {
+        if self.buf.remaining() < 16 {
+            return Err(EthTypesError::UnexpectedEof);
+        }
+        Ok(self.buf.get_u128())
+    }
+
+    /// Reads a varint-length-prefixed byte vector.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, EthTypesError> {
+        let len = self.get_varint()? as usize;
+        if self.buf.remaining() < len {
+            return Err(EthTypesError::UnexpectedEof);
+        }
+        let mut out = vec![0u8; len];
+        self.buf.copy_to_slice(&mut out);
+        Ok(out)
+    }
+
+    /// Reads exactly `N` bytes.
+    pub fn get_fixed<const N: usize>(&mut self) -> Result<[u8; N], EthTypesError> {
+        if self.buf.remaining() < N {
+            return Err(EthTypesError::UnexpectedEof);
+        }
+        let mut out = [0u8; N];
+        self.buf.copy_to_slice(&mut out);
+        Ok(out)
+    }
+
+    /// Bytes left to decode.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+}
+
+/// Types with a canonical binary encoding.
+pub trait Encodable {
+    /// Appends this value's canonical encoding to `enc`.
+    fn encode(&self, enc: &mut Encoder);
+
+    /// Convenience: encodes into a fresh buffer.
+    fn encoded(&self) -> Bytes {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.finish()
+    }
+
+    /// Keccak-256 of the canonical encoding.
+    fn canonical_hash(&self) -> H256 {
+        H256::of(&self.encoded())
+    }
+}
+
+/// Types decodable from their canonical encoding.
+pub trait Decodable: Sized {
+    /// Reads one value from `dec`.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, EthTypesError>;
+
+    /// Convenience: decodes a full buffer (trailing bytes are an error
+    /// surfaced as `BadTag(0xff)` to keep the error enum small).
+    fn decoded(data: &[u8]) -> Result<Self, EthTypesError> {
+        let mut dec = Decoder::new(data);
+        let v = Self::decode(&mut dec)?;
+        if dec.remaining() != 0 {
+            return Err(EthTypesError::BadTag(0xff));
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! impl_varint_codec {
+    ($($t:ty),*) => {$(
+        impl Encodable for $t {
+            fn encode(&self, enc: &mut Encoder) {
+                enc.put_varint(*self as u64);
+            }
+        }
+        impl Decodable for $t {
+            fn decode(dec: &mut Decoder<'_>) -> Result<Self, EthTypesError> {
+                Ok(dec.get_varint()? as $t)
+            }
+        }
+    )*};
+}
+impl_varint_codec!(u8, u16, u32, u64);
+
+impl Encodable for u128 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u128(*self);
+    }
+}
+impl Decodable for u128 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, EthTypesError> {
+        dec.get_u128()
+    }
+}
+
+impl Encodable for Address {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_fixed(&self.0);
+    }
+}
+impl Decodable for Address {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, EthTypesError> {
+        Ok(Address(dec.get_fixed::<20>()?))
+    }
+}
+
+impl Encodable for H256 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_fixed(&self.0);
+    }
+}
+impl Decodable for H256 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, EthTypesError> {
+        Ok(H256(dec.get_fixed::<32>()?))
+    }
+}
+
+impl Encodable for BlsPublicKey {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_fixed(&self.0);
+    }
+}
+impl Decodable for BlsPublicKey {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, EthTypesError> {
+        Ok(BlsPublicKey(dec.get_fixed::<48>()?))
+    }
+}
+
+impl Encodable for Wei {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u128(self.0);
+    }
+}
+impl Decodable for Wei {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, EthTypesError> {
+        Ok(Wei(dec.get_u128()?))
+    }
+}
+
+impl Encodable for GasPrice {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u128(self.0);
+    }
+}
+impl Decodable for GasPrice {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, EthTypesError> {
+        Ok(GasPrice(dec.get_u128()?))
+    }
+}
+
+impl Encodable for Gas {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_varint(self.0);
+    }
+}
+impl Decodable for Gas {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, EthTypesError> {
+        Ok(Gas(dec.get_varint()?))
+    }
+}
+
+impl Encodable for Slot {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_varint(self.0);
+    }
+}
+impl Decodable for Slot {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, EthTypesError> {
+        Ok(Slot(dec.get_varint()?))
+    }
+}
+
+impl Encodable for String {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bytes(self.as_bytes());
+    }
+}
+impl Decodable for String {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, EthTypesError> {
+        let bytes = dec.get_bytes()?;
+        String::from_utf8(bytes).map_err(|_| EthTypesError::BadTag(0xfe))
+    }
+}
+
+impl<T: Encodable> Encodable for Vec<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_varint(self.len() as u64);
+        for item in self {
+            item.encode(enc);
+        }
+    }
+}
+impl<T: Decodable> Decodable for Vec<T> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, EthTypesError> {
+        let len = dec.get_varint()? as usize;
+        // Guard against absurd lengths from corrupt input.
+        if len > dec.remaining() {
+            return Err(EthTypesError::UnexpectedEof);
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encodable> Encodable for Option<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            None => enc.put_varint(0),
+            Some(v) => {
+                enc.put_varint(1);
+                v.encode(enc);
+            }
+        }
+    }
+}
+impl<T: Decodable> Decodable for Option<T> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, EthTypesError> {
+        match dec.get_varint()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(dec)?)),
+            t => Err(EthTypesError::BadTag(t as u8)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Encodable + Decodable + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.encoded();
+        assert_eq!(T::decoded(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn varint_round_trips_across_widths() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            round_trip(v);
+        }
+    }
+
+    #[test]
+    fn varint_is_minimal_for_small_values() {
+        assert_eq!(5u64.encoded().len(), 1);
+        assert_eq!(127u64.encoded().len(), 1);
+        assert_eq!(128u64.encoded().len(), 2);
+    }
+
+    #[test]
+    fn fixed_types_round_trip() {
+        round_trip(Address::derive("codec"));
+        round_trip(H256::derive("codec"));
+        round_trip(BlsPublicKey::derive("codec"));
+        round_trip(Wei::from_eth(12.5));
+        round_trip(Gas(21_000));
+        round_trip(GasPrice::from_gwei(33.3));
+        round_trip(Slot(98_765));
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        round_trip(vec![Slot(1), Slot(2), Slot(3)]);
+        round_trip(Vec::<Wei>::new());
+        round_trip(Some(Wei::from_eth(1.0)));
+        round_trip(Option::<Wei>::None);
+        round_trip("relay.ultrasound.money".to_string());
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let bytes = Address::derive("x").encoded();
+        assert_eq!(
+            Address::decoded(&bytes[..10]),
+            Err(EthTypesError::UnexpectedEof)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = Slot(5).encoded().to_vec();
+        bytes.push(0);
+        assert!(Slot::decoded(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupt_vec_length_does_not_allocate_absurdly() {
+        // Claim a billion elements with only 2 bytes of payload.
+        let mut enc = Encoder::new();
+        enc.put_varint(1_000_000_000);
+        enc.put_varint(7);
+        let bytes = enc.finish();
+        assert_eq!(
+            Vec::<u64>::decoded(&bytes),
+            Err(EthTypesError::UnexpectedEof)
+        );
+    }
+
+    #[test]
+    fn canonical_hash_is_stable() {
+        let a = Address::derive("h");
+        assert_eq!(a.canonical_hash(), a.canonical_hash());
+        assert_ne!(a.canonical_hash(), Address::derive("h2").canonical_hash());
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        let bytes = [0xffu8; 11];
+        let mut dec = Decoder::new(&bytes);
+        assert!(dec.get_varint().is_err());
+    }
+}

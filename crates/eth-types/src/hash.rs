@@ -1,0 +1,201 @@
+//! Keccak-256 implemented from scratch.
+//!
+//! Ethereum identifies everything — transactions, blocks, log topics,
+//! addresses — by Keccak-256 digests, so the reproduction implements the
+//! permutation directly rather than pulling in a cryptography dependency.
+//! This is the original Keccak padding (`0x01`), not NIST SHA-3 (`0x06`),
+//! matching Ethereum's usage.
+//!
+//! Verified against the well-known test vectors in the unit tests below.
+
+const RC: [u64; 24] = [
+    0x0000000000000001,
+    0x0000000000008082,
+    0x800000000000808a,
+    0x8000000080008000,
+    0x000000000000808b,
+    0x0000000080000001,
+    0x8000000080008081,
+    0x8000000000008009,
+    0x000000000000008a,
+    0x0000000000000088,
+    0x0000000080008009,
+    0x000000008000000a,
+    0x000000008000808b,
+    0x800000000000008b,
+    0x8000000000008089,
+    0x8000000000008003,
+    0x8000000000008002,
+    0x8000000000000080,
+    0x000000000000800a,
+    0x800000008000000a,
+    0x8000000080008081,
+    0x8000000000008080,
+    0x0000000080000001,
+    0x8000000080008008,
+];
+
+const RHO: [u32; 24] = [
+    1, 3, 6, 10, 15, 21, 28, 36, 45, 55, 2, 14, 27, 41, 56, 8, 25, 43, 62, 18, 39, 61, 20, 44,
+];
+
+const PI: [usize; 24] = [
+    10, 7, 11, 17, 18, 3, 5, 16, 8, 21, 24, 4, 15, 23, 19, 13, 12, 2, 20, 14, 22, 9, 6, 1,
+];
+
+/// The Keccak-f[1600] permutation applied in place to the 25-lane state.
+fn keccak_f1600(state: &mut [u64; 25]) {
+    for rc in RC {
+        // θ step
+        let mut c = [0u64; 5];
+        for (x, cx) in c.iter_mut().enumerate() {
+            *cx = state[x] ^ state[x + 5] ^ state[x + 10] ^ state[x + 15] ^ state[x + 20];
+        }
+        for x in 0..5 {
+            let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+            for y in 0..5 {
+                state[x + 5 * y] ^= d;
+            }
+        }
+        // ρ and π steps
+        let mut last = state[1];
+        for i in 0..24 {
+            let tmp = state[PI[i]];
+            state[PI[i]] = last.rotate_left(RHO[i]);
+            last = tmp;
+        }
+        // χ step
+        for y in 0..5 {
+            let row = [
+                state[5 * y],
+                state[5 * y + 1],
+                state[5 * y + 2],
+                state[5 * y + 3],
+                state[5 * y + 4],
+            ];
+            for x in 0..5 {
+                state[5 * y + x] = row[x] ^ (!row[(x + 1) % 5] & row[(x + 2) % 5]);
+            }
+        }
+        // ι step
+        state[0] ^= rc;
+    }
+}
+
+/// Computes the Keccak-256 digest of `data`.
+///
+/// ```
+/// use eth_types::hash::keccak256;
+/// // Keccak-256 of the empty string.
+/// assert_eq!(
+///     hex(&keccak256(b"")),
+///     "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+/// );
+/// fn hex(b: &[u8]) -> String { b.iter().map(|x| format!("{x:02x}")).collect() }
+/// ```
+pub fn keccak256(data: &[u8]) -> [u8; 32] {
+    const RATE: usize = 136; // 1088-bit rate for 256-bit output
+    let mut state = [0u64; 25];
+
+    // Absorb full rate-sized chunks.
+    let mut chunks = data.chunks_exact(RATE);
+    for chunk in &mut chunks {
+        absorb(&mut state, chunk);
+        keccak_f1600(&mut state);
+    }
+
+    // Pad the final (possibly empty) partial block: Keccak pad10*1 with 0x01.
+    let rem = chunks.remainder();
+    let mut last = [0u8; RATE];
+    last[..rem.len()].copy_from_slice(rem);
+    last[rem.len()] ^= 0x01;
+    last[RATE - 1] ^= 0x80;
+    absorb(&mut state, &last);
+    keccak_f1600(&mut state);
+
+    // Squeeze 32 bytes.
+    let mut out = [0u8; 32];
+    for (i, word) in state.iter().take(4).enumerate() {
+        out[8 * i..8 * i + 8].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+fn absorb(state: &mut [u64; 25], block: &[u8]) {
+    debug_assert_eq!(block.len() % 8, 0);
+    for (i, lane) in block.chunks_exact(8).enumerate() {
+        state[i] ^= u64::from_le_bytes(lane.try_into().expect("8-byte chunk"));
+    }
+}
+
+/// Convenience: Keccak-256 of the concatenation of two byte slices, used for
+/// domain-separated derivations without allocating.
+pub fn keccak256_concat(a: &[u8], b: &[u8]) -> [u8; 32] {
+    let mut buf = Vec::with_capacity(a.len() + b.len());
+    buf.extend_from_slice(a);
+    buf.extend_from_slice(b);
+    keccak256(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn empty_string_vector() {
+        assert_eq!(
+            hex(&keccak256(b"")),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            hex(&keccak256(b"abc")),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+    }
+
+    #[test]
+    fn erc20_transfer_topic_vector() {
+        // The canonical ERC-20 Transfer event topic, ubiquitous on Ethereum.
+        assert_eq!(
+            hex(&keccak256(b"Transfer(address,address,uint256)")),
+            "ddf252ad1be2c89b69c2b068fc378daa952ba7f163c4a11628f55a4df523b3ef"
+        );
+    }
+
+    #[test]
+    fn long_input_spans_multiple_blocks() {
+        // 500 bytes forces multiple absorb rounds; check determinism and
+        // sensitivity to a single flipped byte.
+        let data = vec![0xabu8; 500];
+        let d1 = keccak256(&data);
+        let mut data2 = data.clone();
+        data2[499] ^= 1;
+        let d2 = keccak256(&data2);
+        assert_ne!(d1, d2);
+        assert_eq!(d1, keccak256(&data));
+    }
+
+    #[test]
+    fn rate_boundary_inputs() {
+        // Exactly one rate block (136 bytes) and one byte either side.
+        for len in [135usize, 136, 137, 272] {
+            let data = vec![0x5au8; len];
+            let d = keccak256(&data);
+            assert_eq!(d, keccak256(&data), "len {len} must be deterministic");
+        }
+    }
+
+    #[test]
+    fn concat_matches_manual_concatenation() {
+        let joined = [b"hello ".as_slice(), b"world".as_slice()].concat();
+        assert_eq!(keccak256_concat(b"hello ", b"world"), keccak256(&joined));
+    }
+}

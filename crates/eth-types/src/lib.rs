@@ -1,0 +1,83 @@
+//! Ethereum primitives for the PBS reproduction study.
+//!
+//! This crate provides the foundational data model shared by every other
+//! crate in the workspace: 160-bit addresses, 256-bit hashes, BLS public
+//! keys, wei/gas arithmetic, beacon-chain time (slots, epochs, the study
+//! calendar), and the execution-layer artifacts the measurement pipeline
+//! consumes — transactions, receipts, logs, traces, and blocks.
+//!
+//! The types mirror the schemas an Erigon archive node exposes, because the
+//! paper's analyses are computed from exactly those artifacts. Everything is
+//! plain data: no I/O, no global state, fully deterministic.
+//!
+//! # Example
+//!
+//! ```
+//! use eth_types::{Address, Wei, Slot, StudyCalendar};
+//!
+//! let addr = Address::derive("builder:flashbots");
+//! assert_eq!(addr, Address::derive("builder:flashbots"));
+//!
+//! let one_eth = Wei::from_eth(1.0);
+//! assert_eq!(one_eth.as_eth(), 1.0);
+//!
+//! let cal = StudyCalendar::paper();
+//! assert_eq!(cal.num_days(), 198);
+//! ```
+
+pub mod block;
+pub mod codec;
+pub mod hash;
+pub mod log;
+pub mod primitives;
+pub mod time;
+pub mod token;
+pub mod trace;
+pub mod tx;
+pub mod units;
+
+pub use block::{Block, BlockBody, BlockHeader};
+pub use codec::{Decodable, Decoder, Encodable, Encoder};
+pub use hash::keccak256;
+pub use log::{pad_address, unpad_address, Log, Receipt, TxStatus};
+pub use primitives::{Address, BlsPublicKey, H256};
+pub use time::{
+    DayIndex, Epoch, Slot, StudyCalendar, UnixTime, SECONDS_PER_SLOT, SLOTS_PER_EPOCH,
+};
+pub use token::{Token, TokenAmount, TokenRegistry};
+pub use trace::{TraceAction, TraceKind};
+pub use tx::{Transaction, TxEffect, TxHash, TxPrivacy};
+pub use units::{Gas, GasPrice, Wei};
+
+/// Errors produced by primitive parsing and codec routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EthTypesError {
+    /// A hex string had the wrong length for the target type.
+    BadHexLength {
+        /// expected number of hex characters (without `0x`)
+        expected: usize,
+        /// actual number found
+        found: usize,
+    },
+    /// A hex string contained a non-hex character.
+    BadHexDigit(char),
+    /// The codec ran out of bytes while decoding.
+    UnexpectedEof,
+    /// A decoded tag byte did not correspond to any known variant.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for EthTypesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadHexLength { expected, found } => {
+                write!(f, "bad hex length: expected {expected} digits, found {found}")
+            }
+            Self::BadHexDigit(c) => write!(f, "bad hex digit: {c:?}"),
+            Self::UnexpectedEof => write!(f, "unexpected end of input while decoding"),
+            Self::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for EthTypesError {}

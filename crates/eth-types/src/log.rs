@@ -1,0 +1,196 @@
+//! Event logs and receipts — the artifacts the paper's MEV detectors and
+//! censorship scan read (§3.1: "The scripts detect MEV by analyzing the
+//! logs that are triggered by events defined within the smart contracts").
+
+use crate::primitives::{Address, H256};
+use crate::token::TokenAmount;
+use crate::tx::TxHash;
+use crate::units::{Gas, GasPrice};
+use serde::{Deserialize, Serialize};
+
+/// A contract event log.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Log {
+    /// Contract that emitted the event.
+    pub address: Address,
+    /// Indexed topics; `topics[0]` is the event signature hash.
+    pub topics: Vec<H256>,
+    /// ABI-encoded (here: raw big-endian) data payload.
+    pub data: Vec<u8>,
+}
+
+impl Log {
+    /// The canonical ERC-20 `Transfer(address,address,uint256)` topic.
+    pub fn erc20_transfer_topic() -> H256 {
+        H256::of(b"Transfer(address,address,uint256)")
+    }
+
+    /// The Uniswap-V2-style `Swap(...)` topic used by the AMM substrate.
+    pub fn swap_topic() -> H256 {
+        H256::of(b"Swap(address,uint256,uint256,uint256,uint256,address)")
+    }
+
+    /// The Aave-style `LiquidationCall(...)` topic used by the lending
+    /// substrate.
+    pub fn liquidation_topic() -> H256 {
+        H256::of(b"LiquidationCall(address,address,address,uint256,uint256,address,bool)")
+    }
+
+    /// Builds an ERC-20 `Transfer` log: topics are the signature and the
+    /// zero-padded `from`/`to` addresses; data is the raw amount.
+    pub fn erc20_transfer(amount: &TokenAmount, from: Address, to: Address) -> Log {
+        Log {
+            address: amount.token.contract(),
+            topics: vec![
+                Self::erc20_transfer_topic(),
+                pad_address(from),
+                pad_address(to),
+            ],
+            data: amount.raw.to_be_bytes().to_vec(),
+        }
+    }
+
+    /// True if this is an ERC-20 `Transfer` event.
+    pub fn is_erc20_transfer(&self) -> bool {
+        self.topics.first() == Some(&Self::erc20_transfer_topic())
+    }
+
+    /// For an ERC-20 `Transfer` log, decodes `(from, to, raw_amount)`.
+    pub fn decode_erc20_transfer(&self) -> Option<(Address, Address, u128)> {
+        if !self.is_erc20_transfer() || self.topics.len() != 3 || self.data.len() != 16 {
+            return None;
+        }
+        let from = unpad_address(&self.topics[1]);
+        let to = unpad_address(&self.topics[2]);
+        let raw = u128::from_be_bytes(self.data.as_slice().try_into().ok()?);
+        Some((from, to, raw))
+    }
+}
+
+/// Left-pads a 20-byte address into a 32-byte topic, as Solidity does.
+pub fn pad_address(a: Address) -> H256 {
+    let mut out = [0u8; 32];
+    out[12..].copy_from_slice(&a.0);
+    H256(out)
+}
+
+/// Extracts the trailing 20 bytes of a topic as an address.
+pub fn unpad_address(h: &H256) -> Address {
+    let mut out = [0u8; 20];
+    out.copy_from_slice(&h.0[12..]);
+    Address(out)
+}
+
+/// Execution outcome of a transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum TxStatus {
+    /// Executed successfully.
+    Success,
+    /// Reverted (e.g. a swap's `min_out` could not be met). Gas is still
+    /// consumed and fees still paid.
+    Reverted,
+}
+
+/// A transaction receipt, mirroring `eth_getTransactionReceipt`.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Receipt {
+    /// Hash of the transaction this receipt belongs to.
+    pub tx_hash: TxHash,
+    /// Position of the transaction in its block.
+    pub tx_index: u32,
+    /// Success or revert.
+    pub status: TxStatus,
+    /// Gas actually consumed.
+    pub gas_used: Gas,
+    /// The realized per-gas price (base fee + effective tip).
+    pub effective_gas_price: GasPrice,
+    /// Logs emitted during execution (empty on revert).
+    pub logs: Vec<Log>,
+}
+
+impl Receipt {
+    /// True if the transaction succeeded.
+    pub fn ok(&self) -> bool {
+        self.status == TxStatus::Success
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Token;
+
+    #[test]
+    fn transfer_topic_matches_known_keccak() {
+        let t = Log::erc20_transfer_topic();
+        assert_eq!(
+            format!("{t}"),
+            "0xddf252ad1be2c89b69c2b068fc378daa952ba7f163c4a11628f55a4df523b3ef"
+        );
+    }
+
+    #[test]
+    fn pad_unpad_round_trip() {
+        let a = Address::derive("padded");
+        assert_eq!(unpad_address(&pad_address(a)), a);
+        // Leading 12 bytes must be zero.
+        assert_eq!(&pad_address(a).0[..12], &[0u8; 12]);
+    }
+
+    #[test]
+    fn erc20_transfer_log_round_trip() {
+        let from = Address::derive("from");
+        let to = Address::derive("to");
+        let amount = TokenAmount::from_units(Token::Usdc, 1234.5);
+        let log = Log::erc20_transfer(&amount, from, to);
+        assert!(log.is_erc20_transfer());
+        assert_eq!(log.address, Token::Usdc.contract());
+        assert_eq!(log.decode_erc20_transfer(), Some((from, to, amount.raw)));
+    }
+
+    #[test]
+    fn decode_rejects_non_transfer_logs() {
+        let log = Log {
+            address: Address::derive("c"),
+            topics: vec![Log::swap_topic()],
+            data: vec![],
+        };
+        assert!(!log.is_erc20_transfer());
+        assert_eq!(log.decode_erc20_transfer(), None);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_transfer() {
+        let from = Address::derive("from");
+        let to = Address::derive("to");
+        let amount = TokenAmount::from_units(Token::Dai, 10.0);
+        let mut log = Log::erc20_transfer(&amount, from, to);
+        log.data.truncate(3); // corrupt payload
+        assert_eq!(log.decode_erc20_transfer(), None);
+    }
+
+    #[test]
+    fn event_topics_are_distinct() {
+        let t = [
+            Log::erc20_transfer_topic(),
+            Log::swap_topic(),
+            Log::liquidation_topic(),
+        ];
+        assert_ne!(t[0], t[1]);
+        assert_ne!(t[1], t[2]);
+        assert_ne!(t[0], t[2]);
+    }
+
+    #[test]
+    fn receipt_ok_reflects_status() {
+        let r = Receipt {
+            tx_hash: H256::derive("t"),
+            tx_index: 0,
+            status: TxStatus::Reverted,
+            gas_used: Gas(21_000),
+            effective_gas_price: GasPrice::from_gwei(12.0),
+            logs: vec![],
+        };
+        assert!(!r.ok());
+    }
+}

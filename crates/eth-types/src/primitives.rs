@@ -1,0 +1,281 @@
+//! Fixed-size identifier types: 160-bit addresses, 256-bit hashes, and
+//! 384-bit BLS public keys (builder identities on the relay side).
+//!
+//! All three support deterministic derivation from a string label via
+//! Keccak-256, which is how the simulator mints stable identities for
+//! builders, relays, searchers, and users without any global counter.
+
+use crate::hash::keccak256;
+use crate::EthTypesError;
+use serde::{Deserialize, Serialize};
+
+fn parse_hex<const N: usize>(s: &str) -> Result<[u8; N], EthTypesError> {
+    let s = s.strip_prefix("0x").unwrap_or(s);
+    if s.len() != 2 * N {
+        return Err(EthTypesError::BadHexLength {
+            expected: 2 * N,
+            found: s.len(),
+        });
+    }
+    let mut out = [0u8; N];
+    let bytes = s.as_bytes();
+    for (i, slot) in out.iter_mut().enumerate() {
+        let hi = hex_val(bytes[2 * i] as char)?;
+        let lo = hex_val(bytes[2 * i + 1] as char)?;
+        *slot = (hi << 4) | lo;
+    }
+    Ok(out)
+}
+
+fn hex_val(c: char) -> Result<u8, EthTypesError> {
+    c.to_digit(16)
+        .map(|d| d as u8)
+        .ok_or(EthTypesError::BadHexDigit(c))
+}
+
+fn fmt_hex(f: &mut std::fmt::Formatter<'_>, bytes: &[u8]) -> std::fmt::Result {
+    write!(f, "0x")?;
+    for b in bytes {
+        write!(f, "{b:02x}")?;
+    }
+    Ok(())
+}
+
+/// A 20-byte Ethereum account address.
+///
+/// Used for externally-owned accounts, contracts, builder fee recipients and
+/// proposer fee recipients alike — exactly as on mainnet.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Address(pub [u8; 20]);
+
+impl Address {
+    /// The zero address, conventionally used for burns and absent values.
+    pub const ZERO: Address = Address([0u8; 20]);
+
+    /// Derives a stable address from a human-readable label.
+    ///
+    /// The derivation is the trailing 20 bytes of `keccak256("addr:" ++ label)`,
+    /// mirroring how real addresses are the trailing 20 bytes of a key hash.
+    pub fn derive(label: &str) -> Self {
+        let digest = keccak256(format!("addr:{label}").as_bytes());
+        let mut out = [0u8; 20];
+        out.copy_from_slice(&digest[12..32]);
+        Address(out)
+    }
+
+    /// Parses a `0x`-prefixed 40-digit hex string.
+    pub fn from_hex(s: &str) -> Result<Self, EthTypesError> {
+        parse_hex::<20>(s).map(Address)
+    }
+
+    /// Returns true for the zero address.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0u8; 20]
+    }
+
+    /// A compact 8-hex-digit prefix for logs and table rows.
+    pub fn short(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl std::fmt::Debug for Address {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fmt_hex(f, &self.0)
+    }
+}
+
+impl std::fmt::Display for Address {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A 32-byte hash — block hashes, transaction hashes, log topics.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct H256(pub [u8; 32]);
+
+impl H256 {
+    /// The all-zero hash.
+    pub const ZERO: H256 = H256([0u8; 32]);
+
+    /// Derives a stable hash from a label (domain-separated Keccak).
+    pub fn derive(label: &str) -> Self {
+        H256(keccak256(format!("h256:{label}").as_bytes()))
+    }
+
+    /// Hashes arbitrary bytes.
+    pub fn of(data: &[u8]) -> Self {
+        H256(keccak256(data))
+    }
+
+    /// Parses a `0x`-prefixed 64-digit hex string.
+    pub fn from_hex(s: &str) -> Result<Self, EthTypesError> {
+        parse_hex::<32>(s).map(H256)
+    }
+
+    /// Interprets the first 8 bytes as a big-endian integer; handy for
+    /// deriving deterministic sub-seeds from identities.
+    pub fn to_seed(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("8 bytes"))
+    }
+
+    /// A compact 8-hex-digit prefix for logs.
+    pub fn short(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl std::fmt::Debug for H256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fmt_hex(f, &self.0)
+    }
+}
+
+impl std::fmt::Display for H256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A 48-byte BLS12-381 public key, the identity builders use when submitting
+/// blocks to relays (paper Table 5 keys are of this form).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlsPublicKey(pub [u8; 48]);
+
+// serde does not implement the array traits beyond 32 elements, so the
+// 48-byte key serializes as its hex string form.
+impl Serialize for BlsPublicKey {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&format!("{self}"))
+    }
+}
+
+impl<'de> Deserialize<'de> for BlsPublicKey {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        parse_hex::<48>(&s)
+            .map(BlsPublicKey)
+            .map_err(serde::de::Error::custom)
+    }
+}
+
+impl BlsPublicKey {
+    /// Derives a stable public key from a label. The first byte is forced to
+    /// a valid-looking compressed-point prefix (0x8/0xa/0xb high nibble).
+    pub fn derive(label: &str) -> Self {
+        let a = keccak256(format!("bls:a:{label}").as_bytes());
+        let b = keccak256(format!("bls:b:{label}").as_bytes());
+        let mut out = [0u8; 48];
+        out[..32].copy_from_slice(&a);
+        out[32..].copy_from_slice(&b[..16]);
+        out[0] = 0x80 | (out[0] & 0x3f); // compressed-point flag bit
+        BlsPublicKey(out)
+    }
+
+    /// A compact 8-hex-digit prefix for table rows.
+    pub fn short(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl std::fmt::Debug for BlsPublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fmt_hex(f, &self.0)
+    }
+}
+
+impl std::fmt::Display for BlsPublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_is_stable_and_label_sensitive() {
+        assert_eq!(Address::derive("x"), Address::derive("x"));
+        assert_ne!(Address::derive("x"), Address::derive("y"));
+        assert_eq!(H256::derive("x"), H256::derive("x"));
+        assert_ne!(H256::derive("x"), H256::derive("y"));
+        assert_eq!(BlsPublicKey::derive("x"), BlsPublicKey::derive("x"));
+        assert_ne!(BlsPublicKey::derive("x"), BlsPublicKey::derive("y"));
+    }
+
+    #[test]
+    fn domains_are_separated() {
+        // An address label must not collide with an H256 label derivation.
+        let a = Address::derive("same");
+        let h = H256::derive("same");
+        assert_ne!(&h.0[12..], &a.0[..]);
+    }
+
+    #[test]
+    fn hex_round_trip_address() {
+        let a = Address::derive("round-trip");
+        let s = format!("{a}");
+        assert!(s.starts_with("0x") && s.len() == 42);
+        assert_eq!(Address::from_hex(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn hex_round_trip_h256() {
+        let h = H256::derive("round-trip");
+        let s = format!("{h}");
+        assert!(s.starts_with("0x") && s.len() == 66);
+        assert_eq!(H256::from_hex(&s).unwrap(), h);
+    }
+
+    #[test]
+    fn parse_rejects_bad_length() {
+        assert_eq!(
+            Address::from_hex("0x1234"),
+            Err(EthTypesError::BadHexLength {
+                expected: 40,
+                found: 4
+            })
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_digit() {
+        let bad = format!("0x{}", "zz".repeat(20));
+        assert_eq!(Address::from_hex(&bad), Err(EthTypesError::BadHexDigit('z')));
+    }
+
+    #[test]
+    fn parse_accepts_unprefixed() {
+        let a = Address::derive("unprefixed");
+        let s = format!("{a}");
+        assert_eq!(Address::from_hex(&s[2..]).unwrap(), a);
+    }
+
+    #[test]
+    fn known_mainnet_address_parses() {
+        // Flashbots builder fee recipient from the paper's Table 5.
+        let a = Address::from_hex("0xdafea492d9c6733ae3d56b7ed1adb60692c98bc5").unwrap();
+        assert_eq!(format!("{a}"), "0xdafea492d9c6733ae3d56b7ed1adb60692c98bc5");
+    }
+
+    #[test]
+    fn bls_key_has_compressed_flag() {
+        let k = BlsPublicKey::derive("builder");
+        assert_eq!(k.0[0] & 0x80, 0x80);
+    }
+
+    #[test]
+    fn zero_address_is_zero() {
+        assert!(Address::ZERO.is_zero());
+        assert!(!Address::derive("nonzero").is_zero());
+    }
+
+    #[test]
+    fn seed_extraction_is_stable() {
+        let h = H256::derive("seed");
+        assert_eq!(h.to_seed(), h.to_seed());
+        assert_ne!(h.to_seed(), H256::derive("seed2").to_seed());
+    }
+}

@@ -1,0 +1,383 @@
+//! Beacon-chain time: slots, epochs, and the study calendar.
+//!
+//! The consensus layer splits time into 12-second slots, grouped into epochs
+//! of 32 slots (paper §2.1, Figure 1). The [`StudyCalendar`] maps slots and
+//! block numbers onto the paper's measurement window — 15 September 2022
+//! (the merge) through 31 March 2023, 198 calendar days — and produces the
+//! month labels used on every figure's x-axis.
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds per beacon slot.
+pub const SECONDS_PER_SLOT: u64 = 12;
+
+/// Slots per epoch (so an epoch is 6.4 minutes).
+pub const SLOTS_PER_EPOCH: u64 = 32;
+
+/// Unix timestamp of the merge: 2022-09-15 06:42:59 UTC, block 15,537,394.
+pub const MERGE_UNIX_TIME: u64 = 1_663_224_179;
+
+/// First post-merge execution block number.
+pub const MERGE_BLOCK_NUMBER: u64 = 15_537_394;
+
+/// Last block in the paper's window (31 March 2023).
+pub const STUDY_END_BLOCK_NUMBER: u64 = 16_950_602;
+
+/// Number of calendar days in the study window (15 Sep 2022 – 31 Mar 2023).
+pub const STUDY_DAYS: u32 = 198;
+
+/// A beacon-chain slot number.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Slot(pub u64);
+
+impl Slot {
+    /// The epoch containing this slot.
+    pub fn epoch(self) -> Epoch {
+        Epoch(self.0 / SLOTS_PER_EPOCH)
+    }
+
+    /// Position of this slot within its epoch, `0..32`.
+    pub fn index_in_epoch(self) -> u64 {
+        self.0 % SLOTS_PER_EPOCH
+    }
+
+    /// The following slot.
+    pub fn next(self) -> Slot {
+        Slot(self.0 + 1)
+    }
+
+    /// Start time of this slot in seconds since the simulation genesis.
+    pub fn start_seconds(self) -> u64 {
+        self.0 * SECONDS_PER_SLOT
+    }
+}
+
+impl std::fmt::Debug for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "slot {}", self.0)
+    }
+}
+
+impl std::fmt::Display for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A beacon-chain epoch (32 slots, 6.4 minutes).
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Epoch(pub u64);
+
+impl Epoch {
+    /// The first slot of this epoch.
+    pub fn first_slot(self) -> Slot {
+        Slot(self.0 * SLOTS_PER_EPOCH)
+    }
+
+    /// All 32 slots of this epoch.
+    pub fn slots(self) -> impl Iterator<Item = Slot> {
+        let base = self.0 * SLOTS_PER_EPOCH;
+        (0..SLOTS_PER_EPOCH).map(move |i| Slot(base + i))
+    }
+
+    /// The following epoch.
+    pub fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+}
+
+impl std::fmt::Debug for Epoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "epoch {}", self.0)
+    }
+}
+
+/// Wall-clock Unix time in seconds, for dataset timestamps.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Debug, Serialize, Deserialize,
+)]
+pub struct UnixTime(pub u64);
+
+impl UnixTime {
+    /// Seconds elapsed since another instant (saturating).
+    pub fn since(self, earlier: UnixTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Adds a number of seconds.
+    pub fn plus_seconds(self, s: u64) -> UnixTime {
+        UnixTime(self.0 + s)
+    }
+}
+
+/// A zero-based day index within the study window: day 0 is 15 Sep 2022.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct DayIndex(pub u32);
+
+impl DayIndex {
+    /// Days in each month of the window, starting mid-September.
+    /// 15–30 Sep (16), Oct (31), Nov (30), Dec (31), Jan (31), Feb (28), Mar (31).
+    const MONTH_LENGTHS: [(u32, &'static str, u32); 7] = [
+        (16, "Sep", 2022),
+        (31, "Oct", 2022),
+        (30, "Nov", 2022),
+        (31, "Dec", 2022),
+        (31, "Jan", 2023),
+        (28, "Feb", 2023),
+        (31, "Mar", 2023),
+    ];
+
+    /// Returns `(year, month-abbreviation, day-of-month)` for this index.
+    ///
+    /// Day 0 → `(2022, "Sep", 15)`; day 197 → `(2023, "Mar", 31)`.
+    /// Panics if the index lies outside the 198-day window.
+    pub fn date(self) -> (u32, &'static str, u32) {
+        let mut rem = self.0;
+        for (i, &(len, name, year)) in Self::MONTH_LENGTHS.iter().enumerate() {
+            if rem < len {
+                let day_of_month = if i == 0 { 15 + rem } else { 1 + rem };
+                return (year, name, day_of_month);
+            }
+            rem -= len;
+        }
+        panic!("day index {} outside the {}-day study window", self.0, STUDY_DAYS);
+    }
+
+    /// Renders as e.g. `2022-11-10`.
+    pub fn iso(self) -> String {
+        let (y, m, d) = self.date();
+        let mnum = match m {
+            "Sep" => 9,
+            "Oct" => 10,
+            "Nov" => 11,
+            "Dec" => 12,
+            "Jan" => 1,
+            "Feb" => 2,
+            "Mar" => 3,
+            _ => unreachable!(),
+        };
+        format!("{y:04}-{mnum:02}-{d:02}")
+    }
+
+    /// Finds the day index for a `(month-abbrev, day-of-month)` within the
+    /// study window (the year is implied by the month).
+    pub fn from_date(month: &str, day_of_month: u32) -> Option<DayIndex> {
+        let mut acc = 0u32;
+        for &(len, name, _) in Self::MONTH_LENGTHS.iter() {
+            if name == month {
+                let first = if name == "Sep" { 15 } else { 1 };
+                if day_of_month < first || day_of_month >= first + len {
+                    return None;
+                }
+                return Some(DayIndex(acc + day_of_month - first));
+            }
+            acc += len;
+        }
+        None
+    }
+}
+
+impl std::fmt::Debug for DayIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.iso())
+    }
+}
+
+impl std::fmt::Display for DayIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.iso())
+    }
+}
+
+/// Maps simulated slots/blocks onto the paper's calendar.
+///
+/// The real chain produces 7200 slots per day; a full-scale replay is
+/// supported but slow, so the calendar carries a `blocks_per_day` scale
+/// factor. All of the paper's reported quantities are shares, medians and
+/// percentiles, which are invariant to this scale (DESIGN.md §1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StudyCalendar {
+    /// Simulated blocks (slots) per calendar day.
+    pub blocks_per_day: u32,
+    /// Number of days simulated (≤ [`STUDY_DAYS`]).
+    pub days: u32,
+}
+
+impl StudyCalendar {
+    /// The paper's full window at a fast default scale (360 blocks/day).
+    pub fn paper() -> Self {
+        StudyCalendar {
+            blocks_per_day: 360,
+            days: STUDY_DAYS,
+        }
+    }
+
+    /// The paper's window at true mainnet scale (7200 blocks/day).
+    pub fn full_scale() -> Self {
+        StudyCalendar {
+            blocks_per_day: 7200,
+            days: STUDY_DAYS,
+        }
+    }
+
+    /// A custom calendar; `days` is clamped to the study window.
+    pub fn new(blocks_per_day: u32, days: u32) -> Self {
+        assert!(blocks_per_day > 0, "blocks_per_day must be positive");
+        StudyCalendar {
+            blocks_per_day,
+            days: days.min(STUDY_DAYS),
+        }
+    }
+
+    /// Number of days in this calendar.
+    pub fn num_days(&self) -> u32 {
+        self.days
+    }
+
+    /// Total number of slots simulated.
+    pub fn total_slots(&self) -> u64 {
+        self.blocks_per_day as u64 * self.days as u64
+    }
+
+    /// The calendar day containing `slot`.
+    pub fn day_of_slot(&self, slot: Slot) -> DayIndex {
+        let d = (slot.0 / self.blocks_per_day as u64) as u32;
+        DayIndex(d.min(self.days.saturating_sub(1)))
+    }
+
+    /// The fraction `[0,1)` of the way through the whole window at `slot`.
+    pub fn progress(&self, slot: Slot) -> f64 {
+        slot.0 as f64 / self.total_slots() as f64
+    }
+
+    /// Execution-layer block number for a slot (merge block + slot).
+    pub fn block_number(&self, slot: Slot) -> u64 {
+        MERGE_BLOCK_NUMBER + slot.0
+    }
+
+    /// Wall-clock time of a slot, scaled so the simulated window spans the
+    /// same real dates as the paper's regardless of `blocks_per_day`.
+    pub fn unix_time(&self, slot: Slot) -> UnixTime {
+        let real_seconds_per_slot = 86_400 / self.blocks_per_day as u64;
+        UnixTime(MERGE_UNIX_TIME + slot.0 * real_seconds_per_slot)
+    }
+
+    /// Iterates over all day indices in the calendar.
+    pub fn days_iter(&self) -> impl Iterator<Item = DayIndex> {
+        (0..self.days).map(DayIndex)
+    }
+
+    /// First slot of a given day.
+    pub fn first_slot_of_day(&self, day: DayIndex) -> Slot {
+        Slot(day.0 as u64 * self.blocks_per_day as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_epoch_relationship() {
+        assert_eq!(Slot(0).epoch(), Epoch(0));
+        assert_eq!(Slot(31).epoch(), Epoch(0));
+        assert_eq!(Slot(32).epoch(), Epoch(1));
+        assert_eq!(Slot(70).index_in_epoch(), 6);
+        assert_eq!(Epoch(3).first_slot(), Slot(96));
+    }
+
+    #[test]
+    fn epoch_slots_iterates_32() {
+        let slots: Vec<_> = Epoch(2).slots().collect();
+        assert_eq!(slots.len(), 32);
+        assert_eq!(slots[0], Slot(64));
+        assert_eq!(slots[31], Slot(95));
+    }
+
+    #[test]
+    fn study_window_is_198_days() {
+        let total: u32 = DayIndex::MONTH_LENGTHS.iter().map(|&(l, _, _)| l).sum();
+        assert_eq!(total, STUDY_DAYS);
+    }
+
+    #[test]
+    fn day_zero_is_merge_day() {
+        assert_eq!(DayIndex(0).date(), (2022, "Sep", 15));
+        assert_eq!(DayIndex(0).iso(), "2022-09-15");
+    }
+
+    #[test]
+    fn last_day_is_march_31() {
+        assert_eq!(DayIndex(STUDY_DAYS - 1).date(), (2023, "Mar", 31));
+    }
+
+    #[test]
+    fn notable_dates_resolve() {
+        // The paper's timestamp-bug dip (10 Nov 2022).
+        let d = DayIndex::from_date("Nov", 10).unwrap();
+        assert_eq!(d.iso(), "2022-11-10");
+        // Manifold incident (15 Oct 2022).
+        assert_eq!(DayIndex::from_date("Oct", 15).unwrap().iso(), "2022-10-15");
+        // USDC depeg (11 Mar 2023).
+        assert_eq!(DayIndex::from_date("Mar", 11).unwrap().iso(), "2023-03-11");
+    }
+
+    #[test]
+    fn from_date_rejects_out_of_range() {
+        assert_eq!(DayIndex::from_date("Sep", 14), None); // before the merge
+        assert_eq!(DayIndex::from_date("Feb", 29), None); // 2023 is not a leap year
+        assert_eq!(DayIndex::from_date("Apr", 1), None); // after the window
+    }
+
+    #[test]
+    fn date_round_trips_through_from_date() {
+        for i in 0..STUDY_DAYS {
+            let d = DayIndex(i);
+            let (_, m, dom) = d.date();
+            assert_eq!(DayIndex::from_date(m, dom), Some(d), "day {i}");
+        }
+    }
+
+    #[test]
+    fn calendar_slot_day_mapping() {
+        let cal = StudyCalendar::new(100, 198);
+        assert_eq!(cal.day_of_slot(Slot(0)), DayIndex(0));
+        assert_eq!(cal.day_of_slot(Slot(99)), DayIndex(0));
+        assert_eq!(cal.day_of_slot(Slot(100)), DayIndex(1));
+        assert_eq!(cal.first_slot_of_day(DayIndex(1)), Slot(100));
+        // Slots past the end clamp to the final day.
+        assert_eq!(cal.day_of_slot(Slot(1_000_000)), DayIndex(197));
+    }
+
+    #[test]
+    fn full_scale_calendar_matches_mainnet_cadence() {
+        let cal = StudyCalendar::full_scale();
+        assert_eq!(cal.total_slots(), 7200 * 198);
+        // 7200 blocks/day means 12-second slots.
+        let t0 = cal.unix_time(Slot(0));
+        let t1 = cal.unix_time(Slot(1));
+        assert_eq!(t1.since(t0), 12);
+    }
+
+    #[test]
+    fn block_numbers_continue_from_merge() {
+        let cal = StudyCalendar::paper();
+        assert_eq!(cal.block_number(Slot(0)), MERGE_BLOCK_NUMBER);
+        assert_eq!(cal.block_number(Slot(5)), MERGE_BLOCK_NUMBER + 5);
+    }
+
+    #[test]
+    fn progress_is_monotone_in_unit_interval() {
+        let cal = StudyCalendar::paper();
+        let p1 = cal.progress(Slot(10));
+        let p2 = cal.progress(Slot(1000));
+        assert!((0.0..1.0).contains(&p1));
+        assert!(p1 < p2);
+    }
+}

@@ -1,0 +1,245 @@
+//! ERC-20 token model.
+//!
+//! The paper's sanctioned-transaction scan covers ETH plus the top five
+//! ERC-20 tokens (WETH, USDC, DAI, USDT, WBTC) and TRON (sanctioned in
+//! November 2022). The [`TokenRegistry`] assigns each token its mainnet-style
+//! contract address and decimals, and the DeFi substrate trades these tokens
+//! on AMM pools.
+
+use crate::primitives::Address;
+use serde::{Deserialize, Serialize};
+
+/// The tokens modelled by the simulator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub enum Token {
+    /// Wrapped ETH (18 decimals).
+    Weth,
+    /// USD Coin (6 decimals).
+    Usdc,
+    /// Dai stablecoin (18 decimals).
+    Dai,
+    /// Tether (6 decimals).
+    Usdt,
+    /// Wrapped Bitcoin (8 decimals).
+    Wbtc,
+    /// TRON-bridged token — sanctioned during the study window.
+    Tron,
+    /// A long-tail token, used to create thin, arbitrageable pools.
+    LongTail(u8),
+}
+
+impl Token {
+    /// All "major" tokens the censorship scan monitors (paper §3.1).
+    pub const MONITORED: [Token; 6] = [
+        Token::Weth,
+        Token::Usdc,
+        Token::Dai,
+        Token::Usdt,
+        Token::Wbtc,
+        Token::Tron,
+    ];
+
+    /// Human-readable symbol.
+    pub fn symbol(&self) -> String {
+        match self {
+            Token::Weth => "WETH".into(),
+            Token::Usdc => "USDC".into(),
+            Token::Dai => "DAI".into(),
+            Token::Usdt => "USDT".into(),
+            Token::Wbtc => "WBTC".into(),
+            Token::Tron => "TRON".into(),
+            Token::LongTail(i) => format!("LT{i}"),
+        }
+    }
+
+    /// ERC-20 decimals.
+    pub fn decimals(&self) -> u8 {
+        match self {
+            Token::Weth | Token::Dai | Token::Tron => 18,
+            Token::Usdc | Token::Usdt => 6,
+            Token::Wbtc => 8,
+            Token::LongTail(_) => 18,
+        }
+    }
+
+    /// A compact one-byte tag used in log payload encodings.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Token::Weth => 0,
+            Token::Usdc => 1,
+            Token::Dai => 2,
+            Token::Usdt => 3,
+            Token::Wbtc => 4,
+            Token::Tron => 5,
+            Token::LongTail(i) => 0x80 | (i & 0x7f),
+        }
+    }
+
+    /// Inverse of [`Token::tag`].
+    pub fn from_tag(tag: u8) -> Option<Token> {
+        Some(match tag {
+            0 => Token::Weth,
+            1 => Token::Usdc,
+            2 => Token::Dai,
+            3 => Token::Usdt,
+            4 => Token::Wbtc,
+            5 => Token::Tron,
+            t if t & 0x80 != 0 => Token::LongTail(t & 0x7f),
+            _ => return None,
+        })
+    }
+
+    /// Deterministic contract address for this token.
+    pub fn contract(&self) -> Address {
+        Address::derive(&format!("token:{}", self.symbol()))
+    }
+
+    /// Rough reference USD price at study start, used to seed pools and to
+    /// express long-tail tokens in comparable units.
+    pub fn reference_usd(&self) -> f64 {
+        match self {
+            Token::Weth => 1500.0,
+            Token::Usdc | Token::Dai | Token::Usdt => 1.0,
+            Token::Wbtc => 20_000.0,
+            Token::Tron => 0.06,
+            Token::LongTail(i) => 0.5 + (*i as f64) * 0.35,
+        }
+    }
+}
+
+impl std::fmt::Display for Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// An amount of a specific token, in the token's smallest unit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TokenAmount {
+    /// Which token.
+    pub token: Token,
+    /// Raw amount in the token's smallest unit.
+    pub raw: u128,
+}
+
+impl TokenAmount {
+    /// Constructs from a whole-unit amount (e.g. "2.5 WETH").
+    pub fn from_units(token: Token, units: f64) -> Self {
+        assert!(units.is_finite() && units >= 0.0);
+        let scale = 10u128.pow(token.decimals() as u32);
+        TokenAmount {
+            token,
+            raw: (units * scale as f64) as u128,
+        }
+    }
+
+    /// Converts to whole units as f64 (reporting only).
+    pub fn as_units(&self) -> f64 {
+        self.raw as f64 / 10u128.pow(self.token.decimals() as u32) as f64
+    }
+}
+
+/// Registry resolving token contract addresses back to tokens.
+#[derive(Debug, Clone, Default)]
+pub struct TokenRegistry {
+    entries: Vec<(Address, Token)>,
+}
+
+impl TokenRegistry {
+    /// Builds a registry containing the monitored tokens plus `long_tail`
+    /// extra thin-market tokens.
+    pub fn standard(long_tail: u8) -> Self {
+        let mut entries: Vec<(Address, Token)> = Token::MONITORED
+            .iter()
+            .map(|t| (t.contract(), *t))
+            .collect();
+        for i in 0..long_tail {
+            let t = Token::LongTail(i);
+            entries.push((t.contract(), t));
+        }
+        TokenRegistry { entries }
+    }
+
+    /// Looks up the token deployed at `address`.
+    pub fn by_address(&self, address: Address) -> Option<Token> {
+        self.entries
+            .iter()
+            .find(|(a, _)| *a == address)
+            .map(|(_, t)| *t)
+    }
+
+    /// All registered tokens.
+    pub fn tokens(&self) -> impl Iterator<Item = Token> + '_ {
+        self.entries.iter().map(|(_, t)| *t)
+    }
+
+    /// Number of registered tokens.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contract_addresses_are_distinct() {
+        let reg = TokenRegistry::standard(8);
+        let mut addrs: Vec<_> = reg.entries.iter().map(|(a, _)| *a).collect();
+        addrs.sort();
+        addrs.dedup();
+        assert_eq!(addrs.len(), reg.len());
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let reg = TokenRegistry::standard(4);
+        for token in reg.tokens().collect::<Vec<_>>() {
+            assert_eq!(reg.by_address(token.contract()), Some(token));
+        }
+        assert_eq!(reg.by_address(Address::derive("not-a-token")), None);
+    }
+
+    #[test]
+    fn amount_conversions_respect_decimals() {
+        let a = TokenAmount::from_units(Token::Usdc, 1.0);
+        assert_eq!(a.raw, 1_000_000);
+        let b = TokenAmount::from_units(Token::Weth, 1.0);
+        assert_eq!(b.raw, 1_000_000_000_000_000_000);
+        assert!((a.as_units() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monitored_set_matches_paper() {
+        let symbols: Vec<_> = Token::MONITORED.iter().map(|t| t.symbol()).collect();
+        assert_eq!(symbols, ["WETH", "USDC", "DAI", "USDT", "WBTC", "TRON"]);
+    }
+
+    #[test]
+    fn long_tail_tokens_are_distinct() {
+        assert_ne!(Token::LongTail(0).contract(), Token::LongTail(1).contract());
+        assert_ne!(Token::LongTail(0).symbol(), Token::LongTail(1).symbol());
+    }
+
+    #[test]
+    fn tag_round_trips() {
+        for t in Token::MONITORED {
+            assert_eq!(Token::from_tag(t.tag()), Some(t));
+        }
+        assert_eq!(Token::from_tag(Token::LongTail(9).tag()), Some(Token::LongTail(9)));
+        assert_eq!(Token::from_tag(0x30), None);
+    }
+
+    #[test]
+    fn stablecoins_reference_one_dollar() {
+        assert_eq!(Token::Usdc.reference_usd(), 1.0);
+        assert_eq!(Token::Dai.reference_usd(), 1.0);
+        assert_eq!(Token::Usdt.reference_usd(), 1.0);
+    }
+}

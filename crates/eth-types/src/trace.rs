@@ -1,0 +1,80 @@
+//! Execution traces — internal value transfers.
+//!
+//! The paper traces every transaction to find (i) direct ETH transfers to
+//! the block's fee recipient (the "bribe" channel of block value, §3.1) and
+//! (ii) ETH flows touching sanctioned addresses (§3.1 "Sanctioned
+//! Transactions"). A [`TraceAction`] is one internal transfer observed while
+//! executing a transaction, the same shape Erigon's `trace_block` returns.
+
+use crate::primitives::Address;
+use crate::tx::TxHash;
+use crate::units::Wei;
+use serde::{Deserialize, Serialize};
+
+/// The kind of internal action that moved value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// The transaction's own top-level value transfer.
+    TopLevel,
+    /// A nested call that transferred ETH (e.g. a searcher contract paying
+    /// the coinbase, a liquidation bonus flowing out).
+    InternalCall,
+    /// A reward payment injected by the protocol or the block producer
+    /// (e.g. the PBS builder→proposer payment executes as a TopLevel
+    /// transfer, but subsidies may appear here).
+    Reward,
+}
+
+/// One internal ETH transfer recorded while executing a transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TraceAction {
+    /// Transaction during which the transfer happened.
+    pub tx_hash: TxHash,
+    /// Sender of the internal transfer.
+    pub from: Address,
+    /// Recipient of the internal transfer.
+    pub to: Address,
+    /// Amount moved.
+    pub value: Wei,
+    /// What kind of action produced it.
+    pub kind: TraceKind,
+}
+
+impl TraceAction {
+    /// True if this trace touches `addr` on either side with nonzero value —
+    /// the paper's criterion for a sanctioned interaction.
+    pub fn touches(&self, addr: Address) -> bool {
+        !self.value.is_zero() && (self.from == addr || self.to == addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives::H256;
+
+    fn trace(from: &str, to: &str, eth: f64) -> TraceAction {
+        TraceAction {
+            tx_hash: H256::derive("tx"),
+            from: Address::derive(from),
+            to: Address::derive(to),
+            value: Wei::from_eth(eth),
+            kind: TraceKind::InternalCall,
+        }
+    }
+
+    #[test]
+    fn touches_either_side() {
+        let t = trace("a", "b", 1.0);
+        assert!(t.touches(Address::derive("a")));
+        assert!(t.touches(Address::derive("b")));
+        assert!(!t.touches(Address::derive("c")));
+    }
+
+    #[test]
+    fn zero_value_does_not_count() {
+        // The paper requires "any nonzero amount of ETH".
+        let t = trace("a", "b", 0.0);
+        assert!(!t.touches(Address::derive("a")));
+    }
+}

@@ -1,0 +1,313 @@
+//! Transactions: the EIP-1559 fee envelope, the effect payload the execution
+//! layer interprets, and the public/private submission channel.
+//!
+//! A [`Transaction`] carries everything the measurement pipeline later reads
+//! off the chain: the two-dimensional fee bid (`max_fee_per_gas`,
+//! `max_priority_fee_per_gas`, paper §3.1), an optional *coinbase tip* (the
+//! "direct transfer to the fee recipient" the paper traces inside tx
+//! execution), and a [`TxEffect`] describing what the transaction does —
+//! plain transfer, ERC-20 transfer, AMM swap, liquidation, oracle update.
+//! The effect is what produces traces and logs when executed.
+
+use crate::primitives::{Address, H256};
+use crate::token::{Token, TokenAmount};
+use crate::units::{Gas, GasPrice, Wei};
+use serde::{Deserialize, Serialize};
+
+/// A transaction hash.
+pub type TxHash = H256;
+
+/// How a transaction reached the block producer.
+///
+/// Public transactions are gossiped on the P2P network and observed by
+/// mempool monitors; private transactions travel over direct channels
+/// (searcher → builder, user → private RPC) and never hit the public
+/// mempool — the distinction behind the paper's Figure 14.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum TxPrivacy {
+    /// Broadcast on the public P2P network.
+    Public,
+    /// Sent over a private channel; the id names the channel (builder or
+    /// service) for attribution.
+    Private {
+        /// Stable identifier of the private channel used.
+        channel: u32,
+    },
+}
+
+impl TxPrivacy {
+    /// True for privately-submitted transactions.
+    pub fn is_private(&self) -> bool {
+        matches!(self, TxPrivacy::Private { .. })
+    }
+}
+
+/// The semantic payload of a transaction, interpreted by the execution
+/// layer's effects interpreter to produce balance changes, traces and logs.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum TxEffect {
+    /// A plain ETH transfer of the transaction's `value` to `to`.
+    Transfer,
+    /// An ERC-20 transfer; emits the canonical `Transfer` log.
+    TokenTransfer {
+        /// Amount and token moved.
+        amount: TokenAmount,
+        /// Token recipient (the ETH-level `to` is the token contract).
+        recipient: Address,
+    },
+    /// A swap on an AMM pool; emits a `Swap` log and moves two tokens.
+    Swap {
+        /// Pool identifier in the DeFi substrate.
+        pool: u32,
+        /// Token paid in.
+        token_in: Token,
+        /// Token received.
+        token_out: Token,
+        /// Raw input amount (smallest units of `token_in`).
+        amount_in: u128,
+        /// Minimum acceptable output (slippage bound); the swap reverts if
+        /// the pool cannot meet it.
+        min_out: u128,
+    },
+    /// Liquidation of an undercollateralized position on the lending market.
+    Liquidate {
+        /// Lending market identifier.
+        market: u32,
+        /// The borrower whose position is seized.
+        borrower: Address,
+    },
+    /// A price-oracle update for `token` (admin transaction); may render
+    /// lending positions liquidatable.
+    OracleUpdate {
+        /// Token whose price is updated.
+        token: Token,
+        /// New price in milli-USD per whole token.
+        price_milli_usd: u64,
+    },
+    /// Generic contract interaction with a given computational weight; used
+    /// for background traffic that is neither DeFi nor a transfer.
+    Generic {
+        /// Extra gas consumed beyond the intrinsic 21k.
+        extra_gas: u64,
+    },
+}
+
+impl TxEffect {
+    /// Gas consumed by this effect when it executes successfully (intrinsic
+    /// 21k included). Calibrated to mainnet magnitudes: transfers 21k, token
+    /// transfers ~50k, swaps ~120k, liquidations ~400k.
+    pub fn gas_used(&self) -> Gas {
+        match self {
+            TxEffect::Transfer => Gas(21_000),
+            TxEffect::TokenTransfer { .. } => Gas(51_000),
+            TxEffect::Swap { .. } => Gas(122_000),
+            TxEffect::Liquidate { .. } => Gas(405_000),
+            TxEffect::OracleUpdate { .. } => Gas(63_000),
+            TxEffect::Generic { extra_gas } => Gas(21_000 + extra_gas),
+        }
+    }
+}
+
+/// A full transaction as it appears in a block.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Transaction hash (content-derived, see [`Transaction::finalize`]).
+    pub hash: TxHash,
+    /// Sending account.
+    pub sender: Address,
+    /// Destination account or contract.
+    pub to: Address,
+    /// Sender nonce.
+    pub nonce: u64,
+    /// ETH attached to the call.
+    pub value: Wei,
+    /// EIP-1559 fee cap: the most the sender pays per gas, base fee included.
+    pub max_fee_per_gas: GasPrice,
+    /// EIP-1559 priority fee cap: the tip offered to the block producer.
+    pub max_priority_fee_per_gas: GasPrice,
+    /// Gas limit declared by the sender.
+    pub gas_limit: Gas,
+    /// Direct in-execution transfer to the block's fee recipient — the
+    /// searcher "bribe" channel the paper measures alongside priority fees.
+    pub coinbase_tip: Wei,
+    /// What the transaction does.
+    pub effect: TxEffect,
+    /// How it was submitted (public gossip vs private channel).
+    pub privacy: TxPrivacy,
+}
+
+impl Transaction {
+    /// Builds a plain ETH transfer with sensible defaults.
+    pub fn transfer(
+        sender: Address,
+        to: Address,
+        value: Wei,
+        nonce: u64,
+        tip: GasPrice,
+        fee_cap: GasPrice,
+    ) -> Self {
+        Transaction {
+            hash: H256::ZERO,
+            sender,
+            to,
+            nonce,
+            value,
+            max_fee_per_gas: fee_cap,
+            max_priority_fee_per_gas: tip,
+            gas_limit: Gas(21_000),
+            coinbase_tip: Wei::ZERO,
+            effect: TxEffect::Transfer,
+            privacy: TxPrivacy::Public,
+        }
+        .finalize()
+    }
+
+    /// Recomputes the content-derived hash after the fields are final.
+    ///
+    /// The hash covers sender, nonce and the effect discriminant, which is
+    /// enough to make hashes unique per (sender, nonce) — exactly the
+    /// uniqueness real chains enforce.
+    pub fn finalize(mut self) -> Self {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&self.sender.0);
+        buf.extend_from_slice(&self.nonce.to_be_bytes());
+        buf.extend_from_slice(&self.to.0);
+        buf.extend_from_slice(&self.value.0.to_be_bytes());
+        buf.extend_from_slice(&self.max_fee_per_gas.0.to_be_bytes());
+        buf.extend_from_slice(&self.max_priority_fee_per_gas.0.to_be_bytes());
+        buf.push(match &self.effect {
+            TxEffect::Transfer => 0,
+            TxEffect::TokenTransfer { .. } => 1,
+            TxEffect::Swap { .. } => 2,
+            TxEffect::Liquidate { .. } => 3,
+            TxEffect::OracleUpdate { .. } => 4,
+            TxEffect::Generic { .. } => 5,
+        });
+        self.hash = H256::of(&buf);
+        self
+    }
+
+    /// The effective priority fee per gas under base fee `base`:
+    /// `min(max_priority_fee, max_fee − base)`, zero if the cap is below the
+    /// base fee (EIP-1559 §"effective gas price").
+    pub fn effective_tip(&self, base: GasPrice) -> GasPrice {
+        let headroom = self.max_fee_per_gas.saturating_sub(base);
+        self.max_priority_fee_per_gas.min(headroom)
+    }
+
+    /// Whether the transaction is includable at base fee `base`
+    /// (its fee cap covers the base fee).
+    pub fn includable_at(&self, base: GasPrice) -> bool {
+        self.max_fee_per_gas >= base
+    }
+
+    /// Gas this transaction will consume when executed successfully.
+    pub fn gas_used(&self) -> Gas {
+        self.effect.gas_used()
+    }
+
+    /// The producer-visible value of the transaction at base fee `base`:
+    /// effective tip × gas + coinbase tip. This is the quantity builders
+    /// rank by and the paper sums into "block value".
+    pub fn producer_value(&self, base: GasPrice) -> Wei {
+        self.effective_tip(base).cost(self.gas_used()) + self.coinbase_tip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gp(gwei: f64) -> GasPrice {
+        GasPrice::from_gwei(gwei)
+    }
+
+    fn sample() -> Transaction {
+        Transaction::transfer(
+            Address::derive("alice"),
+            Address::derive("bob"),
+            Wei::from_eth(1.0),
+            7,
+            gp(2.0),
+            gp(40.0),
+        )
+    }
+
+    #[test]
+    fn hash_is_content_derived_and_unique_per_nonce() {
+        let a = sample();
+        let mut b = sample();
+        assert_eq!(a.hash, b.hash);
+        b.nonce = 8;
+        let b = b.finalize();
+        assert_ne!(a.hash, b.hash);
+    }
+
+    #[test]
+    fn effective_tip_is_capped_by_headroom() {
+        let tx = sample(); // tip cap 2 gwei, fee cap 40 gwei
+        assert_eq!(tx.effective_tip(gp(10.0)), gp(2.0)); // plenty of headroom
+        assert_eq!(tx.effective_tip(gp(39.0)), gp(1.0)); // squeezed
+        assert_eq!(tx.effective_tip(gp(41.0)), gp(0.0)); // under water
+    }
+
+    #[test]
+    fn includability_follows_fee_cap() {
+        let tx = sample();
+        assert!(tx.includable_at(gp(40.0)));
+        assert!(!tx.includable_at(gp(40.1)));
+    }
+
+    #[test]
+    fn producer_value_combines_tip_and_bribe() {
+        let mut tx = sample();
+        tx.coinbase_tip = Wei::from_eth(0.05);
+        let tx = tx.finalize();
+        let expected = gp(2.0).cost(Gas(21_000)) + Wei::from_eth(0.05);
+        assert_eq!(tx.producer_value(gp(10.0)), expected);
+    }
+
+    #[test]
+    fn effect_gas_magnitudes_are_ordered() {
+        let transfer = TxEffect::Transfer.gas_used();
+        let token = TxEffect::TokenTransfer {
+            amount: TokenAmount::from_units(Token::Usdc, 5.0),
+            recipient: Address::derive("r"),
+        }
+        .gas_used();
+        let swap = TxEffect::Swap {
+            pool: 0,
+            token_in: Token::Weth,
+            token_out: Token::Usdc,
+            amount_in: 1,
+            min_out: 0,
+        }
+        .gas_used();
+        let liq = TxEffect::Liquidate {
+            market: 0,
+            borrower: Address::derive("b"),
+        }
+        .gas_used();
+        assert!(transfer < token && token < swap && swap < liq);
+    }
+
+    #[test]
+    fn generic_effect_adds_extra_gas() {
+        assert_eq!(TxEffect::Generic { extra_gas: 79_000 }.gas_used(), Gas(100_000));
+    }
+
+    #[test]
+    fn privacy_flag() {
+        assert!(!TxPrivacy::Public.is_private());
+        assert!(TxPrivacy::Private { channel: 3 }.is_private());
+    }
+
+    #[test]
+    fn hash_distinguishes_effect_kinds() {
+        let a = sample();
+        let mut b = sample();
+        b.effect = TxEffect::Generic { extra_gas: 0 };
+        let b = b.finalize();
+        assert_ne!(a.hash, b.hash);
+    }
+}

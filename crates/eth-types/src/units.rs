@@ -1,0 +1,336 @@
+//! Value and gas units: [`Wei`], [`Gas`], and [`GasPrice`].
+//!
+//! `Wei` is a 128-bit unsigned quantity (1 ETH = 10^18 wei); u128 comfortably
+//! covers the total ETH supply (~1.2e26 wei) with 12 orders of magnitude of
+//! headroom, so aggregate sums over the whole study period cannot overflow.
+//! Arithmetic is checked in debug builds and saturating in the explicit
+//! `saturating_*` helpers used by accounting code.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of wei in one ETH.
+pub const WEI_PER_ETH: u128 = 1_000_000_000_000_000_000;
+
+/// Number of wei in one gwei (the conventional gas-price unit).
+pub const WEI_PER_GWEI: u128 = 1_000_000_000;
+
+/// An amount of wei — Ethereum's base currency unit.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Wei(pub u128);
+
+impl Wei {
+    /// Zero wei.
+    pub const ZERO: Wei = Wei(0);
+    /// One ETH.
+    pub const ETH: Wei = Wei(WEI_PER_ETH);
+    /// One gwei.
+    pub const GWEI: Wei = Wei(WEI_PER_GWEI);
+
+    /// Constructs from a (non-negative, finite) ETH amount.
+    ///
+    /// Panics if `eth` is negative, NaN, or too large for u128.
+    pub fn from_eth(eth: f64) -> Self {
+        assert!(eth.is_finite() && eth >= 0.0, "Wei::from_eth({eth})");
+        Wei((eth * WEI_PER_ETH as f64) as u128)
+    }
+
+    /// Constructs from a whole number of gwei.
+    pub fn from_gwei(gwei: u64) -> Self {
+        Wei(gwei as u128 * WEI_PER_GWEI)
+    }
+
+    /// Converts to ETH as f64 (analysis/reporting only — lossy above 2^53 wei
+    /// of *precision*, which is fine for aggregate statistics).
+    pub fn as_eth(&self) -> f64 {
+        self.0 as f64 / WEI_PER_ETH as f64
+    }
+
+    /// Converts to gwei as f64.
+    pub fn as_gwei(&self) -> f64 {
+        self.0 as f64 / WEI_PER_GWEI as f64
+    }
+
+    /// Checked subtraction: `None` on underflow.
+    pub fn checked_sub(self, rhs: Wei) -> Option<Wei> {
+        self.0.checked_sub(rhs.0).map(Wei)
+    }
+
+    /// Saturating subtraction, clamping at zero.
+    pub fn saturating_sub(self, rhs: Wei) -> Wei {
+        Wei(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Wei) -> Wei {
+        Wei(self.0.saturating_add(rhs.0))
+    }
+
+    /// Multiplies by a gas amount (wei-per-gas × gas = wei).
+    pub fn mul_gas(self, gas: Gas) -> Wei {
+        Wei(self.0 * gas.0 as u128)
+    }
+
+    /// Scales by a rational `num/den`, rounding down. Used for fee splits.
+    pub fn mul_ratio(self, num: u128, den: u128) -> Wei {
+        assert!(den != 0, "division by zero ratio");
+        Wei(self.0 / den * num + self.0 % den * num / den)
+    }
+
+    /// Returns the minimum of two amounts.
+    pub fn min(self, other: Wei) -> Wei {
+        Wei(self.0.min(other.0))
+    }
+
+    /// Returns the maximum of two amounts.
+    pub fn max(self, other: Wei) -> Wei {
+        Wei(self.0.max(other.0))
+    }
+
+    /// True iff the amount is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::ops::Add for Wei {
+    type Output = Wei;
+    fn add(self, rhs: Wei) -> Wei {
+        Wei(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Wei {
+    fn add_assign(&mut self, rhs: Wei) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Sub for Wei {
+    type Output = Wei;
+    fn sub(self, rhs: Wei) -> Wei {
+        Wei(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::SubAssign for Wei {
+    fn sub_assign(&mut self, rhs: Wei) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl std::iter::Sum for Wei {
+    fn sum<I: Iterator<Item = Wei>>(iter: I) -> Wei {
+        iter.fold(Wei::ZERO, |acc, w| acc.saturating_add(w))
+    }
+}
+
+impl std::fmt::Debug for Wei {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} wei", self.0)
+    }
+}
+
+impl std::fmt::Display for Wei {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6} ETH", self.as_eth())
+    }
+}
+
+/// An amount of gas — the execution layer's unit of computation.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Gas(pub u64);
+
+impl Gas {
+    /// Zero gas.
+    pub const ZERO: Gas = Gas(0);
+    /// The intrinsic cost of a plain ETH transfer.
+    pub const TX_BASE: Gas = Gas(21_000);
+    /// Post-merge mainnet block gas limit (30M).
+    pub const BLOCK_LIMIT: Gas = Gas(30_000_000);
+    /// EIP-1559 target block size (half the limit, 15M).
+    pub const BLOCK_TARGET: Gas = Gas(15_000_000);
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Gas) -> Gas {
+        Gas(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Gas) -> Gas {
+        Gas(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl std::ops::Add for Gas {
+    type Output = Gas;
+    fn add(self, rhs: Gas) -> Gas {
+        Gas(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Gas {
+    fn add_assign(&mut self, rhs: Gas) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Sub for Gas {
+    type Output = Gas;
+    fn sub(self, rhs: Gas) -> Gas {
+        Gas(self.0 - rhs.0)
+    }
+}
+
+impl std::iter::Sum for Gas {
+    fn sum<I: Iterator<Item = Gas>>(iter: I) -> Gas {
+        iter.fold(Gas::ZERO, |acc, g| acc.saturating_add(g))
+    }
+}
+
+impl std::fmt::Debug for Gas {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} gas", self.0)
+    }
+}
+
+impl std::fmt::Display for Gas {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A price per unit of gas, in wei — base fees and priority fees.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct GasPrice(pub u128);
+
+impl GasPrice {
+    /// Zero price.
+    pub const ZERO: GasPrice = GasPrice(0);
+
+    /// Constructs from gwei-per-gas.
+    pub fn from_gwei(gwei: f64) -> Self {
+        assert!(gwei.is_finite() && gwei >= 0.0, "GasPrice::from_gwei({gwei})");
+        GasPrice((gwei * WEI_PER_GWEI as f64) as u128)
+    }
+
+    /// Converts to gwei as f64.
+    pub fn as_gwei(&self) -> f64 {
+        self.0 as f64 / WEI_PER_GWEI as f64
+    }
+
+    /// Total wei for `gas` units at this price.
+    pub fn cost(self, gas: Gas) -> Wei {
+        Wei(self.0 * gas.0 as u128)
+    }
+
+    /// Saturating subtraction of two prices (effective tip computation).
+    pub fn saturating_sub(self, rhs: GasPrice) -> GasPrice {
+        GasPrice(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Minimum of two prices.
+    pub fn min(self, other: GasPrice) -> GasPrice {
+        GasPrice(self.0.min(other.0))
+    }
+}
+
+impl std::ops::Add for GasPrice {
+    type Output = GasPrice;
+    fn add(self, rhs: GasPrice) -> GasPrice {
+        GasPrice(self.0 + rhs.0)
+    }
+}
+
+impl std::fmt::Debug for GasPrice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} gwei/gas", self.as_gwei())
+    }
+}
+
+impl std::fmt::Display for GasPrice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} gwei", self.as_gwei())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eth_round_trip() {
+        let w = Wei::from_eth(0.1126); // the paper's average per-block reward
+        assert!((w.as_eth() - 0.1126).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gwei_conversions() {
+        assert_eq!(Wei::from_gwei(1), Wei(WEI_PER_GWEI));
+        assert_eq!(GasPrice::from_gwei(2.0).0, 2 * WEI_PER_GWEI);
+    }
+
+    #[test]
+    fn cost_multiplies_price_by_gas() {
+        let p = GasPrice::from_gwei(10.0);
+        assert_eq!(p.cost(Gas::TX_BASE), Wei(10 * WEI_PER_GWEI * 21_000));
+    }
+
+    #[test]
+    fn mul_ratio_is_exact_for_clean_splits() {
+        let w = Wei::from_eth(1.0);
+        assert_eq!(w.mul_ratio(1, 2) + w.mul_ratio(1, 2), w);
+        assert_eq!(w.mul_ratio(9, 10), Wei::from_eth(0.9));
+    }
+
+    #[test]
+    fn mul_ratio_does_not_overflow_on_large_values() {
+        // Total ETH supply scaled by 99/100 must not overflow u128.
+        let supply = Wei(120_000_000 * WEI_PER_ETH);
+        let scaled = supply.mul_ratio(99, 100);
+        assert!(scaled < supply);
+        assert_eq!(scaled, Wei(118_800_000 * WEI_PER_ETH));
+    }
+
+    #[test]
+    fn saturating_ops_clamp() {
+        assert_eq!(Wei(5).saturating_sub(Wei(10)), Wei::ZERO);
+        assert_eq!(Wei(u128::MAX).saturating_add(Wei(1)), Wei(u128::MAX));
+        assert_eq!(Gas(5).saturating_sub(Gas(10)), Gas::ZERO);
+    }
+
+    #[test]
+    fn checked_sub_detects_underflow() {
+        assert_eq!(Wei(5).checked_sub(Wei(10)), None);
+        assert_eq!(Wei(10).checked_sub(Wei(5)), Some(Wei(5)));
+    }
+
+    #[test]
+    fn sum_saturates_rather_than_panics() {
+        let total: Wei = vec![Wei(u128::MAX), Wei(1)].into_iter().sum();
+        assert_eq!(total, Wei(u128::MAX));
+    }
+
+    #[test]
+    fn block_constants_match_mainnet() {
+        assert_eq!(Gas::BLOCK_LIMIT.0, 2 * Gas::BLOCK_TARGET.0);
+        assert_eq!(Gas::BLOCK_TARGET.0, 15_000_000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_eth_rejects_negative() {
+        let _ = Wei::from_eth(-1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Wei::from_eth(1.5)), "1.500000 ETH");
+        assert_eq!(format!("{}", Gas::TX_BASE), "21000");
+    }
+}

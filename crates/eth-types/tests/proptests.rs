@@ -1,0 +1,130 @@
+//! Property-based tests for the eth-types foundations: codec round-trips,
+//! hex round-trips, wei arithmetic invariants, and calendar consistency.
+
+use eth_types::codec::{Decodable, Encodable};
+use eth_types::{Address, DayIndex, Gas, GasPrice, H256, Slot, StudyCalendar, Wei};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn varint_round_trip(v in any::<u64>()) {
+        let bytes = v.encoded();
+        prop_assert_eq!(u64::decoded(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn wei_codec_round_trip(v in any::<u128>()) {
+        let w = Wei(v);
+        prop_assert_eq!(Wei::decoded(&w.encoded()).unwrap(), w);
+    }
+
+    #[test]
+    fn address_hex_round_trip(bytes in any::<[u8; 20]>()) {
+        let a = Address(bytes);
+        let s = format!("{a}");
+        prop_assert_eq!(Address::from_hex(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn h256_hex_round_trip(bytes in any::<[u8; 32]>()) {
+        let h = H256(bytes);
+        let s = format!("{h}");
+        prop_assert_eq!(H256::from_hex(&s).unwrap(), h);
+    }
+
+    #[test]
+    fn wei_mul_ratio_never_exceeds_input(v in any::<u128>(), num in 0u128..=100, den in 1u128..=100) {
+        prop_assume!(num <= den);
+        let w = Wei(v);
+        prop_assert!(w.mul_ratio(num, den) <= w);
+    }
+
+    #[test]
+    fn wei_mul_ratio_identity(v in any::<u128>()) {
+        prop_assert_eq!(Wei(v).mul_ratio(1, 1), Wei(v));
+    }
+
+    #[test]
+    fn wei_saturating_sub_never_underflows(a in any::<u128>(), b in any::<u128>()) {
+        let r = Wei(a).saturating_sub(Wei(b));
+        prop_assert!(r.0 <= a);
+    }
+
+    #[test]
+    fn effective_tip_never_exceeds_caps(
+        tip_gwei in 0.0f64..1000.0,
+        cap_gwei in 0.0f64..1000.0,
+        base_gwei in 0.0f64..1000.0,
+    ) {
+        let tx = eth_types::Transaction::transfer(
+            Address::derive("p"),
+            Address::derive("q"),
+            Wei::ZERO,
+            0,
+            GasPrice::from_gwei(tip_gwei),
+            GasPrice::from_gwei(cap_gwei),
+        );
+        let base = GasPrice::from_gwei(base_gwei);
+        let eff = tx.effective_tip(base);
+        prop_assert!(eff <= tx.max_priority_fee_per_gas);
+        prop_assert!(GasPrice(base.0 + eff.0) <= tx.max_fee_per_gas || eff == GasPrice::ZERO);
+    }
+
+    #[test]
+    fn calendar_day_of_slot_is_monotone(
+        bpd in 1u32..=7200,
+        s1 in 0u64..100_000,
+        s2 in 0u64..100_000,
+    ) {
+        let cal = StudyCalendar::new(bpd, 198);
+        prop_assume!(s1 <= s2);
+        prop_assert!(cal.day_of_slot(Slot(s1)) <= cal.day_of_slot(Slot(s2)));
+    }
+
+    #[test]
+    fn calendar_first_slot_inverts_day_of_slot(bpd in 1u32..=7200, day in 0u32..198) {
+        let cal = StudyCalendar::new(bpd, 198);
+        let slot = cal.first_slot_of_day(DayIndex(day));
+        prop_assert_eq!(cal.day_of_slot(slot), DayIndex(day));
+    }
+
+    #[test]
+    fn day_iso_parses_back(day in 0u32..198) {
+        let d = DayIndex(day);
+        let (_, m, dom) = d.date();
+        prop_assert_eq!(DayIndex::from_date(m, dom), Some(d));
+    }
+
+    #[test]
+    fn gas_sum_saturates(values in proptest::collection::vec(any::<u64>(), 0..20)) {
+        let total: Gas = values.iter().map(|&v| Gas(v)).sum();
+        // Must not panic and must dominate each element or have saturated.
+        let max = values.iter().copied().max().unwrap_or(0);
+        prop_assert!(total.0 >= max || total.0 == u64::MAX);
+    }
+
+    #[test]
+    fn keccak_is_collision_free_on_distinct_labels(a in "[a-z]{1,12}", b in "[a-z]{1,12}") {
+        prop_assume!(a != b);
+        prop_assert_ne!(H256::derive(&a), H256::derive(&b));
+    }
+
+    #[test]
+    fn string_codec_round_trip(s in "\\PC{0,64}") {
+        let owned = s.to_string();
+        prop_assert_eq!(String::decoded(&owned.encoded()).unwrap(), owned);
+    }
+
+    #[test]
+    fn vec_codec_round_trip(v in proptest::collection::vec(any::<u64>(), 0..64)) {
+        prop_assert_eq!(Vec::<u64>::decoded(&v.encoded()).unwrap(), v);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Decoding arbitrary bytes must return, never panic.
+        let _ = Vec::<Wei>::decoded(&data);
+        let _ = Address::decoded(&data);
+        let _ = String::decoded(&data);
+    }
+}

@@ -1,0 +1,448 @@
+//! The block executor.
+//!
+//! Runs an ordered transaction list against the state ledger, producing the
+//! exact artifacts an archive node would expose for the block: receipts,
+//! event logs, and internal-transfer traces. Fee settlement follows
+//! EIP-1559 — the base fee is burned, the effective tip goes to the block's
+//! `fee_recipient`, and any `coinbase_tip` executes as an *internal ETH
+//! transfer to the fee recipient*, which is precisely the signal the paper
+//! traces to measure "direct transfers" (§3.1, Figure 3).
+
+use crate::state::StateLedger;
+use eth_types::{
+    Address, Block, BlockBody, BlockHeader, Gas, GasPrice, Log, Receipt, Slot, TraceAction,
+    TraceKind, Transaction, TxEffect, TxStatus, UnixTime, Wei,
+};
+
+/// Result of applying a DeFi effect.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EffectOutcome {
+    /// Effect applied; carries its logs and any internal ETH transfers
+    /// `(from, to, value)` beyond the top-level one.
+    Applied {
+        /// Event logs emitted by the effect.
+        logs: Vec<Log>,
+        /// Extra internal ETH transfers (e.g. liquidation bonus flows).
+        transfers: Vec<(Address, Address, Wei)>,
+    },
+    /// Effect reverted (e.g. slippage bound violated). Fees are still paid.
+    Reverted,
+}
+
+impl EffectOutcome {
+    /// An applied outcome with no logs or transfers.
+    pub fn empty() -> Self {
+        EffectOutcome::Applied {
+            logs: Vec::new(),
+            transfers: Vec::new(),
+        }
+    }
+}
+
+/// Backend executing DeFi effects (swaps, liquidations, oracle updates).
+///
+/// Implemented by the `defi` crate's market state; the executor owns
+/// everything else (transfers, token transfers, fees, generic calls).
+pub trait EffectBackend {
+    /// Applies one DeFi effect for `tx`, mutating market state.
+    fn apply(&mut self, tx: &Transaction) -> EffectOutcome;
+}
+
+/// A backend that applies every DeFi effect as a no-op. Useful for tests
+/// and for workloads without DeFi traffic.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullBackend;
+
+impl EffectBackend for NullBackend {
+    fn apply(&mut self, _tx: &Transaction) -> EffectOutcome {
+        EffectOutcome::empty()
+    }
+}
+
+/// A sealed block plus the fee-settlement summary the builder cares about.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutedBlock {
+    /// The sealed block with receipts and traces.
+    pub block: Block,
+    /// Total priority fees collected by the fee recipient.
+    pub priority_fees: Wei,
+    /// Total in-execution direct transfers (coinbase tips) received by the
+    /// fee recipient.
+    pub direct_transfers: Wei,
+    /// Total base fee burned.
+    pub burned: Wei,
+    /// Transactions dropped during execution (fee cap below base fee or out
+    /// of block gas) — a correct producer supplies none.
+    pub skipped: usize,
+}
+
+impl ExecutedBlock {
+    /// The block's producer-visible value: priority fees + direct transfers.
+    /// This is the quantity Figures 9–12 are built on.
+    pub fn block_value(&self) -> Wei {
+        self.priority_fees + self.direct_transfers
+    }
+}
+
+/// Executes ordered transactions into sealed blocks.
+#[derive(Debug, Clone)]
+pub struct BlockExecutor {
+    /// Block gas limit.
+    pub gas_limit: Gas,
+}
+
+impl Default for BlockExecutor {
+    fn default() -> Self {
+        BlockExecutor {
+            gas_limit: Gas::BLOCK_LIMIT,
+        }
+    }
+}
+
+impl BlockExecutor {
+    /// Creates an executor with a custom gas limit.
+    pub fn new(gas_limit: Gas) -> Self {
+        BlockExecutor { gas_limit }
+    }
+
+    /// Executes `txs` in order and seals the block.
+    ///
+    /// Transactions whose fee cap is below the base fee, or that would
+    /// exceed the block gas limit, are skipped (counted in
+    /// [`ExecutedBlock::skipped`]). A transaction whose effect reverts or
+    /// whose value transfer fails still pays fees, exactly like mainnet.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute(
+        &self,
+        slot: Slot,
+        number: u64,
+        timestamp: UnixTime,
+        parent_hash: eth_types::H256,
+        fee_recipient: Address,
+        base_fee: GasPrice,
+        txs: &[Transaction],
+        state: &mut StateLedger,
+        backend: &mut dyn EffectBackend,
+    ) -> ExecutedBlock {
+        let mut included = Vec::new();
+        let mut receipts = Vec::new();
+        let mut traces = Vec::new();
+        let mut gas_used_total = Gas::ZERO;
+        let mut priority_fees = Wei::ZERO;
+        let mut direct_transfers = Wei::ZERO;
+        let mut burned = Wei::ZERO;
+        let mut skipped = 0usize;
+
+        for tx in txs {
+            if !tx.includable_at(base_fee) {
+                skipped += 1;
+                continue;
+            }
+            let gas = tx.gas_used();
+            if gas_used_total.0 + gas.0 > self.gas_limit.0 {
+                skipped += 1;
+                continue;
+            }
+
+            // Fee settlement first: burn base fee, pay the tip.
+            let base_cost = base_fee.cost(gas);
+            let tip = tx.effective_tip(base_fee);
+            let tip_cost = tip.cost(gas);
+            if state.burn(tx.sender, base_cost).is_err() {
+                skipped += 1; // destitute sender: tx invalid, not included
+                continue;
+            }
+            if state.transfer(tx.sender, fee_recipient, tip_cost).is_err() {
+                skipped += 1;
+                continue;
+            }
+            burned += base_cost;
+            priority_fees += tip_cost;
+            gas_used_total += gas;
+
+            // Apply the effect.
+            let mut status = TxStatus::Success;
+            let mut logs = Vec::new();
+            match &tx.effect {
+                TxEffect::Transfer | TxEffect::Generic { .. } => {
+                    if tx.value.is_zero() {
+                        // nothing to move
+                    } else if state.transfer(tx.sender, tx.to, tx.value).is_ok() {
+                        traces.push(TraceAction {
+                            tx_hash: tx.hash,
+                            from: tx.sender,
+                            to: tx.to,
+                            value: tx.value,
+                            kind: TraceKind::TopLevel,
+                        });
+                    } else {
+                        status = TxStatus::Reverted;
+                    }
+                }
+                TxEffect::TokenTransfer { amount, recipient } => {
+                    logs.push(Log::erc20_transfer(amount, tx.sender, *recipient));
+                }
+                TxEffect::Swap { .. } | TxEffect::Liquidate { .. } | TxEffect::OracleUpdate { .. } => {
+                    match backend.apply(tx) {
+                        EffectOutcome::Applied {
+                            logs: effect_logs,
+                            transfers,
+                        } => {
+                            logs.extend(effect_logs);
+                            for (from, to, value) in transfers {
+                                if state.transfer(from, to, value).is_ok() {
+                                    traces.push(TraceAction {
+                                        tx_hash: tx.hash,
+                                        from,
+                                        to,
+                                        value,
+                                        kind: TraceKind::InternalCall,
+                                    });
+                                }
+                            }
+                        }
+                        EffectOutcome::Reverted => status = TxStatus::Reverted,
+                    }
+                }
+            }
+
+            // Coinbase tip: an internal transfer to the fee recipient,
+            // executed only when the carrying transaction succeeded.
+            if status == TxStatus::Success && !tx.coinbase_tip.is_zero() {
+                if state.transfer(tx.sender, fee_recipient, tx.coinbase_tip).is_ok() {
+                    traces.push(TraceAction {
+                        tx_hash: tx.hash,
+                        from: tx.sender,
+                        to: fee_recipient,
+                        value: tx.coinbase_tip,
+                        kind: TraceKind::InternalCall,
+                    });
+                    direct_transfers += tx.coinbase_tip;
+                } else {
+                    status = TxStatus::Reverted;
+                }
+            }
+
+            if status == TxStatus::Reverted {
+                logs.clear();
+            }
+            receipts.push(Receipt {
+                tx_hash: tx.hash,
+                tx_index: included.len() as u32,
+                status,
+                gas_used: gas,
+                effective_gas_price: GasPrice(base_fee.0 + tip.0),
+                logs,
+            });
+            included.push(tx.clone());
+        }
+
+        let mut header = BlockHeader {
+            number,
+            slot,
+            parent_hash,
+            hash: eth_types::H256::ZERO,
+            timestamp,
+            fee_recipient,
+            gas_limit: self.gas_limit,
+            gas_used: gas_used_total,
+            base_fee,
+            tx_root: BlockHeader::tx_root_of(&included),
+        };
+        header.hash = header.compute_hash();
+
+        ExecutedBlock {
+            block: Block {
+                header,
+                body: BlockBody {
+                    transactions: included,
+                    receipts,
+                    traces,
+                },
+            },
+            priority_fees,
+            direct_transfers,
+            burned,
+            skipped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eth_types::{Token, TokenAmount, H256};
+
+    fn exec(
+        txs: &[Transaction],
+        base_gwei: f64,
+        state: &mut StateLedger,
+    ) -> ExecutedBlock {
+        BlockExecutor::default().execute(
+            Slot(1),
+            100,
+            UnixTime(1_700_000_000),
+            H256::derive("parent"),
+            Address::derive("fee-recipient"),
+            GasPrice::from_gwei(base_gwei),
+            txs,
+            state,
+            &mut NullBackend,
+        )
+    }
+
+    fn transfer_tx(label: &str, eth: f64, tip_gwei: f64) -> Transaction {
+        Transaction::transfer(
+            Address::derive(label),
+            Address::derive("dest"),
+            Wei::from_eth(eth),
+            0,
+            GasPrice::from_gwei(tip_gwei),
+            GasPrice::from_gwei(100.0),
+        )
+    }
+
+    #[test]
+    fn fees_are_settled_per_eip1559() {
+        let mut state = StateLedger::new(Wei::from_eth(10.0));
+        let tx = transfer_tx("alice", 1.0, 2.0);
+        let out = exec(&[tx], 10.0, &mut state);
+
+        let gas = Gas(21_000);
+        assert_eq!(out.burned, GasPrice::from_gwei(10.0).cost(gas));
+        assert_eq!(out.priority_fees, GasPrice::from_gwei(2.0).cost(gas));
+        assert_eq!(out.direct_transfers, Wei::ZERO);
+        assert_eq!(out.block_value(), out.priority_fees);
+        assert_eq!(out.skipped, 0);
+        assert!(state.check_conservation());
+
+        // The fee recipient actually holds the tip.
+        let fr = state.balance(Address::derive("fee-recipient"));
+        assert_eq!(fr, Wei::from_eth(10.0) + out.priority_fees);
+    }
+
+    #[test]
+    fn transfer_moves_value_and_produces_trace() {
+        let mut state = StateLedger::new(Wei::from_eth(10.0));
+        let tx = transfer_tx("alice", 1.5, 1.0);
+        let out = exec(std::slice::from_ref(&tx), 5.0, &mut state);
+
+        assert_eq!(out.block.body.traces.len(), 1);
+        let t = &out.block.body.traces[0];
+        assert_eq!(t.kind, TraceKind::TopLevel);
+        assert_eq!(t.value, Wei::from_eth(1.5));
+        assert_eq!(state.balance(Address::derive("dest")), Wei::from_eth(11.5));
+        assert!(out.block.body.receipts[0].ok());
+    }
+
+    #[test]
+    fn coinbase_tip_becomes_internal_trace_and_direct_transfer() {
+        let mut state = StateLedger::new(Wei::from_eth(10.0));
+        let mut tx = transfer_tx("searcher", 0.0, 0.1);
+        tx.coinbase_tip = Wei::from_eth(0.25);
+        let tx = tx.finalize();
+        let out = exec(&[tx], 5.0, &mut state);
+
+        assert_eq!(out.direct_transfers, Wei::from_eth(0.25));
+        let internal: Vec<_> = out
+            .block
+            .body
+            .traces
+            .iter()
+            .filter(|t| t.kind == TraceKind::InternalCall)
+            .collect();
+        assert_eq!(internal.len(), 1);
+        assert_eq!(internal[0].to, Address::derive("fee-recipient"));
+        assert_eq!(out.block_value(), out.priority_fees + Wei::from_eth(0.25));
+    }
+
+    #[test]
+    fn unincludable_tx_is_skipped() {
+        let mut state = StateLedger::new(Wei::from_eth(10.0));
+        let mut tx = transfer_tx("alice", 1.0, 1.0);
+        tx.max_fee_per_gas = GasPrice::from_gwei(3.0);
+        let out = exec(&[tx.finalize()], 5.0, &mut state);
+        assert_eq!(out.skipped, 1);
+        assert_eq!(out.block.tx_count(), 0);
+        assert_eq!(out.burned, Wei::ZERO);
+    }
+
+    #[test]
+    fn block_gas_limit_is_enforced() {
+        let mut state = StateLedger::new(Wei::from_eth(10.0));
+        let mut txs = Vec::new();
+        for i in 0..5 {
+            let mut t = transfer_tx(&format!("s{i}"), 0.0, 1.0);
+            t.effect = eth_types::TxEffect::Generic {
+                extra_gas: 9_979_000, // 10M gas each
+            };
+            txs.push(t.finalize());
+        }
+        let out = exec(&txs, 5.0, &mut state);
+        assert_eq!(out.block.tx_count(), 3); // 30M limit fits 3×10M
+        assert_eq!(out.skipped, 2);
+        assert_eq!(out.block.header.gas_used, Gas(30_000_000));
+    }
+
+    #[test]
+    fn overdrawn_value_reverts_but_pays_fees() {
+        let mut state = StateLedger::new(Wei::from_eth(1.0));
+        let tx = transfer_tx("poor", 5.0, 1.0); // only has 1 ETH
+        let out = exec(&[tx], 5.0, &mut state);
+        assert_eq!(out.block.tx_count(), 1);
+        assert_eq!(out.block.body.receipts[0].status, TxStatus::Reverted);
+        assert!(out.priority_fees > Wei::ZERO);
+        assert!(out.block.body.traces.is_empty());
+        assert!(state.check_conservation());
+    }
+
+    #[test]
+    fn token_transfer_emits_erc20_log() {
+        let mut state = StateLedger::new(Wei::from_eth(10.0));
+        let mut tx = transfer_tx("holder", 0.0, 1.0);
+        tx.to = Token::Usdc.contract();
+        tx.effect = eth_types::TxEffect::TokenTransfer {
+            amount: TokenAmount::from_units(Token::Usdc, 500.0),
+            recipient: Address::derive("friend"),
+        };
+        let out = exec(&[tx.finalize()], 5.0, &mut state);
+        let logs = &out.block.body.receipts[0].logs;
+        assert_eq!(logs.len(), 1);
+        let (from, to, raw) = logs[0].decode_erc20_transfer().unwrap();
+        assert_eq!(from, Address::derive("holder"));
+        assert_eq!(to, Address::derive("friend"));
+        assert_eq!(raw, 500_000_000);
+    }
+
+    #[test]
+    fn header_hash_commits_to_contents() {
+        let mut state = StateLedger::new(Wei::from_eth(10.0));
+        let out1 = exec(&[transfer_tx("a", 1.0, 1.0)], 5.0, &mut state);
+        let mut state2 = StateLedger::new(Wei::from_eth(10.0));
+        let out2 = exec(&[transfer_tx("a", 1.0, 2.0)], 5.0, &mut state2);
+        assert_ne!(out1.block.header.hash, out2.block.header.hash);
+        assert_eq!(out1.block.header.hash, out1.block.header.compute_hash());
+    }
+
+    #[test]
+    fn receipts_align_with_transactions() {
+        let mut state = StateLedger::new(Wei::from_eth(10.0));
+        let txs = vec![transfer_tx("a", 0.1, 1.0), transfer_tx("b", 0.2, 2.0)];
+        let out = exec(&txs, 5.0, &mut state);
+        assert_eq!(out.block.body.receipts.len(), 2);
+        for (i, (tx, r)) in out.block.txs_with_receipts().enumerate() {
+            assert_eq!(tx.hash, r.tx_hash);
+            assert_eq!(r.tx_index, i as u32);
+        }
+    }
+
+    #[test]
+    fn effective_gas_price_is_base_plus_tip() {
+        let mut state = StateLedger::new(Wei::from_eth(10.0));
+        let out = exec(&[transfer_tx("a", 0.1, 2.0)], 10.0, &mut state);
+        assert_eq!(
+            out.block.body.receipts[0].effective_gas_price,
+            GasPrice::from_gwei(12.0)
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! The EIP-1559 fee market (paper §3.1).
+//!
+//! Every block carries a protocol-set *base fee* that is burned; users add a
+//! *priority fee* tip on top. The base fee adjusts by up to ±1/8 per block
+//! toward the 15M-gas target: fuller blocks raise it, emptier blocks lower
+//! it. Figure 3 of the paper decomposes user payments into exactly these
+//! components, with the burned base fee averaging 72.3% of user fees.
+
+use eth_types::{Gas, GasPrice};
+
+/// The protocol floor for the base fee (7 wei on mainnet).
+pub const MIN_BASE_FEE: GasPrice = GasPrice(7);
+
+/// EIP-1559 base-fee change denominator: max ±1/8 change per block.
+pub const BASE_FEE_MAX_CHANGE_DENOMINATOR: u128 = 8;
+
+/// Computes the next block's base fee from the parent block.
+///
+/// Mirrors the EIP-1559 specification:
+/// * at target usage the base fee is unchanged;
+/// * above target it rises proportionally, capped at +1/8;
+/// * below target it falls proportionally, capped at −1/8;
+/// * increases are at least 1 wei when usage is above target;
+/// * never drops below [`MIN_BASE_FEE`].
+pub fn next_base_fee(parent_base: GasPrice, parent_gas_used: Gas, target: Gas) -> GasPrice {
+    let base = parent_base.0;
+    let used = parent_gas_used.0 as u128;
+    let tgt = (target.0 as u128).max(1);
+
+    let next = if used == tgt {
+        base
+    } else if used > tgt {
+        let delta = base * (used - tgt) / tgt / BASE_FEE_MAX_CHANGE_DENOMINATOR;
+        base + delta.max(1)
+    } else {
+        let delta = base * (tgt - used) / tgt / BASE_FEE_MAX_CHANGE_DENOMINATOR;
+        base.saturating_sub(delta)
+    };
+    GasPrice(next.max(MIN_BASE_FEE.0))
+}
+
+/// Tracks the base fee across consecutive blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeeMarket {
+    current: GasPrice,
+    target: Gas,
+}
+
+impl FeeMarket {
+    /// Creates a fee market with an initial base fee and gas target.
+    pub fn new(initial_base: GasPrice, target: Gas) -> Self {
+        FeeMarket {
+            current: GasPrice(initial_base.0.max(MIN_BASE_FEE.0)),
+            target,
+        }
+    }
+
+    /// The base fee in force for the next block.
+    pub fn base_fee(&self) -> GasPrice {
+        self.current
+    }
+
+    /// The gas target.
+    pub fn target(&self) -> Gas {
+        self.target
+    }
+
+    /// Advances the market after sealing a block that used `gas_used`.
+    pub fn on_block(&mut self, gas_used: Gas) {
+        self.current = next_base_fee(self.current, gas_used, self.target);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gp(gwei: f64) -> GasPrice {
+        GasPrice::from_gwei(gwei)
+    }
+
+    #[test]
+    fn unchanged_at_target() {
+        let b = next_base_fee(gp(20.0), Gas::BLOCK_TARGET, Gas::BLOCK_TARGET);
+        assert_eq!(b, gp(20.0));
+    }
+
+    #[test]
+    fn full_block_raises_one_eighth() {
+        // Full block = 2× target → +1/8 exactly.
+        let b = next_base_fee(gp(16.0), Gas::BLOCK_LIMIT, Gas::BLOCK_TARGET);
+        assert_eq!(b, gp(18.0));
+    }
+
+    #[test]
+    fn empty_block_lowers_one_eighth() {
+        let b = next_base_fee(gp(16.0), Gas::ZERO, Gas::BLOCK_TARGET);
+        assert_eq!(b, gp(14.0));
+    }
+
+    #[test]
+    fn above_target_always_rises_at_least_one_wei() {
+        let b = next_base_fee(GasPrice(7), Gas(Gas::BLOCK_TARGET.0 + 1), Gas::BLOCK_TARGET);
+        assert!(b.0 >= 8);
+    }
+
+    #[test]
+    fn floor_is_respected() {
+        let mut market = FeeMarket::new(GasPrice(8), Gas::BLOCK_TARGET);
+        for _ in 0..100 {
+            market.on_block(Gas::ZERO);
+        }
+        assert_eq!(market.base_fee(), MIN_BASE_FEE);
+    }
+
+    #[test]
+    fn market_tracks_sequence() {
+        let mut market = FeeMarket::new(gp(16.0), Gas::BLOCK_TARGET);
+        market.on_block(Gas::BLOCK_LIMIT); // +1/8
+        assert_eq!(market.base_fee(), gp(18.0));
+        market.on_block(Gas::BLOCK_TARGET); // unchanged
+        assert_eq!(market.base_fee(), gp(18.0));
+        market.on_block(Gas::ZERO); // -1/8
+        assert_eq!(market.base_fee(), GasPrice(gp(18.0).0 - gp(18.0).0 / 8));
+    }
+
+    #[test]
+    fn proportionality_between_extremes() {
+        // 1.5× target → +1/16.
+        let used = Gas(Gas::BLOCK_TARGET.0 * 3 / 2);
+        let b = next_base_fee(gp(32.0), used, Gas::BLOCK_TARGET);
+        assert_eq!(b, gp(34.0));
+    }
+
+    #[test]
+    fn oscillation_is_stable_around_target() {
+        // Alternating full/empty blocks keep the fee bounded.
+        let mut market = FeeMarket::new(gp(20.0), Gas::BLOCK_TARGET);
+        for i in 0..200 {
+            market.on_block(if i % 2 == 0 { Gas::BLOCK_LIMIT } else { Gas::ZERO });
+        }
+        let g = market.base_fee().as_gwei();
+        assert!(g > 1.0 && g < 100.0, "base fee drifted to {g} gwei");
+    }
+
+    #[test]
+    fn initial_base_clamped_to_floor() {
+        let m = FeeMarket::new(GasPrice(1), Gas::BLOCK_TARGET);
+        assert_eq!(m.base_fee(), MIN_BASE_FEE);
+    }
+}

@@ -1,0 +1,29 @@
+//! Execution-layer substrate (paper §2.1, §3.1).
+//!
+//! Implements the pieces of Ethereum's execution layer the measurement
+//! pipeline depends on:
+//!
+//! * the EIP-1559 fee market — base-fee update rule, burning, priority fees
+//!   ([`feemarket`]),
+//! * a balance/nonce state ledger with conservation checks ([`state`]),
+//! * a pending-transaction mempool with tip-ordered selection ([`mempool`]),
+//! * the block executor, which runs ordered transactions, produces receipts,
+//!   logs and traces (including the in-execution "direct transfers to the
+//!   fee recipient" the paper measures as bribes), and settles fees
+//!   ([`executor`]).
+//!
+//! DeFi effects (swaps, liquidations, oracle updates) execute through the
+//! [`EffectBackend`] trait, implemented by the `defi` crate — keeping this
+//! crate free of market mechanics while producing mainnet-shaped artifacts.
+
+pub mod executor;
+pub mod feemarket;
+pub mod mempool;
+pub mod state;
+
+pub use executor::{
+    BlockExecutor, EffectBackend, EffectOutcome, ExecutedBlock, NullBackend,
+};
+pub use feemarket::{next_base_fee, FeeMarket, MIN_BASE_FEE};
+pub use mempool::Mempool;
+pub use state::StateLedger;

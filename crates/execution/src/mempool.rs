@@ -1,0 +1,273 @@
+//! The pending-transaction pool.
+//!
+//! Nodes aggregate gossiped transactions here until they are included in a
+//! block (paper §2.1). The pool supports the two selection strategies the
+//! study contrasts: the naive gas-price ordering proposers historically used
+//! ("proposers have simply ordered transactions according to their gas
+//! price", §1) and value-greedy selection used by builders.
+
+use eth_types::{Gas, GasPrice, Transaction, TxHash, Wei};
+use std::collections::BTreeMap;
+
+/// A bounded pending-transaction pool.
+#[derive(Debug, Clone)]
+pub struct Mempool {
+    txs: BTreeMap<TxHash, Transaction>,
+    capacity: usize,
+}
+
+impl Mempool {
+    /// Creates a pool holding at most `capacity` transactions.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Mempool {
+            txs: BTreeMap::new(),
+            capacity,
+        }
+    }
+
+    /// Inserts a transaction. When full, the lowest-tipping transaction is
+    /// evicted first (standard mempool behaviour); returns `false` if the
+    /// new transaction itself was the lowest and was rejected.
+    pub fn insert(&mut self, tx: Transaction) -> bool {
+        if self.txs.contains_key(&tx.hash) {
+            return true; // idempotent
+        }
+        if self.txs.len() >= self.capacity {
+            let (worst_hash, worst_tip) = self
+                .txs
+                .iter()
+                .map(|(h, t)| (*h, t.max_priority_fee_per_gas))
+                .min_by_key(|&(_, tip)| tip)
+                .expect("pool non-empty when full");
+            if tx.max_priority_fee_per_gas <= worst_tip {
+                return false;
+            }
+            self.txs.remove(&worst_hash);
+        }
+        self.txs.insert(tx.hash, tx);
+        true
+    }
+
+    /// Removes a transaction (e.g. after block inclusion).
+    pub fn remove(&mut self, hash: &TxHash) -> Option<Transaction> {
+        self.txs.remove(hash)
+    }
+
+    /// Removes every transaction included in a sealed block.
+    pub fn prune_included<'a>(&mut self, hashes: impl Iterator<Item = &'a TxHash>) {
+        for h in hashes {
+            self.txs.remove(h);
+        }
+    }
+
+    /// Whether the pool currently holds `hash`.
+    pub fn contains(&self, hash: &TxHash) -> bool {
+        self.txs.contains_key(hash)
+    }
+
+    /// Number of pending transactions.
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// True if no transactions are pending.
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+
+    /// Iterates over pending transactions in hash order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = &Transaction> {
+        self.txs.values()
+    }
+
+    /// Selects transactions for a block by *effective producer value per
+    /// gas* (the builder strategy): sorts includable transactions by
+    /// `producer_value / gas_used` descending and packs greedily until the
+    /// gas limit.
+    pub fn select_value_greedy(&self, base_fee: GasPrice, gas_limit: Gas) -> Vec<Transaction> {
+        let mut candidates: Vec<&Transaction> = self
+            .txs
+            .values()
+            .filter(|t| t.includable_at(base_fee))
+            .collect();
+        candidates.sort_by(|a, b| {
+            let va = per_gas_value(a, base_fee);
+            let vb = per_gas_value(b, base_fee);
+            vb.partial_cmp(&va)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.hash.cmp(&b.hash))
+        });
+        pack(candidates, gas_limit)
+    }
+
+    /// Selects transactions by raw gas price (the historical naive proposer
+    /// strategy): sorts by priority-fee cap descending, ignoring coinbase
+    /// tips, and packs greedily.
+    pub fn select_gas_price_ordered(
+        &self,
+        base_fee: GasPrice,
+        gas_limit: Gas,
+    ) -> Vec<Transaction> {
+        let mut candidates: Vec<&Transaction> = self
+            .txs
+            .values()
+            .filter(|t| t.includable_at(base_fee))
+            .collect();
+        candidates.sort_by(|a, b| {
+            b.max_priority_fee_per_gas
+                .cmp(&a.max_priority_fee_per_gas)
+                .then_with(|| a.hash.cmp(&b.hash))
+        });
+        pack(candidates, gas_limit)
+    }
+
+    /// Total producer-visible value pending at a given base fee.
+    pub fn pending_value(&self, base_fee: GasPrice) -> Wei {
+        self.txs
+            .values()
+            .filter(|t| t.includable_at(base_fee))
+            .map(|t| t.producer_value(base_fee))
+            .sum()
+    }
+}
+
+fn per_gas_value(t: &Transaction, base_fee: GasPrice) -> f64 {
+    let v = t.producer_value(base_fee);
+    v.0 as f64 / t.gas_used().0.max(1) as f64
+}
+
+fn pack(candidates: Vec<&Transaction>, gas_limit: Gas) -> Vec<Transaction> {
+    let mut out = Vec::new();
+    let mut used = Gas::ZERO;
+    for tx in candidates {
+        let g = tx.gas_used();
+        if used.0 + g.0 <= gas_limit.0 {
+            used += g;
+            out.push(tx.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eth_types::{Address, TxEffect, TxPrivacy};
+
+    fn tx(label: &str, tip_gwei: f64, coinbase_eth: f64, extra_gas: u64) -> Transaction {
+        let mut t = Transaction::transfer(
+            Address::derive(label),
+            Address::derive("sink"),
+            Wei::from_eth(0.1),
+            0,
+            GasPrice::from_gwei(tip_gwei),
+            GasPrice::from_gwei(1000.0),
+        );
+        t.coinbase_tip = Wei::from_eth(coinbase_eth);
+        t.effect = TxEffect::Generic { extra_gas };
+        t.privacy = TxPrivacy::Public;
+        t.finalize()
+    }
+
+    #[test]
+    fn insert_and_prune() {
+        let mut m = Mempool::new(16);
+        let t = tx("a", 2.0, 0.0, 0);
+        assert!(m.insert(t.clone()));
+        assert!(m.contains(&t.hash));
+        m.prune_included([t.hash].iter());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut m = Mempool::new(16);
+        let t = tx("a", 2.0, 0.0, 0);
+        assert!(m.insert(t.clone()));
+        assert!(m.insert(t));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn eviction_drops_lowest_tip() {
+        let mut m = Mempool::new(2);
+        m.insert(tx("low", 1.0, 0.0, 0));
+        m.insert(tx("mid", 2.0, 0.0, 0));
+        assert!(m.insert(tx("high", 3.0, 0.0, 0)));
+        assert_eq!(m.len(), 2);
+        let tips: Vec<f64> = m.iter().map(|t| t.max_priority_fee_per_gas.as_gwei()).collect();
+        assert!(tips.iter().all(|&t| t >= 2.0));
+    }
+
+    #[test]
+    fn eviction_rejects_underbidding_tx() {
+        let mut m = Mempool::new(1);
+        m.insert(tx("mid", 2.0, 0.0, 0));
+        assert!(!m.insert(tx("low", 1.0, 0.0, 0)));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn value_greedy_prefers_coinbase_tips() {
+        // A tx bribing via coinbase tip beats a higher gas-price tx under
+        // value-greedy, but loses under naive gas-price ordering.
+        let mut m = Mempool::new(16);
+        let briber = tx("briber", 0.1, 0.5, 0); // huge coinbase tip
+        let gas_payer = tx("gas-payer", 50.0, 0.0, 0);
+        m.insert(briber.clone());
+        m.insert(gas_payer.clone());
+
+        let base = GasPrice::from_gwei(10.0);
+        let tiny_block = Gas(21_000); // room for exactly one transfer
+        let greedy = m.select_value_greedy(base, tiny_block);
+        assert_eq!(greedy[0].hash, briber.hash);
+
+        let naive = m.select_gas_price_ordered(base, tiny_block);
+        assert_eq!(naive[0].hash, gas_payer.hash);
+    }
+
+    #[test]
+    fn selection_respects_gas_limit() {
+        let mut m = Mempool::new(64);
+        for i in 0..10 {
+            m.insert(tx(&format!("t{i}"), 2.0, 0.0, 79_000)); // 100k gas each
+        }
+        let picked = m.select_value_greedy(GasPrice::from_gwei(1.0), Gas(350_000));
+        let total: u64 = picked.iter().map(|t| t.gas_used().0).sum();
+        assert!(total <= 350_000);
+        assert_eq!(picked.len(), 3);
+    }
+
+    #[test]
+    fn selection_skips_unincludable() {
+        let mut m = Mempool::new(16);
+        let mut t = tx("cheap", 1.0, 0.0, 0);
+        t.max_fee_per_gas = GasPrice::from_gwei(5.0);
+        m.insert(t.finalize());
+        let picked = m.select_value_greedy(GasPrice::from_gwei(6.0), Gas::BLOCK_LIMIT);
+        assert!(picked.is_empty());
+    }
+
+    #[test]
+    fn pending_value_counts_only_includable() {
+        let mut m = Mempool::new(16);
+        m.insert(tx("a", 2.0, 0.0, 0));
+        let mut low = tx("b", 2.0, 1.0, 0);
+        low.max_fee_per_gas = GasPrice::from_gwei(1.0);
+        m.insert(low.finalize());
+        let v = m.pending_value(GasPrice::from_gwei(5.0));
+        assert_eq!(v, GasPrice::from_gwei(2.0).cost(Gas(21_000)));
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let mut m = Mempool::new(64);
+        for i in 0..20 {
+            m.insert(tx(&format!("t{i}"), 2.0, 0.0, 0)); // all equal value
+        }
+        let a = m.select_value_greedy(GasPrice::from_gwei(1.0), Gas::BLOCK_LIMIT);
+        let b = m.select_value_greedy(GasPrice::from_gwei(1.0), Gas::BLOCK_LIMIT);
+        assert_eq!(a, b);
+    }
+}

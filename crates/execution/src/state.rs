@@ -1,0 +1,250 @@
+//! The balance/nonce ledger.
+//!
+//! Accounts are created lazily with a configurable opening balance (the
+//! simulation's "faucet"), after which every wei is conserved: transfers
+//! move value, fee burning destroys it, and the ledger tracks both so tests
+//! can assert `minted == held + burned` at any point.
+
+use eth_types::{Address, Wei};
+use std::collections::BTreeMap;
+
+/// Errors from ledger operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateError {
+    /// The debit would overdraw the account.
+    InsufficientBalance {
+        /// Account that lacked funds.
+        account: Address,
+        /// Balance at the time of the attempt.
+        balance: Wei,
+        /// Amount requested.
+        requested: Wei,
+    },
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::InsufficientBalance {
+                account,
+                balance,
+                requested,
+            } => write!(
+                f,
+                "insufficient balance on {account}: have {balance}, need {requested}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// Account balances and nonces with conservation bookkeeping.
+#[derive(Debug, Clone)]
+pub struct StateLedger {
+    balances: BTreeMap<Address, Wei>,
+    nonces: BTreeMap<Address, u64>,
+    opening_balance: Wei,
+    minted: Wei,
+    burned: Wei,
+}
+
+impl StateLedger {
+    /// Creates a ledger where unseen accounts open with `opening_balance`.
+    pub fn new(opening_balance: Wei) -> Self {
+        StateLedger {
+            balances: BTreeMap::new(),
+            nonces: BTreeMap::new(),
+            opening_balance,
+            minted: Wei::ZERO,
+            burned: Wei::ZERO,
+        }
+    }
+
+    fn touch(&mut self, a: Address) -> Wei {
+        match self.balances.get(&a) {
+            Some(&b) => b,
+            None => {
+                self.balances.insert(a, self.opening_balance);
+                self.minted += self.opening_balance;
+                self.opening_balance
+            }
+        }
+    }
+
+    /// Current balance (materializes the account).
+    pub fn balance(&mut self, a: Address) -> Wei {
+        self.touch(a)
+    }
+
+    /// Balance without materializing (0 for unseen accounts).
+    pub fn balance_if_present(&self, a: Address) -> Option<Wei> {
+        self.balances.get(&a).copied()
+    }
+
+    /// Moves `amount` from `from` to `to`.
+    pub fn transfer(&mut self, from: Address, to: Address, amount: Wei) -> Result<(), StateError> {
+        let from_balance = self.touch(from);
+        if from_balance < amount {
+            return Err(StateError::InsufficientBalance {
+                account: from,
+                balance: from_balance,
+                requested: amount,
+            });
+        }
+        self.touch(to);
+        *self.balances.get_mut(&from).expect("touched") -= amount;
+        *self.balances.get_mut(&to).expect("touched") += amount;
+        Ok(())
+    }
+
+    /// Destroys `amount` from `from` (EIP-1559 base-fee burn).
+    pub fn burn(&mut self, from: Address, amount: Wei) -> Result<(), StateError> {
+        let b = self.touch(from);
+        if b < amount {
+            return Err(StateError::InsufficientBalance {
+                account: from,
+                balance: b,
+                requested: amount,
+            });
+        }
+        *self.balances.get_mut(&from).expect("touched") -= amount;
+        self.burned += amount;
+        Ok(())
+    }
+
+    /// Mints `amount` into `to` (used only for explicit scenario funding).
+    pub fn mint(&mut self, to: Address, amount: Wei) {
+        self.touch(to);
+        *self.balances.get_mut(&to).expect("touched") += amount;
+        self.minted += amount;
+    }
+
+    /// Current nonce of an account.
+    pub fn nonce(&self, a: Address) -> u64 {
+        self.nonces.get(&a).copied().unwrap_or(0)
+    }
+
+    /// Returns the current nonce and increments it.
+    pub fn take_nonce(&mut self, a: Address) -> u64 {
+        let n = self.nonces.entry(a).or_insert(0);
+        let out = *n;
+        *n += 1;
+        out
+    }
+
+    /// Total wei ever created (openings + mints).
+    pub fn minted(&self) -> Wei {
+        self.minted
+    }
+
+    /// Total wei destroyed by burns.
+    pub fn burned(&self) -> Wei {
+        self.burned
+    }
+
+    /// Sum of all live balances.
+    pub fn total_held(&self) -> Wei {
+        self.balances.values().copied().sum()
+    }
+
+    /// Number of materialized accounts.
+    pub fn account_count(&self) -> usize {
+        self.balances.len()
+    }
+
+    /// The conservation invariant: everything minted is either held or burned.
+    pub fn check_conservation(&self) -> bool {
+        self.minted == self.total_held().saturating_add(self.burned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger() -> StateLedger {
+        StateLedger::new(Wei::from_eth(100.0))
+    }
+
+    #[test]
+    fn accounts_open_lazily() {
+        let mut l = ledger();
+        assert_eq!(l.balance_if_present(Address::derive("a")), None);
+        assert_eq!(l.balance(Address::derive("a")), Wei::from_eth(100.0));
+        assert_eq!(l.account_count(), 1);
+    }
+
+    #[test]
+    fn transfer_moves_value() {
+        let mut l = ledger();
+        let (a, b) = (Address::derive("a"), Address::derive("b"));
+        l.transfer(a, b, Wei::from_eth(30.0)).unwrap();
+        assert_eq!(l.balance(a), Wei::from_eth(70.0));
+        assert_eq!(l.balance(b), Wei::from_eth(130.0));
+        assert!(l.check_conservation());
+    }
+
+    #[test]
+    fn overdraw_is_rejected_without_side_effects() {
+        let mut l = ledger();
+        let (a, b) = (Address::derive("a"), Address::derive("b"));
+        let err = l.transfer(a, b, Wei::from_eth(101.0)).unwrap_err();
+        assert!(matches!(err, StateError::InsufficientBalance { .. }));
+        assert_eq!(l.balance(a), Wei::from_eth(100.0));
+        assert!(l.check_conservation());
+    }
+
+    #[test]
+    fn burn_destroys_value() {
+        let mut l = ledger();
+        let a = Address::derive("a");
+        l.burn(a, Wei::from_eth(1.0)).unwrap();
+        assert_eq!(l.balance(a), Wei::from_eth(99.0));
+        assert_eq!(l.burned(), Wei::from_eth(1.0));
+        assert!(l.check_conservation());
+    }
+
+    #[test]
+    fn mint_adds_value() {
+        let mut l = ledger();
+        let a = Address::derive("a");
+        l.mint(a, Wei::from_eth(5.0));
+        assert_eq!(l.balance(a), Wei::from_eth(105.0));
+        assert!(l.check_conservation());
+    }
+
+    #[test]
+    fn self_transfer_is_a_noop() {
+        let mut l = ledger();
+        let a = Address::derive("a");
+        l.transfer(a, a, Wei::from_eth(10.0)).unwrap();
+        assert_eq!(l.balance(a), Wei::from_eth(100.0));
+        assert!(l.check_conservation());
+    }
+
+    #[test]
+    fn nonces_increment() {
+        let mut l = ledger();
+        let a = Address::derive("a");
+        assert_eq!(l.nonce(a), 0);
+        assert_eq!(l.take_nonce(a), 0);
+        assert_eq!(l.take_nonce(a), 1);
+        assert_eq!(l.nonce(a), 2);
+    }
+
+    #[test]
+    fn conservation_survives_many_random_ops() {
+        let mut l = StateLedger::new(Wei::from_eth(10.0));
+        let accounts: Vec<Address> = (0..8).map(|i| Address::derive(&format!("acc{i}"))).collect();
+        for i in 0..200usize {
+            let from = accounts[i % 8];
+            let to = accounts[(i * 3 + 1) % 8];
+            let _ = l.transfer(from, to, Wei::from_eth(((i % 5) as f64) * 0.7));
+            if i % 7 == 0 {
+                let _ = l.burn(from, Wei::from_eth(0.01));
+            }
+        }
+        assert!(l.check_conservation());
+    }
+}

@@ -1,0 +1,293 @@
+//! The cyclic arbitrageur.
+//!
+//! "Arbitrage takes advantage of price differences across DEXes for profit"
+//! (paper §3.1). When two venues quote the same pair at diverged prices,
+//! the arbitrageur buys on the cheap venue and sells on the expensive one,
+//! returning to its starting token — a *cycle*. The two swaps are emitted
+//! as an atomic bundle so the detector sees the canonical pattern: same
+//! sender, consecutive swaps, closed token loop, positive surplus.
+
+use crate::types::{Bundle, MevKind, SearcherId};
+use defi::{DefiWorld, PoolId};
+use eth_types::{GasPrice, Token, Transaction, TxEffect, TxPrivacy, Wei};
+
+/// A cross-venue arbitrage searcher.
+#[derive(Debug, Clone)]
+pub struct CyclicArbitrageur {
+    /// Identity.
+    pub id: SearcherId,
+    /// Share of gross profit bid to the builder.
+    pub bribe_ratio: f64,
+    /// Minimum gross profit worth acting on.
+    pub min_profit: Wei,
+}
+
+impl CyclicArbitrageur {
+    /// Creates an arbitrageur.
+    pub fn new(name: &str, bribe_ratio: f64, min_profit: Wei) -> Self {
+        assert!((0.0..=1.0).contains(&bribe_ratio));
+        CyclicArbitrageur {
+            id: SearcherId::new(name),
+            bribe_ratio,
+            min_profit,
+        }
+    }
+
+    /// Scans every WETH pair with ≥2 venues and returns the single most
+    /// profitable cycle, if any clears the profit floor.
+    pub fn best_opportunity(
+        &self,
+        world: &DefiWorld,
+        base_fee: GasPrice,
+        nonce: &mut u64,
+    ) -> Option<Bundle> {
+        let mut best: Option<(i128, PoolId, PoolId, Token, u128)> = None;
+        let mut pairs_seen = std::collections::BTreeSet::new();
+        for pool in world.pools() {
+            let Some(other_token) = pool.other(Token::Weth) else {
+                continue;
+            };
+            if !pairs_seen.insert(other_token) {
+                continue;
+            }
+            let venues = world.pools_for_pair(Token::Weth, other_token);
+            for (i, &a) in venues.iter().enumerate() {
+                for &b in &venues[i + 1..] {
+                    for (buy, sell) in [(a, b), (b, a)] {
+                        if let Some((profit, amount)) = optimal_cycle(world, buy, sell, other_token)
+                        {
+                            if best.map(|(p, ..)| profit > p).unwrap_or(true) {
+                                best = Some((profit, buy, sell, other_token, amount));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let (profit, buy, sell, token, amount) = best?;
+        if profit <= 0 || Wei(profit as u128) < self.min_profit {
+            return None;
+        }
+        let profit = Wei(profit as u128);
+
+        let buy_pool = world.pool(buy)?;
+        let acquired = buy_pool.quote(Token::Weth, amount).ok()?;
+        let sell_pool = world.pool(sell)?;
+        let final_out = sell_pool.quote(token, acquired).ok()?;
+
+        let leg1 = {
+            let mut t = Transaction::transfer(
+                self.id.address,
+                buy_pool.contract(),
+                Wei::ZERO,
+                *nonce,
+                GasPrice::from_gwei(0.1),
+                GasPrice(base_fee.0 * 4),
+            );
+            t.effect = TxEffect::Swap {
+                pool: buy,
+                token_in: Token::Weth,
+                token_out: token,
+                amount_in: amount,
+                min_out: acquired,
+            };
+            t.privacy = TxPrivacy::Private { channel: 0 };
+            *nonce += 1;
+            t.finalize()
+        };
+        let leg2 = {
+            let mut t = Transaction::transfer(
+                self.id.address,
+                sell_pool.contract(),
+                Wei::ZERO,
+                *nonce,
+                GasPrice::from_gwei(0.1),
+                GasPrice(base_fee.0 * 4),
+            );
+            t.effect = TxEffect::Swap {
+                pool: sell,
+                token_in: token,
+                token_out: Token::Weth,
+                amount_in: acquired,
+                min_out: final_out.min(amount), // at worst break even
+            };
+            t.coinbase_tip = profit.mul_ratio((self.bribe_ratio * 1000.0) as u128, 1000);
+            t.privacy = TxPrivacy::Private { channel: 0 };
+            *nonce += 1;
+            t.finalize()
+        };
+
+        Some(Bundle {
+            txs: vec![leg1, leg2],
+            pinned_victim: None,
+            kind: MevKind::Arbitrage,
+            expected_profit: profit,
+            searcher: self.id.address,
+        })
+    }
+}
+
+/// Ternary-searches the WETH input that maximizes
+/// `sell.quote(token, buy.quote(WETH, x)) − x`; returns `(profit, x)` when
+/// the optimum is strictly profitable.
+fn optimal_cycle(
+    world: &DefiWorld,
+    buy: PoolId,
+    sell: PoolId,
+    token: Token,
+) -> Option<(i128, u128)> {
+    let buy_pool = world.pool(buy)?;
+    let sell_pool = world.pool(sell)?;
+    let profit_at = |x: u128| -> i128 {
+        if x == 0 {
+            return 0;
+        }
+        let Ok(mid) = buy_pool.quote(Token::Weth, x) else {
+            return i128::MIN;
+        };
+        if mid == 0 {
+            return i128::MIN;
+        }
+        let Ok(out) = sell_pool.quote(token, mid) else {
+            return i128::MIN;
+        };
+        out as i128 - x as i128
+    };
+
+    let (mut lo, mut hi) = (0u128, buy_pool.reserve0 / 4);
+    for _ in 0..70 {
+        if lo >= hi {
+            break;
+        }
+        let m1 = lo + (hi - lo) / 3;
+        let m2 = hi - (hi - lo) / 3;
+        if profit_at(m1) < profit_at(m2) {
+            lo = m1 + 1;
+        } else {
+            hi = m2.saturating_sub(1);
+        }
+    }
+    let x = lo;
+    let p = profit_at(x);
+    (p > 0).then_some((p, x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arber() -> CyclicArbitrageur {
+        CyclicArbitrageur::new("arb-1", 0.9, Wei(1))
+    }
+
+    fn diverged_world() -> DefiWorld {
+        let mut world = DefiWorld::standard(0);
+        // Push venue 0's USDC price away from venue 1's by dumping WETH.
+        world
+            .pool_mut(0)
+            .unwrap()
+            .swap(Token::Weth, 150 * 10u128.pow(18), 0)
+            .unwrap();
+        world
+    }
+
+    #[test]
+    fn balanced_market_offers_nothing() {
+        let world = DefiWorld::standard(0);
+        let mut nonce = 0;
+        assert!(arber()
+            .best_opportunity(&world, GasPrice::from_gwei(10.0), &mut nonce)
+            .is_none());
+    }
+
+    #[test]
+    fn diverged_venues_offer_a_cycle() {
+        let world = diverged_world();
+        let mut nonce = 0;
+        let bundle = arber()
+            .best_opportunity(&world, GasPrice::from_gwei(10.0), &mut nonce)
+            .expect("150 WETH of one-sided flow must create an arb");
+        assert_eq!(bundle.kind, MevKind::Arbitrage);
+        assert_eq!(bundle.txs.len(), 2);
+        assert!(bundle.expected_profit > Wei::ZERO);
+
+        // The legs form a closed WETH cycle across two different pools.
+        let TxEffect::Swap { pool: p1, token_in: i1, token_out: o1, .. } = bundle.txs[0].effect
+        else {
+            panic!()
+        };
+        let TxEffect::Swap { pool: p2, token_in: i2, token_out: o2, .. } = bundle.txs[1].effect
+        else {
+            panic!()
+        };
+        assert_ne!(p1, p2);
+        assert_eq!(i1, Token::Weth);
+        assert_eq!(o2, Token::Weth);
+        assert_eq!(o1, i2);
+    }
+
+    #[test]
+    fn cycle_is_actually_profitable_when_executed() {
+        let world = diverged_world();
+        let mut nonce = 0;
+        let bundle = arber()
+            .best_opportunity(&world, GasPrice::from_gwei(10.0), &mut nonce)
+            .unwrap();
+        let TxEffect::Swap { pool: p1, amount_in: in1, .. } = bundle.txs[0].effect else {
+            panic!()
+        };
+        let TxEffect::Swap { pool: p2, token_in: t2, .. } = bundle.txs[1].effect else {
+            panic!()
+        };
+        let mut w = world.clone();
+        let mid = w.pool_mut(p1).unwrap().swap(Token::Weth, in1, 0).unwrap();
+        let out = w.pool_mut(p2).unwrap().swap(t2, mid, 0).unwrap();
+        assert!(out > in1, "cycle must return more WETH than it spent");
+        let realized = out - in1;
+        assert_eq!(realized, bundle.expected_profit.0);
+    }
+
+    #[test]
+    fn arbitrage_narrows_the_price_gap() {
+        let world = diverged_world();
+        let gap_before = {
+            let a = world.pool(0).unwrap().price0_in_1();
+            let b = world.pool(1).unwrap().price0_in_1();
+            (a - b).abs()
+        };
+        let mut nonce = 0;
+        let bundle = arber()
+            .best_opportunity(&world, GasPrice::from_gwei(10.0), &mut nonce)
+            .unwrap();
+        let mut w = world.clone();
+        for tx in &bundle.txs {
+            let TxEffect::Swap { pool, token_in, amount_in, .. } = tx.effect else {
+                panic!()
+            };
+            w.pool_mut(pool).unwrap().swap(token_in, amount_in, 0).unwrap();
+        }
+        let gap_after = {
+            let a = w.pool(0).unwrap().price0_in_1();
+            let b = w.pool(1).unwrap().price0_in_1();
+            (a - b).abs()
+        };
+        assert!(gap_after < gap_before);
+    }
+
+    #[test]
+    fn min_profit_floor_applies() {
+        let mut world = DefiWorld::standard(0);
+        // Tiny divergence → tiny profit.
+        world
+            .pool_mut(0)
+            .unwrap()
+            .swap(Token::Weth, 10u128.pow(18), 0)
+            .unwrap();
+        let picky = CyclicArbitrageur::new("picky", 0.9, Wei::from_eth(100.0));
+        let mut nonce = 0;
+        assert!(picky
+            .best_opportunity(&world, GasPrice::from_gwei(10.0), &mut nonce)
+            .is_none());
+    }
+}

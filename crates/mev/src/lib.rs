@@ -1,0 +1,30 @@
+//! MEV: generation and detection (paper §3.1, §5.4, Appendix D).
+//!
+//! Two halves, deliberately independent of each other:
+//!
+//! **Generation** — searcher agents that scan the DeFi substrate for the
+//! three MEV forms the paper tracks and emit transaction *bundles* bidding
+//! for inclusion via priority fees and coinbase bribes:
+//! * [`SandwichAttacker`] front- and back-runs pending user swaps,
+//! * [`CyclicArbitrageur`] closes price gaps across AMM venues,
+//! * [`LiquidationBot`] fires on positions the oracle pushed under water.
+//!
+//! **Detection** — the measurement side. [`detect`] re-discovers MEV from
+//! sealed blocks' logs alone, the way EigenPhi/ZeroMev/Weintraub-style
+//! scripts do, and [`sources`] models three *imperfect* label providers
+//! whose union forms the MEV dataset (the paper unions exactly three
+//! sources "to have maximum coverage").
+
+pub mod arbitrage;
+pub mod detect;
+pub mod liquidation;
+pub mod sandwich;
+pub mod sources;
+pub mod types;
+
+pub use arbitrage::CyclicArbitrageur;
+pub use detect::{detect_block, BlockMevReport};
+pub use liquidation::LiquidationBot;
+pub use sandwich::SandwichAttacker;
+pub use sources::{LabelProvider, LabelSource, MevLabelSet};
+pub use types::{Bundle, MevKind, MevLabel, SearcherId};

@@ -1,0 +1,145 @@
+//! The liquidation bot.
+//!
+//! "Liquidations close positions on lending protocols that are close to
+//! becoming undercollateralized" (paper §3.1). The bot scans the lending
+//! market after oracle moves and fires a liquidation transaction per
+//! under-water borrower, bidding a share of the expected bonus. Appendix D
+//! notes liquidations are rare and time-sensitive — they appear in PBS and
+//! non-PBS blocks alike because they unlock at oracle updates.
+
+use crate::types::{Bundle, MevKind, SearcherId};
+use defi::DefiWorld;
+use eth_types::{GasPrice, Transaction, TxEffect, TxPrivacy, Wei};
+
+/// A liquidation-hunting searcher.
+#[derive(Debug, Clone)]
+pub struct LiquidationBot {
+    /// Identity.
+    pub id: SearcherId,
+    /// Share of expected bonus bid to the builder.
+    pub bribe_ratio: f64,
+}
+
+impl LiquidationBot {
+    /// Creates a bot.
+    pub fn new(name: &str, bribe_ratio: f64) -> Self {
+        assert!((0.0..=1.0).contains(&bribe_ratio));
+        LiquidationBot {
+            id: SearcherId::new(name),
+            bribe_ratio,
+        }
+    }
+
+    /// One bundle per currently liquidatable borrower.
+    pub fn scan(&self, world: &DefiWorld, base_fee: GasPrice, nonce: &mut u64) -> Vec<Bundle> {
+        let market = world.market();
+        let oracle = world.oracle();
+        let mut bundles = Vec::new();
+        for borrower in market.liquidatable(oracle) {
+            let Some(position) = market.position(borrower) else {
+                continue;
+            };
+            // Expected bonus: 8% of the repaid half of the debt.
+            let repay_value =
+                oracle.value_usd(position.debt_token, position.debt / 2 + position.debt % 2);
+            let bonus_usd = repay_value * defi::lending::LIQUIDATION_BONUS;
+            let profit = world.usd_to_wei(bonus_usd);
+            if profit.is_zero() {
+                continue;
+            }
+            let mut t = Transaction::transfer(
+                self.id.address,
+                market.contract(),
+                Wei::ZERO,
+                *nonce,
+                GasPrice::from_gwei(0.5),
+                GasPrice(base_fee.0 * 4),
+            );
+            t.effect = TxEffect::Liquidate {
+                market: market.id,
+                borrower,
+            };
+            t.coinbase_tip = profit.mul_ratio((self.bribe_ratio * 1000.0) as u128, 1000);
+            t.privacy = TxPrivacy::Private { channel: 0 };
+            *nonce += 1;
+            bundles.push(Bundle {
+                txs: vec![t.finalize()],
+                pinned_victim: None,
+                kind: MevKind::Liquidation,
+                expected_profit: profit,
+                searcher: self.id.address,
+            });
+        }
+        bundles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defi::Position;
+    use eth_types::{Address, Token};
+
+    fn world_with_positions() -> DefiWorld {
+        let mut w = DefiWorld::standard(0);
+        for i in 0..3 {
+            w.market_mut().open_position(Position {
+                borrower: Address::derive(&format!("borrower{i}")),
+                collateral_token: Token::Weth,
+                collateral: 10 * 10u128.pow(18),
+                debt_token: Token::Usdc,
+                debt: 10_000 * 10u128.pow(6),
+            });
+        }
+        w
+    }
+
+    #[test]
+    fn healthy_market_yields_no_bundles() {
+        let w = world_with_positions();
+        let mut nonce = 0;
+        let bundles = LiquidationBot::new("liq", 0.8).scan(&w, GasPrice::from_gwei(10.0), &mut nonce);
+        assert!(bundles.is_empty());
+        assert_eq!(nonce, 0);
+    }
+
+    #[test]
+    fn oracle_crash_triggers_one_bundle_per_borrower() {
+        let mut w = world_with_positions();
+        w.oracle_mut().apply_move(Token::Weth, -0.30);
+        let mut nonce = 0;
+        let bundles = LiquidationBot::new("liq", 0.8).scan(&w, GasPrice::from_gwei(10.0), &mut nonce);
+        assert_eq!(bundles.len(), 3);
+        assert_eq!(nonce, 3);
+        for b in &bundles {
+            assert_eq!(b.kind, MevKind::Liquidation);
+            assert_eq!(b.txs.len(), 1);
+            assert!(b.expected_profit > Wei::ZERO);
+            assert!(b.txs[0].coinbase_tip > Wei::ZERO);
+            assert!(b.txs[0].coinbase_tip <= b.expected_profit);
+            assert!(matches!(b.txs[0].effect, TxEffect::Liquidate { .. }));
+        }
+    }
+
+    #[test]
+    fn bundle_executes_against_world() {
+        let mut w = world_with_positions();
+        w.oracle_mut().apply_move(Token::Weth, -0.30);
+        let mut nonce = 0;
+        let bundles = LiquidationBot::new("liq", 0.8).scan(&w, GasPrice::from_gwei(10.0), &mut nonce);
+        use execution::EffectBackend;
+        let out = w.apply(&bundles[0].txs[0]);
+        assert!(matches!(out, execution::EffectOutcome::Applied { .. }));
+    }
+
+    #[test]
+    fn expected_bonus_matches_lending_math() {
+        // 10k USDC debt → repay 5k → bonus 8% = 400 USD.
+        let mut w = world_with_positions();
+        w.oracle_mut().apply_move(Token::Weth, -0.30);
+        let mut nonce = 0;
+        let bundles = LiquidationBot::new("liq", 1.0).scan(&w, GasPrice::from_gwei(10.0), &mut nonce);
+        let expected = w.usd_to_wei(400.0);
+        assert_eq!(bundles[0].expected_profit, expected);
+    }
+}

@@ -1,0 +1,326 @@
+//! The sandwich attacker.
+//!
+//! "The attacker makes a financial gain with a sandwich attack by front-
+//! and back-running the victim's trade on a DEX" (paper §3.1). Given a
+//! pending user swap, the attacker simulates a front-run of size `x`
+//! followed by the victim's trade and a closing back-run, then ternary-
+//! searches `x` for maximum profit — subject to the victim's slippage bound
+//! still holding (otherwise the victim reverts and the sandwich collapses).
+
+use crate::types::{Bundle, MevKind, SearcherId};
+use defi::DefiWorld;
+use eth_types::{GasPrice, Token, Transaction, TxEffect, TxPrivacy, Wei};
+
+/// A sandwich-attacking searcher.
+#[derive(Debug, Clone)]
+pub struct SandwichAttacker {
+    /// Identity.
+    pub id: SearcherId,
+    /// Share of gross profit bid to the builder as a coinbase bribe.
+    pub bribe_ratio: f64,
+    /// Minimum gross profit (in wei) worth attacking for.
+    pub min_profit: Wei,
+}
+
+impl SandwichAttacker {
+    /// Creates an attacker with the given bribe policy.
+    pub fn new(name: &str, bribe_ratio: f64, min_profit: Wei) -> Self {
+        assert!((0.0..=1.0).contains(&bribe_ratio));
+        SandwichAttacker {
+            id: SearcherId::new(name),
+            bribe_ratio,
+            min_profit,
+        }
+    }
+
+    /// Plans a sandwich around `victim` if profitable.
+    ///
+    /// Only WETH-input victim swaps are attacked (the attacker's working
+    /// capital is WETH); profit is measured in WETH, which at 18 decimals
+    /// equals wei one-for-one.
+    pub fn plan(
+        &self,
+        world: &DefiWorld,
+        victim: &Transaction,
+        base_fee: GasPrice,
+        nonce: &mut u64,
+    ) -> Option<Bundle> {
+        let TxEffect::Swap {
+            pool,
+            token_in,
+            token_out,
+            amount_in,
+            min_out,
+        } = &victim.effect
+        else {
+            return None;
+        };
+        if *token_in != Token::Weth {
+            return None;
+        }
+        let pool_ref = world.pool(*pool)?;
+        if !pool_ref.trades(*token_out) {
+            return None;
+        }
+
+        // Ternary-search the front-run size on the unimodal profit curve.
+        let mut lo: u128 = 0;
+        let mut hi: u128 = *amount_in * 10; // front-running 10x the victim is plenty
+        for _ in 0..60 {
+            let m1 = lo + (hi - lo) / 3;
+            let m2 = hi - (hi - lo) / 3;
+            let p1 = simulate(pool_ref, m1, *amount_in, *min_out, *token_out);
+            let p2 = simulate(pool_ref, m2, *amount_in, *min_out, *token_out);
+            if p1 < p2 {
+                lo = m1 + 1;
+            } else {
+                hi = m2.saturating_sub(1);
+            }
+            if lo >= hi {
+                break;
+            }
+        }
+        let front = lo.min(hi.max(lo));
+        let profit = simulate(pool_ref, front, *amount_in, *min_out, *token_out);
+        if profit <= 0 || Wei(profit as u128) < self.min_profit || front == 0 {
+            return None;
+        }
+        let profit = Wei(profit as u128);
+
+        // Reconstruct the leg amounts for the bundle's transactions.
+        let mut sim = pool_ref.clone();
+        let acquired = sim.swap(Token::Weth, front, 0).ok()?;
+        sim.swap(Token::Weth, *amount_in, *min_out).ok()?;
+        let back_out = sim.quote(*token_out, acquired).ok()?;
+
+        let front_tx = {
+            let mut t = Transaction::transfer(
+                self.id.address,
+                pool_ref.contract(),
+                Wei::ZERO,
+                *nonce,
+                GasPrice::from_gwei(0.1),
+                GasPrice(base_fee.0 * 4),
+            );
+            t.effect = TxEffect::Swap {
+                pool: *pool,
+                token_in: Token::Weth,
+                token_out: *token_out,
+                amount_in: front,
+                min_out: acquired, // exact-out guard against being re-ordered
+            };
+            t.privacy = TxPrivacy::Private { channel: 0 };
+            *nonce += 1;
+            t.finalize()
+        };
+        let back_tx = {
+            let mut t = Transaction::transfer(
+                self.id.address,
+                pool_ref.contract(),
+                Wei::ZERO,
+                *nonce,
+                GasPrice::from_gwei(0.1),
+                GasPrice(base_fee.0 * 4),
+            );
+            t.effect = TxEffect::Swap {
+                pool: *pool,
+                token_in: *token_out,
+                token_out: Token::Weth,
+                amount_in: acquired,
+                min_out: back_out / 2, // loose: price only improves if victim grows
+            };
+            t.coinbase_tip = profit.mul_ratio((self.bribe_ratio * 1000.0) as u128, 1000);
+            t.privacy = TxPrivacy::Private { channel: 0 };
+            *nonce += 1;
+            t.finalize()
+        };
+
+        Some(Bundle {
+            txs: vec![front_tx, back_tx],
+            pinned_victim: Some(victim.hash),
+            kind: MevKind::Sandwich,
+            expected_profit: profit,
+            searcher: self.id.address,
+        })
+    }
+}
+
+/// Simulates front(x) → victim → back and returns the attacker's WETH
+/// profit (negative when unprofitable, `i128::MIN` when infeasible).
+fn simulate(pool: &defi::Pool, x: u128, victim_in: u128, victim_min_out: u128, token_out: Token) -> i128 {
+    if x == 0 {
+        return 0;
+    }
+    let mut p = pool.clone();
+    let Ok(acquired) = p.swap(Token::Weth, x, 0) else {
+        return i128::MIN;
+    };
+    // The victim must still clear its slippage bound or the sandwich dies.
+    match p.swap(Token::Weth, victim_in, victim_min_out) {
+        Ok(_) => {}
+        Err(_) => return i128::MIN,
+    }
+    let Ok(back) = p.swap(token_out, acquired, 0) else {
+        return i128::MIN;
+    };
+    back as i128 - x as i128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eth_types::Address;
+
+    fn victim_swap(world: &DefiWorld, amount_weth: f64, slippage: f64) -> Transaction {
+        let pool = world.pool(0).unwrap();
+        let amount_in = (amount_weth * 1e18) as u128;
+        let quote = pool.quote(Token::Weth, amount_in).unwrap();
+        let min_out = (quote as f64 * (1.0 - slippage)) as u128;
+        let mut t = Transaction::transfer(
+            Address::derive("victim"),
+            pool.contract(),
+            Wei::ZERO,
+            0,
+            GasPrice::from_gwei(2.0),
+            GasPrice::from_gwei(100.0),
+        );
+        t.effect = TxEffect::Swap {
+            pool: 0,
+            token_in: Token::Weth,
+            token_out: Token::Usdc,
+            amount_in,
+            min_out,
+        };
+        t.finalize()
+    }
+
+    fn attacker() -> SandwichAttacker {
+        SandwichAttacker::new("sando-1", 0.9, Wei(1))
+    }
+
+    #[test]
+    fn sloppy_victim_gets_sandwiched() {
+        let world = DefiWorld::standard(0);
+        let victim = victim_swap(&world, 20.0, 0.10); // 10% slippage tolerance
+        let mut nonce = 0;
+        let bundle = attacker()
+            .plan(&world, &victim, GasPrice::from_gwei(10.0), &mut nonce)
+            .expect("10% slippage on a 20 WETH trade is attackable");
+        assert_eq!(bundle.kind, MevKind::Sandwich);
+        assert_eq!(bundle.txs.len(), 2);
+        assert_eq!(bundle.pinned_victim, Some(victim.hash));
+        assert!(bundle.expected_profit > Wei::ZERO);
+        assert_eq!(nonce, 2);
+        // The back-run carries the bribe.
+        assert!(bundle.txs[1].coinbase_tip > Wei::ZERO);
+        assert!(bundle.txs[0].coinbase_tip.is_zero());
+    }
+
+    #[test]
+    fn tight_victim_yields_only_dust() {
+        // A 1bp slippage bound caps the front-run so hard that only a dust
+        // profit remains; any realistic profit floor filters it out.
+        let world = DefiWorld::standard(0);
+        let victim = victim_swap(&world, 20.0, 0.0001); // 1bp tolerance
+        let mut nonce = 0;
+        let floor = SandwichAttacker::new("floor", 0.9, Wei::from_eth(0.01));
+        assert!(floor
+            .plan(&world, &victim, GasPrice::from_gwei(10.0), &mut nonce)
+            .is_none());
+        // And whatever a floorless attacker finds is tiny vs. the sloppy case.
+        let mut n2 = 0;
+        let dust = attacker().plan(&world, &victim, GasPrice::from_gwei(10.0), &mut n2);
+        let mut n3 = 0;
+        let sloppy = attacker()
+            .plan(&world, &victim_swap(&world, 20.0, 0.10), GasPrice::from_gwei(10.0), &mut n3)
+            .unwrap();
+        if let Some(d) = dust {
+            assert!(d.expected_profit.0 * 20 < sloppy.expected_profit.0);
+        }
+    }
+
+    #[test]
+    fn bundle_executes_profitably_against_the_real_pool() {
+        // End-to-end: run front → victim → back against a world clone and
+        // verify the attacker's WETH delta matches the plan's estimate.
+        let world = DefiWorld::standard(0);
+        let victim = victim_swap(&world, 30.0, 0.08);
+        let mut nonce = 0;
+        let bundle = attacker()
+            .plan(&world, &victim, GasPrice::from_gwei(10.0), &mut nonce)
+            .unwrap();
+
+        let mut pool = world.pool(0).unwrap().clone();
+        let TxEffect::Swap { amount_in: front_in, .. } = bundle.txs[0].effect else {
+            panic!()
+        };
+        let acquired = pool.swap(Token::Weth, front_in, 0).unwrap();
+        let TxEffect::Swap { amount_in: v_in, min_out: v_min, .. } = victim.effect else {
+            panic!()
+        };
+        pool.swap(Token::Weth, v_in, v_min).expect("victim must clear");
+        let back = pool.swap(Token::Usdc, acquired, 0).unwrap();
+        let realized = back as i128 - front_in as i128;
+        assert_eq!(realized, bundle.expected_profit.0 as i128);
+    }
+
+    #[test]
+    fn non_weth_input_victims_are_ignored() {
+        let world = DefiWorld::standard(0);
+        let mut victim = victim_swap(&world, 10.0, 0.10);
+        victim.effect = TxEffect::Swap {
+            pool: 0,
+            token_in: Token::Usdc,
+            token_out: Token::Weth,
+            amount_in: 1_000_000_000,
+            min_out: 0,
+        };
+        let mut nonce = 0;
+        assert!(attacker()
+            .plan(&world, &victim.finalize(), GasPrice::from_gwei(10.0), &mut nonce)
+            .is_none());
+    }
+
+    #[test]
+    fn non_swap_txs_are_ignored() {
+        let world = DefiWorld::standard(0);
+        let plain = Transaction::transfer(
+            Address::derive("user"),
+            Address::derive("friend"),
+            Wei::from_eth(1.0),
+            0,
+            GasPrice::from_gwei(2.0),
+            GasPrice::from_gwei(100.0),
+        );
+        let mut nonce = 0;
+        assert!(attacker()
+            .plan(&world, &plain, GasPrice::from_gwei(10.0), &mut nonce)
+            .is_none());
+    }
+
+    #[test]
+    fn min_profit_threshold_filters_small_fry() {
+        let world = DefiWorld::standard(0);
+        let victim = victim_swap(&world, 1.0, 0.02); // small trade, small profit
+        let greedy = SandwichAttacker::new("picky", 0.9, Wei::from_eth(10.0));
+        let mut nonce = 0;
+        assert!(greedy
+            .plan(&world, &victim, GasPrice::from_gwei(10.0), &mut nonce)
+            .is_none());
+    }
+
+    #[test]
+    fn bribe_ratio_scales_coinbase_tip() {
+        let world = DefiWorld::standard(0);
+        let victim = victim_swap(&world, 20.0, 0.10);
+        let mut n1 = 0;
+        let mut n2 = 0;
+        let cheap = SandwichAttacker::new("s", 0.5, Wei(1))
+            .plan(&world, &victim, GasPrice::from_gwei(10.0), &mut n1)
+            .unwrap();
+        let rich = SandwichAttacker::new("s", 1.0, Wei(1))
+            .plan(&world, &victim, GasPrice::from_gwei(10.0), &mut n2)
+            .unwrap();
+        assert!(rich.txs[1].coinbase_tip > cheap.txs[1].coinbase_tip);
+    }
+}

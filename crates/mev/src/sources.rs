@@ -1,0 +1,305 @@
+//! The three label providers and their union (paper §3.1, Table 1).
+//!
+//! "We combine MEV data (i.e., take the union) from three different
+//! sources: EigenPhi, ZeroMev, and our own data using a modified version of
+//! the scripts of Weintraub et al." Each provider here wraps the same
+//! underlying detector but with *provider-specific coverage*: a
+//! deterministic per-transaction inclusion test models the recall gap
+//! between independent platforms, and ZeroMev does not report liquidations
+//! (a focus difference, as the paper notes the sources were "developed
+//! independently … with different focuses"). The union recovers most of
+//! what any single source misses — the reason the paper unions three.
+
+use crate::detect::detect_block;
+use crate::types::{MevKind, MevLabel};
+use eth_types::Block;
+use std::collections::BTreeSet;
+
+/// The three data providers of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LabelSource {
+    /// eigenphi.io scrape.
+    EigenPhi,
+    /// zeromev.org API.
+    ZeroMev,
+    /// Modified Weintraub et al. scripts over our own node.
+    OwnScripts,
+}
+
+impl LabelSource {
+    /// All sources.
+    pub const ALL: [LabelSource; 3] =
+        [LabelSource::EigenPhi, LabelSource::ZeroMev, LabelSource::OwnScripts];
+
+    /// Recall per mille: out of 1000 true labels, how many this provider
+    /// reports. Calibrated so the union approaches full coverage.
+    fn recall_permille(&self) -> u64 {
+        match self {
+            LabelSource::EigenPhi => 950,
+            LabelSource::ZeroMev => 900,
+            LabelSource::OwnScripts => 850,
+        }
+    }
+
+    /// Whether this provider covers a given MEV kind.
+    fn covers(&self, kind: MevKind) -> bool {
+        match self {
+            // ZeroMev's focus excludes liquidations in our model.
+            LabelSource::ZeroMev => kind != MevKind::Liquidation,
+            _ => true,
+        }
+    }
+
+    /// Deterministic per-label inclusion: hash the (source, tx) pair.
+    fn includes(&self, label: &MevLabel) -> bool {
+        if !self.covers(label.kind) {
+            return false;
+        }
+        let h = eth_types::H256::of(
+            format!("{:?}:{}", self, label.tx_hash).as_bytes(),
+        );
+        h.to_seed() % 1000 < self.recall_permille()
+    }
+
+    /// The labels this provider reports for a block.
+    pub fn label_block(&self, block: &Block) -> Vec<MevLabel> {
+        detect_block(block)
+            .labels
+            .into_iter()
+            .filter(|l| self.includes(l))
+            .collect()
+    }
+}
+
+/// A provider handle for iterating uniformly.
+#[derive(Debug, Clone, Copy)]
+pub struct LabelProvider(pub LabelSource);
+
+/// The accumulated, deduplicated MEV dataset.
+#[derive(Debug, Clone, Default)]
+pub struct MevLabelSet {
+    labels: BTreeSet<MevLabel>,
+    per_source: [u64; 3],
+}
+
+impl MevLabelSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests one block through all three providers and unions the output.
+    pub fn ingest_block(&mut self, block: &Block) {
+        for (i, source) in LabelSource::ALL.iter().enumerate() {
+            for label in source.label_block(block) {
+                self.per_source[i] += 1;
+                self.labels.insert(label);
+            }
+        }
+    }
+
+    /// All labels, deduplicated, ordered.
+    pub fn labels(&self) -> impl Iterator<Item = &MevLabel> {
+        self.labels.iter()
+    }
+
+    /// Number of distinct labeled transactions.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when no labels have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Raw (pre-dedup) label count per source — the Table 1 "MEV labels"
+    /// rows.
+    pub fn per_source_counts(&self) -> [(LabelSource, u64); 3] {
+        [
+            (LabelSource::EigenPhi, self.per_source[0]),
+            (LabelSource::ZeroMev, self.per_source[1]),
+            (LabelSource::OwnScripts, self.per_source[2]),
+        ]
+    }
+
+    /// Whether a transaction is labeled (any kind).
+    pub fn contains_tx(&self, tx: &eth_types::TxHash) -> bool {
+        self.labels.iter().any(|l| &l.tx_hash == tx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use defi::DefiWorld;
+    use eth_types::{
+        Address, GasPrice, Slot, Token, Transaction, TxEffect, UnixTime, Wei, H256,
+    };
+    use execution::{BlockExecutor, StateLedger};
+
+    /// A block with `n` planted sandwiches on distinct venue/attacker pairs.
+    fn sandwich_block(n: usize) -> Block {
+        let mut world = DefiWorld::standard(0);
+        let mut txs = Vec::new();
+        for s in 0..n {
+            let pool = (s % 2) as u32; // alternate venues
+            let front_in = (2 + s as u128) * 10u128.pow(18);
+            let front_out = world
+                .pool(pool)
+                .unwrap()
+                .quote(Token::Weth, front_in)
+                .unwrap();
+            let attacker = format!("attacker{s}");
+            for (sender, nonce, tin, tout, amt) in [
+                (attacker.clone(), 2 * s as u64, Token::Weth, Token::Usdc, front_in),
+                (format!("victim{s}"), 0, Token::Weth, Token::Usdc, 10 * 10u128.pow(18)),
+                (attacker, 2 * s as u64 + 1, Token::Usdc, Token::Weth, front_out),
+            ] {
+                let mut t = Transaction::transfer(
+                    Address::derive(&sender),
+                    Address::derive("router"),
+                    Wei::ZERO,
+                    nonce,
+                    GasPrice::from_gwei(1.0),
+                    GasPrice::from_gwei(100.0),
+                );
+                t.effect = TxEffect::Swap {
+                    pool,
+                    token_in: tin,
+                    token_out: tout,
+                    amount_in: amt,
+                    min_out: 0,
+                };
+                txs.push(t.finalize());
+            }
+            // Keep the world in sync so later quotes chain correctly.
+            let mut state = StateLedger::new(Wei::from_eth(10_000.0));
+            let batch: Vec<Transaction> = txs[txs.len() - 3..].to_vec();
+            BlockExecutor::default().execute(
+                Slot(0),
+                0,
+                UnixTime(0),
+                H256::ZERO,
+                Address::derive("warm"),
+                GasPrice::from_gwei(10.0),
+                &batch,
+                &mut state,
+                &mut world,
+            );
+        }
+        // Final sealed block executed on a fresh world (same starting state).
+        let mut world = DefiWorld::standard(0);
+        let mut state = StateLedger::new(Wei::from_eth(10_000.0));
+        BlockExecutor::default()
+            .execute(
+                Slot(9),
+                109,
+                UnixTime(1_700_000_100),
+                H256::derive("p"),
+                Address::derive("builder"),
+                GasPrice::from_gwei(10.0),
+                &txs,
+                &mut state,
+                &mut world,
+            )
+            .block
+    }
+
+    #[test]
+    fn union_dominates_every_single_source() {
+        let block = sandwich_block(20);
+        let mut set = MevLabelSet::new();
+        set.ingest_block(&block);
+        for source in LabelSource::ALL {
+            let solo = source.label_block(&block).len();
+            assert!(
+                set.len() >= solo,
+                "union {} < {source:?} {solo}",
+                set.len()
+            );
+        }
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn sources_have_coverage_gaps() {
+        // Across enough labels, each provider must miss something.
+        let block = sandwich_block(40);
+        let truth = detect_block(&block).labels.len();
+        assert!(truth >= 40, "expected many labels, got {truth}");
+        for source in LabelSource::ALL {
+            let solo = source.label_block(&block).len();
+            assert!(solo < truth, "{source:?} unexpectedly has perfect recall");
+            assert!(solo > truth / 2, "{source:?} recall implausibly low");
+        }
+    }
+
+    #[test]
+    fn ingest_is_idempotent_on_dedup() {
+        let block = sandwich_block(5);
+        let mut set = MevLabelSet::new();
+        set.ingest_block(&block);
+        let n = set.len();
+        set.ingest_block(&block);
+        assert_eq!(set.len(), n, "dedup must absorb re-ingestion");
+        // But per-source raw counts doubled (they count reports).
+        let raw: u64 = set.per_source_counts().iter().map(|(_, c)| c).sum();
+        assert!(raw > n as u64);
+    }
+
+    #[test]
+    fn zeromev_reports_no_liquidations() {
+        use defi::Position;
+        let mut world = DefiWorld::standard(0);
+        world.market_mut().open_position(Position {
+            borrower: Address::derive("victim"),
+            collateral_token: Token::Weth,
+            collateral: 10 * 10u128.pow(18),
+            debt_token: Token::Usdc,
+            debt: 10_000 * 10u128.pow(6),
+        });
+        world.oracle_mut().apply_move(Token::Weth, -0.30);
+        let mut t = Transaction::transfer(
+            Address::derive("liq"),
+            Address::derive("market"),
+            Wei::ZERO,
+            0,
+            GasPrice::from_gwei(1.0),
+            GasPrice::from_gwei(100.0),
+        );
+        t.effect = TxEffect::Liquidate {
+            market: 0,
+            borrower: Address::derive("victim"),
+        };
+        let mut state = StateLedger::new(Wei::from_eth(10_000.0));
+        let block = BlockExecutor::default()
+            .execute(
+                Slot(1),
+                101,
+                UnixTime(0),
+                H256::ZERO,
+                Address::derive("b"),
+                GasPrice::from_gwei(10.0),
+                &[t.finalize()],
+                &mut state,
+                &mut world,
+            )
+            .block;
+        assert!(LabelSource::ZeroMev.label_block(&block).is_empty());
+        // The union still captures it through the other providers.
+        let mut set = MevLabelSet::new();
+        set.ingest_block(&block);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn contains_tx_finds_labeled_transactions() {
+        let block = sandwich_block(3);
+        let mut set = MevLabelSet::new();
+        set.ingest_block(&block);
+        let labeled = *set.labels().next().unwrap();
+        assert!(set.contains_tx(&labeled.tx_hash));
+        assert!(!set.contains_tx(&H256::derive("unlabeled")));
+    }
+}

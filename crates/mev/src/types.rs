@@ -1,0 +1,139 @@
+//! Shared MEV types: bundles, labels, searcher identities.
+
+use eth_types::{Address, Slot, Transaction, TxHash, Wei};
+use serde::{Deserialize, Serialize};
+
+/// A searcher's stable identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearcherId {
+    /// Human-readable name ("sandwich-bot-3").
+    pub name: String,
+    /// The searcher's EOA.
+    pub address: Address,
+}
+
+impl SearcherId {
+    /// Creates a searcher identity with a derived address.
+    pub fn new(name: &str) -> Self {
+        SearcherId {
+            name: name.to_string(),
+            address: Address::derive(&format!("searcher:{name}")),
+        }
+    }
+}
+
+/// The MEV taxonomy the paper measures (§5.4: "the three most well-known
+/// and frequent types").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub enum MevKind {
+    /// Front- + back-run around a victim trade.
+    Sandwich,
+    /// Cyclic arbitrage across AMM venues.
+    Arbitrage,
+    /// Lending-protocol liquidation.
+    Liquidation,
+}
+
+impl MevKind {
+    /// All kinds, in presentation order.
+    pub const ALL: [MevKind; 3] = [MevKind::Sandwich, MevKind::Arbitrage, MevKind::Liquidation];
+}
+
+impl std::fmt::Display for MevKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MevKind::Sandwich => "sandwich",
+            MevKind::Arbitrage => "arbitrage",
+            MevKind::Liquidation => "liquidation",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An atomic group of transactions a searcher submits to builders
+/// (paper §2.2: "searchers send bundles containing their own transactions
+/// and possibly other transactions from the Ethereum mempool").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bundle {
+    /// Searcher's own transactions, in required order.
+    pub txs: Vec<Transaction>,
+    /// Mempool transaction the bundle must wrap (the sandwich victim),
+    /// placed between `txs[0]` and `txs[1]` when present.
+    pub pinned_victim: Option<TxHash>,
+    /// What kind of MEV this bundle extracts.
+    pub kind: MevKind,
+    /// The searcher's own profit estimate (drives its bidding).
+    pub expected_profit: Wei,
+    /// Originating searcher.
+    pub searcher: Address,
+}
+
+impl Bundle {
+    /// Total producer-visible value the bundle offers at `base_fee` — the
+    /// builder's ranking criterion.
+    pub fn bid_value(&self, base_fee: eth_types::GasPrice) -> Wei {
+        self.txs.iter().map(|t| t.producer_value(base_fee)).sum()
+    }
+
+    /// Total gas the bundle's own transactions consume.
+    pub fn gas(&self) -> eth_types::Gas {
+        self.txs.iter().map(|t| t.gas_used()).sum()
+    }
+}
+
+/// One labeled MEV transaction, as a data provider would report it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MevLabel {
+    /// Slot of the containing block.
+    pub slot: Slot,
+    /// The labeled transaction.
+    pub tx_hash: TxHash,
+    /// MEV kind.
+    pub kind: MevKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eth_types::GasPrice;
+
+    #[test]
+    fn searcher_ids_are_stable() {
+        let a = SearcherId::new("arb-1");
+        let b = SearcherId::new("arb-1");
+        assert_eq!(a.address, b.address);
+        assert_ne!(a.address, SearcherId::new("arb-2").address);
+    }
+
+    #[test]
+    fn bundle_bid_value_sums_txs() {
+        let t1 = {
+            let mut t = Transaction::transfer(
+                Address::derive("s"),
+                Address::derive("d"),
+                Wei::ZERO,
+                0,
+                GasPrice::from_gwei(2.0),
+                GasPrice::from_gwei(100.0),
+            );
+            t.coinbase_tip = Wei::from_eth(0.1);
+            t.finalize()
+        };
+        let bundle = Bundle {
+            txs: vec![t1.clone()],
+            pinned_victim: None,
+            kind: MevKind::Arbitrage,
+            expected_profit: Wei::from_eth(0.2),
+            searcher: Address::derive("s"),
+        };
+        let base = GasPrice::from_gwei(10.0);
+        assert_eq!(bundle.bid_value(base), t1.producer_value(base));
+        assert_eq!(bundle.gas(), t1.gas_used());
+    }
+
+    #[test]
+    fn mev_kind_display() {
+        assert_eq!(MevKind::Sandwich.to_string(), "sandwich");
+        assert_eq!(MevKind::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,144 @@
+//! Gossip flooding over the overlay.
+//!
+//! A transaction broadcast from an origin node reaches every other node
+//! after the shortest-path latency — the [`GossipNetwork`] caches the
+//! per-origin Dijkstra result so propagating millions of transactions costs
+//! one vector lookup each.
+
+use crate::topology::{NodeId, Topology};
+use eth_types::TxHash;
+use simcore::SimTime;
+
+/// Result of gossiping one message: arrival time at every node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Propagation {
+    /// The gossiped transaction.
+    pub tx_hash: TxHash,
+    /// Broadcast origin.
+    pub origin: NodeId,
+    /// Time the origin broadcast it.
+    pub sent_at: SimTime,
+    /// Arrival time per node (index = node id).
+    pub arrival: Vec<SimTime>,
+}
+
+impl Propagation {
+    /// When `node` first saw the message.
+    pub fn arrival_at(&self, node: NodeId) -> SimTime {
+        self.arrival[node.0 as usize]
+    }
+
+    /// The time by which every node has the message.
+    pub fn fully_propagated_at(&self) -> SimTime {
+        *self.arrival.iter().max().expect("non-empty overlay")
+    }
+}
+
+/// The overlay plus cached propagation tables.
+#[derive(Debug, Clone)]
+pub struct GossipNetwork {
+    topology: Topology,
+    /// distances[origin][node] = shortest-path ms
+    distances: Vec<Vec<u64>>,
+}
+
+impl GossipNetwork {
+    /// Builds the network and precomputes all single-source tables.
+    pub fn new(topology: Topology) -> Self {
+        let distances = (0..topology.len())
+            .map(|i| topology.propagation_times(NodeId(i)))
+            .collect();
+        GossipNetwork {
+            topology,
+            distances,
+        }
+    }
+
+    /// The underlying overlay.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Floods `tx_hash` from `origin` at time `at`.
+    pub fn broadcast(&self, tx_hash: TxHash, origin: NodeId, at: SimTime) -> Propagation {
+        let arrival = self.distances[origin.0 as usize]
+            .iter()
+            .map(|&d| at.plus_millis(d))
+            .collect();
+        Propagation {
+            tx_hash,
+            origin,
+            sent_at: at,
+            arrival,
+        }
+    }
+
+    /// Shortest propagation latency between two nodes, in ms.
+    pub fn latency_ms(&self, from: NodeId, to: NodeId) -> u64 {
+        self.distances[from.0 as usize][to.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eth_types::H256;
+    use simcore::SeedDomain;
+
+    fn network() -> GossipNetwork {
+        GossipNetwork::new(Topology::random(24, 3, 40.0, &SeedDomain::new(8)))
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_after_origin() {
+        let net = network();
+        let p = net.broadcast(H256::derive("tx"), NodeId(0), SimTime::from_secs(10));
+        assert_eq!(p.arrival_at(NodeId(0)), SimTime::from_secs(10));
+        for i in 1..net.topology().len() {
+            assert!(p.arrival_at(NodeId(i)) > SimTime::from_secs(10));
+        }
+        assert!(p.fully_propagated_at() < SimTime::from_secs(12));
+    }
+
+    #[test]
+    fn latency_is_symmetric() {
+        let net = network();
+        for i in 0..8 {
+            for j in 0..8 {
+                assert_eq!(
+                    net.latency_ms(NodeId(i), NodeId(j)),
+                    net.latency_ms(NodeId(j), NodeId(i)),
+                    "asymmetric {i}->{j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let net = network();
+        for i in 0..6 {
+            for j in 0..6 {
+                for k in 0..6 {
+                    let direct = net.latency_ms(NodeId(i), NodeId(j));
+                    let via = net.latency_ms(NodeId(i), NodeId(k))
+                        + net.latency_ms(NodeId(k), NodeId(j));
+                    assert!(direct <= via);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_time_shifts_arrivals() {
+        let net = network();
+        let p1 = net.broadcast(H256::derive("tx"), NodeId(3), SimTime::from_secs(0));
+        let p2 = net.broadcast(H256::derive("tx"), NodeId(3), SimTime::from_secs(5));
+        for i in 0..net.topology().len() {
+            assert_eq!(
+                p2.arrival_at(NodeId(i)).millis_since(p1.arrival_at(NodeId(i))),
+                5000
+            );
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! P2P network simulation (paper §2.1, §3.2).
+//!
+//! Ethereum's execution and consensus layers run over P2P gossip overlays;
+//! transactions sent through the network land in every node's mempool,
+//! while *private* transactions travel over direct channels and never
+//! appear publicly. The paper classifies each included transaction as
+//! public or private by joining against mempool.guru's seven observation
+//! nodes (§3.2) — this crate reproduces that machinery:
+//!
+//! * [`Topology`]: a connected random overlay with per-link latencies,
+//! * [`GossipNetwork`]: shortest-path flooding, giving each node a
+//!   first-seen time for every gossiped transaction,
+//! * [`MempoolObservers`]: seven monitor nodes recording first-seen
+//!   timestamps, mirroring the mempool.guru dataset,
+//! * [`PrivateChannel`]: direct searcher→builder / user→service lanes that
+//!   bypass the public mempool entirely.
+
+pub mod channels;
+pub mod gossip;
+pub mod observers;
+pub mod topology;
+
+pub use channels::PrivateChannel;
+pub use gossip::{GossipNetwork, Propagation};
+pub use observers::{MempoolObservers, ObservationLog, NUM_OBSERVERS};
+pub use topology::{NodeId, Topology};

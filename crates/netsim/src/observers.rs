@@ -1,0 +1,180 @@
+//! The mempool observatory (paper §3.2).
+//!
+//! mempool.guru runs seven full nodes and records, for every transaction
+//! later included on chain, the timestamp at which each node first saw it.
+//! The paper uses this to separate publicly-propagated transactions from
+//! private ones. [`MempoolObservers`] designates seven overlay nodes as
+//! monitors and [`ObservationLog`] accumulates their first-seen records.
+
+use crate::gossip::Propagation;
+use crate::topology::NodeId;
+use eth_types::TxHash;
+use simcore::SimTime;
+use std::collections::BTreeMap;
+
+/// Number of observation nodes, as run by mempool.guru.
+pub const NUM_OBSERVERS: usize = 7;
+
+/// The set of monitor nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MempoolObservers {
+    nodes: [NodeId; NUM_OBSERVERS],
+}
+
+impl MempoolObservers {
+    /// Picks seven monitor nodes spread evenly across the overlay.
+    pub fn spread(overlay_size: u32) -> Self {
+        assert!(
+            overlay_size >= NUM_OBSERVERS as u32,
+            "overlay smaller than observer count"
+        );
+        let mut nodes = [NodeId(0); NUM_OBSERVERS];
+        for (i, slot) in nodes.iter_mut().enumerate() {
+            *slot = NodeId((i as u32 * overlay_size) / NUM_OBSERVERS as u32);
+        }
+        MempoolObservers { nodes }
+    }
+
+    /// The monitor node ids.
+    pub fn nodes(&self) -> &[NodeId; NUM_OBSERVERS] {
+        &self.nodes
+    }
+}
+
+/// First-seen timestamps per transaction at each of the seven monitors.
+#[derive(Debug, Clone, Default)]
+pub struct ObservationLog {
+    seen: BTreeMap<TxHash, [Option<SimTime>; NUM_OBSERVERS]>,
+}
+
+impl ObservationLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a gossip propagation: each monitor logs its arrival time
+    /// (keeping the earliest if the tx was gossiped more than once).
+    pub fn record(&mut self, observers: &MempoolObservers, propagation: &Propagation) {
+        let entry = self
+            .seen
+            .entry(propagation.tx_hash)
+            .or_insert([None; NUM_OBSERVERS]);
+        for (i, node) in observers.nodes().iter().enumerate() {
+            let t = propagation.arrival_at(*node);
+            entry[i] = Some(match entry[i] {
+                Some(prev) => prev.min(t),
+                None => t,
+            });
+        }
+    }
+
+    /// The seven first-seen timestamps for a transaction, if observed.
+    pub fn timestamps(&self, tx: &TxHash) -> Option<&[Option<SimTime>; NUM_OBSERVERS]> {
+        self.seen.get(tx)
+    }
+
+    /// Whether any monitor ever saw the transaction — the paper's
+    /// public-vs-private criterion.
+    pub fn was_public(&self, tx: &TxHash) -> bool {
+        self.seen
+            .get(tx)
+            .map(|obs| obs.iter().any(|t| t.is_some()))
+            .unwrap_or(false)
+    }
+
+    /// Earliest observation across monitors.
+    pub fn first_seen(&self, tx: &TxHash) -> Option<SimTime> {
+        self.seen.get(tx)?.iter().flatten().min().copied()
+    }
+
+    /// Removes a transaction's record (after its block has been analyzed),
+    /// returning whether it had been observed. Keeps the log memory-bounded
+    /// over long runs.
+    pub fn remove(&mut self, tx: &TxHash) -> bool {
+        self.seen.remove(tx).is_some()
+    }
+
+    /// Number of distinct transactions observed.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// True if nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// Total number of (tx, node) observation entries — the unit in which
+    /// the paper's Table 1 counts its 910M mempool rows.
+    pub fn entry_count(&self) -> u64 {
+        self.seen
+            .values()
+            .map(|obs| obs.iter().flatten().count() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gossip::GossipNetwork;
+    use crate::topology::Topology;
+    use eth_types::H256;
+    use simcore::SeedDomain;
+
+    fn setup() -> (GossipNetwork, MempoolObservers, ObservationLog) {
+        let net = GossipNetwork::new(Topology::random(28, 3, 40.0, &SeedDomain::new(4)));
+        let obs = MempoolObservers::spread(net.topology().len());
+        (net, obs, ObservationLog::new())
+    }
+
+    #[test]
+    fn observers_are_distinct_and_spread() {
+        let obs = MempoolObservers::spread(28);
+        let mut ids: Vec<u32> = obs.nodes().iter().map(|n| n.0).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), NUM_OBSERVERS);
+        assert!(ids.iter().all(|&i| i < 28));
+    }
+
+    #[test]
+    fn gossiped_tx_is_public_with_seven_timestamps() {
+        let (net, obs, mut log) = setup();
+        let tx = H256::derive("public-tx");
+        let p = net.broadcast(tx, NodeId(2), SimTime::from_secs(1));
+        log.record(&obs, &p);
+        assert!(log.was_public(&tx));
+        let stamps = log.timestamps(&tx).unwrap();
+        assert!(stamps.iter().all(|t| t.is_some()));
+        assert_eq!(log.entry_count(), 7);
+        assert!(log.first_seen(&tx).unwrap() >= SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn unobserved_tx_is_private() {
+        let (_, _, log) = setup();
+        assert!(!log.was_public(&H256::derive("private-tx")));
+        assert!(log.first_seen(&H256::derive("private-tx")).is_none());
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn rebroadcast_keeps_earliest_timestamp() {
+        let (net, obs, mut log) = setup();
+        let tx = H256::derive("tx");
+        let late = net.broadcast(tx, NodeId(0), SimTime::from_secs(10));
+        let early = net.broadcast(tx, NodeId(5), SimTime::from_secs(1));
+        log.record(&obs, &late);
+        let after_late = log.first_seen(&tx).unwrap();
+        log.record(&obs, &early);
+        assert!(log.first_seen(&tx).unwrap() < after_late);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_overlay_rejected() {
+        let _ = MempoolObservers::spread(3);
+    }
+}

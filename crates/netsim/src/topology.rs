@@ -1,0 +1,196 @@
+//! The overlay graph.
+//!
+//! A ring lattice plus random chords — connected by construction, small
+//! diameter like the real devp2p mesh. Each undirected link carries a
+//! latency drawn from a log-normal (median ≈ 40 ms), matching measured
+//! inter-node gossip delays.
+
+use simcore::{LogNormal, SeedDomain};
+use std::collections::BinaryHeap;
+
+/// Index of a node in the overlay.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+/// An undirected overlay graph with millisecond link latencies.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// adjacency[i] = list of (neighbor, latency_ms)
+    adjacency: Vec<Vec<(u32, u32)>>,
+}
+
+impl Topology {
+    /// Builds a connected overlay of `n` nodes.
+    ///
+    /// Construction: a ring (guarantees connectivity) plus `extra_per_node`
+    /// random chords per node. Latencies are log-normal with the given
+    /// median, clamped to `[5 ms, 1 s]`.
+    pub fn random(n: u32, extra_per_node: u32, median_latency_ms: f64, seeds: &SeedDomain) -> Self {
+        assert!(n >= 2, "need at least two nodes");
+        let mut rng = seeds.rng("netsim:topology");
+        let lat = LogNormal::with_median(median_latency_ms, 0.5);
+        let mut adjacency = vec![Vec::new(); n as usize];
+
+        let sample_latency = |rng: &mut rand::rngs::StdRng| -> u32 {
+            lat.sample(rng).clamp(5.0, 1000.0) as u32
+        };
+
+        // Ring backbone.
+        for i in 0..n {
+            let j = (i + 1) % n;
+            let l = sample_latency(&mut rng);
+            adjacency[i as usize].push((j, l));
+            adjacency[j as usize].push((i, l));
+        }
+        // Random chords.
+        use rand::Rng;
+        for i in 0..n {
+            for _ in 0..extra_per_node {
+                let j = rng.random_range(0..n);
+                if j != i && !adjacency[i as usize].iter().any(|&(p, _)| p == j) {
+                    let l = sample_latency(&mut rng);
+                    adjacency[i as usize].push((j, l));
+                    adjacency[j as usize].push((i, l));
+                }
+            }
+        }
+        Topology { adjacency }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> u32 {
+        self.adjacency.len() as u32
+    }
+
+    /// True if the overlay has no nodes (never for a built topology).
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Neighbors of `node` with link latencies.
+    pub fn neighbors(&self, node: NodeId) -> &[(u32, u32)] {
+        &self.adjacency[node.0 as usize]
+    }
+
+    /// Single-source shortest propagation times (Dijkstra), in ms.
+    ///
+    /// Gossip flooding delivers along fastest paths, so first-seen time at
+    /// each node equals the shortest-path latency from the origin.
+    pub fn propagation_times(&self, origin: NodeId) -> Vec<u64> {
+        let n = self.adjacency.len();
+        let mut dist = vec![u64::MAX; n];
+        dist[origin.0 as usize] = 0;
+        let mut heap = BinaryHeap::new();
+        heap.push(std::cmp::Reverse((0u64, origin.0)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            for &(v, w) in &self.adjacency[u as usize] {
+                let nd = d + w as u64;
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    heap.push(std::cmp::Reverse((nd, v)));
+                }
+            }
+        }
+        dist
+    }
+
+    /// The network diameter in ms (max over sources of max finite distance).
+    pub fn diameter_ms(&self) -> u64 {
+        (0..self.len())
+            .map(|i| {
+                self.propagation_times(NodeId(i))
+                    .into_iter()
+                    .filter(|&d| d != u64::MAX)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::random(32, 3, 40.0, &SeedDomain::new(5))
+    }
+
+    #[test]
+    fn all_nodes_reachable() {
+        let t = topo();
+        for i in 0..t.len() {
+            let d = t.propagation_times(NodeId(i));
+            assert!(d.iter().all(|&x| x != u64::MAX), "node {i} has unreachable peers");
+        }
+    }
+
+    #[test]
+    fn origin_distance_is_zero_and_neighbors_match_links() {
+        let t = topo();
+        let d = t.propagation_times(NodeId(0));
+        assert_eq!(d[0], 0);
+        for &(nbr, lat) in t.neighbors(NodeId(0)) {
+            assert!(d[nbr as usize] <= lat as u64);
+        }
+    }
+
+    #[test]
+    fn latencies_within_clamp() {
+        let t = topo();
+        for i in 0..t.len() {
+            for &(_, l) in t.neighbors(NodeId(i)) {
+                assert!((5..=1000).contains(&l));
+            }
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = Topology::random(16, 2, 40.0, &SeedDomain::new(9));
+        let b = Topology::random(16, 2, 40.0, &SeedDomain::new(9));
+        for i in 0..a.len() {
+            assert_eq!(a.neighbors(NodeId(i)), b.neighbors(NodeId(i)));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_graphs() {
+        let a = Topology::random(16, 2, 40.0, &SeedDomain::new(1));
+        let b = Topology::random(16, 2, 40.0, &SeedDomain::new(2));
+        let differs = (0..a.len()).any(|i| a.neighbors(NodeId(i)) != b.neighbors(NodeId(i)));
+        assert!(differs);
+    }
+
+    #[test]
+    fn diameter_is_bounded_for_small_world() {
+        let t = topo();
+        let d = t.diameter_ms();
+        assert!(d > 0);
+        // 32 nodes with chords: a handful of hops at ≲100ms each.
+        assert!(d < 2000, "diameter {d} ms too large");
+    }
+
+    #[test]
+    fn edges_are_symmetric() {
+        let t = topo();
+        for i in 0..t.len() {
+            for &(j, l) in t.neighbors(NodeId(i)) {
+                assert!(t
+                    .neighbors(NodeId(j))
+                    .iter()
+                    .any(|&(k, l2)| k == i && l2 == l));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_node_rejected() {
+        let _ = Topology::random(1, 2, 40.0, &SeedDomain::new(1));
+    }
+}

@@ -1,0 +1,514 @@
+//! The per-slot PBS auction (paper §2.2, Figure 2).
+//!
+//! One slot, end to end: every builder assembles its best block from the
+//! public mempool plus the bundles routed to it, submits (with per-relay
+//! bid decay, so the same builder rarely posts the identical bid
+//! everywhere — the source of the ~5% multi-relay blocks), relays apply
+//! their policies (censorship with lagged blacklists, MEV filtering, bid
+//! verification), and the proposer's MEV-Boost client signs the best
+//! header. Validators without MEV-Boost — or left without bids — build
+//! locally with naive gas-price ordering.
+
+use crate::boost::{LocalBuilder, MevBoostClient};
+use crate::builder::{BuildInputs, Builder, BuilderId, BuiltBlock};
+use crate::ofac::{tx_touches_sanctioned, SanctionsList};
+use crate::relay::{RelayId, RelayRegistry, Submission};
+use eth_types::{
+    Address, BlsPublicKey, DayIndex, Gas, GasPrice, Slot, Transaction, Wei,
+};
+use execution::Mempool;
+use mev::Bundle;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Static per-slot auction parameters.
+#[derive(Debug, Clone)]
+pub struct SlotAuction<'a> {
+    /// The slot being auctioned.
+    pub slot: Slot,
+    /// Calendar day (drives blacklist lag and incident windows).
+    pub day: DayIndex,
+    /// Base fee in force.
+    pub base_fee: GasPrice,
+    /// Block gas limit.
+    pub gas_limit: Gas,
+    /// The authoritative sanctions list.
+    pub sanctions: &'a SanctionsList,
+    /// Probability a relay submission carries the builder's exact bid
+    /// (otherwise a small decay applies).
+    pub jitter_zero_prob: f64,
+    /// Maximum relative bid decay when jitter applies.
+    pub jitter_max_frac: f64,
+}
+
+/// One builder→relay submission, as the relay-data crawl would record it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmissionRecord {
+    /// Receiving relay.
+    pub relay: RelayId,
+    /// Submitting builder.
+    pub builder: BuilderId,
+    /// Submission key.
+    pub pubkey: BlsPublicKey,
+    /// Declared bid.
+    pub declared_bid: Wei,
+    /// Whether the relay accepted it into escrow.
+    pub accepted: bool,
+}
+
+/// Everything a resolved slot produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotResult {
+    /// Final ordered transactions (payment tx appended for PBS blocks).
+    pub txs: Vec<Transaction>,
+    /// The block's fee recipient (builder address under PBS, else the
+    /// proposer's own).
+    pub fee_recipient: Address,
+    /// Whether the block went through PBS.
+    pub pbs: bool,
+    /// Winning builder (PBS only).
+    pub builder: Option<BuilderId>,
+    /// Winning submission key (PBS only).
+    pub pubkey: Option<BlsPublicKey>,
+    /// Relays that carried the winning bid (PBS only; >1 = multi-relay).
+    pub winning_relays: Vec<RelayId>,
+    /// Value promised to the proposer in the blinded header.
+    pub promised: Wei,
+    /// Value actually delivered by the payment transaction.
+    pub delivered: Wei,
+    /// Bundles of each MEV kind merged into the winning block
+    /// (sandwich, arbitrage, liquidation).
+    pub bundle_counts: [usize; 3],
+    /// Every submission any relay received this slot.
+    pub submissions: Vec<SubmissionRecord>,
+}
+
+impl<'a> SlotAuction<'a> {
+    /// Runs the auction.
+    ///
+    /// `bundles_per_builder[i]` are the bundles routed to `builders[i]`
+    /// (order-flow access is the caller's policy). `dishonest_bid` makes
+    /// one builder declare an inflated bid to *non-verifying* relays — the
+    /// Manifold exploit of 15 Oct 2022.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        &self,
+        builders: &mut [Builder],
+        bundles_per_builder: &[Vec<Bundle>],
+        public_mempool: &[Transaction],
+        relays: &mut RelayRegistry,
+        client: Option<&MevBoostClient>,
+        proposer_fee_recipient: Address,
+        proposer_mempool: &Mempool,
+        direct_to_proposer: &[Transaction],
+        rng: &mut StdRng,
+        dishonest_bid: Option<(BuilderId, Wei)>,
+    ) -> SlotResult {
+        assert_eq!(builders.len(), bundles_per_builder.len());
+        let mut submissions: Vec<SubmissionRecord> = Vec::new();
+        let mut built_blocks: Vec<BuiltBlock> = Vec::with_capacity(builders.len());
+
+        // 1. Every builder assembles and submits.
+        for (bi, builder) in builders.iter_mut().enumerate() {
+            let built = builder.build(&BuildInputs {
+                base_fee: self.base_fee,
+                gas_limit: self.gas_limit,
+                mempool: public_mempool,
+                bundles: &bundles_per_builder[bi],
+            });
+            let margin = builder.margin_on(built.value);
+            let honest_bid = built.bid(margin);
+            let pubkey = builder.pubkey_for_slot(self.slot);
+
+            for &rid in &builder.profile.relays.clone() {
+                // Builders pre-filter for censoring relays using the relay's
+                // *published* (lagged) blacklist — the mechanism behind the
+                // update-day leaks the paper finds (§6).
+                let (variant_bid, variant_sandwiches) = {
+                    let relay = relays.get(rid);
+                    if relay.info.ofac_compliant {
+                        let filtered =
+                            builder.censored_variant(&built, self.base_fee, self.day, |a| {
+                                relay.blacklist_flags(self.sanctions, a, self.day)
+                            });
+                        let m = builder.margin_on(filtered.value);
+                        (filtered.bid(m), filtered.bundle_counts[0])
+                    } else {
+                        (honest_bid, built.bundle_counts[0])
+                    }
+                };
+
+                // Per-relay bid decay (latency: the last bid update differs
+                // across relays).
+                let decay = if rng.random::<f64>() < self.jitter_zero_prob {
+                    Wei::ZERO
+                } else {
+                    let f = rng.random::<f64>() * self.jitter_max_frac;
+                    variant_bid.mul_ratio((f * 1_000_000.0) as u128, 1_000_000)
+                };
+                let mut declared = variant_bid.saturating_sub(decay);
+                let mut true_bid = declared;
+
+                // The exploit path: declare an inflated bid; relays that
+                // verify will reject it, Manifold (pre-fix) will not.
+                if let Some((cheater, inflated)) = dishonest_bid {
+                    if cheater == builder.id {
+                        declared = inflated;
+                        true_bid = variant_bid;
+                    }
+                }
+
+                let accepted = relays.get_mut(rid).consider(
+                    Submission {
+                        slot: self.slot,
+                        builder: builder.id,
+                        pubkey,
+                        declared_bid: declared,
+                        true_bid,
+                        sandwich_count: variant_sandwiches,
+                        flagged_by_blacklist: false,
+                    },
+                    self.day,
+                );
+                submissions.push(SubmissionRecord {
+                    relay: rid,
+                    builder: builder.id,
+                    pubkey,
+                    declared_bid: declared,
+                    accepted,
+                });
+            }
+            built_blocks.push(built);
+        }
+
+        // 2. Proposer side.
+        let choice = client.and_then(|c| c.best_header(relays));
+        let result = match choice {
+            Some(choice) => {
+                let winner_idx = choice.builder.0 as usize;
+                let built = &built_blocks[winner_idx];
+                let relay_primary = choice.relays[0];
+
+                // Reconstruct the winning variant (censored if the winning
+                // relay censors).
+                let final_built = {
+                    let relay = relays.get(relay_primary);
+                    if relay.info.ofac_compliant {
+                        builders[winner_idx].censored_variant(built, self.base_fee, self.day, |a| {
+                            relay.blacklist_flags(self.sanctions, a, self.day)
+                        })
+                    } else {
+                        built.clone()
+                    }
+                };
+
+                // Delivered value: the promise, minus relay shortfall, or
+                // nearly nothing when the promise itself was fraudulent.
+                let honest_payment = final_built
+                    .bid(builders[winner_idx].margin_on(final_built.value));
+                let mut delivered = choice.promised.min(honest_payment);
+                if choice.promised > honest_payment {
+                    // Fraudulent declaration accepted by a non-verifying
+                    // relay: the builder pays next to nothing.
+                    delivered = Wei::ZERO;
+                }
+                if let Some(short) = relays.get_mut(relay_primary).sample_shortfall(delivered) {
+                    delivered = short;
+                }
+
+                let mut txs = final_built.txs.clone();
+                let payment =
+                    builders[winner_idx].payment_tx(proposer_fee_recipient, delivered);
+                txs.push(payment);
+                let fee_recipient = builders[winner_idx]
+                    .profile
+                    .fee_recipient
+                    .unwrap_or(proposer_fee_recipient);
+
+                SlotResult {
+                    txs,
+                    fee_recipient,
+                    pbs: true,
+                    builder: Some(choice.builder),
+                    pubkey: Some(choice.pubkey),
+                    winning_relays: choice.relays,
+                    promised: choice.promised,
+                    delivered,
+                    bundle_counts: final_built.bundle_counts,
+                    submissions,
+                }
+            }
+            None => {
+                // Non-PBS path: naive local build.
+                let (txs, value) = LocalBuilder {
+                    gas_limit: self.gas_limit,
+                }
+                .build(proposer_mempool, direct_to_proposer, self.base_fee);
+                SlotResult {
+                    txs,
+                    fee_recipient: proposer_fee_recipient,
+                    pbs: false,
+                    builder: None,
+                    pubkey: None,
+                    winning_relays: Vec::new(),
+                    promised: value,
+                    delivered: value,
+                    bundle_counts: [0; 3],
+                    submissions,
+                }
+            }
+        };
+
+        // 3. Slot teardown.
+        for relay in relays.iter_mut() {
+            relay.end_slot();
+        }
+        result
+    }
+
+    /// Convenience: whether any transaction in a list touches the
+    /// authoritative sanctions list on this auction's day.
+    pub fn any_sanctioned(&self, txs: &[Transaction]) -> bool {
+        txs.iter().any(|t| {
+            tx_touches_sanctioned(t, |a| self.sanctions.is_sanctioned(a, self.day))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BuilderProfile, MarginPolicy, SubsidyPolicy};
+    use simcore::SeedDomain;
+
+    fn mk_builder(i: u32, name: &str, relays: Vec<RelayId>) -> Builder {
+        let mut profile = BuilderProfile::new(
+            name,
+            MarginPolicy::FixedEth(0.001),
+            SubsidyPolicy::Never,
+            1.0,
+        );
+        profile.relays = relays;
+        Builder::new(BuilderId(i), profile, SeedDomain::new(77).rng(name))
+    }
+
+    fn mk_tx(label: &str, tip_gwei: f64) -> Transaction {
+        Transaction::transfer(
+            Address::derive(label),
+            Address::derive("sink"),
+            Wei::from_eth(0.5),
+            0,
+            GasPrice::from_gwei(tip_gwei),
+            GasPrice::from_gwei(1000.0),
+        )
+    }
+
+    fn auction<'a>(sanctions: &'a SanctionsList) -> SlotAuction<'a> {
+        SlotAuction {
+            slot: Slot(10),
+            day: DayIndex(30),
+            base_fee: GasPrice::from_gwei(10.0),
+            gas_limit: Gas::BLOCK_LIMIT,
+            sanctions,
+            jitter_zero_prob: 0.15,
+            jitter_max_frac: 0.03,
+        }
+    }
+
+    fn run_simple(
+        builders: &mut [Builder],
+        relays: &mut RelayRegistry,
+        client: Option<&MevBoostClient>,
+        mempool_txs: &[Transaction],
+    ) -> SlotResult {
+        let sanctions = SanctionsList::new();
+        let a = auction(&sanctions);
+        let bundles: Vec<Vec<Bundle>> = builders.iter().map(|_| Vec::new()).collect();
+        let mut rng = SeedDomain::new(5).rng("auction");
+        let mut proposer_pool = Mempool::new(1024);
+        for t in mempool_txs {
+            proposer_pool.insert(t.clone());
+        }
+        a.run(
+            builders,
+            &bundles,
+            mempool_txs,
+            relays,
+            client,
+            Address::derive("proposer"),
+            &proposer_pool,
+            &[],
+            &mut rng,
+            None,
+        )
+    }
+
+    #[test]
+    fn pbs_block_ends_with_payment_to_proposer() {
+        let mut relays = RelayRegistry::paper(&SeedDomain::new(1));
+        let us = relays.id_by_name("UltraSound");
+        let mut builders = vec![mk_builder(0, "flashbots", vec![us])];
+        let mempool = vec![mk_tx("a", 5.0), mk_tx("b", 2.0)];
+        let client = MevBoostClient::new(vec![us]);
+        let result = run_simple(&mut builders, &mut relays, Some(&client), &mempool);
+
+        assert!(result.pbs);
+        assert_eq!(result.builder, Some(BuilderId(0)));
+        let last = result.txs.last().unwrap();
+        assert_eq!(last.to, Address::derive("proposer"));
+        assert_eq!(last.sender, Address::derive("builder:flashbots"));
+        assert_eq!(last.value, result.delivered);
+        assert!(result.delivered <= result.promised);
+        assert_eq!(result.fee_recipient, Address::derive("builder:flashbots"));
+    }
+
+    #[test]
+    fn best_builder_wins() {
+        let mut relays = RelayRegistry::paper(&SeedDomain::new(1));
+        let us = relays.id_by_name("UltraSound");
+        // Builder 1 keeps a huge margin → lower bid; builder 0 keeps little.
+        let mut b0 = mk_builder(0, "lean", vec![us]);
+        b0.profile.margin = MarginPolicy::FixedEth(0.0001);
+        let mut b1 = mk_builder(1, "greedy", vec![us]);
+        b1.profile.margin = MarginPolicy::Share(0.5);
+        let mut builders = vec![b0, b1];
+        let mempool = vec![mk_tx("a", 50.0), mk_tx("b", 40.0)];
+        let client = MevBoostClient::new(vec![us]);
+        let result = run_simple(&mut builders, &mut relays, Some(&client), &mempool);
+        assert_eq!(result.builder, Some(BuilderId(0)));
+    }
+
+    #[test]
+    fn no_client_means_local_block() {
+        let mut relays = RelayRegistry::paper(&SeedDomain::new(1));
+        let us = relays.id_by_name("UltraSound");
+        let mut builders = vec![mk_builder(0, "flashbots", vec![us])];
+        let mempool = vec![mk_tx("a", 5.0)];
+        let result = run_simple(&mut builders, &mut relays, None, &mempool);
+        assert!(!result.pbs);
+        assert!(result.builder.is_none());
+        assert_eq!(result.fee_recipient, Address::derive("proposer"));
+        assert_eq!(result.txs.len(), 1); // no payment tx
+        assert_eq!(result.promised, result.delivered);
+    }
+
+    #[test]
+    fn unsubscribed_proposer_falls_back_to_local() {
+        let mut relays = RelayRegistry::paper(&SeedDomain::new(1));
+        let us = relays.id_by_name("UltraSound");
+        let aestus = relays.id_by_name("Aestus");
+        let mut builders = vec![mk_builder(0, "flashbots", vec![us])];
+        let mempool = vec![mk_tx("a", 5.0)];
+        let client = MevBoostClient::new(vec![aestus]); // wrong relay
+        let result = run_simple(&mut builders, &mut relays, Some(&client), &mempool);
+        assert!(!result.pbs);
+    }
+
+    #[test]
+    fn submissions_are_recorded_per_relay() {
+        let mut relays = RelayRegistry::paper(&SeedDomain::new(1));
+        let us = relays.id_by_name("UltraSound");
+        let gn = relays.id_by_name("GnosisDAO");
+        let mut builders = vec![mk_builder(0, "multi", vec![us, gn])];
+        let mempool = vec![mk_tx("a", 5.0)];
+        let client = MevBoostClient::new(vec![us, gn]);
+        let result = run_simple(&mut builders, &mut relays, Some(&client), &mempool);
+        assert_eq!(result.submissions.len(), 2);
+        assert!(result.submissions.iter().all(|s| s.accepted));
+    }
+
+    #[test]
+    fn censoring_relay_wins_with_filtered_block() {
+        // A sanctioned tx is in the mempool; the builder submits the full
+        // block to a non-censoring relay and a filtered one to Flashbots.
+        let mut sanctions = SanctionsList::new();
+        let bad = Address::derive("tornado");
+        sanctions.add(bad, DayIndex(0));
+
+        let mut relays = RelayRegistry::paper(&SeedDomain::new(1));
+        let fb = relays.id_by_name("Flashbots");
+        let mut builders = vec![mk_builder(0, "flashbots", vec![fb])];
+
+        let mut dirty = mk_tx("dirty", 50.0);
+        dirty.to = bad;
+        let dirty = dirty.finalize();
+        let clean = mk_tx("clean", 5.0);
+        let mempool = vec![dirty.clone(), clean.clone()];
+
+        let a = auction(&sanctions);
+        let bundles = vec![Vec::new()];
+        let mut rng = SeedDomain::new(5).rng("auction");
+        let client = MevBoostClient::new(vec![fb]);
+        let pool = Mempool::new(16);
+        let result = a.run(
+            &mut builders,
+            &bundles,
+            &mempool,
+            &mut relays,
+            Some(&client),
+            Address::derive("proposer"),
+            &pool,
+            &[],
+            &mut rng,
+            None,
+        );
+        assert!(result.pbs);
+        // The sanctioned tx is absent from the winning block.
+        assert!(result.txs.iter().all(|t| t.hash != dirty.hash));
+        assert!(result.txs.iter().any(|t| t.hash == clean.hash));
+    }
+
+    #[test]
+    fn manifold_exploit_delivers_nothing() {
+        let mut relays = RelayRegistry::paper(&SeedDomain::new(1));
+        let mf = relays.id_by_name("Manifold");
+        relays.get_mut(mf).bid_verification_from = Some(DayIndex(31));
+        let mut builders = vec![mk_builder(0, "cheater", vec![mf])];
+        let mempool = vec![mk_tx("a", 5.0)];
+
+        let sanctions = SanctionsList::new();
+        let a = auction(&sanctions); // day 30: before the fix
+        let bundles = vec![Vec::new()];
+        let mut rng = SeedDomain::new(5).rng("auction");
+        let client = MevBoostClient::new(vec![mf]);
+        let pool = Mempool::new(16);
+        let result = a.run(
+            &mut builders,
+            &bundles,
+            &mempool,
+            &mut relays,
+            Some(&client),
+            Address::derive("proposer"),
+            &pool,
+            &[],
+            &mut rng,
+            Some((BuilderId(0), Wei::from_eth(278.0))),
+        );
+        assert!(result.pbs);
+        assert_eq!(result.promised, Wei::from_eth(278.0));
+        assert_eq!(result.delivered, Wei::ZERO);
+    }
+
+    #[test]
+    fn relays_are_cleared_after_the_slot() {
+        let mut relays = RelayRegistry::paper(&SeedDomain::new(1));
+        let us = relays.id_by_name("UltraSound");
+        let mut builders = vec![mk_builder(0, "b", vec![us])];
+        let mempool = vec![mk_tx("a", 5.0)];
+        let client = MevBoostClient::new(vec![us]);
+        run_simple(&mut builders, &mut relays, Some(&client), &mempool);
+        assert!(relays.get(us).best_bid().is_none());
+    }
+
+    #[test]
+    fn any_sanctioned_prescan_matches_list() {
+        let mut sanctions = SanctionsList::new();
+        let bad = Address::derive("bad");
+        sanctions.add(bad, DayIndex(0));
+        let a = auction(&sanctions);
+        let mut t = mk_tx("x", 1.0);
+        t.to = bad;
+        assert!(a.any_sanctioned(&[t.finalize()]));
+        assert!(!a.any_sanctioned(&[mk_tx("y", 1.0)]));
+    }
+}

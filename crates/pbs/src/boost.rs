@@ -1,0 +1,277 @@
+//! The validator side: MEV-Boost and the local-build fallback.
+//!
+//! "To receive bids from the relays, a validator must install the
+//! MEV-Boost client and add the relays from which they wish to receive
+//! bids to the config file" (§2.2). The client queries each subscribed
+//! relay for its best header, picks the highest bid, signs blind, and
+//! returns the signed header; if no relay offers a block (or the offered
+//! block is rejected, as on 10 Nov 2022), the validator falls back to
+//! building locally from its own mempool view — with the naive gas-price
+//! ordering the paper attributes to proposers (§1).
+
+use crate::relay::{RelayId, RelayRegistry};
+use eth_types::{Gas, GasPrice, Transaction, Wei};
+use execution::Mempool;
+
+/// The winning header as MEV-Boost sees it: who bid what, through which
+/// relays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeaderChoice {
+    /// The promised value (the blinded header's bid).
+    pub promised: Wei,
+    /// The builder that produced it.
+    pub builder: crate::builder::BuilderId,
+    /// The submission pubkey.
+    pub pubkey: eth_types::BlsPublicKey,
+    /// All subscribed relays carrying this exact (builder, bid) pair — when
+    /// more than one, the block is later claimed by each (the ~5% multi-
+    /// relay blocks of §4.1).
+    pub relays: Vec<RelayId>,
+}
+
+/// The validator-side relay client.
+#[derive(Debug, Clone)]
+pub struct MevBoostClient {
+    /// Relays in the validator's config file.
+    pub subscribed: Vec<RelayId>,
+    /// The `min-bid` flag: headers below this value are ignored and the
+    /// validator builds locally instead (introduced by MEV-Boost after the
+    /// censorship debate; 0 during the study period).
+    pub min_bid: Wei,
+}
+
+impl MevBoostClient {
+    /// Creates a client subscribed to the given relays, with no min-bid.
+    pub fn new(subscribed: Vec<RelayId>) -> Self {
+        MevBoostClient {
+            subscribed,
+            min_bid: Wei::ZERO,
+        }
+    }
+
+    /// Sets the `min-bid` threshold.
+    pub fn with_min_bid(mut self, min_bid: Wei) -> Self {
+        self.min_bid = min_bid;
+        self
+    }
+
+    /// Queries every subscribed relay and returns the most profitable
+    /// header, or `None` when no relay holds a block.
+    pub fn best_header(&self, relays: &RelayRegistry) -> Option<HeaderChoice> {
+        let mut best: Option<HeaderChoice> = None;
+        for &rid in &self.subscribed {
+            let relay = relays.get(rid);
+            let Some(bid) = relay.best_bid() else {
+                continue;
+            };
+            let s = &bid.submission;
+            match &mut best {
+                None => {
+                    best = Some(HeaderChoice {
+                        promised: s.declared_bid,
+                        builder: s.builder,
+                        pubkey: s.pubkey,
+                        relays: vec![rid],
+                    });
+                }
+                Some(cur) => {
+                    if s.declared_bid > cur.promised {
+                        *cur = HeaderChoice {
+                            promised: s.declared_bid,
+                            builder: s.builder,
+                            pubkey: s.pubkey,
+                            relays: vec![rid],
+                        };
+                    } else if s.declared_bid == cur.promised
+                        && s.builder == cur.builder
+                        && s.pubkey == cur.pubkey
+                    {
+                        cur.relays.push(rid);
+                    }
+                }
+            }
+        }
+        // min-bid: prefer local building over cheap relay blocks.
+        best.filter(|b| b.promised >= self.min_bid)
+    }
+}
+
+/// The non-PBS path: local block building with naive gas-price ordering.
+#[derive(Debug, Clone)]
+pub struct LocalBuilder {
+    /// Block gas limit.
+    pub gas_limit: Gas,
+}
+
+impl Default for LocalBuilder {
+    fn default() -> Self {
+        LocalBuilder {
+            gas_limit: Gas::BLOCK_LIMIT,
+        }
+    }
+}
+
+impl LocalBuilder {
+    /// Builds from the proposer's own mempool view, ordering by gas price
+    /// (ignoring coinbase bribes it has no tooling to see), plus any
+    /// private transactions delivered directly to this proposer.
+    pub fn build(
+        &self,
+        mempool: &Mempool,
+        direct: &[Transaction],
+        base_fee: GasPrice,
+    ) -> (Vec<Transaction>, Wei) {
+        let mut txs = mempool.select_gas_price_ordered(base_fee, self.gas_limit);
+        let mut gas: Gas = txs.iter().map(|t| t.gas_used()).sum();
+        for t in direct {
+            if t.includable_at(base_fee) && gas.0 + t.gas_used().0 <= self.gas_limit.0 {
+                gas += t.gas_used();
+                txs.push(t.clone());
+            }
+        }
+        let value = txs.iter().map(|t| t.producer_value(base_fee)).sum();
+        (txs, value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BuilderId;
+    use crate::relay::{RelayRegistry, Submission};
+    use eth_types::{Address, BlsPublicKey, DayIndex, Slot, TxEffect};
+    use simcore::SeedDomain;
+
+    fn submission(bid_eth: f64, builder: u32, key: &str) -> Submission {
+        Submission {
+            slot: Slot(1),
+            builder: BuilderId(builder),
+            pubkey: BlsPublicKey::derive(key),
+            declared_bid: Wei::from_eth(bid_eth),
+            true_bid: Wei::from_eth(bid_eth),
+            sandwich_count: 0,
+            flagged_by_blacklist: false,
+        }
+    }
+
+    #[test]
+    fn picks_highest_bid_across_relays() {
+        let mut relays = RelayRegistry::paper(&SeedDomain::new(2));
+        let a = relays.id_by_name("Aestus");
+        let u = relays.id_by_name("UltraSound");
+        relays.get_mut(a).consider(submission(0.05, 1, "k1"), DayIndex(0));
+        relays.get_mut(u).consider(submission(0.09, 2, "k2"), DayIndex(0));
+
+        let client = MevBoostClient::new(vec![a, u]);
+        let choice = client.best_header(&relays).unwrap();
+        assert_eq!(choice.promised, Wei::from_eth(0.09));
+        assert_eq!(choice.builder, BuilderId(2));
+        assert_eq!(choice.relays, vec![u]);
+    }
+
+    #[test]
+    fn identical_bids_from_same_builder_claim_multiple_relays() {
+        let mut relays = RelayRegistry::paper(&SeedDomain::new(2));
+        let a = relays.id_by_name("Aestus");
+        let u = relays.id_by_name("UltraSound");
+        relays.get_mut(a).consider(submission(0.09, 2, "k2"), DayIndex(0));
+        relays.get_mut(u).consider(submission(0.09, 2, "k2"), DayIndex(0));
+
+        let client = MevBoostClient::new(vec![a, u]);
+        let choice = client.best_header(&relays).unwrap();
+        assert_eq!(choice.relays.len(), 2);
+    }
+
+    #[test]
+    fn min_bid_filters_cheap_headers() {
+        let mut relays = RelayRegistry::paper(&SeedDomain::new(2));
+        let u = relays.id_by_name("UltraSound");
+        relays.get_mut(u).consider(submission(0.01, 2, "k2"), DayIndex(0));
+        let client = MevBoostClient::new(vec![u]).with_min_bid(Wei::from_eth(0.05));
+        assert!(client.best_header(&relays).is_none(), "0.01 < min-bid 0.05");
+        let eager = MevBoostClient::new(vec![u]);
+        assert!(eager.best_header(&relays).is_some());
+    }
+
+    #[test]
+    fn unsubscribed_relays_are_invisible() {
+        let mut relays = RelayRegistry::paper(&SeedDomain::new(2));
+        let a = relays.id_by_name("Aestus");
+        let u = relays.id_by_name("UltraSound");
+        relays.get_mut(u).consider(submission(0.09, 2, "k2"), DayIndex(0));
+
+        let client = MevBoostClient::new(vec![a]);
+        assert!(client.best_header(&relays).is_none());
+    }
+
+    #[test]
+    fn local_builder_uses_gas_price_not_bribes() {
+        let mut mempool = Mempool::new(64);
+        let mut briber = Transaction::transfer(
+            Address::derive("briber"),
+            Address::derive("d"),
+            Wei::ZERO,
+            0,
+            GasPrice::from_gwei(0.1),
+            GasPrice::from_gwei(100.0),
+        );
+        briber.coinbase_tip = Wei::from_eth(1.0);
+        mempool.insert(briber.finalize());
+        let tipper = Transaction::transfer(
+            Address::derive("tipper"),
+            Address::derive("d"),
+            Wei::ZERO,
+            0,
+            GasPrice::from_gwei(30.0),
+            GasPrice::from_gwei(100.0),
+        );
+        mempool.insert(tipper.clone());
+
+        let (txs, _) = LocalBuilder {
+            gas_limit: Gas(21_000),
+        }
+        .build(&mempool, &[], GasPrice::from_gwei(5.0));
+        assert_eq!(txs.len(), 1);
+        assert_eq!(txs[0].hash, tipper.hash);
+    }
+
+    #[test]
+    fn local_builder_includes_direct_private_flow() {
+        let mempool = Mempool::new(64);
+        let direct = Transaction::transfer(
+            Address::derive("binance"),
+            Address::derive("hot-wallet"),
+            Wei::from_eth(100.0),
+            0,
+            GasPrice::from_gwei(3.0),
+            GasPrice::from_gwei(100.0),
+        );
+        let (txs, value) =
+            LocalBuilder::default().build(&mempool, std::slice::from_ref(&direct), GasPrice::from_gwei(1.0));
+        assert_eq!(txs.len(), 1);
+        assert_eq!(txs[0].hash, direct.hash);
+        assert_eq!(value, direct.producer_value(GasPrice::from_gwei(1.0)));
+    }
+
+    #[test]
+    fn local_builder_respects_gas_limit_for_direct_txs() {
+        let mempool = Mempool::new(4);
+        let mut big = Transaction::transfer(
+            Address::derive("big"),
+            Address::derive("d"),
+            Wei::ZERO,
+            0,
+            GasPrice::from_gwei(3.0),
+            GasPrice::from_gwei(100.0),
+        );
+        big.effect = TxEffect::Generic {
+            extra_gas: 40_000_000,
+        };
+        let (txs, _) = LocalBuilder::default().build(
+            &mempool,
+            &[big.finalize()],
+            GasPrice::from_gwei(1.0),
+        );
+        assert!(txs.is_empty());
+    }
+}

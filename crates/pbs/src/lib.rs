@@ -1,0 +1,35 @@
+//! Proposer-Builder Separation — the paper's subject (§2.2, §4–6).
+//!
+//! Implements the full PBS mechanism as deployed during the opt-in phase:
+//!
+//! * [`builder`] — specialized block builders with distinct margin, subsidy
+//!   and order-flow profiles (the Table 5 / Figure 11 cast),
+//! * [`relay`] — the eleven relays of Table 2/3 with their builder-
+//!   connection policies, OFAC compliance, MEV filtering, and the
+//!   documented misbehaviours (Manifold's missing bid verification, the
+//!   Eden block-15,703,347 under-delivery),
+//! * [`ofac`] — the time-varying sanctions list and the relays' *lagged*
+//!   blacklist copies that explain the paper's censorship-gap findings,
+//! * [`boost`] — the validator-side MEV-Boost client: relay subscriptions,
+//!   blinded-header selection, signing, and local-build fallback,
+//! * [`auction`] — the per-slot orchestration tying it all together and
+//!   emitting the records the measurement pipeline crawls.
+
+pub mod auction;
+pub mod boost;
+pub mod builder;
+pub mod ofac;
+pub mod relay;
+
+pub use auction::{SlotAuction, SlotResult};
+pub use boost::{LocalBuilder, MevBoostClient};
+pub use builder::{
+    BuildInputs, BuiltBlock, Builder, BuilderId, BuilderProfile, MarginPolicy, SubsidyPolicy,
+};
+pub use ofac::{
+    block_touches_sanctioned, tx_touches_sanctioned, tx_touches_sanctioned_on, RelayBlacklist,
+    SanctionsList, TRON_SANCTIONED_FROM,
+};
+pub use relay::{
+    BuilderPolicy, Relay, RelayId, RelayRegistry, RelayStaticInfo, Submission, PAPER_RELAYS,
+};

@@ -1,0 +1,564 @@
+//! Relays (paper §2.2, §3.3, §4.1, Tables 2–4).
+//!
+//! Relays hold builders' blocks in escrow, forward the header of the most
+//! profitable one to subscribed proposers, and release the full block once
+//! the proposer signs. The eleven relays of the study differ in builder
+//! access policy, OFAC compliance, and MEV filtering (Table 3) — and in
+//! how faithfully they keep those promises (Table 4, §5.2, §5.4, §6):
+//!
+//! * censoring relays filter with a *lagged* blacklist copy,
+//! * bloXroute (Ethical)'s front-running filter has per-attack misses,
+//! * most relays occasionally deliver slightly less than they promised,
+//! * Manifold did not verify declared bid values until its 15 Oct 2022
+//!   incident, letting a builder steal 184 blocks' rewards.
+
+use crate::builder::BuilderId;
+use crate::ofac::{RelayBlacklist, SanctionsList};
+use beacon::ValidatorId;
+use eth_types::{BlsPublicKey, DayIndex, Slot, Wei};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Index of a relay in the registry (stable across the run).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct RelayId(pub u32);
+
+/// How a relay admits builders (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuilderPolicy {
+    /// Only the relay's own builders (Blocknative, Eden).
+    Internal,
+    /// Own builders plus vetted external ones (the bloXroute relays).
+    InternalAndExternal,
+    /// Anyone may submit (Aestus, GnosisDAO, Manifold, Relayooor, UltraSound).
+    Permissionless,
+    /// Own builder plus permissionless externals (Flashbots).
+    InternalAndPermissionless,
+}
+
+/// Static, paper-documented facts about a relay (Tables 2 and 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelayStaticInfo {
+    /// Relay name as the paper prints it.
+    pub name: &'static str,
+    /// Public API endpoint (Table 2).
+    pub endpoint: &'static str,
+    /// Implementation fork (Table 2): "MEV Boost" or "Dreamboat".
+    pub fork: &'static str,
+    /// Builder admission policy (Table 3).
+    pub builder_policy: BuilderPolicy,
+    /// Self-reported OFAC compliance (Table 3).
+    pub ofac_compliant: bool,
+    /// Self-reported MEV filter (Table 3); only bloXroute (E) has one.
+    pub mev_filter: Option<&'static str>,
+}
+
+/// The eleven relays crawled in the study, in Table 2 order.
+pub const PAPER_RELAYS: [RelayStaticInfo; 11] = [
+    RelayStaticInfo {
+        name: "Aestus",
+        endpoint: "https://aestus.live",
+        fork: "MEV Boost",
+        builder_policy: BuilderPolicy::Permissionless,
+        ofac_compliant: false,
+        mev_filter: None,
+    },
+    RelayStaticInfo {
+        name: "Blocknative",
+        endpoint: "https://builder-relay-mainnet.blocknative.com",
+        fork: "Dreamboat",
+        builder_policy: BuilderPolicy::Internal,
+        ofac_compliant: true,
+        mev_filter: None,
+    },
+    RelayStaticInfo {
+        name: "bloXroute (E)",
+        endpoint: "https://bloxroute.ethical.blxrbdn.com",
+        fork: "MEV Boost",
+        builder_policy: BuilderPolicy::InternalAndExternal,
+        ofac_compliant: false,
+        mev_filter: Some("front-running"),
+    },
+    RelayStaticInfo {
+        name: "bloXroute (M)",
+        endpoint: "https://bloxroute.max-profit.blxrbdn.com",
+        fork: "MEV Boost",
+        builder_policy: BuilderPolicy::InternalAndExternal,
+        ofac_compliant: false,
+        mev_filter: None,
+    },
+    RelayStaticInfo {
+        name: "bloXroute (R)",
+        endpoint: "https://bloxroute.regulated.blxrbdn.com",
+        fork: "MEV Boost",
+        builder_policy: BuilderPolicy::InternalAndExternal,
+        ofac_compliant: true,
+        mev_filter: None,
+    },
+    RelayStaticInfo {
+        name: "Eden",
+        endpoint: "https://relay.edennetwork.io",
+        fork: "MEV Boost",
+        builder_policy: BuilderPolicy::Internal,
+        ofac_compliant: true,
+        mev_filter: None,
+    },
+    RelayStaticInfo {
+        name: "Flashbots",
+        endpoint: "https://boost-relay.flashbots.net",
+        fork: "MEV Boost",
+        builder_policy: BuilderPolicy::InternalAndPermissionless,
+        ofac_compliant: true,
+        mev_filter: None,
+    },
+    RelayStaticInfo {
+        name: "GnosisDAO",
+        endpoint: "https://agnostic-relay.net",
+        fork: "MEV Boost",
+        builder_policy: BuilderPolicy::Permissionless,
+        ofac_compliant: false,
+        mev_filter: None,
+    },
+    RelayStaticInfo {
+        name: "Manifold",
+        endpoint: "https://mainnet-relay.securerpc.com",
+        fork: "MEV Boost",
+        builder_policy: BuilderPolicy::Permissionless,
+        ofac_compliant: false,
+        mev_filter: None,
+    },
+    RelayStaticInfo {
+        name: "Relayooor",
+        endpoint: "https://relayooor.wtf",
+        fork: "MEV Boost",
+        builder_policy: BuilderPolicy::Permissionless,
+        ofac_compliant: false,
+        mev_filter: None,
+    },
+    RelayStaticInfo {
+        name: "UltraSound",
+        endpoint: "https://relay.ultrasound.money",
+        fork: "MEV Boost",
+        builder_policy: BuilderPolicy::Permissionless,
+        ofac_compliant: false,
+        mev_filter: None,
+    },
+];
+
+/// A builder's block submission as a relay sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Submission {
+    /// Slot being bid for.
+    pub slot: Slot,
+    /// Submitting builder.
+    pub builder: BuilderId,
+    /// Submission key.
+    pub pubkey: BlsPublicKey,
+    /// Declared bid (the value promised to the proposer).
+    pub declared_bid: Wei,
+    /// The block's true deliverable value + subsidy (what an honest
+    /// payment tx would carry). Verifying relays compare against this.
+    pub true_bid: Wei,
+    /// Sandwich attacks contained in the block (for MEV filtering).
+    pub sandwich_count: usize,
+    /// Whether the block contains transactions *this relay's* blacklist
+    /// would flag (computed by the caller against the relay's lagged copy).
+    pub flagged_by_blacklist: bool,
+}
+
+/// A submission the relay accepted and holds in escrow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceptedBid {
+    /// The underlying submission.
+    pub submission: Submission,
+}
+
+/// A live relay: static info plus behavioural state.
+#[derive(Debug)]
+pub struct Relay {
+    /// Registry index.
+    pub id: RelayId,
+    /// Static facts.
+    pub info: RelayStaticInfo,
+    /// The relay's lagged blacklist (None for non-censoring relays).
+    pub blacklist: Option<RelayBlacklist>,
+    /// Builders this relay admits; `None` = permissionless.
+    pub allowed_builders: Option<BTreeSet<BuilderId>>,
+    /// Day from which declared bids are verified against true value.
+    /// `None` = always verified. Manifold: only after the Oct 15 incident.
+    pub bid_verification_from: Option<DayIndex>,
+    /// Per-sandwich detection probability of the MEV filter (bloXroute E).
+    pub mev_filter_recall: f64,
+    /// Per-block probability of a small delivery shortfall (Table 4).
+    pub shortfall_prob: f64,
+    /// Fraction of the promised value lost when a shortfall occurs.
+    pub shortfall_frac: f64,
+    /// Validators currently registered with this relay.
+    registered: BTreeSet<ValidatorId>,
+    pending: Vec<AcceptedBid>,
+    rng: StdRng,
+}
+
+impl Relay {
+    /// Creates a relay with default-honest behaviour.
+    pub fn new(id: RelayId, info: RelayStaticInfo, rng: StdRng) -> Self {
+        let blacklist = info
+            .ofac_compliant
+            .then(|| RelayBlacklist::with_lag(2));
+        let mev_filter_recall = if info.mev_filter.is_some() { 0.85 } else { 0.0 };
+        Relay {
+            id,
+            info,
+            blacklist,
+            allowed_builders: None,
+            bid_verification_from: None,
+            mev_filter_recall,
+            shortfall_prob: 0.0,
+            shortfall_frac: 0.01,
+            registered: BTreeSet::new(),
+            pending: Vec::new(),
+            rng,
+        }
+    }
+
+    /// Whether this relay admits `builder`.
+    pub fn admits(&self, builder: BuilderId) -> bool {
+        match &self.allowed_builders {
+            None => true,
+            Some(set) => set.contains(&builder),
+        }
+    }
+
+    /// Whether the relay verifies declared bids on `day`.
+    pub fn verifies_bids_on(&self, day: DayIndex) -> bool {
+        match self.bid_verification_from {
+            None => true,
+            Some(from) => day >= from,
+        }
+    }
+
+    /// Whether a block with `tx` touching `address` would be censored by
+    /// this relay's (lagged) blacklist on `day`.
+    pub fn blacklist_flags(
+        &self,
+        source: &SanctionsList,
+        address: eth_types::Address,
+        day: DayIndex,
+    ) -> bool {
+        match &self.blacklist {
+            None => false,
+            Some(bl) => bl.lists(source, address, day),
+        }
+    }
+
+    /// Considers a submission; returns `true` if accepted into escrow.
+    ///
+    /// Rejection reasons, in order: builder not admitted; blacklist flag
+    /// (censoring relays); MEV filter catch (per-sandwich Bernoulli —
+    /// imperfect, hence the 2,002 sandwiches that slipped through
+    /// bloXroute (E) in the study); bid mismatch when verification is on.
+    pub fn consider(&mut self, submission: Submission, day: DayIndex) -> bool {
+        if !self.admits(submission.builder) {
+            return false;
+        }
+        if submission.flagged_by_blacklist {
+            return false;
+        }
+        if self.mev_filter_recall > 0.0 && submission.sandwich_count > 0 {
+            let mut caught = false;
+            for _ in 0..submission.sandwich_count {
+                if self.rng.random::<f64>() < self.mev_filter_recall {
+                    caught = true;
+                }
+            }
+            if caught {
+                return false;
+            }
+        }
+        if self.verifies_bids_on(day) && submission.declared_bid > submission.true_bid {
+            return false;
+        }
+        self.pending.push(AcceptedBid { submission });
+        true
+    }
+
+    /// The best pending bid (what goes into the proposer's header).
+    pub fn best_bid(&self) -> Option<&AcceptedBid> {
+        self.pending.iter().max_by(|a, b| {
+            a.submission
+                .declared_bid
+                .cmp(&b.submission.declared_bid)
+                .then_with(|| b.submission.pubkey.0.cmp(&a.submission.pubkey.0))
+        })
+    }
+
+    /// Samples this slot's delivery shortfall for a winning block:
+    /// `Some(delivered)` strictly below the promise, or `None` for full
+    /// delivery.
+    pub fn sample_shortfall(&mut self, promised: Wei) -> Option<Wei> {
+        if self.shortfall_prob > 0.0 && self.rng.random::<f64>() < self.shortfall_prob {
+            let keep = 1.0 - self.shortfall_frac.clamp(0.0, 1.0);
+            let delivered = promised.mul_ratio((keep * 1_000_000.0) as u128, 1_000_000);
+            if delivered < promised {
+                return Some(delivered);
+            }
+            // Round to at least 1 wei short so the record is a true shortfall.
+            return Some(promised.saturating_sub(Wei(1)));
+        }
+        None
+    }
+
+    /// Clears per-slot escrow.
+    pub fn end_slot(&mut self) -> Vec<AcceptedBid> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Registers a validator as subscribed.
+    pub fn register_validator(&mut self, v: ValidatorId) {
+        self.registered.insert(v);
+    }
+
+    /// Number of registered validators.
+    pub fn registered_count(&self) -> usize {
+        self.registered.len()
+    }
+}
+
+/// The full relay registry.
+#[derive(Debug)]
+pub struct RelayRegistry {
+    relays: Vec<Relay>,
+}
+
+impl RelayRegistry {
+    /// Builds the paper's eleven relays with per-relay RNG streams.
+    pub fn paper(seeds: &simcore::SeedDomain) -> Self {
+        let relays = PAPER_RELAYS
+            .iter()
+            .enumerate()
+            .map(|(i, info)| {
+                Relay::new(
+                    RelayId(i as u32),
+                    info.clone(),
+                    seeds.rng(&format!("relay:{}", info.name)),
+                )
+            })
+            .collect();
+        RelayRegistry { relays }
+    }
+
+    /// Number of relays.
+    pub fn len(&self) -> usize {
+        self.relays.len()
+    }
+
+    /// True if the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relays.is_empty()
+    }
+
+    /// Relay by id.
+    pub fn get(&self, id: RelayId) -> &Relay {
+        &self.relays[id.0 as usize]
+    }
+
+    /// Mutable relay by id.
+    pub fn get_mut(&mut self, id: RelayId) -> &mut Relay {
+        &mut self.relays[id.0 as usize]
+    }
+
+    /// Iterates over relays.
+    pub fn iter(&self) -> impl Iterator<Item = &Relay> {
+        self.relays.iter()
+    }
+
+    /// Mutable iteration.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Relay> {
+        self.relays.iter_mut()
+    }
+
+    /// Id of a relay by name (panics on unknown name — registry is static).
+    pub fn id_by_name(&self, name: &str) -> RelayId {
+        self.relays
+            .iter()
+            .find(|r| r.info.name == name)
+            .map(|r| r.id)
+            .unwrap_or_else(|| panic!("unknown relay {name}"))
+    }
+
+    /// Ids of all OFAC-compliant relays.
+    pub fn censoring_ids(&self) -> Vec<RelayId> {
+        self.relays
+            .iter()
+            .filter(|r| r.info.ofac_compliant)
+            .map(|r| r.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SeedDomain;
+
+    fn registry() -> RelayRegistry {
+        RelayRegistry::paper(&SeedDomain::new(21))
+    }
+
+    fn submission(bid_eth: f64, true_eth: f64) -> Submission {
+        Submission {
+            slot: Slot(1),
+            builder: BuilderId(0),
+            pubkey: BlsPublicKey::derive("k"),
+            declared_bid: Wei::from_eth(bid_eth),
+            true_bid: Wei::from_eth(true_eth),
+            sandwich_count: 0,
+            flagged_by_blacklist: false,
+        }
+    }
+
+    #[test]
+    fn registry_matches_table_2_and_3() {
+        let reg = registry();
+        assert_eq!(reg.len(), 11);
+        let censoring: Vec<&str> = reg
+            .iter()
+            .filter(|r| r.info.ofac_compliant)
+            .map(|r| r.info.name)
+            .collect();
+        assert_eq!(censoring, ["Blocknative", "bloXroute (R)", "Eden", "Flashbots"]);
+        assert_eq!(reg.get(reg.id_by_name("Blocknative")).info.fork, "Dreamboat");
+        let filtered: Vec<&str> = reg
+            .iter()
+            .filter(|r| r.info.mev_filter.is_some())
+            .map(|r| r.info.name)
+            .collect();
+        assert_eq!(filtered, ["bloXroute (E)"]);
+    }
+
+    #[test]
+    fn censoring_relays_get_blacklists_with_lag() {
+        let reg = registry();
+        for relay in reg.iter() {
+            assert_eq!(relay.blacklist.is_some(), relay.info.ofac_compliant);
+        }
+    }
+
+    #[test]
+    fn permissionless_admits_everyone_restricted_does_not() {
+        let mut reg = registry();
+        let aestus = reg.id_by_name("Aestus");
+        assert!(reg.get(aestus).admits(BuilderId(42)));
+        let eden = reg.id_by_name("Eden");
+        reg.get_mut(eden).allowed_builders = Some([BuilderId(7)].into_iter().collect());
+        assert!(reg.get(eden).admits(BuilderId(7)));
+        assert!(!reg.get(eden).admits(BuilderId(8)));
+    }
+
+    #[test]
+    fn best_bid_wins_escrow() {
+        let mut reg = registry();
+        let id = reg.id_by_name("UltraSound");
+        let relay = reg.get_mut(id);
+        assert!(relay.consider(submission(0.05, 0.05), DayIndex(0)));
+        assert!(relay.consider(submission(0.09, 0.09), DayIndex(0)));
+        assert!(relay.consider(submission(0.07, 0.07), DayIndex(0)));
+        assert_eq!(
+            relay.best_bid().unwrap().submission.declared_bid,
+            Wei::from_eth(0.09)
+        );
+        assert_eq!(relay.end_slot().len(), 3);
+        assert!(relay.best_bid().is_none());
+    }
+
+    #[test]
+    fn verifying_relay_rejects_inflated_bids() {
+        let mut reg = registry();
+        let id = reg.id_by_name("Flashbots");
+        let relay = reg.get_mut(id);
+        assert!(!relay.consider(submission(1.0, 0.1), DayIndex(0)));
+        assert!(relay.consider(submission(0.1, 0.1), DayIndex(0)));
+    }
+
+    #[test]
+    fn manifold_without_verification_accepts_inflated_bids() {
+        let mut reg = registry();
+        let id = reg.id_by_name("Manifold");
+        reg.get_mut(id).bid_verification_from = Some(DayIndex(31)); // fixed 16 Oct
+        let relay = reg.get_mut(id);
+        assert!(relay.consider(submission(278.0, 0.1), DayIndex(10)));
+        relay.end_slot();
+        // After the fix the same submission bounces.
+        assert!(!relay.consider(submission(278.0, 0.1), DayIndex(31)));
+    }
+
+    #[test]
+    fn blacklist_flagged_submissions_are_censored() {
+        let mut reg = registry();
+        let id = reg.id_by_name("Flashbots");
+        let relay = reg.get_mut(id);
+        let mut s = submission(0.1, 0.1);
+        s.flagged_by_blacklist = true;
+        assert!(!relay.consider(s, DayIndex(0)));
+    }
+
+    #[test]
+    fn mev_filter_catches_most_but_not_all_sandwiches() {
+        let mut reg = registry();
+        let id = reg.id_by_name("bloXroute (E)");
+        let relay = reg.get_mut(id);
+        let mut passed = 0;
+        let n = 2000;
+        for _ in 0..n {
+            let mut s = submission(0.1, 0.1);
+            s.sandwich_count = 1;
+            if relay.consider(s, DayIndex(0)) {
+                passed += 1;
+            }
+            relay.end_slot();
+        }
+        let rate = passed as f64 / n as f64;
+        assert!(rate > 0.05 && rate < 0.30, "pass rate {rate} should be ~0.15");
+    }
+
+    #[test]
+    fn non_filtering_relays_pass_sandwiches() {
+        let mut reg = registry();
+        let id = reg.id_by_name("bloXroute (M)");
+        let relay = reg.get_mut(id);
+        let mut s = submission(0.1, 0.1);
+        s.sandwich_count = 3;
+        assert!(relay.consider(s, DayIndex(0)));
+    }
+
+    #[test]
+    fn shortfall_sampling_respects_probability() {
+        let mut reg = registry();
+        let id = reg.id_by_name("GnosisDAO");
+        let relay = reg.get_mut(id);
+        relay.shortfall_prob = 0.25;
+        relay.shortfall_frac = 0.02;
+        let mut shortfalls = 0;
+        for _ in 0..4000 {
+            if let Some(delivered) = relay.sample_shortfall(Wei::from_eth(0.1)) {
+                assert!(delivered < Wei::from_eth(0.1));
+                shortfalls += 1;
+            }
+        }
+        let rate = shortfalls as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.04, "shortfall rate {rate}");
+    }
+
+    #[test]
+    fn validator_registration_counts() {
+        let mut reg = registry();
+        let id = reg.id_by_name("Aestus");
+        let relay = reg.get_mut(id);
+        relay.register_validator(ValidatorId(1));
+        relay.register_validator(ValidatorId(2));
+        relay.register_validator(ValidatorId(1));
+        assert_eq!(relay.registered_count(), 2);
+    }
+}

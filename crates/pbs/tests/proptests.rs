@@ -1,0 +1,157 @@
+//! Property tests for the PBS mechanism: auction invariants under random
+//! mempools and builder configurations.
+
+use eth_types::{Address, DayIndex, Gas, GasPrice, Slot, Transaction, Wei};
+use execution::Mempool;
+use pbs::{
+    Builder, BuilderId, BuilderProfile, MarginPolicy, MevBoostClient, RelayRegistry,
+    SanctionsList, SlotAuction, SubsidyPolicy,
+};
+use proptest::prelude::*;
+use simcore::SeedDomain;
+
+fn mk_tx(i: usize, tip_deci_gwei: u32, bribe_milli_eth: u32) -> Transaction {
+    let mut t = Transaction::transfer(
+        Address::derive(&format!("sender{i}")),
+        Address::derive("sink"),
+        Wei::from_eth(0.01),
+        0,
+        GasPrice::from_gwei(tip_deci_gwei as f64 / 10.0),
+        GasPrice::from_gwei(2000.0),
+    );
+    t.coinbase_tip = Wei::from_eth(bribe_milli_eth as f64 / 1000.0);
+    t.finalize()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any mempool and any margin, the auction's invariants hold:
+    /// delivered ≤ promised, the payment tx is last and carries exactly
+    /// the delivered value, and submissions are recorded per relay.
+    #[test]
+    fn auction_invariants(
+        txs in proptest::collection::vec((1u32..500, 0u32..200), 0..25),
+        margin_bp in 0u32..2_000,
+        seed in any::<u64>(),
+    ) {
+        let seeds = SeedDomain::new(seed);
+        let mut relays = RelayRegistry::paper(&seeds);
+        let us = relays.id_by_name("UltraSound");
+        let gn = relays.id_by_name("GnosisDAO");
+
+        let mut profile = BuilderProfile::new(
+            "prop-builder",
+            MarginPolicy::Share(margin_bp as f64 / 10_000.0),
+            SubsidyPolicy::Never,
+            1.0,
+        );
+        profile.relays = vec![us, gn];
+        let mut builders = vec![Builder::new(BuilderId(0), profile, seeds.rng("b"))];
+
+        let mempool: Vec<Transaction> = txs
+            .iter()
+            .enumerate()
+            .map(|(i, (tip, bribe))| mk_tx(i, *tip, *bribe))
+            .collect();
+
+        let sanctions = SanctionsList::new();
+        let auction = SlotAuction {
+            slot: Slot(5),
+            day: DayIndex(10),
+            base_fee: GasPrice::from_gwei(10.0),
+            gas_limit: Gas::BLOCK_LIMIT,
+            sanctions: &sanctions,
+            jitter_zero_prob: 0.2,
+            jitter_max_frac: 0.05,
+        };
+        let client = MevBoostClient::new(vec![us, gn]);
+        let pool = Mempool::new(64);
+        let mut rng = seeds.rng("auction");
+        let result = auction.run(
+            &mut builders,
+            &[Vec::new()],
+            &mempool,
+            &mut relays,
+            Some(&client),
+            Address::derive("proposer"),
+            &pool,
+            &[],
+            &mut rng,
+            None,
+        );
+
+        prop_assert!(result.pbs);
+        prop_assert!(result.delivered <= result.promised);
+        // Submissions: one per connected relay.
+        prop_assert_eq!(result.submissions.len(), 2);
+        // The payment tx is last, to the proposer, worth the delivered value.
+        let last = result.txs.last().unwrap();
+        prop_assert_eq!(last.to, Address::derive("proposer"));
+        prop_assert_eq!(last.value, result.delivered);
+        // All mempool txs in the block appear before the payment.
+        let position_of_payment = result.txs.len() - 1;
+        for (i, tx) in result.txs.iter().enumerate() {
+            if i != position_of_payment {
+                prop_assert!(mempool.iter().any(|m| m.hash == tx.hash));
+            }
+        }
+    }
+
+    /// Censored variants never contain listed transactions and never gain
+    /// value.
+    #[test]
+    fn censored_variant_is_clean_and_cheaper(
+        txs in proptest::collection::vec((1u32..100, any::<bool>()), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let seeds = SeedDomain::new(seed);
+        let bad = Address::derive("listed");
+        let mut builder = Builder::new(
+            BuilderId(0),
+            BuilderProfile::new("c", MarginPolicy::FixedEth(0.001), SubsidyPolicy::Never, 1.0),
+            seeds.rng("c"),
+        );
+        let mempool: Vec<Transaction> = txs
+            .iter()
+            .enumerate()
+            .map(|(i, (tip, dirty))| {
+                let mut t = mk_tx(i, *tip, 0);
+                if *dirty {
+                    t.to = bad;
+                }
+                t.finalize()
+            })
+            .collect();
+        let base = GasPrice::from_gwei(10.0);
+        let built = builder.build(&pbs::BuildInputs {
+            base_fee: base,
+            gas_limit: Gas::BLOCK_LIMIT,
+            mempool: &mempool,
+            bundles: &[],
+        });
+        let filtered = builder.censored_variant(&built, base, DayIndex(10), |a| a == bad);
+        prop_assert!(filtered.txs.iter().all(|t| t.to != bad));
+        prop_assert!(filtered.value <= built.value);
+        prop_assert!(filtered.gas_used <= built.gas_used);
+        // Clean txs survive filtering.
+        let clean_in = built.txs.iter().filter(|t| t.to != bad).count();
+        prop_assert_eq!(filtered.txs.len(), clean_in);
+    }
+
+    /// The blacklist lag: for any update day and lag, the relay copy flags
+    /// an address exactly `lag` days after the authoritative list does.
+    #[test]
+    fn blacklist_lag_is_exact(effective in 0u32..190, lag in 0u32..10, probe in 0u32..198) {
+        let mut list = SanctionsList::new();
+        let a = Address::derive("x");
+        list.add(a, DayIndex(effective));
+        let relay = pbs::RelayBlacklist::with_lag(lag);
+        let authoritative = probe >= effective;
+        let relay_view = relay.lists(&list, a, DayIndex(probe));
+        prop_assert_eq!(relay_view, probe >= effective + lag);
+        if relay_view {
+            prop_assert!(authoritative, "relay can never be ahead of OFAC");
+        }
+    }
+}

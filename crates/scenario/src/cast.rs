@@ -1,0 +1,385 @@
+//! The builder cast and validator entities.
+//!
+//! Builder parameters are calibrated to reproduce the paper's Figure 8
+//! market shares and Figure 11 profit clusters:
+//!
+//! * tiny fixed margins, no subsidies: Flashbots, Eden, blocknative —
+//!   the low-variance, ~0.0004–0.001 ETH/block cluster;
+//! * percentage margins: rsync-builder, Builder 1, Manta-builder — the
+//!   most profitable cluster (>0.0075 ETH/block mean);
+//! * subsidizers with positive mean: builder0x69, beaverbuild,
+//!   eth-builder;
+//! * subsidizers with non-positive mean: the bloXroute builders (§5.2).
+//!
+//! The `flow_mu` vector is each builder's mean *exclusive order flow* per
+//! era (ETH per slot) — the proprietary searcher relationships that drive
+//! market share; relay wiring per era drives Figure 5/7 dynamics.
+
+use beacon::EntityProfile;
+use eth_types::DayIndex;
+use pbs::{BuilderProfile, MarginPolicy, SubsidyPolicy};
+
+/// One builder in the scenario, with era-varying behaviour.
+#[derive(Debug, Clone)]
+pub struct BuilderCastEntry {
+    /// Static profile (relay wiring filled in per era by the driver).
+    pub profile: BuilderProfile,
+    /// Mean exclusive-flow value per era (ETH per slot won).
+    pub flow_mu: [f64; 7],
+    /// Relay names the builder submits to, per era.
+    pub relays_by_era: [&'static [&'static str]; 7],
+    /// First day the builder is active.
+    pub active_from: DayIndex,
+}
+
+const FLASHBOTS_ONLY: &[&str] = &["Flashbots"];
+const BLOCKNATIVE_ONLY: &[&str] = &["Blocknative"];
+const EDEN_ONLY: &[&str] = &["Eden"];
+const BLX: &[&str] = &["bloXroute (M)", "bloXroute (E)", "bloXroute (R)"];
+const FB_BLX: &[&str] = &["Flashbots", "bloXroute (M)"];
+const BROAD_EARLY: &[&str] = &["Flashbots", "bloXroute (M)", "Manifold"];
+const BROAD_MID: &[&str] = &["Flashbots", "bloXroute (M)", "UltraSound"];
+const BROAD_LATE: &[&str] = &[
+    "Flashbots",
+    "bloXroute (M)",
+    "UltraSound",
+    "GnosisDAO",
+    "Aestus",
+    "Relayooor",
+];
+const MANIFOLD_ONLY: &[&str] = &["Manifold"];
+
+/// The named builder cast (Table 5's top builders plus the anonymous ones).
+pub fn builder_cast() -> Vec<BuilderCastEntry> {
+    let mut cast = vec![
+        BuilderCastEntry {
+            profile: BuilderProfile::new(
+                "Flashbots",
+                MarginPolicy::FixedEth(0.0006),
+                SubsidyPolicy::Never,
+                1.0,
+            ),
+            flow_mu: [0.0780, 0.0700, 0.0413, 0.0341, 0.0275, 0.0242, 0.0209],
+            relays_by_era: [FLASHBOTS_ONLY; 7],
+            active_from: DayIndex(0),
+        },
+        BuilderCastEntry {
+            profile: BuilderProfile::new(
+                "builder0x69",
+                MarginPolicy::Share(0.02),
+                SubsidyPolicy::Sometimes {
+                    prob: 0.30,
+                    median_frac: 0.04,
+                },
+                1.0,
+            ),
+            flow_mu: [0.0055, 0.0165, 0.0275, 0.0303, 0.0286, 0.0275, 0.0275],
+            relays_by_era: [
+                FLASHBOTS_ONLY,
+                BROAD_EARLY,
+                BROAD_MID,
+                BROAD_MID,
+                BROAD_LATE,
+                BROAD_LATE,
+                BROAD_LATE,
+            ],
+            active_from: DayIndex(0),
+        },
+        BuilderCastEntry {
+            profile: BuilderProfile::new(
+                "beaverbuild",
+                MarginPolicy::Share(0.02),
+                SubsidyPolicy::Sometimes {
+                    prob: 0.35,
+                    median_frac: 0.035,
+                },
+                1.0,
+            ),
+            flow_mu: [0.0033, 0.0110, 0.0231, 0.0275, 0.0286, 0.0308, 0.0330],
+            relays_by_era: [
+                FB_BLX, BROAD_EARLY, BROAD_MID, BROAD_MID, BROAD_LATE, BROAD_LATE, BROAD_LATE,
+            ],
+            active_from: DayIndex(2),
+        },
+        BuilderCastEntry {
+            profile: BuilderProfile::new(
+                "bloXroute (M)",
+                MarginPolicy::Share(0.01),
+                SubsidyPolicy::Sometimes {
+                    prob: 0.55,
+                    median_frac: 0.025,
+                },
+                1.0,
+            ),
+            flow_mu: [0.0080, 0.0160, 0.0198, 0.0176, 0.0165, 0.0165, 0.0165],
+            relays_by_era: [BLX; 7],
+            active_from: DayIndex(0),
+        },
+        BuilderCastEntry {
+            profile: BuilderProfile::new(
+                "blocknative",
+                MarginPolicy::FixedEth(0.0009),
+                SubsidyPolicy::Never,
+                1.0,
+            ),
+            flow_mu: [0.0110, 0.0110, 0.0110, 0.0099, 0.0083, 0.0066, 0.0055],
+            relays_by_era: [BLOCKNATIVE_ONLY; 7],
+            active_from: DayIndex(0),
+        },
+        BuilderCastEntry {
+            profile: BuilderProfile::new(
+                "rsync-builder",
+                MarginPolicy::Share(0.07),
+                SubsidyPolicy::Never,
+                1.0,
+            ),
+            flow_mu: [0.0000, 0.0033, 0.0072, 0.0116, 0.0143, 0.0165, 0.0182],
+            relays_by_era: [
+                FLASHBOTS_ONLY,
+                FLASHBOTS_ONLY,
+                BROAD_MID,
+                BROAD_MID,
+                BROAD_LATE,
+                BROAD_LATE,
+                BROAD_LATE,
+            ],
+            active_from: DayIndex(20),
+        },
+        BuilderCastEntry {
+            profile: BuilderProfile::new(
+                "eth-builder",
+                MarginPolicy::Share(0.02),
+                SubsidyPolicy::Sometimes {
+                    prob: 0.25,
+                    median_frac: 0.03,
+                },
+                1.0,
+            ),
+            flow_mu: [0.0072, 0.0083, 0.0083, 0.0072, 0.0066, 0.0055, 0.0055],
+            relays_by_era: [
+                FLASHBOTS_ONLY,
+                BROAD_EARLY,
+                BROAD_EARLY,
+                BROAD_MID,
+                BROAD_MID,
+                BROAD_LATE,
+                BROAD_LATE,
+            ],
+            active_from: DayIndex(0),
+        },
+        BuilderCastEntry {
+            profile: BuilderProfile::new(
+                "bloXroute (R)",
+                MarginPolicy::Share(0.01),
+                SubsidyPolicy::Sometimes {
+                    prob: 0.50,
+                    median_frac: 0.025,
+                },
+                1.0,
+            ),
+            flow_mu: [0.0088, 0.0088, 0.0083, 0.0072, 0.0066, 0.0066, 0.0066],
+            relays_by_era: [BLX; 7],
+            active_from: DayIndex(0),
+        },
+        BuilderCastEntry {
+            profile: BuilderProfile::new(
+                "Builder 1",
+                MarginPolicy::Share(0.08),
+                SubsidyPolicy::Never,
+                1.0,
+            ),
+            flow_mu: [0.0000, 0.0044, 0.0066, 0.0066, 0.0066, 0.0066, 0.0066],
+            relays_by_era: [
+                BROAD_EARLY, BROAD_EARLY, BROAD_MID, BROAD_MID, BROAD_MID, BROAD_LATE, BROAD_LATE,
+            ],
+            active_from: DayIndex(16),
+        },
+        BuilderCastEntry {
+            profile: BuilderProfile::new(
+                "Eden",
+                MarginPolicy::FixedEth(0.0008),
+                SubsidyPolicy::Never,
+                1.0,
+            ),
+            flow_mu: [0.0088, 0.0072, 0.0055, 0.0044, 0.0033, 0.0028, 0.0022],
+            relays_by_era: [EDEN_ONLY; 7],
+            active_from: DayIndex(0),
+        },
+        BuilderCastEntry {
+            profile: BuilderProfile::new(
+                "Manta-builder",
+                MarginPolicy::Share(0.075),
+                SubsidyPolicy::Never,
+                1.0,
+            ),
+            flow_mu: [0.0000, 0.0000, 0.0033, 0.0055, 0.0072, 0.0077, 0.0083],
+            relays_by_era: [
+                BROAD_MID, BROAD_MID, BROAD_MID, BROAD_MID, BROAD_LATE, BROAD_LATE, BROAD_LATE,
+            ],
+            active_from: DayIndex(50),
+        },
+        // The anonymous exploiter of the Manifold incident: a tiny builder
+        // that only ever submits to Manifold.
+        BuilderCastEntry {
+            profile: BuilderProfile::new(
+                "Builder 9",
+                MarginPolicy::Share(0.05),
+                SubsidyPolicy::Never,
+                0.2,
+            ),
+            flow_mu: [0.0011; 7],
+            relays_by_era: [MANIFOLD_ONLY; 7],
+            active_from: DayIndex(25),
+        },
+    ];
+
+    // Small anonymous builders; Builders 3 and 6 leave no on-chain trace
+    // (they set the proposer's address as fee recipient, Table 5 App. B).
+    for (i, from) in [(2u32, 10u32), (3, 35), (4, 60), (5, 80), (6, 95), (7, 120)] {
+        let mut profile = BuilderProfile::new(
+            &format!("Builder {i}"),
+            MarginPolicy::Share(0.04),
+            SubsidyPolicy::Never,
+            0.4,
+        );
+        if i == 3 || i == 6 {
+            profile = profile.without_fee_recipient();
+        }
+        cast.push(BuilderCastEntry {
+            profile,
+            flow_mu: [0.0022; 7],
+            relays_by_era: [
+                BROAD_EARLY, BROAD_EARLY, BROAD_MID, BROAD_MID, BROAD_LATE, BROAD_LATE, BROAD_LATE,
+            ],
+            active_from: DayIndex(from),
+        });
+    }
+
+    // The long tail: small builders joining over time, driving the rising
+    // builders-per-relay counts of Figure 7 (the paper saw 133 distinct
+    // builders in total).
+    for i in 0..24u32 {
+        cast.push(BuilderCastEntry {
+            profile: BuilderProfile::new(
+                &format!("builder-lt{i}"),
+                MarginPolicy::Share(0.05),
+                SubsidyPolicy::Never,
+                0.2,
+            ),
+            flow_mu: [0.0014; 7],
+            relays_by_era: [
+                FLASHBOTS_ONLY,
+                BROAD_EARLY,
+                BROAD_MID,
+                BROAD_MID,
+                BROAD_LATE,
+                BROAD_LATE,
+                BROAD_LATE,
+            ],
+            active_from: DayIndex(8 + i * 8),
+        });
+    }
+
+    cast
+}
+
+/// The validator entity mix: institutional pools (some restricting
+/// themselves to OFAC-compliant relays) and a large hobbyist tail.
+pub fn validator_entities() -> Vec<EntityProfile> {
+    vec![
+        EntityProfile::pool("lido", 29.0, true),
+        EntityProfile::pool("coinbase", 13.0, true).censoring(),
+        EntityProfile::pool("kraken", 7.0, true).censoring(),
+        EntityProfile::pool("binance", 12.0, true),
+        EntityProfile::pool("stakefish", 5.0, true),
+        EntityProfile::pool("rocketpool", 5.0, false),
+        EntityProfile::pool("ankr", 3.0, false),
+        EntityProfile::hobbyist(26.0, false),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cast_has_the_named_builders() {
+        let cast = builder_cast();
+        for name in [
+            "Flashbots",
+            "builder0x69",
+            "beaverbuild",
+            "bloXroute (M)",
+            "blocknative",
+            "rsync-builder",
+            "eth-builder",
+            "bloXroute (R)",
+            "Builder 1",
+            "Eden",
+            "Manta-builder",
+        ] {
+            assert!(
+                cast.iter().any(|c| c.profile.name == name),
+                "missing {name}"
+            );
+        }
+        assert!(cast.len() > 30, "need a long tail, got {}", cast.len());
+    }
+
+    #[test]
+    fn builders_3_and_6_leave_no_trace() {
+        let cast = builder_cast();
+        for c in &cast {
+            let traceless = c.profile.name == "Builder 3" || c.profile.name == "Builder 6";
+            assert_eq!(c.profile.fee_recipient.is_none(), traceless, "{}", c.profile.name);
+        }
+    }
+
+    #[test]
+    fn fee_recipients_are_unique_where_present() {
+        let cast = builder_cast();
+        let mut recipients: Vec<_> = cast
+            .iter()
+            .filter_map(|c| c.profile.fee_recipient)
+            .collect();
+        let n = recipients.len();
+        recipients.sort();
+        recipients.dedup();
+        assert_eq!(recipients.len(), n);
+    }
+
+    #[test]
+    fn flashbots_flow_declines_over_time() {
+        let cast = builder_cast();
+        let fb = cast.iter().find(|c| c.profile.name == "Flashbots").unwrap();
+        assert!(fb.flow_mu[0] > fb.flow_mu[6]);
+        let beaver = cast.iter().find(|c| c.profile.name == "beaverbuild").unwrap();
+        assert!(beaver.flow_mu[6] > beaver.flow_mu[0]);
+    }
+
+    #[test]
+    fn internal_relay_builders_stay_internal() {
+        let cast = builder_cast();
+        let bn = cast.iter().find(|c| c.profile.name == "blocknative").unwrap();
+        assert!(bn.relays_by_era.iter().all(|r| *r == BLOCKNATIVE_ONLY));
+        let eden = cast.iter().find(|c| c.profile.name == "Eden").unwrap();
+        assert!(eden.relays_by_era.iter().all(|r| *r == EDEN_ONLY));
+    }
+
+    #[test]
+    fn entity_shares_sum_to_100() {
+        let total: f64 = validator_entities().iter().map(|e| e.share_pct).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn censoring_entities_are_marked() {
+        let entities = validator_entities();
+        let censoring: Vec<&str> = entities
+            .iter()
+            .filter(|e| e.censoring_only)
+            .map(|e| e.name.as_str())
+            .collect();
+        assert_eq!(censoring, ["coinbase", "kraken"]);
+    }
+}

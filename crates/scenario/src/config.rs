@@ -1,0 +1,131 @@
+//! Run configuration and ablation knobs.
+
+use eth_types::StudyCalendar;
+use serde::{Deserialize, Serialize};
+
+/// Knobs for the ablation benches called out in DESIGN.md §4. Defaults
+/// reproduce the paper's conditions; flipping one isolates a design choice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationKnobs {
+    /// Builders merge searcher bundles and order by value. When off, PBS
+    /// builders fall back to naive gas-price ordering (ablation 1).
+    pub sophisticated_builders: bool,
+    /// Days of lag between an OFAC update and relay blacklist adoption
+    /// (ablation 2). `None` = relays never update after their initial copy.
+    pub relay_blacklist_lag_days: Option<u32>,
+    /// Which MEV label providers feed the dataset (ablation 3): bitmask
+    /// over [EigenPhi, ZeroMev, OwnScripts].
+    pub label_sources: [bool; 3],
+    /// Scale on private order flow routed to builders (ablation 4);
+    /// 1.0 = calibrated, 0.0 = all flow public.
+    pub private_flow_scale: f64,
+    /// MEV-Boost `min-bid` in ETH: proposers build locally when the best
+    /// relay bid is below this (0.0 = always take the relay block, the
+    /// study-period default).
+    pub min_bid_eth: f64,
+    /// Enshrined PBS (the paper's §8 future-work proposal): the protocol
+    /// replaces relays — payments are protocol-enforced (promised value is
+    /// always delivered), there is no relay-side censorship or filtering,
+    /// and the relay incidents cannot occur.
+    pub enshrined_pbs: bool,
+}
+
+impl Default for AblationKnobs {
+    fn default() -> Self {
+        AblationKnobs {
+            sophisticated_builders: true,
+            relay_blacklist_lag_days: Some(2),
+            label_sources: [true; 3],
+            private_flow_scale: 1.0,
+            min_bid_eth: 0.0,
+            enshrined_pbs: false,
+        }
+    }
+}
+
+/// Full scenario configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+    /// The simulated calendar (blocks/day × days).
+    pub calendar: StudyCalendar,
+    /// Number of validators.
+    pub validators: u32,
+    /// Mean new public transactions per slot.
+    pub txs_per_slot: f64,
+    /// Number of distinct user accounts generating traffic.
+    pub user_pool: u32,
+    /// Number of P2P overlay nodes.
+    pub overlay_nodes: u32,
+    /// Number of long-tail AMM tokens (thin pools).
+    pub long_tail_tokens: u8,
+    /// Block gas limit (the EIP-1559 target is half of it). Scaled down
+    /// together with `txs_per_slot` for small test runs so the fee market
+    /// stays in its realistic operating regime.
+    pub gas_limit: u64,
+    /// Ablation switches.
+    pub knobs: AblationKnobs,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 42,
+            calendar: StudyCalendar::paper(),
+            validators: 1000,
+            txs_per_slot: 45.0,
+            user_pool: 1500,
+            overlay_nodes: 28,
+            long_tail_tokens: 6,
+            gas_limit: 30_000_000,
+            knobs: AblationKnobs::default(),
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A small configuration for unit/integration tests: a few days at a
+    /// low block rate, small populations.
+    pub fn test_small(seed: u64, days: u32) -> Self {
+        ScenarioConfig {
+            seed,
+            calendar: StudyCalendar::new(40, days),
+            validators: 200,
+            txs_per_slot: 12.0,
+            user_pool: 300,
+            overlay_nodes: 14,
+            long_tail_tokens: 3,
+            gas_limit: 9_000_000,
+            knobs: AblationKnobs::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_the_paper_window() {
+        let c = ScenarioConfig::default();
+        assert_eq!(c.calendar.num_days(), 198);
+        assert!(c.knobs.sophisticated_builders);
+        assert_eq!(c.knobs.label_sources, [true; 3]);
+    }
+
+    #[test]
+    fn test_config_is_small() {
+        let c = ScenarioConfig::test_small(1, 5);
+        assert_eq!(c.calendar.num_days(), 5);
+        assert!(c.calendar.total_slots() < 1000);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = ScenarioConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

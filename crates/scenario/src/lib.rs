@@ -1,0 +1,31 @@
+//! The calibrated post-merge scenario (paper §3–§6).
+//!
+//! Drives the full simulation over the study window — 15 September 2022 to
+//! 31 March 2023 — reproducing the *generating process* behind every figure:
+//!
+//! * [`config`] — run parameters and ablation knobs,
+//! * [`timeline`] — the calibrated schedules: PBS adoption ramp, builder and
+//!   relay market-share evolution, price paths, and the documented
+//!   incidents (10 Nov timestamp bug, 15 Oct Manifold exploit, the Eden
+//!   block, December's Binance→AnkrPool private flow, OFAC list updates),
+//! * [`cast`] — the builder cast of Table 5, the validator entities, and
+//!   the builder↔relay wiring per era,
+//! * [`workload`] — user transaction generation: transfers, DeFi swaps with
+//!   heterogeneous slippage, sanctioned traffic, private order flow,
+//! * [`records`] — the per-block measurement rows the datasets crate
+//!   assembles into the paper's Table 1 datasets,
+//! * [`driver`] — the slot-by-slot simulation loop.
+
+pub mod cast;
+pub mod config;
+pub mod driver;
+pub mod records;
+pub mod timeline;
+pub mod workload;
+
+pub use cast::{builder_cast, validator_entities, BuilderCastEntry};
+pub use config::{AblationKnobs, ScenarioConfig};
+pub use driver::Simulation;
+pub use records::{BlockRecord, RunArtifacts, RunTotals};
+pub use timeline::Timeline;
+pub use workload::WorkloadGenerator;

@@ -1,0 +1,270 @@
+//! Per-block measurement records — the raw material every analysis reads.
+//!
+//! One [`BlockRecord`] per proposed block, carrying exactly the quantities
+//! the paper derives from its chain/relay/mempool datasets, plus the
+//! aggregate [`RunTotals`] that populate Table 1.
+
+use crate::config::ScenarioConfig;
+use beacon::ValidatorId;
+use eth_types::{
+    Address, BlsPublicKey, DayIndex, Gas, GasPrice, Slot, Wei,
+};
+use pbs::{BuilderId, RelayId};
+use serde::{Deserialize, Serialize};
+
+/// Everything the pipeline records about one proposed block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockRecord {
+    /// Beacon slot.
+    pub slot: Slot,
+    /// Calendar day.
+    pub day: DayIndex,
+    /// Execution block number.
+    pub number: u64,
+    /// Proposing validator.
+    pub proposer: ValidatorId,
+    /// Index into [`RunArtifacts::entity_names`].
+    pub proposer_entity: u32,
+    /// The proposer's fee-recipient address.
+    pub proposer_fee_recipient: Address,
+    /// The block's fee-recipient field (builder under PBS).
+    pub fee_recipient: Address,
+    /// Ground truth: did the block go through PBS?
+    pub pbs_truth: bool,
+    /// Relays claiming the block (empty for non-PBS).
+    pub relays: Vec<RelayId>,
+    /// Winning builder (PBS only).
+    pub builder: Option<BuilderId>,
+    /// Winning submission key (PBS only).
+    pub builder_pubkey: Option<BlsPublicKey>,
+    /// Value the relay promised the proposer.
+    pub promised: Wei,
+    /// Value the payment transaction delivered.
+    pub delivered: Wei,
+    /// Block value: priority fees + direct transfers (§3.1).
+    pub block_value: Wei,
+    /// Priority-fee component.
+    pub priority_fees: Wei,
+    /// Direct-transfer (coinbase bribe) component.
+    pub direct_transfers: Wei,
+    /// Burned base fees.
+    pub burned: Wei,
+    /// Builder→proposer payment detected from the chain via the last-tx
+    /// convention (`None` when absent — e.g. Builders 3/6).
+    pub payment_detected: Option<Wei>,
+    /// Gas used.
+    pub gas_used: Gas,
+    /// Gas limit.
+    pub gas_limit: Gas,
+    /// Base fee.
+    pub base_fee: GasPrice,
+    /// Transactions in the block.
+    pub tx_count: u32,
+    /// Transactions never seen by the mempool observers.
+    pub private_txs: u32,
+    /// Distinct union-labeled sandwich transactions.
+    pub sandwich_txs: u32,
+    /// Distinct union-labeled arbitrage transactions.
+    pub arbitrage_txs: u32,
+    /// Distinct union-labeled liquidation transactions.
+    pub liquidation_txs: u32,
+    /// Total distinct MEV-labeled transactions.
+    pub mev_tx_count: u32,
+    /// Producer value of the MEV-labeled transactions.
+    pub mev_value: Wei,
+    /// Whether the block contains non-OFAC-compliant transactions (scanned
+    /// against the authoritative list, as the paper does).
+    pub sanctioned: bool,
+    /// Sum of gossip-to-inclusion delays over the block's publicly-observed
+    /// transactions, in milliseconds (for the Yang et al. §7 cross-check).
+    pub delay_sum_ms: u64,
+    /// Number of publicly-observed transactions behind `delay_sum_ms`.
+    pub delay_count: u32,
+    /// Delay sum restricted to sanctioned-address transactions.
+    pub sanctioned_delay_sum_ms: u64,
+    /// Count behind `sanctioned_delay_sum_ms`.
+    pub sanctioned_delay_count: u32,
+}
+
+impl BlockRecord {
+    /// Proposer profit: the payment for PBS blocks, the whole block value
+    /// for locally-built blocks (§3.1).
+    pub fn proposer_profit(&self) -> Wei {
+        if self.pbs_truth {
+            self.delivered
+        } else {
+            self.block_value
+        }
+    }
+
+    /// Builder profit: block value minus what was paid out (can be
+    /// negative — the subsidizing builders of Figure 11).
+    pub fn builder_profit_wei(&self) -> i128 {
+        if self.pbs_truth {
+            self.block_value.0 as i128 - self.delivered.0 as i128
+        } else {
+            0
+        }
+    }
+
+    /// The PBS detection rule of §4: claimed by a crawled relay, or
+    /// exhibiting the payment convention.
+    pub fn pbs_detected(&self) -> bool {
+        !self.relays.is_empty() || self.payment_detected.is_some()
+    }
+}
+
+/// Aggregates for the paper's Table 1.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunTotals {
+    /// Proposed blocks.
+    pub blocks: u64,
+    /// Executed transactions.
+    pub transactions: u64,
+    /// Emitted logs.
+    pub logs: u64,
+    /// Recorded traces.
+    pub traces: u64,
+    /// Mempool observation entries (tx × observer).
+    pub mempool_entries: u64,
+    /// Raw label reports per source (EigenPhi, ZeroMev, OwnScripts).
+    pub labels_per_source: [u64; 3],
+    /// Distinct labeled transactions after the union.
+    pub union_labels: u64,
+    /// Relay-data rows (submissions observed).
+    pub relay_rows: u64,
+    /// Sanctioned addresses on the OFAC list.
+    pub ofac_addresses: u64,
+}
+
+/// The complete output of a simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunArtifacts {
+    /// The configuration that produced this run.
+    pub config: ScenarioConfig,
+    /// One record per proposed block, slot-ordered.
+    pub blocks: Vec<BlockRecord>,
+    /// Slots with no block.
+    pub missed_slots: u64,
+    /// Distinct builders submitting to each relay per day.
+    pub relay_builders_daily: Vec<(DayIndex, RelayId, u32)>,
+    /// Builder display names (index = `BuilderId`).
+    pub builder_names: Vec<String>,
+    /// Builder fee recipients (None = writes the proposer's address).
+    pub builder_fee_recipients: Vec<Option<Address>>,
+    /// Builder submission pubkeys.
+    pub builder_pubkeys: Vec<Vec<BlsPublicKey>>,
+    /// Validator entity names (index = `BlockRecord::proposer_entity`).
+    pub entity_names: Vec<String>,
+    /// Table 1 aggregates.
+    pub totals: RunTotals,
+}
+
+impl RunArtifacts {
+    /// Blocks on a given day.
+    pub fn blocks_on(&self, day: DayIndex) -> impl Iterator<Item = &BlockRecord> {
+        self.blocks.iter().filter(move |b| b.day == day)
+    }
+
+    /// All days present, in order.
+    pub fn days(&self) -> Vec<DayIndex> {
+        let mut days: Vec<DayIndex> = self.blocks.iter().map(|b| b.day).collect();
+        days.sort();
+        days.dedup();
+        days
+    }
+
+    /// Builder display name.
+    pub fn builder_name(&self, id: BuilderId) -> &str {
+        &self.builder_names[id.0 as usize]
+    }
+
+    /// Share of proposed blocks that went through PBS (ground truth).
+    pub fn pbs_share(&self) -> f64 {
+        if self.blocks.is_empty() {
+            return 0.0;
+        }
+        self.blocks.iter().filter(|b| b.pbs_truth).count() as f64 / self.blocks.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(pbs: bool) -> BlockRecord {
+        BlockRecord {
+            slot: Slot(1),
+            day: DayIndex(0),
+            number: 1,
+            proposer: ValidatorId(0),
+            proposer_entity: 0,
+            proposer_fee_recipient: Address::derive("p"),
+            fee_recipient: Address::derive(if pbs { "b" } else { "p" }),
+            pbs_truth: pbs,
+            relays: if pbs { vec![RelayId(0)] } else { vec![] },
+            builder: pbs.then_some(BuilderId(0)),
+            builder_pubkey: None,
+            promised: Wei::from_eth(0.1),
+            delivered: Wei::from_eth(0.09),
+            block_value: Wei::from_eth(0.11),
+            priority_fees: Wei::from_eth(0.08),
+            direct_transfers: Wei::from_eth(0.03),
+            burned: Wei::from_eth(0.3),
+            payment_detected: pbs.then_some(Wei::from_eth(0.09)),
+            gas_used: Gas(15_000_000),
+            gas_limit: Gas::BLOCK_LIMIT,
+            base_fee: GasPrice::from_gwei(14.0),
+            tx_count: 30,
+            private_txs: 3,
+            sandwich_txs: 2,
+            arbitrage_txs: 1,
+            liquidation_txs: 0,
+            mev_tx_count: 3,
+            mev_value: Wei::from_eth(0.02),
+            sanctioned: false,
+            delay_sum_ms: 120_000,
+            delay_count: 20,
+            sanctioned_delay_sum_ms: 30_000,
+            sanctioned_delay_count: 1,
+        }
+    }
+
+    #[test]
+    fn proposer_profit_depends_on_pbs() {
+        assert_eq!(record(true).proposer_profit(), Wei::from_eth(0.09));
+        assert_eq!(record(false).proposer_profit(), Wei::from_eth(0.11));
+    }
+
+    #[test]
+    fn builder_profit_is_value_minus_payment() {
+        let r = record(true);
+        assert_eq!(r.builder_profit_wei(), (Wei::from_eth(0.11) - Wei::from_eth(0.09)).0 as i128);
+        assert_eq!(record(false).builder_profit_wei(), 0);
+    }
+
+    #[test]
+    fn builder_profit_can_be_negative() {
+        let mut r = record(true);
+        r.delivered = Wei::from_eth(0.2); // subsidized above value
+        assert!(r.builder_profit_wei() < 0);
+    }
+
+    #[test]
+    fn pbs_detection_rule() {
+        let mut r = record(true);
+        assert!(r.pbs_detected());
+        r.relays.clear();
+        assert!(r.pbs_detected()); // payment still there
+        r.payment_detected = None;
+        assert!(!r.pbs_detected());
+    }
+
+    #[test]
+    fn record_serializes() {
+        let r = record(true);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: BlockRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,211 @@
+//! The calibrated study timeline.
+//!
+//! Pure functions of the calendar day, anchored to the paper's dated
+//! events. Day 0 is 15 September 2022 (the merge); day 197 is
+//! 31 March 2023.
+
+use eth_types::DayIndex;
+
+/// Day anchors for the documented events.
+pub mod days {
+    use eth_types::DayIndex;
+
+    /// The Eden relay's 278.29-ETH under-delivery (block 15,703,347,
+    /// early October 2022).
+    pub const EDEN_INCIDENT: DayIndex = DayIndex(23);
+    /// The Manifold bid-verification exploit (15 October 2022, §5.2).
+    pub const MANIFOLD_EXPLOIT: DayIndex = DayIndex(30);
+    /// PBS adoption plateau reached (3 November 2022, §4).
+    pub const ADOPTION_PLATEAU: DayIndex = DayIndex(49);
+    /// OFAC list update (8 November 2022, §6).
+    pub const OFAC_UPDATE_1: DayIndex = DayIndex(54);
+    /// The timestamp-bug dip (10 November 2022, §4).
+    pub const TIMESTAMP_BUG: DayIndex = DayIndex(56);
+    /// FTX bankruptcy — high-MEV day (11 November 2022, Figure 10).
+    pub const FTX_BANKRUPTCY: DayIndex = DayIndex(57);
+    /// Binance→AnkrPool private-flow window start (mid-December, §5.3).
+    pub const BINANCE_FLOW_START: DayIndex = DayIndex(91);
+    /// Binance→AnkrPool private-flow window end.
+    pub const BINANCE_FLOW_END: DayIndex = DayIndex(105);
+    /// OFAC list update (1 February 2023, §6) — never adopted by the
+    /// stale Flashbots blacklist.
+    pub const OFAC_UPDATE_2: DayIndex = DayIndex(139);
+    /// beaverbuild's loss-making February (Appendix C).
+    pub const BEAVER_SUBSIDY_START: DayIndex = DayIndex(150);
+    /// End of beaverbuild's subsidy spree.
+    pub const BEAVER_SUBSIDY_END: DayIndex = DayIndex(166);
+    /// USDC depeg — high-MEV day (11 March 2023, Figure 10).
+    pub const USDC_DEPEG: DayIndex = DayIndex(177);
+}
+
+/// The calibrated schedules.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline;
+
+impl Timeline {
+    /// Target share of validators running MEV-Boost (Figure 4): ~20% at
+    /// the merge, ramping to ~87.5% by 3 November, then stable in the
+    /// 85–94% band.
+    pub fn pbs_adoption(&self, day: DayIndex) -> f64 {
+        let d = day.0 as f64;
+        let plateau_day = days::ADOPTION_PLATEAU.0 as f64;
+        if d < plateau_day {
+            0.20 + (0.875 - 0.20) * (d / plateau_day)
+        } else {
+            // Gentle oscillation inside the paper's 85–94% band.
+            0.895 + 0.04 * ((d - plateau_day) / 9.0).sin()
+        }
+    }
+
+    /// Probability that a PBS block is rejected by the proposer's node and
+    /// the proposer falls back to local building — near zero except on the
+    /// 10 November 2022 timestamp-bug day.
+    pub fn fallback_probability(&self, day: DayIndex) -> f64 {
+        if day == days::TIMESTAMP_BUG {
+            0.55
+        } else {
+            0.004
+        }
+    }
+
+    /// Daily activity multiplier on transaction volume and MEV opportunity
+    /// sizes; elevated on the FTX-bankruptcy and USDC-depeg days.
+    pub fn activity(&self, day: DayIndex) -> f64 {
+        let base = 1.0 + 0.1 * ((day.0 as f64) / 29.0).sin();
+        if day == days::FTX_BANKRUPTCY || day == days::USDC_DEPEG {
+            base * 3.5
+        } else if day.0.abs_diff(days::FTX_BANKRUPTCY.0) <= 1
+            || day.0.abs_diff(days::USDC_DEPEG.0) <= 1
+        {
+            base * 1.8
+        } else {
+            base
+        }
+    }
+
+    /// Reference WETH/USD price path: slow bleed into the FTX crash, a
+    /// drawdown, then the early-2023 recovery.
+    pub fn weth_price_usd(&self, day: DayIndex) -> f64 {
+        let d = day.0 as f64;
+        let ftx = days::FTX_BANKRUPTCY.0 as f64;
+        if d < ftx {
+            1475.0 - 2.0 * d
+        } else if d < ftx + 4.0 {
+            // -18% crash over the bankruptcy days.
+            let through = (d - ftx) / 4.0;
+            (1475.0 - 2.0 * ftx) * (1.0 - 0.18 * through)
+        } else {
+            // Recovery to ~1800 by end of March.
+            let start = (1475.0 - 2.0 * ftx) * 0.82;
+            let frac = (d - ftx - 4.0) / (197.0 - ftx - 4.0);
+            start + (1800.0 - start) * frac
+        }
+    }
+
+    /// The USDC/USD price: 1.000 except the depeg day (drops to 0.88) and
+    /// the day after (recovering through 0.97).
+    pub fn usdc_price_usd(&self, day: DayIndex) -> f64 {
+        if day == days::USDC_DEPEG {
+            0.88
+        } else if day.0 == days::USDC_DEPEG.0 + 1 {
+            0.97
+        } else {
+            1.0
+        }
+    }
+
+    /// Whether the Binance→AnkrPool private-flow window is open.
+    pub fn binance_flow_active(&self, day: DayIndex) -> bool {
+        (days::BINANCE_FLOW_START..=days::BINANCE_FLOW_END).contains(&day)
+    }
+
+    /// Whether beaverbuild runs its loss-making subsidy spree (App. C).
+    pub fn beaver_subsidy_active(&self, day: DayIndex) -> bool {
+        (days::BEAVER_SUBSIDY_START..=days::BEAVER_SUBSIDY_END).contains(&day)
+    }
+
+    /// Era index (roughly monthly) used for builder↔relay wiring tables.
+    pub fn era(&self, day: DayIndex) -> usize {
+        match day.0 {
+            0..=15 => 0,    // Sep
+            16..=46 => 1,   // Oct
+            47..=76 => 2,   // Nov
+            77..=107 => 3,  // Dec
+            108..=138 => 4, // Jan
+            139..=166 => 5, // Feb
+            _ => 6,         // Mar
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_land_on_documented_dates() {
+        assert_eq!(days::MANIFOLD_EXPLOIT.iso(), "2022-10-15");
+        assert_eq!(days::OFAC_UPDATE_1.iso(), "2022-11-08");
+        assert_eq!(days::TIMESTAMP_BUG.iso(), "2022-11-10");
+        assert_eq!(days::FTX_BANKRUPTCY.iso(), "2022-11-11");
+        assert_eq!(days::OFAC_UPDATE_2.iso(), "2023-02-01");
+        assert_eq!(days::USDC_DEPEG.iso(), "2023-03-11");
+        assert_eq!(days::ADOPTION_PLATEAU.iso(), "2022-11-03");
+    }
+
+    #[test]
+    fn adoption_ramps_then_stays_in_band() {
+        let t = Timeline;
+        assert!((t.pbs_adoption(DayIndex(0)) - 0.20).abs() < 1e-9);
+        let plateau = t.pbs_adoption(days::ADOPTION_PLATEAU);
+        assert!(plateau > 0.85);
+        for d in 49..198 {
+            let a = t.pbs_adoption(DayIndex(d));
+            assert!((0.85..=0.94).contains(&a), "day {d}: {a}");
+        }
+        // Monotone through the ramp.
+        for d in 1..49 {
+            assert!(t.pbs_adoption(DayIndex(d)) > t.pbs_adoption(DayIndex(d - 1)));
+        }
+    }
+
+    #[test]
+    fn fallback_spikes_only_on_bug_day() {
+        let t = Timeline;
+        assert!(t.fallback_probability(days::TIMESTAMP_BUG) > 0.5);
+        assert!(t.fallback_probability(DayIndex(55)) < 0.01);
+        assert!(t.fallback_probability(DayIndex(57)) < 0.01);
+    }
+
+    #[test]
+    fn activity_spikes_on_event_days() {
+        let t = Timeline;
+        assert!(t.activity(days::FTX_BANKRUPTCY) > 3.0);
+        assert!(t.activity(days::USDC_DEPEG) > 3.0);
+        assert!(t.activity(DayIndex(100)) < 1.5);
+    }
+
+    #[test]
+    fn price_paths_have_the_right_shape() {
+        let t = Timeline;
+        let before = t.weth_price_usd(DayIndex(56));
+        let trough = t.weth_price_usd(DayIndex(61));
+        let end = t.weth_price_usd(DayIndex(197));
+        assert!(trough < before * 0.85);
+        assert!(end > 1700.0);
+        assert_eq!(t.usdc_price_usd(DayIndex(100)), 1.0);
+        assert!(t.usdc_price_usd(days::USDC_DEPEG) < 0.9);
+    }
+
+    #[test]
+    fn windows_and_eras() {
+        let t = Timeline;
+        assert!(t.binance_flow_active(DayIndex(95)));
+        assert!(!t.binance_flow_active(DayIndex(80)));
+        assert!(t.beaver_subsidy_active(DayIndex(160)));
+        assert!(!t.beaver_subsidy_active(DayIndex(120)));
+        assert_eq!(t.era(DayIndex(0)), 0);
+        assert_eq!(t.era(DayIndex(50)), 2);
+        assert_eq!(t.era(DayIndex(197)), 6);
+    }
+}

@@ -1,0 +1,452 @@
+//! User transaction workload generation.
+//!
+//! Produces the background traffic every block is made of: plain ETH
+//! transfers, ERC-20 transfers, AMM swaps with heterogeneous slippage
+//! tolerances (the sloppy ones are sandwich bait), generic contract calls
+//! with heavy-tailed gas, a thin stream of sanctioned-address traffic
+//! (§3.1), a private-order-flow slice (§5.3), and the December
+//! Binance→AnkrPool direct transfers.
+
+use crate::timeline::Timeline;
+use defi::DefiWorld;
+use eth_types::{
+    Address, DayIndex, GasPrice, Token, TokenAmount, Transaction, TxEffect, TxPrivacy, Wei,
+};
+use pbs::SanctionsList;
+use rand::rngs::StdRng;
+use rand::Rng;
+use simcore::{LogNormal, Poisson, SeedDomain};
+use std::collections::HashMap;
+
+/// The documented Binance hot-wallet pair of §5.3.
+pub fn binance_sender() -> Address {
+    Address::derive("binance:0x4d9ff50e")
+}
+
+/// The receiving Binance address of §5.3.
+pub fn binance_receiver() -> Address {
+    Address::derive("binance:0x0b95993a")
+}
+
+/// Builds the study's sanctions list: a base set effective from the merge
+/// (the Tornado Cash designations predate it), plus the 8 Nov 2022 and
+/// 1 Feb 2023 update batches.
+pub fn sanctions_list() -> (SanctionsList, Vec<Address>) {
+    let (list, entries) = sanctions_entries();
+    let addrs = entries.into_iter().map(|(a, _)| a).collect();
+    (list, addrs)
+}
+
+/// Like [`sanctions_list`], but with each address's effective day.
+pub fn sanctions_entries() -> (SanctionsList, Vec<(Address, DayIndex)>) {
+    let mut list = SanctionsList::new();
+    let mut entries = Vec::new();
+    for i in 0..6 {
+        let a = Address::derive(&format!("sanctioned:base:{i}"));
+        list.add(a, DayIndex(0));
+        entries.push((a, DayIndex(0)));
+    }
+    for i in 0..4 {
+        let a = Address::derive(&format!("sanctioned:nov8:{i}"));
+        list.add(a, crate::timeline::days::OFAC_UPDATE_1);
+        entries.push((a, crate::timeline::days::OFAC_UPDATE_1));
+    }
+    for i in 0..2 {
+        let a = Address::derive(&format!("sanctioned:feb1:{i}"));
+        list.add(a, crate::timeline::days::OFAC_UPDATE_2);
+        entries.push((a, crate::timeline::days::OFAC_UPDATE_2));
+    }
+    (list, entries)
+}
+
+/// Generates the per-slot user workload.
+#[derive(Debug)]
+pub struct WorkloadGenerator {
+    users: Vec<Address>,
+    sanctioned: Vec<(Address, DayIndex)>,
+    nonces: HashMap<Address, u64>,
+    rng: StdRng,
+    /// Mean public transactions per slot at activity 1.0.
+    pub txs_per_slot: f64,
+    /// Fraction of user transactions sent over private channels.
+    pub private_fraction: f64,
+    /// Fraction of user transactions touching a sanctioned address.
+    pub sanctioned_fraction: f64,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator over a fixed user pool.
+    pub fn new(
+        seeds: &SeedDomain,
+        user_pool: u32,
+        txs_per_slot: f64,
+        private_fraction: f64,
+    ) -> Self {
+        let users = (0..user_pool)
+            .map(|i| Address::derive(&format!("user:{i}")))
+            .collect();
+        let (_, sanctioned) = sanctions_entries();
+        WorkloadGenerator {
+            users,
+            sanctioned,
+            nonces: HashMap::new(),
+            rng: seeds.rng("workload"),
+            txs_per_slot,
+            private_fraction,
+            sanctioned_fraction: 0.002,
+        }
+    }
+
+    fn next_nonce(&mut self, a: Address) -> u64 {
+        let n = self.nonces.entry(a).or_insert(0);
+        let out = *n;
+        *n += 1;
+        out
+    }
+
+    fn pick_user(&mut self) -> Address {
+        let i = self.rng.random_range(0..self.users.len());
+        self.users[i]
+    }
+
+    fn fee_bid(&mut self, base_fee: GasPrice) -> (GasPrice, GasPrice) {
+        let tip_gwei = LogNormal::with_median(3.0, 0.9).sample(&mut self.rng).min(300.0);
+        let tip = GasPrice::from_gwei(tip_gwei);
+        // Fee cap: comfortably above the current base fee, as wallets do.
+        let cap = GasPrice(base_fee.0 * 2 + tip.0);
+        (tip, cap)
+    }
+
+    /// Generates one slot's new user transactions. Private ones carry a
+    /// `TxPrivacy::Private` marker; the caller routes them.
+    pub fn slot_txs(
+        &mut self,
+        day: DayIndex,
+        base_fee: GasPrice,
+        world: &DefiWorld,
+        timeline: &Timeline,
+        private_flow_scale: f64,
+    ) -> Vec<Transaction> {
+        let activity = timeline.activity(day);
+        // Demand elasticity anchors the fee market: volume thins when the
+        // base fee runs hot, recovering the paper's ~72% burned share.
+        let base_gwei = base_fee.as_gwei().max(1.0);
+        let demand = (15.0 / base_gwei).powf(0.6).clamp(0.3, 1.3);
+        let n = Poisson::new(self.txs_per_slot * activity * demand).sample(&mut self.rng);
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let sender = self.pick_user();
+            let (tip, cap) = self.fee_bid(base_fee);
+            let roll: f64 = self.rng.random();
+
+            // Freshly designated addresses surge for a few days as funds
+            // scramble — this is why the paper finds relay leaks clustered
+            // right after OFAC updates (§6): the relays' blacklists lag.
+            let fresh: Vec<Address> = self
+                .sanctioned
+                .iter()
+                .filter(|(_, eff)| day.0 >= eff.0 && day.0 < eff.0 + 3 && eff.0 > 0)
+                .map(|(a, _)| *a)
+                .collect();
+            let surge = if fresh.is_empty() { 1.0 } else { 4.0 };
+            let mut tx = if roll < self.sanctioned_fraction * surge {
+                // Sanctioned traffic: an ETH transfer to or from a listed
+                // address (we model the "to" side; "from" needs the listed
+                // party to act, which it also does occasionally).
+                let target = if !fresh.is_empty() && self.rng.random::<f64>() < 0.7 {
+                    fresh[self.rng.random_range(0..fresh.len())]
+                } else {
+                    let si = self.rng.random_range(0..self.sanctioned.len());
+                    self.sanctioned[si].0
+                };
+                if self.rng.random::<f64>() < 0.3 {
+                    // The listed party itself sends (its own nonce stream).
+                    let n2 = self.next_nonce(target);
+                    let mut t = Transaction::transfer(
+                        target,
+                        sender,
+                        Wei::from_eth(self.amount_eth()),
+                        n2,
+                        tip,
+                        cap,
+                    );
+                    t.privacy = TxPrivacy::Public;
+                    out.push(t);
+                    continue;
+                }
+                let nonce = self.next_nonce(sender);
+                Transaction::transfer(sender, target, Wei::from_eth(self.amount_eth()), nonce, tip, cap)
+            } else if roll < 0.55 {
+                // Plain transfer.
+                let to = self.pick_user();
+                let nonce = self.next_nonce(sender);
+                Transaction::transfer(sender, to, Wei::from_eth(self.amount_eth()), nonce, tip, cap)
+            } else if roll < 0.70 {
+                // ERC-20 transfer of a monitored token; a thin slice of the
+                // flow is TRON, which becomes sanctioned-as-a-token from
+                // November 2022 (§3.1) — after which its volume collapses,
+                // as holders of a freshly designated asset stop moving it.
+                let tron_prob = if day >= crate::timeline::days::OFAC_UPDATE_1 {
+                    0.002
+                } else {
+                    0.015
+                };
+                let token = if self.rng.random::<f64>() < tron_prob {
+                    Token::Tron
+                } else {
+                    Token::MONITORED[self.rng.random_range(0..5)]
+                };
+                let units = LogNormal::with_median(120.0, 1.2).sample(&mut self.rng);
+                let nonce = self.next_nonce(sender);
+                let mut t = Transaction::transfer(sender, token.contract(), Wei::ZERO, nonce, tip, cap);
+                t.effect = TxEffect::TokenTransfer {
+                    amount: TokenAmount::from_units(token, units.min(1e7)),
+                    recipient: self.pick_user(),
+                };
+                t
+            } else if roll < 0.88 {
+                // AMM swap: WETH into a random pool, with a slippage bound
+                // whose tail creates sandwich opportunities.
+                let pools = world.pools();
+                let pi = self.rng.random_range(0..pools.len());
+                let pool = &pools[pi];
+                let (token_in, token_out) = if self.rng.random::<f64>() < 0.5 {
+                    (pool.token0, pool.token1)
+                } else {
+                    (pool.token1, pool.token0)
+                };
+                let eth_size =
+                    LogNormal::with_median(2.0 * activity.sqrt(), 1.0).sample(&mut self.rng).min(60.0);
+                // Convert a WETH-denominated size into token_in units.
+                let usd = eth_size * world.oracle().price_usd(Token::Weth);
+                let price_in = world.oracle().price_usd(token_in).max(1e-9);
+                let units_in = usd / price_in;
+                let amount_in =
+                    (units_in * 10f64.powi(token_in.decimals() as i32)).min(1e38) as u128;
+                let slippage = LogNormal::with_median(0.01, 1.0)
+                    .sample(&mut self.rng)
+                    .min(0.25);
+                let quote = pool.quote(token_in, amount_in.max(1)).unwrap_or(0);
+                let min_out = (quote as f64 * (1.0 - slippage)) as u128;
+                let nonce = self.next_nonce(sender);
+                let mut t = Transaction::transfer(sender, pool.contract(), Wei::ZERO, nonce, tip, cap);
+                t.effect = TxEffect::Swap {
+                    pool: pool.id,
+                    token_in,
+                    token_out,
+                    amount_in: amount_in.max(1),
+                    min_out,
+                };
+                t
+            } else {
+                // Generic contract interaction with heavy-tailed gas.
+                let extra = LogNormal::with_median(1_800_000.0, 0.9)
+                    .sample(&mut self.rng)
+                    .min(8_000_000.0) as u64;
+                let nonce = self.next_nonce(sender);
+                let mut t = Transaction::transfer(
+                    sender,
+                    Address::derive("contract:misc"),
+                    Wei::ZERO,
+                    nonce,
+                    tip,
+                    cap,
+                );
+                t.effect = TxEffect::Generic { extra_gas: extra };
+                t
+            };
+
+            // Privacy: a slice of user flow goes through protect-style RPCs.
+            if self.rng.random::<f64>() < self.private_fraction * private_flow_scale {
+                tx.privacy = TxPrivacy::Private { channel: 1 };
+            }
+            out.push(tx.finalize());
+        }
+        out
+    }
+
+    /// The December Binance→AnkrPool direct transfers (§5.3): plain ETH
+    /// transfers between the documented address pair, delivered privately
+    /// to AnkrPool proposers.
+    pub fn binance_private_txs(
+        &mut self,
+        day: DayIndex,
+        base_fee: GasPrice,
+        timeline: &Timeline,
+    ) -> Vec<Transaction> {
+        if !timeline.binance_flow_active(day) {
+            return Vec::new();
+        }
+        let n = Poisson::new(2.0).sample(&mut self.rng);
+        let mut out = Vec::new();
+        for _ in 0..n {
+            let nonce = self.next_nonce(binance_sender());
+            let (tip, cap) = self.fee_bid(base_fee);
+            let mut t = Transaction::transfer(
+                binance_sender(),
+                binance_receiver(),
+                Wei::from_eth(self.amount_eth() * 10.0),
+                nonce,
+                tip,
+                cap,
+            );
+            t.privacy = TxPrivacy::Private { channel: 2 };
+            out.push(t.finalize());
+        }
+        out
+    }
+
+    fn amount_eth(&mut self) -> f64 {
+        LogNormal::with_median(0.25, 1.3).sample(&mut self.rng).min(500.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator() -> WorkloadGenerator {
+        WorkloadGenerator::new(&SeedDomain::new(3), 200, 25.0, 0.05)
+    }
+
+    fn base() -> GasPrice {
+        GasPrice::from_gwei(14.0)
+    }
+
+    #[test]
+    fn slot_volume_tracks_activity() {
+        let mut g = generator();
+        let world = DefiWorld::standard(2);
+        let t = Timeline;
+        let mut normal = 0usize;
+        let mut busy = 0usize;
+        for _ in 0..50 {
+            normal += g.slot_txs(DayIndex(100), base(), &world, &t, 1.0).len();
+            busy += g
+                .slot_txs(crate::timeline::days::FTX_BANKRUPTCY, base(), &world, &t, 1.0)
+                .len();
+        }
+        assert!(busy as f64 > normal as f64 * 2.0, "busy {busy} normal {normal}");
+    }
+
+    #[test]
+    fn nonces_are_sequential_per_sender() {
+        let mut g = generator();
+        let world = DefiWorld::standard(2);
+        let t = Timeline;
+        let mut per_sender: HashMap<Address, Vec<u64>> = HashMap::new();
+        for _ in 0..30 {
+            for tx in g.slot_txs(DayIndex(10), base(), &world, &t, 1.0) {
+                per_sender.entry(tx.sender).or_default().push(tx.nonce);
+            }
+        }
+        for (_, nonces) in per_sender {
+            for (i, n) in nonces.iter().enumerate() {
+                assert_eq!(*n as usize, i);
+            }
+        }
+    }
+
+    #[test]
+    fn fee_caps_always_cover_base() {
+        let mut g = generator();
+        let world = DefiWorld::standard(2);
+        let t = Timeline;
+        for tx in g.slot_txs(DayIndex(10), base(), &world, &t, 1.0) {
+            assert!(tx.includable_at(base()));
+        }
+    }
+
+    #[test]
+    fn workload_contains_every_shape() {
+        let mut g = generator();
+        let world = DefiWorld::standard(2);
+        let t = Timeline;
+        let mut swaps = 0;
+        let mut transfers = 0;
+        let mut tokens = 0;
+        let mut generics = 0;
+        let mut privates = 0;
+        for _ in 0..120 {
+            for tx in g.slot_txs(DayIndex(10), base(), &world, &t, 1.0) {
+                match tx.effect {
+                    TxEffect::Swap { .. } => swaps += 1,
+                    TxEffect::Transfer => transfers += 1,
+                    TxEffect::TokenTransfer { .. } => tokens += 1,
+                    TxEffect::Generic { .. } => generics += 1,
+                    _ => {}
+                }
+                if tx.privacy.is_private() {
+                    privates += 1;
+                }
+            }
+        }
+        assert!(swaps > 0 && transfers > 0 && tokens > 0 && generics > 0);
+        assert!(privates > 0);
+        let total = swaps + transfers + tokens + generics;
+        let private_rate = privates as f64 / total as f64;
+        assert!((0.01..0.12).contains(&private_rate), "rate {private_rate}");
+    }
+
+    #[test]
+    fn sanctioned_traffic_appears_at_low_rate() {
+        let mut g = generator();
+        let world = DefiWorld::standard(2);
+        let t = Timeline;
+        let (list, _) = sanctions_list();
+        let mut hits = 0;
+        let mut total = 0;
+        for _ in 0..400 {
+            for tx in g.slot_txs(DayIndex(100), base(), &world, &t, 1.0) {
+                total += 1;
+                if list.is_sanctioned(tx.sender, DayIndex(100))
+                    || list.is_sanctioned(tx.to, DayIndex(100))
+                {
+                    hits += 1;
+                }
+            }
+        }
+        let rate = hits as f64 / total as f64;
+        assert!((0.0007..0.006).contains(&rate), "sanctioned rate {rate}");
+    }
+
+    #[test]
+    fn private_flow_scale_zero_disables_privacy() {
+        let mut g = generator();
+        let world = DefiWorld::standard(2);
+        let t = Timeline;
+        for _ in 0..60 {
+            for tx in g.slot_txs(DayIndex(10), base(), &world, &t, 0.0) {
+                assert!(!tx.privacy.is_private());
+            }
+        }
+    }
+
+    #[test]
+    fn binance_flow_only_in_december_window() {
+        let mut g = generator();
+        let t = Timeline;
+        assert!(g.binance_private_txs(DayIndex(50), base(), &t).is_empty());
+        let mut total = 0;
+        for _ in 0..40 {
+            let txs = g.binance_private_txs(DayIndex(95), base(), &t);
+            for tx in &txs {
+                assert_eq!(tx.sender, binance_sender());
+                assert_eq!(tx.to, binance_receiver());
+                assert!(tx.privacy.is_private());
+            }
+            total += txs.len();
+        }
+        assert!(total > 20);
+    }
+
+    #[test]
+    fn sanctions_list_matches_update_schedule() {
+        let (list, addrs) = sanctions_list();
+        assert_eq!(list.len(), 12);
+        assert_eq!(addrs.len(), 12);
+        assert_eq!(list.active_on(DayIndex(0)).len(), 6);
+        assert_eq!(list.active_on(DayIndex(54)).len(), 10);
+        assert_eq!(list.active_on(DayIndex(139)).len(), 12);
+    }
+}

@@ -1,0 +1,247 @@
+//! Distribution samplers built on uniform randomness.
+//!
+//! The workload generator needs exponential inter-arrival times, log-normal
+//! fee levels, Pareto-tailed MEV opportunity sizes, and Poisson counts.
+//! Rather than pulling in `rand_distr`, the four samplers are implemented
+//! directly (inverse-CDF for exponential/Pareto, Box–Muller for the normal
+//! underlying the log-normal, Knuth's product method with a normal fallback
+//! for Poisson) and validated statistically in the tests.
+
+use rand::Rng;
+
+fn uniform_open(rng: &mut impl Rng) -> f64 {
+    // U in (0, 1]: avoids ln(0).
+    1.0 - rng.random::<f64>()
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    /// Rate parameter λ > 0.
+    pub lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential with the given rate; panics on λ ≤ 0.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be positive");
+        Exponential { lambda }
+    }
+
+    /// Creates an exponential with the given mean.
+    pub fn with_mean(mean: f64) -> Self {
+        Self::new(1.0 / mean)
+    }
+
+    /// Draws a sample via inverse CDF.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        -uniform_open(rng).ln() / self.lambda
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// Mean of the underlying normal.
+    pub mu: f64,
+    /// Standard deviation of the underlying normal, ≥ 0.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal from the underlying normal's parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be >= 0");
+        LogNormal { mu, sigma }
+    }
+
+    /// Creates a log-normal with a target *median* (`exp(mu)`) and sigma.
+    pub fn with_median(median: f64, sigma: f64) -> Self {
+        assert!(median > 0.0, "median must be positive");
+        Self::new(median.ln(), sigma)
+    }
+
+    /// Draws a standard normal via Box–Muller, then exponentiates.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// One standard-normal draw (Box–Muller, using one pair per call).
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1 = uniform_open(rng);
+    let u2 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Pareto (type I) distribution with scale `x_min` and shape `alpha`.
+///
+/// Heavy-tailed: models the rare huge MEV opportunities that the paper notes
+/// "come about rarely and drive up the mean" (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    /// Minimum value (scale), > 0.
+    pub x_min: f64,
+    /// Tail index (shape), > 0; smaller = heavier tail.
+    pub alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto; panics on non-positive parameters.
+    pub fn new(x_min: f64, alpha: f64) -> Self {
+        assert!(x_min > 0.0 && alpha > 0.0, "x_min and alpha must be positive");
+        Pareto { x_min, alpha }
+    }
+
+    /// Draws a sample via inverse CDF.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        self.x_min / uniform_open(rng).powf(1.0 / self.alpha)
+    }
+}
+
+/// Poisson distribution with mean `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    /// Mean λ ≥ 0.
+    pub lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson; panics on negative or non-finite λ.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda >= 0.0 && lambda.is_finite(), "lambda must be >= 0");
+        Poisson { lambda }
+    }
+
+    /// Draws a count. Knuth's product method below λ=30; a rounded normal
+    /// approximation above (error < 1% there, irrelevant for counts).
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        if self.lambda < 30.0 {
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.random::<f64>();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            let x = self.lambda + self.lambda.sqrt() * standard_normal(rng);
+            x.max(0.0).round() as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xD157)
+    }
+
+    fn mean_of(samples: &[f64]) -> f64 {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Exponential::with_mean(4.0);
+        let mut r = rng();
+        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+        let m = mean_of(&samples);
+        assert!((m - 4.0).abs() < 0.15, "mean {m}");
+        assert!(samples.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn lognormal_median_matches() {
+        let d = LogNormal::with_median(2.0, 0.8);
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..20_001).map(|_| d.sample(&mut r)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[10_000];
+        assert!((median - 2.0).abs() < 0.1, "median {median}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..40_000).map(|_| standard_normal(&mut r)).collect();
+        let m = mean_of(&samples);
+        let var = samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / samples.len() as f64;
+        assert!(m.abs() < 0.03, "mean {m}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_is_heavy_tailed() {
+        let d = Pareto::new(1.0, 1.5);
+        let mut r = rng();
+        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut r)).collect();
+        assert!(samples.iter().all(|&x| x >= 1.0));
+        // For alpha=1.5 the theoretical mean is alpha/(alpha-1) = 3;
+        // heavy tails make the sample mean noisy, so use a loose band.
+        let m = mean_of(&samples);
+        assert!(m > 2.0 && m < 5.0, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean() {
+        let d = Poisson::new(2.5);
+        let mut r = rng();
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| d.sample(&mut r)).sum();
+        let m = total as f64 / n as f64;
+        assert!((m - 2.5).abs() < 0.07, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_branch() {
+        let d = Poisson::new(100.0);
+        let mut r = rng();
+        let n = 5_000;
+        let total: u64 = (0..n).map(|_| d.sample(&mut r)).sum();
+        let m = total as f64 / n as f64;
+        assert!((m - 100.0).abs() < 1.0, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        assert_eq!(Poisson::new(0.0).sample(&mut rng()), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn exponential_rejects_nonpositive_rate() {
+        let _ = Exponential::new(0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pareto_rejects_nonpositive_shape() {
+        let _ = Pareto::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn samplers_are_deterministic_for_a_seed() {
+        let d = LogNormal::new(0.0, 1.0);
+        let a: Vec<f64> = {
+            let mut r = rng();
+            (0..5).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rng();
+            (0..5).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,204 @@
+//! Lightweight metrics for simulation runs: named counters and gauges,
+//! plus a streaming summary (count/sum/min/max) for latency-style series.
+//!
+//! The scenario driver uses these to report throughput (blocks/s simulated,
+//! events processed) and the benches assert on them.
+
+use std::collections::BTreeMap;
+
+/// Streaming summary statistics over an f64 series.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Minimum seen (0 when empty).
+    pub min: f64,
+    /// Maximum seen (0 when empty).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A registry of named counters, gauges, and summaries.
+///
+/// Uses `BTreeMap` so reports iterate in stable alphabetical order.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    summaries: BTreeMap<String, Summary>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments a counter by `by`.
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Reads a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Reads a gauge (`None` if never set).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records an observation into a named summary.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.summaries.entry(name.to_string()).or_default().observe(v);
+    }
+
+    /// Reads a summary (`None` if never observed).
+    pub fn summary(&self, name: &str) -> Option<&Summary> {
+        self.summaries.get(name)
+    }
+
+    /// Merges another registry into this one (counters add, gauges take the
+    /// other's values, summaries combine).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, s) in &other.summaries {
+            let mine = self.summaries.entry(k.clone()).or_default();
+            if s.count > 0 {
+                if mine.count == 0 {
+                    *mine = *s;
+                } else {
+                    mine.count += s.count;
+                    mine.sum += s.sum;
+                    mine.min = mine.min.min(s.min);
+                    mine.max = mine.max.max(s.max);
+                }
+            }
+        }
+    }
+
+    /// Renders a stable multi-line report.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter {k} = {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("gauge   {k} = {v:.6}\n"));
+        }
+        for (k, s) in &self.summaries {
+            out.push_str(&format!(
+                "summary {k}: n={} mean={:.6} min={:.6} max={:.6}\n",
+                s.count,
+                s.mean(),
+                s.min,
+                s.max
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.inc("blocks", 1);
+        m.inc("blocks", 2);
+        assert_eq!(m.counter("blocks"), 3);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = MetricsRegistry::new();
+        m.set_gauge("hhi", 0.8);
+        m.set_gauge("hhi", 0.19);
+        assert_eq!(m.gauge("hhi"), Some(0.19));
+        assert_eq!(m.gauge("missing"), None);
+    }
+
+    #[test]
+    fn summary_tracks_min_max_mean() {
+        let mut m = MetricsRegistry::new();
+        for v in [3.0, 1.0, 2.0] {
+            m.observe("lat", v);
+        }
+        let s = m.summary("lat").unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_mean_is_zero() {
+        assert_eq!(Summary::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_all_kinds() {
+        let mut a = MetricsRegistry::new();
+        a.inc("c", 1);
+        a.observe("s", 1.0);
+        let mut b = MetricsRegistry::new();
+        b.inc("c", 2);
+        b.set_gauge("g", 5.0);
+        b.observe("s", 3.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.gauge("g"), Some(5.0));
+        let s = a.summary("s").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn report_is_stable_and_alphabetical() {
+        let mut m = MetricsRegistry::new();
+        m.inc("zeta", 1);
+        m.inc("alpha", 1);
+        let r = m.report();
+        assert!(r.find("alpha").unwrap() < r.find("zeta").unwrap());
+        assert_eq!(r, m.report());
+    }
+}

@@ -1,0 +1,81 @@
+//! Simulated time with millisecond resolution.
+//!
+//! Network propagation happens on millisecond scales (gossip hops) while
+//! consensus happens on 12-second slots, so the engine clock counts
+//! milliseconds from simulation genesis.
+
+/// An instant in simulated time, in milliseconds since genesis.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation genesis.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Constructs from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1000)
+    }
+
+    /// The instant `ms` milliseconds later.
+    pub fn plus_millis(self, ms: u64) -> SimTime {
+        SimTime(self.0 + ms)
+    }
+
+    /// The instant `s` seconds later.
+    pub fn plus_secs(self, s: u64) -> SimTime {
+        SimTime(self.0 + s * 1000)
+    }
+
+    /// Milliseconds elapsed since `earlier` (saturating).
+    pub fn millis_since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Whole seconds since genesis (truncating).
+    pub fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+}
+
+impl std::fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t={}.{:03}s", self.0 / 1000, self.0 % 1000)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_arithmetic() {
+        assert_eq!(SimTime::from_secs(2), SimTime(2000));
+        assert_eq!(SimTime::from_millis(1500).plus_secs(1), SimTime(2500));
+        assert_eq!(SimTime(2500).millis_since(SimTime(1000)), 1500);
+        assert_eq!(SimTime(500).millis_since(SimTime(1000)), 0); // saturates
+        assert_eq!(SimTime(2500).as_secs(), 2);
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime(1) < SimTime(2));
+        assert_eq!(SimTime::ZERO, SimTime(0));
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", SimTime(12_345)), "t=12.345s");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the simulation engine: event ordering, clock
+//! monotonicity, RNG domain independence, and sampler sanity.
+
+use proptest::prelude::*;
+use rand::Rng;
+use simcore::{EventQueue, Exponential, LogNormal, Pareto, Poisson, SeedDomain, SimTime};
+
+proptest! {
+    /// Events always pop in nondecreasing time order, FIFO on ties.
+    #[test]
+    fn queue_pops_in_order(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(SimTime(*t), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        while let Some((t, id)) = q.pop() {
+            prop_assert!(t >= last_time);
+            if t == last_time {
+                // FIFO tie-break: ids at equal timestamps ascend.
+                if let Some(&prev) = seen_at_time.last() {
+                    prop_assert!(id > prev);
+                }
+                seen_at_time.push(id);
+            } else {
+                seen_at_time = vec![id];
+            }
+            last_time = t;
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// The clock equals the timestamp of the last popped event.
+    #[test]
+    fn clock_tracks_pops(times in proptest::collection::vec(0u64..1_000, 1..50)) {
+        let mut q = EventQueue::new();
+        for t in &times {
+            q.schedule(SimTime(*t), ());
+        }
+        let mut max = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert_eq!(q.now(), t);
+            max = max.max(t.0);
+        }
+        prop_assert_eq!(q.now(), SimTime(max));
+    }
+
+    /// Distinct labels give statistically distinct streams; same labels
+    /// give identical streams — for any seed.
+    #[test]
+    fn seed_domains_are_consistent(seed in any::<u64>()) {
+        let d = SeedDomain::new(seed);
+        let a: Vec<u64> = d.rng("alpha").random_iter().take(4).collect();
+        let a2: Vec<u64> = d.rng("alpha").random_iter().take(4).collect();
+        let b: Vec<u64> = d.rng("beta").random_iter().take(4).collect();
+        prop_assert_eq!(&a, &a2);
+        prop_assert_ne!(a, b);
+    }
+
+    /// Samplers always produce values in their support.
+    #[test]
+    fn samplers_respect_support(seed in any::<u64>(), mean in 0.01f64..100.0) {
+        let mut rng = SeedDomain::new(seed).rng("sampler");
+        let e = Exponential::with_mean(mean);
+        let l = LogNormal::with_median(mean, 0.8);
+        let p = Pareto::new(mean, 1.5);
+        for _ in 0..50 {
+            prop_assert!(e.sample(&mut rng) >= 0.0);
+            prop_assert!(l.sample(&mut rng) > 0.0);
+            prop_assert!(p.sample(&mut rng) >= mean);
+        }
+    }
+
+    /// Poisson counts are finite and zero-inflated only at tiny lambda.
+    #[test]
+    fn poisson_counts_are_sane(seed in any::<u64>(), lambda in 0.0f64..200.0) {
+        let mut rng = SeedDomain::new(seed).rng("poisson");
+        let d = Poisson::new(lambda);
+        let total: u64 = (0..50).map(|_| d.sample(&mut rng)).sum();
+        // Crude upper bound: 50 draws can't exceed ~50x mean + slack.
+        prop_assert!((total as f64) < 50.0 * (lambda + 10.0) + 100.0);
+        if lambda == 0.0 {
+            prop_assert_eq!(total, 0);
+        }
+    }
+
+    /// pop_until never returns an event past the deadline.
+    #[test]
+    fn pop_until_respects_deadline(
+        times in proptest::collection::vec(0u64..1_000, 1..60),
+        deadline in 0u64..1_000,
+    ) {
+        let mut q = EventQueue::new();
+        for t in &times {
+            q.schedule(SimTime(*t), ());
+        }
+        let deadline = SimTime(deadline);
+        while let Some((t, _)) = q.pop_until(deadline) {
+            prop_assert!(t <= deadline);
+        }
+        // Everything left is after the deadline.
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t > deadline);
+        }
+    }
+}

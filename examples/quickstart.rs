@@ -1,0 +1,48 @@
+//! Quickstart: run a small slice of the study, print the headline results
+//! and the static tables.
+//!
+//! ```text
+//! cargo run --release --example quickstart            # 10 days, fast
+//! PBS_DAYS=198 PBS_BPD=360 cargo run --release --example quickstart
+//! ```
+
+use pbs_repro::analysis::{tables, PaperReport};
+use pbs_repro::datasets::summary::render_table1;
+use pbs_repro::prelude::*;
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let days = env_u32("PBS_DAYS", 10);
+    let bpd = env_u32("PBS_BPD", 40);
+    let seed = env_u32("PBS_SEED", 42) as u64;
+
+    let mut cfg = ScenarioConfig::test_small(seed, days);
+    cfg.calendar = StudyCalendar::new(bpd, days);
+    println!(
+        "simulating {} days × {} blocks/day (seed {seed}) …",
+        cfg.calendar.num_days(),
+        cfg.calendar.blocks_per_day
+    );
+
+    let start = std::time::Instant::now();
+    let run = Simulation::new(cfg).run();
+    println!(
+        "done: {} blocks in {:.1?} ({:.0} blocks/s)\n",
+        run.blocks.len(),
+        start.elapsed(),
+        run.blocks.len() as f64 / start.elapsed().as_secs_f64()
+    );
+
+    let report = PaperReport::compute(&run);
+    println!("{}", report.render_summary(&run));
+    println!("{}", render_table1(&report.table1));
+    println!("{}", tables::render_table2());
+    println!("{}", tables::render_table3());
+    println!("{}", tables::render_table5(&run, 11));
+}
