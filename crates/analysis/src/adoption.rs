@@ -7,7 +7,7 @@
 //! exhibiting the payment, and almost all payment-less PBS blocks having
 //! the same builder and proposer address.
 
-use crate::util::by_day;
+use crate::util::par_by_day;
 use eth_types::DayIndex;
 use scenario::RunArtifacts;
 
@@ -20,13 +20,17 @@ pub struct AdoptionSeries {
     pub pbs_share: Vec<f64>,
 }
 
-/// Computes the daily PBS share using the paper's detection rule.
+/// Computes the daily PBS share using the paper's detection rule, one day
+/// per parallel task.
 pub fn daily_pbs_share(run: &RunArtifacts) -> AdoptionSeries {
-    let mut out = AdoptionSeries::default();
-    for (day, blocks) in by_day(run) {
+    let rows = par_by_day(run, |_, blocks| {
         let pbs = blocks.iter().filter(|b| b.pbs_detected()).count();
+        pbs as f64 / blocks.len() as f64
+    });
+    let mut out = AdoptionSeries::default();
+    for (day, share) in rows {
         out.days.push(day);
-        out.pbs_share.push(pbs as f64 / blocks.len() as f64);
+        out.pbs_share.push(share);
     }
     out
 }

@@ -55,7 +55,12 @@ pub fn daily_block_size(run: &RunArtifacts) -> BlockSizeSeries {
 impl BlockSizeSeries {
     /// Window-mean PBS block size.
     pub fn pbs_mean(&self) -> f64 {
-        let v: Vec<f64> = self.pbs.iter().map(|t| t.0).filter(|x| x.is_finite()).collect();
+        let v: Vec<f64> = self
+            .pbs
+            .iter()
+            .map(|t| t.0)
+            .filter(|x| x.is_finite())
+            .collect();
         mean(&v)
     }
 

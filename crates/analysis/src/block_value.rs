@@ -7,7 +7,7 @@
 //! and USDC event days.
 
 use crate::stats::percentile;
-use crate::util::by_day;
+use crate::util::par_by_day;
 use eth_types::{DayIndex, Slot};
 use scenario::RunArtifacts;
 
@@ -58,10 +58,9 @@ fn quartiles(values: &[f64]) -> (f64, f64, f64) {
     )
 }
 
-/// Computes Figure 10.
+/// Computes Figure 10, one day per parallel task.
 pub fn daily_proposer_profit(run: &RunArtifacts) -> ProposerProfitSeries {
-    let mut out = ProposerProfitSeries::default();
-    for (day, blocks) in by_day(run) {
+    let rows = par_by_day(run, |_, blocks| {
         let pbs: Vec<f64> = blocks
             .iter()
             .filter(|b| b.pbs_truth)
@@ -72,9 +71,13 @@ pub fn daily_proposer_profit(run: &RunArtifacts) -> ProposerProfitSeries {
             .filter(|b| !b.pbs_truth)
             .map(|b| b.proposer_profit().as_eth())
             .collect();
+        (quartiles(&pbs), quartiles(&non))
+    });
+    let mut out = ProposerProfitSeries::default();
+    for (day, (pbs, non_pbs)) in rows {
         out.days.push(day);
-        out.pbs.push(quartiles(&pbs));
-        out.non_pbs.push(quartiles(&non));
+        out.pbs.push(pbs);
+        out.non_pbs.push(non_pbs);
     }
     out
 }
@@ -161,9 +164,18 @@ mod tests {
     fn pbs_proposers_earn_more() {
         let run = shared_run();
         let profits = daily_proposer_profit(run);
-        let pbs_medians: Vec<f64> = profits.pbs.iter().map(|t| t.1).filter(|x| x.is_finite()).collect();
-        let non_medians: Vec<f64> =
-            profits.non_pbs.iter().map(|t| t.1).filter(|x| x.is_finite()).collect();
+        let pbs_medians: Vec<f64> = profits
+            .pbs
+            .iter()
+            .map(|t| t.1)
+            .filter(|x| x.is_finite())
+            .collect();
+        let non_medians: Vec<f64> = profits
+            .non_pbs
+            .iter()
+            .map(|t| t.1)
+            .filter(|x| x.is_finite())
+            .collect();
         assert!(crate::stats::mean(&pbs_medians) > crate::stats::mean(&non_medians));
     }
 

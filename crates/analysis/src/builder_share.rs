@@ -7,7 +7,7 @@
 //! never from the simulator's ground truth — and then validated against it
 //! in tests.
 
-use crate::util::by_day;
+use crate::util::par_by_day;
 use eth_types::{Address, BlsPublicKey, DayIndex};
 use scenario::RunArtifacts;
 use std::collections::BTreeMap;
@@ -31,26 +31,31 @@ impl BuilderShareSeries {
             }
         }
         let n = self.shares.len().max(1) as f64;
-        let mut out: Vec<(String, f64)> =
-            acc.into_iter().map(|(k, v)| (k, v / n)).collect();
+        let mut out: Vec<(String, f64)> = acc.into_iter().map(|(k, v)| (k, v / n)).collect();
         out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         out
     }
 }
 
-/// Computes Figure 8 (share of *all* blocks per builder per day).
+/// Computes Figure 8 (share of *all* blocks per builder per day), one day
+/// per parallel task.
 pub fn daily_builder_share(run: &RunArtifacts) -> BuilderShareSeries {
-    let mut out = BuilderShareSeries::default();
-    for (day, blocks) in by_day(run) {
+    let rows = par_by_day(run, |_, blocks| {
         let mut counts: BTreeMap<String, f64> = BTreeMap::new();
         for b in blocks.iter() {
             if let Some(id) = b.builder {
-                *counts.entry(run.builder_name(id).to_string()).or_insert(0.0) += 1.0;
+                *counts
+                    .entry(run.builder_name(id).to_string())
+                    .or_insert(0.0) += 1.0;
             }
         }
         for v in counts.values_mut() {
             *v /= blocks.len() as f64;
         }
+        counts
+    });
+    let mut out = BuilderShareSeries::default();
+    for (day, counts) in rows {
         out.days.push(day);
         out.shares.push(counts);
     }
@@ -76,8 +81,11 @@ pub struct BuilderCluster {
 pub fn cluster_builders(run: &RunArtifacts) -> Vec<BuilderCluster> {
     // fee recipients that are proposer addresses are excluded: a recipient
     // seen as a *proposer* recipient anywhere is validator-owned.
-    let proposer_addrs: std::collections::BTreeSet<Address> =
-        run.blocks.iter().map(|b| b.proposer_fee_recipient).collect();
+    let proposer_addrs: std::collections::BTreeSet<Address> = run
+        .blocks
+        .iter()
+        .map(|b| b.proposer_fee_recipient)
+        .collect();
 
     let mut map: BTreeMap<Address, (Vec<BlsPublicKey>, u64)> = BTreeMap::new();
     for b in &run.blocks {

@@ -28,7 +28,10 @@ pub fn daily_censoring_relay_share(run: &RunArtifacts) -> CensoringRelayShare {
     for (day, blocks) in by_day(run) {
         let mut pbs_weight = 0.0f64;
         let mut compliant_weight = 0.0f64;
-        for b in blocks.iter().filter(|b| b.pbs_truth && !b.relays.is_empty()) {
+        for b in blocks
+            .iter()
+            .filter(|b| b.pbs_truth && !b.relays.is_empty())
+        {
             pbs_weight += 1.0;
             let w = 1.0 / b.relays.len() as f64;
             for r in &b.relays {
@@ -119,6 +122,9 @@ mod tests {
             s.non_pbs_mean(),
             s.pbs_mean()
         );
-        assert!(s.non_pbs_mean() > 0.0, "no sanctioned traffic landed at all");
+        assert!(
+            s.non_pbs_mean() > 0.0,
+            "no sanctioned traffic landed at all"
+        );
     }
 }

@@ -2,7 +2,7 @@
 //! the relay and builder landscapes.
 
 use crate::stats::hhi;
-use crate::util::by_day;
+use crate::util::par_by_day;
 use eth_types::DayIndex;
 use scenario::RunArtifacts;
 use std::collections::BTreeMap;
@@ -31,10 +31,9 @@ impl ConcentrationSeries {
 }
 
 /// Computes Figure 6. Shares are over PBS blocks only (the market in
-/// question); multi-relay blocks split equally.
+/// question); multi-relay blocks split equally. One day per parallel task.
 pub fn daily_concentration(run: &RunArtifacts) -> ConcentrationSeries {
-    let mut out = ConcentrationSeries::default();
-    for (day, blocks) in by_day(run) {
+    let rows = par_by_day(run, |_, blocks| {
         let mut relay_weight: BTreeMap<u32, f64> = BTreeMap::new();
         let mut builder_weight: BTreeMap<u32, f64> = BTreeMap::new();
         for b in blocks.iter().filter(|b| b.pbs_truth) {
@@ -50,9 +49,13 @@ pub fn daily_concentration(run: &RunArtifacts) -> ConcentrationSeries {
         }
         let relay_shares: Vec<f64> = relay_weight.values().copied().collect();
         let builder_shares: Vec<f64> = builder_weight.values().copied().collect();
+        (hhi(&relay_shares), hhi(&builder_shares))
+    });
+    let mut out = ConcentrationSeries::default();
+    for (day, (relay, builder)) in rows {
         out.days.push(day);
-        out.relay_hhi.push(hhi(&relay_shares));
-        out.builder_hhi.push(hhi(&builder_shares));
+        out.relay_hhi.push(relay);
+        out.builder_hhi.push(builder);
     }
     out
 }

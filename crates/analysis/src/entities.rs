@@ -55,7 +55,11 @@ pub fn entity_profit_rows(run: &RunArtifacts) -> Vec<EntityRow> {
             name: run.entity_names[idx as usize].clone(),
             blocks: a.blocks,
             pbs_share: a.pbs as f64 / a.blocks.max(1) as f64,
-            pbs_mean_profit: if a.pbs == 0 { f64::NAN } else { a.pbs_profit / a.pbs as f64 },
+            pbs_mean_profit: if a.pbs == 0 {
+                f64::NAN
+            } else {
+                a.pbs_profit / a.pbs as f64
+            },
             non_pbs_mean_profit: if a.non_pbs == 0 {
                 f64::NAN
             } else {
@@ -92,11 +96,20 @@ mod tests {
     fn every_entity_appears_with_consistent_counts() {
         let run = shared_run();
         let rows = entity_profit_rows(run);
-        assert!(rows.len() >= 5, "expected the full entity mix, got {}", rows.len());
+        assert!(
+            rows.len() >= 5,
+            "expected the full entity mix, got {}",
+            rows.len()
+        );
         let total: u64 = rows.iter().map(|r| r.blocks).sum();
         assert_eq!(total as usize, run.blocks.len());
         for r in &rows {
-            assert!((0.0..=1.0).contains(&r.pbs_share), "{}: {}", r.name, r.pbs_share);
+            assert!(
+                (0.0..=1.0).contains(&r.pbs_share),
+                "{}: {}",
+                r.name,
+                r.pbs_share
+            );
         }
     }
 

@@ -71,7 +71,10 @@ pub fn event_report(run: &RunArtifacts) -> Vec<EventSignature> {
 
     // 2/3. High-MEV days: median PBS proposer profit spikes.
     for (name, day) in [
-        ("FTX-bankruptcy profit spike (11 Nov 2022)", days::FTX_BANKRUPTCY),
+        (
+            "FTX-bankruptcy profit spike (11 Nov 2022)",
+            days::FTX_BANKRUPTCY,
+        ),
         ("USDC-depeg profit spike (11 Mar 2023)", days::USDC_DEPEG),
     ] {
         if !covered(day) {
@@ -162,8 +165,14 @@ pub fn event_report(run: &RunArtifacts) -> Vec<EventSignature> {
 
     // 6. OFAC updates: compliant-relay leaks inside the lag window.
     for (name, day) in [
-        ("post-update compliant-relay leaks (8 Nov 2022)", days::OFAC_UPDATE_1),
-        ("post-update compliant-relay leaks (1 Feb 2023)", days::OFAC_UPDATE_2),
+        (
+            "post-update compliant-relay leaks (8 Nov 2022)",
+            days::OFAC_UPDATE_1,
+        ),
+        (
+            "post-update compliant-relay leaks (1 Feb 2023)",
+            days::OFAC_UPDATE_2,
+        ),
     ] {
         if !covered(day) {
             continue;

@@ -39,8 +39,16 @@ pub fn delay_comparison(run: &RunArtifacts) -> DelayComparison {
     // Regular = all public minus the sanctioned slice.
     let r_total = total - s_total;
     let r_count = count - s_count;
-    let regular_ms = if r_count == 0 { f64::NAN } else { r_total as f64 / r_count as f64 };
-    let sanctioned_ms = if s_count == 0 { f64::NAN } else { s_total as f64 / s_count as f64 };
+    let regular_ms = if r_count == 0 {
+        f64::NAN
+    } else {
+        r_total as f64 / r_count as f64
+    };
+    let sanctioned_ms = if s_count == 0 {
+        f64::NAN
+    } else {
+        s_total as f64 / s_count as f64
+    };
     DelayComparison {
         regular_ms,
         sanctioned_ms,

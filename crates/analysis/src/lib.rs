@@ -25,10 +25,10 @@ pub mod block_size;
 pub mod block_value;
 pub mod builder_share;
 pub mod censorship;
+pub mod concentration;
 pub mod entities;
 pub mod events;
 pub mod inclusion_delay;
-pub mod concentration;
 pub mod mev_stats;
 pub mod payments;
 pub mod private_flow;

@@ -45,10 +45,7 @@ pub fn daily_liquidations_per_block(run: &RunArtifacts) -> PbsVsNonPbsDaily {
     mean_per_block(run, |b| b.liquidation_txs as f64)
 }
 
-fn mean_per_block<F: Fn(&BlockRecord) -> f64>(
-    run: &RunArtifacts,
-    f: F,
-) -> PbsVsNonPbsDaily {
+fn mean_per_block<F: Fn(&BlockRecord) -> f64 + Sync>(run: &RunArtifacts, f: F) -> PbsVsNonPbsDaily {
     PbsVsNonPbsDaily::compute(run, |blocks| {
         if blocks.is_empty() {
             f64::NAN

@@ -90,6 +90,10 @@ mod tests {
     fn non_pbs_flow_is_nearly_all_public_outside_december() {
         let run = shared_run(); // early window: no Binance flow
         let s = daily_private_share(run);
-        assert!(s.non_pbs_mean() < 0.05, "non-PBS private {}", s.non_pbs_mean());
+        assert!(
+            s.non_pbs_mean() < 0.05,
+            "non-PBS private {}",
+            s.non_pbs_mean()
+        );
     }
 }

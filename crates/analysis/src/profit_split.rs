@@ -43,9 +43,8 @@ pub fn builder_profit_rows(run: &RunArtifacts, n: usize) -> Vec<BuilderProfitRow
     let mut rows: Vec<BuilderProfitRow> = per_builder
         .into_iter()
         .filter_map(|(id, (builder_profits, proposer_profits))| {
-            let subsidized =
-                builder_profits.iter().filter(|&&p| p < 0.0).count() as f64
-                    / builder_profits.len().max(1) as f64;
+            let subsidized = builder_profits.iter().filter(|&&p| p < 0.0).count() as f64
+                / builder_profits.len().max(1) as f64;
             Some(BuilderProfitRow {
                 name: run.builder_name(BuilderId(id)).to_string(),
                 blocks: builder_profits.len() as u64,

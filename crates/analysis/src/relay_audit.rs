@@ -98,8 +98,7 @@ pub fn relay_audit(run: &RunArtifacts) -> (Vec<RelayAuditRow>, RelayAuditRow) {
         }
         if row.blocks > 0 {
             row.share_over_promised_pct = over_promised[i] as f64 / row.blocks as f64 * 100.0;
-            row.share_sanctioned_pct =
-                row.sanctioned_blocks as f64 / row.blocks as f64 * 100.0;
+            row.share_sanctioned_pct = row.sanctioned_blocks as f64 / row.blocks as f64 * 100.0;
         }
     }
     if agg.promised_eth > 0.0 {
@@ -126,9 +125,8 @@ pub fn bloxroute_ethical_sandwich_gap(run: &RunArtifacts) -> u64 {
 
 /// Renders Table 4 as aligned text.
 pub fn render_table4(rows: &[RelayAuditRow], agg: &RelayAuditRow) -> String {
-    let mut out = String::from(
-        "Table 4: delivered vs promised value and sanctioned blocks per relay\n",
-    );
+    let mut out =
+        String::from("Table 4: delivered vs promised value and sanctioned blocks per relay\n");
     out.push_str(&format!(
         "{:<16} {:>14} {:>14} {:>10} {:>12} {:>12} {:>10}\n",
         "Relay", "delivered", "promised", "share[%]", "over-prom[%]", "sanct.blocks", "sanct[%]"

@@ -4,7 +4,7 @@
 //! block to each relay equally" (§4.1) — multi-relay blocks contribute
 //! `1/k` to each of their `k` relays.
 
-use crate::util::by_day;
+use crate::util::par_by_day;
 use eth_types::DayIndex;
 use pbs::{RelayId, PAPER_RELAYS};
 use scenario::RunArtifacts;
@@ -46,10 +46,10 @@ pub fn relay_name(id: RelayId) -> &'static str {
 }
 
 /// Computes the daily per-relay share of all blocks (PBS and non-PBS in
-/// the denominator, as in Figure 5's "share of blocks").
+/// the denominator, as in Figure 5's "share of blocks"), one day per
+/// parallel task.
 pub fn daily_relay_share(run: &RunArtifacts) -> RelayShareSeries {
-    let mut out = RelayShareSeries::default();
-    for (day, blocks) in by_day(run) {
+    let rows = par_by_day(run, |_, blocks| {
         let mut shares = [0.0f64; NUM_RELAYS];
         for b in blocks.iter() {
             if b.relays.is_empty() {
@@ -63,6 +63,10 @@ pub fn daily_relay_share(run: &RunArtifacts) -> RelayShareSeries {
         for s in &mut shares {
             *s /= blocks.len() as f64;
         }
+        shares
+    });
+    let mut out = RelayShareSeries::default();
+    for (day, shares) in rows {
         out.days.push(day);
         out.shares.push(shares);
     }

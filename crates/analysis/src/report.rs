@@ -9,8 +9,8 @@ use crate::block_size::{self, BlockSizeSeries};
 use crate::block_value::{self, ProposerProfitSeries, ValueComparison};
 use crate::builder_share::{self, BuilderShareSeries};
 use crate::censorship::{self, CensoringRelayShare};
-use crate::inclusion_delay::{self, DelayComparison};
 use crate::concentration::{self, ConcentrationSeries};
+use crate::inclusion_delay::{self, DelayComparison};
 use crate::mev_stats::{self, MevTotals};
 use crate::payments::{self, PaymentShares};
 use crate::private_flow;
@@ -255,7 +255,11 @@ impl PaperReport {
         };
         for (i, d) in day_col(&self.fig5_relay_share.days).iter().enumerate() {
             let mut row = vec![d.clone()];
-            row.extend(self.fig5_relay_share.shares[i].iter().map(|v| v.to_string()));
+            row.extend(
+                self.fig5_relay_share.shares[i]
+                    .iter()
+                    .map(|v| v.to_string()),
+            );
             t.push_row(row);
         }
         write_csv(&dir.join("fig5_relay_share.csv"), &t)?;
@@ -304,7 +308,13 @@ impl PaperReport {
 
         // Figure 10.
         let mut t = CsvTable::new(&[
-            "day", "pbs_q25", "pbs_median", "pbs_q75", "non_q25", "non_median", "non_q75",
+            "day",
+            "pbs_q25",
+            "pbs_median",
+            "pbs_q75",
+            "non_q25",
+            "non_median",
+            "non_q75",
         ]);
         for (i, d) in day_col(&self.fig10_proposer_profit.days).iter().enumerate() {
             let p = self.fig10_proposer_profit.pbs[i];
@@ -349,7 +359,9 @@ impl PaperReport {
         write_csv(&dir.join("fig11_12_profits.csv"), &t)?;
 
         // Figure 13.
-        let mut t = CsvTable::new(&["day", "pbs_mean", "pbs_std", "non_mean", "non_std", "target"]);
+        let mut t = CsvTable::new(&[
+            "day", "pbs_mean", "pbs_std", "non_mean", "non_std", "target",
+        ]);
         for (i, d) in day_col(&self.fig13_block_size.days).iter().enumerate() {
             t.push_row(vec![
                 d.clone(),
@@ -416,7 +428,11 @@ impl PaperReport {
             "sanctioned_blocks",
             "share_sanctioned_pct",
         ]);
-        for r in self.table4.iter().chain(std::iter::once(&self.table4_aggregate)) {
+        for r in self
+            .table4
+            .iter()
+            .chain(std::iter::once(&self.table4_aggregate))
+        {
             t.push_row(vec![
                 r.name.to_string(),
                 r.ofac_compliant.to_string(),
@@ -455,7 +471,9 @@ mod tests {
         let run = shared_run();
         let report = PaperReport::compute(run);
         let s = report.render_summary(run);
-        for marker in ["F4", "F6", "F9", "F13", "F14", "F15", "F16", "F18", "T4", "§5.2"] {
+        for marker in [
+            "F4", "F6", "F9", "F13", "F14", "F15", "F16", "F18", "T4", "§5.2",
+        ] {
             assert!(s.contains(marker), "summary missing {marker}:\n{s}");
         }
     }

@@ -7,7 +7,10 @@ use scenario::RunArtifacts;
 /// Renders Table 2: the crawled relays with endpoints and forks.
 pub fn render_table2() -> String {
     let mut out = String::from("Table 2: list of PBS relays crawled\n");
-    out.push_str(&format!("{:<16} {:<52} {}\n", "Relay Name", "Endpoint", "Fork"));
+    out.push_str(&format!(
+        "{:<16} {:<52} {}\n",
+        "Relay Name", "Endpoint", "Fork"
+    ));
     for r in &PAPER_RELAYS {
         out.push_str(&format!("{:<16} {:<52} {}\n", r.name, r.endpoint, r.fork));
     }
@@ -28,7 +31,11 @@ pub fn render_table3() -> String {
             BuilderPolicy::Permissionless => "permissionless",
             BuilderPolicy::InternalAndPermissionless => "internal & permissionless",
         };
-        let censorship = if r.ofac_compliant { "OFAC-compliant" } else { "x" };
+        let censorship = if r.ofac_compliant {
+            "OFAC-compliant"
+        } else {
+            "x"
+        };
         let filter = r.mev_filter.unwrap_or("x");
         out.push_str(&format!(
             "{:<16} {:<28} {:<16} {}\n",
@@ -51,7 +58,10 @@ pub fn render_table5(run: &RunArtifacts, n: usize) -> String {
     counts.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
 
     let mut out = String::from("Table 5: builder name, address, and public keys\n");
-    out.push_str(&format!("{:<16} {:<44} {}\n", "Name", "Address", "Public Keys"));
+    out.push_str(&format!(
+        "{:<16} {:<44} {}\n",
+        "Name", "Address", "Public Keys"
+    ));
     for &(i, c) in counts.iter().take(n) {
         if c == 0 {
             continue;

@@ -1,6 +1,7 @@
 //! Shared helpers for the analysis modules.
 
 use eth_types::DayIndex;
+use rayon::prelude::*;
 use scenario::{BlockRecord, RunArtifacts};
 use std::collections::BTreeMap;
 
@@ -11,6 +12,25 @@ pub fn by_day(run: &RunArtifacts) -> BTreeMap<DayIndex, Vec<&BlockRecord>> {
         out.entry(b.day).or_default().push(b);
     }
     out
+}
+
+/// Applies `f` to every day's block group in parallel, returning the
+/// `(day, f(day, blocks))` rows in calendar order.
+///
+/// Each day is aggregated independently from its own slice of records and
+/// the rows are reassembled by day index, so the merge is order-independent
+/// and the output is identical for any thread count — the property the
+/// byte-identical-artifacts guarantee relies on.
+pub fn par_by_day<R, F>(run: &RunArtifacts, f: F) -> Vec<(DayIndex, R)>
+where
+    R: Send,
+    F: Fn(DayIndex, &[&BlockRecord]) -> R + Sync,
+{
+    let groups: Vec<(DayIndex, Vec<&BlockRecord>)> = by_day(run).into_iter().collect();
+    groups
+        .par_iter()
+        .map(|(day, blocks)| (*day, f(*day, blocks)))
+        .collect()
 }
 
 /// A daily two-population series (PBS vs non-PBS), the shape most figures
@@ -27,15 +47,18 @@ pub struct PbsVsNonPbsDaily {
 
 impl PbsVsNonPbsDaily {
     /// Builds the series by applying `f` to each day's PBS and non-PBS
-    /// block groups.
-    pub fn compute<F: Fn(&[&BlockRecord]) -> f64>(run: &RunArtifacts, f: F) -> Self {
-        let mut out = PbsVsNonPbsDaily::default();
-        for (day, blocks) in by_day(run) {
+    /// block groups, one day per parallel task.
+    pub fn compute<F: Fn(&[&BlockRecord]) -> f64 + Sync>(run: &RunArtifacts, f: F) -> Self {
+        let rows = par_by_day(run, |_, blocks| {
             let pbs: Vec<&BlockRecord> = blocks.iter().copied().filter(|b| b.pbs_truth).collect();
             let non: Vec<&BlockRecord> = blocks.iter().copied().filter(|b| !b.pbs_truth).collect();
+            (f(&pbs), f(&non))
+        });
+        let mut out = PbsVsNonPbsDaily::default();
+        for (day, (pbs, non_pbs)) in rows {
             out.days.push(day);
-            out.pbs.push(f(&pbs));
-            out.non_pbs.push(f(&non));
+            out.pbs.push(pbs);
+            out.non_pbs.push(non_pbs);
         }
         out
     }

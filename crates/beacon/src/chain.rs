@@ -66,7 +66,8 @@ impl BeaconChain {
         for member in self.schedule.committee(slot).members {
             self.rewards.credit_attestation(member);
         }
-        self.outcomes.push((slot, proposer, SlotOutcome::Proposed(block_hash)));
+        self.outcomes
+            .push((slot, proposer, SlotOutcome::Proposed(block_hash)));
         self.head = block_hash;
     }
 
@@ -121,11 +122,7 @@ mod tests {
 
     fn chain() -> BeaconChain {
         let seeds = SeedDomain::new(3);
-        let reg = ValidatorRegistry::build(
-            &[EntityProfile::hobbyist(100.0, true)],
-            200,
-            &seeds,
-        );
+        let reg = ValidatorRegistry::build(&[EntityProfile::hobbyist(100.0, true)], 200, &seeds);
         BeaconChain::new(ProposerSchedule::new(&reg, &seeds))
     }
 

@@ -105,11 +105,7 @@ mod tests {
 
     fn schedule(n: u32) -> (ProposerSchedule, ValidatorRegistry) {
         let seeds = SeedDomain::new(11);
-        let reg = ValidatorRegistry::build(
-            &[EntityProfile::hobbyist(100.0, false)],
-            n,
-            &seeds,
-        );
+        let reg = ValidatorRegistry::build(&[EntityProfile::hobbyist(100.0, false)], n, &seeds);
         (ProposerSchedule::new(&reg, &seeds), reg)
     }
 
@@ -181,8 +177,16 @@ mod tests {
     #[test]
     fn different_epochs_shuffle_differently() {
         let (s, _) = schedule(100);
-        let a: Vec<_> = s.epoch_proposers(Epoch(0)).into_iter().map(|(_, v)| v).collect();
-        let b: Vec<_> = s.epoch_proposers(Epoch(1)).into_iter().map(|(_, v)| v).collect();
+        let a: Vec<_> = s
+            .epoch_proposers(Epoch(0))
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
+        let b: Vec<_> = s
+            .epoch_proposers(Epoch(1))
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
         assert_ne!(a, b);
     }
 }

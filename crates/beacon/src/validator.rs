@@ -11,9 +11,7 @@ use serde::{Deserialize, Serialize};
 use simcore::SeedDomain;
 
 /// Index of a validator in the registry.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 pub struct ValidatorId(pub u32);
 
 /// The stake every validator must lock (32 ETH).
@@ -176,8 +174,7 @@ impl ValidatorRegistry {
         if self.validators.is_empty() {
             return 0.0;
         }
-        self.validators.iter().filter(|v| v.mev_boost).count() as f64
-            / self.validators.len() as f64
+        self.validators.iter().filter(|v| v.mev_boost).count() as f64 / self.validators.len() as f64
     }
 
     /// Flips the MEV-Boost flag of a fraction of non-PBS validators,
@@ -190,9 +187,7 @@ impl ValidatorRegistry {
         // Deterministic pseudo-random order from the validator id hash so
         // adoption spreads across entities rather than by registry order.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by_key(|&i| {
-            eth_types::H256::derive(&format!("adoption:{i}")).to_seed()
-        });
+        order.sort_by_key(|&i| eth_types::H256::derive(&format!("adoption:{i}")).to_seed());
         for (rank, &i) in order.iter().enumerate() {
             self.validators[i].mev_boost = rank < want;
         }
@@ -233,7 +228,9 @@ mod tests {
     fn pool_validators_share_fee_recipient_hobbyists_do_not() {
         let r = registry();
         let lido: Vec<_> = r.iter().filter(|v| v.entity == 0).collect();
-        assert!(lido.windows(2).all(|w| w[0].fee_recipient == w[1].fee_recipient));
+        assert!(lido
+            .windows(2)
+            .all(|w| w[0].fee_recipient == w[1].fee_recipient));
         let hobby: Vec<_> = r.iter().filter(|v| v.entity == 2).take(10).collect();
         let mut recipients: Vec<_> = hobby.iter().map(|v| v.fee_recipient).collect();
         recipients.sort();
@@ -245,13 +242,19 @@ mod tests {
     fn censoring_flag_propagates() {
         let r = registry();
         assert!(r.iter().filter(|v| v.entity == 1).all(|v| v.censoring_only));
-        assert!(r.iter().filter(|v| v.entity == 0).all(|v| !v.censoring_only));
+        assert!(r
+            .iter()
+            .filter(|v| v.entity == 0)
+            .all(|v| !v.censoring_only));
     }
 
     #[test]
     fn total_stake_is_32_eth_each() {
         let r = registry();
-        assert_eq!(r.total_stake(), Wei(1000 * 32 * eth_types::units::WEI_PER_ETH));
+        assert_eq!(
+            r.total_stake(),
+            Wei(1000 * 32 * eth_types::units::WEI_PER_ETH)
+        );
     }
 
     #[test]

@@ -19,11 +19,7 @@ fn bench_ablation_builder(c: &mut Criterion) {
         b.iter(|| black_box(Simulation::new(cfg(|_| {})).run()))
     });
     g.bench_function("naive", |b| {
-        b.iter(|| {
-            black_box(
-                Simulation::new(cfg(|c| c.knobs.sophisticated_builders = false)).run(),
-            )
-        })
+        b.iter(|| black_box(Simulation::new(cfg(|c| c.knobs.sophisticated_builders = false)).run()))
     });
     g.finish();
 }
@@ -34,9 +30,7 @@ fn bench_ablation_lag(c: &mut Criterion) {
     for (name, lag) in [("lag0", Some(0u32)), ("lag2", Some(2)), ("never", None)] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                black_box(
-                    Simulation::new(cfg(|c| c.knobs.relay_blacklist_lag_days = lag)).run(),
-                )
+                black_box(Simulation::new(cfg(|c| c.knobs.relay_blacklist_lag_days = lag)).run())
             })
         });
     }
@@ -51,9 +45,7 @@ fn bench_ablation_detectors(c: &mut Criterion) {
         ("eigenphi_only", [true, false, false]),
     ] {
         g.bench_function(name, |b| {
-            b.iter(|| {
-                black_box(Simulation::new(cfg(|c| c.knobs.label_sources = sources)).run())
-            })
+            b.iter(|| black_box(Simulation::new(cfg(|c| c.knobs.label_sources = sources)).run()))
         });
     }
     g.finish();
@@ -64,11 +56,7 @@ fn bench_ablation_privateflow(c: &mut Criterion) {
     g.sample_size(10);
     for (name, scale) in [("calibrated", 1.0), ("all_public", 0.0)] {
         g.bench_function(name, |b| {
-            b.iter(|| {
-                black_box(
-                    Simulation::new(cfg(|c| c.knobs.private_flow_scale = scale)).run(),
-                )
-            })
+            b.iter(|| black_box(Simulation::new(cfg(|c| c.knobs.private_flow_scale = scale)).run()))
         });
     }
     g.finish();

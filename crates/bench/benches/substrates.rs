@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use defi::DefiWorld;
-use eth_types::{keccak256, Address, Gas, GasPrice, Slot, Token, Transaction, TxEffect, UnixTime, Wei, H256};
+use eth_types::{
+    keccak256, Address, Gas, GasPrice, Slot, Token, Transaction, TxEffect, UnixTime, Wei, H256,
+};
 use execution::{BlockExecutor, StateLedger};
 use mev::{detect_block, SandwichAttacker};
 use netsim::{GossipNetwork, NodeId, Topology};
@@ -18,7 +20,9 @@ fn bench_keccak(c: &mut Criterion) {
     for size in [32usize, 136, 1024] {
         let data = vec![0xabu8; size];
         g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("{size}B"), |b| b.iter(|| black_box(keccak256(&data))));
+        g.bench_function(format!("{size}B"), |b| {
+            b.iter(|| black_box(keccak256(&data)))
+        });
     }
     g.finish();
 }
@@ -85,7 +89,11 @@ fn block_of(n: usize) -> (Vec<Transaction>, StateLedger, DefiWorld) {
             )
         })
         .collect();
-    (txs, StateLedger::new(Wei::from_eth(1000.0)), DefiWorld::standard(0))
+    (
+        txs,
+        StateLedger::new(Wei::from_eth(1000.0)),
+        DefiWorld::standard(0),
+    )
 }
 
 fn bench_executor(c: &mut Criterion) {
@@ -117,19 +125,27 @@ fn bench_executor(c: &mut Criterion) {
 
 fn bench_builder(c: &mut Criterion) {
     let (txs, _, _) = block_of(150);
-    let mut builder = Builder::new(
+    let builder = Builder::new(
         BuilderId(0),
-        BuilderProfile::new("b", MarginPolicy::FixedEth(0.001), SubsidyPolicy::Never, 1.0),
-        SeedDomain::new(1).rng("b"),
+        BuilderProfile::new(
+            "b",
+            MarginPolicy::FixedEth(0.001),
+            SubsidyPolicy::Never,
+            1.0,
+        ),
     );
+    let mut rng = SeedDomain::new(1).rng("b");
     c.bench_function("builder_build_150_mempool_txs", |b| {
         b.iter(|| {
-            black_box(builder.build(&BuildInputs {
-                base_fee: GasPrice::from_gwei(10.0),
-                gas_limit: Gas::BLOCK_LIMIT,
-                mempool: &txs,
-                bundles: &[],
-            }))
+            black_box(builder.build(
+                &BuildInputs {
+                    base_fee: GasPrice::from_gwei(10.0),
+                    gas_limit: Gas::BLOCK_LIMIT,
+                    mempool: &txs,
+                    bundles: &[],
+                },
+                &mut rng,
+            ))
         })
     });
 }
@@ -142,7 +158,14 @@ fn bench_detector(c: &mut Criterion) {
     let front_out = world.pool(0).unwrap().quote(Token::Weth, front_in).unwrap();
     for (sender, nonce, pool, tin, tout, amt) in [
         ("attacker", 0u64, 0u32, Token::Weth, Token::Usdc, front_in),
-        ("victim", 0, 0, Token::Weth, Token::Usdc, 10 * 10u128.pow(18)),
+        (
+            "victim",
+            0,
+            0,
+            Token::Weth,
+            Token::Usdc,
+            10 * 10u128.pow(18),
+        ),
         ("attacker", 1, 0, Token::Usdc, Token::Weth, front_out),
         ("noise1", 0, 1, Token::Weth, Token::Usdc, 10u128.pow(18)),
         ("noise2", 0, 2, Token::Weth, Token::Usdt, 10u128.pow(18)),
@@ -178,7 +201,9 @@ fn bench_detector(c: &mut Criterion) {
             &mut world,
         )
         .block;
-    c.bench_function("mev_detect_block", |b| b.iter(|| black_box(detect_block(&block))));
+    c.bench_function("mev_detect_block", |b| {
+        b.iter(|| black_box(detect_block(&block)))
+    });
 }
 
 fn bench_gossip(c: &mut Criterion) {

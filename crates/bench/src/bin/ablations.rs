@@ -48,7 +48,11 @@ fn main() {
 
     // 2. Relay blacklist lag.
     println!("\n[2] relay blacklist lag → compliant-relay sanctioned leakage (§6)");
-    for (name, lag) in [("lag 0 days", Some(0)), ("lag 2 days", Some(2)), ("never updated", None)] {
+    for (name, lag) in [
+        ("lag 0 days", Some(0)),
+        ("lag 2 days", Some(2)),
+        ("never updated", None),
+    ] {
         let run = run_with(days, |c| c.knobs.relay_blacklist_lag_days = lag);
         let leaks = compliant_relay_leaks(&run);
         let ratio = censorship::non_pbs_to_pbs_sanctioned_ratio(&run);
@@ -75,7 +79,11 @@ fn main() {
 
     // 4. Private order flow.
     println!("\n[4] private order flow → Fig 14/15 gaps");
-    for (name, scale) in [("calibrated (1.0)", 1.0), ("halved (0.5)", 0.5), ("all public (0.0)", 0.0)] {
+    for (name, scale) in [
+        ("calibrated (1.0)", 1.0),
+        ("halved (0.5)", 0.5),
+        ("all public (0.0)", 0.0),
+    ] {
         let run = run_with(days, |c| c.knobs.private_flow_scale = scale);
         let privacy = private_flow::daily_private_share(&run);
         let mev = mev_stats::daily_mev_per_block(&run);

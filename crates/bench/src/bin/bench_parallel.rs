@@ -1,0 +1,74 @@
+//! Measures end-to-end simulation throughput (blocks/s) at 1, 2 and 4
+//! rayon threads and records the results in `BENCH_parallel.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_parallel
+//! PBS_BENCH_DAYS=60 cargo run --release -p bench --bin bench_parallel
+//! ```
+//!
+//! The slot auction's block-building phase and the analysis per-day pass
+//! both fan out over the global rayon pool, so thread count changes the
+//! wall clock but — by the determinism contract — never the artifacts.
+//! The JSON records the host's available parallelism alongside the
+//! measurements: on a single-core host the thread counts collapse to the
+//! same wall clock and the speedup column reads ~1.0 by construction.
+
+use scenario::{ScenarioConfig, Simulation};
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One timed simulation at a fixed global thread count.
+fn measure(threads: usize, days: u32) -> (usize, f64) {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build_global()
+        .expect("vendored rayon pool config is infallible");
+    let mut cfg = ScenarioConfig {
+        seed: 42,
+        ..ScenarioConfig::default()
+    };
+    cfg.calendar = eth_types::StudyCalendar::new(40, days);
+    let start = std::time::Instant::now();
+    let run = Simulation::new(cfg).run();
+    let secs = start.elapsed().as_secs_f64();
+    (run.blocks.len(), run.blocks.len() as f64 / secs)
+}
+
+fn main() -> std::io::Result<()> {
+    let days = env_u32("PBS_BENCH_DAYS", 30);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut rows = Vec::new();
+    let mut baseline = 0.0f64;
+    for threads in [1usize, 2, 4] {
+        // Warm-up pass on the first configuration so allocator and page
+        // cache effects don't penalise the baseline.
+        if threads == 1 {
+            let _ = measure(1, days.min(5));
+        }
+        let (blocks, bps) = measure(threads, days);
+        if threads == 1 {
+            baseline = bps;
+        }
+        let speedup = if baseline > 0.0 { bps / baseline } else { 1.0 };
+        eprintln!("threads={threads}: {blocks} blocks, {bps:.0} blocks/s ({speedup:.2}x)");
+        rows.push(format!(
+            "    {{ \"threads\": {threads}, \"blocks\": {blocks}, \"blocks_per_sec\": {bps:.1}, \"speedup_vs_1\": {speedup:.3} }}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"slot auction + analysis parallel throughput\",\n  \"seed\": 42,\n  \"days\": {days},\n  \"blocks_per_day\": 40,\n  \"host_available_parallelism\": {cores},\n  \"note\": \"same seed yields byte-identical artifacts at every thread count; speedup requires a multi-core host\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_parallel.json", &json)?;
+    eprintln!("wrote BENCH_parallel.json");
+    Ok(())
+}

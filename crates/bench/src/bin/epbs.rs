@@ -78,7 +78,5 @@ fn main() {
     );
     let m_sq = mev_stats::daily_mev_per_block(&status_quo).pbs_mean();
     let m_e = mev_stats::daily_mev_per_block(&enshrined).pbs_mean();
-    println!(
-        "  • MEV extraction is unchanged: {m_sq:.3} → {m_e:.3} MEV txs per PBS block"
-    );
+    println!("  • MEV extraction is unchanged: {m_sq:.3} → {m_e:.3} MEV txs per PBS block");
 }

@@ -27,7 +27,9 @@ fn env_u32(name: &str, default: u32) -> u32 {
 fn main() -> std::io::Result<()> {
     let bpd = env_u32("PBS_BPD", 360);
     let seed = env_u32("PBS_SEED", 42) as u64;
-    let out: PathBuf = std::env::var("PBS_OUT").unwrap_or_else(|_| "out".into()).into();
+    let out: PathBuf = std::env::var("PBS_OUT")
+        .unwrap_or_else(|_| "out".into())
+        .into();
 
     let mut cfg = ScenarioConfig {
         seed,
@@ -35,9 +37,7 @@ fn main() -> std::io::Result<()> {
     };
     cfg.calendar = eth_types::StudyCalendar::new(bpd, 198);
 
-    eprintln!(
-        "simulating the full study window: 198 days × {bpd} blocks/day (seed {seed}) …"
-    );
+    eprintln!("simulating the full study window: 198 days × {bpd} blocks/day (seed {seed}) …");
     let start = std::time::Instant::now();
     let run = Simulation::new(cfg).run();
     eprintln!(

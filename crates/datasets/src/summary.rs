@@ -31,16 +31,66 @@ pub fn table1_rows(run: &RunArtifacts) -> Vec<Table1Row> {
         source: source.to_string(),
     };
     vec![
-        row("Ethereum blockchain", t.blocks, "blocks", "execution substrate (Erigon-equivalent)"),
-        row("Ethereum blockchain", t.transactions, "transactions", "execution substrate (Erigon-equivalent)"),
-        row("Ethereum blockchain", t.logs, "logs", "execution substrate (Erigon-equivalent)"),
-        row("Ethereum blockchain", t.traces, "traces", "execution substrate (Erigon-equivalent)"),
-        row("MEV labels", t.labels_per_source[0], "tx labels", "EigenPhi-equivalent detector"),
-        row("MEV labels", t.labels_per_source[1], "tx labels", "ZeroMev-equivalent detector"),
-        row("MEV labels", t.labels_per_source[2], "tx labels", "Weintraub-script-equivalent detector"),
-        row("mempool data", t.mempool_entries, "tx arrival times", "seven-node observatory (mempool.guru-equivalent)"),
-        row("relay data", t.relay_rows, "proposed blocks", "relay crawl (Table 2 endpoints)"),
-        row("OFAC", t.ofac_addresses, "addresses", "treasury.gov-equivalent schedule"),
+        row(
+            "Ethereum blockchain",
+            t.blocks,
+            "blocks",
+            "execution substrate (Erigon-equivalent)",
+        ),
+        row(
+            "Ethereum blockchain",
+            t.transactions,
+            "transactions",
+            "execution substrate (Erigon-equivalent)",
+        ),
+        row(
+            "Ethereum blockchain",
+            t.logs,
+            "logs",
+            "execution substrate (Erigon-equivalent)",
+        ),
+        row(
+            "Ethereum blockchain",
+            t.traces,
+            "traces",
+            "execution substrate (Erigon-equivalent)",
+        ),
+        row(
+            "MEV labels",
+            t.labels_per_source[0],
+            "tx labels",
+            "EigenPhi-equivalent detector",
+        ),
+        row(
+            "MEV labels",
+            t.labels_per_source[1],
+            "tx labels",
+            "ZeroMev-equivalent detector",
+        ),
+        row(
+            "MEV labels",
+            t.labels_per_source[2],
+            "tx labels",
+            "Weintraub-script-equivalent detector",
+        ),
+        row(
+            "mempool data",
+            t.mempool_entries,
+            "tx arrival times",
+            "seven-node observatory (mempool.guru-equivalent)",
+        ),
+        row(
+            "relay data",
+            t.relay_rows,
+            "proposed blocks",
+            "relay crawl (Table 2 endpoints)",
+        ),
+        row(
+            "OFAC",
+            t.ofac_addresses,
+            "addresses",
+            "treasury.gov-equivalent schedule",
+        ),
     ]
 }
 
@@ -74,7 +124,13 @@ mod tests {
         assert_eq!(rows[1].entries, run.totals.transactions);
         assert!(rows.iter().all(|r| !r.source.is_empty()));
         // Every dataset group the paper lists appears.
-        for group in ["Ethereum blockchain", "MEV labels", "mempool data", "relay data", "OFAC"] {
+        for group in [
+            "Ethereum blockchain",
+            "MEV labels",
+            "mempool data",
+            "relay data",
+            "OFAC",
+        ] {
             assert!(rows.iter().any(|r| r.dataset == group), "missing {group}");
         }
         let text = render_table1(&rows);

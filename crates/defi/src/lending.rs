@@ -194,8 +194,8 @@ impl LendingMarket {
         } else {
             0.0
         };
-        let seize_raw = ((collateral_units
-            * 10f64.powi(p.collateral_token.decimals() as i32)) as u128)
+        let seize_raw = ((collateral_units * 10f64.powi(p.collateral_token.decimals() as i32))
+            as u128)
             .min(p.collateral);
 
         p.debt -= repay;
@@ -295,7 +295,11 @@ mod tests {
         assert_eq!(data.debt_repaid, 5_000 * 10u128.pow(6));
         let seized_weth = data.collateral_seized as f64 / 1e18;
         assert!((seized_weth - 4.8).abs() < 0.001, "seized {seized_weth}");
-        assert!((out.profit_usd - 400.0).abs() < 1.0, "profit {}", out.profit_usd);
+        assert!(
+            (out.profit_usd - 400.0).abs() < 1.0,
+            "profit {}",
+            out.profit_usd
+        );
         // Position remains with half debt.
         let p = m.position(Address::derive("borrower")).unwrap();
         assert_eq!(p.debt, 5_000 * 10u128.pow(6));

@@ -29,11 +29,21 @@ impl DefiWorld {
         let mut id: PoolId = 0;
         let weth = 10u128.pow(18);
         // Two venues per WETH/stable pair with slightly different depth.
-        for (stable, depth_eth) in [(Token::Usdc, 4000u128), (Token::Usdt, 2500), (Token::Dai, 2000)] {
+        for (stable, depth_eth) in [
+            (Token::Usdc, 4000u128),
+            (Token::Usdt, 2500),
+            (Token::Dai, 2000),
+        ] {
             for venue in 0..2u32 {
                 let depth = depth_eth * (10 - venue as u128) / 10;
                 let stable_units = depth * 1500 * 10u128.pow(stable.decimals() as u32);
-                pools.push(Pool::new(id, Token::Weth, stable, depth * weth, stable_units));
+                pools.push(Pool::new(
+                    id,
+                    Token::Weth,
+                    stable,
+                    depth * weth,
+                    stable_units,
+                ));
                 id += 1;
             }
         }
@@ -155,7 +165,10 @@ impl EffectBackend for DefiWorld {
                     Err(_) => EffectOutcome::Reverted,
                 }
             }
-            TxEffect::Liquidate { market: _, borrower } => {
+            TxEffect::Liquidate {
+                market: _,
+                borrower,
+            } => {
                 match self.market.liquidate(tx.sender, *borrower, &self.oracle) {
                     Ok(outcome) => {
                         // The liquidation bonus flows to the liquidator as an
@@ -196,7 +209,13 @@ mod tests {
     use crate::lending::Position;
     use eth_types::{Address, GasPrice};
 
-    fn swap_tx(pool: PoolId, token_in: Token, token_out: Token, amount_in: u128, min_out: u128) -> Transaction {
+    fn swap_tx(
+        pool: PoolId,
+        token_in: Token,
+        token_out: Token,
+        amount_in: u128,
+        min_out: u128,
+    ) -> Transaction {
         let mut tx = Transaction::transfer(
             Address::derive("trader"),
             Address::derive("router"),
@@ -333,9 +352,15 @@ mod tests {
             panic!("expected two venues");
         };
         // Push venue a's price away.
-        w.pool_mut(a).unwrap().swap(Token::Weth, 200 * 10u128.pow(18), 0).unwrap();
+        w.pool_mut(a)
+            .unwrap()
+            .swap(Token::Weth, 200 * 10u128.pow(18), 0)
+            .unwrap();
         let pa = w.pool(a).unwrap().price0_in_1();
         let pb = w.pool(b).unwrap().price0_in_1();
-        assert!((pa - pb).abs() / pb > 0.01, "venues should diverge: {pa} vs {pb}");
+        assert!(
+            (pa - pb).abs() / pb > 0.01,
+            "venues should diverge: {pa} vs {pb}"
+        );
     }
 }

@@ -41,9 +41,7 @@ pub use codec::{Decodable, Decoder, Encodable, Encoder};
 pub use hash::keccak256;
 pub use log::{pad_address, unpad_address, Log, Receipt, TxStatus};
 pub use primitives::{Address, BlsPublicKey, H256};
-pub use time::{
-    DayIndex, Epoch, Slot, StudyCalendar, UnixTime, SECONDS_PER_SLOT, SLOTS_PER_EPOCH,
-};
+pub use time::{DayIndex, Epoch, Slot, StudyCalendar, UnixTime, SECONDS_PER_SLOT, SLOTS_PER_EPOCH};
 pub use token::{Token, TokenAmount, TokenRegistry};
 pub use trace::{TraceAction, TraceKind};
 pub use tx::{Transaction, TxEffect, TxHash, TxPrivacy};
@@ -71,7 +69,10 @@ impl std::fmt::Display for EthTypesError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::BadHexLength { expected, found } => {
-                write!(f, "bad hex length: expected {expected} digits, found {found}")
+                write!(
+                    f,
+                    "bad hex length: expected {expected} digits, found {found}"
+                )
             }
             Self::BadHexDigit(c) => write!(f, "bad hex digit: {c:?}"),
             Self::UnexpectedEof => write!(f, "unexpected end of input while decoding"),

@@ -146,17 +146,17 @@ pub struct BlsPublicKey(pub [u8; 48]);
 // serde does not implement the array traits beyond 32 elements, so the
 // 48-byte key serializes as its hex string form.
 impl Serialize for BlsPublicKey {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&format!("{self}"))
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(format!("{self}"))
     }
 }
 
-impl<'de> Deserialize<'de> for BlsPublicKey {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
+impl Deserialize for BlsPublicKey {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let s = String::from_value(v)?;
         parse_hex::<48>(&s)
             .map(BlsPublicKey)
-            .map_err(serde::de::Error::custom)
+            .map_err(|e| serde::DeError::msg(e.to_string()))
     }
 }
 
@@ -243,7 +243,10 @@ mod tests {
     #[test]
     fn parse_rejects_bad_digit() {
         let bad = format!("0x{}", "zz".repeat(20));
-        assert_eq!(Address::from_hex(&bad), Err(EthTypesError::BadHexDigit('z')));
+        assert_eq!(
+            Address::from_hex(&bad),
+            Err(EthTypesError::BadHexDigit('z'))
+        );
     }
 
     #[test]

@@ -27,9 +27,7 @@ pub const STUDY_END_BLOCK_NUMBER: u64 = 16_950_602;
 pub const STUDY_DAYS: u32 = 198;
 
 /// A beacon-chain slot number.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
 pub struct Slot(pub u64);
 
 impl Slot {
@@ -67,9 +65,7 @@ impl std::fmt::Display for Slot {
 }
 
 /// A beacon-chain epoch (32 slots, 6.4 minutes).
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
 pub struct Epoch(pub u64);
 
 impl Epoch {
@@ -115,9 +111,7 @@ impl UnixTime {
 }
 
 /// A zero-based day index within the study window: day 0 is 15 Sep 2022.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
 pub struct DayIndex(pub u32);
 
 impl DayIndex {
@@ -146,7 +140,10 @@ impl DayIndex {
             }
             rem -= len;
         }
-        panic!("day index {} outside the {}-day study window", self.0, STUDY_DAYS);
+        panic!(
+            "day index {} outside the {}-day study window",
+            self.0, STUDY_DAYS
+        );
     }
 
     /// Renders as e.g. `2022-11-10`.

@@ -232,7 +232,10 @@ mod tests {
         for t in Token::MONITORED {
             assert_eq!(Token::from_tag(t.tag()), Some(t));
         }
-        assert_eq!(Token::from_tag(Token::LongTail(9).tag()), Some(Token::LongTail(9)));
+        assert_eq!(
+            Token::from_tag(Token::LongTail(9).tag()),
+            Some(Token::LongTail(9))
+        );
         assert_eq!(Token::from_tag(0x30), None);
     }
 

@@ -293,7 +293,10 @@ mod tests {
 
     #[test]
     fn generic_effect_adds_extra_gas() {
-        assert_eq!(TxEffect::Generic { extra_gas: 79_000 }.gas_used(), Gas(100_000));
+        assert_eq!(
+            TxEffect::Generic { extra_gas: 79_000 }.gas_used(),
+            Gas(100_000)
+        );
     }
 
     #[test]

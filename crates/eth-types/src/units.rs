@@ -15,9 +15,7 @@ pub const WEI_PER_ETH: u128 = 1_000_000_000_000_000_000;
 pub const WEI_PER_GWEI: u128 = 1_000_000_000;
 
 /// An amount of wei — Ethereum's base currency unit.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
 pub struct Wei(pub u128);
 
 impl Wei {
@@ -139,9 +137,7 @@ impl std::fmt::Display for Wei {
 }
 
 /// An amount of gas — the execution layer's unit of computation.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
 pub struct Gas(pub u64);
 
 impl Gas {
@@ -204,9 +200,7 @@ impl std::fmt::Display for Gas {
 }
 
 /// A price per unit of gas, in wei — base fees and priority fees.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
 pub struct GasPrice(pub u128);
 
 impl GasPrice {
@@ -215,7 +209,10 @@ impl GasPrice {
 
     /// Constructs from gwei-per-gas.
     pub fn from_gwei(gwei: f64) -> Self {
-        assert!(gwei.is_finite() && gwei >= 0.0, "GasPrice::from_gwei({gwei})");
+        assert!(
+            gwei.is_finite() && gwei >= 0.0,
+            "GasPrice::from_gwei({gwei})"
+        );
         GasPrice((gwei * WEI_PER_GWEI as f64) as u128)
     }
 

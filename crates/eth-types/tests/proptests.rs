@@ -2,7 +2,7 @@
 //! hex round-trips, wei arithmetic invariants, and calendar consistency.
 
 use eth_types::codec::{Decodable, Encodable};
-use eth_types::{Address, DayIndex, Gas, GasPrice, H256, Slot, StudyCalendar, Wei};
+use eth_types::{Address, DayIndex, Gas, GasPrice, Slot, StudyCalendar, Wei, H256};
 use proptest::prelude::*;
 
 proptest! {

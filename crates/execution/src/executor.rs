@@ -182,34 +182,37 @@ impl BlockExecutor {
                 TxEffect::TokenTransfer { amount, recipient } => {
                     logs.push(Log::erc20_transfer(amount, tx.sender, *recipient));
                 }
-                TxEffect::Swap { .. } | TxEffect::Liquidate { .. } | TxEffect::OracleUpdate { .. } => {
-                    match backend.apply(tx) {
-                        EffectOutcome::Applied {
-                            logs: effect_logs,
-                            transfers,
-                        } => {
-                            logs.extend(effect_logs);
-                            for (from, to, value) in transfers {
-                                if state.transfer(from, to, value).is_ok() {
-                                    traces.push(TraceAction {
-                                        tx_hash: tx.hash,
-                                        from,
-                                        to,
-                                        value,
-                                        kind: TraceKind::InternalCall,
-                                    });
-                                }
+                TxEffect::Swap { .. }
+                | TxEffect::Liquidate { .. }
+                | TxEffect::OracleUpdate { .. } => match backend.apply(tx) {
+                    EffectOutcome::Applied {
+                        logs: effect_logs,
+                        transfers,
+                    } => {
+                        logs.extend(effect_logs);
+                        for (from, to, value) in transfers {
+                            if state.transfer(from, to, value).is_ok() {
+                                traces.push(TraceAction {
+                                    tx_hash: tx.hash,
+                                    from,
+                                    to,
+                                    value,
+                                    kind: TraceKind::InternalCall,
+                                });
                             }
                         }
-                        EffectOutcome::Reverted => status = TxStatus::Reverted,
                     }
-                }
+                    EffectOutcome::Reverted => status = TxStatus::Reverted,
+                },
             }
 
             // Coinbase tip: an internal transfer to the fee recipient,
             // executed only when the carrying transaction succeeded.
             if status == TxStatus::Success && !tx.coinbase_tip.is_zero() {
-                if state.transfer(tx.sender, fee_recipient, tx.coinbase_tip).is_ok() {
+                if state
+                    .transfer(tx.sender, fee_recipient, tx.coinbase_tip)
+                    .is_ok()
+                {
                     traces.push(TraceAction {
                         tx_hash: tx.hash,
                         from: tx.sender,
@@ -273,11 +276,7 @@ mod tests {
     use super::*;
     use eth_types::{Token, TokenAmount, H256};
 
-    fn exec(
-        txs: &[Transaction],
-        base_gwei: f64,
-        state: &mut StateLedger,
-    ) -> ExecutedBlock {
+    fn exec(txs: &[Transaction], base_gwei: f64, state: &mut StateLedger) -> ExecutedBlock {
         BlockExecutor::default().execute(
             Slot(1),
             100,

@@ -137,7 +137,11 @@ mod tests {
         // Alternating full/empty blocks keep the fee bounded.
         let mut market = FeeMarket::new(gp(20.0), Gas::BLOCK_TARGET);
         for i in 0..200 {
-            market.on_block(if i % 2 == 0 { Gas::BLOCK_LIMIT } else { Gas::ZERO });
+            market.on_block(if i % 2 == 0 {
+                Gas::BLOCK_LIMIT
+            } else {
+                Gas::ZERO
+            });
         }
         let g = market.base_fee().as_gwei();
         assert!(g > 1.0 && g < 100.0, "base fee drifted to {g} gwei");

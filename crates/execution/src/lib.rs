@@ -21,9 +21,7 @@ pub mod feemarket;
 pub mod mempool;
 pub mod state;
 
-pub use executor::{
-    BlockExecutor, EffectBackend, EffectOutcome, ExecutedBlock, NullBackend,
-};
+pub use executor::{BlockExecutor, EffectBackend, EffectOutcome, ExecutedBlock, NullBackend};
 pub use feemarket::{next_base_fee, FeeMarket, MIN_BASE_FEE};
 pub use mempool::Mempool;
 pub use state::StateLedger;

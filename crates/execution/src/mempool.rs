@@ -104,11 +104,7 @@ impl Mempool {
     /// Selects transactions by raw gas price (the historical naive proposer
     /// strategy): sorts by priority-fee cap descending, ignoring coinbase
     /// tips, and packs greedily.
-    pub fn select_gas_price_ordered(
-        &self,
-        base_fee: GasPrice,
-        gas_limit: Gas,
-    ) -> Vec<Transaction> {
+    pub fn select_gas_price_ordered(&self, base_fee: GasPrice, gas_limit: Gas) -> Vec<Transaction> {
         let mut candidates: Vec<&Transaction> = self
             .txs
             .values()
@@ -196,7 +192,10 @@ mod tests {
         m.insert(tx("mid", 2.0, 0.0, 0));
         assert!(m.insert(tx("high", 3.0, 0.0, 0)));
         assert_eq!(m.len(), 2);
-        let tips: Vec<f64> = m.iter().map(|t| t.max_priority_fee_per_gas.as_gwei()).collect();
+        let tips: Vec<f64> = m
+            .iter()
+            .map(|t| t.max_priority_fee_per_gas.as_gwei())
+            .collect();
         assert!(tips.iter().all(|&t| t >= 2.0));
     }
 

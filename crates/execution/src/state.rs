@@ -236,7 +236,9 @@ mod tests {
     #[test]
     fn conservation_survives_many_random_ops() {
         let mut l = StateLedger::new(Wei::from_eth(10.0));
-        let accounts: Vec<Address> = (0..8).map(|i| Address::derive(&format!("acc{i}"))).collect();
+        let accounts: Vec<Address> = (0..8)
+            .map(|i| Address::derive(&format!("acc{i}")))
+            .collect();
         for i in 0..200usize {
             let from = accounts[i % 8];
             let to = accounts[(i * 3 + 1) % 8];

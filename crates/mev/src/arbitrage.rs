@@ -213,11 +213,21 @@ mod tests {
         assert!(bundle.expected_profit > Wei::ZERO);
 
         // The legs form a closed WETH cycle across two different pools.
-        let TxEffect::Swap { pool: p1, token_in: i1, token_out: o1, .. } = bundle.txs[0].effect
+        let TxEffect::Swap {
+            pool: p1,
+            token_in: i1,
+            token_out: o1,
+            ..
+        } = bundle.txs[0].effect
         else {
             panic!()
         };
-        let TxEffect::Swap { pool: p2, token_in: i2, token_out: o2, .. } = bundle.txs[1].effect
+        let TxEffect::Swap {
+            pool: p2,
+            token_in: i2,
+            token_out: o2,
+            ..
+        } = bundle.txs[1].effect
         else {
             panic!()
         };
@@ -234,10 +244,20 @@ mod tests {
         let bundle = arber()
             .best_opportunity(&world, GasPrice::from_gwei(10.0), &mut nonce)
             .unwrap();
-        let TxEffect::Swap { pool: p1, amount_in: in1, .. } = bundle.txs[0].effect else {
+        let TxEffect::Swap {
+            pool: p1,
+            amount_in: in1,
+            ..
+        } = bundle.txs[0].effect
+        else {
             panic!()
         };
-        let TxEffect::Swap { pool: p2, token_in: t2, .. } = bundle.txs[1].effect else {
+        let TxEffect::Swap {
+            pool: p2,
+            token_in: t2,
+            ..
+        } = bundle.txs[1].effect
+        else {
             panic!()
         };
         let mut w = world.clone();
@@ -262,10 +282,19 @@ mod tests {
             .unwrap();
         let mut w = world.clone();
         for tx in &bundle.txs {
-            let TxEffect::Swap { pool, token_in, amount_in, .. } = tx.effect else {
+            let TxEffect::Swap {
+                pool,
+                token_in,
+                amount_in,
+                ..
+            } = tx.effect
+            else {
                 panic!()
             };
-            w.pool_mut(pool).unwrap().swap(token_in, amount_in, 0).unwrap();
+            w.pool_mut(pool)
+                .unwrap()
+                .swap(token_in, amount_in, 0)
+                .unwrap();
         }
         let gap_after = {
             let a = w.pool(0).unwrap().price0_in_1();

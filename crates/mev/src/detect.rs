@@ -151,9 +151,7 @@ pub fn detect_block(block: &Block) -> BlockMevReport {
 mod tests {
     use super::*;
     use defi::{DefiWorld, Position};
-    use eth_types::{
-        GasPrice, Slot, Token, Transaction, TxEffect, UnixTime, Wei, H256,
-    };
+    use eth_types::{GasPrice, Slot, Token, Transaction, TxEffect, UnixTime, Wei, H256};
     use execution::{BlockExecutor, StateLedger};
 
     /// Executes a tx list against a fresh world and returns the block.
@@ -222,7 +220,14 @@ mod tests {
         let front_out = world.pool(0).unwrap().quote(Token::Weth, front_in).unwrap();
         let txs = vec![
             swap_tx("attacker", 0, 0, Token::Weth, Token::Usdc, front_in),
-            swap_tx("victim", 0, 0, Token::Weth, Token::Usdc, 10 * 10u128.pow(18)),
+            swap_tx(
+                "victim",
+                0,
+                0,
+                Token::Weth,
+                Token::Usdc,
+                10 * 10u128.pow(18),
+            ),
             swap_tx("attacker", 1, 0, Token::Usdc, Token::Weth, front_out),
         ];
         let block = run_block(&mut world, txs);
@@ -301,7 +306,14 @@ mod tests {
         let front_out = world.pool(0).unwrap().quote(Token::Weth, front_in).unwrap();
         let txs = vec![
             swap_tx("attacker", 0, 0, Token::Weth, Token::Usdc, front_in),
-            swap_tx("victim", 0, 0, Token::Weth, Token::Usdc, 30 * 10u128.pow(18)),
+            swap_tx(
+                "victim",
+                0,
+                0,
+                Token::Weth,
+                Token::Usdc,
+                30 * 10u128.pow(18),
+            ),
             swap_tx("attacker", 1, 0, Token::Usdc, Token::Weth, front_out),
         ];
         let block = run_block(&mut world, txs);
@@ -336,6 +348,9 @@ mod tests {
         let txs = vec![bundle.txs[0].clone(), victim, bundle.txs[1].clone()];
         let block = run_block(&mut world, txs);
         let report = detect_block(&block);
-        assert_eq!(report.sandwich_attacks, 1, "detector must find the planted bundle");
+        assert_eq!(
+            report.sandwich_attacks, 1,
+            "detector must find the planted bundle"
+        );
     }
 }

@@ -98,7 +98,8 @@ mod tests {
     fn healthy_market_yields_no_bundles() {
         let w = world_with_positions();
         let mut nonce = 0;
-        let bundles = LiquidationBot::new("liq", 0.8).scan(&w, GasPrice::from_gwei(10.0), &mut nonce);
+        let bundles =
+            LiquidationBot::new("liq", 0.8).scan(&w, GasPrice::from_gwei(10.0), &mut nonce);
         assert!(bundles.is_empty());
         assert_eq!(nonce, 0);
     }
@@ -108,7 +109,8 @@ mod tests {
         let mut w = world_with_positions();
         w.oracle_mut().apply_move(Token::Weth, -0.30);
         let mut nonce = 0;
-        let bundles = LiquidationBot::new("liq", 0.8).scan(&w, GasPrice::from_gwei(10.0), &mut nonce);
+        let bundles =
+            LiquidationBot::new("liq", 0.8).scan(&w, GasPrice::from_gwei(10.0), &mut nonce);
         assert_eq!(bundles.len(), 3);
         assert_eq!(nonce, 3);
         for b in &bundles {
@@ -126,7 +128,8 @@ mod tests {
         let mut w = world_with_positions();
         w.oracle_mut().apply_move(Token::Weth, -0.30);
         let mut nonce = 0;
-        let bundles = LiquidationBot::new("liq", 0.8).scan(&w, GasPrice::from_gwei(10.0), &mut nonce);
+        let bundles =
+            LiquidationBot::new("liq", 0.8).scan(&w, GasPrice::from_gwei(10.0), &mut nonce);
         use execution::EffectBackend;
         let out = w.apply(&bundles[0].txs[0]);
         assert!(matches!(out, execution::EffectOutcome::Applied { .. }));
@@ -138,7 +141,8 @@ mod tests {
         let mut w = world_with_positions();
         w.oracle_mut().apply_move(Token::Weth, -0.30);
         let mut nonce = 0;
-        let bundles = LiquidationBot::new("liq", 1.0).scan(&w, GasPrice::from_gwei(10.0), &mut nonce);
+        let bundles =
+            LiquidationBot::new("liq", 1.0).scan(&w, GasPrice::from_gwei(10.0), &mut nonce);
         let expected = w.usd_to_wei(400.0);
         assert_eq!(bundles[0].expected_profit, expected);
     }

@@ -147,7 +147,13 @@ impl SandwichAttacker {
 
 /// Simulates front(x) → victim → back and returns the attacker's WETH
 /// profit (negative when unprofitable, `i128::MIN` when infeasible).
-fn simulate(pool: &defi::Pool, x: u128, victim_in: u128, victim_min_out: u128, token_out: Token) -> i128 {
+fn simulate(
+    pool: &defi::Pool,
+    x: u128,
+    victim_in: u128,
+    victim_min_out: u128,
+    token_out: Token,
+) -> i128 {
     if x == 0 {
         return 0;
     }
@@ -232,7 +238,12 @@ mod tests {
         let dust = attacker().plan(&world, &victim, GasPrice::from_gwei(10.0), &mut n2);
         let mut n3 = 0;
         let sloppy = attacker()
-            .plan(&world, &victim_swap(&world, 20.0, 0.10), GasPrice::from_gwei(10.0), &mut n3)
+            .plan(
+                &world,
+                &victim_swap(&world, 20.0, 0.10),
+                GasPrice::from_gwei(10.0),
+                &mut n3,
+            )
             .unwrap();
         if let Some(d) = dust {
             assert!(d.expected_profit.0 * 20 < sloppy.expected_profit.0);
@@ -251,14 +262,24 @@ mod tests {
             .unwrap();
 
         let mut pool = world.pool(0).unwrap().clone();
-        let TxEffect::Swap { amount_in: front_in, .. } = bundle.txs[0].effect else {
+        let TxEffect::Swap {
+            amount_in: front_in,
+            ..
+        } = bundle.txs[0].effect
+        else {
             panic!()
         };
         let acquired = pool.swap(Token::Weth, front_in, 0).unwrap();
-        let TxEffect::Swap { amount_in: v_in, min_out: v_min, .. } = victim.effect else {
+        let TxEffect::Swap {
+            amount_in: v_in,
+            min_out: v_min,
+            ..
+        } = victim.effect
+        else {
             panic!()
         };
-        pool.swap(Token::Weth, v_in, v_min).expect("victim must clear");
+        pool.swap(Token::Weth, v_in, v_min)
+            .expect("victim must clear");
         let back = pool.swap(Token::Usdc, acquired, 0).unwrap();
         let realized = back as i128 - front_in as i128;
         assert_eq!(realized, bundle.expected_profit.0 as i128);
@@ -277,7 +298,12 @@ mod tests {
         };
         let mut nonce = 0;
         assert!(attacker()
-            .plan(&world, &victim.finalize(), GasPrice::from_gwei(10.0), &mut nonce)
+            .plan(
+                &world,
+                &victim.finalize(),
+                GasPrice::from_gwei(10.0),
+                &mut nonce
+            )
             .is_none());
     }
 

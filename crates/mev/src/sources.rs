@@ -28,8 +28,11 @@ pub enum LabelSource {
 
 impl LabelSource {
     /// All sources.
-    pub const ALL: [LabelSource; 3] =
-        [LabelSource::EigenPhi, LabelSource::ZeroMev, LabelSource::OwnScripts];
+    pub const ALL: [LabelSource; 3] = [
+        LabelSource::EigenPhi,
+        LabelSource::ZeroMev,
+        LabelSource::OwnScripts,
+    ];
 
     /// Recall per mille: out of 1000 true labels, how many this provider
     /// reports. Calibrated so the union approaches full coverage.
@@ -55,9 +58,7 @@ impl LabelSource {
         if !self.covers(label.kind) {
             return false;
         }
-        let h = eth_types::H256::of(
-            format!("{:?}:{}", self, label.tx_hash).as_bytes(),
-        );
+        let h = eth_types::H256::of(format!("{:?}:{}", self, label.tx_hash).as_bytes());
         h.to_seed() % 1000 < self.recall_permille()
     }
 
@@ -133,9 +134,7 @@ impl MevLabelSet {
 mod tests {
     use super::*;
     use defi::DefiWorld;
-    use eth_types::{
-        Address, GasPrice, Slot, Token, Transaction, TxEffect, UnixTime, Wei, H256,
-    };
+    use eth_types::{Address, GasPrice, Slot, Token, Transaction, TxEffect, UnixTime, Wei, H256};
     use execution::{BlockExecutor, StateLedger};
 
     /// A block with `n` planted sandwiches on distinct venue/attacker pairs.
@@ -152,9 +151,27 @@ mod tests {
                 .unwrap();
             let attacker = format!("attacker{s}");
             for (sender, nonce, tin, tout, amt) in [
-                (attacker.clone(), 2 * s as u64, Token::Weth, Token::Usdc, front_in),
-                (format!("victim{s}"), 0, Token::Weth, Token::Usdc, 10 * 10u128.pow(18)),
-                (attacker, 2 * s as u64 + 1, Token::Usdc, Token::Weth, front_out),
+                (
+                    attacker.clone(),
+                    2 * s as u64,
+                    Token::Weth,
+                    Token::Usdc,
+                    front_in,
+                ),
+                (
+                    format!("victim{s}"),
+                    0,
+                    Token::Weth,
+                    Token::Usdc,
+                    10 * 10u128.pow(18),
+                ),
+                (
+                    attacker,
+                    2 * s as u64 + 1,
+                    Token::Usdc,
+                    Token::Weth,
+                    front_out,
+                ),
             ] {
                 let mut t = Transaction::transfer(
                     Address::derive(&sender),
@@ -213,11 +230,7 @@ mod tests {
         set.ingest_block(&block);
         for source in LabelSource::ALL {
             let solo = source.label_block(&block).len();
-            assert!(
-                set.len() >= solo,
-                "union {} < {source:?} {solo}",
-                set.len()
-            );
+            assert!(set.len() >= solo, "union {} < {source:?} {solo}", set.len());
         }
         assert!(!set.is_empty());
     }

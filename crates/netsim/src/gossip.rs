@@ -121,8 +121,8 @@ mod tests {
             for j in 0..6 {
                 for k in 0..6 {
                     let direct = net.latency_ms(NodeId(i), NodeId(j));
-                    let via = net.latency_ms(NodeId(i), NodeId(k))
-                        + net.latency_ms(NodeId(k), NodeId(j));
+                    let via =
+                        net.latency_ms(NodeId(i), NodeId(k)) + net.latency_ms(NodeId(k), NodeId(j));
                     assert!(direct <= via);
                 }
             }
@@ -136,7 +136,8 @@ mod tests {
         let p2 = net.broadcast(H256::derive("tx"), NodeId(3), SimTime::from_secs(5));
         for i in 0..net.topology().len() {
             assert_eq!(
-                p2.arrival_at(NodeId(i)).millis_since(p1.arrival_at(NodeId(i))),
+                p2.arrival_at(NodeId(i))
+                    .millis_since(p1.arrival_at(NodeId(i))),
                 5000
             );
         }

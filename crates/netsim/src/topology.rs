@@ -31,9 +31,8 @@ impl Topology {
         let lat = LogNormal::with_median(median_latency_ms, 0.5);
         let mut adjacency = vec![Vec::new(); n as usize];
 
-        let sample_latency = |rng: &mut rand::rngs::StdRng| -> u32 {
-            lat.sample(rng).clamp(5.0, 1000.0) as u32
-        };
+        let sample_latency =
+            |rng: &mut rand::rngs::StdRng| -> u32 { lat.sample(rng).clamp(5.0, 1000.0) as u32 };
 
         // Ring backbone.
         for i in 0..n {
@@ -125,7 +124,10 @@ mod tests {
         let t = topo();
         for i in 0..t.len() {
             let d = t.propagation_times(NodeId(i));
-            assert!(d.iter().all(|&x| x != u64::MAX), "node {i} has unreachable peers");
+            assert!(
+                d.iter().all(|&x| x != u64::MAX),
+                "node {i} has unreachable peers"
+            );
         }
     }
 

@@ -13,13 +13,12 @@ use crate::boost::{LocalBuilder, MevBoostClient};
 use crate::builder::{BuildInputs, Builder, BuilderId, BuiltBlock};
 use crate::ofac::{tx_touches_sanctioned, SanctionsList};
 use crate::relay::{RelayId, RelayRegistry, Submission};
-use eth_types::{
-    Address, BlsPublicKey, DayIndex, Gas, GasPrice, Slot, Transaction, Wei,
-};
+use eth_types::{Address, BlsPublicKey, DayIndex, Gas, GasPrice, Slot, Transaction, Wei};
 use execution::Mempool;
 use mev::Bundle;
-use rand::rngs::StdRng;
 use rand::Rng;
+use rayon::prelude::*;
+use simcore::SeedDomain;
 
 /// Static per-slot auction parameters.
 #[derive(Debug, Clone)]
@@ -83,6 +82,18 @@ pub struct SlotResult {
     pub submissions: Vec<SubmissionRecord>,
 }
 
+/// A builder's fully-assembled slot candidate, produced by the parallel
+/// build phase: the block itself plus the pre-computed bid variant for
+/// every relay the builder submits to (censoring relays get the filtered
+/// block's bid). Owning all of it — no borrows of the builder table —
+/// lets the sequential submission phase mutate relays freely.
+struct Candidate {
+    built: BuiltBlock,
+    pubkey: BlsPublicKey,
+    /// `(relay, pre-jitter bid, sandwich count)` in profile order.
+    relay_variants: Vec<(RelayId, Wei, usize)>,
+}
+
 impl<'a> SlotAuction<'a> {
     /// Runs the auction.
     ///
@@ -90,6 +101,19 @@ impl<'a> SlotAuction<'a> {
     /// (order-flow access is the caller's policy). `dishonest_bid` makes
     /// one builder declare an inflated bid to *non-verifying* relays — the
     /// Manifold exploit of 15 Oct 2022.
+    ///
+    /// The auction is split into a data-parallel and a sequential half:
+    ///
+    /// 1. **Build (parallel)** — each builder assembles its candidate block
+    ///    and the censored per-relay variants from shared immutable state,
+    ///    drawing randomness from `seeds.stream("build", builder_id)`, so
+    ///    the result is a pure function of (seed domain, inputs) and cannot
+    ///    depend on thread scheduling.
+    /// 2. **Submit (sequential)** — candidates are consumed in ascending
+    ///    `BuilderId` order: bid jitter is drawn from the single
+    ///    `seeds.rng("jitter")` stream and relays observe submissions in a
+    ///    stable order, which keeps relay escrow state byte-identical
+    ///    across thread counts.
     #[allow(clippy::too_many_arguments)]
     pub fn run(
         &self,
@@ -101,49 +125,74 @@ impl<'a> SlotAuction<'a> {
         proposer_fee_recipient: Address,
         proposer_mempool: &Mempool,
         direct_to_proposer: &[Transaction],
-        rng: &mut StdRng,
+        seeds: &SeedDomain,
         dishonest_bid: Option<(BuilderId, Wei)>,
     ) -> SlotResult {
         assert_eq!(builders.len(), bundles_per_builder.len());
+
+        // 1. Build phase: every builder assembles its candidate and the
+        // per-relay censored variants in parallel. Builders pre-filter for
+        // censoring relays using the relay's *published* (lagged)
+        // blacklist — the mechanism behind the update-day leaks the paper
+        // finds (§6).
+        let builders_ro: &[Builder] = builders;
+        let relays_ro: &RelayRegistry = relays;
+        let indices: Vec<usize> = (0..builders_ro.len()).collect();
+        let candidates: Vec<Candidate> = indices
+            .par_iter()
+            .map(|&bi| {
+                let builder = &builders_ro[bi];
+                let mut build_rng = seeds.stream("build", builder.id.0 as u64);
+                let built = builder.build(
+                    &BuildInputs {
+                        base_fee: self.base_fee,
+                        gas_limit: self.gas_limit,
+                        mempool: public_mempool,
+                        bundles: &bundles_per_builder[bi],
+                    },
+                    &mut build_rng,
+                );
+                let honest_bid = built.bid(builder.margin_on(built.value));
+                let relay_variants = builder
+                    .profile
+                    .relays
+                    .iter()
+                    .map(|&rid| {
+                        let relay = relays_ro.get(rid);
+                        if relay.info.ofac_compliant {
+                            let filtered =
+                                builder.censored_variant(&built, self.base_fee, self.day, |a| {
+                                    relay.blacklist_flags(self.sanctions, a, self.day)
+                                });
+                            let m = builder.margin_on(filtered.value);
+                            (rid, filtered.bid(m), filtered.bundle_counts[0])
+                        } else {
+                            (rid, honest_bid, built.bundle_counts[0])
+                        }
+                    })
+                    .collect();
+                Candidate {
+                    built,
+                    pubkey: builder.pubkey_for_slot(self.slot),
+                    relay_variants,
+                }
+            })
+            .collect();
+
+        // 2. Submission phase: sequential, in ascending builder order, so
+        // every jitter draw and relay state transition happens in the same
+        // order no matter how phase 1 was scheduled.
+        let mut jitter_rng = seeds.rng("jitter");
         let mut submissions: Vec<SubmissionRecord> = Vec::new();
-        let mut built_blocks: Vec<BuiltBlock> = Vec::with_capacity(builders.len());
-
-        // 1. Every builder assembles and submits.
-        for (bi, builder) in builders.iter_mut().enumerate() {
-            let built = builder.build(&BuildInputs {
-                base_fee: self.base_fee,
-                gas_limit: self.gas_limit,
-                mempool: public_mempool,
-                bundles: &bundles_per_builder[bi],
-            });
-            let margin = builder.margin_on(built.value);
-            let honest_bid = built.bid(margin);
-            let pubkey = builder.pubkey_for_slot(self.slot);
-
-            for &rid in &builder.profile.relays.clone() {
-                // Builders pre-filter for censoring relays using the relay's
-                // *published* (lagged) blacklist — the mechanism behind the
-                // update-day leaks the paper finds (§6).
-                let (variant_bid, variant_sandwiches) = {
-                    let relay = relays.get(rid);
-                    if relay.info.ofac_compliant {
-                        let filtered =
-                            builder.censored_variant(&built, self.base_fee, self.day, |a| {
-                                relay.blacklist_flags(self.sanctions, a, self.day)
-                            });
-                        let m = builder.margin_on(filtered.value);
-                        (filtered.bid(m), filtered.bundle_counts[0])
-                    } else {
-                        (honest_bid, built.bundle_counts[0])
-                    }
-                };
-
+        for (bi, cand) in candidates.iter().enumerate() {
+            let builder_id = builders[bi].id;
+            for &(rid, variant_bid, variant_sandwiches) in &cand.relay_variants {
                 // Per-relay bid decay (latency: the last bid update differs
                 // across relays).
-                let decay = if rng.random::<f64>() < self.jitter_zero_prob {
+                let decay = if jitter_rng.random::<f64>() < self.jitter_zero_prob {
                     Wei::ZERO
                 } else {
-                    let f = rng.random::<f64>() * self.jitter_max_frac;
+                    let f = jitter_rng.random::<f64>() * self.jitter_max_frac;
                     variant_bid.mul_ratio((f * 1_000_000.0) as u128, 1_000_000)
                 };
                 let mut declared = variant_bid.saturating_sub(decay);
@@ -152,7 +201,7 @@ impl<'a> SlotAuction<'a> {
                 // The exploit path: declare an inflated bid; relays that
                 // verify will reject it, Manifold (pre-fix) will not.
                 if let Some((cheater, inflated)) = dishonest_bid {
-                    if cheater == builder.id {
+                    if cheater == builder_id {
                         declared = inflated;
                         true_bid = variant_bid;
                     }
@@ -161,8 +210,8 @@ impl<'a> SlotAuction<'a> {
                 let accepted = relays.get_mut(rid).consider(
                     Submission {
                         slot: self.slot,
-                        builder: builder.id,
-                        pubkey,
+                        builder: builder_id,
+                        pubkey: cand.pubkey,
                         declared_bid: declared,
                         true_bid,
                         sandwich_count: variant_sandwiches,
@@ -172,16 +221,16 @@ impl<'a> SlotAuction<'a> {
                 );
                 submissions.push(SubmissionRecord {
                     relay: rid,
-                    builder: builder.id,
-                    pubkey,
+                    builder: builder_id,
+                    pubkey: cand.pubkey,
                     declared_bid: declared,
                     accepted,
                 });
             }
-            built_blocks.push(built);
         }
+        let built_blocks: Vec<BuiltBlock> = candidates.into_iter().map(|c| c.built).collect();
 
-        // 2. Proposer side.
+        // 3. Proposer side.
         let choice = client.and_then(|c| c.best_header(relays));
         let result = match choice {
             Some(choice) => {
@@ -204,8 +253,8 @@ impl<'a> SlotAuction<'a> {
 
                 // Delivered value: the promise, minus relay shortfall, or
                 // nearly nothing when the promise itself was fraudulent.
-                let honest_payment = final_built
-                    .bid(builders[winner_idx].margin_on(final_built.value));
+                let honest_payment =
+                    final_built.bid(builders[winner_idx].margin_on(final_built.value));
                 let mut delivered = choice.promised.min(honest_payment);
                 if choice.promised > honest_payment {
                     // Fraudulent declaration accepted by a non-verifying
@@ -217,8 +266,7 @@ impl<'a> SlotAuction<'a> {
                 }
 
                 let mut txs = final_built.txs.clone();
-                let payment =
-                    builders[winner_idx].payment_tx(proposer_fee_recipient, delivered);
+                let payment = builders[winner_idx].payment_tx(proposer_fee_recipient, delivered);
                 txs.push(payment);
                 let fee_recipient = builders[winner_idx]
                     .profile
@@ -259,7 +307,7 @@ impl<'a> SlotAuction<'a> {
             }
         };
 
-        // 3. Slot teardown.
+        // 4. Slot teardown.
         for relay in relays.iter_mut() {
             relay.end_slot();
         }
@@ -269,9 +317,8 @@ impl<'a> SlotAuction<'a> {
     /// Convenience: whether any transaction in a list touches the
     /// authoritative sanctions list on this auction's day.
     pub fn any_sanctioned(&self, txs: &[Transaction]) -> bool {
-        txs.iter().any(|t| {
-            tx_touches_sanctioned(t, |a| self.sanctions.is_sanctioned(a, self.day))
-        })
+        txs.iter()
+            .any(|t| tx_touches_sanctioned(t, |a| self.sanctions.is_sanctioned(a, self.day)))
     }
 }
 
@@ -289,7 +336,7 @@ mod tests {
             1.0,
         );
         profile.relays = relays;
-        Builder::new(BuilderId(i), profile, SeedDomain::new(77).rng(name))
+        Builder::new(BuilderId(i), profile)
     }
 
     fn mk_tx(label: &str, tip_gwei: f64) -> Transaction {
@@ -324,7 +371,7 @@ mod tests {
         let sanctions = SanctionsList::new();
         let a = auction(&sanctions);
         let bundles: Vec<Vec<Bundle>> = builders.iter().map(|_| Vec::new()).collect();
-        let mut rng = SeedDomain::new(5).rng("auction");
+        let seeds = SeedDomain::new(5).subdomain("auction");
         let mut proposer_pool = Mempool::new(1024);
         for t in mempool_txs {
             proposer_pool.insert(t.clone());
@@ -338,7 +385,7 @@ mod tests {
             Address::derive("proposer"),
             &proposer_pool,
             &[],
-            &mut rng,
+            &seeds,
             None,
         )
     }
@@ -437,7 +484,7 @@ mod tests {
 
         let a = auction(&sanctions);
         let bundles = vec![Vec::new()];
-        let mut rng = SeedDomain::new(5).rng("auction");
+        let seeds = SeedDomain::new(5).subdomain("auction");
         let client = MevBoostClient::new(vec![fb]);
         let pool = Mempool::new(16);
         let result = a.run(
@@ -449,7 +496,7 @@ mod tests {
             Address::derive("proposer"),
             &pool,
             &[],
-            &mut rng,
+            &seeds,
             None,
         );
         assert!(result.pbs);
@@ -469,7 +516,7 @@ mod tests {
         let sanctions = SanctionsList::new();
         let a = auction(&sanctions); // day 30: before the fix
         let bundles = vec![Vec::new()];
-        let mut rng = SeedDomain::new(5).rng("auction");
+        let seeds = SeedDomain::new(5).subdomain("auction");
         let client = MevBoostClient::new(vec![mf]);
         let pool = Mempool::new(16);
         let result = a.run(
@@ -481,7 +528,7 @@ mod tests {
             Address::derive("proposer"),
             &pool,
             &[],
-            &mut rng,
+            &seeds,
             Some((BuilderId(0), Wei::from_eth(278.0))),
         );
         assert!(result.pbs);
@@ -498,6 +545,34 @@ mod tests {
         let client = MevBoostClient::new(vec![us]);
         run_simple(&mut builders, &mut relays, Some(&client), &mempool);
         assert!(relays.get(us).best_bid().is_none());
+    }
+
+    #[test]
+    fn auction_result_is_thread_count_invariant() {
+        let run_at = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build_global()
+                .unwrap();
+            let mut relays = RelayRegistry::paper(&SeedDomain::new(1));
+            let us = relays.id_by_name("UltraSound");
+            let fb = relays.id_by_name("Flashbots");
+            let mut builders: Vec<Builder> = (0..6)
+                .map(|i| mk_builder(i, &format!("b{i}"), vec![us, fb]))
+                .collect();
+            let mempool: Vec<Transaction> = (0..8)
+                .map(|i| mk_tx(&format!("t{i}"), 1.0 + i as f64))
+                .collect();
+            let client = MevBoostClient::new(vec![us, fb]);
+            run_simple(&mut builders, &mut relays, Some(&client), &mempool)
+        };
+        let sequential = run_at(1);
+        let parallel = run_at(4);
+        assert_eq!(sequential, parallel);
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
     }
 
     #[test]

@@ -159,8 +159,12 @@ mod tests {
         let mut relays = RelayRegistry::paper(&SeedDomain::new(2));
         let a = relays.id_by_name("Aestus");
         let u = relays.id_by_name("UltraSound");
-        relays.get_mut(a).consider(submission(0.05, 1, "k1"), DayIndex(0));
-        relays.get_mut(u).consider(submission(0.09, 2, "k2"), DayIndex(0));
+        relays
+            .get_mut(a)
+            .consider(submission(0.05, 1, "k1"), DayIndex(0));
+        relays
+            .get_mut(u)
+            .consider(submission(0.09, 2, "k2"), DayIndex(0));
 
         let client = MevBoostClient::new(vec![a, u]);
         let choice = client.best_header(&relays).unwrap();
@@ -174,8 +178,12 @@ mod tests {
         let mut relays = RelayRegistry::paper(&SeedDomain::new(2));
         let a = relays.id_by_name("Aestus");
         let u = relays.id_by_name("UltraSound");
-        relays.get_mut(a).consider(submission(0.09, 2, "k2"), DayIndex(0));
-        relays.get_mut(u).consider(submission(0.09, 2, "k2"), DayIndex(0));
+        relays
+            .get_mut(a)
+            .consider(submission(0.09, 2, "k2"), DayIndex(0));
+        relays
+            .get_mut(u)
+            .consider(submission(0.09, 2, "k2"), DayIndex(0));
 
         let client = MevBoostClient::new(vec![a, u]);
         let choice = client.best_header(&relays).unwrap();
@@ -186,7 +194,9 @@ mod tests {
     fn min_bid_filters_cheap_headers() {
         let mut relays = RelayRegistry::paper(&SeedDomain::new(2));
         let u = relays.id_by_name("UltraSound");
-        relays.get_mut(u).consider(submission(0.01, 2, "k2"), DayIndex(0));
+        relays
+            .get_mut(u)
+            .consider(submission(0.01, 2, "k2"), DayIndex(0));
         let client = MevBoostClient::new(vec![u]).with_min_bid(Wei::from_eth(0.05));
         assert!(client.best_header(&relays).is_none(), "0.01 < min-bid 0.05");
         let eager = MevBoostClient::new(vec![u]);
@@ -198,7 +208,9 @@ mod tests {
         let mut relays = RelayRegistry::paper(&SeedDomain::new(2));
         let a = relays.id_by_name("Aestus");
         let u = relays.id_by_name("UltraSound");
-        relays.get_mut(u).consider(submission(0.09, 2, "k2"), DayIndex(0));
+        relays
+            .get_mut(u)
+            .consider(submission(0.09, 2, "k2"), DayIndex(0));
 
         let client = MevBoostClient::new(vec![a]);
         assert!(client.best_header(&relays).is_none());
@@ -246,8 +258,11 @@ mod tests {
             GasPrice::from_gwei(3.0),
             GasPrice::from_gwei(100.0),
         );
-        let (txs, value) =
-            LocalBuilder::default().build(&mempool, std::slice::from_ref(&direct), GasPrice::from_gwei(1.0));
+        let (txs, value) = LocalBuilder::default().build(
+            &mempool,
+            std::slice::from_ref(&direct),
+            GasPrice::from_gwei(1.0),
+        );
         assert_eq!(txs.len(), 1);
         assert_eq!(txs[0].hash, direct.hash);
         assert_eq!(value, direct.producer_value(GasPrice::from_gwei(1.0)));
@@ -267,11 +282,8 @@ mod tests {
         big.effect = TxEffect::Generic {
             extra_gas: 40_000_000,
         };
-        let (txs, _) = LocalBuilder::default().build(
-            &mempool,
-            &[big.finalize()],
-            GasPrice::from_gwei(1.0),
-        );
+        let (txs, _) =
+            LocalBuilder::default().build(&mempool, &[big.finalize()], GasPrice::from_gwei(1.0));
         assert!(txs.is_empty());
     }
 }

@@ -15,16 +15,13 @@
 //!   receives, the real moat behind "professionalized builders have a
 //!   distinct advantage".
 
-
 use crate::relay::RelayId;
-use eth_types::{
-    Address, BlsPublicKey, Gas, GasPrice, Transaction, TxHash, Wei,
-};
+use eth_types::{Address, BlsPublicKey, Gas, GasPrice, Transaction, TxHash, Wei};
 use mev::{Bundle, MevKind};
 use rand::rngs::StdRng;
 use rand::Rng;
-use simcore::LogNormal;
 use serde::{Deserialize, Serialize};
+use simcore::LogNormal;
 use std::collections::BTreeSet;
 
 /// Index of a builder in the scenario's builder table.
@@ -133,28 +130,33 @@ pub struct BuiltBlock {
 impl BuiltBlock {
     /// The bid the builder will declare: value − margin + subsidy.
     pub fn bid(&self, margin: Wei) -> Wei {
-        self.value.saturating_sub(margin).saturating_add(self.subsidy)
+        self.value
+            .saturating_sub(margin)
+            .saturating_add(self.subsidy)
     }
 }
 
-/// A live builder (profile + per-run RNG + payment-nonce counter).
+/// A live builder (profile + payment-nonce counter).
+///
+/// Builders hold no RNG of their own: block building draws from a
+/// per-slot, per-builder stream the auction derives and passes in, so
+/// candidate blocks can be constructed in parallel from `&Builder` without
+/// the result depending on thread scheduling.
 #[derive(Debug)]
 pub struct Builder {
     /// Static identity and policy.
     pub profile: BuilderProfile,
     /// Builder id within the scenario table.
     pub id: BuilderId,
-    rng: StdRng,
     payment_nonce: u64,
 }
 
 impl Builder {
     /// Creates a live builder.
-    pub fn new(id: BuilderId, profile: BuilderProfile, rng: StdRng) -> Self {
+    pub fn new(id: BuilderId, profile: BuilderProfile) -> Self {
         Builder {
             profile,
             id,
-            rng,
             payment_nonce: 0,
         }
     }
@@ -177,8 +179,10 @@ impl Builder {
     /// 1. sort bundles by bid value, merge greedily while conflict-free
     ///    (one bundle per victim, one arb per pool pair),
     /// 2. fill remaining gas with mempool transactions by value density,
-    /// 3. sample the subsidy per policy.
-    pub fn build(&mut self, inputs: &BuildInputs<'_>) -> BuiltBlock {
+    /// 3. sample the subsidy per policy from `rng` — callers pass a stream
+    ///    derived from (slot, builder id), which keeps parallel builds
+    ///    deterministic.
+    pub fn build(&self, inputs: &BuildInputs<'_>, rng: &mut StdRng) -> BuiltBlock {
         let base = inputs.base_fee;
         // Reserve room for the final builder→proposer payment transaction;
         // a block packed to the limit would otherwise have its payment
@@ -277,9 +281,9 @@ impl Builder {
         let subsidy = match self.profile.subsidy {
             SubsidyPolicy::Never => Wei::ZERO,
             SubsidyPolicy::Sometimes { prob, median_frac } => {
-                if self.rng.random::<f64>() < prob {
+                if rng.random::<f64>() < prob {
                     let d = LogNormal::with_median(median_frac.max(1e-9), 0.6);
-                    let frac = d.sample(&mut self.rng).min(1.0);
+                    let frac = d.sample(rng).min(1.0);
                     value.mul_ratio((frac * 10_000.0) as u128, 10_000)
                 } else {
                     Wei::ZERO
@@ -314,8 +318,7 @@ impl Builder {
         day: eth_types::DayIndex,
         listed: F,
     ) -> BuiltBlock {
-        let flagged =
-            |t: &Transaction| crate::ofac::tx_touches_sanctioned_on(t, day, &listed);
+        let flagged = |t: &Transaction| crate::ofac::tx_touches_sanctioned_on(t, day, &listed);
         let mut out = built.clone();
         let removed_value: Wei = out
             .txs
@@ -340,10 +343,7 @@ impl Builder {
     /// (§2.2). `deliver` may be below the promised bid when the relay fails
     /// to verify (Table 4's over-promised blocks).
     pub fn payment_tx(&mut self, proposer_fee_recipient: Address, deliver: Wei) -> Transaction {
-        let from = self
-            .profile
-            .fee_recipient
-            .unwrap_or(proposer_fee_recipient);
+        let from = self.profile.fee_recipient.unwrap_or(proposer_fee_recipient);
         let nonce = self.payment_nonce;
         self.payment_nonce += 1;
         Transaction::transfer(
@@ -378,7 +378,12 @@ mod tests {
         t.finalize()
     }
 
-    fn mk_bundle(kind: MevKind, txs: Vec<Transaction>, victim: Option<TxHash>, profit: f64) -> Bundle {
+    fn mk_bundle(
+        kind: MevKind,
+        txs: Vec<Transaction>,
+        victim: Option<TxHash>,
+        profit: f64,
+    ) -> Bundle {
         Bundle {
             txs,
             pinned_victim: victim,
@@ -392,8 +397,11 @@ mod tests {
         Builder::new(
             BuilderId(0),
             BuilderProfile::new("test", margin, subsidy, 1.0),
-            SeedDomain::new(7).rng("builder:test"),
         )
+    }
+
+    fn rng() -> StdRng {
+        SeedDomain::new(7).rng("builder:test")
     }
 
     fn base() -> GasPrice {
@@ -402,18 +410,21 @@ mod tests {
 
     #[test]
     fn mempool_fill_is_value_greedy() {
-        let mut b = builder(MarginPolicy::FixedEth(0.001), SubsidyPolicy::Never);
+        let b = builder(MarginPolicy::FixedEth(0.001), SubsidyPolicy::Never);
         let mempool = vec![
             mk_tx("low", 1.0, 0.0, 0),
             mk_tx("high", 50.0, 0.0, 0),
             mk_tx("briber", 0.1, 0.3, 0),
         ];
-        let built = b.build(&BuildInputs {
-            base_fee: base(),
-            gas_limit: Gas::BLOCK_LIMIT,
-            mempool: &mempool,
-            bundles: &[],
-        });
+        let built = b.build(
+            &BuildInputs {
+                base_fee: base(),
+                gas_limit: Gas::BLOCK_LIMIT,
+                mempool: &mempool,
+                bundles: &[],
+            },
+            &mut rng(),
+        );
         assert_eq!(built.txs.len(), 3);
         // Briber first (highest value per gas), then high tip, then low.
         assert_eq!(built.txs[0].sender, Address::derive("briber"));
@@ -424,7 +435,7 @@ mod tests {
 
     #[test]
     fn sandwich_bundle_wraps_its_victim() {
-        let mut b = builder(MarginPolicy::FixedEth(0.001), SubsidyPolicy::Never);
+        let b = builder(MarginPolicy::FixedEth(0.001), SubsidyPolicy::Never);
         let victim = mk_tx("victim", 5.0, 0.0, 101_000);
         let front = mk_tx("attacker-front", 0.1, 0.0, 101_000);
         let back = mk_tx("attacker-back", 0.1, 0.5, 101_000);
@@ -434,12 +445,15 @@ mod tests {
             Some(victim.hash),
             0.6,
         );
-        let built = b.build(&BuildInputs {
-            base_fee: base(),
-            gas_limit: Gas::BLOCK_LIMIT,
-            mempool: std::slice::from_ref(&victim),
-            bundles: &[bundle],
-        });
+        let built = b.build(
+            &BuildInputs {
+                base_fee: base(),
+                gas_limit: Gas::BLOCK_LIMIT,
+                mempool: std::slice::from_ref(&victim),
+                bundles: &[bundle],
+            },
+            &mut rng(),
+        );
         let order: Vec<TxHash> = built.txs.iter().map(|t| t.hash).collect();
         assert_eq!(order, vec![front.hash, victim.hash, back.hash]);
         assert_eq!(built.bundle_counts[0], 1);
@@ -447,7 +461,7 @@ mod tests {
 
     #[test]
     fn sandwich_without_its_victim_is_dropped() {
-        let mut b = builder(MarginPolicy::FixedEth(0.001), SubsidyPolicy::Never);
+        let b = builder(MarginPolicy::FixedEth(0.001), SubsidyPolicy::Never);
         let ghost_victim = mk_tx("ghost", 5.0, 0.0, 0);
         let bundle = mk_bundle(
             MevKind::Sandwich,
@@ -455,19 +469,22 @@ mod tests {
             Some(ghost_victim.hash),
             0.6,
         );
-        let built = b.build(&BuildInputs {
-            base_fee: base(),
-            gas_limit: Gas::BLOCK_LIMIT,
-            mempool: &[], // victim not in this builder's view
-            bundles: &[bundle],
-        });
+        let built = b.build(
+            &BuildInputs {
+                base_fee: base(),
+                gas_limit: Gas::BLOCK_LIMIT,
+                mempool: &[], // victim not in this builder's view
+                bundles: &[bundle],
+            },
+            &mut rng(),
+        );
         assert!(built.txs.is_empty());
         assert_eq!(built.bundle_counts[0], 0);
     }
 
     #[test]
     fn conflicting_bundles_take_the_richer_one() {
-        let mut b = builder(MarginPolicy::FixedEth(0.001), SubsidyPolicy::Never);
+        let b = builder(MarginPolicy::FixedEth(0.001), SubsidyPolicy::Never);
         let victim = mk_tx("victim", 5.0, 0.0, 0);
         let cheap = mk_bundle(
             MevKind::Sandwich,
@@ -481,28 +498,34 @@ mod tests {
             Some(victim.hash),
             0.8,
         );
-        let built = b.build(&BuildInputs {
-            base_fee: base(),
-            gas_limit: Gas::BLOCK_LIMIT,
-            mempool: &[victim],
-            bundles: &[cheap, rich],
-        });
+        let built = b.build(
+            &BuildInputs {
+                base_fee: base(),
+                gas_limit: Gas::BLOCK_LIMIT,
+                mempool: &[victim],
+                bundles: &[cheap, rich],
+            },
+            &mut rng(),
+        );
         assert_eq!(built.bundle_counts[0], 1);
         assert_eq!(built.txs[0].sender, Address::derive("r1"));
     }
 
     #[test]
     fn gas_limit_bounds_the_block() {
-        let mut b = builder(MarginPolicy::FixedEth(0.001), SubsidyPolicy::Never);
+        let b = builder(MarginPolicy::FixedEth(0.001), SubsidyPolicy::Never);
         let mempool: Vec<Transaction> = (0..10)
             .map(|i| mk_tx(&format!("t{i}"), 2.0, 0.0, 9_979_000))
             .collect();
-        let built = b.build(&BuildInputs {
-            base_fee: base(),
-            gas_limit: Gas::BLOCK_LIMIT,
-            mempool: &mempool,
-            bundles: &[],
-        });
+        let built = b.build(
+            &BuildInputs {
+                base_fee: base(),
+                gas_limit: Gas::BLOCK_LIMIT,
+                mempool: &mempool,
+                bundles: &[],
+            },
+            &mut rng(),
+        );
         // 30M limit minus the 21k payment reservation fits two 10M txs.
         assert_eq!(built.txs.len(), 2);
         assert!(built.gas_used.0 <= Gas::BLOCK_LIMIT.0 - 21_000);
@@ -538,7 +561,7 @@ mod tests {
 
     #[test]
     fn subsidy_policy_fires_at_configured_rate_and_scales_with_value() {
-        let mut b = builder(
+        let b = builder(
             MarginPolicy::FixedEth(0.0),
             SubsidyPolicy::Sometimes {
                 prob: 0.3,
@@ -548,13 +571,17 @@ mod tests {
         let mempool = vec![mk_tx("payer", 10.0, 0.1, 0)];
         let mut hits = 0;
         let mut max_subsidy = Wei::ZERO;
+        let mut r = rng();
         for _ in 0..2000 {
-            let built = b.build(&BuildInputs {
-                base_fee: base(),
-                gas_limit: Gas::BLOCK_LIMIT,
-                mempool: &mempool,
-                bundles: &[],
-            });
+            let built = b.build(
+                &BuildInputs {
+                    base_fee: base(),
+                    gas_limit: Gas::BLOCK_LIMIT,
+                    mempool: &mempool,
+                    bundles: &[],
+                },
+                &mut r,
+            );
             if !built.subsidy.is_zero() {
                 hits += 1;
                 max_subsidy = max_subsidy.max(built.subsidy);
@@ -568,12 +595,15 @@ mod tests {
         // A builder with no block value never subsidizes (nothing to win).
         let mut empty_hits = 0;
         for _ in 0..200 {
-            let built = b.build(&BuildInputs {
-                base_fee: base(),
-                gas_limit: Gas::BLOCK_LIMIT,
-                mempool: &[],
-                bundles: &[],
-            });
+            let built = b.build(
+                &BuildInputs {
+                    base_fee: base(),
+                    gas_limit: Gas::BLOCK_LIMIT,
+                    mempool: &[],
+                    bundles: &[],
+                },
+                &mut r,
+            );
             if !built.subsidy.is_zero() {
                 empty_hits += 1;
             }
@@ -625,7 +655,7 @@ mod tests {
             0.5,
         )
         .without_fee_recipient();
-        let mut b = Builder::new(BuilderId(1), profile, SeedDomain::new(1).rng("g"));
+        let mut b = Builder::new(BuilderId(1), profile);
         let proposer = Address::derive("proposer-recipient");
         let pay = b.payment_tx(proposer, Wei::from_eth(0.05));
         // Self-transfer: no detectable builder→proposer payment on chain.

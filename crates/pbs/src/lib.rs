@@ -24,7 +24,7 @@ pub mod relay;
 pub use auction::{SlotAuction, SlotResult};
 pub use boost::{LocalBuilder, MevBoostClient};
 pub use builder::{
-    BuildInputs, BuiltBlock, Builder, BuilderId, BuilderProfile, MarginPolicy, SubsidyPolicy,
+    BuildInputs, Builder, BuilderId, BuilderProfile, BuiltBlock, MarginPolicy, SubsidyPolicy,
 };
 pub use ofac::{
     block_touches_sanctioned, tx_touches_sanctioned, tx_touches_sanctioned_on, RelayBlacklist,

@@ -43,7 +43,10 @@ impl SanctionsList {
 
     /// Whether `address` is sanctioned on `day`.
     pub fn is_sanctioned(&self, address: Address, day: DayIndex) -> bool {
-        self.entries.get(&address).map(|d| day >= *d).unwrap_or(false)
+        self.entries
+            .get(&address)
+            .map(|d| day >= *d)
+            .unwrap_or(false)
     }
 
     /// All addresses effective on `day`.
@@ -146,11 +149,7 @@ pub fn tx_touches_sanctioned_on<F: Fn(Address) -> bool>(
 /// transfers touching a sanctioned address, the logs for monitored ERC-20
 /// transfers from/to one, and — from its November 2022 designation — any
 /// transfer of the TRON token at all.
-pub fn block_touches_sanctioned(
-    block: &Block,
-    sanctions: &SanctionsList,
-    day: DayIndex,
-) -> bool {
+pub fn block_touches_sanctioned(block: &Block, sanctions: &SanctionsList, day: DayIndex) -> bool {
     let listed = |a: Address| sanctions.is_sanctioned(a, day);
     for trace in &block.body.traces {
         if !trace.value.is_zero() && (listed(trace.from) || listed(trace.to)) {

@@ -204,9 +204,7 @@ pub struct Relay {
 impl Relay {
     /// Creates a relay with default-honest behaviour.
     pub fn new(id: RelayId, info: RelayStaticInfo, rng: StdRng) -> Self {
-        let blacklist = info
-            .ofac_compliant
-            .then(|| RelayBlacklist::with_lag(2));
+        let blacklist = info.ofac_compliant.then(|| RelayBlacklist::with_lag(2));
         let mev_filter_recall = if info.mev_filter.is_some() { 0.85 } else { 0.0 };
         Relay {
             id,
@@ -428,8 +426,14 @@ mod tests {
             .filter(|r| r.info.ofac_compliant)
             .map(|r| r.info.name)
             .collect();
-        assert_eq!(censoring, ["Blocknative", "bloXroute (R)", "Eden", "Flashbots"]);
-        assert_eq!(reg.get(reg.id_by_name("Blocknative")).info.fork, "Dreamboat");
+        assert_eq!(
+            censoring,
+            ["Blocknative", "bloXroute (R)", "Eden", "Flashbots"]
+        );
+        assert_eq!(
+            reg.get(reg.id_by_name("Blocknative")).info.fork,
+            "Dreamboat"
+        );
         let filtered: Vec<&str> = reg
             .iter()
             .filter(|r| r.info.mev_filter.is_some())
@@ -520,7 +524,10 @@ mod tests {
             relay.end_slot();
         }
         let rate = passed as f64 / n as f64;
-        assert!(rate > 0.05 && rate < 0.30, "pass rate {rate} should be ~0.15");
+        assert!(
+            rate > 0.05 && rate < 0.30,
+            "pass rate {rate} should be ~0.15"
+        );
     }
 
     #[test]

@@ -4,8 +4,8 @@
 use eth_types::{Address, DayIndex, Gas, GasPrice, Slot, Transaction, Wei};
 use execution::Mempool;
 use pbs::{
-    Builder, BuilderId, BuilderProfile, MarginPolicy, MevBoostClient, RelayRegistry,
-    SanctionsList, SlotAuction, SubsidyPolicy,
+    Builder, BuilderId, BuilderProfile, MarginPolicy, MevBoostClient, RelayRegistry, SanctionsList,
+    SlotAuction, SubsidyPolicy,
 };
 use proptest::prelude::*;
 use simcore::SeedDomain;
@@ -47,7 +47,7 @@ proptest! {
             1.0,
         );
         profile.relays = vec![us, gn];
-        let mut builders = vec![Builder::new(BuilderId(0), profile, seeds.rng("b"))];
+        let mut builders = vec![Builder::new(BuilderId(0), profile)];
 
         let mempool: Vec<Transaction> = txs
             .iter()
@@ -67,7 +67,7 @@ proptest! {
         };
         let client = MevBoostClient::new(vec![us, gn]);
         let pool = Mempool::new(64);
-        let mut rng = seeds.rng("auction");
+        let auction_seeds = seeds.subdomain("auction");
         let result = auction.run(
             &mut builders,
             &[Vec::new()],
@@ -77,7 +77,7 @@ proptest! {
             Address::derive("proposer"),
             &pool,
             &[],
-            &mut rng,
+            &auction_seeds,
             None,
         );
 
@@ -107,10 +107,9 @@ proptest! {
     ) {
         let seeds = SeedDomain::new(seed);
         let bad = Address::derive("listed");
-        let mut builder = Builder::new(
+        let builder = Builder::new(
             BuilderId(0),
             BuilderProfile::new("c", MarginPolicy::FixedEth(0.001), SubsidyPolicy::Never, 1.0),
-            seeds.rng("c"),
         );
         let mempool: Vec<Transaction> = txs
             .iter()
@@ -124,12 +123,15 @@ proptest! {
             })
             .collect();
         let base = GasPrice::from_gwei(10.0);
-        let built = builder.build(&pbs::BuildInputs {
-            base_fee: base,
-            gas_limit: Gas::BLOCK_LIMIT,
-            mempool: &mempool,
-            bundles: &[],
-        });
+        let built = builder.build(
+            &pbs::BuildInputs {
+                base_fee: base,
+                gas_limit: Gas::BLOCK_LIMIT,
+                mempool: &mempool,
+                bundles: &[],
+            },
+            &mut seeds.rng("c"),
+        );
         let filtered = builder.censored_variant(&built, base, DayIndex(10), |a| a == bad);
         prop_assert!(filtered.txs.iter().all(|t| t.to != bad));
         prop_assert!(filtered.value <= built.value);

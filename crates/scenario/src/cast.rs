@@ -97,7 +97,13 @@ pub fn builder_cast() -> Vec<BuilderCastEntry> {
             ),
             flow_mu: [0.0033, 0.0110, 0.0231, 0.0275, 0.0286, 0.0308, 0.0330],
             relays_by_era: [
-                FB_BLX, BROAD_EARLY, BROAD_MID, BROAD_MID, BROAD_LATE, BROAD_LATE, BROAD_LATE,
+                FB_BLX,
+                BROAD_EARLY,
+                BROAD_MID,
+                BROAD_MID,
+                BROAD_LATE,
+                BROAD_LATE,
+                BROAD_LATE,
             ],
             active_from: DayIndex(2),
         },
@@ -190,7 +196,13 @@ pub fn builder_cast() -> Vec<BuilderCastEntry> {
             ),
             flow_mu: [0.0000, 0.0044, 0.0066, 0.0066, 0.0066, 0.0066, 0.0066],
             relays_by_era: [
-                BROAD_EARLY, BROAD_EARLY, BROAD_MID, BROAD_MID, BROAD_MID, BROAD_LATE, BROAD_LATE,
+                BROAD_EARLY,
+                BROAD_EARLY,
+                BROAD_MID,
+                BROAD_MID,
+                BROAD_MID,
+                BROAD_LATE,
+                BROAD_LATE,
             ],
             active_from: DayIndex(16),
         },
@@ -249,7 +261,13 @@ pub fn builder_cast() -> Vec<BuilderCastEntry> {
             profile,
             flow_mu: [0.0022; 7],
             relays_by_era: [
-                BROAD_EARLY, BROAD_EARLY, BROAD_MID, BROAD_MID, BROAD_LATE, BROAD_LATE, BROAD_LATE,
+                BROAD_EARLY,
+                BROAD_EARLY,
+                BROAD_MID,
+                BROAD_MID,
+                BROAD_LATE,
+                BROAD_LATE,
+                BROAD_LATE,
             ],
             active_from: DayIndex(from),
         });
@@ -331,7 +349,12 @@ mod tests {
         let cast = builder_cast();
         for c in &cast {
             let traceless = c.profile.name == "Builder 3" || c.profile.name == "Builder 6";
-            assert_eq!(c.profile.fee_recipient.is_none(), traceless, "{}", c.profile.name);
+            assert_eq!(
+                c.profile.fee_recipient.is_none(),
+                traceless,
+                "{}",
+                c.profile.name
+            );
         }
     }
 
@@ -353,14 +376,20 @@ mod tests {
         let cast = builder_cast();
         let fb = cast.iter().find(|c| c.profile.name == "Flashbots").unwrap();
         assert!(fb.flow_mu[0] > fb.flow_mu[6]);
-        let beaver = cast.iter().find(|c| c.profile.name == "beaverbuild").unwrap();
+        let beaver = cast
+            .iter()
+            .find(|c| c.profile.name == "beaverbuild")
+            .unwrap();
         assert!(beaver.flow_mu[6] > beaver.flow_mu[0]);
     }
 
     #[test]
     fn internal_relay_builders_stay_internal() {
         let cast = builder_cast();
-        let bn = cast.iter().find(|c| c.profile.name == "blocknative").unwrap();
+        let bn = cast
+            .iter()
+            .find(|c| c.profile.name == "blocknative")
+            .unwrap();
         assert!(bn.relays_by_era.iter().all(|r| *r == BLOCKNATIVE_ONLY));
         let eden = cast.iter().find(|c| c.profile.name == "Eden").unwrap();
         assert!(eden.relays_by_era.iter().all(|r| *r == EDEN_ONLY));

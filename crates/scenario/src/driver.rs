@@ -13,9 +13,7 @@ use crate::timeline::{days, Timeline};
 use crate::workload::{binance_sender, sanctions_list, WorkloadGenerator};
 use beacon::{BeaconChain, ProposerSchedule, ValidatorRegistry};
 use defi::{DefiWorld, Position};
-use eth_types::{
-    Address, DayIndex, Gas, GasPrice, Slot, Token, Transaction, TxEffect, Wei,
-};
+use eth_types::{Address, DayIndex, Gas, GasPrice, Slot, Token, Transaction, TxEffect, Wei};
 use execution::{BlockExecutor, FeeMarket, Mempool, StateLedger};
 use mev::{CyclicArbitrageur, LabelSource, LiquidationBot, MevKind, SandwichAttacker};
 use netsim::{GossipNetwork, MempoolObservers, NodeId, ObservationLog, Topology};
@@ -55,7 +53,20 @@ impl Simulation {
     }
 
     /// Runs the full scenario and returns the collected artifacts.
+    ///
+    /// Honors the `PBS_THREADS` environment variable: when set to a
+    /// positive integer it pins the rayon worker count used by the
+    /// parallel phases. Artifacts are byte-identical for any thread count;
+    /// when unset, the existing global configuration (or auto-detection)
+    /// is left untouched so tests can configure the pool directly.
     pub fn run(&self) -> RunArtifacts {
+        if let Ok(v) = std::env::var("PBS_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                let _ = rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build_global();
+            }
+        }
         Runner::new(&self.cfg).run()
     }
 }
@@ -82,6 +93,7 @@ struct Runner<'a> {
     arbers: Vec<CyclicArbitrageur>,
     liq_bot: LiquidationBot,
     searcher_nonces: BTreeMap<Address, u64>,
+    seeds: SeedDomain,
     rng: StdRng,
     // accumulation
     blocks: Vec<BlockRecord>,
@@ -108,13 +120,7 @@ impl<'a> Runner<'a> {
         let builders: Vec<Builder> = cast
             .iter()
             .enumerate()
-            .map(|(i, entry)| {
-                Builder::new(
-                    BuilderId(i as u32),
-                    entry.profile.clone(),
-                    seeds.rng(&format!("builder:{}", entry.profile.name)),
-                )
-            })
+            .map(|(i, entry)| Builder::new(BuilderId(i as u32), entry.profile.clone()))
             .collect();
         Self::wire_internal_relays(&mut relays, &cast);
 
@@ -137,8 +143,7 @@ impl<'a> Runner<'a> {
         let gossip = GossipNetwork::new(topology);
         let observers = MempoolObservers::spread(cfg.overlay_nodes);
 
-        let workload =
-            WorkloadGenerator::new(&seeds, cfg.user_pool, cfg.txs_per_slot, 0.05);
+        let workload = WorkloadGenerator::new(&seeds, cfg.user_pool, cfg.txs_per_slot, 0.05);
         let (sanctions, _) = sanctions_list();
 
         let sandwichers = vec![
@@ -173,6 +178,7 @@ impl<'a> Runner<'a> {
             arbers,
             liq_bot,
             searcher_nonces: BTreeMap::new(),
+            seeds,
             rng: SeedDomain::new(cfg.seed).rng("driver"),
             blocks: Vec::new(),
             missed: 0,
@@ -317,9 +323,13 @@ impl<'a> Runner<'a> {
         // prices track (LPs arbitrage external venues off-screen).
         let noise = 1.0 + 0.012 * simcore::dist::standard_normal(&mut self.rng);
         let weth = (self.timeline.weth_price_usd(day) * noise * 1000.0) as u64;
-        self.world.oracle_mut().set_price_milli_usd(Token::Weth, weth);
+        self.world
+            .oracle_mut()
+            .set_price_milli_usd(Token::Weth, weth);
         let usdc = (self.timeline.usdc_price_usd(day) * 1000.0) as u64;
-        self.world.oracle_mut().set_price_milli_usd(Token::Usdc, usdc);
+        self.world
+            .oracle_mut()
+            .set_price_milli_usd(Token::Usdc, usdc);
         // New borrowers appear; on quiet days positions drift back to par.
         let fresh = 1 + (self.rng.random::<f64>() * 2.0) as u32;
         for _ in 0..fresh {
@@ -353,7 +363,8 @@ impl<'a> Runner<'a> {
                     )
                 })
                 .collect();
-            victims.sort_by_key(|t| std::cmp::Reverse(t.gas_limit.0.wrapping_add(t.hash.to_seed())));
+            victims
+                .sort_by_key(|t| std::cmp::Reverse(t.gas_limit.0.wrapping_add(t.hash.to_seed())));
             victims.truncate(6);
             for (vi, victim) in victims.iter().enumerate() {
                 let attacker = &self.sandwichers[vi % self.sandwichers.len()];
@@ -455,8 +466,7 @@ impl<'a> Runner<'a> {
         let mut current_day = None;
         let executor = BlockExecutor::new(Gas(self.cfg.gas_limit));
         let censoring = self.relays.censoring_ids();
-        let all_relays: Vec<RelayId> =
-            (0..self.relays.len() as u32).map(RelayId).collect();
+        let all_relays: Vec<RelayId> = (0..self.relays.len() as u32).map(RelayId).collect();
         let mut binance_queue: Vec<Transaction> = Vec::new();
         let mut private_user_txs: Vec<Transaction> = Vec::new();
 
@@ -489,14 +499,19 @@ impl<'a> Runner<'a> {
                     self.mempool.insert(tx);
                 }
             }
-            binance_queue.extend(self.workload.binance_private_txs(day, base_fee, &self.timeline));
+            binance_queue.extend(
+                self.workload
+                    .binance_private_txs(day, base_fee, &self.timeline),
+            );
             if binance_queue.len() > 400 {
                 let overflow = binance_queue.len() - 400;
                 binance_queue.drain(..overflow);
+                self.totals.dropped_binance_txs += overflow as u64;
             }
             if private_user_txs.len() > 600 {
                 let overflow = private_user_txs.len() - 600;
                 private_user_txs.drain(..overflow);
+                self.totals.dropped_private_txs += overflow as u64;
             }
 
             // 2. Missed slots (proposer offline).
@@ -523,7 +538,19 @@ impl<'a> Runner<'a> {
             let validator = self.registry.validator(proposer).expect("in range").clone();
             let entity_idx = validator.entity;
             let fallback = self.rng.random::<f64>() < self.timeline.fallback_probability(day);
-            let client = if validator.mev_boost && !fallback {
+
+            // Direct private flow to this proposer (Binance→AnkrPool). Only
+            // a locally-built block can include it — builders never see the
+            // private channel — so the proposer skips MEV-Boost for the slot
+            // and self-builds, exactly the F14 vanilla-block pattern.
+            let entity_name = self.registry.entity_of(proposer).name.clone();
+            let direct: Vec<Transaction> = if entity_name == "ankr" {
+                std::mem::take(&mut binance_queue)
+            } else {
+                Vec::new()
+            };
+
+            let client = if validator.mev_boost && !fallback && direct.is_empty() {
                 let subscribed = if validator.censoring_only {
                     censoring.clone()
                 } else {
@@ -536,14 +563,6 @@ impl<'a> Runner<'a> {
                 Some(MevBoostClient::new(subscribed).with_min_bid(min_bid))
             } else {
                 None
-            };
-
-            // Direct private flow to this proposer (Binance→AnkrPool).
-            let entity_name = self.registry.entity_of(proposer).name.clone();
-            let direct: Vec<Transaction> = if entity_name == "ankr" {
-                std::mem::take(&mut binance_queue)
-            } else {
-                Vec::new()
             };
 
             // The Manifold exploit: a builder declares inflated bids on the
@@ -567,6 +586,7 @@ impl<'a> Runner<'a> {
                 jitter_zero_prob: 0.10,
                 jitter_max_frac: 0.02,
             };
+            let slot_seeds = self.seeds.subdomain(&format!("slot:{s}"));
             let mut result = auction.run(
                 &mut self.builders,
                 &bundles,
@@ -576,7 +596,7 @@ impl<'a> Runner<'a> {
                 validator.fee_recipient,
                 &self.mempool,
                 &direct,
-                &mut self.rng,
+                &slot_seeds,
                 dishonest,
             );
 
@@ -627,9 +647,7 @@ impl<'a> Runner<'a> {
                     let delay = inclusion_time.millis_since(first_seen);
                     delay_sum_ms += delay;
                     delay_count += 1;
-                    if pbs::tx_touches_sanctioned(tx, |a| {
-                        self.sanctions.is_sanctioned(a, day)
-                    }) {
+                    if pbs::tx_touches_sanctioned(tx, |a| self.sanctions.is_sanctioned(a, day)) {
                         sanctioned_delay_sum_ms += delay;
                         sanctioned_delay_count += 1;
                     }
@@ -642,12 +660,17 @@ impl<'a> Runner<'a> {
                 self.label_block(block, base_fee);
             let sanctioned = pbs::block_touches_sanctioned(block, &self.sanctions, day);
             let payment_detected = block.last_tx().and_then(|t| {
-                (t.sender == block.header.fee_recipient && t.to != t.sender)
-                    .then_some(t.value)
+                (t.sender == block.header.fee_recipient && t.to != t.sender).then_some(t.value)
             });
 
             self.totals.blocks += 1;
             self.totals.transactions += block.tx_count() as u64;
+            self.totals.binance_included_txs += block
+                .body
+                .transactions
+                .iter()
+                .filter(|t| t.sender == binance_sender())
+                .count() as u64;
             self.totals.logs += block
                 .body
                 .receipts
@@ -715,8 +738,7 @@ impl<'a> Runner<'a> {
             self.mempool
                 .prune_included(block.body.transactions.iter().map(|t| &t.hash));
             // Consume included private user txs.
-            let included: BTreeSet<_> =
-                block.body.transactions.iter().map(|t| t.hash).collect();
+            let included: BTreeSet<_> = block.body.transactions.iter().map(|t| t.hash).collect();
             private_user_txs.retain(|t| !included.contains(&t.hash));
         }
 
@@ -732,13 +754,16 @@ impl<'a> Runner<'a> {
             missed_slots: self.missed,
             relay_builders_daily,
             builder_names: self.cast.iter().map(|c| c.profile.name.clone()).collect(),
-            builder_fee_recipients: self
+            builder_fee_recipients: self.cast.iter().map(|c| c.profile.fee_recipient).collect(),
+            builder_pubkeys: self
                 .cast
                 .iter()
-                .map(|c| c.profile.fee_recipient)
+                .map(|c| c.profile.pubkeys.clone())
                 .collect(),
-            builder_pubkeys: self.cast.iter().map(|c| c.profile.pubkeys.clone()).collect(),
-            entity_names: validator_entities().iter().map(|e| e.name.clone()).collect(),
+            entity_names: validator_entities()
+                .iter()
+                .map(|e| e.name.clone())
+                .collect(),
             totals: self.totals,
         }
     }
@@ -868,6 +893,23 @@ mod tests {
         // Per-source raw counts differ (different recalls).
         let [a, b, c] = run.totals.labels_per_source;
         assert!(a + b + c >= run.totals.union_labels);
+    }
+
+    #[test]
+    fn binance_spike_survives_the_queue_cap() {
+        // Cover the whole December window (days 91–105) at a low block
+        // rate. The queue cap (400) can only trigger after ~200 windowed
+        // slots without an AnkrPool proposer; the window itself is shorter
+        // than that here, so every transfer must survive the cap and the
+        // spike must reach the chain through AnkrPool's local blocks.
+        let mut cfg = ScenarioConfig::test_small(9, 1);
+        cfg.calendar = eth_types::StudyCalendar::new(8, 106);
+        let run = Simulation::new(cfg).run();
+        assert_eq!(run.totals.dropped_binance_txs, 0);
+        assert!(
+            run.totals.binance_included_txs > 0,
+            "December Binance→AnkrPool transfers never reached a block"
+        );
     }
 
     #[test]

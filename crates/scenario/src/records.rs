@@ -6,9 +6,7 @@
 
 use crate::config::ScenarioConfig;
 use beacon::ValidatorId;
-use eth_types::{
-    Address, BlsPublicKey, DayIndex, Gas, GasPrice, Slot, Wei,
-};
+use eth_types::{Address, BlsPublicKey, DayIndex, Gas, GasPrice, Slot, Wei};
 use pbs::{BuilderId, RelayId};
 use serde::{Deserialize, Serialize};
 
@@ -135,6 +133,14 @@ pub struct RunTotals {
     pub relay_rows: u64,
     /// Sanctioned addresses on the OFAC list.
     pub ofac_addresses: u64,
+    /// Binance→AnkrPool private transfers dropped by the delivery-queue
+    /// cap before reaching a proposer (§5.3 flow accounting).
+    pub dropped_binance_txs: u64,
+    /// Private user transactions dropped by the pending-queue cap.
+    pub dropped_private_txs: u64,
+    /// Binance hot-wallet transfers that made it into a block (F14: the
+    /// December spike should survive the queue cap).
+    pub binance_included_txs: u64,
 }
 
 /// The complete output of a simulation run.
@@ -239,7 +245,10 @@ mod tests {
     #[test]
     fn builder_profit_is_value_minus_payment() {
         let r = record(true);
-        assert_eq!(r.builder_profit_wei(), (Wei::from_eth(0.11) - Wei::from_eth(0.09)).0 as i128);
+        assert_eq!(
+            r.builder_profit_wei(),
+            (Wei::from_eth(0.11) - Wei::from_eth(0.09)).0 as i128
+        );
         assert_eq!(record(false).builder_profit_wei(), 0);
     }
 

@@ -110,7 +110,9 @@ impl WorkloadGenerator {
     }
 
     fn fee_bid(&mut self, base_fee: GasPrice) -> (GasPrice, GasPrice) {
-        let tip_gwei = LogNormal::with_median(3.0, 0.9).sample(&mut self.rng).min(300.0);
+        let tip_gwei = LogNormal::with_median(3.0, 0.9)
+            .sample(&mut self.rng)
+            .min(300.0);
         let tip = GasPrice::from_gwei(tip_gwei);
         // Fee cap: comfortably above the current base fee, as wallets do.
         let cap = GasPrice(base_fee.0 * 2 + tip.0);
@@ -175,12 +177,26 @@ impl WorkloadGenerator {
                     continue;
                 }
                 let nonce = self.next_nonce(sender);
-                Transaction::transfer(sender, target, Wei::from_eth(self.amount_eth()), nonce, tip, cap)
+                Transaction::transfer(
+                    sender,
+                    target,
+                    Wei::from_eth(self.amount_eth()),
+                    nonce,
+                    tip,
+                    cap,
+                )
             } else if roll < 0.55 {
                 // Plain transfer.
                 let to = self.pick_user();
                 let nonce = self.next_nonce(sender);
-                Transaction::transfer(sender, to, Wei::from_eth(self.amount_eth()), nonce, tip, cap)
+                Transaction::transfer(
+                    sender,
+                    to,
+                    Wei::from_eth(self.amount_eth()),
+                    nonce,
+                    tip,
+                    cap,
+                )
             } else if roll < 0.70 {
                 // ERC-20 transfer of a monitored token; a thin slice of the
                 // flow is TRON, which becomes sanctioned-as-a-token from
@@ -194,11 +210,12 @@ impl WorkloadGenerator {
                 let token = if self.rng.random::<f64>() < tron_prob {
                     Token::Tron
                 } else {
-                    Token::MONITORED[self.rng.random_range(0..5)]
+                    Token::MONITORED[self.rng.random_range(0..5usize)]
                 };
                 let units = LogNormal::with_median(120.0, 1.2).sample(&mut self.rng);
                 let nonce = self.next_nonce(sender);
-                let mut t = Transaction::transfer(sender, token.contract(), Wei::ZERO, nonce, tip, cap);
+                let mut t =
+                    Transaction::transfer(sender, token.contract(), Wei::ZERO, nonce, tip, cap);
                 t.effect = TxEffect::TokenTransfer {
                     amount: TokenAmount::from_units(token, units.min(1e7)),
                     recipient: self.pick_user(),
@@ -215,8 +232,9 @@ impl WorkloadGenerator {
                 } else {
                     (pool.token1, pool.token0)
                 };
-                let eth_size =
-                    LogNormal::with_median(2.0 * activity.sqrt(), 1.0).sample(&mut self.rng).min(60.0);
+                let eth_size = LogNormal::with_median(2.0 * activity.sqrt(), 1.0)
+                    .sample(&mut self.rng)
+                    .min(60.0);
                 // Convert a WETH-denominated size into token_in units.
                 let usd = eth_size * world.oracle().price_usd(Token::Weth);
                 let price_in = world.oracle().price_usd(token_in).max(1e-9);
@@ -229,7 +247,8 @@ impl WorkloadGenerator {
                 let quote = pool.quote(token_in, amount_in.max(1)).unwrap_or(0);
                 let min_out = (quote as f64 * (1.0 - slippage)) as u128;
                 let nonce = self.next_nonce(sender);
-                let mut t = Transaction::transfer(sender, pool.contract(), Wei::ZERO, nonce, tip, cap);
+                let mut t =
+                    Transaction::transfer(sender, pool.contract(), Wei::ZERO, nonce, tip, cap);
                 t.effect = TxEffect::Swap {
                     pool: pool.id,
                     token_in,
@@ -297,7 +316,9 @@ impl WorkloadGenerator {
     }
 
     fn amount_eth(&mut self) -> f64 {
-        LogNormal::with_median(0.25, 1.3).sample(&mut self.rng).min(500.0)
+        LogNormal::with_median(0.25, 1.3)
+            .sample(&mut self.rng)
+            .min(500.0)
     }
 }
 
@@ -323,10 +344,19 @@ mod tests {
         for _ in 0..50 {
             normal += g.slot_txs(DayIndex(100), base(), &world, &t, 1.0).len();
             busy += g
-                .slot_txs(crate::timeline::days::FTX_BANKRUPTCY, base(), &world, &t, 1.0)
+                .slot_txs(
+                    crate::timeline::days::FTX_BANKRUPTCY,
+                    base(),
+                    &world,
+                    &t,
+                    1.0,
+                )
                 .len();
         }
-        assert!(busy as f64 > normal as f64 * 2.0, "busy {busy} normal {normal}");
+        assert!(
+            busy as f64 > normal as f64 * 2.0,
+            "busy {busy} normal {normal}"
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub struct Exponential {
 impl Exponential {
     /// Creates an exponential with the given rate; panics on λ ≤ 0.
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda > 0.0 && lambda.is_finite(), "lambda must be positive");
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "lambda must be positive"
+        );
         Exponential { lambda }
     }
 
@@ -89,7 +92,10 @@ pub struct Pareto {
 impl Pareto {
     /// Creates a Pareto; panics on non-positive parameters.
     pub fn new(x_min: f64, alpha: f64) -> Self {
-        assert!(x_min > 0.0 && alpha > 0.0, "x_min and alpha must be positive");
+        assert!(
+            x_min > 0.0 && alpha > 0.0,
+            "x_min and alpha must be positive"
+        );
         Pareto { x_min, alpha }
     }
 

@@ -81,7 +81,10 @@ impl MetricsRegistry {
 
     /// Records an observation into a named summary.
     pub fn observe(&mut self, name: &str, v: f64) {
-        self.summaries.entry(name.to_string()).or_default().observe(v);
+        self.summaries
+            .entry(name.to_string())
+            .or_default()
+            .observe(v);
     }
 
     /// Reads a summary (`None` if never observed).

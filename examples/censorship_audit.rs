@@ -30,7 +30,16 @@ fn main() {
     // Figure 17: who builds PBS blocks?
     let f17 = censorship::daily_censoring_relay_share(&run);
     println!("\nFigure 17 — share of PBS blocks from OFAC-compliant relays:");
-    for (day, share) in f17.days.iter().zip(&f17.compliant_share).rev().take(10).collect::<Vec<_>>().into_iter().rev() {
+    for (day, share) in f17
+        .days
+        .iter()
+        .zip(&f17.compliant_share)
+        .rev()
+        .take(10)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+    {
         println!("  {day}: {:5.1}%", share * 100.0);
     }
 
@@ -52,7 +61,11 @@ fn main() {
             r.blocks,
             r.sanctioned_blocks,
             r.share_sanctioned_pct,
-            if r.ofac_compliant { "  [self-reports OFAC-compliant]" } else { "" }
+            if r.ofac_compliant {
+                "  [self-reports OFAC-compliant]"
+            } else {
+                ""
+            }
         );
     }
 
@@ -77,6 +90,11 @@ fn main() {
     println!(
         "\ncompliant-relay leaks during the 2-day blacklist lag after the update: {leaks_in_window}"
     );
-    println!("compliant-relay leaks on all other {} days: {leaks_outside}", run.days().len() - 2);
-    println!("(the paper: \"the most significant gaps … follow updates of the OFAC sanctions list\")");
+    println!(
+        "compliant-relay leaks on all other {} days: {leaks_outside}",
+        run.days().len() - 2
+    );
+    println!(
+        "(the paper: \"the most significant gaps … follow updates of the OFAC sanctions list\")"
+    );
 }

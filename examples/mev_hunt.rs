@@ -15,7 +15,9 @@ use pbs_repro::eth_types::{
 };
 use pbs_repro::execution::{BlockExecutor, StateLedger};
 use pbs_repro::mev::{detect_block, CyclicArbitrageur, LabelSource, SandwichAttacker};
-use pbs_repro::pbs::{BuildInputs, Builder, BuilderId, BuilderProfile, MarginPolicy, SubsidyPolicy};
+use pbs_repro::pbs::{
+    BuildInputs, Builder, BuilderId, BuilderProfile, MarginPolicy, SubsidyPolicy,
+};
 use pbs_repro::simcore::SeedDomain;
 
 fn main() {
@@ -65,13 +67,16 @@ fn main() {
         SubsidyPolicy::Never,
         1.0,
     );
-    let mut builder = Builder::new(BuilderId(0), profile, SeedDomain::new(1).rng("b"));
-    let built = builder.build(&BuildInputs {
-        base_fee,
-        gas_limit: Gas::BLOCK_LIMIT,
-        mempool: std::slice::from_ref(&victim),
-        bundles: &[bundle],
-    });
+    let builder = Builder::new(BuilderId(0), profile);
+    let built = builder.build(
+        &BuildInputs {
+            base_fee,
+            gas_limit: Gas::BLOCK_LIMIT,
+            mempool: std::slice::from_ref(&victim),
+            bundles: &[bundle],
+        },
+        &mut SeedDomain::new(1).rng("b"),
+    );
     println!(
         "builder assembled {} txs, est. block value {}",
         built.txs.len(),

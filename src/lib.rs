@@ -1,0 +1,33 @@
+//! Umbrella crate for the PBS reproduction: re-exports every workspace
+//! crate under one roof so the examples and downstream users can depend on
+//! a single package, plus a [`prelude`] with the types almost every
+//! program touches.
+//!
+//! The layering mirrors the pipeline described in ROADMAP.md:
+//! `eth_types`/`simcore` at the bottom, the domain crates (`beacon`,
+//! `execution`, `netsim`, `defi`, `mev`, `pbs`) in the middle, and
+//! `scenario` → `analysis`/`datasets` at the top.
+
+pub use analysis;
+pub use beacon;
+pub use datasets;
+pub use defi;
+pub use eth_types;
+pub use execution;
+pub use mev;
+pub use netsim;
+pub use pbs;
+pub use scenario;
+pub use simcore;
+
+pub mod prelude {
+    //! The types nearly every entry point needs.
+    pub use analysis::PaperReport;
+    pub use eth_types::{
+        Address, BlsPublicKey, DayIndex, Gas, GasPrice, Slot, StudyCalendar, Token, Transaction,
+        UnixTime, Wei, H256,
+    };
+    pub use pbs::{BuilderId, RelayId};
+    pub use scenario::{RunArtifacts, ScenarioConfig, Simulation};
+    pub use simcore::SeedDomain;
+}

@@ -1,0 +1,114 @@
+//! The `pbs-repro` command-line interface.
+//!
+//! ```text
+//! pbs-repro summary --days 60 --bpd 24     # headline results over a slice
+//! pbs-repro events  --days 60 --bpd 16     # incident-signature detection
+//! ```
+//!
+//! Both subcommands simulate a slice of the study window (starting at the
+//! merge) and run the measurement pipeline over it. `--seed` (default 42)
+//! selects the master seed; `PBS_THREADS` caps the rayon thread count.
+
+use analysis::PaperReport;
+use scenario::{ScenarioConfig, Simulation};
+
+struct Args {
+    days: u32,
+    bpd: u32,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pbs-repro <summary|events> [--days N] [--bpd N] [--seed N]\n\
+         \n\
+         summary   simulate a slice and print the headline paper results\n\
+         events    simulate a slice and print detected incident signatures\n\
+         \n\
+         --days N  days to simulate, from the merge (default 30)\n\
+         --bpd  N  blocks per day (default 120; mainnet is 7200)\n\
+         --seed N  master seed (default 42)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flags(rest: &[String]) -> Args {
+    let mut args = Args {
+        days: 30,
+        bpd: 120,
+        seed: 42,
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        fn value<'a>(flag: &str, it: &mut std::slice::Iter<'a, String>) -> &'a str {
+            match it.next() {
+                Some(v) => v,
+                None => {
+                    eprintln!("error: {flag} requires a value");
+                    std::process::exit(2);
+                }
+            }
+        }
+        let parse = |flag: &str, v: &str| -> u64 {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("error: {flag} expects a number, got {v:?}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--days" => args.days = parse(flag, value(flag, &mut it)) as u32,
+            "--bpd" => args.bpd = parse(flag, value(flag, &mut it)) as u32,
+            "--seed" => args.seed = parse(flag, value(flag, &mut it)),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    if args.days == 0 || args.days > 198 {
+        eprintln!("error: --days must be in 1..=198 (the study window)");
+        std::process::exit(2);
+    }
+    if args.bpd == 0 {
+        eprintln!("error: --bpd must be at least 1");
+        std::process::exit(2);
+    }
+    args
+}
+
+fn simulate(args: &Args) -> scenario::RunArtifacts {
+    let mut cfg = ScenarioConfig {
+        seed: args.seed,
+        ..ScenarioConfig::default()
+    };
+    cfg.calendar = eth_types::StudyCalendar::new(args.bpd, args.days);
+    eprintln!(
+        "simulating {} days × {} blocks/day (seed {}) …",
+        args.days, args.bpd, args.seed
+    );
+    Simulation::new(cfg).run()
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else { usage() };
+    let args = parse_flags(&argv[1..]);
+    match cmd.as_str() {
+        "summary" => {
+            let run = simulate(&args);
+            let report = PaperReport::compute(&run);
+            print!("{}", report.render_summary(&run));
+        }
+        "events" => {
+            let run = simulate(&args);
+            let signatures = analysis::events::event_report(&run);
+            print!("{}", analysis::events::render_event_report(&signatures));
+        }
+        "--help" | "-h" => usage(),
+        other => {
+            eprintln!("error: unknown subcommand {other:?}");
+            usage();
+        }
+    }
+}

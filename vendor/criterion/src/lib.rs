@@ -1,0 +1,246 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the macro and builder surface the workspace's benches use
+//! (`criterion_group!` in both the simple and `name/config/targets` forms,
+//! `criterion_main!`, `Criterion::default().sample_size(..)`,
+//! `benchmark_group`, `throughput`, `bench_function`, `iter`,
+//! `iter_batched`) with a deliberately small measurement core: a short
+//! warm-up, then `sample_size` timed passes, reporting the median
+//! nanoseconds per iteration on stdout. No plots, no statistics engine —
+//! enough to compile everywhere and give honest relative numbers when the
+//! benches are actually run.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark (reported alongside timing).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How batched setup output is sized (accepted for API parity; the shim
+/// always regenerates the input per iteration, which is `SmallInput`
+/// behavior).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Setup output is cheap to hold per-iteration.
+    SmallInput,
+    /// Setup output is expensive; upstream amortizes it.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Far below upstream's 100: these benches wrap whole-simulation
+        // runs, and the shim is for smoke timing, not statistics.
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), self.sample_size, None, f);
+        self
+    }
+
+    /// Opens a named group sharing throughput/sample settings.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(
+            &format!("{}/{id}", self.name),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim reports
+    /// eagerly, so this is a no-op that consumes the group).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; measures the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, called back-to-back.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // One untimed warm-up pass.
+        let _ = routine();
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            let _ = std::hint::black_box(routine());
+        }
+        self.samples
+            .push(start.elapsed() / self.iters_per_sample as u32);
+    }
+
+    /// Times `routine` with a fresh `setup()` input per call; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let _ = routine(setup());
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters_per_sample {
+            let input = setup();
+            let start = Instant::now();
+            let _ = std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.samples.push(total / self.iters_per_sample as u32);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: 1,
+    };
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    if bencher.samples.is_empty() {
+        println!("bench {name}: no samples recorded");
+        return;
+    }
+    bencher.samples.sort();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let ns = median.as_nanos().max(1);
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mib_s = bytes as f64 / (ns as f64 / 1e9) / (1024.0 * 1024.0);
+            println!("bench {name}: {ns} ns/iter ({mib_s:.1} MiB/s)");
+        }
+        Some(Throughput::Elements(n)) => {
+            let elems_s = n as f64 / (ns as f64 / 1e9);
+            println!("bench {name}: {ns} ns/iter ({elems_s:.0} elem/s)");
+        }
+        None => println!("bench {name}: {ns} ns/iter"),
+    }
+}
+
+/// Declares a benchmark group function, in either upstream form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point. Marked allow(dead_code): under the
+/// default libtest harness `cargo test` compiles benches with `--test`,
+/// where this `main` is shadowed by the generated harness.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        #[allow(dead_code)]
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut count = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        c.bench_function("counted", |b| {
+            count += 1;
+            b.iter(|| ())
+        });
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn groups_and_batched_iter_work() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![0u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

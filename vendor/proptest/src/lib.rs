@@ -1,0 +1,643 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's test suites
+//! use: the `proptest!` macro (with optional `#![proptest_config(...)]`),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`,
+//! `any::<T>()`, range strategies over integers and floats, tuple
+//! strategies, `proptest::collection::vec`, and a tiny regex-ish string
+//! generator covering the two patterns that appear in the tests
+//! (`"[a-z]{1,12}"` and `"\PC{0,64}"`).
+//!
+//! Differences from upstream, deliberate for an offline shim: no shrinking
+//! (a failing case reports its values instead), and seeding is derived
+//! from the test name, so runs are reproducible without a persistence
+//! file.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+// ---- runner -----------------------------------------------------------
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is retried.
+    Reject(String),
+}
+
+/// Runner configuration (only the knob the workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream's default.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Drives one property test: generates inputs until `cases` accepted runs
+/// pass, panicking on the first failure. Called by generated test fns.
+pub fn run_config<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::new(fnv1a(name.as_bytes()));
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = u64::from(config.cases.max(1)) * 50 + 1000;
+    while accepted < config.cases {
+        attempts += 1;
+        if attempts > max_attempts {
+            panic!(
+                "proptest {name}: too many rejects ({attempts} attempts for \
+                 {accepted}/{} accepted cases)",
+                config.cases
+            );
+        }
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest {name} failed at case {accepted}: {msg}")
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---- rng --------------------------------------------------------------
+
+/// The generator strategies draw from (splitmix64 — statistical quality is
+/// ample for input generation).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The next 128 random bits.
+    pub fn next_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below_u128(&mut self, bound: u128) -> u128 {
+        // Modulo bias is ~2^-64 at worst here — irrelevant for test input
+        // generation (there is no shrinking to distort either).
+        self.next_u128() % bound
+    }
+
+    /// Uniform in `[0, bound)` for usize bounds.
+    pub fn below_usize(&mut self, bound: usize) -> usize {
+        self.below_u128(bound as u128) as usize
+    }
+}
+
+// ---- strategies -------------------------------------------------------
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u128() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric, wide dynamic range.
+        let mag = rng.unit_f64() * 1e12;
+        if rng.next_u64() & 1 == 1 {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mut out = [0u8; N];
+        for b in &mut out {
+            *b = rng.next_u64() as u8;
+        }
+        out
+    }
+}
+
+/// Marker returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128) - (self.start as u128);
+                self.start + rng.below_u128(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128) - (lo as u128) + 1;
+                if span == 0 {
+                    // Full-width inclusive range.
+                    return rng.next_u128() as $t;
+                }
+                lo + rng.below_u128(span) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_range_strategy_sint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.below_u128(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u128 + 1;
+                if span == 0 {
+                    return rng.next_u128() as $t;
+                }
+                (lo + rng.below_u128(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy_sint!(i8, i16, i32, i64, i128, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+// ---- string patterns --------------------------------------------------
+
+/// String literals act as (tiny) regex-style generators.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+/// Generates a string from the regex subset the tests use: literal chars,
+/// `[a-z0-9_]`-style classes with ranges, `\PC` (any non-control char),
+/// each optionally followed by `{m,n}`.
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0usize;
+    let mut out = String::new();
+    while i < chars.len() {
+        let piece = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|off| i + off)
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                let class: Vec<char> = chars[i + 1..close].to_vec();
+                i = close + 1;
+                Piece::Class(parse_class(&class, pattern))
+            }
+            '\\' => {
+                if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                    i += 3;
+                    Piece::NonControl
+                } else {
+                    let c = *chars
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                    i += 2;
+                    Piece::Literal(c)
+                }
+            }
+            c => {
+                i += 1;
+                Piece::Literal(c)
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|off| i + off)
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            let (lo, hi) = spec
+                .split_once(',')
+                .unwrap_or_else(|| panic!("bad repetition {spec:?} in pattern {pattern:?}"));
+            (
+                lo.trim().parse::<usize>().expect("bad repetition min"),
+                hi.trim().parse::<usize>().expect("bad repetition max"),
+            )
+        } else {
+            (1, 1)
+        };
+        let count = min + rng.below_usize(max - min + 1);
+        for _ in 0..count {
+            out.push(piece.sample(rng));
+        }
+    }
+    out
+}
+
+enum Piece {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    NonControl,
+}
+
+impl Piece {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            Piece::Literal(c) => *c,
+            Piece::Class(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                    .sum();
+                let mut pick = rng.below_u128(u128::from(total)) as u32;
+                for (lo, hi) in ranges {
+                    let width = *hi as u32 - *lo as u32 + 1;
+                    if pick < width {
+                        return char::from_u32(*lo as u32 + pick).unwrap();
+                    }
+                    pick -= width;
+                }
+                unreachable!()
+            }
+            Piece::NonControl => {
+                // Mostly printable ASCII with a sprinkling of multi-byte
+                // code points, all non-control as `\PC` requires.
+                const WIDE: &[char] = &['é', 'ß', 'λ', '→', '試', '𝛑', '🦀'];
+                if rng.below_usize(5) == 0 {
+                    WIDE[rng.below_usize(WIDE.len())]
+                } else {
+                    char::from_u32(0x20 + rng.below_u128(0x7f - 0x20) as u32).unwrap()
+                }
+            }
+        }
+    }
+}
+
+fn parse_class(class: &[char], pattern: &str) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            ranges.push((class[i], class[i + 2]));
+            i += 3;
+        } else if i + 2 == class.len() && class[i + 1] == '-' {
+            ranges.push((class[i], class[i + 2 - 1].max(class[i])));
+            i += 2;
+        } else {
+            ranges.push((class[i], class[i]));
+            i += 1;
+        }
+    }
+    assert!(
+        !ranges.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    ranges
+}
+
+// ---- collections ------------------------------------------------------
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types usable as the element-count bound of [`vec`].
+    pub trait IntoSizeRange {
+        /// Inclusive (min, max) element counts.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates `Vec`s of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.min + rng.below_usize(self.max - self.min + 1);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---- macros -----------------------------------------------------------
+
+/// The property-test entry point; mirrors upstream's surface syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { @config ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { @config ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands each `fn` in a `proptest!` block. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (@config ($config:expr)) => {};
+    (@config ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::run_config(&config, stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), __proptest_rng);)+
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_each! { @config ($config) $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), left, right,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), left, right,
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left), stringify!($right), left,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return Err($crate::TestCaseError::Fail(format!(
+                "{}\n  both: {:?}", format!($($fmt)+), left,
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (retried, not counted) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject(format!(
+                "assumption failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+pub mod prelude {
+    //! The glob import mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, y in 5u64..=5, f in -1.5f64..2.5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert_eq!(y, 5);
+            prop_assert!((-1.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_vecs_generate(
+            pair in (1u32..100, any::<bool>()),
+            items in crate::collection::vec(any::<u8>(), 2..6),
+        ) {
+            prop_assert!(pair.0 >= 1 && pair.0 < 100);
+            prop_assert!(items.len() >= 2 && items.len() < 6);
+        }
+
+        #[test]
+        fn string_patterns_match_shape(a in "[a-z]{1,12}", s in "\\PC{0,64}") {
+            prop_assert!(!a.is_empty() && a.len() <= 12);
+            prop_assert!(a.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(s.chars().count() <= 64);
+            prop_assert!(s.chars().all(|c| !c.is_control()));
+        }
+
+        #[test]
+        fn assume_retries(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn arrays_are_arbitrary() {
+        let mut rng = TestRng::new(7);
+        let a: [u8; 20] = Arbitrary::arbitrary(&mut rng);
+        let b: [u8; 20] = Arbitrary::arbitrary(&mut rng);
+        assert_ne!(a, b);
+    }
+}

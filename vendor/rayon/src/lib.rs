@@ -1,0 +1,273 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Provides the subset the workspace's hot paths use — `par_iter()` on
+//! slices/`Vec`s with `map`/`collect`/`sum`/`reduce`, plus a global thread
+//! count configured through `ThreadPoolBuilder::build_global` — implemented
+//! with `std::thread::scope` over contiguous index chunks.
+//!
+//! The determinism contract is stronger than upstream's: every adapter
+//! reassembles results **in input order** before handing them on, so a
+//! `par_iter().map(f).collect::<Vec<_>>()` is bitwise-identical to the
+//! sequential `iter().map(f).collect()` regardless of the thread count —
+//! the property the simulation's byte-identical-artifacts guarantee builds
+//! on. Work is split into as many contiguous chunks as there are threads;
+//! scheduling jitter can change only *when* a chunk runs, never where its
+//! results land.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Configures the global thread count (the only knob this shim has).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type for [`ThreadPoolBuilder::build_global`] (never produced; the
+/// shim allows reconfiguration, unlike upstream).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (auto-detected) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads; 0 means auto-detect.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the thread count globally. Infallible in this shim, and —
+    /// deliberately unlike upstream — idempotent and re-entrant, so tests
+    /// can flip the count between runs.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        NUM_THREADS.store(self.num_threads, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+/// The number of threads parallel iterators will use.
+pub fn current_num_threads() -> usize {
+    match NUM_THREADS.load(Ordering::SeqCst) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Worker threads actually spawned per call: the configured count clamped
+/// to the host's cores. Spawning scoped threads beyond the core count is
+/// pure overhead for CPU-bound chunks, and since results are always
+/// reassembled in input order the clamp cannot change any output.
+fn effective_threads(items: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    current_num_threads().min(cores).min(items).max(1)
+}
+
+/// Runs `f` over every item, returning results in input order.
+fn ordered_parallel_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(items: &[T], f: F) -> Vec<R> {
+    let threads = effective_threads(items.len());
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<R> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for piece in items.chunks(chunk) {
+            let f = &f;
+            handles.push(scope.spawn(move || piece.iter().map(f).collect::<Vec<R>>()));
+        }
+        // Joining in spawn order restores input order exactly.
+        for h in handles {
+            out.extend(h.join().expect("parallel map worker panicked"));
+        }
+    });
+    out
+}
+
+/// A parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every item in parallel; result order matches input order.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// The number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// The result of [`ParIter::map`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    fn run(self) -> Vec<R> {
+        // The borrow in `F: Fn(&'a T)` outlives the scope, so delegating to
+        // the helper keeps lifetimes simple.
+        let f = self.f;
+        let threads = effective_threads(self.items.len());
+        if threads == 1 {
+            return self.items.iter().map(f).collect();
+        }
+        let chunk = self.items.len().div_ceil(threads);
+        let mut out: Vec<R> = Vec::with_capacity(self.items.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for piece in self.items.chunks(chunk) {
+                let f = &f;
+                handles.push(scope.spawn(move || piece.iter().map(f).collect::<Vec<R>>()));
+            }
+            for h in handles {
+                out.extend(h.join().expect("parallel map worker panicked"));
+            }
+        });
+        out
+    }
+
+    /// Collects the mapped values in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Sums the mapped values. Addition over the result type must be
+    /// associative for this to be order-independent; the workspace only
+    /// sums integers (`u64`/`u128`/`Wei`), never floats, across threads.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    /// Left-fold of the mapped values in input order.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R,
+        OP: Fn(R, R) -> R,
+    {
+        self.run().into_iter().fold(identity(), op)
+    }
+}
+
+/// Extension trait putting `.par_iter()` on slices and `Vec`s.
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type.
+    type Item: Sync + 'data;
+
+    /// A parallel iterator over borrowed items.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Standalone ordered parallel map, for callers that prefer a function to
+/// the iterator adapters.
+pub fn par_map<T: Sync, R: Send, F: Fn(&T) -> R + Sync>(items: &[T], f: F) -> Vec<R> {
+    ordered_parallel_map(items, f)
+}
+
+pub mod prelude {
+    //! The glob import mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 4, 7] {
+            ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build_global()
+                .unwrap();
+            let par: Vec<u64> = items.par_iter().map(|x| x * 3 + 1).collect();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+    }
+
+    #[test]
+    fn sum_and_reduce_match_sequential() {
+        let items: Vec<u64> = (1..=1000).collect();
+        ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build_global()
+            .unwrap();
+        let s: u64 = items.par_iter().map(|x| *x).sum();
+        assert_eq!(s, 500_500);
+        let m = items.par_iter().map(|x| *x).reduce(|| 0, u64::max);
+        assert_eq!(m, 1000);
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [5u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![6]);
+    }
+}
