@@ -40,5 +40,5 @@ pub mod stats;
 pub mod tables;
 pub mod util;
 
-pub use report::PaperReport;
+pub use report::{write_artifact_bundle, PaperReport};
 pub use stats::{hhi, mean, percentile, std_dev, BoxStats};

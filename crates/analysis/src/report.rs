@@ -451,6 +451,78 @@ impl PaperReport {
     }
 }
 
+/// Writes the complete `out/` bundle for a run — every figure CSV,
+/// `tables.txt`, `summary.txt`, `run.json`, `blocks.csv` — and, only when
+/// the run recorded fault-injection events, `fault_audit.csv`. Returns
+/// the rendered `(summary, tables)` text so callers can echo them.
+///
+/// This is the single serialization point shared by the `paper_artifacts`
+/// binary and the golden-artifact regression test: both must produce the
+/// same bytes for the same run.
+pub fn write_artifact_bundle(
+    report: &PaperReport,
+    run: &RunArtifacts,
+    dir: &Path,
+) -> std::io::Result<(String, String)> {
+    std::fs::create_dir_all(dir)?;
+    report.write_csvs(run, dir)?;
+
+    let mut tables_txt = String::new();
+    tables_txt.push_str(&datasets::summary::render_table1(&report.table1));
+    tables_txt.push('\n');
+    tables_txt.push_str(&crate::tables::render_table2());
+    tables_txt.push('\n');
+    tables_txt.push_str(&crate::tables::render_table3());
+    tables_txt.push('\n');
+    tables_txt.push_str(&relay_audit::render_table4(
+        &report.table4,
+        &report.table4_aggregate,
+    ));
+    tables_txt.push('\n');
+    tables_txt.push_str(&crate::tables::render_table5(run, 17));
+    std::fs::write(dir.join("tables.txt"), &tables_txt)?;
+
+    let summary = report.render_summary(run);
+    std::fs::write(dir.join("summary.txt"), &summary)?;
+
+    let json = datasets::export::run_to_json(run).expect("serializable");
+    std::fs::write(dir.join("run.json"), json)?;
+    datasets::write_csv(&dir.join("blocks.csv"), &datasets::export::blocks_csv(run))?;
+
+    // Fault audit is only meaningful (and only written) for faulted runs,
+    // so a faults-off `out/` stays byte-for-byte what it was before the
+    // fault subsystem existed.
+    if !run.fault_events.is_empty() {
+        let mut t = CsvTable::new(&[
+            "relay",
+            "day",
+            "missed_slots",
+            "shortfall_blocks",
+            "shortfall_eth",
+            "header_timeouts",
+            "unreachable",
+            "stale_headers",
+            "payload_failures",
+        ]);
+        for r in relay_audit::fault_audit(run) {
+            t.push_row(vec![
+                r.name.to_string(),
+                r.day.iso(),
+                r.missed_slots.to_string(),
+                r.shortfall_blocks.to_string(),
+                r.shortfall_eth.to_string(),
+                r.header_timeouts.to_string(),
+                r.unreachable.to_string(),
+                r.stale_headers.to_string(),
+                r.payload_failures.to_string(),
+            ]);
+        }
+        datasets::write_csv(&dir.join("fault_audit.csv"), &t)?;
+    }
+
+    Ok((summary, tables_txt))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

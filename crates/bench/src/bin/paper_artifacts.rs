@@ -12,8 +12,7 @@
 //! * `out/summary.txt` — the headline paper-vs-measured record,
 //! * `out/run.json` — the aggregate dataset (the paper's GitHub artifact).
 
-use analysis::{tables, PaperReport};
-use datasets::summary::render_table1;
+use analysis::{write_artifact_bundle, PaperReport};
 use scenario::{ScenarioConfig, Simulation};
 use std::path::PathBuf;
 
@@ -48,30 +47,7 @@ fn main() -> std::io::Result<()> {
     );
 
     let report = PaperReport::compute(&run);
-    std::fs::create_dir_all(&out)?;
-    report.write_csvs(&run, &out)?;
-
-    let mut tables_txt = String::new();
-    tables_txt.push_str(&render_table1(&report.table1));
-    tables_txt.push('\n');
-    tables_txt.push_str(&tables::render_table2());
-    tables_txt.push('\n');
-    tables_txt.push_str(&tables::render_table3());
-    tables_txt.push('\n');
-    tables_txt.push_str(&analysis::relay_audit::render_table4(
-        &report.table4,
-        &report.table4_aggregate,
-    ));
-    tables_txt.push('\n');
-    tables_txt.push_str(&tables::render_table5(&run, 17));
-    std::fs::write(out.join("tables.txt"), &tables_txt)?;
-
-    let summary = report.render_summary(&run);
-    std::fs::write(out.join("summary.txt"), &summary)?;
-
-    let json = datasets::export::run_to_json(&run).expect("serializable");
-    std::fs::write(out.join("run.json"), json)?;
-    datasets::write_csv(&out.join("blocks.csv"), &datasets::export::blocks_csv(&run))?;
+    let (summary, tables_txt) = write_artifact_bundle(&report, &run, &out)?;
 
     println!("{summary}");
     println!("{tables_txt}");

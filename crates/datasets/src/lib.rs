@@ -2,11 +2,14 @@
 //!
 //! Wraps a simulation run's [`scenario::RunArtifacts`] into the shape of
 //! the paper's data collection: the Table 1 dataset inventory
-//! ([`summary`]), and CSV/JSON exporters for every record type so figures
-//! can be regenerated outside Rust ([`export`]).
+//! ([`summary`]), CSV/JSON exporters for every record type so figures
+//! can be regenerated outside Rust ([`export`]), and the SHA-256 digest
+//! manifest behind the golden-artifact regression test ([`digest`]).
 
+pub mod digest;
 pub mod export;
 pub mod summary;
 
+pub use digest::{digest_dir, parse_manifest, render_manifest, sha256, sha256_hex};
 pub use export::{write_csv, CsvTable};
 pub use summary::{table1_rows, Table1Row};

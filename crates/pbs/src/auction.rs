@@ -9,7 +9,7 @@
 //! header. Validators without MEV-Boost — or left without bids — build
 //! locally with naive gas-price ordering.
 
-use crate::boost::{LocalBuilder, MevBoostClient};
+use crate::boost::{BoostEvent, LocalBuilder, MevBoostClient};
 use crate::builder::{BuildInputs, Builder, BuilderId, BuiltBlock};
 use crate::ofac::{tx_touches_sanctioned, SanctionsList};
 use crate::relay::{RelayId, RelayRegistry, Submission};
@@ -80,6 +80,12 @@ pub struct SlotResult {
     pub bundle_counts: [usize; 3],
     /// Every submission any relay received this slot.
     pub submissions: Vec<SubmissionRecord>,
+    /// A header was signed but no carrying relay delivered the payload —
+    /// the slot produces no block at all.
+    pub missed: bool,
+    /// The MEV-Boost client's decision trail (empty without a client; only
+    /// the trivial signed/delivered pair when every relay is healthy).
+    pub events: Vec<BoostEvent>,
 }
 
 /// A builder's fully-assembled slot candidate, produced by the parallel
@@ -157,9 +163,11 @@ impl<'a> SlotAuction<'a> {
                     .profile
                     .relays
                     .iter()
-                    .map(|&rid| {
-                        let relay = relays_ro.get(rid);
-                        if relay.info.ofac_compliant {
+                    .filter_map(|&rid| {
+                        // Unknown relay ids in a profile are skipped, not
+                        // indexed blind.
+                        let relay = relays_ro.get(rid)?;
+                        Some(if relay.info.ofac_compliant {
                             let filtered =
                                 builder.censored_variant(&built, self.base_fee, self.day, |a| {
                                     relay.blacklist_flags(self.sanctions, a, self.day)
@@ -168,7 +176,7 @@ impl<'a> SlotAuction<'a> {
                             (rid, filtered.bid(m), filtered.bundle_counts[0])
                         } else {
                             (rid, honest_bid, built.bundle_counts[0])
-                        }
+                        })
                     })
                     .collect();
                 Candidate {
@@ -207,7 +215,10 @@ impl<'a> SlotAuction<'a> {
                     }
                 }
 
-                let accepted = relays.get_mut(rid).consider(
+                let Some(relay) = relays.get_mut(rid) else {
+                    continue;
+                };
+                let accepted = relay.consider(
                     Submission {
                         slot: self.slot,
                         builder: builder_id,
@@ -230,18 +241,40 @@ impl<'a> SlotAuction<'a> {
         }
         let built_blocks: Vec<BuiltBlock> = candidates.into_iter().map(|c| c.built).collect();
 
-        // 3. Proposer side.
-        let choice = client.and_then(|c| c.best_header(relays));
-        let result = match choice {
-            Some(choice) => {
+        // 3. Proposer side: the full MEV-Boost round (retry, fallback,
+        // payload fetch); with every relay healthy it reduces to
+        // `best_header` plus a delivery from the primary relay.
+        let report = client.map(|c| c.propose(relays));
+        let (choice, payload_relay, missed, mut events) = match report {
+            Some(r) => (r.choice, r.payload_relay, r.missed, r.events),
+            None => (None, None, false, Vec::new()),
+        };
+        let result = match (choice, payload_relay) {
+            (Some(choice), _) if missed => {
+                // Signed but undeliverable: nothing lands on chain.
+                SlotResult {
+                    txs: Vec::new(),
+                    fee_recipient: proposer_fee_recipient,
+                    pbs: false,
+                    builder: Some(choice.builder),
+                    pubkey: Some(choice.pubkey),
+                    winning_relays: choice.relays,
+                    promised: choice.promised,
+                    delivered: Wei::ZERO,
+                    bundle_counts: [0; 3],
+                    submissions,
+                    missed: true,
+                    events,
+                }
+            }
+            (Some(choice), Some(delivering)) => {
                 let winner_idx = choice.builder.0 as usize;
                 let built = &built_blocks[winner_idx];
-                let relay_primary = choice.relays[0];
 
-                // Reconstruct the winning variant (censored if the winning
-                // relay censors).
+                // Reconstruct the winning variant (censored if the
+                // delivering relay censors).
                 let final_built = {
-                    let relay = relays.get(relay_primary);
+                    let relay = relays.get(delivering).expect("delivering relay exists");
                     if relay.info.ofac_compliant {
                         builders[winner_idx].censored_variant(built, self.base_fee, self.day, |a| {
                             relay.blacklist_flags(self.sanctions, a, self.day)
@@ -261,8 +294,24 @@ impl<'a> SlotAuction<'a> {
                     // relay: the builder pays next to nothing.
                     delivered = Wei::ZERO;
                 }
-                if let Some(short) = relays.get_mut(relay_primary).sample_shortfall(delivered) {
+                let relay = relays.get_mut(delivering).expect("delivering relay exists");
+                if let Some(short) = relay.sample_shortfall(delivered) {
                     delivered = short;
+                }
+                if let Some(frac) = relay.faults.shortfall {
+                    let forced = delivered
+                        .saturating_sub(
+                            delivered.mul_ratio((frac * 1_000_000.0) as u128, 1_000_000),
+                        )
+                        .min(delivered.saturating_sub(Wei(1)));
+                    if forced < delivered {
+                        events.push(BoostEvent::ShortfallInjected {
+                            relay: delivering,
+                            promised: delivered,
+                            delivered: forced,
+                        });
+                        delivered = forced;
+                    }
                 }
 
                 let mut txs = final_built.txs.clone();
@@ -284,9 +333,11 @@ impl<'a> SlotAuction<'a> {
                     delivered,
                     bundle_counts: final_built.bundle_counts,
                     submissions,
+                    missed: false,
+                    events,
                 }
             }
-            None => {
+            _ => {
                 // Non-PBS path: naive local build.
                 let (txs, value) = LocalBuilder {
                     gas_limit: self.gas_limit,
@@ -303,6 +354,8 @@ impl<'a> SlotAuction<'a> {
                     delivered: value,
                     bundle_counts: [0; 3],
                     submissions,
+                    missed: false,
+                    events,
                 }
             }
         };
@@ -509,7 +562,7 @@ mod tests {
     fn manifold_exploit_delivers_nothing() {
         let mut relays = RelayRegistry::paper(&SeedDomain::new(1));
         let mf = relays.id_by_name("Manifold");
-        relays.get_mut(mf).bid_verification_from = Some(DayIndex(31));
+        relays.get_mut(mf).unwrap().bid_verification_from = Some(DayIndex(31));
         let mut builders = vec![mk_builder(0, "cheater", vec![mf])];
         let mempool = vec![mk_tx("a", 5.0)];
 
@@ -544,7 +597,7 @@ mod tests {
         let mempool = vec![mk_tx("a", 5.0)];
         let client = MevBoostClient::new(vec![us]);
         run_simple(&mut builders, &mut relays, Some(&client), &mempool);
-        assert!(relays.get(us).best_bid().is_none());
+        assert!(relays.get(us).unwrap().best_bid().is_none());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! building locally from its own mempool view — with the naive gas-price
 //! ordering the paper attributes to proposers (§1).
 
+use crate::builder::BuilderId;
 use crate::relay::{RelayId, RelayRegistry};
 use eth_types::{Gas, GasPrice, Transaction, Wei};
 use execution::Mempool;
@@ -29,6 +30,116 @@ pub struct HeaderChoice {
     pub relays: Vec<RelayId>,
 }
 
+/// Bounded-retry policy for relay requests: a fixed attempt budget with
+/// deterministic exponential backoff (no randomized jitter — the whole
+/// simulation must stay a pure function of the seed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// `getHeader` attempts per relay before giving up on it.
+    pub max_attempts: u32,
+    /// Backoff before retry `n` (1-based) is `base_backoff_ms << (n - 1)`.
+    pub base_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 50,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Deterministic backoff before the `attempt`-th retry (1-based).
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        self.base_backoff_ms << attempt.saturating_sub(1).min(16)
+    }
+}
+
+/// One observable decision the MEV-Boost client made during a slot. The
+/// stream of events is the audit trail the fault analysis consumes; it is
+/// empty whenever every relay behaves (so fault-free runs are unchanged).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoostEvent {
+    /// A `getHeader` attempt timed out (attempt numbers are 1-based).
+    HeaderTimeout {
+        /// Queried relay.
+        relay: RelayId,
+        /// Which attempt timed out.
+        attempt: u32,
+        /// Deterministic backoff the client waited before retrying.
+        backoff_ms: u64,
+    },
+    /// The retry budget for a relay was exhausted without a response.
+    RelayUnreachable {
+        /// The relay that never answered.
+        relay: RelayId,
+    },
+    /// A degraded relay served a stale header (older than its best escrow).
+    StaleHeader {
+        /// The relay serving stale data.
+        relay: RelayId,
+    },
+    /// The best header fell below `min-bid`; the client builds locally.
+    BelowMinBid {
+        /// The rejected header's value.
+        promised: Wei,
+    },
+    /// The client signed a blinded header (at most one per slot).
+    HeaderSigned {
+        /// Relay whose header was signed (primary of the carrying set).
+        relay: RelayId,
+        /// Winning builder.
+        builder: BuilderId,
+        /// Promised value.
+        promised: Wei,
+    },
+    /// `getPayload` failed on a relay carrying the signed header.
+    PayloadFailed {
+        /// The failing relay.
+        relay: RelayId,
+    },
+    /// `getPayload` succeeded; the block can be published.
+    PayloadDelivered {
+        /// The delivering relay.
+        relay: RelayId,
+    },
+    /// No header was signed; the validator built the block locally.
+    SelfBuild,
+    /// A header was signed but every carrying relay failed `getPayload`:
+    /// the slot is missed (the 10 Nov 2022 timestamp-bug failure mode).
+    SlotMissed {
+        /// The relay whose header was signed.
+        relay: RelayId,
+    },
+    /// The delivering relay paid less than promised by injected fault.
+    ShortfallInjected {
+        /// The under-paying relay.
+        relay: RelayId,
+        /// What the header promised.
+        promised: Wei,
+        /// What actually arrived.
+        delivered: Wei,
+    },
+}
+
+/// The outcome of one full MEV-Boost proposal round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProposeReport {
+    /// The signed header, if any relay produced an acceptable one.
+    pub choice: Option<HeaderChoice>,
+    /// The relay that served `getPayload` (primary unless it failed and a
+    /// fallback relay carrying the same header stepped in).
+    pub payload_relay: Option<RelayId>,
+    /// True when a header was signed but no carrying relay delivered the
+    /// payload — the proposer can no longer build locally (it signed) and
+    /// the slot is missed.
+    pub missed: bool,
+    /// Every decision taken, in order.
+    pub events: Vec<BoostEvent>,
+}
+
 /// The validator-side relay client.
 #[derive(Debug, Clone)]
 pub struct MevBoostClient {
@@ -38,6 +149,8 @@ pub struct MevBoostClient {
     /// validator builds locally instead (introduced by MEV-Boost after the
     /// censorship debate; 0 during the study period).
     pub min_bid: Wei,
+    /// Per-relay request retry policy.
+    pub retry: RetryPolicy,
 }
 
 impl MevBoostClient {
@@ -46,6 +159,7 @@ impl MevBoostClient {
         MevBoostClient {
             subscribed,
             min_bid: Wei::ZERO,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -55,44 +169,162 @@ impl MevBoostClient {
         self
     }
 
+    /// Sets the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Queries every subscribed relay and returns the most profitable
-    /// header, or `None` when no relay holds a block.
+    /// header, or `None` when no relay holds a block. Ignores injected
+    /// faults — this is the instantaneous best-escrow view; use
+    /// [`MevBoostClient::propose`] for the full fault-aware round.
     pub fn best_header(&self, relays: &RelayRegistry) -> Option<HeaderChoice> {
         let mut best: Option<HeaderChoice> = None;
         for &rid in &self.subscribed {
-            let relay = relays.get(rid);
-            let Some(bid) = relay.best_bid() else {
+            let Some(relay) = relays.get(rid) else {
                 continue;
             };
-            let s = &bid.submission;
-            match &mut best {
-                None => {
-                    best = Some(HeaderChoice {
-                        promised: s.declared_bid,
-                        builder: s.builder,
-                        pubkey: s.pubkey,
-                        relays: vec![rid],
-                    });
-                }
-                Some(cur) => {
-                    if s.declared_bid > cur.promised {
-                        *cur = HeaderChoice {
-                            promised: s.declared_bid,
-                            builder: s.builder,
-                            pubkey: s.pubkey,
-                            relays: vec![rid],
-                        };
-                    } else if s.declared_bid == cur.promised
-                        && s.builder == cur.builder
-                        && s.pubkey == cur.pubkey
-                    {
-                        cur.relays.push(rid);
-                    }
-                }
+            if let Some(bid) = relay.best_bid() {
+                merge_header(&mut best, rid, &bid.submission);
             }
         }
         // min-bid: prefer local building over cheap relay blocks.
         best.filter(|b| b.promised >= self.min_bid)
+    }
+
+    /// Runs one full proposal round against the registry, honoring each
+    /// relay's injected fault state:
+    ///
+    /// 1. **getHeader with bounded retry** — relays are queried in
+    ///    subscription order (the deterministic fallback order); each
+    ///    timeout burns one attempt and a deterministic backoff, and a
+    ///    relay that exhausts the budget is skipped.
+    /// 2. **Selection** — the highest bid wins (ties on the same
+    ///    builder/pubkey accrue extra carrying relays, the multi-relay
+    ///    blocks of §4.1); `min-bid` can still veto it.
+    /// 3. **Signing** — at most one header is signed per slot.
+    /// 4. **getPayload with multi-relay fallback** — the carrying relays
+    ///    are tried in order; if all fail, the slot is missed (the client
+    ///    cannot fall back to a local build after signing).
+    ///
+    /// When no header is signed the caller must self-build; `events` then
+    /// ends with [`BoostEvent::SelfBuild`].
+    ///
+    /// With every relay healthy this is byte-equivalent to
+    /// [`MevBoostClient::best_header`] plus a successful payload fetch
+    /// from the primary relay.
+    pub fn propose(&self, relays: &RelayRegistry) -> ProposeReport {
+        let mut events = Vec::new();
+        let mut best: Option<HeaderChoice> = None;
+        for &rid in &self.subscribed {
+            let Some(relay) = relays.get(rid) else {
+                continue;
+            };
+            let wasted = relay.faults.wasted_attempts;
+            if wasted > 0 {
+                let answered_on = wasted.saturating_add(1);
+                for attempt in 1..=self.retry.max_attempts.min(wasted) {
+                    events.push(BoostEvent::HeaderTimeout {
+                        relay: rid,
+                        attempt,
+                        backoff_ms: self.retry.backoff_ms(attempt),
+                    });
+                }
+                if answered_on > self.retry.max_attempts {
+                    events.push(BoostEvent::RelayUnreachable { relay: rid });
+                    continue;
+                }
+            }
+            let served = relay.serve_header();
+            if relay.faults.stale_response
+                && served.map(|b| b.submission.declared_bid)
+                    != relay.best_bid().map(|b| b.submission.declared_bid)
+            {
+                events.push(BoostEvent::StaleHeader { relay: rid });
+            }
+            if let Some(bid) = served {
+                merge_header(&mut best, rid, &bid.submission);
+            }
+        }
+        if let Some(b) = &best {
+            if b.promised < self.min_bid {
+                events.push(BoostEvent::BelowMinBid {
+                    promised: b.promised,
+                });
+                best = None;
+            }
+        }
+        let Some(choice) = best else {
+            events.push(BoostEvent::SelfBuild);
+            return ProposeReport {
+                choice: None,
+                payload_relay: None,
+                missed: false,
+                events,
+            };
+        };
+        let primary = choice.relays[0];
+        events.push(BoostEvent::HeaderSigned {
+            relay: primary,
+            builder: choice.builder,
+            promised: choice.promised,
+        });
+        let mut payload_relay = None;
+        for &rid in &choice.relays {
+            let fails = relays
+                .get(rid)
+                .map(|r| r.faults.payload_failure)
+                .unwrap_or(true);
+            if fails {
+                events.push(BoostEvent::PayloadFailed { relay: rid });
+            } else {
+                events.push(BoostEvent::PayloadDelivered { relay: rid });
+                payload_relay = Some(rid);
+                break;
+            }
+        }
+        let missed = payload_relay.is_none();
+        if missed {
+            events.push(BoostEvent::SlotMissed { relay: primary });
+        }
+        ProposeReport {
+            choice: Some(choice),
+            payload_relay,
+            missed,
+            events,
+        }
+    }
+}
+
+/// The bid-merge rule shared by `best_header` and `propose`: strictly
+/// higher bids replace; equal bids from the same (builder, pubkey) accrue
+/// an extra carrying relay.
+fn merge_header(best: &mut Option<HeaderChoice>, rid: RelayId, s: &crate::relay::Submission) {
+    match best {
+        None => {
+            *best = Some(HeaderChoice {
+                promised: s.declared_bid,
+                builder: s.builder,
+                pubkey: s.pubkey,
+                relays: vec![rid],
+            });
+        }
+        Some(cur) => {
+            if s.declared_bid > cur.promised {
+                *cur = HeaderChoice {
+                    promised: s.declared_bid,
+                    builder: s.builder,
+                    pubkey: s.pubkey,
+                    relays: vec![rid],
+                };
+            } else if s.declared_bid == cur.promised
+                && s.builder == cur.builder
+                && s.pubkey == cur.pubkey
+            {
+                cur.relays.push(rid);
+            }
+        }
     }
 }
 
@@ -161,9 +393,11 @@ mod tests {
         let u = relays.id_by_name("UltraSound");
         relays
             .get_mut(a)
+            .unwrap()
             .consider(submission(0.05, 1, "k1"), DayIndex(0));
         relays
             .get_mut(u)
+            .unwrap()
             .consider(submission(0.09, 2, "k2"), DayIndex(0));
 
         let client = MevBoostClient::new(vec![a, u]);
@@ -180,9 +414,11 @@ mod tests {
         let u = relays.id_by_name("UltraSound");
         relays
             .get_mut(a)
+            .unwrap()
             .consider(submission(0.09, 2, "k2"), DayIndex(0));
         relays
             .get_mut(u)
+            .unwrap()
             .consider(submission(0.09, 2, "k2"), DayIndex(0));
 
         let client = MevBoostClient::new(vec![a, u]);
@@ -196,6 +432,7 @@ mod tests {
         let u = relays.id_by_name("UltraSound");
         relays
             .get_mut(u)
+            .unwrap()
             .consider(submission(0.01, 2, "k2"), DayIndex(0));
         let client = MevBoostClient::new(vec![u]).with_min_bid(Wei::from_eth(0.05));
         assert!(client.best_header(&relays).is_none(), "0.01 < min-bid 0.05");
@@ -210,10 +447,169 @@ mod tests {
         let u = relays.id_by_name("UltraSound");
         relays
             .get_mut(u)
+            .unwrap()
             .consider(submission(0.09, 2, "k2"), DayIndex(0));
 
         let client = MevBoostClient::new(vec![a]);
         assert!(client.best_header(&relays).is_none());
+    }
+
+    fn two_relay_setup() -> (RelayRegistry, RelayId, RelayId) {
+        let mut relays = RelayRegistry::paper(&SeedDomain::new(2));
+        let a = relays.id_by_name("Aestus");
+        let u = relays.id_by_name("UltraSound");
+        relays
+            .get_mut(a)
+            .unwrap()
+            .consider(submission(0.05, 1, "k1"), DayIndex(0));
+        relays
+            .get_mut(u)
+            .unwrap()
+            .consider(submission(0.09, 2, "k2"), DayIndex(0));
+        (relays, a, u)
+    }
+
+    #[test]
+    fn healthy_propose_matches_best_header() {
+        let (relays, a, u) = two_relay_setup();
+        let client = MevBoostClient::new(vec![a, u]);
+        let report = client.propose(&relays);
+        assert_eq!(report.choice, client.best_header(&relays));
+        assert_eq!(report.payload_relay, Some(u));
+        assert!(!report.missed);
+        assert_eq!(
+            report.events,
+            vec![
+                BoostEvent::HeaderSigned {
+                    relay: u,
+                    builder: BuilderId(2),
+                    promised: Wei::from_eth(0.09),
+                },
+                BoostEvent::PayloadDelivered { relay: u },
+            ]
+        );
+    }
+
+    #[test]
+    fn unreachable_relay_falls_back_to_next() {
+        let (mut relays, a, u) = two_relay_setup();
+        let best = relays.get_mut(u).unwrap();
+        best.faults.health = simcore::Health::Degraded;
+        best.faults.wasted_attempts = u32::MAX;
+        let client = MevBoostClient::new(vec![u, a]);
+        let report = client.propose(&relays);
+        // Three timeouts with doubling backoff, then give up on `u`.
+        assert_eq!(
+            &report.events[..4],
+            &[
+                BoostEvent::HeaderTimeout {
+                    relay: u,
+                    attempt: 1,
+                    backoff_ms: 50,
+                },
+                BoostEvent::HeaderTimeout {
+                    relay: u,
+                    attempt: 2,
+                    backoff_ms: 100,
+                },
+                BoostEvent::HeaderTimeout {
+                    relay: u,
+                    attempt: 3,
+                    backoff_ms: 200,
+                },
+                BoostEvent::RelayUnreachable { relay: u },
+            ]
+        );
+        let choice = report.choice.expect("fallback relay still answers");
+        assert_eq!(choice.relays, vec![a]);
+        assert_eq!(choice.promised, Wei::from_eth(0.05));
+        assert_eq!(report.payload_relay, Some(a));
+    }
+
+    #[test]
+    fn timeouts_within_budget_still_reach_the_relay() {
+        let (mut relays, a, u) = two_relay_setup();
+        relays.get_mut(u).unwrap().faults.health = simcore::Health::Degraded;
+        relays.get_mut(u).unwrap().faults.wasted_attempts = 2;
+        let client = MevBoostClient::new(vec![a, u]);
+        let report = client.propose(&relays);
+        assert_eq!(
+            report
+                .events
+                .iter()
+                .filter(|e| matches!(e, BoostEvent::HeaderTimeout { .. }))
+                .count(),
+            2
+        );
+        assert_eq!(report.choice.unwrap().relays, vec![u]);
+    }
+
+    #[test]
+    fn stale_relay_serves_previous_best() {
+        let mut relays = RelayRegistry::paper(&SeedDomain::new(2));
+        let u = relays.id_by_name("UltraSound");
+        let relay = relays.get_mut(u).unwrap();
+        relay.consider(submission(0.05, 1, "k1"), DayIndex(0));
+        relay.consider(submission(0.09, 2, "k2"), DayIndex(0));
+        relay.faults.health = simcore::Health::Degraded;
+        relay.faults.stale_response = true;
+        let client = MevBoostClient::new(vec![u]);
+        let report = client.propose(&relays);
+        assert!(report
+            .events
+            .contains(&BoostEvent::StaleHeader { relay: u }));
+        // The stale view misses the late 0.09 bid.
+        assert_eq!(report.choice.unwrap().promised, Wei::from_eth(0.05));
+    }
+
+    #[test]
+    fn payload_failure_on_sole_relay_misses_the_slot() {
+        let (mut relays, a, u) = two_relay_setup();
+        let _ = a;
+        relays.get_mut(u).unwrap().faults.payload_failure = true;
+        let client = MevBoostClient::new(vec![u]);
+        let report = client.propose(&relays);
+        assert!(report.missed);
+        assert_eq!(report.payload_relay, None);
+        assert_eq!(
+            &report.events[1..],
+            &[
+                BoostEvent::PayloadFailed { relay: u },
+                BoostEvent::SlotMissed { relay: u },
+            ]
+        );
+    }
+
+    #[test]
+    fn payload_fallback_uses_secondary_carrying_relay() {
+        let mut relays = RelayRegistry::paper(&SeedDomain::new(2));
+        let a = relays.id_by_name("Aestus");
+        let u = relays.id_by_name("UltraSound");
+        for r in [a, u] {
+            relays
+                .get_mut(r)
+                .unwrap()
+                .consider(submission(0.09, 2, "k2"), DayIndex(0));
+        }
+        relays.get_mut(a).unwrap().faults.payload_failure = true;
+        let client = MevBoostClient::new(vec![a, u]);
+        let report = client.propose(&relays);
+        assert!(!report.missed);
+        assert_eq!(report.payload_relay, Some(u));
+        assert!(report
+            .events
+            .contains(&BoostEvent::PayloadFailed { relay: a }));
+    }
+
+    #[test]
+    fn no_acceptable_header_yields_self_build() {
+        let relays = RelayRegistry::paper(&SeedDomain::new(2));
+        let u = relays.id_by_name("UltraSound");
+        let client = MevBoostClient::new(vec![u]);
+        let report = client.propose(&relays);
+        assert_eq!(report.choice, None);
+        assert!(!report.missed);
+        assert_eq!(report.events, vec![BoostEvent::SelfBuild]);
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod ofac;
 pub mod relay;
 
 pub use auction::{SlotAuction, SlotResult};
-pub use boost::{LocalBuilder, MevBoostClient};
+pub use boost::{BoostEvent, LocalBuilder, MevBoostClient, ProposeReport, RetryPolicy};
 pub use builder::{
     BuildInputs, Builder, BuilderId, BuilderProfile, BuiltBlock, MarginPolicy, SubsidyPolicy,
 };

@@ -19,6 +19,7 @@ use eth_types::{BlsPublicKey, DayIndex, Slot, Wei};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use simcore::{ComponentFaults, Health};
 use std::collections::BTreeSet;
 
 /// Index of a relay in the registry (stable across the run).
@@ -195,6 +196,10 @@ pub struct Relay {
     pub shortfall_prob: f64,
     /// Fraction of the promised value lost when a shortfall occurs.
     pub shortfall_frac: f64,
+    /// Injected fault state for the current slot (default: no faults).
+    /// The scenario driver refreshes this every slot when a fault
+    /// schedule is active; otherwise it stays at the all-healthy default.
+    pub faults: ComponentFaults,
     /// Validators currently registered with this relay.
     registered: BTreeSet<ValidatorId>,
     pending: Vec<AcceptedBid>,
@@ -215,6 +220,7 @@ impl Relay {
             mev_filter_recall,
             shortfall_prob: 0.0,
             shortfall_frac: 0.01,
+            faults: ComponentFaults::default(),
             registered: BTreeSet::new(),
             pending: Vec::new(),
             rng,
@@ -253,11 +259,16 @@ impl Relay {
 
     /// Considers a submission; returns `true` if accepted into escrow.
     ///
-    /// Rejection reasons, in order: builder not admitted; blacklist flag
-    /// (censoring relays); MEV filter catch (per-sandwich Bernoulli —
-    /// imperfect, hence the 2,002 sandwiches that slipped through
-    /// bloXroute (E) in the study); bid mismatch when verification is on.
+    /// Rejection reasons, in order: relay down (injected outage — the
+    /// submission times out before touching any policy); builder not
+    /// admitted; blacklist flag (censoring relays); MEV filter catch
+    /// (per-sandwich Bernoulli — imperfect, hence the 2,002 sandwiches
+    /// that slipped through bloXroute (E) in the study); bid mismatch
+    /// when verification is on.
     pub fn consider(&mut self, submission: Submission, day: DayIndex) -> bool {
+        if self.faults.is_down() {
+            return false;
+        }
         if !self.admits(submission.builder) {
             return false;
         }
@@ -290,6 +301,27 @@ impl Relay {
                 .cmp(&b.submission.declared_bid)
                 .then_with(|| b.submission.pubkey.0.cmp(&a.submission.pubkey.0))
         })
+    }
+
+    /// The header this relay serves a `getHeader` request right now,
+    /// honoring injected faults: a down relay serves nothing, and a
+    /// degraded relay with a stale cache serves the best bid as of
+    /// *before* the most recently escrowed submission (it has not indexed
+    /// the latest update yet). Healthy relays serve [`Relay::best_bid`].
+    pub fn serve_header(&self) -> Option<&AcceptedBid> {
+        match self.faults.health {
+            Health::Down => None,
+            Health::Degraded if self.faults.stale_response => {
+                let stale = &self.pending[..self.pending.len().saturating_sub(1)];
+                stale.iter().max_by(|a, b| {
+                    a.submission
+                        .declared_bid
+                        .cmp(&b.submission.declared_bid)
+                        .then_with(|| b.submission.pubkey.0.cmp(&a.submission.pubkey.0))
+                })
+            }
+            _ => self.best_bid(),
+        }
     }
 
     /// Samples this slot's delivery shortfall for a winning block:
@@ -357,14 +389,15 @@ impl RelayRegistry {
         self.relays.is_empty()
     }
 
-    /// Relay by id.
-    pub fn get(&self, id: RelayId) -> &Relay {
-        &self.relays[id.0 as usize]
+    /// Relay by id, or `None` when the id is out of range (ids from a
+    /// foreign registry, hand-rolled configs).
+    pub fn get(&self, id: RelayId) -> Option<&Relay> {
+        self.relays.get(id.0 as usize)
     }
 
-    /// Mutable relay by id.
-    pub fn get_mut(&mut self, id: RelayId) -> &mut Relay {
-        &mut self.relays[id.0 as usize]
+    /// Mutable relay by id, or `None` when the id is out of range.
+    pub fn get_mut(&mut self, id: RelayId) -> Option<&mut Relay> {
+        self.relays.get_mut(id.0 as usize)
     }
 
     /// Iterates over relays.
@@ -431,7 +464,7 @@ mod tests {
             ["Blocknative", "bloXroute (R)", "Eden", "Flashbots"]
         );
         assert_eq!(
-            reg.get(reg.id_by_name("Blocknative")).info.fork,
+            reg.get(reg.id_by_name("Blocknative")).unwrap().info.fork,
             "Dreamboat"
         );
         let filtered: Vec<&str> = reg
@@ -454,18 +487,18 @@ mod tests {
     fn permissionless_admits_everyone_restricted_does_not() {
         let mut reg = registry();
         let aestus = reg.id_by_name("Aestus");
-        assert!(reg.get(aestus).admits(BuilderId(42)));
+        assert!(reg.get(aestus).unwrap().admits(BuilderId(42)));
         let eden = reg.id_by_name("Eden");
-        reg.get_mut(eden).allowed_builders = Some([BuilderId(7)].into_iter().collect());
-        assert!(reg.get(eden).admits(BuilderId(7)));
-        assert!(!reg.get(eden).admits(BuilderId(8)));
+        reg.get_mut(eden).unwrap().allowed_builders = Some([BuilderId(7)].into_iter().collect());
+        assert!(reg.get(eden).unwrap().admits(BuilderId(7)));
+        assert!(!reg.get(eden).unwrap().admits(BuilderId(8)));
     }
 
     #[test]
     fn best_bid_wins_escrow() {
         let mut reg = registry();
         let id = reg.id_by_name("UltraSound");
-        let relay = reg.get_mut(id);
+        let relay = reg.get_mut(id).unwrap();
         assert!(relay.consider(submission(0.05, 0.05), DayIndex(0)));
         assert!(relay.consider(submission(0.09, 0.09), DayIndex(0)));
         assert!(relay.consider(submission(0.07, 0.07), DayIndex(0)));
@@ -481,7 +514,7 @@ mod tests {
     fn verifying_relay_rejects_inflated_bids() {
         let mut reg = registry();
         let id = reg.id_by_name("Flashbots");
-        let relay = reg.get_mut(id);
+        let relay = reg.get_mut(id).unwrap();
         assert!(!relay.consider(submission(1.0, 0.1), DayIndex(0)));
         assert!(relay.consider(submission(0.1, 0.1), DayIndex(0)));
     }
@@ -490,8 +523,8 @@ mod tests {
     fn manifold_without_verification_accepts_inflated_bids() {
         let mut reg = registry();
         let id = reg.id_by_name("Manifold");
-        reg.get_mut(id).bid_verification_from = Some(DayIndex(31)); // fixed 16 Oct
-        let relay = reg.get_mut(id);
+        reg.get_mut(id).unwrap().bid_verification_from = Some(DayIndex(31)); // fixed 16 Oct
+        let relay = reg.get_mut(id).unwrap();
         assert!(relay.consider(submission(278.0, 0.1), DayIndex(10)));
         relay.end_slot();
         // After the fix the same submission bounces.
@@ -502,7 +535,7 @@ mod tests {
     fn blacklist_flagged_submissions_are_censored() {
         let mut reg = registry();
         let id = reg.id_by_name("Flashbots");
-        let relay = reg.get_mut(id);
+        let relay = reg.get_mut(id).unwrap();
         let mut s = submission(0.1, 0.1);
         s.flagged_by_blacklist = true;
         assert!(!relay.consider(s, DayIndex(0)));
@@ -512,7 +545,7 @@ mod tests {
     fn mev_filter_catches_most_but_not_all_sandwiches() {
         let mut reg = registry();
         let id = reg.id_by_name("bloXroute (E)");
-        let relay = reg.get_mut(id);
+        let relay = reg.get_mut(id).unwrap();
         let mut passed = 0;
         let n = 2000;
         for _ in 0..n {
@@ -534,7 +567,7 @@ mod tests {
     fn non_filtering_relays_pass_sandwiches() {
         let mut reg = registry();
         let id = reg.id_by_name("bloXroute (M)");
-        let relay = reg.get_mut(id);
+        let relay = reg.get_mut(id).unwrap();
         let mut s = submission(0.1, 0.1);
         s.sandwich_count = 3;
         assert!(relay.consider(s, DayIndex(0)));
@@ -544,7 +577,7 @@ mod tests {
     fn shortfall_sampling_respects_probability() {
         let mut reg = registry();
         let id = reg.id_by_name("GnosisDAO");
-        let relay = reg.get_mut(id);
+        let relay = reg.get_mut(id).unwrap();
         relay.shortfall_prob = 0.25;
         relay.shortfall_frac = 0.02;
         let mut shortfalls = 0;
@@ -562,7 +595,7 @@ mod tests {
     fn validator_registration_counts() {
         let mut reg = registry();
         let id = reg.id_by_name("Aestus");
-        let relay = reg.get_mut(id);
+        let relay = reg.get_mut(id).unwrap();
         relay.register_validator(ValidatorId(1));
         relay.register_validator(ValidatorId(2));
         relay.register_validator(ValidatorId(1));

@@ -1,14 +1,14 @@
 //! Property tests for the PBS mechanism: auction invariants under random
 //! mempools and builder configurations.
 
-use eth_types::{Address, DayIndex, Gas, GasPrice, Slot, Transaction, Wei};
+use eth_types::{Address, BlsPublicKey, DayIndex, Gas, GasPrice, Slot, Transaction, Wei};
 use execution::Mempool;
 use pbs::{
-    Builder, BuilderId, BuilderProfile, MarginPolicy, MevBoostClient, RelayRegistry, SanctionsList,
-    SlotAuction, SubsidyPolicy,
+    BoostEvent, Builder, BuilderId, BuilderProfile, MarginPolicy, MevBoostClient, RelayRegistry,
+    SanctionsList, SlotAuction, Submission, SubsidyPolicy,
 };
 use proptest::prelude::*;
-use simcore::SeedDomain;
+use simcore::{Health, SeedDomain};
 
 fn mk_tx(i: usize, tip_deci_gwei: u32, bribe_milli_eth: u32) -> Transaction {
     let mut t = Transaction::transfer(
@@ -155,5 +155,158 @@ proptest! {
         if relay_view {
             prop_assert!(authoritative, "relay can never be ahead of OFAC");
         }
+    }
+}
+
+/// One relay's randomly drawn fault state for the propose() properties:
+/// `((down, wasted_attempts), (stale, payload_failure, bid_milli_eth))`.
+/// Nested because the vendored proptest implements `Strategy` for tuples
+/// only up to arity 4.
+type RelayFaultCase = ((bool, u32), (bool, bool, u32));
+
+fn faulted_registry(cases: &[RelayFaultCase]) -> (RelayRegistry, Vec<pbs::RelayId>) {
+    let seeds = SeedDomain::new(7);
+    let mut relays = RelayRegistry::paper(&seeds);
+    let names = ["Aestus", "UltraSound", "GnosisDAO", "Flashbots"];
+    let ids: Vec<_> = cases
+        .iter()
+        .enumerate()
+        .map(|(i, _)| relays.id_by_name(names[i]))
+        .collect();
+    for (i, ((down, wasted), (stale, payload_failure, bid))) in cases.iter().enumerate() {
+        let relay = relays.get_mut(ids[i]).unwrap();
+        // Bids arrive while the relay is still up.
+        relay.consider(
+            Submission {
+                slot: Slot(1),
+                builder: BuilderId(i as u32),
+                pubkey: BlsPublicKey::derive(&format!("k{i}")),
+                declared_bid: Wei::from_eth(*bid as f64 / 1000.0),
+                true_bid: Wei::from_eth(*bid as f64 / 1000.0),
+                sandwich_count: 0,
+                flagged_by_blacklist: false,
+            },
+            DayIndex(0),
+        );
+        // Then the fault state for the proposal round. A down relay burns
+        // every retry, exactly as FaultSchedule encodes outages.
+        if *down {
+            relay.faults.health = Health::Down;
+            relay.faults.wasted_attempts = u32::MAX;
+            relay.faults.payload_failure = true;
+        } else {
+            relay.faults.health = if *wasted > 0 || *stale {
+                Health::Degraded
+            } else {
+                Health::Healthy
+            };
+            relay.faults.wasted_attempts = *wasted;
+            relay.faults.stale_response = *stale;
+            relay.faults.payload_failure = *payload_failure;
+        }
+    }
+    (relays, ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under any combination of relay faults, the proposal round keeps its
+    /// safety and liveness invariants: never two signed headers, always a
+    /// definite outcome (payload, self-build, or a properly attributed
+    /// missed slot), deterministic reports, and a fallback order that
+    /// follows the signed header's relay list.
+    #[test]
+    fn propose_invariants_under_faults(
+        cases in proptest::collection::vec(
+            (
+                (any::<bool>(), 0u32..6),
+                (any::<bool>(), any::<bool>(), 1u32..100),
+            ),
+            1..=4,
+        ),
+    ) {
+        let (relays, ids) = faulted_registry(&cases);
+        let client = MevBoostClient::new(ids.clone());
+        let report = client.propose(&relays);
+
+        // Safety: a validator signs at most one header per slot.
+        let signed = report
+            .events
+            .iter()
+            .filter(|e| matches!(e, BoostEvent::HeaderSigned { .. }))
+            .count();
+        prop_assert!(signed <= 1);
+
+        // Totality: exactly one terminal outcome is recorded.
+        let terminal = report
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    BoostEvent::SelfBuild
+                        | BoostEvent::PayloadDelivered { .. }
+                        | BoostEvent::SlotMissed { .. }
+                )
+            })
+            .count();
+        prop_assert_eq!(terminal, 1);
+
+        // Liveness: there is always a block unless a header was signed and
+        // every relay carrying it failed to deliver the payload.
+        match (&report.choice, report.payload_relay) {
+            (None, None) => {
+                prop_assert!(!report.missed);
+                prop_assert!(report.events.contains(&BoostEvent::SelfBuild));
+            }
+            (Some(choice), Some(delivering)) => {
+                prop_assert!(!report.missed);
+                // Fallback order: the delivering relay is the FIRST carrier
+                // of the winning header whose payload path works.
+                let first_working = choice
+                    .relays
+                    .iter()
+                    .copied()
+                    .find(|rid| !relays.get(*rid).unwrap().faults.payload_failure);
+                prop_assert_eq!(Some(delivering), first_working);
+            }
+            (Some(choice), None) => {
+                prop_assert!(report.missed, "signed header with no payload is a miss");
+                for rid in &choice.relays {
+                    prop_assert!(
+                        relays.get(*rid).unwrap().faults.payload_failure,
+                        "a miss requires every carrying relay's payload to fail"
+                    );
+                }
+            }
+            (None, Some(_)) => prop_assert!(false, "payload without a signed header"),
+        }
+
+        // Determinism: the same registry state reproduces the same report,
+        // events included.
+        prop_assert_eq!(client.propose(&relays), report);
+    }
+
+    /// A fully healthy registry never times out, never misses, and always
+    /// delivers through the primary carrier — the fault machinery is
+    /// invisible when no fault is injected.
+    #[test]
+    fn healthy_relays_never_miss(
+        bids in proptest::collection::vec(1u32..100, 1..=4),
+    ) {
+        let cases: Vec<RelayFaultCase> =
+            bids.iter().map(|b| ((false, 0), (false, false, *b))).collect();
+        let (relays, ids) = faulted_registry(&cases);
+        let client = MevBoostClient::new(ids);
+        let report = client.propose(&relays);
+        prop_assert!(!report.missed);
+        prop_assert!(report.payload_relay.is_some());
+        prop_assert!(report.events.iter().all(|e| matches!(
+            e,
+            BoostEvent::HeaderSigned { .. } | BoostEvent::PayloadDelivered { .. }
+        )));
+        let choice = report.choice.as_ref().unwrap();
+        prop_assert_eq!(report.payload_relay, Some(choice.relays[0]));
     }
 }

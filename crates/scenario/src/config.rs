@@ -1,7 +1,8 @@
 //! Run configuration and ablation knobs.
 
 use eth_types::StudyCalendar;
-use serde::{Deserialize, Serialize};
+use serde::{struct_field, DeError, Deserialize, Serialize, Value};
+use simcore::FaultProfile;
 
 /// Knobs for the ablation benches called out in DESIGN.md §4. Defaults
 /// reproduce the paper's conditions; flipping one isolates a design choice.
@@ -43,8 +44,117 @@ impl Default for AblationKnobs {
     }
 }
 
+/// Which fault schedule the run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FaultPreset {
+    /// No fault injection: relays are always up (the pre-fault model).
+    #[default]
+    Off,
+    /// Every relay gets the same [`FaultConfig`] rates.
+    Uniform,
+    /// Per-relay profiles reproducing the documented §7 incidents
+    /// (shortfall rates per relay, outage/degradation windows) through the
+    /// fault machinery instead of hard-coded special cases.
+    PaperIncidents,
+}
+
+/// Fault-injection configuration. `Off` (the default) leaves every random
+/// stream and artifact byte-identical to a build without the fault model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Which schedule to build.
+    pub preset: FaultPreset,
+    /// Mean full relay outages per day (`Uniform` preset).
+    pub outages_per_day: f64,
+    /// Mean outage length in slots.
+    pub outage_mean_slots: f64,
+    /// Mean degraded windows per day (`Uniform` preset).
+    pub degraded_per_day: f64,
+    /// Mean degraded-window length in slots.
+    pub degraded_mean_slots: f64,
+    /// Per-request `getHeader` timeout probability while degraded.
+    pub timeout_prob: f64,
+    /// Probability a degraded relay serves a stale header.
+    pub stale_prob: f64,
+    /// Per-slot `getPayload` failure probability while degraded.
+    pub payload_failure_prob: f64,
+    /// Per-slot payment-shortfall probability on delivered blocks.
+    pub shortfall_prob: f64,
+    /// Fraction of the payment lost when a shortfall fires.
+    pub shortfall_frac: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            preset: FaultPreset::Off,
+            outages_per_day: 0.0,
+            outage_mean_slots: 4.0,
+            degraded_per_day: 0.0,
+            degraded_mean_slots: 8.0,
+            timeout_prob: 0.0,
+            stale_prob: 0.0,
+            payload_failure_prob: 0.0,
+            shortfall_prob: 0.0,
+            shortfall_frac: 0.01,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// The default: no faults.
+    pub fn off() -> Self {
+        FaultConfig::default()
+    }
+
+    /// A moderately flaky uniform schedule: occasional outages, more
+    /// frequent degradation with retryable timeouts, rare shortfalls.
+    pub fn uniform() -> Self {
+        FaultConfig {
+            preset: FaultPreset::Uniform,
+            outages_per_day: 0.5,
+            outage_mean_slots: 4.0,
+            degraded_per_day: 2.0,
+            degraded_mean_slots: 8.0,
+            timeout_prob: 0.4,
+            stale_prob: 0.2,
+            payload_failure_prob: 0.1,
+            shortfall_prob: 0.002,
+            shortfall_frac: 0.05,
+        }
+    }
+
+    /// The per-relay incident reproduction preset.
+    pub fn paper_incidents() -> Self {
+        FaultConfig {
+            preset: FaultPreset::PaperIncidents,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// True when the run carries no fault schedule at all.
+    pub fn is_off(&self) -> bool {
+        self.preset == FaultPreset::Off
+    }
+
+    /// The [`FaultProfile`] every relay gets under the `Uniform` preset.
+    pub fn uniform_profile(&self) -> FaultProfile {
+        FaultProfile {
+            outages_per_day: self.outages_per_day,
+            outage_mean_slots: self.outage_mean_slots,
+            degraded_per_day: self.degraded_per_day,
+            degraded_mean_slots: self.degraded_mean_slots,
+            timeout_prob: self.timeout_prob,
+            stale_prob: self.stale_prob,
+            payload_failure_prob: self.payload_failure_prob,
+            shortfall_prob: self.shortfall_prob,
+            shortfall_frac: self.shortfall_frac,
+        }
+    }
+}
+
 /// Full scenario configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioConfig {
     /// Master seed; everything derives from it.
     pub seed: u64,
@@ -66,6 +176,54 @@ pub struct ScenarioConfig {
     pub gas_limit: u64,
     /// Ablation switches.
     pub knobs: AblationKnobs,
+    /// Fault injection (off by default).
+    pub faults: FaultConfig,
+}
+
+// Hand-written serde: the `faults` field is emitted only when a preset is
+// active, so fault-free `run.json` artifacts stay byte-identical to those
+// produced before the fault model existed.
+impl Serialize for ScenarioConfig {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("seed".to_string(), self.seed.to_value()),
+            ("calendar".to_string(), self.calendar.to_value()),
+            ("validators".to_string(), self.validators.to_value()),
+            ("txs_per_slot".to_string(), self.txs_per_slot.to_value()),
+            ("user_pool".to_string(), self.user_pool.to_value()),
+            ("overlay_nodes".to_string(), self.overlay_nodes.to_value()),
+            (
+                "long_tail_tokens".to_string(),
+                self.long_tail_tokens.to_value(),
+            ),
+            ("gas_limit".to_string(), self.gas_limit.to_value()),
+            ("knobs".to_string(), self.knobs.to_value()),
+        ];
+        if !self.faults.is_off() {
+            fields.push(("faults".to_string(), self.faults.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for ScenarioConfig {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(ScenarioConfig {
+            seed: u64::from_value(struct_field(v, "seed"))?,
+            calendar: StudyCalendar::from_value(struct_field(v, "calendar"))?,
+            validators: u32::from_value(struct_field(v, "validators"))?,
+            txs_per_slot: f64::from_value(struct_field(v, "txs_per_slot"))?,
+            user_pool: u32::from_value(struct_field(v, "user_pool"))?,
+            overlay_nodes: u32::from_value(struct_field(v, "overlay_nodes"))?,
+            long_tail_tokens: u8::from_value(struct_field(v, "long_tail_tokens"))?,
+            gas_limit: u64::from_value(struct_field(v, "gas_limit"))?,
+            knobs: AblationKnobs::from_value(struct_field(v, "knobs"))?,
+            faults: match struct_field(v, "faults") {
+                Value::Null => FaultConfig::off(),
+                fv => FaultConfig::from_value(fv)?,
+            },
+        })
+    }
 }
 
 impl Default for ScenarioConfig {
@@ -80,6 +238,7 @@ impl Default for ScenarioConfig {
             long_tail_tokens: 6,
             gas_limit: 30_000_000,
             knobs: AblationKnobs::default(),
+            faults: FaultConfig::off(),
         }
     }
 }
@@ -98,6 +257,7 @@ impl ScenarioConfig {
             long_tail_tokens: 3,
             gas_limit: 9_000_000,
             knobs: AblationKnobs::default(),
+            faults: FaultConfig::off(),
         }
     }
 }
@@ -127,5 +287,42 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn faults_off_is_invisible_in_json() {
+        let json = serde_json::to_string(&ScenarioConfig::default()).unwrap();
+        assert!(
+            !json.contains("faults"),
+            "fault-free config must serialize exactly as before the fault model"
+        );
+        // And a pre-fault JSON document (no `faults` key) still loads.
+        let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
+        assert!(back.faults.is_off());
+    }
+
+    #[test]
+    fn fault_presets_round_trip() {
+        for faults in [FaultConfig::uniform(), FaultConfig::paper_incidents()] {
+            let c = ScenarioConfig {
+                faults,
+                ..ScenarioConfig::test_small(3, 2)
+            };
+            let json = serde_json::to_string(&c).unwrap();
+            assert!(json.contains("faults"));
+            let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, c);
+        }
+    }
+
+    #[test]
+    fn uniform_profile_maps_all_knobs() {
+        let f = FaultConfig::uniform();
+        let p = f.uniform_profile();
+        assert_eq!(p.outages_per_day, f.outages_per_day);
+        assert_eq!(p.timeout_prob, f.timeout_prob);
+        assert_eq!(p.shortfall_frac, f.shortfall_frac);
+        assert!(!p.is_inert());
+        assert!(FaultConfig::off().uniform_profile().is_inert());
     }
 }

@@ -7,8 +7,8 @@
 //! consume.
 
 use crate::cast::{builder_cast, validator_entities, BuilderCastEntry};
-use crate::config::ScenarioConfig;
-use crate::records::{BlockRecord, RunArtifacts, RunTotals};
+use crate::config::{FaultPreset, ScenarioConfig};
+use crate::records::{BlockRecord, FaultEventKind, FaultEventRecord, RunArtifacts, RunTotals};
 use crate::timeline::{days, Timeline};
 use crate::workload::{binance_sender, sanctions_list, WorkloadGenerator};
 use beacon::{BeaconChain, ProposerSchedule, ValidatorRegistry};
@@ -18,11 +18,12 @@ use execution::{BlockExecutor, FeeMarket, Mempool, StateLedger};
 use mev::{CyclicArbitrageur, LabelSource, LiquidationBot, MevKind, SandwichAttacker};
 use netsim::{GossipNetwork, MempoolObservers, NodeId, ObservationLog, Topology};
 use pbs::{
-    Builder, BuilderId, MevBoostClient, RelayBlacklist, RelayId, RelayRegistry, SlotAuction,
+    BoostEvent, Builder, BuilderId, MevBoostClient, RelayBlacklist, RelayId, RelayRegistry,
+    SlotAuction, SlotResult,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
-use simcore::{Exponential, SeedDomain};
+use simcore::{Exponential, FaultProfile, FaultSchedule, SeedDomain};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-relay shortfall calibration: (name, probability, lost fraction),
@@ -95,8 +96,10 @@ struct Runner<'a> {
     searcher_nonces: BTreeMap<Address, u64>,
     seeds: SeedDomain,
     rng: StdRng,
+    fault_schedule: Option<FaultSchedule>,
     // accumulation
     blocks: Vec<BlockRecord>,
+    fault_events: Vec<FaultEventRecord>,
     missed: u64,
     relay_builders: BTreeMap<(u32, u32), BTreeSet<u32>>,
     totals: RunTotals,
@@ -115,6 +118,7 @@ impl<'a> Runner<'a> {
 
         let mut relays = RelayRegistry::paper(&seeds);
         Self::configure_relays(&mut relays, cfg);
+        let fault_schedule = Self::build_fault_schedule(&relays, cfg, &seeds);
 
         let cast = builder_cast();
         let builders: Vec<Builder> = cast
@@ -180,7 +184,9 @@ impl<'a> Runner<'a> {
             searcher_nonces: BTreeMap::new(),
             seeds,
             rng: SeedDomain::new(cfg.seed).rng("driver"),
+            fault_schedule,
             blocks: Vec::new(),
+            fault_events: Vec::new(),
             missed: 0,
             relay_builders: BTreeMap::new(),
             totals: RunTotals {
@@ -223,18 +229,133 @@ impl<'a> Runner<'a> {
             }
         }
         let fb = relays.id_by_name("Flashbots");
-        if let Some(bl) = &mut relays.get_mut(fb).blacklist {
+        if let Some(bl) = &mut relays.get_mut(fb).expect("known relay").blacklist {
             bl.ignore_updates_from = Some(days::OFAC_UPDATE_2);
         }
         // Manifold only started verifying bids after its incident.
         let mf = relays.id_by_name("Manifold");
-        relays.get_mut(mf).bid_verification_from = Some(DayIndex(days::MANIFOLD_EXPLOIT.0 + 1));
-        // Table 4 shortfall calibration.
-        for (name, prob, frac) in SHORTFALLS {
-            let id = relays.id_by_name(name);
-            let r = relays.get_mut(id);
-            r.shortfall_prob = prob;
-            r.shortfall_frac = frac;
+        relays
+            .get_mut(mf)
+            .expect("known relay")
+            .bid_verification_from = Some(DayIndex(days::MANIFOLD_EXPLOIT.0 + 1));
+        // Table 4 shortfall calibration — unless the fault machinery owns
+        // shortfalls (the `paper_incidents` preset drives them through the
+        // seeded schedule instead of hand-placed per-relay draws).
+        if cfg.faults.preset != FaultPreset::PaperIncidents {
+            for (name, prob, frac) in SHORTFALLS {
+                let id = relays.id_by_name(name);
+                let r = relays.get_mut(id).expect("known relay");
+                r.shortfall_prob = prob;
+                r.shortfall_frac = frac;
+            }
+        }
+    }
+
+    /// Builds the seeded fault schedule the configuration asks for; `None`
+    /// when faults are off (the default), so no fault stream is ever drawn
+    /// and artifacts match a build without the fault model.
+    fn build_fault_schedule(
+        relays: &RelayRegistry,
+        cfg: &ScenarioConfig,
+        seeds: &SeedDomain,
+    ) -> Option<FaultSchedule> {
+        if cfg.knobs.enshrined_pbs {
+            return None; // protocol-enforced: relay incidents cannot occur
+        }
+        let profiles: Vec<FaultProfile> = match cfg.faults.preset {
+            FaultPreset::Off => return None,
+            FaultPreset::Uniform => relays
+                .iter()
+                .map(|_| cfg.faults.uniform_profile())
+                .collect(),
+            FaultPreset::PaperIncidents => relays
+                .iter()
+                .map(|r| {
+                    // The Table 4 shortfall calibration, plus modest outage
+                    // and degradation rates so timeouts, stale headers and
+                    // missed slots arise from the same machinery.
+                    let (prob, frac) = SHORTFALLS
+                        .iter()
+                        .find(|(n, _, _)| *n == r.info.name)
+                        .map(|&(_, p, f)| (p, f))
+                        .unwrap_or((0.0, 0.0));
+                    FaultProfile {
+                        outages_per_day: 0.05,
+                        outage_mean_slots: 6.0,
+                        degraded_per_day: 0.4,
+                        degraded_mean_slots: 10.0,
+                        timeout_prob: 0.35,
+                        stale_prob: 0.2,
+                        payload_failure_prob: 0.08,
+                        shortfall_prob: prob,
+                        shortfall_frac: frac,
+                    }
+                })
+                .collect(),
+        };
+        Some(FaultSchedule::build(
+            seeds.subdomain("faults"),
+            cfg.calendar.blocks_per_day as u64,
+            cfg.calendar.total_slots(),
+            profiles,
+        ))
+    }
+
+    /// Persists the slot's boost decisions as [`FaultEventRecord`]s (only
+    /// called when a fault schedule is active).
+    fn record_fault_events(&mut self, slot: Slot, day: DayIndex, result: &SlotResult) {
+        for ev in &result.events {
+            let (relay, kind, promised, delivered) = match *ev {
+                BoostEvent::HeaderTimeout { relay, .. } => (
+                    Some(relay),
+                    FaultEventKind::HeaderTimeout,
+                    Wei::ZERO,
+                    Wei::ZERO,
+                ),
+                BoostEvent::RelayUnreachable { relay } => (
+                    Some(relay),
+                    FaultEventKind::RelayUnreachable,
+                    Wei::ZERO,
+                    Wei::ZERO,
+                ),
+                BoostEvent::StaleHeader { relay } => (
+                    Some(relay),
+                    FaultEventKind::StaleHeader,
+                    Wei::ZERO,
+                    Wei::ZERO,
+                ),
+                BoostEvent::BelowMinBid { promised } => {
+                    (None, FaultEventKind::BelowMinBid, promised, Wei::ZERO)
+                }
+                BoostEvent::PayloadFailed { relay } => (
+                    Some(relay),
+                    FaultEventKind::PayloadFailed,
+                    Wei::ZERO,
+                    Wei::ZERO,
+                ),
+                BoostEvent::SlotMissed { relay } => (
+                    Some(relay),
+                    FaultEventKind::MissedSlot,
+                    result.promised,
+                    Wei::ZERO,
+                ),
+                BoostEvent::ShortfallInjected {
+                    relay,
+                    promised,
+                    delivered,
+                } => (Some(relay), FaultEventKind::Shortfall, promised, delivered),
+                BoostEvent::SelfBuild => (None, FaultEventKind::SelfBuild, Wei::ZERO, Wei::ZERO),
+                // Healthy-path decisions are not faults.
+                BoostEvent::HeaderSigned { .. } | BoostEvent::PayloadDelivered { .. } => continue,
+            };
+            self.fault_events.push(FaultEventRecord {
+                slot,
+                day,
+                relay,
+                kind,
+                promised,
+                delivered,
+            });
         }
     }
 
@@ -248,9 +369,11 @@ impl<'a> Runner<'a> {
             )
         };
         let bn = relays.id_by_name("Blocknative");
-        relays.get_mut(bn).allowed_builders = Some([by_name("blocknative")].into());
+        relays.get_mut(bn).expect("known relay").allowed_builders =
+            Some([by_name("blocknative")].into());
         let eden = relays.id_by_name("Eden");
-        relays.get_mut(eden).allowed_builders = Some([by_name("Eden")].into());
+        relays.get_mut(eden).expect("known relay").allowed_builders =
+            Some([by_name("Eden")].into());
         let vetted: BTreeSet<BuilderId> = [
             by_name("bloXroute (M)"),
             by_name("bloXroute (R)"),
@@ -261,7 +384,7 @@ impl<'a> Runner<'a> {
         .into();
         for name in ["bloXroute (E)", "bloXroute (M)", "bloXroute (R)"] {
             let id = relays.id_by_name(name);
-            relays.get_mut(id).allowed_builders = Some(vetted.clone());
+            relays.get_mut(id).expect("known relay").allowed_builders = Some(vetted.clone());
         }
     }
 
@@ -521,6 +644,14 @@ impl<'a> Runner<'a> {
                 continue;
             }
 
+            // 2b. Refresh relay fault state for this slot (no-op without a
+            // schedule — relays stay at the all-healthy default forever).
+            if let Some(sched) = &self.fault_schedule {
+                for relay in self.relays.iter_mut() {
+                    relay.faults = sched.component_faults(relay.id.0 as usize, s);
+                }
+            }
+
             // 3. Snapshot the mempool view builders work from.
             let mut snapshot = self
                 .mempool
@@ -557,7 +688,9 @@ impl<'a> Runner<'a> {
                     all_relays.clone()
                 };
                 for &r in &subscribed {
-                    self.relays.get_mut(r).register_validator(proposer);
+                    if let Some(relay) = self.relays.get_mut(r) {
+                        relay.register_validator(proposer);
+                    }
                 }
                 let min_bid = Wei::from_eth(self.cfg.knobs.min_bid_eth);
                 Some(MevBoostClient::new(subscribed).with_min_bid(min_bid))
@@ -600,6 +733,18 @@ impl<'a> Runner<'a> {
                 dishonest,
             );
 
+            // Persist the boost decision trail while faults are active, and
+            // miss the slot entirely when a signed header proved
+            // undeliverable (the 10 Nov 2022 failure mode, now mechanized).
+            if self.fault_schedule.is_some() {
+                self.record_fault_events(slot, day, &result);
+            }
+            if result.missed {
+                self.beacon.record_missed(slot);
+                self.missed += 1;
+                continue;
+            }
+
             // The Eden incident: the relay announces a wildly inflated value
             // for one early-October block (§5.2).
             if !self.eden_done
@@ -609,7 +754,8 @@ impl<'a> Runner<'a> {
                 && result
                     .winning_relays
                     .first()
-                    .map(|r| self.relays.get(*r).info.name == "Eden")
+                    .and_then(|r| self.relays.get(*r))
+                    .map(|r| r.info.name == "Eden")
                     .unwrap_or(false)
             {
                 let scaled = 2.1 * self.cfg.calendar.blocks_per_day as f64 / 360.0;
@@ -765,6 +911,7 @@ impl<'a> Runner<'a> {
                 .map(|e| e.name.clone())
                 .collect(),
             totals: self.totals,
+            fault_events: self.fault_events,
         }
     }
 
@@ -910,6 +1057,91 @@ mod tests {
             run.totals.binance_included_txs > 0,
             "December Binance→AnkrPool transfers never reached a block"
         );
+    }
+
+    #[test]
+    fn faults_off_emits_no_fault_events() {
+        let run = tiny_run(1, 2);
+        assert!(run.fault_events.is_empty());
+    }
+
+    #[test]
+    fn uniform_faults_emit_events_and_stay_deterministic() {
+        let mk = || {
+            let mut cfg = ScenarioConfig::test_small(11, 3);
+            cfg.faults = crate::config::FaultConfig::uniform();
+            Simulation::new(cfg).run()
+        };
+        let a = mk();
+        let b = mk();
+        assert!(
+            !a.fault_events.is_empty(),
+            "uniform preset produced no faults"
+        );
+        assert_eq!(a.fault_events, b.fault_events);
+        assert_eq!(a.blocks, b.blocks);
+        assert_eq!(a.missed_slots, b.missed_slots);
+        // Slots missed through payload failure are real missed slots.
+        let machine_missed = a
+            .fault_events
+            .iter()
+            .filter(|e| e.kind == FaultEventKind::MissedSlot)
+            .count() as u64;
+        assert!(a.missed_slots >= machine_missed);
+        let total = a.blocks.len() as u64 + a.missed_slots;
+        assert_eq!(total, 3 * 40);
+    }
+
+    #[test]
+    fn inert_fault_schedule_changes_nothing() {
+        // A schedule whose rates are all zero exercises the machinery on
+        // every slot (refresh, propose, event mapping) yet must leave the
+        // chain byte-identical to a fault-free run: the schedule draws only
+        // from the dedicated "faults" seed domain.
+        let base = tiny_run(13, 2);
+        let mut cfg = ScenarioConfig::test_small(13, 2);
+        cfg.faults = crate::config::FaultConfig {
+            preset: FaultPreset::Uniform,
+            ..crate::config::FaultConfig::off()
+        };
+        let faulted = Simulation::new(cfg).run();
+        assert_eq!(base.blocks, faulted.blocks);
+        assert_eq!(base.missed_slots, faulted.missed_slots);
+        assert_eq!(base.totals, faulted.totals);
+        // Only self-build notations can appear; no relay ever faulted.
+        assert!(faulted
+            .fault_events
+            .iter()
+            .all(|e| e.kind == FaultEventKind::SelfBuild));
+    }
+
+    #[test]
+    fn paper_incidents_preset_runs_through_the_machinery() {
+        let mut cfg = ScenarioConfig::test_small(17, 4);
+        cfg.faults = crate::config::FaultConfig::paper_incidents();
+        let run = Simulation::new(cfg).run();
+        assert!(
+            !run.fault_events.is_empty(),
+            "paper_incidents produced no fault events in 4 days"
+        );
+        // The hand-placed per-relay shortfall draws are disabled: any
+        // shortfall now has a matching machinery event.
+        let shortfall_blocks: Vec<_> = run
+            .blocks
+            .iter()
+            .filter(|b| b.pbs_truth && b.delivered < b.promised && b.delivered > Wei::ZERO)
+            .collect();
+        for b in shortfall_blocks {
+            assert!(
+                run.fault_events
+                    .iter()
+                    .any(|e| e.slot == b.slot && e.kind == FaultEventKind::Shortfall),
+                "shortfall at slot {:?} without a machinery event",
+                b.slot
+            );
+        }
+        // Participation still accounts for every slot.
+        assert_eq!(run.blocks.len() as u64 + run.missed_slots, 4 * 40);
     }
 
     #[test]

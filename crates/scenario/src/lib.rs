@@ -24,8 +24,8 @@ pub mod timeline;
 pub mod workload;
 
 pub use cast::{builder_cast, validator_entities, BuilderCastEntry};
-pub use config::{AblationKnobs, ScenarioConfig};
+pub use config::{AblationKnobs, FaultConfig, FaultPreset, ScenarioConfig};
 pub use driver::Simulation;
-pub use records::{BlockRecord, RunArtifacts, RunTotals};
+pub use records::{BlockRecord, FaultEventKind, FaultEventRecord, RunArtifacts, RunTotals};
 pub use timeline::Timeline;
 pub use workload::WorkloadGenerator;

@@ -8,7 +8,7 @@ use crate::config::ScenarioConfig;
 use beacon::ValidatorId;
 use eth_types::{Address, BlsPublicKey, DayIndex, Gas, GasPrice, Slot, Wei};
 use pbs::{BuilderId, RelayId};
-use serde::{Deserialize, Serialize};
+use serde::{struct_field, DeError, Deserialize, Serialize, Value};
 
 /// Everything the pipeline records about one proposed block.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -143,8 +143,48 @@ pub struct RunTotals {
     pub binance_included_txs: u64,
 }
 
+/// What kind of fault the MEV-Boost client observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultEventKind {
+    /// A `getHeader` attempt timed out.
+    HeaderTimeout,
+    /// A relay exhausted the retry budget without answering.
+    RelayUnreachable,
+    /// A degraded relay served a stale header.
+    StaleHeader,
+    /// The best header fell below `min-bid`.
+    BelowMinBid,
+    /// `getPayload` failed on a relay carrying the signed header.
+    PayloadFailed,
+    /// Every carrying relay failed `getPayload`: no block this slot.
+    MissedSlot,
+    /// The delivering relay paid less than the header promised.
+    Shortfall,
+    /// No relay header was acceptable; the proposer built locally.
+    SelfBuild,
+}
+
+/// One persisted fault observation — the audit trail `relay_audit`
+/// aggregates into Table 5-style per-relay incident counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEventRecord {
+    /// Slot in which the event occurred.
+    pub slot: Slot,
+    /// Calendar day.
+    pub day: DayIndex,
+    /// The relay involved (`None` for relay-independent events such as
+    /// `SelfBuild` and `BelowMinBid`).
+    pub relay: Option<RelayId>,
+    /// What happened.
+    pub kind: FaultEventKind,
+    /// Promised value, where meaningful (`Shortfall`, `MissedSlot`).
+    pub promised: Wei,
+    /// Delivered value, where meaningful (`Shortfall`).
+    pub delivered: Wei,
+}
+
 /// The complete output of a simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunArtifacts {
     /// The configuration that produced this run.
     pub config: ScenarioConfig,
@@ -164,6 +204,60 @@ pub struct RunArtifacts {
     pub entity_names: Vec<String>,
     /// Table 1 aggregates.
     pub totals: RunTotals,
+    /// Fault observations, slot-ordered (empty when faults are off).
+    pub fault_events: Vec<FaultEventRecord>,
+}
+
+// Hand-written serde: `fault_events` is emitted only when non-empty, so
+// fault-free `run.json` artifacts stay byte-identical to those produced
+// before the fault model existed.
+impl Serialize for RunArtifacts {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("config".to_string(), self.config.to_value()),
+            ("blocks".to_string(), self.blocks.to_value()),
+            ("missed_slots".to_string(), self.missed_slots.to_value()),
+            (
+                "relay_builders_daily".to_string(),
+                self.relay_builders_daily.to_value(),
+            ),
+            ("builder_names".to_string(), self.builder_names.to_value()),
+            (
+                "builder_fee_recipients".to_string(),
+                self.builder_fee_recipients.to_value(),
+            ),
+            (
+                "builder_pubkeys".to_string(),
+                self.builder_pubkeys.to_value(),
+            ),
+            ("entity_names".to_string(), self.entity_names.to_value()),
+            ("totals".to_string(), self.totals.to_value()),
+        ];
+        if !self.fault_events.is_empty() {
+            fields.push(("fault_events".to_string(), self.fault_events.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for RunArtifacts {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(RunArtifacts {
+            config: ScenarioConfig::from_value(struct_field(v, "config"))?,
+            blocks: Vec::from_value(struct_field(v, "blocks"))?,
+            missed_slots: u64::from_value(struct_field(v, "missed_slots"))?,
+            relay_builders_daily: Vec::from_value(struct_field(v, "relay_builders_daily"))?,
+            builder_names: Vec::from_value(struct_field(v, "builder_names"))?,
+            builder_fee_recipients: Vec::from_value(struct_field(v, "builder_fee_recipients"))?,
+            builder_pubkeys: Vec::from_value(struct_field(v, "builder_pubkeys"))?,
+            entity_names: Vec::from_value(struct_field(v, "entity_names"))?,
+            totals: RunTotals::from_value(struct_field(v, "totals"))?,
+            fault_events: match struct_field(v, "fault_events") {
+                Value::Null => Vec::new(),
+                fv => Vec::from_value(fv)?,
+            },
+        })
+    }
 }
 
 impl RunArtifacts {
@@ -275,5 +369,49 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: BlockRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    fn artifacts() -> RunArtifacts {
+        RunArtifacts {
+            config: ScenarioConfig::test_small(1, 1),
+            blocks: vec![record(true)],
+            missed_slots: 2,
+            relay_builders_daily: vec![(DayIndex(0), RelayId(0), 3)],
+            builder_names: vec!["b".into()],
+            builder_fee_recipients: vec![None],
+            builder_pubkeys: vec![vec![]],
+            entity_names: vec!["e".into()],
+            totals: RunTotals::default(),
+            fault_events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn empty_fault_events_are_invisible_in_json() {
+        let json = serde_json::to_string(&artifacts()).unwrap();
+        assert!(
+            !json.contains("fault_events"),
+            "fault-free artifacts must serialize exactly as before the fault model"
+        );
+        let back: RunArtifacts = serde_json::from_str(&json).unwrap();
+        assert!(back.fault_events.is_empty());
+        assert_eq!(back.blocks, artifacts().blocks);
+    }
+
+    #[test]
+    fn fault_events_round_trip() {
+        let mut run = artifacts();
+        run.fault_events.push(FaultEventRecord {
+            slot: Slot(9),
+            day: DayIndex(0),
+            relay: Some(RelayId(4)),
+            kind: FaultEventKind::Shortfall,
+            promised: Wei::from_eth(0.2),
+            delivered: Wei::from_eth(0.19),
+        });
+        let json = serde_json::to_string(&run).unwrap();
+        assert!(json.contains("fault_events"));
+        let back: RunArtifacts = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.fault_events, run.fault_events);
     }
 }

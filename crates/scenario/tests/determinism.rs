@@ -6,35 +6,61 @@
 //! and the auction derives every builder's RNG from a per-slot
 //! `SeedDomain` stream instead of a shared sequential one, so thread
 //! scheduling can never leak into the output.
+//!
+//! The fault-injection subsystem must obey the same contract: the fault
+//! schedule is drawn label-addressed from its own seed subdomain before
+//! the slot loop, and retries/fallbacks are resolved in subscription
+//! order, so a faulted run is just as thread-invariant as a clean one.
 
-use scenario::{ScenarioConfig, Simulation};
+use scenario::{FaultConfig, ScenarioConfig, Simulation};
 
 /// Serializes a full 7-day run at a given global thread count.
-fn run_serialized(seed: u64, threads: usize) -> String {
+fn run_serialized(seed: u64, threads: usize, faults: FaultConfig) -> String {
     rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build_global()
         .unwrap();
-    let run = Simulation::new(ScenarioConfig::test_small(seed, 7)).run();
+    let cfg = ScenarioConfig {
+        faults,
+        ..ScenarioConfig::test_small(seed, 7)
+    };
+    let run = Simulation::new(cfg).run();
     serde_json::to_string(&run).expect("RunArtifacts serializes")
 }
 
 #[test]
 fn artifacts_are_byte_identical_across_thread_counts() {
-    let sequential = run_serialized(42, 1);
-    let parallel = run_serialized(42, 4);
+    let sequential = run_serialized(42, 1, FaultConfig::off());
+    let parallel = run_serialized(42, 4, FaultConfig::off());
     assert_eq!(
         sequential, parallel,
         "same seed must yield byte-identical artifacts at 1 and 4 threads"
     );
 
     // Repeat at 4 threads: run-to-run determinism, not just luck.
-    let again = run_serialized(42, 4);
+    let again = run_serialized(42, 4, FaultConfig::off());
     assert_eq!(parallel, again);
 
     // And the seed actually matters: a different seed diverges.
-    let other = run_serialized(43, 4);
+    let other = run_serialized(43, 4, FaultConfig::off());
     assert_ne!(sequential, other, "different seeds must diverge");
+
+    // Faults on: relay outages, retries, fallbacks, and missed slots must
+    // all be scheduled off the seed, never off thread timing.
+    let faulted_seq = run_serialized(42, 1, FaultConfig::paper_incidents());
+    let faulted_par = run_serialized(42, 4, FaultConfig::paper_incidents());
+    assert_eq!(
+        faulted_seq, faulted_par,
+        "fault injection must stay byte-identical at 1 and 4 threads"
+    );
+    assert_ne!(
+        faulted_seq, sequential,
+        "the paper_incidents preset must actually change the run"
+    );
+
+    let uniform_seq = run_serialized(42, 1, FaultConfig::uniform());
+    let uniform_par = run_serialized(42, 4, FaultConfig::uniform());
+    assert_eq!(uniform_seq, uniform_par);
 
     rayon::ThreadPoolBuilder::new()
         .num_threads(0)

@@ -1,0 +1,359 @@
+//! Seeded fault injection for simulated infrastructure components.
+//!
+//! A [`FaultSchedule`] is a pure function of a [`SeedDomain`] and a set of
+//! per-component [`FaultProfile`]s: outage and degradation windows are laid
+//! out once at construction by walking exponential gap/duration draws, and
+//! every per-slot decision (timeouts, stale responses, payload failures,
+//! payment shortfalls) is drawn from a label-addressed stream keyed by
+//! `(component, slot)`. Nothing here touches shared mutable RNG state, so
+//! fault decisions are byte-identical at any thread count and — because the
+//! schedule draws from its own sub-domain — enabling faults never perturbs
+//! the random streams of a run that has them disabled.
+
+use crate::dist::Exponential;
+use crate::rng::SeedDomain;
+use rand::Rng;
+
+/// Operational state of a component during one slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Health {
+    /// Fully operational.
+    #[default]
+    Healthy,
+    /// Responding, but slowly or with stale data.
+    Degraded,
+    /// Unreachable: requests time out, submissions bounce.
+    Down,
+}
+
+/// Per-component fault rates. All rates are independent; a component with
+/// the default profile never fails.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Mean full outages per day.
+    pub outages_per_day: f64,
+    /// Mean outage length in slots (≥ 1 once started).
+    pub outage_mean_slots: f64,
+    /// Mean degraded windows per day.
+    pub degraded_per_day: f64,
+    /// Mean degraded-window length in slots (≥ 1 once started).
+    pub degraded_mean_slots: f64,
+    /// Per-request timeout probability while degraded.
+    pub timeout_prob: f64,
+    /// Probability a degraded component serves a stale response.
+    pub stale_prob: f64,
+    /// Per-slot probability that delivering the committed payload fails.
+    pub payload_failure_prob: f64,
+    /// Per-slot probability of a payment shortfall on a won block.
+    pub shortfall_prob: f64,
+    /// Fraction of the promised value lost when a shortfall fires.
+    pub shortfall_frac: f64,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile {
+            outages_per_day: 0.0,
+            outage_mean_slots: 4.0,
+            degraded_per_day: 0.0,
+            degraded_mean_slots: 8.0,
+            timeout_prob: 0.0,
+            stale_prob: 0.0,
+            payload_failure_prob: 0.0,
+            shortfall_prob: 0.0,
+            shortfall_frac: 0.01,
+        }
+    }
+}
+
+impl FaultProfile {
+    /// True when every rate is zero — the component can never fail.
+    pub fn is_inert(&self) -> bool {
+        self.outages_per_day == 0.0
+            && self.degraded_per_day == 0.0
+            && self.payload_failure_prob == 0.0
+            && self.shortfall_prob == 0.0
+    }
+}
+
+/// The fault decisions affecting one component during one slot. The
+/// default value means "no faults" — components outside any schedule
+/// behave exactly as before the fault model existed.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ComponentFaults {
+    /// Operational state.
+    pub health: Health,
+    /// Requests that time out before one succeeds (`u32::MAX` when down —
+    /// no finite retry budget reaches the component).
+    pub wasted_attempts: u32,
+    /// Whether a served response is stale (previous best, not current).
+    pub stale_response: bool,
+    /// Whether delivering the committed payload fails this slot.
+    pub payload_failure: bool,
+    /// Forced payment shortfall: fraction of the promise lost.
+    pub shortfall: Option<f64>,
+}
+
+impl ComponentFaults {
+    /// True when the component is unreachable.
+    pub fn is_down(&self) -> bool {
+        self.health == Health::Down
+    }
+}
+
+/// Sorted, half-open `[start, end)` slot windows.
+type Windows = Vec<(u64, u64)>;
+
+fn in_window(windows: &Windows, slot: u64) -> bool {
+    match windows.partition_point(|&(start, _)| start <= slot) {
+        0 => false,
+        i => slot < windows[i - 1].1,
+    }
+}
+
+/// Lays out windows for one component: exponential gaps between window
+/// starts, exponential-plus-one durations.
+fn build_windows(
+    rng: &mut impl Rng,
+    per_day: f64,
+    mean_slots: f64,
+    slots_per_day: u64,
+    total_slots: u64,
+) -> Windows {
+    let mut windows = Windows::new();
+    if per_day <= 0.0 || total_slots == 0 {
+        return windows;
+    }
+    let gap = Exponential::with_mean(slots_per_day as f64 / per_day);
+    let duration = Exponential::with_mean(mean_slots.max(1.0));
+    let mut cursor = 0.0f64;
+    loop {
+        cursor += gap.sample(rng);
+        let start = cursor as u64;
+        if start >= total_slots {
+            return windows;
+        }
+        let len = 1 + duration.sample(rng) as u64;
+        let end = (start + len).min(total_slots);
+        windows.push((start, end));
+        cursor = end as f64;
+    }
+}
+
+/// A precomputed, seed-deterministic fault schedule over a set of
+/// components (one [`FaultProfile`] each) and a slot range.
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    domain: SeedDomain,
+    profiles: Vec<FaultProfile>,
+    outages: Vec<Windows>,
+    degraded: Vec<Windows>,
+}
+
+impl FaultSchedule {
+    /// Builds the schedule. `domain` should be a dedicated sub-domain so
+    /// the schedule's draws cannot collide with any other stream.
+    pub fn build(
+        domain: SeedDomain,
+        slots_per_day: u64,
+        total_slots: u64,
+        profiles: Vec<FaultProfile>,
+    ) -> Self {
+        let spd = slots_per_day.max(1);
+        let mut outages = Vec::with_capacity(profiles.len());
+        let mut degraded = Vec::with_capacity(profiles.len());
+        for (i, p) in profiles.iter().enumerate() {
+            let mut o_rng = domain.stream("outage", i as u64);
+            outages.push(build_windows(
+                &mut o_rng,
+                p.outages_per_day,
+                p.outage_mean_slots,
+                spd,
+                total_slots,
+            ));
+            let mut d_rng = domain.stream("degraded", i as u64);
+            degraded.push(build_windows(
+                &mut d_rng,
+                p.degraded_per_day,
+                p.degraded_mean_slots,
+                spd,
+                total_slots,
+            ));
+        }
+        FaultSchedule {
+            domain,
+            profiles,
+            outages,
+            degraded,
+        }
+    }
+
+    /// Number of scheduled components.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True when no components are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The component's health during `slot`. Outages shadow degradation.
+    pub fn health(&self, component: usize, slot: u64) -> Health {
+        if in_window(&self.outages[component], slot) {
+            Health::Down
+        } else if in_window(&self.degraded[component], slot) {
+            Health::Degraded
+        } else {
+            Health::Healthy
+        }
+    }
+
+    /// All fault decisions for `(component, slot)`. Stateless: the same
+    /// query always returns the same answer, in any order, on any thread.
+    pub fn component_faults(&self, component: usize, slot: u64) -> ComponentFaults {
+        let p = &self.profiles[component];
+        let health = self.health(component, slot);
+        if health == Health::Down {
+            return ComponentFaults {
+                health,
+                wasted_attempts: u32::MAX,
+                stale_response: false,
+                payload_failure: true,
+                shortfall: None,
+            };
+        }
+        let mut rng = self.domain.rng(&format!("slot:{component}:{slot}"));
+        let mut wasted_attempts = 0u32;
+        let mut stale_response = false;
+        if health == Health::Degraded {
+            while wasted_attempts < 8 && rng.random::<f64>() < p.timeout_prob {
+                wasted_attempts += 1;
+            }
+            stale_response = rng.random::<f64>() < p.stale_prob;
+        }
+        let payload_failure = p.payload_failure_prob > 0.0
+            && health == Health::Degraded
+            && rng.random::<f64>() < p.payload_failure_prob;
+        let shortfall = (p.shortfall_prob > 0.0 && rng.random::<f64>() < p.shortfall_prob)
+            .then_some(p.shortfall_frac);
+        ComponentFaults {
+            health,
+            wasted_attempts,
+            stale_response,
+            payload_failure,
+            shortfall,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flaky() -> FaultProfile {
+        FaultProfile {
+            outages_per_day: 2.0,
+            outage_mean_slots: 3.0,
+            degraded_per_day: 4.0,
+            degraded_mean_slots: 6.0,
+            timeout_prob: 0.5,
+            stale_prob: 0.3,
+            payload_failure_prob: 0.2,
+            shortfall_prob: 0.1,
+            shortfall_frac: 0.02,
+        }
+    }
+
+    fn schedule(seed: u64) -> FaultSchedule {
+        FaultSchedule::build(
+            SeedDomain::new(seed).subdomain("faults"),
+            40,
+            400,
+            vec![flaky(), FaultProfile::default()],
+        )
+    }
+
+    #[test]
+    fn default_profile_never_faults() {
+        let s = schedule(7);
+        for slot in 0..400 {
+            assert_eq!(s.component_faults(1, slot), ComponentFaults::default());
+        }
+    }
+
+    #[test]
+    fn flaky_profile_faults_sometimes() {
+        let s = schedule(7);
+        let mut down = 0;
+        let mut degraded = 0;
+        let mut shortfalls = 0;
+        for slot in 0..400 {
+            let f = s.component_faults(0, slot);
+            match f.health {
+                Health::Down => {
+                    down += 1;
+                    assert_eq!(f.wasted_attempts, u32::MAX);
+                    assert!(f.payload_failure);
+                }
+                Health::Degraded => degraded += 1,
+                Health::Healthy => assert_eq!(f.wasted_attempts, 0),
+            }
+            if f.shortfall.is_some() {
+                shortfalls += 1;
+            }
+        }
+        assert!(down > 0, "no outage slots in 10 days at 2/day");
+        assert!(degraded > 0, "no degraded slots in 10 days at 4/day");
+        assert!(shortfalls > 0, "no shortfalls at p=0.1 over 400 slots");
+    }
+
+    #[test]
+    fn queries_are_stateless_and_reproducible() {
+        let a = schedule(9);
+        let b = schedule(9);
+        // Query in different orders; answers must agree pointwise.
+        for slot in (0..400).rev() {
+            assert_eq!(a.component_faults(0, slot), b.component_faults(0, slot));
+        }
+        // And a second pass over the same schedule is unchanged.
+        for slot in 0..400 {
+            assert_eq!(a.component_faults(0, slot), a.component_faults(0, slot));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = schedule(1);
+        let b = schedule(2);
+        let differs = (0..400).any(|s| a.component_faults(0, s) != b.component_faults(0, s));
+        assert!(differs);
+    }
+
+    #[test]
+    fn windows_respect_the_slot_range() {
+        let s = FaultSchedule::build(
+            SeedDomain::new(3).subdomain("faults"),
+            40,
+            100,
+            vec![FaultProfile {
+                outages_per_day: 20.0,
+                outage_mean_slots: 10.0,
+                ..FaultProfile::default()
+            }],
+        );
+        for w in &s.outages[0] {
+            assert!(w.0 < w.1 && w.1 <= 100, "window {w:?} out of range");
+        }
+        // Windows are sorted and non-overlapping.
+        for pair in s.outages[0].windows(2) {
+            assert!(pair[0].1 <= pair[1].0);
+        }
+    }
+
+    #[test]
+    fn inert_profile_detection() {
+        assert!(FaultProfile::default().is_inert());
+        assert!(!flaky().is_inert());
+    }
+}

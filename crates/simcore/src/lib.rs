@@ -33,12 +33,14 @@
 
 pub mod dist;
 pub mod events;
+pub mod faults;
 pub mod metrics;
 pub mod rng;
 pub mod time;
 
 pub use dist::{Exponential, LogNormal, Pareto, Poisson};
 pub use events::EventQueue;
+pub use faults::{ComponentFaults, FaultProfile, FaultSchedule, Health};
 pub use metrics::MetricsRegistry;
 pub use rng::SeedDomain;
 pub use time::SimTime;

@@ -1,0 +1,103 @@
+//! Golden-artifact regression test.
+//!
+//! Runs the small seed-42 pipeline twice — faults off and with the
+//! `paper_incidents` fault preset — writes both `out/` bundles through
+//! the same [`analysis::write_artifact_bundle`] path as the
+//! `paper_artifacts` binary, and pins the SHA-256 digest of every file
+//! against `tests/golden/manifest.json`.
+//!
+//! To regenerate the manifest after an intentional output change:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test -p pbs-repro --test golden
+//! ```
+//!
+//! On a mismatch the test writes the observed digests to
+//! `target/golden-manifest-actual.json` so CI can upload the diff.
+
+use analysis::{write_artifact_bundle, PaperReport};
+use datasets::{digest_dir, parse_manifest, render_manifest};
+use scenario::{FaultConfig, ScenarioConfig, Simulation};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn write_bundle(cfg: ScenarioConfig, dir: &Path) {
+    let run = Simulation::new(cfg).run();
+    let report = PaperReport::compute(&run);
+    write_artifact_bundle(&report, &run, dir).expect("bundle writes");
+}
+
+#[test]
+fn golden_artifacts_match_manifest() {
+    let tmp = std::env::temp_dir().join(format!("pbs-golden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    write_bundle(ScenarioConfig::test_small(42, 7), &tmp.join("baseline"));
+    write_bundle(
+        ScenarioConfig {
+            faults: FaultConfig::paper_incidents(),
+            ..ScenarioConfig::test_small(42, 7)
+        },
+        &tmp.join("faulted"),
+    );
+
+    let mut actual = BTreeMap::new();
+    for sub in ["baseline", "faulted"] {
+        for (name, hex) in digest_dir(&tmp.join(sub)).expect("bundle dir readable") {
+            actual.insert(format!("{sub}/{name}"), hex);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    // The fault audit exists exactly when faults ran: a faults-off bundle
+    // must keep the pre-fault-subsystem file set.
+    assert!(!actual.contains_key("baseline/fault_audit.csv"));
+    assert!(actual.contains_key("faulted/fault_audit.csv"));
+
+    let manifest_path = repo_path("tests/golden/manifest.json");
+    if std::env::var("GOLDEN_BLESS").as_deref() == Ok("1") {
+        std::fs::create_dir_all(manifest_path.parent().unwrap()).unwrap();
+        std::fs::write(&manifest_path, render_manifest(&actual)).unwrap();
+        eprintln!(
+            "blessed {} entries into {}",
+            actual.len(),
+            manifest_path.display()
+        );
+        return;
+    }
+
+    let text = std::fs::read_to_string(&manifest_path)
+        .expect("tests/golden/manifest.json missing — bless it with GOLDEN_BLESS=1");
+    let expected = parse_manifest(&text).expect("manifest parses");
+
+    if actual != expected {
+        let actual_path = repo_path("target/golden-manifest-actual.json");
+        let _ = std::fs::create_dir_all(actual_path.parent().unwrap());
+        let _ = std::fs::write(&actual_path, render_manifest(&actual));
+
+        let mut diff = String::new();
+        let names: std::collections::BTreeSet<_> = expected.keys().chain(actual.keys()).collect();
+        for name in names {
+            match (expected.get(name), actual.get(name)) {
+                (Some(e), Some(a)) if e != a => {
+                    diff.push_str(&format!(
+                        "  changed: {name}\n    expected {e}\n    actual   {a}\n"
+                    ));
+                }
+                (Some(_), None) => diff.push_str(&format!("  missing: {name}\n")),
+                (None, Some(_)) => diff.push_str(&format!("  extra:   {name}\n")),
+                _ => {}
+            }
+        }
+        panic!(
+            "golden artifacts drifted from tests/golden/manifest.json \
+             (observed digests written to {}):\n{diff}\
+             If the change is intentional, re-bless with GOLDEN_BLESS=1.",
+            actual_path.display()
+        );
+    }
+}
