@@ -86,40 +86,79 @@ pub struct PaperReport {
     pub delay_comparison: DelayComparison,
 }
 
+/// Runs one aggregation under a telemetry span so per-aggregation wall
+/// time shows up in the snapshot (inert when telemetry is off).
+fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let _span = simcore::span!(name);
+    simcore::telemetry::counter_add("analysis.aggregations", 1);
+    f()
+}
+
 impl PaperReport {
     /// Runs the whole pipeline.
     pub fn compute(run: &RunArtifacts) -> PaperReport {
-        let (table4, table4_aggregate) = relay_audit::relay_audit(run);
+        let _span = simcore::span!("analysis.compute");
+        let (table4, table4_aggregate) = timed("analysis.table4", || relay_audit::relay_audit(run));
         PaperReport {
-            table1: datasets::table1_rows(run),
+            table1: timed("analysis.table1", || datasets::table1_rows(run)),
             table4,
             table4_aggregate,
-            fig3_payments: payments::daily_payment_shares(run),
-            fig4_adoption: adoption::daily_pbs_share(run),
-            detection: adoption::detection_cross_check(run),
-            fig5_relay_share: relay_share::daily_relay_share(run),
-            multi_relay_share: relay_share::multi_relay_share(run),
-            fig6_concentration: concentration::daily_concentration(run),
-            fig7_builders_per_relay: relay_share::builders_per_relay(run),
-            fig8_builder_share: builder_share::daily_builder_share(run),
-            fig10_proposer_profit: block_value::daily_proposer_profit(run),
-            value_comparison: block_value::value_comparison(run),
-            fig11_12_profit_rows: profit_split::builder_profit_rows(run, 11),
-            fig13_block_size: block_size::daily_block_size(run),
-            fig14_private: private_flow::daily_private_share(run),
-            fig15_mev_per_block: mev_stats::daily_mev_per_block(run),
-            fig16_mev_value_share: mev_stats::daily_mev_value_share(run),
-            fig17_censoring_share: censorship::daily_censoring_relay_share(run),
-            fig18_sanctioned: censorship::daily_sanctioned_share(run),
-            sanctioned_ratio: censorship::non_pbs_to_pbs_sanctioned_ratio(run),
-            fig19_profit_share: profit_split::daily_profit_share(run),
-            fig20_sandwiches: mev_stats::daily_sandwiches_per_block(run),
-            fig21_arbitrage: mev_stats::daily_arbitrage_per_block(run),
-            fig22_liquidations: mev_stats::daily_liquidations_per_block(run),
-            mev_totals: mev_stats::mev_totals(run),
-            bloxroute_gap: relay_audit::bloxroute_ethical_sandwich_gap(run),
-            proposer_builder_ratio: profit_split::proposer_to_builder_ratio(run),
-            delay_comparison: inclusion_delay::delay_comparison(run),
+            fig3_payments: timed("analysis.fig3", || payments::daily_payment_shares(run)),
+            fig4_adoption: timed("analysis.fig4", || adoption::daily_pbs_share(run)),
+            detection: timed("analysis.detection", || {
+                adoption::detection_cross_check(run)
+            }),
+            fig5_relay_share: timed("analysis.fig5", || relay_share::daily_relay_share(run)),
+            multi_relay_share: timed("analysis.multi_relay", || {
+                relay_share::multi_relay_share(run)
+            }),
+            fig6_concentration: timed("analysis.fig6", || concentration::daily_concentration(run)),
+            fig7_builders_per_relay: timed("analysis.fig7", || {
+                relay_share::builders_per_relay(run)
+            }),
+            fig8_builder_share: timed("analysis.fig8", || builder_share::daily_builder_share(run)),
+            fig10_proposer_profit: timed("analysis.fig10", || {
+                block_value::daily_proposer_profit(run)
+            }),
+            value_comparison: timed("analysis.value_comparison", || {
+                block_value::value_comparison(run)
+            }),
+            fig11_12_profit_rows: timed("analysis.fig11_12", || {
+                profit_split::builder_profit_rows(run, 11)
+            }),
+            fig13_block_size: timed("analysis.fig13", || block_size::daily_block_size(run)),
+            fig14_private: timed("analysis.fig14", || private_flow::daily_private_share(run)),
+            fig15_mev_per_block: timed("analysis.fig15", || mev_stats::daily_mev_per_block(run)),
+            fig16_mev_value_share: timed("analysis.fig16", || {
+                mev_stats::daily_mev_value_share(run)
+            }),
+            fig17_censoring_share: timed("analysis.fig17", || {
+                censorship::daily_censoring_relay_share(run)
+            }),
+            fig18_sanctioned: timed("analysis.fig18", || censorship::daily_sanctioned_share(run)),
+            sanctioned_ratio: timed("analysis.sanctioned_ratio", || {
+                censorship::non_pbs_to_pbs_sanctioned_ratio(run)
+            }),
+            fig19_profit_share: timed("analysis.fig19", || profit_split::daily_profit_share(run)),
+            fig20_sandwiches: timed("analysis.fig20", || {
+                mev_stats::daily_sandwiches_per_block(run)
+            }),
+            fig21_arbitrage: timed("analysis.fig21", || {
+                mev_stats::daily_arbitrage_per_block(run)
+            }),
+            fig22_liquidations: timed("analysis.fig22", || {
+                mev_stats::daily_liquidations_per_block(run)
+            }),
+            mev_totals: timed("analysis.mev_totals", || mev_stats::mev_totals(run)),
+            bloxroute_gap: timed("analysis.bloxroute_gap", || {
+                relay_audit::bloxroute_ethical_sandwich_gap(run)
+            }),
+            proposer_builder_ratio: timed("analysis.proposer_builder_ratio", || {
+                profit_split::proposer_to_builder_ratio(run)
+            }),
+            delay_comparison: timed("analysis.delay_comparison", || {
+                inclusion_delay::delay_comparison(run)
+            }),
         }
     }
 

@@ -26,7 +26,9 @@ where
     R: Send,
     F: Fn(DayIndex, &[&BlockRecord]) -> R + Sync,
 {
+    let _span = simcore::span!("analysis.par_by_day");
     let groups: Vec<(DayIndex, Vec<&BlockRecord>)> = by_day(run).into_iter().collect();
+    simcore::telemetry::counter_add("analysis.par_by_day.days", groups.len() as u64);
     groups
         .par_iter()
         .map(|(day, blocks)| (*day, f(*day, blocks)))

@@ -12,8 +12,13 @@
 //! The JSON records the host's available parallelism alongside the
 //! measurements: on a single-core host the thread counts collapse to the
 //! same wall clock and the speedup column reads ~1.0 by construction.
+//!
+//! Each row also carries the telemetry span breakdown (total wall-clock
+//! milliseconds per phase path), so future performance PRs have a
+//! per-phase trajectory to beat, not just an end-to-end number.
 
 use scenario::{ScenarioConfig, Simulation};
+use simcore::telemetry;
 
 fn env_u32(name: &str, default: u32) -> u32 {
     std::env::var(name)
@@ -22,12 +27,15 @@ fn env_u32(name: &str, default: u32) -> u32 {
         .unwrap_or(default)
 }
 
-/// One timed simulation at a fixed global thread count.
-fn measure(threads: usize, days: u32) -> (usize, f64) {
+/// One timed simulation at a fixed global thread count, returning the
+/// block count, throughput, and the per-phase span totals in ms.
+fn measure(threads: usize, days: u32) -> (usize, f64, Vec<(String, f64)>) {
     rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build_global()
         .expect("vendored rayon pool config is infallible");
+    telemetry::set_enabled(true);
+    telemetry::reset();
     let mut cfg = ScenarioConfig {
         seed: 42,
         ..ScenarioConfig::default()
@@ -36,7 +44,12 @@ fn measure(threads: usize, days: u32) -> (usize, f64) {
     let start = std::time::Instant::now();
     let run = Simulation::new(cfg).run();
     let secs = start.elapsed().as_secs_f64();
-    (run.blocks.len(), run.blocks.len() as f64 / secs)
+    let phases: Vec<(String, f64)> = telemetry::snapshot()
+        .spans
+        .into_iter()
+        .map(|(path, h)| (path, h.sum as f64 / 1e6))
+        .collect();
+    (run.blocks.len(), run.blocks.len() as f64 / secs, phases)
 }
 
 fn main() -> std::io::Result<()> {
@@ -53,14 +66,19 @@ fn main() -> std::io::Result<()> {
         if threads == 1 {
             let _ = measure(1, days.min(5));
         }
-        let (blocks, bps) = measure(threads, days);
+        let (blocks, bps, phases) = measure(threads, days);
         if threads == 1 {
             baseline = bps;
         }
         let speedup = if baseline > 0.0 { bps / baseline } else { 1.0 };
         eprintln!("threads={threads}: {blocks} blocks, {bps:.0} blocks/s ({speedup:.2}x)");
+        let phase_entries: Vec<String> = phases
+            .iter()
+            .map(|(path, ms)| format!("\"{path}\": {ms:.3}"))
+            .collect();
         rows.push(format!(
-            "    {{ \"threads\": {threads}, \"blocks\": {blocks}, \"blocks_per_sec\": {bps:.1}, \"speedup_vs_1\": {speedup:.3} }}"
+            "    {{ \"threads\": {threads}, \"blocks\": {blocks}, \"blocks_per_sec\": {bps:.1}, \"speedup_vs_1\": {speedup:.3},\n      \"phase_total_ms\": {{ {} }} }}",
+            phase_entries.join(", ")
         ));
     }
 

@@ -11,6 +11,11 @@
 //! * `out/tables.txt` — Tables 1–5 rendered as text,
 //! * `out/summary.txt` — the headline paper-vs-measured record,
 //! * `out/run.json` — the aggregate dataset (the paper's GitHub artifact).
+//!
+//! With `PBS_TELEMETRY=1` the run additionally writes
+//! `telemetry/telemetry.json` and `telemetry/telemetry.prom` (location
+//! overridable via `PBS_TELEMETRY_OUT`) — deliberately *outside* the
+//! artifact bundle, which stays byte-identical to a telemetry-off run.
 
 use analysis::{write_artifact_bundle, PaperReport};
 use scenario::{ScenarioConfig, Simulation};
@@ -52,5 +57,16 @@ fn main() -> std::io::Result<()> {
     println!("{summary}");
     println!("{tables_txt}");
     println!("artifacts written to {}/", out.display());
+
+    if simcore::telemetry::enabled() {
+        let tdir: PathBuf = std::env::var("PBS_TELEMETRY_OUT")
+            .unwrap_or_else(|_| "telemetry".into())
+            .into();
+        simcore::telemetry::write_snapshot_files(&tdir)?;
+        println!(
+            "telemetry snapshot written to {}/telemetry.{{json,prom}}",
+            tdir.display()
+        );
+    }
     Ok(())
 }

@@ -61,10 +61,12 @@ impl GossipNetwork {
 
     /// Floods `tx_hash` from `origin` at time `at`.
     pub fn broadcast(&self, tx_hash: TxHash, origin: NodeId, at: SimTime) -> Propagation {
-        let arrival = self.distances[origin.0 as usize]
+        let arrival: Vec<SimTime> = self.distances[origin.0 as usize]
             .iter()
             .map(|&d| at.plus_millis(d))
             .collect();
+        simcore::telemetry::counter_add("netsim.gossip.broadcasts", 1);
+        simcore::telemetry::counter_add("netsim.gossip.deliveries", arrival.len() as u64);
         Propagation {
             tx_hash,
             origin,

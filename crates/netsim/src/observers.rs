@@ -60,6 +60,7 @@ impl ObservationLog {
             .seen
             .entry(propagation.tx_hash)
             .or_insert([None; NUM_OBSERVERS]);
+        simcore::telemetry::counter_add("netsim.observer.observations", NUM_OBSERVERS as u64);
         for (i, node) in observers.nodes().iter().enumerate() {
             let t = propagation.arrival_at(*node);
             entry[i] = Some(match entry[i] {

@@ -18,7 +18,7 @@ use execution::Mempool;
 use mev::Bundle;
 use rand::Rng;
 use rayon::prelude::*;
-use simcore::SeedDomain;
+use simcore::{telemetry, SeedDomain};
 
 /// Static per-slot auction parameters.
 #[derive(Debug, Clone)]
@@ -144,6 +144,7 @@ impl<'a> SlotAuction<'a> {
         let builders_ro: &[Builder] = builders;
         let relays_ro: &RelayRegistry = relays;
         let indices: Vec<usize> = (0..builders_ro.len()).collect();
+        let build_span = simcore::span!("auction.build_candidates");
         let candidates: Vec<Candidate> = indices
             .par_iter()
             .map(|&bi| {
@@ -187,9 +188,13 @@ impl<'a> SlotAuction<'a> {
             })
             .collect();
 
+        drop(build_span);
+        telemetry::counter_add("pbs.auction.candidates_built", candidates.len() as u64);
+
         // 2. Submission phase: sequential, in ascending builder order, so
         // every jitter draw and relay state transition happens in the same
         // order no matter how phase 1 was scheduled.
+        let submit_span = simcore::span!("auction.submit");
         let mut jitter_rng = seeds.rng("jitter");
         let mut submissions: Vec<SubmissionRecord> = Vec::new();
         for (bi, cand) in candidates.iter().enumerate() {
@@ -230,6 +235,20 @@ impl<'a> SlotAuction<'a> {
                     },
                     self.day,
                 );
+                if telemetry::enabled() {
+                    let name = &relay.info.name;
+                    telemetry::counter_add("pbs.auction.submissions", 1);
+                    telemetry::counter_add(
+                        &format!("pbs.relay.submissions{{relay=\"{name}\"}}"),
+                        1,
+                    );
+                    if accepted {
+                        telemetry::counter_add(
+                            &format!("pbs.relay.submissions_accepted{{relay=\"{name}\"}}"),
+                            1,
+                        );
+                    }
+                }
                 submissions.push(SubmissionRecord {
                     relay: rid,
                     builder: builder_id,
@@ -239,12 +258,15 @@ impl<'a> SlotAuction<'a> {
                 });
             }
         }
+        drop(submit_span);
         let built_blocks: Vec<BuiltBlock> = candidates.into_iter().map(|c| c.built).collect();
 
         // 3. Proposer side: the full MEV-Boost round (retry, fallback,
         // payload fetch); with every relay healthy it reduces to
         // `best_header` plus a delivery from the primary relay.
+        let propose_span = simcore::span!("auction.propose");
         let report = client.map(|c| c.propose(relays));
+        drop(propose_span);
         let (choice, payload_relay, missed, mut events) = match report {
             Some(r) => (r.choice, r.payload_relay, r.missed, r.events),
             None => (None, None, false, Vec::new()),
@@ -310,6 +332,13 @@ impl<'a> SlotAuction<'a> {
                             promised: delivered,
                             delivered: forced,
                         });
+                        if telemetry::enabled() {
+                            telemetry::counter_add("pbs.boost.shortfalls", 1);
+                            telemetry::counter_add(
+                                &format!("pbs.boost.shortfalls{{relay=\"{}\"}}", relay.info.name),
+                                1,
+                            );
+                        }
                         delivered = forced;
                     }
                 }
@@ -359,6 +388,15 @@ impl<'a> SlotAuction<'a> {
                 }
             }
         };
+
+        telemetry::counter_add(
+            match (result.missed, result.pbs) {
+                (true, _) => "pbs.auction.outcome.missed",
+                (false, true) => "pbs.auction.outcome.pbs",
+                (false, false) => "pbs.auction.outcome.local",
+            },
+            1,
+        );
 
         // 4. Slot teardown.
         for relay in relays.iter_mut() {

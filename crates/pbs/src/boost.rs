@@ -215,6 +215,14 @@ impl MevBoostClient {
     /// [`MevBoostClient::best_header`] plus a successful payload fetch
     /// from the primary relay.
     pub fn propose(&self, relays: &RelayRegistry) -> ProposeReport {
+        let report = self.propose_inner(relays);
+        if simcore::telemetry::enabled() {
+            record_boost_telemetry(&report, relays);
+        }
+        report
+    }
+
+    fn propose_inner(&self, relays: &RelayRegistry) -> ProposeReport {
         let mut events = Vec::new();
         let mut best: Option<HeaderChoice> = None;
         for &rid in &self.subscribed {
@@ -293,6 +301,43 @@ impl MevBoostClient {
             payload_relay,
             missed,
             events,
+        }
+    }
+}
+
+/// Translates one proposal round's event trail into telemetry counters:
+/// a per-kind total plus a per-relay labeled series for every relay-
+/// attributed event. Deterministic (counts simulated events only).
+fn record_boost_telemetry(report: &ProposeReport, relays: &RelayRegistry) {
+    use simcore::telemetry;
+    let relay_name = |rid: RelayId| relays.get(rid).map(|r| r.info.name).unwrap_or("unknown");
+    let labeled = |metric: &str, rid: RelayId| {
+        telemetry::counter_add(metric, 1);
+        telemetry::counter_add(&format!("{metric}{{relay=\"{}\"}}", relay_name(rid)), 1);
+    };
+    for event in &report.events {
+        match *event {
+            BoostEvent::HeaderTimeout { relay, .. } => {
+                labeled("pbs.boost.header_timeouts", relay);
+                telemetry::counter_add("pbs.boost.retries", 1);
+            }
+            BoostEvent::RelayUnreachable { relay } => labeled("pbs.boost.unreachable", relay),
+            BoostEvent::StaleHeader { relay } => labeled("pbs.boost.stale_headers", relay),
+            BoostEvent::BelowMinBid { .. } => telemetry::counter_add("pbs.boost.below_min_bid", 1),
+            BoostEvent::HeaderSigned { relay, .. } => labeled("pbs.boost.headers_signed", relay),
+            BoostEvent::PayloadFailed { relay } => labeled("pbs.boost.payload_failures", relay),
+            BoostEvent::PayloadDelivered { relay } => {
+                labeled("pbs.boost.payloads_delivered", relay)
+            }
+            BoostEvent::SelfBuild => telemetry::counter_add("pbs.boost.self_builds", 1),
+            BoostEvent::SlotMissed { relay } => labeled("pbs.boost.missed_slots", relay),
+            BoostEvent::ShortfallInjected { relay, .. } => labeled("pbs.boost.shortfalls", relay),
+        }
+    }
+    // A delivery by a non-primary carrying relay is a successful fallback.
+    if let (Some(choice), Some(delivering)) = (&report.choice, report.payload_relay) {
+        if delivering != choice.relays[0] {
+            telemetry::counter_add("pbs.boost.payload_fallbacks", 1);
         }
     }
 }

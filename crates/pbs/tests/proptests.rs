@@ -253,6 +253,17 @@ proptest! {
             .count();
         prop_assert_eq!(terminal, 1);
 
+        // Attribution: `SlotMissed` is emitted iff the report is a miss,
+        // and never more than once. The fault audit counts missed slots
+        // from these events, so a rescued slot emitting a stray
+        // `SlotMissed` would double-count in `fault_audit.csv`.
+        let missed_events = report
+            .events
+            .iter()
+            .filter(|e| matches!(e, BoostEvent::SlotMissed { .. }))
+            .count();
+        prop_assert_eq!(missed_events, report.missed as usize);
+
         // Liveness: there is always a block unless a header was signed and
         // every relay carrying it failed to deliver the payload.
         match (&report.choice, report.payload_relay) {

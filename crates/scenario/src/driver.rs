@@ -23,7 +23,7 @@ use pbs::{
 };
 use rand::rngs::StdRng;
 use rand::Rng;
-use simcore::{Exponential, FaultProfile, FaultSchedule, SeedDomain};
+use simcore::{telemetry, Exponential, FaultProfile, FaultSchedule, SeedDomain};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-relay shortfall calibration: (name, probability, lost fraction),
@@ -333,12 +333,17 @@ impl<'a> Runner<'a> {
                     Wei::ZERO,
                     Wei::ZERO,
                 ),
-                BoostEvent::SlotMissed { relay } => (
+                // A missed-slot fault is charged to the relay only when the
+                // slot really produced no block: a rescued slot (self-build
+                // or fallback delivery) must not inflate the audit's missed
+                // column on top of its timeout entries.
+                BoostEvent::SlotMissed { relay } if result.missed => (
                     Some(relay),
                     FaultEventKind::MissedSlot,
                     result.promised,
                     Wei::ZERO,
                 ),
+                BoostEvent::SlotMissed { .. } => continue,
                 BoostEvent::ShortfallInjected {
                     relay,
                     promised,
@@ -596,13 +601,18 @@ impl<'a> Runner<'a> {
         for s in 0..total_slots {
             let slot = Slot(s);
             let day = self.cfg.calendar.day_of_slot(slot);
+            let _slot_span = simcore::span!("driver.slot");
+            telemetry::counter_add("scenario.slots.total", 1);
             if current_day != Some(day) {
+                let _day_span = simcore::span!("driver.on_new_day");
+                telemetry::counter_add("scenario.days", 1);
                 self.on_new_day(day);
                 current_day = Some(day);
             }
             let base_fee = self.fee_market.base_fee();
 
             // 1. Workload.
+            let workload_span = simcore::span!("driver.workload");
             let txs = self.workload.slot_txs(
                 day,
                 base_fee,
@@ -636,9 +646,11 @@ impl<'a> Runner<'a> {
                 private_user_txs.drain(..overflow);
                 self.totals.dropped_private_txs += overflow as u64;
             }
+            drop(workload_span);
 
             // 2. Missed slots (proposer offline).
             if self.rng.random::<f64>() < 0.008 {
+                telemetry::counter_add("scenario.slots.missed.offline", 1);
                 self.beacon.record_missed(slot);
                 self.missed += 1;
                 continue;
@@ -662,7 +674,9 @@ impl<'a> Runner<'a> {
             }
 
             // 4. Searchers & routing.
+            let bundles_span = simcore::span!("driver.route_bundles");
             let bundles = self.route_bundles(base_fee, &snapshot, day);
+            drop(bundles_span);
 
             // 5. Proposer setup.
             let proposer = self.beacon.proposer(slot);
@@ -720,6 +734,7 @@ impl<'a> Runner<'a> {
                 jitter_max_frac: 0.02,
             };
             let slot_seeds = self.seeds.subdomain(&format!("slot:{s}"));
+            let auction_span = simcore::span!("driver.auction");
             let mut result = auction.run(
                 &mut self.builders,
                 &bundles,
@@ -732,6 +747,7 @@ impl<'a> Runner<'a> {
                 &slot_seeds,
                 dishonest,
             );
+            drop(auction_span);
 
             // Persist the boost decision trail while faults are active, and
             // miss the slot entirely when a signed header proved
@@ -740,6 +756,7 @@ impl<'a> Runner<'a> {
                 self.record_fault_events(slot, day, &result);
             }
             if result.missed {
+                telemetry::counter_add("scenario.slots.missed.payload", 1);
                 self.beacon.record_missed(slot);
                 self.missed += 1;
                 continue;
@@ -764,6 +781,7 @@ impl<'a> Runner<'a> {
             }
 
             // 7. Execute.
+            let execute_span = simcore::span!("driver.execute");
             let number = self.cfg.calendar.block_number(slot);
             let timestamp = self.cfg.calendar.unix_time(slot);
             let executed = executor.execute(
@@ -778,8 +796,10 @@ impl<'a> Runner<'a> {
                 &mut self.world,
             );
             let block = &executed.block;
+            drop(execute_span);
 
             // 8. Measure.
+            let measure_span = simcore::span!("driver.measure");
             let mut private_txs = 0u32;
             let mut delay_sum_ms = 0u64;
             let mut delay_count = 0u32;
@@ -877,6 +897,37 @@ impl<'a> Runner<'a> {
                 sanctioned_delay_sum_ms,
                 sanctioned_delay_count,
             });
+            drop(measure_span);
+
+            // Deterministic value-flow counters (wei, wrapping mod 2^64):
+            // accumulated independently per component so the invariant
+            // suite can cross-check conservation against `RunArtifacts`.
+            if telemetry::enabled() {
+                let rec = self.blocks.last().expect("just pushed");
+                telemetry::counter_add("scenario.slots.proposed", 1);
+                if rec.pbs_truth {
+                    telemetry::counter_add("scenario.pbs.blocks", 1);
+                    telemetry::counter_add("scenario.wei.promised", rec.promised.0 as u64);
+                    telemetry::counter_add("scenario.wei.delivered", rec.delivered.0 as u64);
+                    telemetry::counter_add(
+                        "scenario.wei.shortfall",
+                        rec.promised.saturating_sub(rec.delivered).0 as u64,
+                    );
+                    if let Some(paid) = rec.payment_detected {
+                        telemetry::counter_add("scenario.payments.detected", 1);
+                        telemetry::counter_add("scenario.wei.payment_detected", paid.0 as u64);
+                    }
+                } else {
+                    telemetry::counter_add("scenario.local.blocks", 1);
+                }
+                telemetry::counter_add("scenario.wei.burned", rec.burned.0 as u64);
+                telemetry::counter_add("scenario.wei.priority_fees", rec.priority_fees.0 as u64);
+                telemetry::counter_add(
+                    "scenario.wei.direct_transfers",
+                    rec.direct_transfers.0 as u64,
+                );
+                telemetry::counter_add("scenario.wei.block_value", rec.block_value.0 as u64);
+            }
 
             // 9. Chain bookkeeping.
             self.beacon.record_proposal(slot, block.header.hash);

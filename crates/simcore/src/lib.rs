@@ -36,6 +36,7 @@ pub mod events;
 pub mod faults;
 pub mod metrics;
 pub mod rng;
+pub mod telemetry;
 pub mod time;
 
 pub use dist::{Exponential, LogNormal, Pareto, Poisson};
@@ -43,4 +44,5 @@ pub use events::EventQueue;
 pub use faults::{ComponentFaults, FaultProfile, FaultSchedule, Health};
 pub use metrics::MetricsRegistry;
 pub use rng::SeedDomain;
+pub use telemetry::{Histogram, HistogramSnapshot, SpanStack, Telemetry, TelemetrySnapshot};
 pub use time::SimTime;

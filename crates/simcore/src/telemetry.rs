@@ -1,0 +1,726 @@
+//! Zero-dependency runtime telemetry: counters, gauges, log-scale
+//! histograms, and nesting span timers.
+//!
+//! The simulator is deterministic by construction, but *where the wall
+//! clock goes* is not — and the paper's accounting identities (builder
+//! payments, proposer rewards, missed-slot attribution) deserve
+//! machine-checked visibility. This module provides both, with a strict
+//! separation:
+//!
+//! * **Deterministic counters and gauges** count simulated events
+//!   (slots, submissions, fault events, wei flows). Increments are
+//!   commutative atomic adds, so totals are identical at any
+//!   `PBS_THREADS` setting and can back invariant tests.
+//! * **Wall-clock spans and histograms** measure real elapsed time and
+//!   are *never* fed back into the simulation or its artifacts —
+//!   byte-reproducibility of `out/` is untouched.
+//!
+//! Everything is gated behind a once-checked [`enabled`] flag read from
+//! the `PBS_TELEMETRY` environment variable (default off). When off,
+//! every instrumentation call is a single relaxed atomic load.
+//!
+//! # Example
+//!
+//! ```
+//! use simcore::telemetry;
+//!
+//! telemetry::set_enabled(true);
+//! telemetry::reset();
+//! telemetry::counter_add("demo.events", 3);
+//! {
+//!     let _outer = telemetry::span("demo.outer");
+//!     let _inner = telemetry::span("demo.inner"); // aggregates as demo.outer/demo.inner
+//! }
+//! let snap = telemetry::snapshot();
+//! assert_eq!(snap.counters["demo.events"], 3);
+//! assert!(snap.spans.contains_key("demo.outer/demo.inner"));
+//! telemetry::set_enabled(false);
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Number of power-of-two histogram buckets: bucket 0 holds zeros,
+/// bucket `i` (1..=64) holds values in `(2^(i-1), 2^i]`-ish ranges —
+/// precisely, values whose bit length is `i`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+const FLAG_UNREAD: u8 = 0;
+const FLAG_OFF: u8 = 1;
+const FLAG_ON: u8 = 2;
+
+static ENABLED: AtomicU8 = AtomicU8::new(FLAG_UNREAD);
+
+/// Whether telemetry is on. The first call reads `PBS_TELEMETRY`
+/// (`1`/`true`/`on` enable it); later calls are one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        FLAG_ON => true,
+        FLAG_OFF => false,
+        _ => {
+            let on = matches!(
+                std::env::var("PBS_TELEMETRY").ok().as_deref(),
+                Some("1") | Some("true") | Some("on")
+            );
+            ENABLED.store(if on { FLAG_ON } else { FLAG_OFF }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Forces telemetry on or off, overriding the environment (used by the
+/// CLI `telemetry` subcommand and by tests).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { FLAG_ON } else { FLAG_OFF }, Ordering::Relaxed);
+}
+
+/// A log-scale (power-of-two bucket) histogram over `u64` samples.
+///
+/// Thread-safe: all updates are relaxed atomic adds plus `fetch_min`/
+/// `fetch_max`, so merging two histograms is associative and recording
+/// is commutative across threads.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index a value lands in: its bit length (0 for 0).
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Upper bound (inclusive) of bucket `i`: `2^i - 1`, saturating.
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds another histogram into this one. Merge is associative and
+    /// commutative: any merge tree over the same samples yields the
+    /// same totals as recording them all into one histogram.
+    pub fn merge(&self, other: &Histogram) {
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
+    /// An immutable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Plain-data view of a [`Histogram`] at one instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Per-bucket sample counts, length [`HISTOGRAM_BUCKETS`].
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Explicit nesting stack for span paths. Pushes never fail and pops on
+/// an empty stack are no-ops, so unbalanced enter/exit sequences cannot
+/// panic — a dropped guard after a `reset()` simply aggregates at the
+/// root level.
+#[derive(Debug, Default, Clone)]
+pub struct SpanStack {
+    names: Vec<&'static str>,
+}
+
+impl SpanStack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enters `name`, returning the full slash-joined path to it.
+    pub fn enter(&mut self, name: &'static str) -> String {
+        self.names.push(name);
+        self.path()
+    }
+
+    /// Leaves the innermost span, if any. Never panics.
+    pub fn exit(&mut self) -> Option<&'static str> {
+        self.names.pop()
+    }
+
+    /// Current nesting depth.
+    pub fn depth(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The slash-joined path of the active spans.
+    pub fn path(&self) -> String {
+        self.names.join("/")
+    }
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<SpanStack> = RefCell::new(SpanStack::new());
+}
+
+/// A thread-safe telemetry registry. The process-wide instance is
+/// reached through the module-level free functions; tests may build
+/// private instances.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    spans: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn intern<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(v) = map.read().expect("telemetry lock").get(name) {
+        return Arc::clone(v);
+    }
+    let mut w = map.write().expect("telemetry lock");
+    Arc::clone(w.entry(name.to_string()).or_default())
+}
+
+impl Telemetry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the named deterministic counter.
+    pub fn counter_add(&self, name: &str, by: u64) {
+        intern(&self.counters, name).fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .expect("telemetry lock")
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Sets the named gauge to `value` (an `f64`, stored as bits).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        intern(&self.gauges, name).store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Records a wall-clock sample (nanoseconds) into a named histogram.
+    pub fn observe_ns(&self, name: &str, ns: u64) {
+        intern(&self.histograms, name).record(ns);
+    }
+
+    /// Records a completed span occurrence at `path`.
+    pub fn record_span(&self, path: &str, ns: u64) {
+        intern(&self.spans, path).record(ns);
+    }
+
+    /// Folds every metric of `other` into `self`. Counter merging is a
+    /// commutative atomic add; histogram/span merging is associative.
+    pub fn merge(&self, other: &Telemetry) {
+        for (name, c) in other.counters.read().expect("telemetry lock").iter() {
+            self.counter_add(name, c.load(Ordering::Relaxed));
+        }
+        for (name, g) in other.gauges.read().expect("telemetry lock").iter() {
+            self.gauge_set(name, f64::from_bits(g.load(Ordering::Relaxed)));
+        }
+        for (name, h) in other.spans.read().expect("telemetry lock").iter() {
+            intern(&self.spans, name).merge(h);
+        }
+        for (name, h) in other.histograms.read().expect("telemetry lock").iter() {
+            intern(&self.histograms, name).merge(h);
+        }
+    }
+
+    /// Clears every metric.
+    pub fn reset(&self) {
+        self.counters.write().expect("telemetry lock").clear();
+        self.gauges.write().expect("telemetry lock").clear();
+        self.spans.write().expect("telemetry lock").clear();
+        self.histograms.write().expect("telemetry lock").clear();
+    }
+
+    /// A consistent plain-data copy of every metric.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: self
+                .counters
+                .read()
+                .expect("telemetry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("telemetry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect(),
+            spans: self
+                .spans
+                .read()
+                .expect("telemetry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .expect("telemetry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Telemetry`] registry at one instant.
+/// Counters/gauges are deterministic simulated-event tallies; spans and
+/// histograms are wall-clock and vary run to run.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySnapshot {
+    /// Deterministic event counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Deterministic point-in-time gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Wall-clock span timings keyed by slash-joined nesting path.
+    pub spans: BTreeMap<String, HistogramSnapshot>,
+    /// Wall-clock value histograms.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+fn global() -> &'static Telemetry {
+    static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+    GLOBAL.get_or_init(Telemetry::new)
+}
+
+/// Adds `by` to a deterministic counter on the global registry.
+/// No-op (one atomic load) when telemetry is off.
+#[inline]
+pub fn counter_add(name: &str, by: u64) {
+    if enabled() {
+        global().counter_add(name, by);
+    }
+}
+
+/// Reads a counter from the global registry (0 when off or untouched).
+pub fn counter(name: &str) -> u64 {
+    global().counter(name)
+}
+
+/// Sets a gauge on the global registry. No-op when telemetry is off.
+#[inline]
+pub fn gauge_set(name: &str, value: f64) {
+    if enabled() {
+        global().gauge_set(name, value);
+    }
+}
+
+/// Records a wall-clock histogram sample on the global registry.
+/// No-op when telemetry is off.
+#[inline]
+pub fn observe_ns(name: &str, ns: u64) {
+    if enabled() {
+        global().observe_ns(name, ns);
+    }
+}
+
+/// RAII timer for one span occurrence. Created by [`span`] /
+/// [`crate::span!`]; on drop it records elapsed wall-clock nanoseconds
+/// under the slash-joined nesting path and pops this thread's stack.
+#[must_use = "a span measures until dropped; binding it to _ drops immediately"]
+pub struct SpanGuard {
+    state: Option<(String, Instant)>,
+}
+
+/// Starts timing a span. Returns an inert guard when telemetry is off.
+/// Nested spans on the same thread aggregate under `outer/inner` paths;
+/// rayon worker threads start their own root.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { state: None };
+    }
+    let path = SPAN_STACK.with(|s| s.borrow_mut().enter(name));
+    SpanGuard {
+        state: Some((path, Instant::now())),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((path, start)) = self.state.take() {
+            let ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            global().record_span(&path, ns);
+            SPAN_STACK.with(|s| {
+                let _ = s.borrow_mut().exit();
+            });
+        }
+    }
+}
+
+/// Times the enclosing scope as a telemetry span:
+/// `let _g = span!("auction.build_candidates");`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::telemetry::span($name)
+    };
+}
+
+/// Snapshot of the global registry.
+pub fn snapshot() -> TelemetrySnapshot {
+    global().snapshot()
+}
+
+/// Clears the global registry (tests and fresh CLI runs).
+pub fn reset() {
+    global().reset();
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a snapshot as a stable, human-readable JSON document:
+/// deterministic sections first (`counters`, `gauges`), wall-clock
+/// sections (`spans`, `histograms`) after, all keys sorted.
+pub fn render_json(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    let mut first = true;
+    for (k, v) in &snap.counters {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n    \"{}\": {v}", json_escape(k)));
+    }
+    out.push_str(if first { "},\n" } else { "\n  },\n" });
+    out.push_str("  \"gauges\": {");
+    first = true;
+    for (k, v) in &snap.gauges {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n    \"{}\": {}", json_escape(k), fmt_f64(*v)));
+    }
+    out.push_str(if first { "},\n" } else { "\n  },\n" });
+    for (section, map, last) in [
+        ("spans", &snap.spans, false),
+        ("histograms", &snap.histograms, true),
+    ] {
+        out.push_str(&format!("  \"{section}\": {{"));
+        first = true;
+        for (k, h) in map {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c > 0)
+                .map(|(i, c)| format!("[{}, {c}]", Histogram::bucket_bound(i)))
+                .collect();
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \
+                 \"max_ns\": {}, \"mean_ns\": {}, \"buckets\": [{}]}}",
+                json_escape(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                fmt_f64(h.mean()),
+                buckets.join(", ")
+            ));
+        }
+        out.push_str(if first { "}" } else { "\n  }" });
+        out.push_str(if last { "\n}\n" } else { ",\n" });
+    }
+    out
+}
+
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Splits `base{k="v"}`-style metric names into (prometheus base name,
+/// label block). Labels pass through verbatim.
+fn prom_split(name: &str) -> (String, &str) {
+    match name.find('{') {
+        Some(i) => (prom_name(&name[..i]), &name[i..]),
+        None => (prom_name(name), ""),
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+/// Counters/gauges map directly; spans and histograms become
+/// `_count`/`_sum` pairs plus cumulative `_bucket{le=...}` series.
+pub fn render_prometheus(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    let mut typed: BTreeMap<String, &'static str> = BTreeMap::new();
+    let mut emit = |out: &mut String, name: &str, kind: &'static str, value: String| {
+        let (base, labels) = prom_split(name);
+        if typed.insert(base.clone(), kind).is_none() {
+            out.push_str(&format!("# TYPE {base} {kind}\n"));
+        }
+        out.push_str(&format!("{base}{labels} {value}\n"));
+    };
+    for (name, v) in &snap.counters {
+        emit(&mut out, name, "counter", v.to_string());
+    }
+    for (name, v) in &snap.gauges {
+        emit(&mut out, name, "gauge", fmt_f64(*v));
+    }
+    for (section, map) in [("span", &snap.spans), ("hist", &snap.histograms)] {
+        for (name, h) in map {
+            let (base, _) = prom_split(&format!("{section}_{name}"));
+            out.push_str(&format!("# TYPE {base} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, c) in h.buckets.iter().enumerate() {
+                if *c == 0 {
+                    continue;
+                }
+                cumulative += c;
+                out.push_str(&format!(
+                    "{base}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    Histogram::bucket_bound(i)
+                ));
+            }
+            out.push_str(&format!("{base}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{base}_sum {}\n", h.sum));
+            out.push_str(&format!("{base}_count {}\n", h.count));
+        }
+    }
+    out
+}
+
+/// Writes `telemetry.json` and `telemetry.prom` for the global registry
+/// into `dir` (created if missing). Call sites keep `dir` *outside* any
+/// golden-manifested artifact bundle.
+pub fn write_snapshot_files(dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let snap = snapshot();
+    std::fs::write(dir.join("telemetry.json"), render_json(&snap))?;
+    std::fs::write(dir.join("telemetry.prom"), render_prometheus(&snap))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for i in 0..HISTOGRAM_BUCKETS {
+            let bound = Histogram::bucket_bound(i);
+            assert_eq!(Histogram::bucket_index(bound), i.min(64));
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_merges() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(3);
+        a.record(100);
+        b.record(0);
+        a.merge(&b);
+        let s = a.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 103);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn span_stack_tolerates_unbalanced_ops() {
+        let mut stack = SpanStack::new();
+        assert_eq!(stack.exit(), None);
+        assert_eq!(stack.enter("a"), "a");
+        assert_eq!(stack.enter("b"), "a/b");
+        assert_eq!(stack.exit(), Some("b"));
+        assert_eq!(stack.exit(), Some("a"));
+        assert_eq!(stack.exit(), None);
+        assert_eq!(stack.depth(), 0);
+    }
+
+    #[test]
+    fn registry_counters_and_snapshot() {
+        let t = Telemetry::new();
+        t.counter_add("x", 2);
+        t.counter_add("x", 3);
+        t.gauge_set("g", 1.5);
+        t.observe_ns("h", 7);
+        t.record_span("a/b", 10);
+        let snap = t.snapshot();
+        assert_eq!(snap.counters["x"], 5);
+        assert_eq!(snap.gauges["g"], 1.5);
+        assert_eq!(snap.histograms["h"].count, 1);
+        assert_eq!(snap.spans["a/b"].sum, 10);
+        assert_eq!(t.counter("missing"), 0);
+    }
+
+    #[test]
+    fn merge_folds_every_section() {
+        let a = Telemetry::new();
+        let b = Telemetry::new();
+        a.counter_add("c", 1);
+        b.counter_add("c", 2);
+        b.gauge_set("g", 4.0);
+        b.observe_ns("h", 9);
+        b.record_span("s", 11);
+        a.merge(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap.counters["c"], 3);
+        assert_eq!(snap.gauges["g"], 4.0);
+        assert_eq!(snap.histograms["h"].sum, 9);
+        assert_eq!(snap.spans["s"].count, 1);
+    }
+
+    #[test]
+    fn render_json_is_stable_and_parsable_shape() {
+        let t = Telemetry::new();
+        t.counter_add("a.b", 1);
+        t.gauge_set("g", 2.0);
+        t.record_span("root/leaf", 5);
+        let json = render_json(&t.snapshot());
+        assert!(json.contains("\"a.b\": 1"));
+        assert!(json.contains("\"g\": 2.0"));
+        assert!(json.contains("\"root/leaf\""));
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn render_prometheus_has_types_and_labels() {
+        let t = Telemetry::new();
+        t.counter_add("pbs.relay.submissions{relay=\"Flashbots\"}", 4);
+        t.counter_add("pbs.relay.submissions{relay=\"Aestus\"}", 2);
+        t.record_span("driver.slot", 1000);
+        let text = render_prometheus(&t.snapshot());
+        assert!(text.contains("# TYPE pbs_relay_submissions counter"));
+        assert_eq!(
+            text.matches("# TYPE pbs_relay_submissions counter").count(),
+            1
+        );
+        assert!(text.contains("pbs_relay_submissions{relay=\"Flashbots\"} 4"));
+        assert!(text.contains("span_driver_slot_count 1"));
+        assert!(text.contains("le=\"+Inf\""));
+    }
+}

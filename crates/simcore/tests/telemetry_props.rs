@@ -1,0 +1,142 @@
+//! Property tests for the telemetry internals: histogram merge algebra,
+//! bucket monotonicity, counter commutativity under threading, and span
+//! stack robustness against unbalanced enter/exit sequences.
+
+use proptest::prelude::*;
+use simcore::telemetry::{Histogram, SpanStack, Telemetry, HISTOGRAM_BUCKETS};
+use std::sync::Arc;
+
+fn bulk(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging histograms is associative and agrees with recording every
+    /// sample into a single histogram, regardless of the split points.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in proptest::collection::vec(0u64..u64::MAX, 0..40),
+        b in proptest::collection::vec(0u64..u64::MAX, 0..40),
+        c in proptest::collection::vec(0u64..u64::MAX, 0..40),
+    ) {
+        // (a ⊕ b) ⊕ c
+        let left = bulk(&a);
+        left.merge(&bulk(&b));
+        left.merge(&bulk(&c));
+        // a ⊕ (b ⊕ c)
+        let bc = bulk(&b);
+        bc.merge(&bulk(&c));
+        let right = bulk(&a);
+        right.merge(&bc);
+        // one histogram over the concatenation
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let flat = bulk(&all);
+
+        prop_assert_eq!(left.snapshot(), right.snapshot());
+        prop_assert_eq!(left.snapshot(), flat.snapshot());
+    }
+
+    /// Bucket bounds increase strictly, every value lands in the unique
+    /// bucket whose bound first covers it, and cumulative counts are
+    /// monotone.
+    #[test]
+    fn histogram_buckets_are_monotone(values in proptest::collection::vec(0u64..u64::MAX, 1..60)) {
+        for i in 1..HISTOGRAM_BUCKETS {
+            prop_assert!(Histogram::bucket_bound(i) > Histogram::bucket_bound(i - 1));
+        }
+        for &v in &values {
+            let i = Histogram::bucket_index(v);
+            prop_assert!(v <= Histogram::bucket_bound(i));
+            if i > 0 {
+                prop_assert!(v > Histogram::bucket_bound(i - 1));
+            }
+        }
+        let snap = bulk(&values).snapshot();
+        let mut cumulative = 0u64;
+        for (i, c) in snap.buckets.iter().enumerate() {
+            let next = cumulative + c;
+            prop_assert!(next >= cumulative, "bucket {i} decreased the cumulative count");
+            cumulative = next;
+        }
+        prop_assert_eq!(cumulative, values.len() as u64);
+        prop_assert_eq!(snap.min, *values.iter().min().unwrap());
+        prop_assert_eq!(snap.max, *values.iter().max().unwrap());
+    }
+
+    /// Counter increments commute: any split of the increment stream
+    /// across threads (the PBS_THREADS=1 vs 4 situation) yields the same
+    /// totals, and merging registries in either order agrees.
+    #[test]
+    fn counters_commute_across_threads(
+        increments in proptest::collection::vec((0u8..4, 1u64..1000), 1..60),
+        threads in 1usize..4,
+    ) {
+        let names = ["a", "b", "c", "d"];
+        // Sequential reference (PBS_THREADS=1).
+        let reference = Telemetry::new();
+        for &(which, by) in &increments {
+            reference.counter_add(names[which as usize], by);
+        }
+        // Sharded across worker threads (PBS_THREADS=n), interleaving
+        // nondeterministically on a shared registry.
+        let shared = Arc::new(Telemetry::new());
+        let chunk = increments.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for shard in increments.chunks(chunk) {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || {
+                    for &(which, by) in shard {
+                        shared.counter_add(names[which as usize], by);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(reference.snapshot().counters, shared.snapshot().counters);
+
+        // Merge commutativity: x ⊕ y == y ⊕ x on disjoint halves.
+        let half = increments.len() / 2;
+        let build = |part: &[(u8, u64)]| {
+            let t = Telemetry::new();
+            for &(which, by) in part {
+                t.counter_add(names[which as usize], by);
+            }
+            t
+        };
+        let (xy, yx) = (build(&increments[..half]), build(&increments[half..]));
+        xy.merge(&build(&increments[half..]));
+        yx.merge(&build(&increments[..half]));
+        prop_assert_eq!(xy.snapshot().counters, yx.snapshot().counters);
+    }
+
+    /// Arbitrary enter/exit sequences never panic, depth tracks the
+    /// balance (floored at zero), and paths always join the live stack.
+    #[test]
+    fn span_stack_never_panics_on_unbalanced_ops(
+        ops in proptest::collection::vec((0u8..2, 0usize..4), 0..80),
+    ) {
+        let names = ["alpha", "beta", "gamma", "delta"];
+        let mut stack = SpanStack::new();
+        let mut model: Vec<&'static str> = Vec::new();
+        for (op, which) in ops {
+            if op == 0 {
+                let path = stack.enter(names[which]);
+                model.push(names[which]);
+                prop_assert_eq!(path, model.join("/"));
+            } else {
+                // Exit on an empty stack must be a silent no-op.
+                let popped = stack.exit();
+                prop_assert_eq!(popped, model.pop());
+            }
+            prop_assert_eq!(stack.depth(), model.len());
+        }
+        // Drain whatever is left: still no panic, ends empty.
+        while stack.exit().is_some() {}
+        prop_assert_eq!(stack.depth(), 0);
+    }
+}

@@ -1,33 +1,41 @@
 //! The `pbs-repro` command-line interface.
 //!
 //! ```text
-//! pbs-repro summary --days 60 --bpd 24     # headline results over a slice
-//! pbs-repro events  --days 60 --bpd 16     # incident-signature detection
+//! pbs-repro summary   --days 60 --bpd 24   # headline results over a slice
+//! pbs-repro events    --days 60 --bpd 16   # incident-signature detection
+//! pbs-repro telemetry --days 10 --bpd 40   # instrumented run + snapshot
 //! ```
 //!
-//! Both subcommands simulate a slice of the study window (starting at the
+//! The subcommands simulate a slice of the study window (starting at the
 //! merge) and run the measurement pipeline over it. `--seed` (default 42)
 //! selects the master seed; `PBS_THREADS` caps the rayon thread count.
+//! `telemetry` forces the `PBS_TELEMETRY` knob on, prints the
+//! Prometheus-style dump, and writes `telemetry.json` (`--out DIR`).
 
 use analysis::PaperReport;
 use scenario::{ScenarioConfig, Simulation};
+use simcore::telemetry;
 
 struct Args {
     days: u32,
     bpd: u32,
     seed: u64,
+    out: String,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pbs-repro <summary|events> [--days N] [--bpd N] [--seed N]\n\
+        "usage: pbs-repro <summary|events|telemetry> [--days N] [--bpd N] [--seed N] [--out DIR]\n\
          \n\
-         summary   simulate a slice and print the headline paper results\n\
-         events    simulate a slice and print detected incident signatures\n\
+         summary    simulate a slice and print the headline paper results\n\
+         events     simulate a slice and print detected incident signatures\n\
+         telemetry  simulate with telemetry on, print the Prometheus dump,\n\
+         \x20          and write telemetry.json + telemetry.prom to --out\n\
          \n\
          --days N  days to simulate, from the merge (default 30)\n\
          --bpd  N  blocks per day (default 120; mainnet is 7200)\n\
-         --seed N  master seed (default 42)"
+         --seed N  master seed (default 42)\n\
+         --out DIR snapshot directory for `telemetry` (default \"telemetry\")"
     );
     std::process::exit(2);
 }
@@ -37,6 +45,7 @@ fn parse_flags(rest: &[String]) -> Args {
         days: 30,
         bpd: 120,
         seed: 42,
+        out: "telemetry".into(),
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -59,6 +68,7 @@ fn parse_flags(rest: &[String]) -> Args {
             "--days" => args.days = parse(flag, value(flag, &mut it)) as u32,
             "--bpd" => args.bpd = parse(flag, value(flag, &mut it)) as u32,
             "--seed" => args.seed = parse(flag, value(flag, &mut it)),
+            "--out" => args.out = value(flag, &mut it).to_string(),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown flag {other:?}");
@@ -104,6 +114,24 @@ fn main() {
             let run = simulate(&args);
             let signatures = analysis::events::event_report(&run);
             print!("{}", analysis::events::render_event_report(&signatures));
+        }
+        "telemetry" => {
+            telemetry::set_enabled(true);
+            telemetry::reset();
+            let run = simulate(&args);
+            let report = PaperReport::compute(&run);
+            eprint!("{}", report.render_summary(&run));
+            let snap = telemetry::snapshot();
+            print!("{}", telemetry::render_prometheus(&snap));
+            let dir = std::path::Path::new(&args.out);
+            if let Err(e) = telemetry::write_snapshot_files(dir) {
+                eprintln!("error: writing telemetry snapshot: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "telemetry snapshot written to {}/telemetry.{{json,prom}}",
+                dir.display()
+            );
         }
         "--help" | "-h" => usage(),
         other => {

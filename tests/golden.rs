@@ -18,6 +18,7 @@
 use analysis::{write_artifact_bundle, PaperReport};
 use datasets::{digest_dir, parse_manifest, render_manifest};
 use scenario::{FaultConfig, ScenarioConfig, Simulation};
+use simcore::telemetry;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
@@ -33,6 +34,13 @@ fn write_bundle(cfg: ScenarioConfig, dir: &Path) {
 
 #[test]
 fn golden_artifacts_match_manifest() {
+    // Telemetry stays on for the whole run: instrumentation must never
+    // leak into the artifact bytes, so the manifest below is the same one
+    // an uninstrumented run pins. (The CI determinism job repeats this at
+    // PBS_THREADS=1 and 4.)
+    telemetry::set_enabled(true);
+    telemetry::reset();
+
     let tmp = std::env::temp_dir().join(format!("pbs-golden-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&tmp);
 
@@ -52,6 +60,20 @@ fn golden_artifacts_match_manifest() {
         }
     }
     let _ = std::fs::remove_dir_all(&tmp);
+
+    // The instrumented runs actually exercised the telemetry layer — a
+    // silently-disabled registry would make the byte-identity check above
+    // vacuous.
+    let snap = telemetry::snapshot();
+    telemetry::set_enabled(false);
+    assert!(
+        snap.counters
+            .get("scenario.slots.total")
+            .copied()
+            .unwrap_or(0)
+            > 0,
+        "telemetry must have recorded the instrumented runs"
+    );
 
     // The fault audit exists exactly when faults ran: a faults-off bundle
     // must keep the pre-fault-subsystem file set.

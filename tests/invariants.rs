@@ -1,0 +1,205 @@
+//! Conservation-invariant suite (seed-42 small runs).
+//!
+//! The paper's conclusions are accounting identities — builder payments,
+//! proposer rewards, and missed-slot attributions must add up across every
+//! slot. This suite runs the small pipeline with telemetry on (faults off
+//! and with the `paper_incidents` preset) and checks the identities two
+//! ways at once: from the serialized [`RunArtifacts`] records and from the
+//! independently-accumulated telemetry counters, which must agree.
+//!
+//! Value counters are accumulated in wei modulo 2^64 (a `u64` cannot hold
+//! multi-ETH sums in wei), so counter-vs-artifact comparisons reduce both
+//! sides mod 2^64 — still an exact identity, since both sides count the
+//! same wei.
+
+use scenario::{FaultConfig, FaultEventKind, RunArtifacts, ScenarioConfig, Simulation};
+use simcore::telemetry::{self, TelemetrySnapshot};
+use std::sync::Mutex;
+
+/// The global telemetry registry is process-wide; tests that read it must
+/// not interleave.
+static TELEMETRY_GATE: Mutex<()> = Mutex::new(());
+
+fn instrumented_run(cfg: ScenarioConfig) -> (RunArtifacts, TelemetrySnapshot) {
+    let _gate = TELEMETRY_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    let run = Simulation::new(cfg).run();
+    let snap = telemetry::snapshot();
+    telemetry::set_enabled(false);
+    (run, snap)
+}
+
+fn counter(snap: &TelemetrySnapshot, name: &str) -> u64 {
+    snap.counters.get(name).copied().unwrap_or(0)
+}
+
+/// Sums a per-block wei quantity mod 2^64 — the same reduction the
+/// driver's value counters apply.
+fn sum_wei_mod64(run: &RunArtifacts, f: impl Fn(&scenario::BlockRecord) -> u128) -> u64 {
+    run.blocks
+        .iter()
+        .fold(0u64, |acc, b| acc.wrapping_add(f(b) as u64))
+}
+
+/// Every identity the suite checks, applied to one (run, snapshot) pair.
+fn assert_conservation(run: &RunArtifacts, snap: &TelemetrySnapshot, label: &str) {
+    // --- Slot accounting ------------------------------------------------
+    let total = counter(snap, "scenario.slots.total");
+    let proposed = counter(snap, "scenario.slots.proposed");
+    let off = counter(snap, "scenario.slots.missed.offline");
+    let payload = counter(snap, "scenario.slots.missed.payload");
+    assert_eq!(total, run.config.calendar.total_slots(), "{label}: slots");
+    assert_eq!(total, proposed + off + payload, "{label}: slot partition");
+    assert_eq!(proposed, run.blocks.len() as u64, "{label}: proposed");
+    assert_eq!(off + payload, run.missed_slots, "{label}: missed");
+
+    // --- Builder bid = proposer payment + shortfall ---------------------
+    // Per block, from the artifacts themselves:
+    for b in run.blocks.iter().filter(|b| b.pbs_truth) {
+        assert!(b.delivered <= b.promised, "{label}: slot {}", b.slot.0);
+        assert_eq!(
+            b.payment_detected.map(|w| w.0),
+            Some(b.delivered.0),
+            "{label}: slot {} payment tx must carry the delivered value",
+            b.slot.0
+        );
+    }
+    // In aggregate, counters vs artifacts (wei mod 2^64): the promised,
+    // delivered/payment and shortfall streams were accumulated at
+    // different code paths and must reconcile.
+    let promised = counter(snap, "scenario.wei.promised");
+    let delivered = counter(snap, "scenario.wei.delivered");
+    let shortfall = counter(snap, "scenario.wei.shortfall");
+    let payment = counter(snap, "scenario.wei.payment_detected");
+    assert_eq!(
+        promised,
+        payment.wrapping_add(shortfall),
+        "{label}: bid = payment + shortfall"
+    );
+    assert_eq!(
+        delivered, payment,
+        "{label}: delivered value is the payment"
+    );
+    assert_eq!(
+        promised,
+        sum_wei_mod64(run, |b| if b.pbs_truth { b.promised.0 } else { 0 }),
+        "{label}: promised counter vs artifacts"
+    );
+    assert_eq!(
+        shortfall,
+        sum_wei_mod64(run, |b| {
+            if b.pbs_truth {
+                b.promised.saturating_sub(b.delivered).0
+            } else {
+                0
+            }
+        }),
+        "{label}: shortfall counter vs artifacts"
+    );
+    assert_eq!(
+        counter(snap, "scenario.pbs.blocks"),
+        run.blocks.iter().filter(|b| b.pbs_truth).count() as u64,
+        "{label}: pbs blocks"
+    );
+    assert_eq!(
+        counter(snap, "scenario.payments.detected"),
+        counter(snap, "scenario.pbs.blocks"),
+        "{label}: every PBS block carries a detectable payment"
+    );
+
+    // --- Burned + tips = transaction outlays ----------------------------
+    // block_value (what the producer earns) decomposes into priority fees
+    // plus direct coinbase transfers; adding the burn gives the full
+    // transaction outlay. Counters and artifacts must agree per component.
+    assert_eq!(
+        counter(snap, "scenario.wei.block_value"),
+        counter(snap, "scenario.wei.priority_fees")
+            .wrapping_add(counter(snap, "scenario.wei.direct_transfers")),
+        "{label}: block value = tips + direct transfers"
+    );
+    for (name, f) in [
+        (
+            "scenario.wei.burned",
+            (|b: &scenario::BlockRecord| b.burned.0) as fn(&scenario::BlockRecord) -> u128,
+        ),
+        ("scenario.wei.priority_fees", |b| b.priority_fees.0),
+        ("scenario.wei.direct_transfers", |b| b.direct_transfers.0),
+        ("scenario.wei.block_value", |b| b.block_value.0),
+    ] {
+        assert_eq!(
+            counter(snap, name),
+            sum_wei_mod64(run, f),
+            "{label}: {name} counter vs artifacts"
+        );
+    }
+
+    // --- Missed slots have no payment -----------------------------------
+    // A machine-missed slot leaves no block record, and the audit charges
+    // `MissedSlot` exactly for the machine misses (the PR-3 fix: a rescued
+    // slot must not be double-counted as missed).
+    let missed_records: Vec<_> = run
+        .fault_events
+        .iter()
+        .filter(|e| e.kind == FaultEventKind::MissedSlot)
+        .collect();
+    assert_eq!(
+        missed_records.len() as u64,
+        payload,
+        "{label}: MissedSlot fault records == payload-missed slots"
+    );
+    for e in &missed_records {
+        assert!(
+            !run.blocks.iter().any(|b| b.slot == e.slot),
+            "{label}: missed slot {} must produce no block",
+            e.slot.0
+        );
+        assert_eq!(
+            e.delivered.0, 0,
+            "{label}: missed slot {} must pay nothing",
+            e.slot.0
+        );
+    }
+}
+
+#[test]
+fn conservation_holds_with_faults_off() {
+    let (run, snap) = instrumented_run(ScenarioConfig::test_small(42, 7));
+    assert!(run.fault_events.is_empty());
+    assert_conservation(&run, &snap, "faults-off");
+}
+
+#[test]
+fn conservation_holds_under_paper_incidents() {
+    let (run, snap) = instrumented_run(ScenarioConfig {
+        faults: FaultConfig::paper_incidents(),
+        ..ScenarioConfig::test_small(42, 7)
+    });
+    assert!(!run.fault_events.is_empty(), "preset must inject faults");
+    assert_conservation(&run, &snap, "paper-incidents");
+}
+
+#[test]
+fn counters_are_thread_count_invariant() {
+    let run_at = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("vendored rayon pool config is infallible");
+        instrumented_run(ScenarioConfig {
+            faults: FaultConfig::paper_incidents(),
+            ..ScenarioConfig::test_small(42, 4)
+        })
+    };
+    let (run1, snap1) = run_at(1);
+    let (run4, snap4) = run_at(4);
+    assert_eq!(
+        serde_json::to_string(&run1).expect("serializes"),
+        serde_json::to_string(&run4).expect("serializes"),
+        "artifacts must not depend on thread count"
+    );
+    assert_eq!(
+        snap1.counters, snap4.counters,
+        "deterministic counters must not depend on thread count"
+    );
+}
