@@ -519,13 +519,13 @@ pub fn write_artifact_bundle(
     ));
     tables_txt.push('\n');
     tables_txt.push_str(&crate::tables::render_table5(run, 17));
-    std::fs::write(dir.join("tables.txt"), &tables_txt)?;
+    simcore::atomic_write(&dir.join("tables.txt"), tables_txt.as_bytes())?;
 
     let summary = report.render_summary(run);
-    std::fs::write(dir.join("summary.txt"), &summary)?;
+    simcore::atomic_write(&dir.join("summary.txt"), summary.as_bytes())?;
 
     let json = datasets::export::run_to_json(run).expect("serializable");
-    std::fs::write(dir.join("run.json"), json)?;
+    simcore::atomic_write(&dir.join("run.json"), json.as_bytes())?;
     datasets::write_csv(&dir.join("blocks.csv"), &datasets::export::blocks_csv(run))?;
 
     // Fault audit is only meaningful (and only written) for faulted runs,

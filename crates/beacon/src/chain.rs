@@ -114,6 +114,53 @@ impl BeaconChain {
     }
 }
 
+impl simcore::Snapshot for SlotOutcome {
+    fn encode(&self, w: &mut simcore::SnapWriter) {
+        match self {
+            SlotOutcome::Proposed(h) => {
+                w.u8(0);
+                h.encode(w);
+            }
+            SlotOutcome::Missed => w.u8(1),
+        }
+    }
+
+    fn decode(r: &mut simcore::SnapReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        match r.u8()? {
+            0 => Ok(SlotOutcome::Proposed(simcore::Snapshot::decode(r)?)),
+            1 => Ok(SlotOutcome::Missed),
+            tag => Err(simcore::SnapshotError::Corrupt(format!(
+                "unknown slot outcome tag {tag}"
+            ))),
+        }
+    }
+}
+
+impl BeaconChain {
+    /// Serializes the dynamic chain state (outcomes, rewards, head) — the
+    /// schedule itself is deterministic from the seed and is rebuilt, not
+    /// checkpointed.
+    pub fn write_state(&self, w: &mut simcore::SnapWriter) {
+        use simcore::Snapshot;
+        self.outcomes.encode(w);
+        self.rewards.encode(w);
+        self.head.encode(w);
+    }
+
+    /// Restores state written by [`BeaconChain::write_state`] into a chain
+    /// freshly built with the same schedule.
+    pub fn read_state(
+        &mut self,
+        r: &mut simcore::SnapReader<'_>,
+    ) -> Result<(), simcore::SnapshotError> {
+        use simcore::Snapshot;
+        self.outcomes = Snapshot::decode(r)?;
+        self.rewards = Snapshot::decode(r)?;
+        self.head = Snapshot::decode(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,5 +224,30 @@ mod tests {
     #[test]
     fn empty_chain_participation_is_zero() {
         assert_eq!(chain().participation(), 0.0);
+    }
+
+    #[test]
+    fn state_round_trips_into_a_fresh_chain() {
+        let mut c = chain();
+        c.record_proposal(Slot(0), H256::derive("a"));
+        c.record_missed(Slot(1));
+        c.record_proposal(Slot(2), H256::derive("b"));
+
+        let mut w = simcore::SnapWriter::new();
+        c.write_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut fresh = chain();
+        let mut r = simcore::SnapReader::new(&bytes);
+        fresh.read_state(&mut r).unwrap();
+        r.expect_end().unwrap();
+
+        assert_eq!(fresh.head(), c.head());
+        assert_eq!(fresh.outcomes(), c.outcomes());
+        let p = c.proposer(Slot(0));
+        assert_eq!(fresh.rewards().proposals(p), c.rewards().proposals(p));
+        // The restored chain keeps enforcing slot monotonicity.
+        fresh.record_proposal(Slot(3), H256::derive("c"));
+        assert_eq!(fresh.proposed_count(), 3);
     }
 }

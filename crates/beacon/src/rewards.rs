@@ -60,6 +60,20 @@ impl RewardLedger {
     }
 }
 
+impl simcore::Snapshot for RewardLedger {
+    fn encode(&self, w: &mut simcore::SnapWriter) {
+        self.proposals.encode(w);
+        self.attestations.encode(w);
+    }
+
+    fn decode(r: &mut simcore::SnapReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        Ok(RewardLedger {
+            proposals: simcore::Snapshot::decode(r)?,
+            attestations: simcore::Snapshot::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,6 +14,16 @@ use simcore::SeedDomain;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 pub struct ValidatorId(pub u32);
 
+impl simcore::Snapshot for ValidatorId {
+    fn encode(&self, w: &mut simcore::SnapWriter) {
+        self.0.encode(w);
+    }
+
+    fn decode(r: &mut simcore::SnapReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        Ok(ValidatorId(simcore::Snapshot::decode(r)?))
+    }
+}
+
 /// The stake every validator must lock (32 ETH).
 pub const STAKE: Wei = Wei(32 * 1_000_000_000_000_000_000);
 

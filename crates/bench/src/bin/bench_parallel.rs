@@ -86,7 +86,7 @@ fn main() -> std::io::Result<()> {
         "{{\n  \"bench\": \"slot auction + analysis parallel throughput\",\n  \"seed\": 42,\n  \"days\": {days},\n  \"blocks_per_day\": 40,\n  \"host_available_parallelism\": {cores},\n  \"note\": \"same seed yields byte-identical artifacts at every thread count; speedup requires a multi-core host\",\n  \"results\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
-    std::fs::write("BENCH_parallel.json", &json)?;
+    simcore::atomic_write(std::path::Path::new("BENCH_parallel.json"), json.as_bytes())?;
     eprintln!("wrote BENCH_parallel.json");
     Ok(())
 }

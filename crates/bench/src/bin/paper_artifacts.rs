@@ -16,6 +16,11 @@
 //! `telemetry/telemetry.json` and `telemetry/telemetry.prom` (location
 //! overridable via `PBS_TELEMETRY_OUT`) — deliberately *outside* the
 //! artifact bundle, which stays byte-identical to a telemetry-off run.
+//!
+//! With `PBS_CHECKPOINT_EVERY=N` the run writes a crash-safe checkpoint
+//! to `PBS_CHECKPOINT_DIR` (default `checkpoints/`) every N days and
+//! resumes from the newest valid one on restart; the resumed run's
+//! bundle is byte-identical to an uninterrupted one.
 
 use analysis::{write_artifact_bundle, PaperReport};
 use scenario::{ScenarioConfig, Simulation};

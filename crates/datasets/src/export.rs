@@ -6,7 +6,6 @@
 //! aggregate dataset.
 
 use scenario::RunArtifacts;
-use std::io::Write;
 use std::path::Path;
 
 /// An in-memory CSV table: headers plus stringified rows.
@@ -71,13 +70,10 @@ fn join_csv(fields: &[String]) -> String {
         .join(",")
 }
 
-/// Writes a [`CsvTable`] to disk.
+/// Writes a [`CsvTable`] to disk atomically (tmp + fsync + rename), so a
+/// crash mid-export can never leave a torn CSV.
 pub fn write_csv(path: &Path, table: &CsvTable) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(table.render().as_bytes())
+    simcore::atomic_write(path, table.render().as_bytes())
 }
 
 /// Exports the per-block records as CSV.

@@ -216,6 +216,26 @@ impl Pool {
     }
 }
 
+impl simcore::Snapshot for Pool {
+    fn encode(&self, w: &mut simcore::SnapWriter) {
+        self.id.encode(w);
+        self.token0.encode(w);
+        self.token1.encode(w);
+        self.reserve0.encode(w);
+        self.reserve1.encode(w);
+    }
+
+    fn decode(r: &mut simcore::SnapReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        Ok(Pool {
+            id: simcore::Snapshot::decode(r)?,
+            token0: simcore::Snapshot::decode(r)?,
+            token1: simcore::Snapshot::decode(r)?,
+            reserve0: simcore::Snapshot::decode(r)?,
+            reserve1: simcore::Snapshot::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -226,6 +226,40 @@ impl LendingMarket {
     }
 }
 
+impl simcore::Snapshot for Position {
+    fn encode(&self, w: &mut simcore::SnapWriter) {
+        self.borrower.encode(w);
+        self.collateral_token.encode(w);
+        self.collateral.encode(w);
+        self.debt_token.encode(w);
+        self.debt.encode(w);
+    }
+
+    fn decode(r: &mut simcore::SnapReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        Ok(Position {
+            borrower: simcore::Snapshot::decode(r)?,
+            collateral_token: simcore::Snapshot::decode(r)?,
+            collateral: simcore::Snapshot::decode(r)?,
+            debt_token: simcore::Snapshot::decode(r)?,
+            debt: simcore::Snapshot::decode(r)?,
+        })
+    }
+}
+
+impl simcore::Snapshot for LendingMarket {
+    fn encode(&self, w: &mut simcore::SnapWriter) {
+        self.id.encode(w);
+        self.positions.encode(w);
+    }
+
+    fn decode(r: &mut simcore::SnapReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        Ok(LendingMarket {
+            id: simcore::Snapshot::decode(r)?,
+            positions: simcore::Snapshot::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -64,6 +64,18 @@ impl PriceOracle {
     }
 }
 
+impl simcore::Snapshot for PriceOracle {
+    fn encode(&self, w: &mut simcore::SnapWriter) {
+        self.prices.encode(w);
+    }
+
+    fn decode(r: &mut simcore::SnapReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        Ok(PriceOracle {
+            prices: simcore::Snapshot::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -129,6 +129,22 @@ impl DefiWorld {
     }
 }
 
+impl simcore::Snapshot for DefiWorld {
+    fn encode(&self, w: &mut simcore::SnapWriter) {
+        self.pools.encode(w);
+        self.market.encode(w);
+        self.oracle.encode(w);
+    }
+
+    fn decode(r: &mut simcore::SnapReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        Ok(DefiWorld {
+            pools: simcore::Snapshot::decode(r)?,
+            market: simcore::Snapshot::decode(r)?,
+            oracle: simcore::Snapshot::decode(r)?,
+        })
+    }
+}
+
 impl EffectBackend for DefiWorld {
     fn apply(&mut self, tx: &Transaction) -> EffectOutcome {
         match &tx.effect {

@@ -71,6 +71,20 @@ impl FeeMarket {
     }
 }
 
+impl simcore::Snapshot for FeeMarket {
+    fn encode(&self, w: &mut simcore::SnapWriter) {
+        self.current.encode(w);
+        self.target.encode(w);
+    }
+
+    fn decode(r: &mut simcore::SnapReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        Ok(FeeMarket {
+            current: simcore::Snapshot::decode(r)?,
+            target: simcore::Snapshot::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

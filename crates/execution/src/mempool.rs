@@ -128,6 +128,43 @@ impl Mempool {
     }
 }
 
+impl simcore::Snapshot for Mempool {
+    fn encode(&self, w: &mut simcore::SnapWriter) {
+        self.capacity.encode(w);
+        // Keys are derivable (`tx.hash`), so only the values travel.
+        (self.txs.len()).encode(w);
+        for tx in self.txs.values() {
+            tx.encode(w);
+        }
+    }
+
+    fn decode(r: &mut simcore::SnapReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        let capacity = usize::decode(r)?;
+        if capacity == 0 {
+            return Err(simcore::SnapshotError::Corrupt(
+                "mempool capacity must be positive".into(),
+            ));
+        }
+        let n = usize::decode(r)?;
+        let mut txs = BTreeMap::new();
+        for _ in 0..n {
+            let tx = Transaction::decode(r)?;
+            txs.insert(tx.hash, tx);
+        }
+        if txs.len() != n {
+            return Err(simcore::SnapshotError::Corrupt(
+                "duplicate transaction hash in mempool snapshot".into(),
+            ));
+        }
+        if txs.len() > capacity {
+            return Err(simcore::SnapshotError::Corrupt(
+                "mempool snapshot exceeds its own capacity".into(),
+            ));
+        }
+        Ok(Mempool { txs, capacity })
+    }
+}
+
 fn per_gas_value(t: &Transaction, base_fee: GasPrice) -> f64 {
     let v = t.producer_value(base_fee);
     v.0 as f64 / t.gas_used().0.max(1) as f64

@@ -159,6 +159,26 @@ impl StateLedger {
     }
 }
 
+impl simcore::Snapshot for StateLedger {
+    fn encode(&self, w: &mut simcore::SnapWriter) {
+        self.balances.encode(w);
+        self.nonces.encode(w);
+        self.opening_balance.encode(w);
+        self.minted.encode(w);
+        self.burned.encode(w);
+    }
+
+    fn decode(r: &mut simcore::SnapReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        Ok(StateLedger {
+            balances: simcore::Snapshot::decode(r)?,
+            nonces: simcore::Snapshot::decode(r)?,
+            opening_balance: simcore::Snapshot::decode(r)?,
+            minted: simcore::Snapshot::decode(r)?,
+            burned: simcore::Snapshot::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

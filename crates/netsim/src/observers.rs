@@ -116,6 +116,18 @@ impl ObservationLog {
     }
 }
 
+impl simcore::Snapshot for ObservationLog {
+    fn encode(&self, w: &mut simcore::SnapWriter) {
+        self.seen.encode(w);
+    }
+
+    fn decode(r: &mut simcore::SnapReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        Ok(ObservationLog {
+            seen: simcore::Snapshot::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,6 +28,16 @@ use std::collections::BTreeSet;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 pub struct BuilderId(pub u32);
 
+impl simcore::Snapshot for BuilderId {
+    fn encode(&self, w: &mut simcore::SnapWriter) {
+        self.0.encode(w);
+    }
+
+    fn decode(r: &mut simcore::SnapReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        Ok(BuilderId(simcore::Snapshot::decode(r)?))
+    }
+}
+
 /// How much of the block's value the builder keeps for itself.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum MarginPolicy {
@@ -159,6 +169,17 @@ impl Builder {
             id,
             payment_nonce: 0,
         }
+    }
+
+    /// The next payment-transaction nonce (path-dependent state that must
+    /// survive a checkpoint, or resumed payment txs would collide).
+    pub fn payment_nonce(&self) -> u64 {
+        self.payment_nonce
+    }
+
+    /// Restores the payment nonce from a checkpoint.
+    pub fn restore_payment_nonce(&mut self, nonce: u64) {
+        self.payment_nonce = nonce;
     }
 
     /// The primary submission pubkey.

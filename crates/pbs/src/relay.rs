@@ -26,6 +26,16 @@ use std::collections::BTreeSet;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 pub struct RelayId(pub u32);
 
+impl simcore::Snapshot for RelayId {
+    fn encode(&self, w: &mut simcore::SnapWriter) {
+        self.0.encode(w);
+    }
+
+    fn decode(r: &mut simcore::SnapReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        Ok(RelayId(simcore::Snapshot::decode(r)?))
+    }
+}
+
 /// How a relay admits builders (Table 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BuilderPolicy {
@@ -354,6 +364,32 @@ impl Relay {
     pub fn registered_count(&self) -> usize {
         self.registered.len()
     }
+
+    /// Serializes the relay's path-dependent state: validator
+    /// registrations and the RNG stream. Escrow is empty at checkpoint
+    /// boundaries (every auction ends with [`Relay::end_slot`]) and the
+    /// static policy fields are rebuilt from the scenario config.
+    pub fn write_dynamic(&self, w: &mut simcore::SnapWriter) {
+        use simcore::Snapshot;
+        assert!(
+            self.pending.is_empty(),
+            "relay escrow must be drained before checkpointing"
+        );
+        self.registered.encode(w);
+        self.rng.encode(w);
+    }
+
+    /// Restores state written by [`Relay::write_dynamic`].
+    pub fn read_dynamic(
+        &mut self,
+        r: &mut simcore::SnapReader<'_>,
+    ) -> Result<(), simcore::SnapshotError> {
+        use simcore::Snapshot;
+        self.registered = Snapshot::decode(r)?;
+        self.rng = Snapshot::decode(r)?;
+        self.pending.clear();
+        Ok(())
+    }
 }
 
 /// The full relay registry.
@@ -426,6 +462,36 @@ impl RelayRegistry {
             .filter(|r| r.info.ofac_compliant)
             .map(|r| r.id)
             .collect()
+    }
+
+    /// Serializes every relay's dynamic state, prefixed with the relay
+    /// count so a registry shape mismatch is caught at restore time.
+    pub fn write_dynamic(&self, w: &mut simcore::SnapWriter) {
+        use simcore::Snapshot;
+        self.relays.len().encode(w);
+        for relay in &self.relays {
+            relay.write_dynamic(w);
+        }
+    }
+
+    /// Restores state written by [`RelayRegistry::write_dynamic`] into a
+    /// registry with the same static wiring.
+    pub fn read_dynamic(
+        &mut self,
+        r: &mut simcore::SnapReader<'_>,
+    ) -> Result<(), simcore::SnapshotError> {
+        use simcore::Snapshot;
+        let n = usize::decode(r)?;
+        if n != self.relays.len() {
+            return Err(simcore::SnapshotError::Corrupt(format!(
+                "checkpoint has {n} relays but the registry has {}",
+                self.relays.len()
+            )));
+        }
+        for relay in &mut self.relays {
+            relay.read_dynamic(r)?;
+        }
+        Ok(())
     }
 }
 

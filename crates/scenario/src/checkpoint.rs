@@ -1,0 +1,220 @@
+//! Crash-safe checkpoint files: naming, retention, and discovery.
+//!
+//! A checkpoint is one [`Runner`](crate::driver::Runner) body wrapped in
+//! simcore's versioned envelope, written atomically (tmp + fsync + rename)
+//! as `checkpoint-day-NNNNN` at day boundaries. The store keeps the last
+//! K files so a truncated or corrupt newest checkpoint never strands a
+//! run: discovery walks newest to oldest and the caller falls back to the
+//! first one that validates.
+
+use simcore::SnapshotError;
+use std::path::{Path, PathBuf};
+
+/// Schema version of the runner checkpoint body. Bump on any change to
+/// the field layout written by `Runner::checkpoint`.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+const FILE_PREFIX: &str = "checkpoint-day-";
+
+/// When and where checkpoints are written, read from the environment:
+///
+/// * `PBS_CHECKPOINT_EVERY` — write one after every N completed days
+///   (absent or `0` disables checkpointing; anything unparsable is a
+///   hard error, not a silent off),
+/// * `PBS_CHECKPOINT_DIR` — directory for checkpoint files
+///   (default `checkpoints`),
+/// * `PBS_CHECKPOINT_KEEP` — how many most-recent files to retain
+///   (default 3, minimum 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint after every N completed days; 0 disables.
+    pub every_days: u32,
+    /// Directory the checkpoint files live in.
+    pub dir: PathBuf,
+    /// Number of most-recent checkpoints to retain.
+    pub keep: usize,
+}
+
+impl CheckpointPolicy {
+    /// A policy that never checkpoints.
+    pub fn disabled() -> Self {
+        CheckpointPolicy {
+            every_days: 0,
+            dir: PathBuf::from("checkpoints"),
+            keep: 3,
+        }
+    }
+
+    /// Reads the policy from the environment (see the type docs).
+    ///
+    /// # Panics
+    ///
+    /// When `PBS_CHECKPOINT_EVERY` or `PBS_CHECKPOINT_KEEP` is set to
+    /// something that does not parse — a misspelled knob must not
+    /// silently run without crash safety.
+    pub fn from_env() -> Self {
+        let every_days = match std::env::var("PBS_CHECKPOINT_EVERY") {
+            Ok(v) => v.trim().parse::<u32>().unwrap_or_else(|_| {
+                panic!("PBS_CHECKPOINT_EVERY must be a non-negative integer, got {v:?}")
+            }),
+            Err(_) => 0,
+        };
+        let dir = std::env::var("PBS_CHECKPOINT_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("checkpoints"));
+        let keep = match std::env::var("PBS_CHECKPOINT_KEEP") {
+            Ok(v) => v.trim().parse::<usize>().unwrap_or_else(|_| {
+                panic!("PBS_CHECKPOINT_KEEP must be a positive integer, got {v:?}")
+            }),
+            Err(_) => 3,
+        };
+        CheckpointPolicy {
+            every_days,
+            dir,
+            keep: keep.max(1),
+        }
+    }
+
+    /// Whether checkpointing is on at all.
+    pub fn enabled(&self) -> bool {
+        self.every_days > 0
+    }
+
+    /// Whether a checkpoint is due after completing `day` (0-based).
+    pub fn due_after_day(&self, day: u32) -> bool {
+        self.enabled() && (day + 1).is_multiple_of(self.every_days)
+    }
+}
+
+/// The file path for the checkpoint taken after completing `day`.
+pub fn checkpoint_path(dir: &Path, day: u32) -> PathBuf {
+    dir.join(format!("{FILE_PREFIX}{day:05}"))
+}
+
+/// Lists the checkpoints in `dir`, oldest first, as `(day, path)` pairs.
+/// Files that do not match the naming scheme (including `.tmp` leftovers
+/// from an interrupted atomic write) are ignored.
+pub fn list_checkpoints(dir: &Path) -> Vec<(u32, PathBuf)> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return out,
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(day) = name.strip_prefix(FILE_PREFIX) else {
+            continue;
+        };
+        if let Ok(day) = day.parse::<u32>() {
+            out.push((day, entry.path()));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// The checkpoints of `dir`, newest first — the order discovery tries
+/// them in.
+pub fn candidates(dir: &Path) -> Vec<(u32, PathBuf)> {
+    let mut all = list_checkpoints(dir);
+    all.reverse();
+    all
+}
+
+/// Wraps `body` in the versioned envelope and writes it atomically as
+/// the checkpoint for `day`, then prunes everything but the newest
+/// `keep` files. Returns the final path.
+pub fn write_checkpoint(
+    dir: &Path,
+    day: u32,
+    body: &[u8],
+    keep: usize,
+) -> Result<PathBuf, SnapshotError> {
+    let envelope = simcore::snapshot::write_envelope(CHECKPOINT_VERSION, body);
+    let path = checkpoint_path(dir, day);
+    simcore::atomic_write(&path, &envelope)?;
+    prune(dir, keep);
+    Ok(path)
+}
+
+/// Removes all but the newest `keep` checkpoints. Removal failures are
+/// ignored: retention is best-effort, correctness never depends on it.
+pub fn prune(dir: &Path, keep: usize) {
+    let all = list_checkpoints(dir);
+    if all.len() > keep {
+        for (_, path) in &all[..all.len() - keep] {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Reads a checkpoint file and validates its envelope, returning the
+/// body bytes.
+pub fn read_checkpoint(path: &Path) -> Result<Vec<u8>, SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    let body = simcore::snapshot::read_envelope(&bytes, CHECKPOINT_VERSION)?;
+    Ok(body.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pbs-ckpt-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn policy_due_respects_interval() {
+        let mut p = CheckpointPolicy::disabled();
+        assert!(!p.due_after_day(0));
+        p.every_days = 2;
+        assert!(!p.due_after_day(0)); // 1 day done
+        assert!(p.due_after_day(1)); // 2 days done
+        assert!(!p.due_after_day(2));
+        assert!(p.due_after_day(3));
+        p.every_days = 1;
+        assert!(p.due_after_day(0) && p.due_after_day(1));
+    }
+
+    #[test]
+    fn write_list_and_prune_round_trip() {
+        let dir = tmpdir("prune");
+        for day in 0..5u32 {
+            write_checkpoint(&dir, day, &[day as u8; 16], 3).unwrap();
+        }
+        let days: Vec<u32> = list_checkpoints(&dir).iter().map(|(d, _)| *d).collect();
+        assert_eq!(days, vec![2, 3, 4]);
+        let newest = candidates(&dir);
+        assert_eq!(newest[0].0, 4);
+        assert_eq!(read_checkpoint(&newest[0].1).unwrap(), vec![4u8; 16]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn discovery_ignores_foreign_and_tmp_files() {
+        let dir = tmpdir("foreign");
+        write_checkpoint(&dir, 7, b"body", 3).unwrap();
+        std::fs::write(dir.join("checkpoint-day-00009.tmp"), b"partial").unwrap();
+        std::fs::write(dir.join("notes.txt"), b"hi").unwrap();
+        let days: Vec<u32> = list_checkpoints(&dir).iter().map(|(d, _)| *d).collect();
+        assert_eq!(days, vec![7]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_rejected() {
+        let dir = tmpdir("corrupt");
+        let path = write_checkpoint(&dir, 1, b"good body", 3).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(read_checkpoint(&path), Err(SnapshotError::ChecksumMismatch));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

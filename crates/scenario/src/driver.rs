@@ -7,6 +7,7 @@
 //! consume.
 
 use crate::cast::{builder_cast, validator_entities, BuilderCastEntry};
+use crate::checkpoint::CheckpointPolicy;
 use crate::config::{FaultPreset, ScenarioConfig};
 use crate::records::{BlockRecord, FaultEventKind, FaultEventRecord, RunArtifacts, RunTotals};
 use crate::timeline::{days, Timeline};
@@ -23,8 +24,10 @@ use pbs::{
 };
 use rand::rngs::StdRng;
 use rand::Rng;
-use simcore::{telemetry, Exponential, FaultProfile, FaultSchedule, SeedDomain};
+use simcore::{telemetry, Exponential, FaultProfile, FaultSchedule, SeedDomain, SnapshotError};
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+use std::sync::OnceLock;
 
 /// Per-relay shortfall calibration: (name, probability, lost fraction),
 /// matched to Table 4's "share over-promised" column.
@@ -55,26 +58,120 @@ impl Simulation {
 
     /// Runs the full scenario and returns the collected artifacts.
     ///
-    /// Honors the `PBS_THREADS` environment variable: when set to a
-    /// positive integer it pins the rayon worker count used by the
-    /// parallel phases. Artifacts are byte-identical for any thread count;
-    /// when unset, the existing global configuration (or auto-detection)
-    /// is left untouched so tests can configure the pool directly.
+    /// Honors `PBS_THREADS` (a positive integer pinning the rayon worker
+    /// count; anything else is a hard error — artifacts are byte-identical
+    /// for any thread count, so a typo must not silently change the
+    /// parallelism) and the `PBS_CHECKPOINT_*` knobs (see
+    /// [`CheckpointPolicy`]): with checkpointing on, the run resumes from
+    /// the newest valid checkpoint on disk and writes a fresh one at each
+    /// configured day boundary.
     pub fn run(&self) -> RunArtifacts {
-        if let Ok(v) = std::env::var("PBS_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                let _ = rayon::ThreadPoolBuilder::new()
-                    .num_threads(n)
-                    .build_global();
+        configure_thread_pool();
+        let policy = CheckpointPolicy::from_env();
+        if !policy.enabled() {
+            return Runner::new(&self.cfg).run();
+        }
+        let mut runner = resume_or_fresh(&self.cfg, &policy.dir);
+        while let Some(day) = runner.step_day() {
+            if policy.due_after_day(day.0) {
+                let body = runner.checkpoint();
+                match crate::checkpoint::write_checkpoint(&policy.dir, day.0, &body, policy.keep) {
+                    Ok(path) => eprintln!("checkpoint: day {} -> {}", day.0, path.display()),
+                    Err(e) => eprintln!("checkpoint write failed at day {}: {e}", day.0),
+                }
+                maybe_kill_self(day.0);
             }
         }
-        Runner::new(&self.cfg).run()
+        runner.finish()
     }
 }
 
-/// Internal mutable state of a run.
-struct Runner<'a> {
-    cfg: &'a ScenarioConfig,
+/// Crash-test hook: with `PBS_KILL_AFTER_DAY=N` set, SIGKILLs this
+/// process right after the day-N checkpoint lands on disk. The
+/// kill-and-resume harness uses this to die at a reproducible point no
+/// matter how fast the run is; it is never set in normal operation.
+fn maybe_kill_self(day: u32) {
+    let Ok(v) = std::env::var("PBS_KILL_AFTER_DAY") else {
+        return;
+    };
+    let target = v
+        .trim()
+        .parse::<u32>()
+        .unwrap_or_else(|_| panic!("PBS_KILL_AFTER_DAY must be a non-negative integer, got {v:?}"));
+    if day == target {
+        eprintln!("kill harness: SIGKILL after the day-{day} checkpoint");
+        let _ = std::process::Command::new("kill")
+            .args(["-9", &std::process::id().to_string()])
+            .status();
+        // SIGKILL is not deliverable on every platform; never run on.
+        std::process::abort();
+    }
+}
+
+/// Applies `PBS_THREADS` to the global rayon pool, exactly once per
+/// process — repeated [`Simulation::run`] calls must not re-attempt
+/// `build_global`.
+///
+/// # Panics
+///
+/// When `PBS_THREADS` is set but not a positive integer: a long run that
+/// silently ignored the knob would burn hours at the wrong parallelism.
+fn configure_thread_pool() {
+    static CONFIGURED: OnceLock<()> = OnceLock::new();
+    CONFIGURED.get_or_init(|| {
+        if let Ok(v) = std::env::var("PBS_THREADS") {
+            let n = v
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| panic!("PBS_THREADS must be a positive integer, got {v:?}"));
+            // `build_global` fails when something else (a bench, a test)
+            // configured the pool first; artifacts do not depend on the
+            // thread count, so that is not worth failing the run over.
+            let _ = rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build_global();
+        }
+    });
+}
+
+/// Builds a runner, resumed from the newest checkpoint in `dir` that
+/// validates against this configuration. Corrupt, truncated, foreign, or
+/// version-mismatched files are logged and skipped, falling back to the
+/// next-newest; with no usable checkpoint the runner starts fresh.
+fn resume_or_fresh(cfg: &ScenarioConfig, dir: &Path) -> Runner {
+    let mut runner = Runner::new(cfg);
+    for (day, path) in crate::checkpoint::candidates(dir) {
+        let outcome =
+            crate::checkpoint::read_checkpoint(&path).and_then(|body| runner.restore(&body));
+        match outcome {
+            Ok(()) => {
+                eprintln!("resuming from {} (after day {day})", path.display());
+                return runner;
+            }
+            Err(e) => {
+                eprintln!("ignoring checkpoint {}: {e}", path.display());
+                // A failed restore may have been partial; start clean.
+                runner = Runner::new(cfg);
+            }
+        }
+    }
+    runner
+}
+
+/// The live state of a run, stepped one day at a time.
+///
+/// [`Simulation::run`] drives it to completion; the checkpoint subsystem
+/// (and the kill-and-resume tests) use the day-stepped surface directly:
+/// [`step_day`](Runner::step_day) advances to the next day boundary,
+/// [`checkpoint`](Runner::checkpoint) serializes every path-dependent
+/// field, and [`restore`](Runner::restore) rebuilds an equivalent runner
+/// inside a freshly constructed one. State derivable purely from the
+/// configuration and seed — schedules, topology, relay wiring, the fault
+/// schedule — is rebuilt by [`new`](Runner::new) and never serialized.
+pub struct Runner {
+    cfg: ScenarioConfig,
     timeline: Timeline,
     registry: ValidatorRegistry,
     beacon: BeaconChain,
@@ -97,6 +194,16 @@ struct Runner<'a> {
     seeds: SeedDomain,
     rng: StdRng,
     fault_schedule: Option<FaultSchedule>,
+    // derived once per run, never serialized
+    executor: BlockExecutor,
+    censoring: Vec<RelayId>,
+    all_relays: Vec<RelayId>,
+    // cursor
+    next_slot: u64,
+    current_day: Option<DayIndex>,
+    // in-flight delivery queues
+    binance_queue: Vec<Transaction>,
+    private_user_txs: Vec<Transaction>,
     // accumulation
     blocks: Vec<BlockRecord>,
     fault_events: Vec<FaultEventRecord>,
@@ -107,8 +214,9 @@ struct Runner<'a> {
     borrower_seq: u32,
 }
 
-impl<'a> Runner<'a> {
-    fn new(cfg: &'a ScenarioConfig) -> Self {
+impl Runner {
+    /// Builds the full substrate for a run from its configuration.
+    pub fn new(cfg: &ScenarioConfig) -> Self {
         let seeds = SeedDomain::new(cfg.seed);
         let timeline = Timeline;
         let entities = validator_entities();
@@ -142,6 +250,11 @@ impl<'a> Runner<'a> {
         for name in ["sando-0", "sando-1", "arb-0", "arb-1", "liq-0"] {
             ledger.mint(Address::derive(&format!("searcher:{name}")), funded);
         }
+        // Proprietary searcher accounts pay large coinbase tips; fund them.
+        for entry in &cast {
+            let a = Address::derive(&format!("proprietary:{}", entry.profile.name));
+            ledger.mint(a, funded);
+        }
 
         let topology = Topology::random(cfg.overlay_nodes, 3, 40.0, &seeds);
         let gossip = GossipNetwork::new(topology);
@@ -160,9 +273,12 @@ impl<'a> Runner<'a> {
         ];
         let liq_bot = LiquidationBot::new("liq-0", 0.85);
 
+        let censoring = relays.censoring_ids();
+        let all_relays: Vec<RelayId> = (0..relays.len() as u32).map(RelayId).collect();
+
         // Seed the lending market with positions to liquidate later.
         let mut runner = Runner {
-            cfg,
+            cfg: cfg.clone(),
             timeline,
             registry,
             beacon,
@@ -185,6 +301,13 @@ impl<'a> Runner<'a> {
             seeds,
             rng: SeedDomain::new(cfg.seed).rng("driver"),
             fault_schedule,
+            executor: BlockExecutor::new(Gas(cfg.gas_limit)),
+            censoring,
+            all_relays,
+            next_slot: 0,
+            current_day: None,
+            binance_queue: Vec::new(),
+            private_user_txs: Vec::new(),
             blocks: Vec::new(),
             fault_events: Vec::new(),
             missed: 0,
@@ -583,362 +706,381 @@ impl<'a> Runner<'a> {
         per_builder
     }
 
-    fn run(mut self) -> RunArtifacts {
-        // Proprietary searcher accounts pay large coinbase tips; fund them.
-        for entry in &self.cast {
-            let a = Address::derive(&format!("proprietary:{}", entry.profile.name));
-            self.ledger.mint(a, Wei::from_eth(10_000_000.0));
-        }
+    /// Runs every remaining slot and returns the collected artifacts.
+    pub fn run(mut self) -> RunArtifacts {
+        while self.step_day().is_some() {}
+        self.finish()
+    }
 
+    /// True once every slot of the calendar has been simulated.
+    pub fn is_done(&self) -> bool {
+        self.next_slot >= self.cfg.calendar.total_slots()
+    }
+
+    /// Simulates every slot of the next calendar day and returns the day
+    /// just completed, or `None` when the run is already finished. The
+    /// runner is checkpointable exactly at these boundaries.
+    pub fn step_day(&mut self) -> Option<DayIndex> {
         let total_slots = self.cfg.calendar.total_slots();
-        let mut current_day = None;
-        let executor = BlockExecutor::new(Gas(self.cfg.gas_limit));
-        let censoring = self.relays.censoring_ids();
-        let all_relays: Vec<RelayId> = (0..self.relays.len() as u32).map(RelayId).collect();
-        let mut binance_queue: Vec<Transaction> = Vec::new();
-        let mut private_user_txs: Vec<Transaction> = Vec::new();
+        if self.next_slot >= total_slots {
+            return None;
+        }
+        let day = self.cfg.calendar.day_of_slot(Slot(self.next_slot));
+        while self.next_slot < total_slots
+            && self.cfg.calendar.day_of_slot(Slot(self.next_slot)) == day
+        {
+            self.step_slot(Slot(self.next_slot));
+            self.next_slot += 1;
+        }
+        Some(day)
+    }
 
-        for s in 0..total_slots {
-            let slot = Slot(s);
-            let day = self.cfg.calendar.day_of_slot(slot);
-            let _slot_span = simcore::span!("driver.slot");
-            telemetry::counter_add("scenario.slots.total", 1);
-            if current_day != Some(day) {
-                let _day_span = simcore::span!("driver.on_new_day");
-                telemetry::counter_add("scenario.days", 1);
-                self.on_new_day(day);
-                current_day = Some(day);
-            }
-            let base_fee = self.fee_market.base_fee();
+    /// Simulates one slot end to end: workload → gossip → searchers →
+    /// auction → execution → measurement.
+    fn step_slot(&mut self, slot: Slot) {
+        let s = slot.0;
+        let day = self.cfg.calendar.day_of_slot(slot);
+        let _slot_span = simcore::span!("driver.slot");
+        telemetry::counter_add("scenario.slots.total", 1);
+        if self.current_day != Some(day) {
+            let _day_span = simcore::span!("driver.on_new_day");
+            telemetry::counter_add("scenario.days", 1);
+            self.on_new_day(day);
+            self.current_day = Some(day);
+        }
+        let base_fee = self.fee_market.base_fee();
 
-            // 1. Workload.
-            let workload_span = simcore::span!("driver.workload");
-            let txs = self.workload.slot_txs(
-                day,
-                base_fee,
-                &self.world,
-                &self.timeline,
-                self.cfg.knobs.private_flow_scale,
-            );
-            let t0 = simcore::SimTime::from_secs(slot.0 * eth_types::SECONDS_PER_SLOT);
-            for tx in txs {
-                if tx.privacy.is_private() {
-                    private_user_txs.push(tx);
-                } else {
-                    let origin = NodeId(self.rng.random_range(0..self.cfg.overlay_nodes));
-                    let p = self.gossip.broadcast(tx.hash, origin, t0);
-                    self.obs_log.record(&self.observers, &p);
-                    self.totals.mempool_entries += netsim::NUM_OBSERVERS as u64;
-                    self.mempool.insert(tx);
-                }
-            }
-            binance_queue.extend(
-                self.workload
-                    .binance_private_txs(day, base_fee, &self.timeline),
-            );
-            if binance_queue.len() > 400 {
-                let overflow = binance_queue.len() - 400;
-                binance_queue.drain(..overflow);
-                self.totals.dropped_binance_txs += overflow as u64;
-            }
-            if private_user_txs.len() > 600 {
-                let overflow = private_user_txs.len() - 600;
-                private_user_txs.drain(..overflow);
-                self.totals.dropped_private_txs += overflow as u64;
-            }
-            drop(workload_span);
-
-            // 2. Missed slots (proposer offline).
-            if self.rng.random::<f64>() < 0.008 {
-                telemetry::counter_add("scenario.slots.missed.offline", 1);
-                self.beacon.record_missed(slot);
-                self.missed += 1;
-                continue;
-            }
-
-            // 2b. Refresh relay fault state for this slot (no-op without a
-            // schedule — relays stay at the all-healthy default forever).
-            if let Some(sched) = &self.fault_schedule {
-                for relay in self.relays.iter_mut() {
-                    relay.faults = sched.component_faults(relay.id.0 as usize, s);
-                }
-            }
-
-            // 3. Snapshot the mempool view builders work from.
-            let mut snapshot = self
-                .mempool
-                .select_value_greedy(base_fee, Gas(self.cfg.gas_limit * 2));
-            // Builders also see private user flow (protect-style RPCs).
-            if self.cfg.knobs.sophisticated_builders {
-                snapshot.extend(private_user_txs.iter().cloned());
-            }
-
-            // 4. Searchers & routing.
-            let bundles_span = simcore::span!("driver.route_bundles");
-            let bundles = self.route_bundles(base_fee, &snapshot, day);
-            drop(bundles_span);
-
-            // 5. Proposer setup.
-            let proposer = self.beacon.proposer(slot);
-            let validator = self.registry.validator(proposer).expect("in range").clone();
-            let entity_idx = validator.entity;
-            let fallback = self.rng.random::<f64>() < self.timeline.fallback_probability(day);
-
-            // Direct private flow to this proposer (Binance→AnkrPool). Only
-            // a locally-built block can include it — builders never see the
-            // private channel — so the proposer skips MEV-Boost for the slot
-            // and self-builds, exactly the F14 vanilla-block pattern.
-            let entity_name = self.registry.entity_of(proposer).name.clone();
-            let direct: Vec<Transaction> = if entity_name == "ankr" {
-                std::mem::take(&mut binance_queue)
+        // 1. Workload.
+        let workload_span = simcore::span!("driver.workload");
+        let txs = self.workload.slot_txs(
+            day,
+            base_fee,
+            &self.world,
+            &self.timeline,
+            self.cfg.knobs.private_flow_scale,
+        );
+        let t0 = simcore::SimTime::from_secs(slot.0 * eth_types::SECONDS_PER_SLOT);
+        for tx in txs {
+            if tx.privacy.is_private() {
+                self.private_user_txs.push(tx);
             } else {
-                Vec::new()
-            };
-
-            let client = if validator.mev_boost && !fallback && direct.is_empty() {
-                let subscribed = if validator.censoring_only {
-                    censoring.clone()
-                } else {
-                    all_relays.clone()
-                };
-                for &r in &subscribed {
-                    if let Some(relay) = self.relays.get_mut(r) {
-                        relay.register_validator(proposer);
-                    }
-                }
-                let min_bid = Wei::from_eth(self.cfg.knobs.min_bid_eth);
-                Some(MevBoostClient::new(subscribed).with_min_bid(min_bid))
-            } else {
-                None
-            };
-
-            // The Manifold exploit: a builder declares inflated bids on the
-            // non-verifying relay for a slice of the incident day's slots.
-            let dishonest = if day == days::MANIFOLD_EXPLOIT && slot.0.is_multiple_of(2) {
-                self.cast
-                    .iter()
-                    .position(|c| c.profile.name == "Builder 9")
-                    .map(|i| (BuilderId(i as u32), Wei::from_eth(2.5)))
-            } else {
-                None
-            };
-
-            // 6. Auction.
-            let auction = SlotAuction {
-                slot,
-                day,
-                base_fee,
-                gas_limit: Gas(self.cfg.gas_limit),
-                sanctions: &self.sanctions,
-                jitter_zero_prob: 0.10,
-                jitter_max_frac: 0.02,
-            };
-            let slot_seeds = self.seeds.subdomain(&format!("slot:{s}"));
-            let auction_span = simcore::span!("driver.auction");
-            let mut result = auction.run(
-                &mut self.builders,
-                &bundles,
-                &snapshot,
-                &mut self.relays,
-                client.as_ref(),
-                validator.fee_recipient,
-                &self.mempool,
-                &direct,
-                &slot_seeds,
-                dishonest,
-            );
-            drop(auction_span);
-
-            // Persist the boost decision trail while faults are active, and
-            // miss the slot entirely when a signed header proved
-            // undeliverable (the 10 Nov 2022 failure mode, now mechanized).
-            if self.fault_schedule.is_some() {
-                self.record_fault_events(slot, day, &result);
+                let origin = NodeId(self.rng.random_range(0..self.cfg.overlay_nodes));
+                let p = self.gossip.broadcast(tx.hash, origin, t0);
+                self.obs_log.record(&self.observers, &p);
+                self.totals.mempool_entries += netsim::NUM_OBSERVERS as u64;
+                self.mempool.insert(tx);
             }
-            if result.missed {
-                telemetry::counter_add("scenario.slots.missed.payload", 1);
-                self.beacon.record_missed(slot);
-                self.missed += 1;
-                continue;
-            }
+        }
+        let binance_txs = self
+            .workload
+            .binance_private_txs(day, base_fee, &self.timeline);
+        self.binance_queue.extend(binance_txs);
+        if self.binance_queue.len() > 400 {
+            let overflow = self.binance_queue.len() - 400;
+            self.binance_queue.drain(..overflow);
+            self.totals.dropped_binance_txs += overflow as u64;
+        }
+        if self.private_user_txs.len() > 600 {
+            let overflow = self.private_user_txs.len() - 600;
+            self.private_user_txs.drain(..overflow);
+            self.totals.dropped_private_txs += overflow as u64;
+        }
+        drop(workload_span);
 
-            // The Eden incident: the relay announces a wildly inflated value
-            // for one early-October block (§5.2).
-            if !self.eden_done
-                && !self.cfg.knobs.enshrined_pbs
-                && day >= days::EDEN_INCIDENT
-                && result.pbs
-                && result
-                    .winning_relays
-                    .first()
-                    .and_then(|r| self.relays.get(*r))
-                    .map(|r| r.info.name == "Eden")
-                    .unwrap_or(false)
-            {
-                let scaled = 2.1 * self.cfg.calendar.blocks_per_day as f64 / 360.0;
-                result.promised = result.promised.saturating_add(Wei::from_eth(scaled));
-                self.eden_done = true;
-            }
-
-            // 7. Execute.
-            let execute_span = simcore::span!("driver.execute");
-            let number = self.cfg.calendar.block_number(slot);
-            let timestamp = self.cfg.calendar.unix_time(slot);
-            let executed = executor.execute(
-                slot,
-                number,
-                timestamp,
-                self.beacon.head(),
-                result.fee_recipient,
-                base_fee,
-                &result.txs,
-                &mut self.ledger,
-                &mut self.world,
-            );
-            let block = &executed.block;
-            drop(execute_span);
-
-            // 8. Measure.
-            let measure_span = simcore::span!("driver.measure");
-            let mut private_txs = 0u32;
-            let mut delay_sum_ms = 0u64;
-            let mut delay_count = 0u32;
-            let mut sanctioned_delay_sum_ms = 0u64;
-            let mut sanctioned_delay_count = 0u32;
-            let inclusion_time = simcore::SimTime::from_secs(
-                slot.0 * eth_types::SECONDS_PER_SLOT + eth_types::SECONDS_PER_SLOT,
-            );
-            for tx in &block.body.transactions {
-                if let Some(first_seen) = self.obs_log.first_seen(&tx.hash) {
-                    let delay = inclusion_time.millis_since(first_seen);
-                    delay_sum_ms += delay;
-                    delay_count += 1;
-                    if pbs::tx_touches_sanctioned(tx, |a| self.sanctions.is_sanctioned(a, day)) {
-                        sanctioned_delay_sum_ms += delay;
-                        sanctioned_delay_count += 1;
-                    }
-                    self.obs_log.remove(&tx.hash);
-                } else {
-                    private_txs += 1;
-                }
-            }
-            let (sandwich_txs, arbitrage_txs, liquidation_txs, mev_tx_count, mev_value) =
-                self.label_block(block, base_fee);
-            let sanctioned = pbs::block_touches_sanctioned(block, &self.sanctions, day);
-            let payment_detected = block.last_tx().and_then(|t| {
-                (t.sender == block.header.fee_recipient && t.to != t.sender).then_some(t.value)
-            });
-
-            self.totals.blocks += 1;
-            self.totals.transactions += block.tx_count() as u64;
-            self.totals.binance_included_txs += block
-                .body
-                .transactions
-                .iter()
-                .filter(|t| t.sender == binance_sender())
-                .count() as u64;
-            self.totals.logs += block
-                .body
-                .receipts
-                .iter()
-                .map(|r| r.logs.len() as u64)
-                .sum::<u64>();
-            self.totals.traces += block.body.traces.len() as u64;
-            self.totals.relay_rows += result.submissions.len() as u64;
-            for sub in &result.submissions {
-                self.relay_builders
-                    .entry((day.0, sub.relay.0))
-                    .or_default()
-                    .insert(sub.builder.0);
-            }
-
-            self.blocks.push(BlockRecord {
-                slot,
-                day,
-                number,
-                proposer,
-                proposer_entity: entity_idx,
-                proposer_fee_recipient: validator.fee_recipient,
-                fee_recipient: block.header.fee_recipient,
-                pbs_truth: result.pbs,
-                relays: result.winning_relays.clone(),
-                builder: result.builder,
-                builder_pubkey: result.pubkey,
-                promised: result.promised,
-                delivered: if result.pbs {
-                    result.delivered
-                } else {
-                    executed.block_value()
-                },
-                block_value: executed.block_value().saturating_sub(if result.pbs {
-                    // The payment tx itself is a transfer, not block value;
-                    // exclude nothing: payment carries no tip/bribe.
-                    Wei::ZERO
-                } else {
-                    Wei::ZERO
-                }),
-                priority_fees: executed.priority_fees,
-                direct_transfers: executed.direct_transfers,
-                burned: executed.burned,
-                payment_detected,
-                gas_used: block.header.gas_used,
-                gas_limit: block.header.gas_limit,
-                base_fee,
-                tx_count: block.tx_count() as u32,
-                private_txs,
-                sandwich_txs,
-                arbitrage_txs,
-                liquidation_txs,
-                mev_tx_count,
-                mev_value,
-                sanctioned,
-                delay_sum_ms,
-                delay_count,
-                sanctioned_delay_sum_ms,
-                sanctioned_delay_count,
-            });
-            drop(measure_span);
-
-            // Deterministic value-flow counters (wei, wrapping mod 2^64):
-            // accumulated independently per component so the invariant
-            // suite can cross-check conservation against `RunArtifacts`.
-            if telemetry::enabled() {
-                let rec = self.blocks.last().expect("just pushed");
-                telemetry::counter_add("scenario.slots.proposed", 1);
-                if rec.pbs_truth {
-                    telemetry::counter_add("scenario.pbs.blocks", 1);
-                    telemetry::counter_add("scenario.wei.promised", rec.promised.0 as u64);
-                    telemetry::counter_add("scenario.wei.delivered", rec.delivered.0 as u64);
-                    telemetry::counter_add(
-                        "scenario.wei.shortfall",
-                        rec.promised.saturating_sub(rec.delivered).0 as u64,
-                    );
-                    if let Some(paid) = rec.payment_detected {
-                        telemetry::counter_add("scenario.payments.detected", 1);
-                        telemetry::counter_add("scenario.wei.payment_detected", paid.0 as u64);
-                    }
-                } else {
-                    telemetry::counter_add("scenario.local.blocks", 1);
-                }
-                telemetry::counter_add("scenario.wei.burned", rec.burned.0 as u64);
-                telemetry::counter_add("scenario.wei.priority_fees", rec.priority_fees.0 as u64);
-                telemetry::counter_add(
-                    "scenario.wei.direct_transfers",
-                    rec.direct_transfers.0 as u64,
-                );
-                telemetry::counter_add("scenario.wei.block_value", rec.block_value.0 as u64);
-            }
-
-            // 9. Chain bookkeeping.
-            self.beacon.record_proposal(slot, block.header.hash);
-            self.fee_market.on_block(block.header.gas_used);
-            self.mempool
-                .prune_included(block.body.transactions.iter().map(|t| &t.hash));
-            // Consume included private user txs.
-            let included: BTreeSet<_> = block.body.transactions.iter().map(|t| t.hash).collect();
-            private_user_txs.retain(|t| !included.contains(&t.hash));
+        // 2. Missed slots (proposer offline).
+        if self.rng.random::<f64>() < 0.008 {
+            telemetry::counter_add("scenario.slots.missed.offline", 1);
+            self.beacon.record_missed(slot);
+            self.missed += 1;
+            return;
         }
 
+        // 2b. Refresh relay fault state for this slot (no-op without a
+        // schedule — relays stay at the all-healthy default forever).
+        if let Some(sched) = &self.fault_schedule {
+            for relay in self.relays.iter_mut() {
+                relay.faults = sched.component_faults(relay.id.0 as usize, s);
+            }
+        }
+
+        // 3. Snapshot the mempool view builders work from.
+        let mut snapshot = self
+            .mempool
+            .select_value_greedy(base_fee, Gas(self.cfg.gas_limit * 2));
+        // Builders also see private user flow (protect-style RPCs).
+        if self.cfg.knobs.sophisticated_builders {
+            snapshot.extend(self.private_user_txs.iter().cloned());
+        }
+
+        // 4. Searchers & routing.
+        let bundles_span = simcore::span!("driver.route_bundles");
+        let bundles = self.route_bundles(base_fee, &snapshot, day);
+        drop(bundles_span);
+
+        // 5. Proposer setup.
+        let proposer = self.beacon.proposer(slot);
+        let validator = self.registry.validator(proposer).expect("in range").clone();
+        let entity_idx = validator.entity;
+        let fallback = self.rng.random::<f64>() < self.timeline.fallback_probability(day);
+
+        // Direct private flow to this proposer (Binance→AnkrPool). Only
+        // a locally-built block can include it — builders never see the
+        // private channel — so the proposer skips MEV-Boost for the slot
+        // and self-builds, exactly the F14 vanilla-block pattern.
+        let entity_name = self.registry.entity_of(proposer).name.clone();
+        let direct: Vec<Transaction> = if entity_name == "ankr" {
+            std::mem::take(&mut self.binance_queue)
+        } else {
+            Vec::new()
+        };
+
+        let client = if validator.mev_boost && !fallback && direct.is_empty() {
+            let subscribed = if validator.censoring_only {
+                self.censoring.clone()
+            } else {
+                self.all_relays.clone()
+            };
+            for &r in &subscribed {
+                if let Some(relay) = self.relays.get_mut(r) {
+                    relay.register_validator(proposer);
+                }
+            }
+            let min_bid = Wei::from_eth(self.cfg.knobs.min_bid_eth);
+            Some(MevBoostClient::new(subscribed).with_min_bid(min_bid))
+        } else {
+            None
+        };
+
+        // The Manifold exploit: a builder declares inflated bids on the
+        // non-verifying relay for a slice of the incident day's slots.
+        let dishonest = if day == days::MANIFOLD_EXPLOIT && slot.0.is_multiple_of(2) {
+            self.cast
+                .iter()
+                .position(|c| c.profile.name == "Builder 9")
+                .map(|i| (BuilderId(i as u32), Wei::from_eth(2.5)))
+        } else {
+            None
+        };
+
+        // 6. Auction.
+        let auction = SlotAuction {
+            slot,
+            day,
+            base_fee,
+            gas_limit: Gas(self.cfg.gas_limit),
+            sanctions: &self.sanctions,
+            jitter_zero_prob: 0.10,
+            jitter_max_frac: 0.02,
+        };
+        let slot_seeds = self.seeds.subdomain(&format!("slot:{s}"));
+        let auction_span = simcore::span!("driver.auction");
+        let mut result = auction.run(
+            &mut self.builders,
+            &bundles,
+            &snapshot,
+            &mut self.relays,
+            client.as_ref(),
+            validator.fee_recipient,
+            &self.mempool,
+            &direct,
+            &slot_seeds,
+            dishonest,
+        );
+        drop(auction_span);
+
+        // Persist the boost decision trail while faults are active, and
+        // miss the slot entirely when a signed header proved
+        // undeliverable (the 10 Nov 2022 failure mode, now mechanized).
+        if self.fault_schedule.is_some() {
+            self.record_fault_events(slot, day, &result);
+        }
+        if result.missed {
+            telemetry::counter_add("scenario.slots.missed.payload", 1);
+            self.beacon.record_missed(slot);
+            self.missed += 1;
+            return;
+        }
+
+        // The Eden incident: the relay announces a wildly inflated value
+        // for one early-October block (§5.2).
+        if !self.eden_done
+            && !self.cfg.knobs.enshrined_pbs
+            && day >= days::EDEN_INCIDENT
+            && result.pbs
+            && result
+                .winning_relays
+                .first()
+                .and_then(|r| self.relays.get(*r))
+                .map(|r| r.info.name == "Eden")
+                .unwrap_or(false)
+        {
+            let scaled = 2.1 * self.cfg.calendar.blocks_per_day as f64 / 360.0;
+            result.promised = result.promised.saturating_add(Wei::from_eth(scaled));
+            self.eden_done = true;
+        }
+
+        // 7. Execute.
+        let execute_span = simcore::span!("driver.execute");
+        let number = self.cfg.calendar.block_number(slot);
+        let timestamp = self.cfg.calendar.unix_time(slot);
+        let executed = self.executor.execute(
+            slot,
+            number,
+            timestamp,
+            self.beacon.head(),
+            result.fee_recipient,
+            base_fee,
+            &result.txs,
+            &mut self.ledger,
+            &mut self.world,
+        );
+        let block = &executed.block;
+        drop(execute_span);
+
+        // 8. Measure.
+        let measure_span = simcore::span!("driver.measure");
+        let mut private_txs = 0u32;
+        let mut delay_sum_ms = 0u64;
+        let mut delay_count = 0u32;
+        let mut sanctioned_delay_sum_ms = 0u64;
+        let mut sanctioned_delay_count = 0u32;
+        let inclusion_time = simcore::SimTime::from_secs(
+            slot.0 * eth_types::SECONDS_PER_SLOT + eth_types::SECONDS_PER_SLOT,
+        );
+        for tx in &block.body.transactions {
+            if let Some(first_seen) = self.obs_log.first_seen(&tx.hash) {
+                let delay = inclusion_time.millis_since(first_seen);
+                delay_sum_ms += delay;
+                delay_count += 1;
+                if pbs::tx_touches_sanctioned(tx, |a| self.sanctions.is_sanctioned(a, day)) {
+                    sanctioned_delay_sum_ms += delay;
+                    sanctioned_delay_count += 1;
+                }
+                self.obs_log.remove(&tx.hash);
+            } else {
+                private_txs += 1;
+            }
+        }
+        let (sandwich_txs, arbitrage_txs, liquidation_txs, mev_tx_count, mev_value) =
+            self.label_block(block, base_fee);
+        let sanctioned = pbs::block_touches_sanctioned(block, &self.sanctions, day);
+        let payment_detected = block.last_tx().and_then(|t| {
+            (t.sender == block.header.fee_recipient && t.to != t.sender).then_some(t.value)
+        });
+
+        self.totals.blocks += 1;
+        self.totals.transactions += block.tx_count() as u64;
+        self.totals.binance_included_txs += block
+            .body
+            .transactions
+            .iter()
+            .filter(|t| t.sender == binance_sender())
+            .count() as u64;
+        self.totals.logs += block
+            .body
+            .receipts
+            .iter()
+            .map(|r| r.logs.len() as u64)
+            .sum::<u64>();
+        self.totals.traces += block.body.traces.len() as u64;
+        self.totals.relay_rows += result.submissions.len() as u64;
+        for sub in &result.submissions {
+            self.relay_builders
+                .entry((day.0, sub.relay.0))
+                .or_default()
+                .insert(sub.builder.0);
+        }
+
+        self.blocks.push(BlockRecord {
+            slot,
+            day,
+            number,
+            proposer,
+            proposer_entity: entity_idx,
+            proposer_fee_recipient: validator.fee_recipient,
+            fee_recipient: block.header.fee_recipient,
+            pbs_truth: result.pbs,
+            relays: result.winning_relays.clone(),
+            builder: result.builder,
+            builder_pubkey: result.pubkey,
+            promised: result.promised,
+            delivered: if result.pbs {
+                result.delivered
+            } else {
+                executed.block_value()
+            },
+            block_value: executed.block_value().saturating_sub(if result.pbs {
+                // The payment tx itself is a transfer, not block value;
+                // exclude nothing: payment carries no tip/bribe.
+                Wei::ZERO
+            } else {
+                Wei::ZERO
+            }),
+            priority_fees: executed.priority_fees,
+            direct_transfers: executed.direct_transfers,
+            burned: executed.burned,
+            payment_detected,
+            gas_used: block.header.gas_used,
+            gas_limit: block.header.gas_limit,
+            base_fee,
+            tx_count: block.tx_count() as u32,
+            private_txs,
+            sandwich_txs,
+            arbitrage_txs,
+            liquidation_txs,
+            mev_tx_count,
+            mev_value,
+            sanctioned,
+            delay_sum_ms,
+            delay_count,
+            sanctioned_delay_sum_ms,
+            sanctioned_delay_count,
+        });
+        drop(measure_span);
+
+        // Deterministic value-flow counters (wei, wrapping mod 2^64):
+        // accumulated independently per component so the invariant
+        // suite can cross-check conservation against `RunArtifacts`.
+        if telemetry::enabled() {
+            let rec = self.blocks.last().expect("just pushed");
+            telemetry::counter_add("scenario.slots.proposed", 1);
+            if rec.pbs_truth {
+                telemetry::counter_add("scenario.pbs.blocks", 1);
+                telemetry::counter_add("scenario.wei.promised", rec.promised.0 as u64);
+                telemetry::counter_add("scenario.wei.delivered", rec.delivered.0 as u64);
+                telemetry::counter_add(
+                    "scenario.wei.shortfall",
+                    rec.promised.saturating_sub(rec.delivered).0 as u64,
+                );
+                if let Some(paid) = rec.payment_detected {
+                    telemetry::counter_add("scenario.payments.detected", 1);
+                    telemetry::counter_add("scenario.wei.payment_detected", paid.0 as u64);
+                }
+            } else {
+                telemetry::counter_add("scenario.local.blocks", 1);
+            }
+            telemetry::counter_add("scenario.wei.burned", rec.burned.0 as u64);
+            telemetry::counter_add("scenario.wei.priority_fees", rec.priority_fees.0 as u64);
+            telemetry::counter_add(
+                "scenario.wei.direct_transfers",
+                rec.direct_transfers.0 as u64,
+            );
+            telemetry::counter_add("scenario.wei.block_value", rec.block_value.0 as u64);
+        }
+
+        // 9. Chain bookkeeping.
+        self.beacon.record_proposal(slot, block.header.hash);
+        self.fee_market.on_block(block.header.gas_used);
+        self.mempool
+            .prune_included(block.body.transactions.iter().map(|t| &t.hash));
+        // Consume included private user txs.
+        let included: BTreeSet<_> = block.body.transactions.iter().map(|t| t.hash).collect();
+        self.private_user_txs
+            .retain(|t| !included.contains(&t.hash));
+    }
+
+    /// Consumes the runner and assembles the run's artifacts.
+    pub fn finish(self) -> RunArtifacts {
         let relay_builders_daily = self
             .relay_builders
             .iter()
@@ -964,6 +1106,95 @@ impl<'a> Runner<'a> {
             totals: self.totals,
             fault_events: self.fault_events,
         }
+    }
+
+    /// Serializes every path-dependent field into a checkpoint body
+    /// (without the envelope — [`crate::checkpoint::write_checkpoint`]
+    /// adds it). Leads with a digest of the configuration so a checkpoint
+    /// can never silently resume a different run. Must be called at a day
+    /// boundary: the relay escrow is only guaranteed drained there.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        use simcore::Snapshot;
+        let _span = simcore::span!("runner.checkpoint");
+        let mut w = simcore::SnapWriter::new();
+        w.bytes(&simcore::sha256(format!("{:?}", self.cfg).as_bytes()));
+        w.u64(self.next_slot);
+        self.current_day.encode(&mut w);
+        self.rng.encode(&mut w);
+        self.workload.write_dynamic(&mut w);
+        self.mempool.encode(&mut w);
+        self.ledger.encode(&mut w);
+        self.fee_market.encode(&mut w);
+        self.obs_log.encode(&mut w);
+        self.world.encode(&mut w);
+        self.beacon.write_state(&mut w);
+        self.relays.write_dynamic(&mut w);
+        let payment_nonces: Vec<u64> = self.builders.iter().map(|b| b.payment_nonce()).collect();
+        payment_nonces.encode(&mut w);
+        self.searcher_nonces.encode(&mut w);
+        self.binance_queue.encode(&mut w);
+        self.private_user_txs.encode(&mut w);
+        self.blocks.encode(&mut w);
+        self.fault_events.encode(&mut w);
+        w.u64(self.missed);
+        self.relay_builders.encode(&mut w);
+        self.totals.encode(&mut w);
+        w.bool(self.eden_done);
+        w.u32(self.borrower_seq);
+        let counters: Vec<(String, u64)> = telemetry::snapshot().counters.into_iter().collect();
+        counters.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Restores a freshly constructed runner from a checkpoint body,
+    /// continuing the run at the next day boundary. A body taken under a
+    /// different configuration is rejected with
+    /// [`SnapshotError::ConfigMismatch`]; any structural damage surfaces
+    /// as a typed error. On error the runner may be partially mutated —
+    /// discard it and build a new one.
+    pub fn restore(&mut self, body: &[u8]) -> Result<(), SnapshotError> {
+        use simcore::Snapshot;
+        let mut r = simcore::SnapReader::new(body);
+        let digest = r.bytes(32)?;
+        if digest != simcore::sha256(format!("{:?}", self.cfg).as_bytes()).as_slice() {
+            return Err(SnapshotError::ConfigMismatch);
+        }
+        self.next_slot = r.u64()?;
+        self.current_day = Snapshot::decode(&mut r)?;
+        self.rng = Snapshot::decode(&mut r)?;
+        self.workload.read_dynamic(&mut r)?;
+        self.mempool = Snapshot::decode(&mut r)?;
+        self.ledger = Snapshot::decode(&mut r)?;
+        self.fee_market = Snapshot::decode(&mut r)?;
+        self.obs_log = Snapshot::decode(&mut r)?;
+        self.world = Snapshot::decode(&mut r)?;
+        self.beacon.read_state(&mut r)?;
+        self.relays.read_dynamic(&mut r)?;
+        let payment_nonces: Vec<u64> = Snapshot::decode(&mut r)?;
+        if payment_nonces.len() != self.builders.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "checkpoint has {} builder nonces but the cast has {}",
+                payment_nonces.len(),
+                self.builders.len()
+            )));
+        }
+        for (b, n) in self.builders.iter_mut().zip(payment_nonces) {
+            b.restore_payment_nonce(n);
+        }
+        self.searcher_nonces = Snapshot::decode(&mut r)?;
+        self.binance_queue = Snapshot::decode(&mut r)?;
+        self.private_user_txs = Snapshot::decode(&mut r)?;
+        self.blocks = Snapshot::decode(&mut r)?;
+        self.fault_events = Snapshot::decode(&mut r)?;
+        self.missed = r.u64()?;
+        self.relay_builders = Snapshot::decode(&mut r)?;
+        self.totals = Snapshot::decode(&mut r)?;
+        self.eden_done = r.bool()?;
+        self.borrower_seq = r.u32()?;
+        let counters: Vec<(String, u64)> = Snapshot::decode(&mut r)?;
+        r.expect_end()?;
+        telemetry::restore_counters(&counters);
+        Ok(())
     }
 
     /// Runs the enabled label providers over a block and unions the result.
@@ -1193,6 +1424,81 @@ mod tests {
         }
         // Participation still accounts for every slot.
         assert_eq!(run.blocks.len() as u64 + run.missed_slots, 4 * 40);
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_the_uninterrupted_run() {
+        let cfg = ScenarioConfig::test_small(42, 3);
+        let baseline = Runner::new(&cfg).run();
+        for stop_after in 0..3u64 {
+            let mut first = Runner::new(&cfg);
+            for _ in 0..=stop_after {
+                first.step_day();
+            }
+            let body = first.checkpoint();
+            drop(first);
+            let mut resumed = Runner::new(&cfg);
+            resumed.restore(&body).unwrap();
+            let run = resumed.run();
+            assert_eq!(
+                run.blocks, baseline.blocks,
+                "blocks diverged resuming after day {stop_after}"
+            );
+            assert_eq!(run.totals, baseline.totals);
+            assert_eq!(run.missed_slots, baseline.missed_slots);
+            assert_eq!(run.fault_events, baseline.fault_events);
+            assert_eq!(run.relay_builders_daily, baseline.relay_builders_daily);
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_a_faulted_run() {
+        let mut cfg = ScenarioConfig::test_small(42, 3);
+        cfg.faults = crate::config::FaultConfig::paper_incidents();
+        let baseline = Runner::new(&cfg).run();
+        let mut first = Runner::new(&cfg);
+        first.step_day();
+        let body = first.checkpoint();
+        let mut resumed = Runner::new(&cfg);
+        resumed.restore(&body).unwrap();
+        let run = resumed.run();
+        assert_eq!(run.blocks, baseline.blocks);
+        assert_eq!(run.fault_events, baseline.fault_events);
+        assert_eq!(run.missed_slots, baseline.missed_slots);
+    }
+
+    #[test]
+    fn checkpoint_from_a_different_config_is_rejected() {
+        let mut r = Runner::new(&ScenarioConfig::test_small(42, 2));
+        r.step_day();
+        let body = r.checkpoint();
+        let mut other = Runner::new(&ScenarioConfig::test_small(43, 2));
+        assert_eq!(other.restore(&body), Err(SnapshotError::ConfigMismatch));
+    }
+
+    #[test]
+    fn discovery_falls_back_past_a_corrupt_newest_checkpoint() {
+        let cfg = ScenarioConfig::test_small(42, 2);
+        let dir = std::env::temp_dir().join(format!("pbs-resume-fallback-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut r = Runner::new(&cfg);
+        r.step_day();
+        crate::checkpoint::write_checkpoint(&dir, 0, &r.checkpoint(), 3).unwrap();
+        r.step_day();
+        let newest = crate::checkpoint::write_checkpoint(&dir, 1, &r.checkpoint(), 3).unwrap();
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 1;
+        std::fs::write(&newest, &bytes).unwrap();
+        let resumed = resume_or_fresh(&cfg, &dir);
+        assert_eq!(
+            resumed.current_day,
+            Some(DayIndex(0)),
+            "should have fallen back to the day-0 checkpoint"
+        );
+        let baseline = Runner::new(&cfg).run();
+        assert_eq!(resumed.run().blocks, baseline.blocks);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

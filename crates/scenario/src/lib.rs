@@ -14,9 +14,12 @@
 //!   heterogeneous slippage, sanctioned traffic, private order flow,
 //! * [`records`] — the per-block measurement rows the datasets crate
 //!   assembles into the paper's Table 1 datasets,
-//! * [`driver`] — the slot-by-slot simulation loop.
+//! * [`driver`] — the day-stepped simulation state machine,
+//! * [`checkpoint`] — crash-safe checkpoint files: atomic writes,
+//!   retention, and newest-valid discovery for resumable runs.
 
 pub mod cast;
+pub mod checkpoint;
 pub mod config;
 pub mod driver;
 pub mod records;
@@ -24,8 +27,9 @@ pub mod timeline;
 pub mod workload;
 
 pub use cast::{builder_cast, validator_entities, BuilderCastEntry};
+pub use checkpoint::{CheckpointPolicy, CHECKPOINT_VERSION};
 pub use config::{AblationKnobs, FaultConfig, FaultPreset, ScenarioConfig};
-pub use driver::Simulation;
+pub use driver::{Runner, Simulation};
 pub use records::{BlockRecord, FaultEventKind, FaultEventRecord, RunArtifacts, RunTotals};
 pub use timeline::Timeline;
 pub use workload::WorkloadGenerator;

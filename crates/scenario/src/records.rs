@@ -183,6 +183,175 @@ pub struct FaultEventRecord {
     pub delivered: Wei,
 }
 
+impl simcore::Snapshot for RunTotals {
+    fn encode(&self, w: &mut simcore::SnapWriter) {
+        self.blocks.encode(w);
+        self.transactions.encode(w);
+        self.logs.encode(w);
+        self.traces.encode(w);
+        self.mempool_entries.encode(w);
+        self.labels_per_source.encode(w);
+        self.union_labels.encode(w);
+        self.relay_rows.encode(w);
+        self.ofac_addresses.encode(w);
+        self.dropped_binance_txs.encode(w);
+        self.dropped_private_txs.encode(w);
+        self.binance_included_txs.encode(w);
+    }
+
+    fn decode(r: &mut simcore::SnapReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        use simcore::Snapshot;
+        Ok(RunTotals {
+            blocks: Snapshot::decode(r)?,
+            transactions: Snapshot::decode(r)?,
+            logs: Snapshot::decode(r)?,
+            traces: Snapshot::decode(r)?,
+            mempool_entries: Snapshot::decode(r)?,
+            labels_per_source: Snapshot::decode(r)?,
+            union_labels: Snapshot::decode(r)?,
+            relay_rows: Snapshot::decode(r)?,
+            ofac_addresses: Snapshot::decode(r)?,
+            dropped_binance_txs: Snapshot::decode(r)?,
+            dropped_private_txs: Snapshot::decode(r)?,
+            binance_included_txs: Snapshot::decode(r)?,
+        })
+    }
+}
+
+impl simcore::Snapshot for FaultEventKind {
+    fn encode(&self, w: &mut simcore::SnapWriter) {
+        let tag: u8 = match self {
+            FaultEventKind::HeaderTimeout => 0,
+            FaultEventKind::RelayUnreachable => 1,
+            FaultEventKind::StaleHeader => 2,
+            FaultEventKind::BelowMinBid => 3,
+            FaultEventKind::PayloadFailed => 4,
+            FaultEventKind::MissedSlot => 5,
+            FaultEventKind::Shortfall => 6,
+            FaultEventKind::SelfBuild => 7,
+        };
+        tag.encode(w);
+    }
+
+    fn decode(r: &mut simcore::SnapReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        Ok(match u8::decode(r)? {
+            0 => FaultEventKind::HeaderTimeout,
+            1 => FaultEventKind::RelayUnreachable,
+            2 => FaultEventKind::StaleHeader,
+            3 => FaultEventKind::BelowMinBid,
+            4 => FaultEventKind::PayloadFailed,
+            5 => FaultEventKind::MissedSlot,
+            6 => FaultEventKind::Shortfall,
+            7 => FaultEventKind::SelfBuild,
+            t => {
+                return Err(simcore::SnapshotError::Corrupt(format!(
+                    "unknown FaultEventKind tag {t}"
+                )))
+            }
+        })
+    }
+}
+
+impl simcore::Snapshot for FaultEventRecord {
+    fn encode(&self, w: &mut simcore::SnapWriter) {
+        self.slot.encode(w);
+        self.day.encode(w);
+        self.relay.encode(w);
+        self.kind.encode(w);
+        self.promised.encode(w);
+        self.delivered.encode(w);
+    }
+
+    fn decode(r: &mut simcore::SnapReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        use simcore::Snapshot;
+        Ok(FaultEventRecord {
+            slot: Snapshot::decode(r)?,
+            day: Snapshot::decode(r)?,
+            relay: Snapshot::decode(r)?,
+            kind: Snapshot::decode(r)?,
+            promised: Snapshot::decode(r)?,
+            delivered: Snapshot::decode(r)?,
+        })
+    }
+}
+
+impl simcore::Snapshot for BlockRecord {
+    fn encode(&self, w: &mut simcore::SnapWriter) {
+        self.slot.encode(w);
+        self.day.encode(w);
+        self.number.encode(w);
+        self.proposer.encode(w);
+        self.proposer_entity.encode(w);
+        self.proposer_fee_recipient.encode(w);
+        self.fee_recipient.encode(w);
+        self.pbs_truth.encode(w);
+        self.relays.encode(w);
+        self.builder.encode(w);
+        self.builder_pubkey.encode(w);
+        self.promised.encode(w);
+        self.delivered.encode(w);
+        self.block_value.encode(w);
+        self.priority_fees.encode(w);
+        self.direct_transfers.encode(w);
+        self.burned.encode(w);
+        self.payment_detected.encode(w);
+        self.gas_used.encode(w);
+        self.gas_limit.encode(w);
+        self.base_fee.encode(w);
+        self.tx_count.encode(w);
+        self.private_txs.encode(w);
+        self.sandwich_txs.encode(w);
+        self.arbitrage_txs.encode(w);
+        self.liquidation_txs.encode(w);
+        self.mev_tx_count.encode(w);
+        self.mev_value.encode(w);
+        self.sanctioned.encode(w);
+        self.delay_sum_ms.encode(w);
+        self.delay_count.encode(w);
+        self.sanctioned_delay_sum_ms.encode(w);
+        self.sanctioned_delay_count.encode(w);
+    }
+
+    fn decode(r: &mut simcore::SnapReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        use simcore::Snapshot;
+        Ok(BlockRecord {
+            slot: Snapshot::decode(r)?,
+            day: Snapshot::decode(r)?,
+            number: Snapshot::decode(r)?,
+            proposer: Snapshot::decode(r)?,
+            proposer_entity: Snapshot::decode(r)?,
+            proposer_fee_recipient: Snapshot::decode(r)?,
+            fee_recipient: Snapshot::decode(r)?,
+            pbs_truth: Snapshot::decode(r)?,
+            relays: Snapshot::decode(r)?,
+            builder: Snapshot::decode(r)?,
+            builder_pubkey: Snapshot::decode(r)?,
+            promised: Snapshot::decode(r)?,
+            delivered: Snapshot::decode(r)?,
+            block_value: Snapshot::decode(r)?,
+            priority_fees: Snapshot::decode(r)?,
+            direct_transfers: Snapshot::decode(r)?,
+            burned: Snapshot::decode(r)?,
+            payment_detected: Snapshot::decode(r)?,
+            gas_used: Snapshot::decode(r)?,
+            gas_limit: Snapshot::decode(r)?,
+            base_fee: Snapshot::decode(r)?,
+            tx_count: Snapshot::decode(r)?,
+            private_txs: Snapshot::decode(r)?,
+            sandwich_txs: Snapshot::decode(r)?,
+            arbitrage_txs: Snapshot::decode(r)?,
+            liquidation_txs: Snapshot::decode(r)?,
+            mev_tx_count: Snapshot::decode(r)?,
+            mev_value: Snapshot::decode(r)?,
+            sanctioned: Snapshot::decode(r)?,
+            delay_sum_ms: Snapshot::decode(r)?,
+            delay_count: Snapshot::decode(r)?,
+            sanctioned_delay_sum_ms: Snapshot::decode(r)?,
+            sanctioned_delay_count: Snapshot::decode(r)?,
+        })
+    }
+}
+
 /// The complete output of a simulation run.
 #[derive(Debug, Clone)]
 pub struct RunArtifacts {
@@ -413,5 +582,62 @@ mod tests {
         assert!(json.contains("fault_events"));
         let back: RunArtifacts = serde_json::from_str(&json).unwrap();
         assert_eq!(back.fault_events, run.fault_events);
+    }
+
+    fn snapshot_roundtrip<T: simcore::Snapshot + PartialEq + std::fmt::Debug>(value: &T) {
+        let mut w = simcore::SnapWriter::new();
+        value.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = simcore::SnapReader::new(&bytes);
+        let back = T::decode(&mut r).expect("decodes");
+        r.expect_end().expect("no trailing bytes");
+        assert_eq!(&back, value);
+    }
+
+    #[test]
+    fn block_and_fault_records_snapshot_round_trip() {
+        snapshot_roundtrip(&record(true));
+        snapshot_roundtrip(&record(false));
+        for kind in [
+            FaultEventKind::HeaderTimeout,
+            FaultEventKind::RelayUnreachable,
+            FaultEventKind::StaleHeader,
+            FaultEventKind::BelowMinBid,
+            FaultEventKind::PayloadFailed,
+            FaultEventKind::MissedSlot,
+            FaultEventKind::Shortfall,
+            FaultEventKind::SelfBuild,
+        ] {
+            snapshot_roundtrip(&FaultEventRecord {
+                slot: Slot(9),
+                day: DayIndex(0),
+                relay: Some(RelayId(4)),
+                kind,
+                promised: Wei::from_eth(0.2),
+                delivered: Wei::from_eth(0.19),
+            });
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn run_totals_snapshot_round_trips(
+            v in proptest::collection::vec(proptest::prelude::any::<u64>(), 15),
+        ) {
+            snapshot_roundtrip(&RunTotals {
+                blocks: v[0],
+                transactions: v[1],
+                logs: v[2],
+                traces: v[3],
+                mempool_entries: v[4],
+                labels_per_source: [v[5], v[6], v[7]],
+                union_labels: v[8],
+                relay_rows: v[9],
+                ofac_addresses: v[10],
+                dropped_binance_txs: v[11],
+                dropped_private_txs: v[12],
+                binance_included_txs: v[13],
+            });
+        }
     }
 }

@@ -97,6 +97,35 @@ impl WorkloadGenerator {
         }
     }
 
+    /// Serializes the path-dependent state: the nonce map (sorted for a
+    /// canonical byte stream), the RNG, and the tunable rate knobs. The
+    /// user pool and sanctions entries are rebuilt from the config.
+    pub fn write_dynamic(&self, w: &mut simcore::SnapWriter) {
+        use simcore::Snapshot;
+        let nonces: std::collections::BTreeMap<Address, u64> =
+            self.nonces.iter().map(|(a, n)| (*a, *n)).collect();
+        nonces.encode(w);
+        self.rng.encode(w);
+        self.txs_per_slot.encode(w);
+        self.private_fraction.encode(w);
+        self.sanctioned_fraction.encode(w);
+    }
+
+    /// Restores what [`write_dynamic`](Self::write_dynamic) saved.
+    pub fn read_dynamic(
+        &mut self,
+        r: &mut simcore::SnapReader<'_>,
+    ) -> Result<(), simcore::SnapshotError> {
+        use simcore::Snapshot;
+        let nonces: std::collections::BTreeMap<Address, u64> = Snapshot::decode(r)?;
+        self.nonces = nonces.into_iter().collect();
+        self.rng = Snapshot::decode(r)?;
+        self.txs_per_slot = Snapshot::decode(r)?;
+        self.private_fraction = Snapshot::decode(r)?;
+        self.sanctioned_fraction = Snapshot::decode(r)?;
+        Ok(())
+    }
+
     fn next_nonce(&mut self, a: Address) -> u64 {
         let n = self.nonces.entry(a).or_insert(0);
         let out = *n;

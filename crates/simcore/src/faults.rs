@@ -142,7 +142,7 @@ fn build_windows(
 
 /// A precomputed, seed-deterministic fault schedule over a set of
 /// components (one [`FaultProfile`] each) and a slot range.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultSchedule {
     domain: SeedDomain,
     profiles: Vec<FaultProfile>,
@@ -244,6 +244,40 @@ impl FaultSchedule {
             payload_failure,
             shortfall,
         }
+    }
+}
+
+// The schedule's fields are private (windows must stay sorted and within
+// range), so its Snapshot impl lives here rather than in `snapshot.rs`.
+// Windows are persisted verbatim instead of being re-derived from the
+// domain: decode must never draw from an RNG stream.
+impl crate::snapshot::Snapshot for FaultSchedule {
+    fn encode(&self, w: &mut crate::snapshot::SnapWriter) {
+        self.domain.encode(w);
+        self.profiles.encode(w);
+        self.outages.encode(w);
+        self.degraded.encode(w);
+    }
+
+    fn decode(
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let domain = SeedDomain::decode(r)?;
+        let profiles = Vec::<FaultProfile>::decode(r)?;
+        let outages = Vec::<Windows>::decode(r)?;
+        let degraded = Vec::<Windows>::decode(r)?;
+        if outages.len() != profiles.len() || degraded.len() != profiles.len() {
+            return Err(SnapshotError::Corrupt(
+                "fault schedule window count does not match profile count".into(),
+            ));
+        }
+        Ok(FaultSchedule {
+            domain,
+            profiles,
+            outages,
+            degraded,
+        })
     }
 }
 
@@ -355,5 +389,16 @@ mod tests {
     fn inert_profile_detection() {
         assert!(FaultProfile::default().is_inert());
         assert!(!flaky().is_inert());
+    }
+
+    #[test]
+    fn schedule_snapshot_round_trips_pointwise() {
+        use crate::snapshot::{decode_from_slice, encode_to_vec};
+        let s = schedule(21);
+        let back: FaultSchedule = decode_from_slice(&encode_to_vec(&s)).unwrap();
+        assert_eq!(back, s);
+        for slot in 0..400 {
+            assert_eq!(back.component_faults(0, slot), s.component_faults(0, slot));
+        }
     }
 }

@@ -1,0 +1,80 @@
+//! Crash-safe file output.
+//!
+//! Every artifact the workspace writes — table/figure CSVs, `run.json`,
+//! telemetry snapshots, checkpoints, bench results — goes through
+//! [`atomic_write`]: the bytes land in a `.tmp` sibling, are fsynced, and
+//! are renamed over the destination. A crash at any point leaves either the
+//! previous file intact or a stray `.tmp`, never a torn artifact.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically (tmp + fsync + rename), creating
+/// parent directories as needed.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = tmp_path(path);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// The sibling `.tmp` name a pending [`atomic_write`] uses, derived from
+/// the destination file name (checkpoint discovery skips these).
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| ".atomic".into());
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pbs-fsio-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn writes_bytes_and_creates_parents() {
+        let dir = tmp_dir("basic");
+        let path = dir.join("nested/deep/out.txt");
+        atomic_write(&path, b"hello").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"hello");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overwrites_and_leaves_no_tmp_behind() {
+        let dir = tmp_dir("overwrite");
+        let path = dir.join("out.txt");
+        atomic_write(&path, b"one").unwrap();
+        atomic_write(&path, b"two").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"two");
+        let names: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["out.txt"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -31,18 +31,24 @@
 //! assert_eq!(q.pop().unwrap().1, "first");
 //! ```
 
+pub mod digest;
 pub mod dist;
 pub mod events;
 pub mod faults;
+pub mod fsio;
 pub mod metrics;
 pub mod rng;
+pub mod snapshot;
 pub mod telemetry;
 pub mod time;
 
+pub use digest::{sha256, sha256_hex};
 pub use dist::{Exponential, LogNormal, Pareto, Poisson};
 pub use events::EventQueue;
 pub use faults::{ComponentFaults, FaultProfile, FaultSchedule, Health};
+pub use fsio::atomic_write;
 pub use metrics::MetricsRegistry;
 pub use rng::SeedDomain;
+pub use snapshot::{SnapReader, SnapWriter, Snapshot, SnapshotError};
 pub use telemetry::{Histogram, HistogramSnapshot, SpanStack, Telemetry, TelemetrySnapshot};
 pub use time::SimTime;

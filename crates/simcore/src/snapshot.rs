@@ -1,0 +1,878 @@
+//! Versioned, integrity-checked binary snapshots of live run state.
+//!
+//! Every piece of mutable simulation state implements [`Snapshot`]: a
+//! field-by-field little-endian encoding into a [`SnapWriter`], and the
+//! inverse decode from a [`SnapReader`] that fails with a typed
+//! [`SnapshotError`] instead of panicking on malformed input. A complete
+//! checkpoint is a body of concatenated encodings wrapped in a
+//! self-describing envelope:
+//!
+//! ```text
+//! magic "PBSSNAP\0" | version u32 LE | body_len u64 LE | body | sha256 footer
+//! ```
+//!
+//! The footer digests everything before it, so a bit flip anywhere in the
+//! file — header, body, or length — is caught before any field is decoded.
+//! Decoding is strict: trailing bytes after the declared body are as fatal
+//! as missing ones, and an envelope from a different schema version is
+//! rejected outright rather than risking a silently-wrong resume.
+
+use crate::digest::sha256;
+use crate::faults::FaultProfile;
+use crate::rng::SeedDomain;
+use crate::time::SimTime;
+use eth_types::{
+    Address, BlsPublicKey, DayIndex, Gas, GasPrice, Slot, Token, TokenAmount, Transaction,
+    TxEffect, TxPrivacy, Wei, H256,
+};
+use rand::rngs::StdRng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Leading magic of every checkpoint envelope.
+pub const MAGIC: [u8; 8] = *b"PBSSNAP\0";
+
+const HEADER_LEN: usize = 8 + 4 + 8;
+const FOOTER_LEN: usize = 32;
+
+/// Why a snapshot could not be read back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Underlying I/O failure (reading or writing the file).
+    Io(String),
+    /// The data ends before the declared content does.
+    Truncated,
+    /// The file does not start with the checkpoint magic.
+    BadMagic,
+    /// The envelope was written by a different schema version.
+    VersionMismatch {
+        /// Version found in the envelope header.
+        found: u32,
+        /// Version this build expects.
+        expected: u32,
+    },
+    /// The SHA-256 integrity footer does not match the content.
+    ChecksumMismatch,
+    /// The content is structurally invalid (bad tag, trailing bytes, …).
+    Corrupt(String),
+    /// The checkpoint was taken under a different run configuration.
+    ConfigMismatch,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            SnapshotError::VersionMismatch { found, expected } => {
+                write!(f, "snapshot schema version {found}, expected {expected}")
+            }
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::Corrupt(why) => write!(f, "snapshot corrupt: {why}"),
+            SnapshotError::ConfigMismatch => {
+                write!(f, "checkpoint was taken under a different configuration")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e.to_string())
+    }
+}
+
+/// Append-only encoder for snapshot bodies.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// A fresh, empty writer.
+    pub fn new() -> Self {
+        SnapWriter::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u128`, little-endian.
+    pub fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (exact round-trip).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// Strict cursor-based decoder over a snapshot body.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Wraps a body slice for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless every byte has been consumed — decode must account for
+    /// the whole body, or the schema drifted.
+    pub fn expect_end(&self) -> Result<(), SnapshotError> {
+        if self.remaining() != 0 {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing bytes after decode",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u128`.
+    pub fn u128(&mut self) -> Result<u128, SnapshotError> {
+        Ok(u128::from_le_bytes(self.bytes(16)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a bool, rejecting anything but 0/1.
+    pub fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(SnapshotError::Corrupt(format!("bool byte {b:#x}"))),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.len_prefix()?;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Corrupt("invalid UTF-8 in string".into()))
+    }
+
+    /// Reads a collection length prefix, bounded by the bytes actually
+    /// remaining so a corrupted length cannot trigger a huge allocation.
+    pub fn len_prefix(&mut self) -> Result<usize, SnapshotError> {
+        let len = self.u64()?;
+        if len > self.remaining() as u64 {
+            return Err(SnapshotError::Truncated);
+        }
+        Ok(len as usize)
+    }
+}
+
+/// State that can be checkpointed and restored byte-exactly.
+pub trait Snapshot: Sized {
+    /// Appends this value's encoding to `w`.
+    fn encode(&self, w: &mut SnapWriter);
+
+    /// Decodes one value from the cursor.
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError>;
+}
+
+/// Encodes a value into a standalone body.
+pub fn encode_to_vec<T: Snapshot>(value: &T) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    value.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Decodes a value from a standalone body, requiring full consumption.
+pub fn decode_from_slice<T: Snapshot>(bytes: &[u8]) -> Result<T, SnapshotError> {
+    let mut r = SnapReader::new(bytes);
+    let v = T::decode(&mut r)?;
+    r.expect_end()?;
+    Ok(v)
+}
+
+/// Wraps a body in the versioned envelope with the SHA-256 footer.
+pub fn write_envelope(version: u32, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len() + FOOTER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(body);
+    let digest = sha256(&out);
+    out.extend_from_slice(&digest);
+    out
+}
+
+/// Validates an envelope and returns its body slice.
+///
+/// Checks, in order: minimum length, magic, schema version, declared body
+/// length against the actual file size, and finally the SHA-256 footer —
+/// so a version bump is reported as [`SnapshotError::VersionMismatch`]
+/// even though it also breaks the digest.
+pub fn read_envelope(bytes: &[u8], expected_version: u32) -> Result<&[u8], SnapshotError> {
+    if bytes.len() < HEADER_LEN + FOOTER_LEN {
+        return Err(SnapshotError::Truncated);
+    }
+    if bytes[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let found = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if found != expected_version {
+        return Err(SnapshotError::VersionMismatch {
+            found,
+            expected: expected_version,
+        });
+    }
+    let body_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let expected_total = (HEADER_LEN as u64)
+        .checked_add(body_len)
+        .and_then(|n| n.checked_add(FOOTER_LEN as u64))
+        .ok_or(SnapshotError::Corrupt("body length overflows".into()))?;
+    match (bytes.len() as u64).cmp(&expected_total) {
+        std::cmp::Ordering::Less => return Err(SnapshotError::Truncated),
+        std::cmp::Ordering::Greater => {
+            return Err(SnapshotError::Corrupt(
+                "trailing bytes after the integrity footer".into(),
+            ))
+        }
+        std::cmp::Ordering::Equal => {}
+    }
+    let content_end = HEADER_LEN + body_len as usize;
+    let digest = sha256(&bytes[..content_end]);
+    if digest[..] != bytes[content_end..] {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+    Ok(&bytes[HEADER_LEN..content_end])
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_snapshot_prim {
+    ($($t:ty => $m:ident),*) => {$(
+        impl Snapshot for $t {
+            fn encode(&self, w: &mut SnapWriter) {
+                w.$m(*self);
+            }
+            fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+                r.$m()
+            }
+        }
+    )*};
+}
+impl_snapshot_prim!(u8 => u8, u32 => u32, u64 => u64, u128 => u128, f64 => f64, bool => bool);
+
+impl Snapshot for usize {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.u64(*self as u64);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let v = r.u64()?;
+        usize::try_from(v).map_err(|_| SnapshotError::Corrupt(format!("usize overflow: {v}")))
+    }
+}
+
+impl Snapshot for String {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.str(self);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        r.str()
+    }
+}
+
+impl<T: Snapshot> Snapshot for Vec<T> {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.u64(self.len() as u64);
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let len = r.len_prefix()?;
+        let mut out = Vec::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Snapshot> Snapshot for Option<T> {
+    fn encode(&self, w: &mut SnapWriter) {
+        match self {
+            None => w.u8(0),
+            Some(v) => {
+                w.u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            b => Err(SnapshotError::Corrupt(format!("Option tag {b:#x}"))),
+        }
+    }
+}
+
+impl<K: Snapshot + Ord, V: Snapshot> Snapshot for BTreeMap<K, V> {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.u64(self.len() as u64);
+        for (k, v) in self {
+            k.encode(w);
+            v.encode(w);
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let len = r.len_prefix()?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::decode(r)?;
+            let v = V::decode(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Snapshot + Ord> Snapshot for BTreeSet<T> {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.u64(self.len() as u64);
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let len = r.len_prefix()?;
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Snapshot, B: Snapshot> Snapshot for (A, B) {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Snapshot, B: Snapshot, C: Snapshot> Snapshot for (A, B, C) {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.0.encode(w);
+        self.1.encode(w);
+        self.2.encode(w);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+impl<T: Snapshot, const N: usize> Snapshot for [T; N] {
+    fn encode(&self, w: &mut SnapWriter) {
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            out.push(T::decode(r)?);
+        }
+        out.try_into()
+            .map_err(|_| SnapshotError::Corrupt("array length".into()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// simcore + rand impls
+// ---------------------------------------------------------------------------
+
+impl Snapshot for StdRng {
+    fn encode(&self, w: &mut SnapWriter) {
+        for word in self.state() {
+            w.u64(word);
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = r.u64()?;
+        }
+        Ok(StdRng::from_state(s))
+    }
+}
+
+impl Snapshot for SeedDomain {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.u64(self.master());
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(SeedDomain::new(r.u64()?))
+    }
+}
+
+impl Snapshot for SimTime {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.u64(self.0);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(SimTime(r.u64()?))
+    }
+}
+
+impl Snapshot for FaultProfile {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.f64(self.outages_per_day);
+        w.f64(self.outage_mean_slots);
+        w.f64(self.degraded_per_day);
+        w.f64(self.degraded_mean_slots);
+        w.f64(self.timeout_prob);
+        w.f64(self.stale_prob);
+        w.f64(self.payload_failure_prob);
+        w.f64(self.shortfall_prob);
+        w.f64(self.shortfall_frac);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(FaultProfile {
+            outages_per_day: r.f64()?,
+            outage_mean_slots: r.f64()?,
+            degraded_per_day: r.f64()?,
+            degraded_mean_slots: r.f64()?,
+            timeout_prob: r.f64()?,
+            stale_prob: r.f64()?,
+            payload_failure_prob: r.f64()?,
+            shortfall_prob: r.f64()?,
+            shortfall_frac: r.f64()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// eth-types impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_snapshot_bytes_newtype {
+    ($($t:ty => $n:expr),*) => {$(
+        impl Snapshot for $t {
+            fn encode(&self, w: &mut SnapWriter) {
+                w.bytes(&self.0);
+            }
+            fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+                let mut out = [0u8; $n];
+                out.copy_from_slice(r.bytes($n)?);
+                Ok(Self(out))
+            }
+        }
+    )*};
+}
+impl_snapshot_bytes_newtype!(Address => 20, H256 => 32, BlsPublicKey => 48);
+
+macro_rules! impl_snapshot_num_newtype {
+    ($($t:ty => $m:ident),*) => {$(
+        impl Snapshot for $t {
+            fn encode(&self, w: &mut SnapWriter) {
+                w.$m(self.0);
+            }
+            fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+                Ok(Self(r.$m()?))
+            }
+        }
+    )*};
+}
+impl_snapshot_num_newtype!(Wei => u128, GasPrice => u128, Gas => u64, Slot => u64, DayIndex => u32);
+
+impl Snapshot for Token {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.u8(self.tag());
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let tag = r.u8()?;
+        Token::from_tag(tag).ok_or_else(|| SnapshotError::Corrupt(format!("token tag {tag:#x}")))
+    }
+}
+
+impl Snapshot for TokenAmount {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.token.encode(w);
+        w.u128(self.raw);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(TokenAmount {
+            token: Token::decode(r)?,
+            raw: r.u128()?,
+        })
+    }
+}
+
+impl Snapshot for TxPrivacy {
+    fn encode(&self, w: &mut SnapWriter) {
+        match self {
+            TxPrivacy::Public => w.u8(0),
+            TxPrivacy::Private { channel } => {
+                w.u8(1);
+                w.u32(*channel);
+            }
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        match r.u8()? {
+            0 => Ok(TxPrivacy::Public),
+            1 => Ok(TxPrivacy::Private { channel: r.u32()? }),
+            b => Err(SnapshotError::Corrupt(format!("TxPrivacy tag {b:#x}"))),
+        }
+    }
+}
+
+impl Snapshot for TxEffect {
+    fn encode(&self, w: &mut SnapWriter) {
+        match self {
+            TxEffect::Transfer => w.u8(0),
+            TxEffect::TokenTransfer { amount, recipient } => {
+                w.u8(1);
+                amount.encode(w);
+                recipient.encode(w);
+            }
+            TxEffect::Swap {
+                pool,
+                token_in,
+                token_out,
+                amount_in,
+                min_out,
+            } => {
+                w.u8(2);
+                w.u32(*pool);
+                token_in.encode(w);
+                token_out.encode(w);
+                w.u128(*amount_in);
+                w.u128(*min_out);
+            }
+            TxEffect::Liquidate { market, borrower } => {
+                w.u8(3);
+                w.u32(*market);
+                borrower.encode(w);
+            }
+            TxEffect::OracleUpdate {
+                token,
+                price_milli_usd,
+            } => {
+                w.u8(4);
+                token.encode(w);
+                w.u64(*price_milli_usd);
+            }
+            TxEffect::Generic { extra_gas } => {
+                w.u8(5);
+                w.u64(*extra_gas);
+            }
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.u8()? {
+            0 => TxEffect::Transfer,
+            1 => TxEffect::TokenTransfer {
+                amount: TokenAmount::decode(r)?,
+                recipient: Address::decode(r)?,
+            },
+            2 => TxEffect::Swap {
+                pool: r.u32()?,
+                token_in: Token::decode(r)?,
+                token_out: Token::decode(r)?,
+                amount_in: r.u128()?,
+                min_out: r.u128()?,
+            },
+            3 => TxEffect::Liquidate {
+                market: r.u32()?,
+                borrower: Address::decode(r)?,
+            },
+            4 => TxEffect::OracleUpdate {
+                token: Token::decode(r)?,
+                price_milli_usd: r.u64()?,
+            },
+            5 => TxEffect::Generic {
+                extra_gas: r.u64()?,
+            },
+            b => return Err(SnapshotError::Corrupt(format!("TxEffect tag {b:#x}"))),
+        })
+    }
+}
+
+impl Snapshot for Transaction {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.hash.encode(w);
+        self.sender.encode(w);
+        self.to.encode(w);
+        w.u64(self.nonce);
+        self.value.encode(w);
+        self.max_fee_per_gas.encode(w);
+        self.max_priority_fee_per_gas.encode(w);
+        self.gas_limit.encode(w);
+        self.coinbase_tip.encode(w);
+        self.effect.encode(w);
+        self.privacy.encode(w);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Transaction {
+            hash: H256::decode(r)?,
+            sender: Address::decode(r)?,
+            to: Address::decode(r)?,
+            nonce: r.u64()?,
+            value: Wei::decode(r)?,
+            max_fee_per_gas: GasPrice::decode(r)?,
+            max_priority_fee_per_gas: GasPrice::decode(r)?,
+            gas_limit: Gas::decode(r)?,
+            coinbase_tip: Wei::decode(r)?,
+            effect: TxEffect::decode(r)?,
+            privacy: TxPrivacy::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn round_trip<T: Snapshot + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = encode_to_vec(v);
+        let back: T = decode_from_slice(&bytes).expect("round trip");
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(&0xdeadbeefu32);
+        round_trip(&u64::MAX);
+        round_trip(&u128::MAX);
+        round_trip(&std::f64::consts::PI);
+        round_trip(&f64::NEG_INFINITY);
+        round_trip(&true);
+        round_trip(&String::from("héllo\nworld"));
+        round_trip(&vec![1u64, 2, 3]);
+        round_trip(&Some(Wei(42)));
+        round_trip(&Option::<Wei>::None);
+        round_trip(&BTreeMap::from([(1u32, Slot(9)), (2, Slot(10))]));
+        round_trip(&BTreeSet::from([
+            Address::derive("a"),
+            Address::derive("b"),
+        ]));
+        round_trip(&[7u64, 8, 9]);
+        round_trip(&(DayIndex(3), Gas(21_000)));
+    }
+
+    #[test]
+    fn rng_snapshot_resumes_the_stream() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let _: u64 = rng.random();
+        let bytes = encode_to_vec(&rng);
+        let mut back: StdRng = decode_from_slice(&bytes).unwrap();
+        assert_eq!(rng.random::<u128>(), back.random::<u128>());
+    }
+
+    #[test]
+    fn transaction_round_trips_every_effect() {
+        let effects = [
+            TxEffect::Transfer,
+            TxEffect::TokenTransfer {
+                amount: TokenAmount {
+                    token: Token::LongTail(5),
+                    raw: u128::MAX / 3,
+                },
+                recipient: Address::derive("r"),
+            },
+            TxEffect::Swap {
+                pool: 4,
+                token_in: Token::Weth,
+                token_out: Token::Usdc,
+                amount_in: 10,
+                min_out: 9,
+            },
+            TxEffect::Liquidate {
+                market: 0,
+                borrower: Address::derive("b"),
+            },
+            TxEffect::OracleUpdate {
+                token: Token::Wbtc,
+                price_milli_usd: 20_000_000,
+            },
+            TxEffect::Generic { extra_gas: 55_000 },
+        ];
+        for (i, effect) in effects.into_iter().enumerate() {
+            let mut t = Transaction::transfer(
+                Address::derive("s"),
+                Address::derive("t"),
+                Wei::from_eth(0.5),
+                i as u64,
+                GasPrice::from_gwei(2.0),
+                GasPrice::from_gwei(30.0),
+            );
+            t.effect = effect;
+            t.privacy = if i % 2 == 0 {
+                TxPrivacy::Public
+            } else {
+                TxPrivacy::Private { channel: i as u32 }
+            };
+            round_trip(&t.finalize());
+        }
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let body = b"some checkpoint body".to_vec();
+        let env = write_envelope(3, &body);
+        assert_eq!(read_envelope(&env, 3).unwrap(), &body[..]);
+    }
+
+    #[test]
+    fn envelope_rejects_bit_flipped_body() {
+        let mut env = write_envelope(1, b"payload bytes here");
+        let mid = HEADER_LEN + 4;
+        env[mid] ^= 0x40;
+        assert_eq!(
+            read_envelope(&env, 1).unwrap_err(),
+            SnapshotError::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn envelope_rejects_truncated_footer() {
+        let env = write_envelope(1, b"payload");
+        let cut = &env[..env.len() - 5];
+        assert_eq!(read_envelope(cut, 1).unwrap_err(), SnapshotError::Truncated);
+        // Even an empty file is Truncated, not a panic.
+        assert_eq!(read_envelope(&[], 1).unwrap_err(), SnapshotError::Truncated);
+    }
+
+    #[test]
+    fn envelope_rejects_version_mismatch() {
+        let env = write_envelope(2, b"payload");
+        assert_eq!(
+            read_envelope(&env, 3).unwrap_err(),
+            SnapshotError::VersionMismatch {
+                found: 2,
+                expected: 3
+            }
+        );
+    }
+
+    #[test]
+    fn envelope_rejects_bad_magic_and_trailing_bytes() {
+        let mut env = write_envelope(1, b"payload");
+        env[0] = b'X';
+        assert_eq!(read_envelope(&env, 1).unwrap_err(), SnapshotError::BadMagic);
+
+        let mut padded = write_envelope(1, b"payload");
+        padded.push(0);
+        assert!(matches!(
+            read_envelope(&padded, 1).unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn corrupted_length_prefix_cannot_overallocate() {
+        let mut w = SnapWriter::new();
+        w.u64(u64::MAX); // absurd length prefix
+        let bytes = w.into_bytes();
+        assert_eq!(
+            decode_from_slice::<Vec<u64>>(&bytes).unwrap_err(),
+            SnapshotError::Truncated
+        );
+    }
+
+    #[test]
+    fn strict_decode_rejects_trailing_bytes() {
+        let mut bytes = encode_to_vec(&7u64);
+        bytes.push(0);
+        assert!(matches!(
+            decode_from_slice::<u64>(&bytes).unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+    }
+}

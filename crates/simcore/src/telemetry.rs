@@ -319,6 +319,19 @@ impl Telemetry {
         self.histograms.write().expect("telemetry lock").clear();
     }
 
+    /// Replaces the deterministic counters with `saved`, clearing any
+    /// counters not present. Gauges, spans and histograms are untouched:
+    /// they carry wall-clock measurements that have no meaning across a
+    /// process restart, while counters must resume exactly where a
+    /// checkpoint left them for the invariant suite to reconcile.
+    pub fn restore_counters(&self, saved: &[(String, u64)]) {
+        let mut counters = self.counters.write().expect("telemetry lock");
+        counters.clear();
+        for (name, value) in saved {
+            counters.insert(name.clone(), Arc::new(AtomicU64::new(*value)));
+        }
+    }
+
     /// A consistent plain-data copy of every metric.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         TelemetrySnapshot {
@@ -456,6 +469,12 @@ pub fn snapshot() -> TelemetrySnapshot {
 /// Clears the global registry (tests and fresh CLI runs).
 pub fn reset() {
     global().reset();
+}
+
+/// Restores the global registry's deterministic counters from a
+/// checkpoint (see [`Telemetry::restore_counters`]).
+pub fn restore_counters(saved: &[(String, u64)]) {
+    global().restore_counters(saved);
 }
 
 fn json_escape(s: &str) -> String {
@@ -607,10 +626,12 @@ pub fn render_prometheus(snap: &TelemetrySnapshot) -> String {
 /// into `dir` (created if missing). Call sites keep `dir` *outside* any
 /// golden-manifested artifact bundle.
 pub fn write_snapshot_files(dir: &std::path::Path) -> std::io::Result<()> {
-    std::fs::create_dir_all(dir)?;
     let snap = snapshot();
-    std::fs::write(dir.join("telemetry.json"), render_json(&snap))?;
-    std::fs::write(dir.join("telemetry.prom"), render_prometheus(&snap))?;
+    crate::fsio::atomic_write(&dir.join("telemetry.json"), render_json(&snap).as_bytes())?;
+    crate::fsio::atomic_write(
+        &dir.join("telemetry.prom"),
+        render_prometheus(&snap).as_bytes(),
+    )?;
     Ok(())
 }
 

@@ -1,0 +1,102 @@
+//! Property tests for the [`Snapshot`] trait and the checkpoint envelope:
+//! encode → decode is the identity for every value, and a corrupted
+//! envelope is always rejected with a typed error — never silently
+//! accepted, never a panic.
+
+use proptest::prelude::*;
+use simcore::snapshot::{read_envelope, write_envelope};
+use simcore::{FaultProfile, FaultSchedule, SeedDomain, SnapReader, SnapWriter, Snapshot};
+
+fn roundtrip<T: Snapshot + PartialEq + std::fmt::Debug>(value: &T) {
+    let mut w = SnapWriter::new();
+    value.encode(&mut w);
+    let bytes = w.into_bytes();
+    let mut r = SnapReader::new(&bytes);
+    let back = T::decode(&mut r).expect("decodes");
+    r.expect_end().expect("no trailing bytes");
+    assert_eq!(&back, value);
+}
+
+proptest! {
+    #[test]
+    fn seed_domain_round_trips(master in any::<u64>(), label in "[a-z:]{0,12}") {
+        let domain = SeedDomain::new(master);
+        roundtrip(&domain);
+        roundtrip(&domain.subdomain(&label));
+    }
+
+    #[test]
+    fn fault_schedule_round_trips(
+        master in any::<u64>(),
+        rates in proptest::collection::vec(
+            (0.0f64..4.0, 1.0f64..20.0, 0.0f64..1.0, 0.0f64..1.0),
+            0..4,
+        ),
+        spd in 1u64..60,
+        days in 1u64..5,
+    ) {
+        let profiles: Vec<FaultProfile> = rates
+            .iter()
+            .map(|&(per_day, mean_slots, p, q)| FaultProfile {
+                outages_per_day: per_day,
+                outage_mean_slots: mean_slots,
+                degraded_per_day: per_day * q,
+                degraded_mean_slots: mean_slots * 0.5 + 1.0,
+                timeout_prob: p,
+                stale_prob: q,
+                payload_failure_prob: p * q,
+                shortfall_prob: q,
+                shortfall_frac: p,
+            })
+            .collect();
+        let schedule = FaultSchedule::build(
+            SeedDomain::new(master).subdomain("faults"),
+            spd,
+            spd * days,
+            profiles,
+        );
+        roundtrip(&schedule);
+    }
+
+    #[test]
+    fn primitive_collections_round_trip(
+        nums in proptest::collection::vec(any::<u64>(), 0..32),
+        floats in proptest::collection::vec(any::<f64>(), 0..16),
+        text in proptest::collection::vec("\\PC{0,24}", 0..8),
+        flags in proptest::collection::vec(any::<bool>(), 0..16),
+    ) {
+        roundtrip(&nums);
+        roundtrip(&floats);
+        roundtrip(&text);
+        roundtrip(&flags);
+    }
+
+    #[test]
+    fn envelope_round_trips_any_body(body in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let bytes = write_envelope(7, &body);
+        prop_assert_eq!(read_envelope(&bytes, 7).unwrap(), &body[..]);
+    }
+
+    #[test]
+    fn envelope_rejects_any_single_bit_flip(
+        body in proptest::collection::vec(any::<u8>(), 1..256),
+        byte_frac in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        let good = write_envelope(7, &body);
+        let mut bad = good.clone();
+        let idx = ((byte_frac * bad.len() as f64) as usize).min(bad.len() - 1);
+        bad[idx] ^= 1 << bit;
+        prop_assert!(read_envelope(&bad, 7).is_err(), "flip at byte {} bit {} accepted", idx, bit);
+    }
+
+    #[test]
+    fn envelope_rejects_any_truncation(
+        body in proptest::collection::vec(any::<u8>(), 1..256),
+        keep_frac in 0.0f64..1.0,
+    ) {
+        let good = write_envelope(7, &body);
+        let keep = ((keep_frac * good.len() as f64) as usize).min(good.len() - 1);
+        prop_assert!(read_envelope(&good[..keep], 7).is_err(), "truncation to {} bytes accepted", keep);
+    }
+}

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Kill-and-resume byte-identity harness.
+#
+# For every combination of PBS_THREADS in {1, 4} and fault preset in
+# {off, paper-incidents}:
+#
+#   1. start the small seed-42 pipeline (`pbs-repro resume --small`) with
+#      per-day checkpointing and PBS_KILL_AFTER_DAY set, so the process
+#      is SIGKILLed right after a randomized-but-logged day's checkpoint
+#      hits the disk;
+#   2. rerun the identical command, which resumes from the newest valid
+#      checkpoint and writes the artifact bundle;
+#   3. verify the bundle byte-for-byte against the golden manifest
+#      (`pbs-repro verify-bundle` vs tests/golden/manifest.json).
+#
+# On divergence the offending bundle is copied to
+# target/resume-harness-failure/ for CI artifact upload, and the script
+# exits nonzero.
+#
+# Environment:
+#   KILL_DAY  override the randomized kill day (0-based, 0..5 for the
+#             7-day small run; the last day is excluded so the resumed
+#             invocation always has work left to do)
+
+set -u
+
+cd "$(dirname "$0")/.."
+BIN=target/release/pbs-repro
+MANIFEST=tests/golden/manifest.json
+FAILDIR=target/resume-harness-failure
+
+if [ ! -x "$BIN" ]; then
+    echo "building $BIN …"
+    cargo build --release -p pbs-repro || exit 1
+fi
+
+KILL_DAY="${KILL_DAY:-$((RANDOM % 6))}"
+echo "=== kill day: $KILL_DAY (override with KILL_DAY=N) ==="
+
+fail=0
+for threads in 1 4; do
+    for faults in off paper-incidents; do
+        case "$faults" in
+            off) prefix=baseline ;;
+            *) prefix=faulted ;;
+        esac
+        tag="threads=$threads faults=$faults"
+        work=$(mktemp -d "${TMPDIR:-/tmp}/pbs-resume-XXXXXX")
+        out="$work/out"
+        ckpt="$work/checkpoints"
+
+        run() {
+            env PBS_THREADS="$threads" \
+                PBS_CHECKPOINT_EVERY=1 \
+                PBS_CHECKPOINT_DIR="$ckpt" \
+                "$@" \
+                "$BIN" resume --small --seed 42 --faults "$faults" --out "$out"
+        }
+
+        echo "--- $tag: first run (SIGKILL after day $KILL_DAY) ---"
+        run PBS_KILL_AFTER_DAY="$KILL_DAY" 2> "$work/first.log"
+        status=$?
+        if [ "$status" -eq 0 ]; then
+            echo "FAIL [$tag]: first run survived its own SIGKILL (status 0)"
+            cat "$work/first.log"
+            fail=1
+            continue
+        fi
+        if ! ls "$ckpt"/checkpoint-day-* > /dev/null 2>&1; then
+            echo "FAIL [$tag]: killed run left no checkpoint in $ckpt"
+            cat "$work/first.log"
+            fail=1
+            continue
+        fi
+
+        echo "--- $tag: resumed run ---"
+        if ! run 2> "$work/second.log"; then
+            echo "FAIL [$tag]: resumed run failed"
+            cat "$work/second.log"
+            fail=1
+            continue
+        fi
+        if ! grep -q "resuming from" "$work/second.log"; then
+            echo "FAIL [$tag]: second run did not resume from a checkpoint"
+            cat "$work/second.log"
+            fail=1
+            continue
+        fi
+
+        if "$BIN" verify-bundle --dir "$out" --manifest "$MANIFEST" --prefix "$prefix"; then
+            echo "OK [$tag]: resumed bundle matches $MANIFEST ($prefix/)"
+            rm -rf "$work"
+        else
+            echo "FAIL [$tag]: resumed bundle diverges from $MANIFEST ($prefix/)"
+            mkdir -p "$FAILDIR"
+            cp -r "$out" "$FAILDIR/$prefix-threads$threads"
+            cp "$work/first.log" "$FAILDIR/$prefix-threads$threads-first.log"
+            cp "$work/second.log" "$FAILDIR/$prefix-threads$threads-second.log"
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "=== resume harness FAILED (kill day $KILL_DAY) ==="
+    exit 1
+fi
+echo "=== resume harness passed: all 4 combinations byte-identical (kill day $KILL_DAY) ==="

@@ -4,49 +4,88 @@
 //! pbs-repro summary   --days 60 --bpd 24   # headline results over a slice
 //! pbs-repro events    --days 60 --bpd 16   # incident-signature detection
 //! pbs-repro telemetry --days 10 --bpd 40   # instrumented run + snapshot
+//! pbs-repro bundle    --small --days 7 --out out/baseline
+//! pbs-repro resume    --small --days 7 --out out/baseline
+//! pbs-repro verify-bundle --dir out/baseline \
+//!     --manifest tests/golden/manifest.json --prefix baseline
 //! ```
 //!
-//! The subcommands simulate a slice of the study window (starting at the
-//! merge) and run the measurement pipeline over it. `--seed` (default 42)
-//! selects the master seed; `PBS_THREADS` caps the rayon thread count.
-//! `telemetry` forces the `PBS_TELEMETRY` knob on, prints the
-//! Prometheus-style dump, and writes `telemetry.json` (`--out DIR`).
+//! The simulation subcommands simulate a slice of the study window
+//! (starting at the merge) and run the measurement pipeline over it.
+//! `--seed` (default 42) selects the master seed; `PBS_THREADS` caps the
+//! rayon thread count. `telemetry` forces the `PBS_TELEMETRY` knob on,
+//! prints the Prometheus-style dump, and writes `telemetry.json`
+//! (`--out DIR`).
+//!
+//! `bundle` writes the full artifact bundle (the same files as the
+//! `paper_artifacts` binary) to `--out`; with `--small` it uses the
+//! golden-test configuration, so a seed-42 7-day run reproduces the
+//! digests pinned in `tests/golden/manifest.json`. All simulation
+//! subcommands honor `PBS_CHECKPOINT_EVERY` / `PBS_CHECKPOINT_DIR` /
+//! `PBS_CHECKPOINT_KEEP`; `resume` is `bundle` with checkpointing forced
+//! on (every day unless `PBS_CHECKPOINT_EVERY` is already set), so an
+//! interrupted run picks up from the newest valid checkpoint.
+//! `verify-bundle` recomputes a bundle directory's digests and compares
+//! them against a manifest, exiting nonzero on any divergence.
 
-use analysis::PaperReport;
-use scenario::{ScenarioConfig, Simulation};
+use analysis::{write_artifact_bundle, PaperReport};
+use scenario::{FaultConfig, ScenarioConfig, Simulation};
 use simcore::telemetry;
+use std::collections::BTreeMap;
+use std::path::Path;
 
 struct Args {
     days: u32,
-    bpd: u32,
+    bpd: Option<u32>,
     seed: u64,
-    out: String,
+    out: Option<String>,
+    small: bool,
+    faults: String,
+    dir: String,
+    manifest: String,
+    prefix: String,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pbs-repro <summary|events|telemetry> [--days N] [--bpd N] [--seed N] [--out DIR]\n\
+        "usage: pbs-repro <summary|events|telemetry|bundle|resume|verify-bundle> [flags]\n\
          \n\
-         summary    simulate a slice and print the headline paper results\n\
-         events     simulate a slice and print detected incident signatures\n\
-         telemetry  simulate with telemetry on, print the Prometheus dump,\n\
-         \x20          and write telemetry.json + telemetry.prom to --out\n\
+         summary        simulate a slice and print the headline paper results\n\
+         events         simulate a slice and print detected incident signatures\n\
+         telemetry      simulate with telemetry on, print the Prometheus dump,\n\
+         \x20              and write telemetry.json + telemetry.prom to --out\n\
+         bundle         simulate and write the full artifact bundle to --out\n\
+         resume         like bundle, but force checkpointing on so an\n\
+         \x20              interrupted run resumes from the newest checkpoint\n\
+         verify-bundle  recompute --dir digests and compare against the\n\
+         \x20              --prefix entries of --manifest; exit 1 on divergence\n\
          \n\
-         --days N  days to simulate, from the merge (default 30)\n\
-         --bpd  N  blocks per day (default 120; mainnet is 7200)\n\
-         --seed N  master seed (default 42)\n\
-         --out DIR snapshot directory for `telemetry` (default \"telemetry\")"
+         --days N       days to simulate, from the merge (default 30; 7 with --small)\n\
+         --bpd  N       blocks per day (default 120; 40 with --small)\n\
+         --seed N       master seed (default 42)\n\
+         --small        use the small golden-test population sizes\n\
+         --faults P     fault preset: off | paper-incidents (default off)\n\
+         --out DIR      output directory (telemetry: \"telemetry\", bundle: \"out\")\n\
+         --dir DIR      bundle directory to verify (verify-bundle)\n\
+         --manifest F   manifest file of expected digests (verify-bundle)\n\
+         --prefix P     manifest key prefix to verify against (verify-bundle)"
     );
     std::process::exit(2);
 }
 
 fn parse_flags(rest: &[String]) -> Args {
     let mut args = Args {
-        days: 30,
-        bpd: 120,
+        days: 0,
+        bpd: None,
         seed: 42,
-        out: "telemetry".into(),
+        out: None,
+        small: false,
+        faults: "off".into(),
+        dir: String::new(),
+        manifest: String::new(),
+        prefix: String::new(),
     };
+    let mut days: Option<u32> = None;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         fn value<'a>(flag: &str, it: &mut std::slice::Iter<'a, String>) -> &'a str {
@@ -65,10 +104,22 @@ fn parse_flags(rest: &[String]) -> Args {
             })
         };
         match flag.as_str() {
-            "--days" => args.days = parse(flag, value(flag, &mut it)) as u32,
-            "--bpd" => args.bpd = parse(flag, value(flag, &mut it)) as u32,
+            "--days" => days = Some(parse(flag, value(flag, &mut it)) as u32),
+            "--bpd" => args.bpd = Some(parse(flag, value(flag, &mut it)) as u32),
             "--seed" => args.seed = parse(flag, value(flag, &mut it)),
-            "--out" => args.out = value(flag, &mut it).to_string(),
+            "--out" => args.out = Some(value(flag, &mut it).to_string()),
+            "--small" => args.small = true,
+            "--faults" => {
+                let v = value(flag, &mut it);
+                if v != "off" && v != "paper-incidents" {
+                    eprintln!("error: --faults must be off or paper-incidents, got {v:?}");
+                    std::process::exit(2);
+                }
+                args.faults = v.to_string();
+            }
+            "--dir" => args.dir = value(flag, &mut it).to_string(),
+            "--manifest" => args.manifest = value(flag, &mut it).to_string(),
+            "--prefix" => args.prefix = value(flag, &mut it).to_string(),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown flag {other:?}");
@@ -76,11 +127,12 @@ fn parse_flags(rest: &[String]) -> Args {
             }
         }
     }
+    args.days = days.unwrap_or(if args.small { 7 } else { 30 });
     if args.days == 0 || args.days > 198 {
         eprintln!("error: --days must be in 1..=198 (the study window)");
         std::process::exit(2);
     }
-    if args.bpd == 0 {
+    if args.bpd == Some(0) {
         eprintln!("error: --bpd must be at least 1");
         std::process::exit(2);
     }
@@ -88,16 +140,93 @@ fn parse_flags(rest: &[String]) -> Args {
 }
 
 fn simulate(args: &Args) -> scenario::RunArtifacts {
-    let mut cfg = ScenarioConfig {
-        seed: args.seed,
-        ..ScenarioConfig::default()
+    let mut cfg = if args.small {
+        ScenarioConfig::test_small(args.seed, args.days)
+    } else {
+        ScenarioConfig {
+            seed: args.seed,
+            ..ScenarioConfig::default()
+        }
     };
-    cfg.calendar = eth_types::StudyCalendar::new(args.bpd, args.days);
+    let bpd = args.bpd.unwrap_or(if args.small { 40 } else { 120 });
+    cfg.calendar = eth_types::StudyCalendar::new(bpd, args.days);
+    if args.faults == "paper-incidents" {
+        cfg.faults = FaultConfig::paper_incidents();
+    }
     eprintln!(
-        "simulating {} days × {} blocks/day (seed {}) …",
-        args.days, args.bpd, args.seed
+        "simulating {} days × {} blocks/day (seed {}, faults {}) …",
+        args.days, bpd, args.seed, args.faults
     );
     Simulation::new(cfg).run()
+}
+
+fn write_bundle(args: &Args) {
+    let run = simulate(args);
+    let report = PaperReport::compute(&run);
+    let out = args.out.as_deref().unwrap_or("out");
+    let dir = Path::new(out);
+    if let Err(e) = write_artifact_bundle(&report, &run, dir) {
+        eprintln!("error: writing artifact bundle: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("artifact bundle written to {}/", dir.display());
+}
+
+fn verify_bundle(args: &Args) {
+    if args.dir.is_empty() || args.manifest.is_empty() || args.prefix.is_empty() {
+        eprintln!("error: verify-bundle requires --dir, --manifest, and --prefix");
+        std::process::exit(2);
+    }
+    let text = std::fs::read_to_string(&args.manifest).unwrap_or_else(|e| {
+        eprintln!("error: reading {}: {e}", args.manifest);
+        std::process::exit(1);
+    });
+    let all = datasets::parse_manifest(&text).unwrap_or_else(|e| {
+        eprintln!("error: parsing {}: {e}", args.manifest);
+        std::process::exit(1);
+    });
+    let want = format!("{}/", args.prefix);
+    let expected: BTreeMap<String, String> = all
+        .iter()
+        .filter_map(|(k, v)| k.strip_prefix(&want).map(|n| (n.to_string(), v.clone())))
+        .collect();
+    if expected.is_empty() {
+        eprintln!(
+            "error: no entries under prefix {:?} in {}",
+            args.prefix, args.manifest
+        );
+        std::process::exit(2);
+    }
+    let actual = datasets::digest_dir(Path::new(&args.dir)).unwrap_or_else(|e| {
+        eprintln!("error: reading bundle dir {}: {e}", args.dir);
+        std::process::exit(1);
+    });
+    if actual == expected {
+        println!(
+            "verified {} files in {} against {} ({}/…): OK",
+            actual.len(),
+            args.dir,
+            args.manifest,
+            args.prefix
+        );
+        return;
+    }
+    let names: std::collections::BTreeSet<_> = expected.keys().chain(actual.keys()).collect();
+    for name in names {
+        match (expected.get(name), actual.get(name)) {
+            (Some(e), Some(a)) if e != a => {
+                eprintln!("changed: {name}\n  expected {e}\n  actual   {a}");
+            }
+            (Some(_), None) => eprintln!("missing: {name}"),
+            (None, Some(_)) => eprintln!("extra:   {name}"),
+            _ => {}
+        }
+    }
+    eprintln!(
+        "error: {} diverges from the {:?} entries of {}",
+        args.dir, args.prefix, args.manifest
+    );
+    std::process::exit(1);
 }
 
 fn main() {
@@ -123,7 +252,8 @@ fn main() {
             eprint!("{}", report.render_summary(&run));
             let snap = telemetry::snapshot();
             print!("{}", telemetry::render_prometheus(&snap));
-            let dir = std::path::Path::new(&args.out);
+            let out = args.out.as_deref().unwrap_or("telemetry");
+            let dir = std::path::Path::new(out);
             if let Err(e) = telemetry::write_snapshot_files(dir) {
                 eprintln!("error: writing telemetry snapshot: {e}");
                 std::process::exit(1);
@@ -133,6 +263,16 @@ fn main() {
                 dir.display()
             );
         }
+        "bundle" => write_bundle(&args),
+        "resume" => {
+            // Force per-day checkpointing unless the caller tuned it, so
+            // a killed `resume` invocation always leaves restart points.
+            if std::env::var_os("PBS_CHECKPOINT_EVERY").is_none() {
+                std::env::set_var("PBS_CHECKPOINT_EVERY", "1");
+            }
+            write_bundle(&args);
+        }
+        "verify-bundle" => verify_bundle(&args),
         "--help" | "-h" => usage(),
         other => {
             eprintln!("error: unknown subcommand {other:?}");

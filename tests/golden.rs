@@ -82,8 +82,7 @@ fn golden_artifacts_match_manifest() {
 
     let manifest_path = repo_path("tests/golden/manifest.json");
     if std::env::var("GOLDEN_BLESS").as_deref() == Ok("1") {
-        std::fs::create_dir_all(manifest_path.parent().unwrap()).unwrap();
-        std::fs::write(&manifest_path, render_manifest(&actual)).unwrap();
+        simcore::atomic_write(&manifest_path, render_manifest(&actual).as_bytes()).unwrap();
         eprintln!(
             "blessed {} entries into {}",
             actual.len(),
@@ -98,8 +97,7 @@ fn golden_artifacts_match_manifest() {
 
     if actual != expected {
         let actual_path = repo_path("target/golden-manifest-actual.json");
-        let _ = std::fs::create_dir_all(actual_path.parent().unwrap());
-        let _ = std::fs::write(&actual_path, render_manifest(&actual));
+        let _ = simcore::atomic_write(&actual_path, render_manifest(&actual).as_bytes());
 
         let mut diff = String::new();
         let names: std::collections::BTreeSet<_> = expected.keys().chain(actual.keys()).collect();

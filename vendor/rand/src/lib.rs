@@ -230,6 +230,26 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// The raw xoshiro256** state words, for checkpointing.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from [`StdRng::state`] output, resuming the
+        /// stream exactly where it was captured.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            // Preserve the all-zero guard of `from_seed`: a zero state would
+            // lock xoshiro at zero forever.
+            if s == [0; 4] {
+                return StdRng {
+                    s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3],
+                };
+            }
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
@@ -318,6 +338,17 @@ mod tests {
         let hits = (0..100_000).filter(|_| r.random_bool(0.3)).count();
         let rate = hits as f64 / 100_000.0;
         assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn state_round_trips_mid_stream() {
+        let mut a = StdRng::seed_from_u64(5);
+        let _ = a.random::<u64>();
+        let mut b = StdRng::from_state(a.state());
+        assert_eq!(a.random::<u128>(), b.random::<u128>());
+        // The zero guard matches from_seed's degenerate-seed behavior.
+        let mut z = StdRng::from_state([0; 4]);
+        assert_ne!(z.random::<u64>(), 0);
     }
 
     #[test]
