@@ -32,7 +32,10 @@ impl BuilderShareSeries {
         }
         let n = self.shares.len().max(1) as f64;
         let mut out: Vec<(String, f64)> = acc.into_iter().map(|(k, v)| (k, v / n)).collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        // Total order (`total_cmp`) plus a name tie-break: equal shares
+        // were previously left in whatever order the comparison sequence
+        // happened to produce.
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out
     }
 }

@@ -26,7 +26,10 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // `total_cmp` keeps the order total even for NaN/-0.0 inputs, where
+    // the old `partial_cmp(..).unwrap_or(Equal)` degraded to a
+    // comparison-order-dependent shuffle.
+    sorted.sort_by(f64::total_cmp);
     let p = p.clamp(0.0, 100.0);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;

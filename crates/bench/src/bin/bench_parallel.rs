@@ -16,6 +16,13 @@
 //! Each row also carries the telemetry span breakdown (total wall-clock
 //! milliseconds per phase path), so future performance PRs have a
 //! per-phase trajectory to beat, not just an end-to-end number.
+//!
+//! Beyond the latest `results`, the file keeps a `history` array: one
+//! flat record per bench run, keyed by the git revision, tracking the
+//! single-threaded `auction.build_candidates` phase and throughput.
+//! Each run appends its record (the committed file accumulates one per
+//! PR) and prints the delta against the previous entry, which is what
+//! the CI bench step surfaces.
 
 use scenario::{ScenarioConfig, Simulation};
 use simcore::telemetry;
@@ -52,14 +59,79 @@ fn measure(threads: usize, days: u32) -> (usize, f64, Vec<(String, f64)>) {
     (run.blocks.len(), run.blocks.len() as f64 / secs, phases)
 }
 
+/// The short git revision, `-dirty` when the tree has local changes,
+/// `unknown` outside a git checkout (history still appends).
+fn git_rev() -> String {
+    let run = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+    };
+    let rev = run(&["rev-parse", "--short", "HEAD"])
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    let dirty = run(&["status", "--porcelain"]).is_some_and(|o| !o.stdout.is_empty());
+    if dirty {
+        format!("{rev}-dirty")
+    } else {
+        rev
+    }
+}
+
+/// Existing one-line history records from a previous `BENCH_parallel.json`
+/// (empty when the file or its `history` section is missing).
+fn read_history(path: &std::path::Path) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Some(start) = text.find("\"history\": [") else {
+        return Vec::new();
+    };
+    let rest = &text[start + "\"history\": [".len()..];
+    // History records are flat single-line objects, so the next `]`
+    // closes the array.
+    let Some(end) = rest.find(']') else {
+        return Vec::new();
+    };
+    rest[..end]
+        .lines()
+        .map(|l| l.trim().trim_end_matches(',').to_string())
+        .filter(|l| l.starts_with('{'))
+        .collect()
+}
+
+/// Extracts the number following `key` in a flat JSON record line.
+fn field_num(record: &str, key: &str) -> Option<f64> {
+    let at = record.find(key)? + key.len();
+    let rest = &record[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the quoted string following `key` in a flat JSON record line.
+fn field_str<'a>(record: &'a str, key: &str) -> Option<&'a str> {
+    let at = record.find(key)? + key.len();
+    let rest = &record[at..];
+    Some(&rest[..rest.find('"')?])
+}
+
 fn main() -> std::io::Result<()> {
     let days = env_u32("PBS_BENCH_DAYS", 30);
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let path = std::path::Path::new("BENCH_parallel.json");
+    let mut history = read_history(path);
 
     let mut rows = Vec::new();
     let mut baseline = 0.0f64;
+    let mut t1_phases: Vec<(String, f64)> = Vec::new();
     for threads in [1usize, 2, 4] {
         // Warm-up pass on the first configuration so allocator and page
         // cache effects don't penalise the baseline.
@@ -69,6 +141,7 @@ fn main() -> std::io::Result<()> {
         let (blocks, bps, phases) = measure(threads, days);
         if threads == 1 {
             baseline = bps;
+            t1_phases = phases.clone();
         }
         let speedup = if baseline > 0.0 { bps / baseline } else { 1.0 };
         eprintln!("threads={threads}: {blocks} blocks, {bps:.0} blocks/s ({speedup:.2}x)");
@@ -82,11 +155,57 @@ fn main() -> std::io::Result<()> {
         ));
     }
 
+    // Append this run's single-threaded record to the tracked history
+    // and report the delta against the previous run (PR-over-PR).
+    let t1 = |suffix: &str| {
+        t1_phases
+            .iter()
+            .find(|(p, _)| p.ends_with(suffix))
+            .map(|&(_, ms)| ms)
+            .unwrap_or(0.0)
+    };
+    let build_ms = t1("auction.build_candidates");
+    let auction_ms = t1("driver.auction");
+    let slot_ms = t1("driver.slot");
+    if let Some(prev) = history.last() {
+        let prev_rev = field_str(prev, "\"rev\": \"").unwrap_or("?");
+        if let (Some(pb), Some(pbps)) = (
+            field_num(prev, "\"build_candidates_ms\": "),
+            field_num(prev, "\"blocks_per_sec\": "),
+        ) {
+            let pct = |old: f64, new: f64| {
+                if old > 0.0 {
+                    (new - old) / old * 100.0
+                } else {
+                    0.0
+                }
+            };
+            eprintln!(
+                "delta vs {prev_rev}: build_candidates {pb:.1} -> {build_ms:.1} ms ({:+.1}%), blocks/s {pbps:.0} -> {baseline:.0} ({:+.1}%)",
+                pct(pb, build_ms),
+                pct(pbps, baseline),
+            );
+        }
+    }
+    history.push(format!(
+        "{{ \"rev\": \"{}\", \"days\": {days}, \"blocks_per_day\": 40, \"threads\": 1, \"build_candidates_ms\": {build_ms:.3}, \"auction_ms\": {auction_ms:.3}, \"slot_ms\": {slot_ms:.3}, \"blocks_per_sec\": {baseline:.1} }}",
+        git_rev()
+    ));
+    let history_block = history
+        .iter()
+        .map(|r| format!("    {r}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     let json = format!(
-        "{{\n  \"bench\": \"slot auction + analysis parallel throughput\",\n  \"seed\": 42,\n  \"days\": {days},\n  \"blocks_per_day\": 40,\n  \"host_available_parallelism\": {cores},\n  \"note\": \"same seed yields byte-identical artifacts at every thread count; speedup requires a multi-core host\",\n  \"results\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+        "{{\n  \"bench\": \"slot auction + analysis parallel throughput\",\n  \"seed\": 42,\n  \"days\": {days},\n  \"blocks_per_day\": 40,\n  \"host_available_parallelism\": {cores},\n  \"note\": \"same seed yields byte-identical artifacts at every thread count; speedup requires a multi-core host\",\n  \"results\": [\n{}\n  ],\n  \"history_note\": \"one flat record per bench run at threads=1, keyed by git rev; appended by bench_parallel, delta surfaced by the CI bench step\",\n  \"history\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+        history_block
     );
-    simcore::atomic_write(std::path::Path::new("BENCH_parallel.json"), json.as_bytes())?;
-    eprintln!("wrote BENCH_parallel.json");
+    simcore::atomic_write(path, json.as_bytes())?;
+    eprintln!(
+        "wrote BENCH_parallel.json ({} history records)",
+        history.len()
+    );
     Ok(())
 }

@@ -11,7 +11,7 @@
 
 use crate::boost::{BoostEvent, LocalBuilder, MevBoostClient};
 use crate::builder::{BuildInputs, Builder, BuilderId, BuiltBlock};
-use crate::ofac::{tx_touches_sanctioned, SanctionsList};
+use crate::ofac::{tx_touches_sanctioned, CensorScan, SanctionsList};
 use crate::relay::{RelayId, RelayRegistry, Submission};
 use eth_types::{Address, BlsPublicKey, DayIndex, Gas, GasPrice, Slot, Transaction, Wei};
 use execution::Mempool;
@@ -96,6 +96,11 @@ pub struct SlotResult {
 struct Candidate {
     built: BuiltBlock,
     pubkey: BlsPublicKey,
+    /// One censorship scan of `built`, shared by every censoring relay's
+    /// variant; `None` when no subscribed relay censors. Kept alive so
+    /// the propose phase can materialize the winning variant without
+    /// rescanning the block.
+    scan: Option<CensorScan>,
     /// `(relay, pre-jitter bid, sandwich count)` in profile order.
     relay_variants: Vec<(RelayId, Wei, usize)>,
 }
@@ -160,6 +165,14 @@ impl<'a> SlotAuction<'a> {
                     &mut build_rng,
                 );
                 let honest_bid = built.bid(builder.margin_on(built.value));
+                // The block is scanned once; each censoring relay's bid
+                // is then settled by delta (removed value only), and
+                // relays sharing the same blacklist view (lag +
+                // staleness cutoff) share one delta. Nothing censored is
+                // materialized here — only the winning variant is, in
+                // the propose phase.
+                let mut scan: Option<CensorScan> = None;
+                let mut views: Vec<(Option<&crate::ofac::RelayBlacklist>, Wei)> = Vec::new();
                 let relay_variants = builder
                     .profile
                     .relays
@@ -169,12 +182,29 @@ impl<'a> SlotAuction<'a> {
                         // indexed blind.
                         let relay = relays_ro.get(rid)?;
                         Some(if relay.info.ofac_compliant {
-                            let filtered =
-                                builder.censored_variant(&built, self.base_fee, self.day, |a| {
-                                    relay.blacklist_flags(self.sanctions, a, self.day)
-                                });
-                            let m = builder.margin_on(filtered.value);
-                            (rid, filtered.bid(m), filtered.bundle_counts[0])
+                            let scan = scan.get_or_insert_with(|| {
+                                CensorScan::of(&built.txs, self.base_fee, self.sanctions)
+                            });
+                            let view = relay.blacklist.as_ref();
+                            let bid = match views.iter().find(|(v, _)| *v == view) {
+                                Some(&(_, bid)) => {
+                                    telemetry::counter_add("pbs.auction.variant.view_reused", 1);
+                                    bid
+                                }
+                                None => {
+                                    let delta = scan.delta(view, self.day);
+                                    let value = built.value.saturating_sub(delta.value);
+                                    let bid = built.bid_at(value, builder.margin_on(value));
+                                    telemetry::counter_add("pbs.auction.variant.incremental", 1);
+                                    views.push((view, bid));
+                                    bid
+                                }
+                            };
+                            // Censoring strips transactions, never whole
+                            // bundles from the count: `censored_variant`
+                            // keeps `bundle_counts`, so the declared
+                            // sandwich count is the base block's.
+                            (rid, bid, built.bundle_counts[0])
                         } else {
                             (rid, honest_bid, built.bundle_counts[0])
                         })
@@ -183,6 +213,7 @@ impl<'a> SlotAuction<'a> {
                 Candidate {
                     built,
                     pubkey: builder.pubkey_for_slot(self.slot),
+                    scan,
                     relay_variants,
                 }
             })
@@ -259,7 +290,6 @@ impl<'a> SlotAuction<'a> {
             }
         }
         drop(submit_span);
-        let built_blocks: Vec<BuiltBlock> = candidates.into_iter().map(|c| c.built).collect();
 
         // 3. Proposer side: the full MEV-Boost round (retry, fallback,
         // payload fetch); with every relay healthy it reduces to
@@ -291,20 +321,36 @@ impl<'a> SlotAuction<'a> {
             }
             (Some(choice), Some(delivering)) => {
                 let winner_idx = choice.builder.0 as usize;
-                let built = &built_blocks[winner_idx];
+                let cand = &candidates[winner_idx];
+                let built = &cand.built;
 
                 // Reconstruct the winning variant (censored if the
-                // delivering relay censors).
-                let final_built = {
+                // delivering relay censors) from the build-phase scan;
+                // the full rescan only runs as a defensive fallback when
+                // no censoring relay was subscribed at build time.
+                let filtered: Option<BuiltBlock> = {
                     let relay = relays.get(delivering).expect("delivering relay exists");
                     if relay.info.ofac_compliant {
-                        builders[winner_idx].censored_variant(built, self.base_fee, self.day, |a| {
-                            relay.blacklist_flags(self.sanctions, a, self.day)
+                        Some(match &cand.scan {
+                            Some(scan) => {
+                                telemetry::counter_add("pbs.auction.variant.materialized", 1);
+                                scan.filter_block(built, relay.blacklist.as_ref(), self.day)
+                            }
+                            None => {
+                                telemetry::counter_add("pbs.auction.variant.fallback_full", 1);
+                                builders[winner_idx].censored_variant(
+                                    built,
+                                    self.base_fee,
+                                    self.day,
+                                    |a| relay.blacklist_flags(self.sanctions, a, self.day),
+                                )
+                            }
                         })
                     } else {
-                        built.clone()
+                        None
                     }
                 };
+                let final_built: &BuiltBlock = filtered.as_ref().unwrap_or(built);
 
                 // Delivered value: the promise, minus relay shortfall, or
                 // nearly nothing when the promise itself was fraudulent.
@@ -343,7 +389,13 @@ impl<'a> SlotAuction<'a> {
                     }
                 }
 
-                let mut txs = final_built.txs.clone();
+                let bundle_counts = final_built.bundle_counts;
+                // The censored path already owns its filtered tx list;
+                // only the honest path needs a copy of the base block's.
+                let mut txs = match filtered {
+                    Some(f) => f.txs,
+                    None => built.txs.clone(),
+                };
                 let payment = builders[winner_idx].payment_tx(proposer_fee_recipient, delivered);
                 txs.push(payment);
                 let fee_recipient = builders[winner_idx]
@@ -360,7 +412,7 @@ impl<'a> SlotAuction<'a> {
                     winning_relays: choice.relays,
                     promised: choice.promised,
                     delivered,
-                    bundle_counts: final_built.bundle_counts,
+                    bundle_counts,
                     submissions,
                     missed: false,
                     events,

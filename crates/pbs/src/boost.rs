@@ -52,8 +52,14 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// Deterministic backoff before the `attempt`-th retry (1-based).
+    ///
+    /// The doubling is capped at 2^16 and the multiply saturates: a `<<`
+    /// on a large configured base would wrap in release (a tiny or zero
+    /// backoff) and panic in debug. `u64::MAX` ms is already "forever"
+    /// for a 12 s slot, so saturation is the right ceiling.
     pub fn backoff_ms(&self, attempt: u32) -> u64 {
-        self.base_backoff_ms << attempt.saturating_sub(1).min(16)
+        let doubling = 1u64 << attempt.saturating_sub(1).min(16);
+        self.base_backoff_ms.saturating_mul(doubling)
     }
 }
 
@@ -533,6 +539,33 @@ mod tests {
                 BoostEvent::PayloadDelivered { relay: u },
             ]
         );
+    }
+
+    #[test]
+    fn backoff_saturates_at_extreme_attempts_and_bases() {
+        let p = RetryPolicy::default();
+        // The documented doubling schedule is unchanged in-range.
+        assert_eq!(p.backoff_ms(1), 50);
+        assert_eq!(p.backoff_ms(2), 100);
+        assert_eq!(p.backoff_ms(3), 200);
+        // Attempt numbers beyond the shift cap stop doubling…
+        assert_eq!(p.backoff_ms(17), 50 << 16);
+        assert_eq!(p.backoff_ms(u32::MAX), 50 << 16);
+        // …and large bases saturate instead of wrapping to ~zero.
+        let huge = RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: u64::MAX / 2,
+        };
+        assert_eq!(huge.backoff_ms(1), u64::MAX / 2);
+        assert_eq!(huge.backoff_ms(2), u64::MAX - 1);
+        assert_eq!(huge.backoff_ms(3), u64::MAX);
+        assert_eq!(huge.backoff_ms(u32::MAX), u64::MAX);
+        let max = RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: u64::MAX,
+        };
+        assert_eq!(max.backoff_ms(1), u64::MAX);
+        assert_eq!(max.backoff_ms(u32::MAX), u64::MAX);
     }
 
     #[test]

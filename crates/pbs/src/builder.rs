@@ -21,8 +21,19 @@ use mev::{Bundle, MevKind};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use simcore::LogNormal;
+use simcore::{BufferPool, LogNormal};
 use std::collections::BTreeSet;
+
+thread_local! {
+    /// Slot-scoped scratch reused across builders on the same rayon
+    /// worker (ROADMAP item 4): ordering keys and the mempool lookup
+    /// index for the greedy packer. Pooling them removes the recurring
+    /// per-builder allocations from the auction's parallel build phase;
+    /// rayon workers are long-lived, so each warms its pools once.
+    static BUNDLE_ORDER: BufferPool<(Wei, TxHash, u32)> = const { BufferPool::new() };
+    static MEMPOOL_INDEX: BufferPool<(TxHash, u32)> = const { BufferPool::new() };
+    static DENSITY_ORDER: BufferPool<(f64, TxHash, u32)> = const { BufferPool::new() };
+}
 
 /// Index of a builder in the scenario's builder table.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
@@ -140,9 +151,15 @@ pub struct BuiltBlock {
 impl BuiltBlock {
     /// The bid the builder will declare: value − margin + subsidy.
     pub fn bid(&self, margin: Wei) -> Wei {
-        self.value
-            .saturating_sub(margin)
-            .saturating_add(self.subsidy)
+        self.bid_at(self.value, margin)
+    }
+
+    /// The bid for a (possibly censored) variant of this block whose
+    /// value dropped to `value`, without materializing the variant —
+    /// the same formula as [`BuiltBlock::bid`], since censoring never
+    /// changes the subsidy.
+    pub fn bid_at(&self, value: Wei, margin: Wei) -> Wei {
+        value.saturating_sub(margin).saturating_add(self.subsidy)
     }
 }
 
@@ -204,6 +221,36 @@ impl Builder {
     ///    derived from (slot, builder id), which keeps parallel builds
     ///    deterministic.
     pub fn build(&self, inputs: &BuildInputs<'_>, rng: &mut StdRng) -> BuiltBlock {
+        BUNDLE_ORDER.with(|bundle_pool| {
+            MEMPOOL_INDEX.with(|index_pool| {
+                DENSITY_ORDER.with(|density_pool| {
+                    bundle_pool.scope(|bundle_order| {
+                        index_pool.scope(|mempool_index| {
+                            density_pool.scope(|density_order| {
+                                self.build_with_scratch(
+                                    inputs,
+                                    rng,
+                                    bundle_order,
+                                    mempool_index,
+                                    density_order,
+                                )
+                            })
+                        })
+                    })
+                })
+            })
+        })
+    }
+
+    /// [`Builder::build`] with caller-provided (pooled) scratch buffers.
+    fn build_with_scratch(
+        &self,
+        inputs: &BuildInputs<'_>,
+        rng: &mut StdRng,
+        bundle_order: &mut Vec<(Wei, TxHash, u32)>,
+        mempool_index: &mut Vec<(TxHash, u32)>,
+        density_order: &mut Vec<(f64, TxHash, u32)>,
+    ) -> BuiltBlock {
         let base = inputs.base_fee;
         // Reserve room for the final builder→proposer payment transaction;
         // a block packed to the limit would otherwise have its payment
@@ -216,26 +263,49 @@ impl Builder {
         let mut used_victims: BTreeSet<TxHash> = BTreeSet::new();
         let mut used_txs: BTreeSet<TxHash> = BTreeSet::new();
 
-        // 1. bundles, best first.
-        let mut bundles: Vec<&Bundle> = inputs.bundles.iter().collect();
-        bundles.sort_by(|a, b| {
-            b.bid_value(base)
-                .cmp(&a.bid_value(base))
-                .then_with(|| a.txs[0].hash.cmp(&b.txs[0].hash))
-        });
-        let mempool_by_hash: std::collections::BTreeMap<TxHash, &Transaction> =
-            inputs.mempool.iter().map(|t| (t.hash, t)).collect();
+        // 1. bundles, best first. Ordering keys are computed once per
+        // bundle (`bid_value` walks the bundle's txs) instead of once per
+        // comparison; the stable sort over input order reproduces the
+        // former `Vec<&Bundle>` ordering exactly.
+        bundle_order.extend(
+            inputs
+                .bundles
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (b.bid_value(base), b.txs[0].hash, i as u32)),
+        );
+        bundle_order.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
 
-        for bundle in bundles {
+        // Hash → mempool position, replacing the per-builder BTreeMap.
+        // The stable sort keeps duplicate hashes in input order and
+        // lookups take the *last* match, preserving the map's
+        // insert-wins semantics.
+        mempool_index.extend(
+            inputs
+                .mempool
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.hash, i as u32)),
+        );
+        mempool_index.sort_by_key(|e| e.0);
+        let mempool_index: &[(TxHash, u32)] = mempool_index;
+        let lookup = |h: TxHash| -> Option<&Transaction> {
+            let end = mempool_index.partition_point(|e| e.0 <= h);
+            let &(hash, i) = mempool_index[..end].last()?;
+            (hash == h).then(|| &inputs.mempool[i as usize])
+        };
+
+        for &(_, _, bi) in bundle_order.iter() {
+            let bundle = &inputs.bundles[bi as usize];
             // Conflict checks.
             if let Some(victim) = bundle.pinned_victim {
-                if used_victims.contains(&victim) || !mempool_by_hash.contains_key(&victim) {
+                if used_victims.contains(&victim) || lookup(victim).is_none() {
                     continue;
                 }
             }
             let victim_gas = bundle
                 .pinned_victim
-                .and_then(|v| mempool_by_hash.get(&v))
+                .and_then(&lookup)
                 .map(|t| t.gas_used())
                 .unwrap_or(Gas::ZERO);
             let need = bundle.gas() + victim_gas;
@@ -249,7 +319,7 @@ impl Builder {
             // Place: sandwich wraps the victim; others append in order.
             match (bundle.kind, bundle.pinned_victim) {
                 (MevKind::Sandwich, Some(victim)) => {
-                    let victim_tx = mempool_by_hash[&victim];
+                    let victim_tx = lookup(victim).expect("victim presence checked above");
                     txs.push(bundle.txs[0].clone());
                     txs.push(victim_tx.clone());
                     txs.push(bundle.txs[1].clone());
@@ -275,20 +345,25 @@ impl Builder {
             }] += 1;
         }
 
-        // 2. fill with mempool flow, value-densest first.
-        let mut rest: Vec<&Transaction> = inputs
-            .mempool
-            .iter()
-            .filter(|t| !used_txs.contains(&t.hash) && t.includable_at(base))
-            .collect();
-        rest.sort_by(|a, b| {
-            let va = a.producer_value(base).0 as f64 / a.gas_used().0.max(1) as f64;
-            let vb = b.producer_value(base).0 as f64 / b.gas_used().0.max(1) as f64;
-            vb.partial_cmp(&va)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.hash.cmp(&b.hash))
-        });
-        for t in rest {
+        // 2. fill with mempool flow, value-densest first. Density keys
+        // are precomputed (one `producer_value` per tx instead of one
+        // per comparison) and ordered by `total_cmp`, which stays total
+        // on degenerate float values; densities here are non-negative
+        // and finite, where `total_cmp` and `partial_cmp` agree.
+        density_order.extend(
+            inputs
+                .mempool
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !used_txs.contains(&t.hash) && t.includable_at(base))
+                .map(|(i, t)| {
+                    let density = t.producer_value(base).0 as f64 / t.gas_used().0.max(1) as f64;
+                    (density, t.hash, i as u32)
+                }),
+        );
+        density_order.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        for &(_, _, ti) in density_order.iter() {
+            let t = &inputs.mempool[ti as usize];
             let g = t.gas_used();
             if gas.0 + g.0 > gas_limit.0 {
                 continue;

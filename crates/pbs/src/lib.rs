@@ -27,8 +27,8 @@ pub use builder::{
     BuildInputs, Builder, BuilderId, BuilderProfile, BuiltBlock, MarginPolicy, SubsidyPolicy,
 };
 pub use ofac::{
-    block_touches_sanctioned, tx_touches_sanctioned, tx_touches_sanctioned_on, RelayBlacklist,
-    SanctionsList, TRON_SANCTIONED_FROM,
+    block_touches_sanctioned, tx_touches_sanctioned, tx_touches_sanctioned_on, CensorDelta,
+    CensorScan, RelayBlacklist, SanctionsList, TRON_SANCTIONED_FROM,
 };
 pub use relay::{
     BuilderPolicy, Relay, RelayId, RelayRegistry, RelayStaticInfo, Submission, PAPER_RELAYS,

@@ -13,7 +13,8 @@
 //!   with the lagged copy, which is exactly why OFAC-compliant relays leak
 //!   non-compliant blocks around list updates.
 
-use eth_types::{Address, Block, DayIndex, Token, Transaction, TxEffect};
+use crate::builder::BuiltBlock;
+use eth_types::{Address, Block, DayIndex, Gas, GasPrice, Token, Transaction, TxEffect, Wei};
 use std::collections::BTreeMap;
 
 /// The day TRON became a sanctioned token (the November 2022 designation
@@ -75,6 +76,12 @@ impl SanctionsList {
         days.dedup();
         days
     }
+
+    /// The day `address` became effective on the authoritative list, if
+    /// it is listed at all.
+    pub fn effective_day(&self, address: Address) -> Option<DayIndex> {
+        self.entries.get(&address).copied()
+    }
 }
 
 /// A relay's lagged snapshot of the sanctions list.
@@ -103,12 +110,171 @@ impl RelayBlacklist {
         let Some(&effective) = source.entries.get(&address) else {
             return false;
         };
+        self.adopts(effective, day)
+    }
+
+    /// Whether an update that became authoritative on `effective` has
+    /// been adopted by this relay's copy by `day`. Antitone in
+    /// `effective`: an earlier effective day is always at least as
+    /// adopted as a later one, which is what lets [`CensorScan`] collapse
+    /// a transaction's endpoints to their earliest effective day.
+    pub fn adopts(&self, effective: DayIndex, day: DayIndex) -> bool {
         if let Some(cutoff) = self.ignore_updates_from {
             if effective >= cutoff {
                 return false;
             }
         }
         day.0 >= effective.0 + self.lag_days
+    }
+}
+
+/// What a censoring relay's filter strips from a scanned block: the
+/// aggregate producer value and gas of the flagged transactions, plus
+/// their count — enough to re-settle the block's bid by delta without
+/// materializing the filtered transaction list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CensorDelta {
+    /// Producer value removed (folded with the same saturating sum the
+    /// full rebuild uses, so the delta is bit-exact).
+    pub value: Wei,
+    /// Gas removed.
+    pub gas: Gas,
+    /// Number of transactions removed.
+    pub removed: u32,
+}
+
+/// Per-transaction censorship facts for a built block, computed **once**
+/// and reused to derive every censoring relay's variant incrementally —
+/// the auction hot path no longer rescans and re-clones the block per
+/// relay (ROADMAP item 4).
+///
+/// Correctness rests on two observations:
+///
+/// * [`RelayBlacklist::adopts`] is *antitone* in the effective day, so
+///   the earliest effective day across a transaction's endpoints
+///   (sender, destination, token-transfer recipient) decides whether
+///   *any* endpoint is listed by a given relay copy on a given day.
+/// * The TRON designation (§3.1) is relay-independent — every censoring
+///   relay flags TRON transfers from [`TRON_SANCTIONED_FROM`] regardless
+///   of its blacklist copy — so it is tracked as a separate flag.
+///
+/// The equivalence with [`crate::Builder::censored_variant`] is pinned
+/// by a proptest (`censor_equivalence.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct CensorScan {
+    entries: Vec<CensorEntry>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CensorEntry {
+    /// Earliest authoritative effective day across the transaction's
+    /// endpoints; `None` when no endpoint is listed at all.
+    effective: Option<DayIndex>,
+    /// The transaction transfers the TRON token.
+    tron: bool,
+    /// Producer value at the scanned base fee.
+    value: Wei,
+    /// Gas the transaction uses.
+    gas: Gas,
+}
+
+impl CensorScan {
+    /// Scans `txs` once against the authoritative list at `base_fee`.
+    pub fn of(txs: &[Transaction], base_fee: GasPrice, sanctions: &SanctionsList) -> CensorScan {
+        let entries = txs
+            .iter()
+            .map(|t| {
+                let mut effective = sanctions.effective_day(t.sender);
+                let mut fold = |a: Address| {
+                    if let Some(d) = sanctions.effective_day(a) {
+                        effective = Some(effective.map_or(d, |e| e.min(d)));
+                    }
+                };
+                fold(t.to);
+                let mut tron = false;
+                if let TxEffect::TokenTransfer { amount, recipient } = &t.effect {
+                    fold(*recipient);
+                    tron = amount.token == Token::Tron;
+                }
+                CensorEntry {
+                    effective,
+                    tron,
+                    value: t.producer_value(base_fee),
+                    gas: t.gas_used(),
+                }
+            })
+            .collect();
+        CensorScan { entries }
+    }
+
+    /// Number of transactions scanned.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the scanned block was empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether one entry is flagged under a relay's blacklist view.
+    /// `None` models a censoring relay with no list copy (enshrined PBS):
+    /// only the relay-independent TRON rule applies.
+    fn flagged(e: &CensorEntry, blacklist: Option<&RelayBlacklist>, day: DayIndex) -> bool {
+        if let (Some(effective), Some(bl)) = (e.effective, blacklist) {
+            if bl.adopts(effective, day) {
+                return true;
+            }
+        }
+        e.tron && day >= TRON_SANCTIONED_FROM
+    }
+
+    /// What the given blacklist view removes from the scanned block on
+    /// `day`, folded in transaction order with saturating arithmetic —
+    /// bit-exact with the full rebuild's removed-value/gas sums.
+    pub fn delta(&self, blacklist: Option<&RelayBlacklist>, day: DayIndex) -> CensorDelta {
+        let mut value = Wei::ZERO;
+        let mut gas = Gas::ZERO;
+        let mut removed = 0u32;
+        for e in &self.entries {
+            if Self::flagged(e, blacklist, day) {
+                value = value.saturating_add(e.value);
+                gas = gas.saturating_add(e.gas);
+                removed += 1;
+            }
+        }
+        CensorDelta {
+            value,
+            gas,
+            removed,
+        }
+    }
+
+    /// Materializes the filtered variant of `built` for a blacklist view
+    /// — byte-identical to [`crate::Builder::censored_variant`] with the
+    /// relay's `blacklist_flags` predicate, but from the precomputed
+    /// scan. `built` must be the block the scan was taken from.
+    pub fn filter_block(
+        &self,
+        built: &BuiltBlock,
+        blacklist: Option<&RelayBlacklist>,
+        day: DayIndex,
+    ) -> BuiltBlock {
+        debug_assert_eq!(self.entries.len(), built.txs.len(), "scan/block mismatch");
+        let d = self.delta(blacklist, day);
+        let mut txs = Vec::with_capacity(built.txs.len().saturating_sub(d.removed as usize));
+        for (e, t) in self.entries.iter().zip(&built.txs) {
+            if !Self::flagged(e, blacklist, day) {
+                txs.push(t.clone());
+            }
+        }
+        BuiltBlock {
+            txs,
+            value: built.value.saturating_sub(d.value),
+            subsidy: built.subsidy,
+            bundle_counts: built.bundle_counts,
+            gas_used: built.gas_used.saturating_sub(d.gas),
+        }
     }
 }
 
@@ -243,6 +409,66 @@ mod tests {
         assert!(relay.lists(&l, Address::derive("lazarus"), DayIndex(60)));
         // The February designee is never adopted, even months later.
         assert!(!relay.lists(&l, Address::derive("feb-designee"), DayIndex(197)));
+    }
+
+    #[test]
+    fn censor_scan_agrees_with_the_predicate_scan_per_tx() {
+        let l = list();
+        let stale = RelayBlacklist {
+            lag_days: 2,
+            ignore_updates_from: Some(DayIndex(40)),
+        };
+        let lagged = RelayBlacklist::with_lag(2);
+        let mk = |from: Address, to: Address| {
+            Transaction::transfer(
+                from,
+                to,
+                Wei::from_eth(1.0),
+                0,
+                GasPrice::from_gwei(1.0),
+                GasPrice::from_gwei(30.0),
+            )
+            .finalize()
+        };
+        let clean = Address::derive("clean");
+        let mut tron_tx = mk(clean, Token::Tron.contract());
+        tron_tx.effect = TxEffect::TokenTransfer {
+            amount: TokenAmount::from_units(Token::Tron, 5.0),
+            recipient: clean,
+        };
+        let txs = vec![
+            mk(clean, clean),
+            mk(clean, sanctioned_addr()),          // effective day 10
+            mk(Address::derive("lazarus"), clean), // effective day 54, past the stale cutoff
+            tron_tx.finalize(),
+        ];
+        let base = GasPrice::from_gwei(10.0);
+        for day in [0u32, 9, 10, 11, 12, 53, 54, 55, 56, 60, 200] {
+            let day = DayIndex(day);
+            for view in [None, Some(&stale), Some(&lagged)] {
+                for t in &txs {
+                    let expected = tx_touches_sanctioned_on(t, day, |a| {
+                        view.is_some_and(|b| b.lists(&l, a, day))
+                    });
+                    let scan = CensorScan::of(std::slice::from_ref(t), base, &l);
+                    let d = scan.delta(view, day);
+                    assert_eq!(d.removed == 1, expected, "day {day:?} view {view:?}");
+                    if expected {
+                        assert_eq!(d.value, t.producer_value(base));
+                        assert_eq!(d.gas, t.gas_used());
+                    } else {
+                        assert_eq!(
+                            d,
+                            CensorDelta {
+                                value: Wei::ZERO,
+                                gas: Gas::ZERO,
+                                removed: 0
+                            }
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

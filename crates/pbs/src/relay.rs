@@ -304,13 +304,28 @@ impl Relay {
     }
 
     /// The best pending bid (what goes into the proposer's header).
+    ///
+    /// Exact ties on the declared bid are broken deterministically: the
+    /// lower [`crate::BuilderId`] wins, then the earlier arrival.
+    /// Pre-fix the winner fell to whichever submission *pubkey* compared
+    /// larger — an accident of key derivation with no auction meaning.
     pub fn best_bid(&self) -> Option<&AcceptedBid> {
-        self.pending.iter().max_by(|a, b| {
-            a.submission
-                .declared_bid
-                .cmp(&b.submission.declared_bid)
-                .then_with(|| b.submission.pubkey.0.cmp(&a.submission.pubkey.0))
-        })
+        Self::best_of(&self.pending)
+    }
+
+    /// Shared best-bid selection over an escrow slice, with the
+    /// deterministic tie-break documented on [`Relay::best_bid`].
+    fn best_of(bids: &[AcceptedBid]) -> Option<&AcceptedBid> {
+        bids.iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| {
+                a.submission
+                    .declared_bid
+                    .cmp(&b.submission.declared_bid)
+                    .then_with(|| b.submission.builder.cmp(&a.submission.builder))
+                    .then_with(|| ib.cmp(ia))
+            })
+            .map(|(_, b)| b)
     }
 
     /// The header this relay serves a `getHeader` request right now,
@@ -323,12 +338,7 @@ impl Relay {
             Health::Down => None,
             Health::Degraded if self.faults.stale_response => {
                 let stale = &self.pending[..self.pending.len().saturating_sub(1)];
-                stale.iter().max_by(|a, b| {
-                    a.submission
-                        .declared_bid
-                        .cmp(&b.submission.declared_bid)
-                        .then_with(|| b.submission.pubkey.0.cmp(&a.submission.pubkey.0))
-                })
+                Self::best_of(stale)
             }
             _ => self.best_bid(),
         }
@@ -514,6 +524,41 @@ mod tests {
             sandwich_count: 0,
             flagged_by_blacklist: false,
         }
+    }
+
+    #[test]
+    fn exact_bid_ties_go_to_the_lower_builder_id_then_arrival() {
+        let mut reg = registry();
+        let us = reg.id_by_name("UltraSound");
+        let relay = reg.get_mut(us).unwrap();
+        let mk = |builder: u32, key: &str| Submission {
+            slot: Slot(1),
+            builder: BuilderId(builder),
+            pubkey: BlsPublicKey::derive(key),
+            declared_bid: Wei::from_eth(1.0),
+            true_bid: Wei::from_eth(1.0),
+            sandwich_count: 0,
+            flagged_by_blacklist: false,
+        };
+        let day = DayIndex(0);
+        // Three builders, byte-identical bids, arrival order 3, 1, 2.
+        assert!(relay.consider(mk(3, "key-a"), day));
+        assert!(relay.consider(mk(1, "key-b"), day));
+        assert!(relay.consider(mk(2, "key-c"), day));
+        let best = relay.best_bid().expect("escrow is non-empty");
+        assert_eq!(
+            best.submission.builder,
+            BuilderId(1),
+            "the lowest BuilderId must win an exact tie, regardless of \
+             arrival or pubkey order"
+        );
+
+        // Same builder twice at the same bid: the earlier arrival wins.
+        relay.end_slot();
+        assert!(relay.consider(mk(5, "first"), day));
+        assert!(relay.consider(mk(5, "second"), day));
+        let best = relay.best_bid().expect("escrow is non-empty");
+        assert_eq!(best.submission.pubkey, BlsPublicKey::derive("first"));
     }
 
     #[test]

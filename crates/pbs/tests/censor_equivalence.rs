@@ -1,0 +1,272 @@
+//! The referee for the incremental censored-variant derivation: across
+//! random mempools, OFAC lists, blacklist views, and base fees, deriving
+//! a censoring relay's variant from a [`CensorScan`] must be
+//! *byte-identical* to the full rebuild (`Builder::censored_variant`
+//! with the relay's predicate), and the live auction's declared bids —
+//! which are settled by delta, never materialized — must equal the bids
+//! the full rebuild would have produced. A faults-on case pins the same
+//! equivalence under relay outages and degradations.
+
+use eth_types::{
+    Address, DayIndex, Gas, GasPrice, Slot, Token, TokenAmount, Transaction, TxEffect, Wei,
+};
+use execution::Mempool;
+use pbs::{
+    BuildInputs, Builder, BuilderId, BuilderProfile, CensorScan, MarginPolicy, MevBoostClient,
+    RelayBlacklist, RelayRegistry, SanctionsList, SlotAuction, SubsidyPolicy,
+};
+use proptest::prelude::*;
+use simcore::{ComponentFaults, Health, SeedDomain};
+
+/// A transaction over a small shared address universe so random OFAC
+/// lists actually intersect endpoints: `effect` 0 = plain transfer,
+/// 1 = USDC transfer to a universe recipient, 2 = TRON transfer.
+fn mk_tx(
+    i: usize,
+    sender: u8,
+    to: u8,
+    tip_deci_gwei: u32,
+    bribe_milli_eth: u32,
+    effect: u8,
+    recipient: u8,
+) -> Transaction {
+    let mut t = Transaction::transfer(
+        Address::derive(&format!("addr{sender}")),
+        Address::derive(&format!("addr{to}")),
+        Wei::from_eth(0.01),
+        i as u64,
+        GasPrice::from_gwei(tip_deci_gwei as f64 / 10.0),
+        GasPrice::from_gwei(2000.0),
+    );
+    t.coinbase_tip = Wei::from_eth(bribe_milli_eth as f64 / 1000.0);
+    match effect {
+        1 => {
+            t.effect = TxEffect::TokenTransfer {
+                amount: TokenAmount::from_units(Token::Usdc, 25.0),
+                recipient: Address::derive(&format!("addr{recipient}")),
+            };
+        }
+        2 => {
+            t.effect = TxEffect::TokenTransfer {
+                amount: TokenAmount::from_units(Token::Tron, 25.0),
+                recipient: Address::derive(&format!("addr{recipient}")),
+            };
+        }
+        _ => {}
+    }
+    t.finalize()
+}
+
+fn mk_sanctions(entries: &[(u8, u32)]) -> SanctionsList {
+    let mut l = SanctionsList::new();
+    for &(a, day) in entries {
+        l.add(Address::derive(&format!("addr{a}")), DayIndex(day));
+    }
+    l
+}
+
+// The vendored proptest implements tuple strategies up to arity 4, so
+// the per-tx spec nests pairs: (endpoints, fees, effect).
+type TxSpec = ((u8, u8), (u32, u32), (u8, u8));
+
+fn mempool_strategy() -> impl Strategy<Value = Vec<TxSpec>> {
+    proptest::collection::vec(
+        (
+            (0u8..10, 0u8..10),
+            (1u32..500, 0u32..200),
+            (0u8..3, 0u8..10),
+        ),
+        0..30,
+    )
+}
+
+fn sanctions_strategy() -> impl Strategy<Value = Vec<(u8, u32)>> {
+    proptest::collection::vec((0u8..10, 0u32..80), 0..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Core equivalence: for any built block, blacklist view, and day,
+    /// `CensorScan::filter_block` is byte-identical to the full rebuild,
+    /// and `CensorScan::delta` settles the same value/gas/bid without
+    /// materializing anything.
+    #[test]
+    fn scan_derivation_matches_full_rebuild(
+        txs in mempool_strategy(),
+        listed in sanctions_strategy(),
+        base_gwei in 1u32..60,
+        day in 0u32..100,
+        lag in 0u32..6,
+        cutoff_raw in 0u32..120,
+        seed in any::<u64>(),
+    ) {
+        let sanctions = mk_sanctions(&listed);
+        let day = DayIndex(day);
+        let base = GasPrice::from_gwei(base_gwei as f64);
+        // Raw draws ≥ 90 mean "no staleness cutoff" (the vendored
+        // proptest has no Option strategy).
+        let cutoff = (cutoff_raw < 90).then_some(DayIndex(cutoff_raw));
+        let bl = RelayBlacklist { lag_days: lag, ignore_updates_from: cutoff };
+
+        let builder = Builder::new(
+            BuilderId(0),
+            BuilderProfile::new("eq", MarginPolicy::Share(0.02), SubsidyPolicy::Never, 1.0),
+        );
+        let mempool: Vec<Transaction> = txs
+            .iter()
+            .enumerate()
+            .map(|(i, &((s, to), (tip, bribe), (fx, r)))| mk_tx(i, s, to, tip, bribe, fx, r))
+            .collect();
+        let mut rng = SeedDomain::new(seed).rng("build");
+        let built = builder.build(
+            &BuildInputs {
+                base_fee: base,
+                gas_limit: Gas::BLOCK_LIMIT,
+                mempool: &mempool,
+                bundles: &[],
+            },
+            &mut rng,
+        );
+
+        let scan = CensorScan::of(&built.txs, base, &sanctions);
+
+        // A relay with a lagged (possibly stale) blacklist copy.
+        let full = builder.censored_variant(&built, base, day, |a| bl.lists(&sanctions, a, day));
+        let inc = scan.filter_block(&built, Some(&bl), day);
+        prop_assert_eq!(&full, &inc, "scan variant must be byte-identical to full rebuild");
+
+        let delta = scan.delta(Some(&bl), day);
+        prop_assert_eq!(built.value.saturating_sub(delta.value), full.value);
+        prop_assert_eq!(built.gas_used.saturating_sub(delta.gas), full.gas_used);
+        prop_assert_eq!(delta.removed as usize, built.txs.len() - full.txs.len());
+        let value = built.value.saturating_sub(delta.value);
+        prop_assert_eq!(
+            built.bid_at(value, builder.margin_on(value)),
+            full.bid(builder.margin_on(full.value)),
+            "delta-settled bid must equal the full rebuild's bid"
+        );
+
+        // A censoring relay with no list copy at all (enshrined PBS):
+        // only the relay-independent TRON rule applies.
+        let full_bare = builder.censored_variant(&built, base, day, |_| false);
+        let inc_bare = scan.filter_block(&built, None, day);
+        prop_assert_eq!(&full_bare, &inc_bare);
+    }
+
+    /// End-to-end: with bid jitter forced to zero, every declared bid the
+    /// live (incremental) auction submits equals the bid a full per-relay
+    /// rebuild produces, healthy or faulted, and the winning PBS block is
+    /// exactly the full rebuild's filtered transaction list.
+    #[test]
+    fn auction_bids_match_full_rebuild(
+        txs in mempool_strategy(),
+        listed in sanctions_strategy(),
+        day in 0u32..100,
+        seed in any::<u64>(),
+        faulted in any::<bool>(),
+    ) {
+        let sanctions = mk_sanctions(&listed);
+        let seeds = SeedDomain::new(seed);
+        let mut relays = RelayRegistry::paper(&seeds);
+        let fb = relays.id_by_name("Flashbots"); // censoring, stale copy
+        let eden = relays.id_by_name("Eden");    // censoring, lagged copy
+        let us = relays.id_by_name("UltraSound"); // not censoring
+
+        if faulted {
+            relays.get_mut(eden).unwrap().faults = ComponentFaults {
+                health: Health::Down,
+                ..ComponentFaults::default()
+            };
+            relays.get_mut(us).unwrap().faults = ComponentFaults {
+                health: Health::Degraded,
+                stale_response: true,
+                ..ComponentFaults::default()
+            };
+        }
+
+        let mut profile = BuilderProfile::new(
+            "eq-auction",
+            MarginPolicy::Share(0.015),
+            SubsidyPolicy::Never,
+            1.0,
+        );
+        profile.relays = vec![fb, eden, us];
+        let mut builders = vec![Builder::new(BuilderId(0), profile)];
+
+        let mempool: Vec<Transaction> = txs
+            .iter()
+            .enumerate()
+            .map(|(i, &((s, to), (tip, bribe), (fx, r)))| mk_tx(i, s, to, tip, bribe, fx, r))
+            .collect();
+
+        let auction = SlotAuction {
+            slot: Slot(9),
+            day: DayIndex(day),
+            base_fee: GasPrice::from_gwei(12.0),
+            gas_limit: Gas::BLOCK_LIMIT,
+            sanctions: &sanctions,
+            // Zero decay: declared bids are exactly the pre-jitter
+            // variant bids, so they can be checked against a rebuild.
+            jitter_zero_prob: 1.0,
+            jitter_max_frac: 0.0,
+        };
+        let client = MevBoostClient::new(vec![fb]);
+        let pool = Mempool::new(64);
+        let auction_seeds = seeds.subdomain("auction");
+        let result = auction.run(
+            &mut builders,
+            &[Vec::new()],
+            &mempool,
+            &mut relays,
+            Some(&client),
+            Address::derive("proposer"),
+            &pool,
+            &[],
+            &auction_seeds,
+            None,
+        );
+
+        // Reference: rebuild the candidate from the same seed stream and
+        // derive every relay's variant the slow way.
+        let mut build_rng = auction_seeds.stream("build", 0);
+        let built = builders[0].build(
+            &BuildInputs {
+                base_fee: auction.base_fee,
+                gas_limit: auction.gas_limit,
+                mempool: &mempool,
+                bundles: &[],
+            },
+            &mut build_rng,
+        );
+        prop_assert_eq!(result.submissions.len(), 3);
+        for sub in &result.submissions {
+            let relay = relays.get(sub.relay).unwrap();
+            let expected = if relay.info.ofac_compliant {
+                let full = builders[0].censored_variant(&built, auction.base_fee, auction.day, |a| {
+                    relay.blacklist_flags(&sanctions, a, auction.day)
+                });
+                full.bid(builders[0].margin_on(full.value))
+            } else {
+                built.bid(builders[0].margin_on(built.value))
+            };
+            prop_assert_eq!(
+                sub.declared_bid, expected,
+                "declared bid for relay {} must match the full rebuild",
+                relay.info.name
+            );
+        }
+
+        // The winning block (when PBS wins via the censoring Flashbots
+        // relay) is the full rebuild's filtered list plus the payment tx.
+        if result.pbs {
+            let relay = relays.get(fb).unwrap();
+            let full = builders[0].censored_variant(&built, auction.base_fee, auction.day, |a| {
+                relay.blacklist_flags(&sanctions, a, auction.day)
+            });
+            prop_assert_eq!(result.txs.len(), full.txs.len() + 1);
+            prop_assert_eq!(&result.txs[..full.txs.len()], &full.txs[..]);
+            prop_assert_eq!(result.bundle_counts, full.bundle_counts);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Slot-scoped scratch-buffer pools for the auction hot path.
+//!
+//! The parallel build phase assembles a candidate block per builder per
+//! slot, and each assembly needs the same short-lived scratch vectors
+//! (ordering keys, lookup indices). Allocating them fresh per builder
+//! makes the allocator the hot path's bottleneck; a [`BufferPool`]
+//! instead hands out cleared buffers whose *capacity* survives from one
+//! use to the next.
+//!
+//! Pools are meant to live in `thread_local!` statics: the build phase
+//! fans out over rayon workers, and worker threads are long-lived, so
+//! each worker warms up its own pool once and then stops allocating.
+//! Buffers never cross threads, which keeps the pool `RefCell`-cheap and
+//! the simulation's determinism untouched — a pooled buffer is always
+//! handed over empty, so *contents* can never leak between uses, only
+//! capacity.
+//!
+//! Telemetry: each acquisition bumps `simcore.arena.acquires`. The
+//! counter is a pure function of the simulated workload (one bump per
+//! `scope` call), so it stays thread-count invariant; reuse-vs-alloc
+//! splits are deliberately *not* counted globally because they depend on
+//! worker scheduling — per-pool stats are exposed via [`BufferPool::pooled`]
+//! for tests instead.
+
+use std::cell::RefCell;
+
+/// Free buffers retained per pool; returns beyond this are dropped so a
+/// burst can never pin memory forever.
+const MAX_POOLED: usize = 8;
+
+/// A pool of reusable `Vec<T>` scratch buffers.
+pub struct BufferPool<T> {
+    free: RefCell<Vec<Vec<T>>>,
+}
+
+impl<T> Default for BufferPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> BufferPool<T> {
+    /// Creates an empty pool (`const`, so it can back a `thread_local!`).
+    pub const fn new() -> Self {
+        BufferPool {
+            free: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Runs `f` with an empty scratch buffer drawn from the pool, then
+    /// returns the buffer (cleared, capacity kept) for the next caller.
+    ///
+    /// Nested `scope` calls on the same pool each get their own buffer.
+    pub fn scope<R>(&self, f: impl FnOnce(&mut Vec<T>) -> R) -> R {
+        crate::telemetry::counter_add("simcore.arena.acquires", 1);
+        let mut buf = self.free.borrow_mut().pop().unwrap_or_default();
+        let out = f(&mut buf);
+        buf.clear();
+        let mut free = self.free.borrow_mut();
+        if free.len() < MAX_POOLED {
+            free.push(buf);
+        }
+        out
+    }
+
+    /// Number of free buffers currently pooled (test introspection).
+    pub fn pooled(&self) -> usize {
+        self.free.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_arrive_empty_and_keep_capacity() {
+        let pool: BufferPool<u64> = BufferPool::new();
+        pool.scope(|buf| {
+            assert!(buf.is_empty());
+            buf.extend(0..1000);
+        });
+        assert_eq!(pool.pooled(), 1);
+        pool.scope(|buf| {
+            assert!(buf.is_empty(), "contents must never leak between uses");
+            assert!(buf.capacity() >= 1000, "capacity must be reused");
+        });
+    }
+
+    #[test]
+    fn nested_scopes_get_distinct_buffers() {
+        let pool: BufferPool<u8> = BufferPool::new();
+        pool.scope(|outer| {
+            outer.push(1);
+            pool.scope(|inner| {
+                assert!(inner.is_empty());
+                inner.push(2);
+            });
+            assert_eq!(outer.as_slice(), &[1]);
+        });
+        assert_eq!(pool.pooled(), 2);
+    }
+
+    #[test]
+    fn pool_size_is_capped() {
+        let pool: BufferPool<u8> = BufferPool::new();
+        // Acquire MAX_POOLED + 3 buffers simultaneously, then release all.
+        fn nest(pool: &BufferPool<u8>, depth: usize) {
+            if depth == 0 {
+                return;
+            }
+            pool.scope(|_| nest(pool, depth - 1));
+        }
+        nest(&pool, MAX_POOLED + 3);
+        assert_eq!(pool.pooled(), MAX_POOLED);
+    }
+
+    #[test]
+    fn scope_returns_the_closure_value() {
+        let pool: BufferPool<u32> = BufferPool::new();
+        let sum = pool.scope(|buf| {
+            buf.extend([1, 2, 3]);
+            buf.iter().sum::<u32>()
+        });
+        assert_eq!(sum, 6);
+    }
+}

@@ -31,6 +31,7 @@
 //! assert_eq!(q.pop().unwrap().1, "first");
 //! ```
 
+pub mod arena;
 pub mod digest;
 pub mod dist;
 pub mod events;
@@ -42,6 +43,7 @@ pub mod snapshot;
 pub mod telemetry;
 pub mod time;
 
+pub use arena::BufferPool;
 pub use digest::{sha256, sha256_hex};
 pub use dist::{Exponential, LogNormal, Pareto, Poisson};
 pub use events::EventQueue;

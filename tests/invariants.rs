@@ -170,6 +170,45 @@ fn conservation_holds_with_faults_off() {
 }
 
 #[test]
+fn incremental_variant_counters_reconcile() {
+    let (run, snap) = instrumented_run(ScenarioConfig::test_small(42, 7));
+    let incremental = counter(&snap, "pbs.auction.variant.incremental");
+    let reused = counter(&snap, "pbs.auction.variant.view_reused");
+    let materialized = counter(&snap, "pbs.auction.variant.materialized");
+    let fallback = counter(&snap, "pbs.auction.variant.fallback_full");
+    let candidates = counter(&snap, "pbs.auction.candidates_built");
+
+    // Censoring relays exist in every paper scenario, so bids are being
+    // settled incrementally, and never more than once per candidate ×
+    // distinct blacklist view.
+    assert!(incremental > 0, "incremental derivation must be exercised");
+    // Every censoring-relay submission settles its bid exactly once,
+    // either fresh or from the per-candidate view cache; honest
+    // submissions settle none.
+    assert!(
+        incremental + reused <= counter(&snap, "pbs.auction.submissions"),
+        "more variant settlements than submissions"
+    );
+    // The build phase always scans when a censoring relay is subscribed,
+    // so the propose phase never needs the defensive full rescan.
+    assert_eq!(fallback, 0, "winner reconstruction must reuse the scan");
+    // At most one variant is materialized per proposed PBS block.
+    let pbs_blocks = run.blocks.iter().filter(|b| b.pbs_truth).count() as u64;
+    assert!(
+        materialized <= pbs_blocks,
+        "materialized {materialized} > pbs blocks {pbs_blocks}"
+    );
+
+    // The builder arena hands out exactly three scratch buffers per
+    // candidate build — a pure function of the workload.
+    assert_eq!(
+        counter(&snap, "simcore.arena.acquires"),
+        3 * candidates,
+        "arena acquisitions must be workload-determined"
+    );
+}
+
+#[test]
 fn conservation_holds_under_paper_incidents() {
     let (run, snap) = instrumented_run(ScenarioConfig {
         faults: FaultConfig::paper_incidents(),
