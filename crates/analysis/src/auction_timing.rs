@@ -1,0 +1,188 @@
+//! Intra-slot auction microstructure: win rates vs latency and the
+//! bid-escalation curve over sub-slot time.
+//!
+//! Both aggregations consume the per-slot timing traces a streamed run
+//! records (`RunArtifacts::timing_slots`); they are empty for the default
+//! one-shot configuration. The headline shapes: a sniper's win rate falls
+//! with its submission latency (a late bid that arrives after the
+//! eligibility deadline is worthless), and the median top-of-book bid is
+//! non-decreasing over sub-slot time (bids accumulate; cancellations are
+//! retroactive).
+
+use crate::stats::{mean, median};
+use pbs::StrategyKind;
+use scenario::RunArtifacts;
+
+/// One builder's auction record: how often it won, given its strategy and
+/// its drawn submission latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WinRateRow {
+    /// The builder's display name.
+    pub name: String,
+    /// The strategy family the builder played all run.
+    pub strategy: StrategyKind,
+    /// The builder's one-way submission latency in ms.
+    pub latency_ms: u64,
+    /// Slots in which a streamed auction ran.
+    pub auctions: u64,
+    /// Slots this builder's bid won.
+    pub wins: u64,
+    /// `wins / auctions` (0 when no auction ran).
+    pub win_rate: f64,
+}
+
+/// Per-builder win rates, sorted by latency then name so the
+/// win-rate-vs-latency curve reads top to bottom.
+pub fn win_rate_by_latency(run: &RunArtifacts) -> Vec<WinRateRow> {
+    let auctions = run.timing_slots.len() as u64;
+    let mut rows: Vec<WinRateRow> = run
+        .timing_builders
+        .iter()
+        .map(|b| {
+            let wins = run
+                .timing_slots
+                .iter()
+                .filter(|t| t.winner == Some(b.builder))
+                .count() as u64;
+            WinRateRow {
+                name: b.name.clone(),
+                strategy: b.strategy,
+                latency_ms: b.latency_ms,
+                auctions,
+                wins,
+                win_rate: if auctions > 0 {
+                    wins as f64 / auctions as f64
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| (a.latency_ms, &a.name).cmp(&(b.latency_ms, &b.name)));
+    rows
+}
+
+/// One point of the bid-escalation curve: top-of-book statistics across
+/// all auctioned slots at a fixed offset from slot start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EscalationRow {
+    /// Offset from slot start in ms.
+    pub tick_ms: u64,
+    /// Slots contributing a sample at this tick.
+    pub samples: u64,
+    /// Median top declared bid across slots, in ETH.
+    pub median_top_bid_eth: f64,
+    /// Mean top declared bid across slots, in ETH.
+    pub mean_top_bid_eth: f64,
+}
+
+/// The bid-escalation curve: per tick of the sampling grid, the median
+/// and mean top-of-book bid across every auctioned slot.
+pub fn escalation_curve(run: &RunArtifacts) -> Vec<EscalationRow> {
+    let ticks = run
+        .timing_slots
+        .iter()
+        .map(|t| t.top_bid_by_tick.len())
+        .max()
+        .unwrap_or(0);
+    let tick_ms = run.config.auction_timing.tick_ms;
+    (0..ticks)
+        .map(|i| {
+            let samples: Vec<f64> = run
+                .timing_slots
+                .iter()
+                .filter_map(|t| t.top_bid_by_tick.get(i))
+                .map(|w| w.as_eth())
+                .collect();
+            EscalationRow {
+                tick_ms: i as u64 * tick_ms,
+                samples: samples.len() as u64,
+                median_top_bid_eth: median(&samples),
+                mean_top_bid_eth: mean(&samples),
+            }
+        })
+        .collect()
+}
+
+/// Sniper win rate bucketed by latency (`bucket_ms`-wide bins, keyed by
+/// the bin's lower edge): the §2-style latency-race summary. Buckets with
+/// no sniper builders are omitted.
+pub fn sniper_win_rate_by_latency_bucket(run: &RunArtifacts, bucket_ms: u64) -> Vec<(u64, f64)> {
+    let mut buckets: std::collections::BTreeMap<u64, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    for row in win_rate_by_latency(run) {
+        if row.strategy != StrategyKind::Sniper {
+            continue;
+        }
+        let b = row.latency_ms / bucket_ms.max(1) * bucket_ms.max(1);
+        let e = buckets.entry(b).or_insert((0, 0));
+        e.0 += row.wins;
+        e.1 += row.auctions;
+    }
+    buckets
+        .into_iter()
+        .map(|(b, (w, n))| (b, if n > 0 { w as f64 / n as f64 } else { 0.0 }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scenario::{AuctionTimingConfig, ScenarioConfig, Simulation};
+
+    fn timed_run() -> RunArtifacts {
+        let mut cfg = ScenarioConfig::test_small(31, 2);
+        cfg.auction_timing = AuctionTimingConfig::streamed();
+        Simulation::new(cfg).run()
+    }
+
+    #[test]
+    fn one_shot_runs_produce_empty_aggregations() {
+        let run = crate::util::testutil::shared_run();
+        assert!(win_rate_by_latency(run).is_empty());
+        assert!(escalation_curve(run).is_empty());
+        assert!(sniper_win_rate_by_latency_bucket(run, 100).is_empty());
+    }
+
+    #[test]
+    fn win_rates_sum_to_the_won_slot_count() {
+        let run = timed_run();
+        let rows = win_rate_by_latency(&run);
+        assert_eq!(rows.len(), run.timing_builders.len());
+        let wins: u64 = rows.iter().map(|r| r.wins).sum();
+        let won_slots = run
+            .timing_slots
+            .iter()
+            .filter(|t| t.winner.is_some())
+            .count() as u64;
+        assert_eq!(wins, won_slots);
+        for r in &rows {
+            assert!(r.win_rate <= 1.0);
+            assert_eq!(r.auctions, run.timing_slots.len() as u64);
+        }
+        // Sorted by latency.
+        for w in rows.windows(2) {
+            assert!(w[0].latency_ms <= w[1].latency_ms);
+        }
+    }
+
+    #[test]
+    fn escalation_curve_is_monotone_in_the_median() {
+        let run = timed_run();
+        let curve = escalation_curve(&run);
+        assert!(!curve.is_empty());
+        // Per-slot top-of-book is monotone by construction, so every
+        // order statistic of it across slots is monotone too.
+        for w in curve.windows(2) {
+            assert!(
+                w[0].median_top_bid_eth <= w[1].median_top_bid_eth + 1e-12,
+                "median top bid regressed between ticks {} and {}",
+                w[0].tick_ms,
+                w[1].tick_ms
+            );
+            assert!(w[0].mean_top_bid_eth <= w[1].mean_top_bid_eth + 1e-12);
+        }
+        let last = curve.last().unwrap();
+        assert!(last.median_top_bid_eth > 0.0, "no bids ever arrived");
+    }
+}

@@ -6,6 +6,8 @@
 //!
 //! * [`stats`] — percentiles, box-plot summaries, HHI,
 //! * [`adoption`] — Figure 4 and the §4 PBS-detection cross-check,
+//! * [`auction_timing`] — streamed-auction microstructure: win rate vs
+//!   latency and the bid-escalation curve over sub-slot time,
 //! * [`relay_share`] — Figures 5 and 7,
 //! * [`concentration`] — Figure 6 (relay & builder HHI),
 //! * [`builder_share`] — Figure 8 and the Appendix B pubkey clustering,
@@ -21,6 +23,7 @@
 //! * [`report`] — one call that computes everything.
 
 pub mod adoption;
+pub mod auction_timing;
 pub mod block_size;
 pub mod block_value;
 pub mod builder_share;

@@ -559,6 +559,46 @@ pub fn write_artifact_bundle(
         datasets::write_csv(&dir.join("fault_audit.csv"), &t)?;
     }
 
+    // Auction-timing aggregations exist only for streamed runs; the
+    // default one-shot bundle stays byte-for-byte unchanged.
+    if !run.timing_slots.is_empty() {
+        let mut t = CsvTable::new(&[
+            "builder",
+            "strategy",
+            "latency_ms",
+            "auctions",
+            "wins",
+            "win_rate",
+        ]);
+        for r in crate::auction_timing::win_rate_by_latency(run) {
+            t.push_row(vec![
+                r.name,
+                r.strategy.name().to_string(),
+                r.latency_ms.to_string(),
+                r.auctions.to_string(),
+                r.wins.to_string(),
+                r.win_rate.to_string(),
+            ]);
+        }
+        datasets::write_csv(&dir.join("auction_timing_win_rate.csv"), &t)?;
+
+        let mut t = CsvTable::new(&[
+            "tick_ms",
+            "samples",
+            "median_top_bid_eth",
+            "mean_top_bid_eth",
+        ]);
+        for r in crate::auction_timing::escalation_curve(run) {
+            t.push_row(vec![
+                r.tick_ms.to_string(),
+                r.samples.to_string(),
+                r.median_top_bid_eth.to_string(),
+                r.mean_top_bid_eth.to_string(),
+            ]);
+        }
+        datasets::write_csv(&dir.join("auction_timing_escalation.csv"), &t)?;
+    }
+
     Ok((summary, tables_txt))
 }
 

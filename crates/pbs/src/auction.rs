@@ -9,16 +9,17 @@
 //! header. Validators without MEV-Boost — or left without bids — build
 //! locally with naive gas-price ordering.
 
-use crate::boost::{BoostEvent, LocalBuilder, MevBoostClient};
+use crate::boost::{BoostEvent, LocalBuilder, MevBoostClient, TimedQuery};
 use crate::builder::{BuildInputs, Builder, BuilderId, BuiltBlock};
 use crate::ofac::{tx_touches_sanctioned, CensorScan, SanctionsList};
 use crate::relay::{RelayId, RelayRegistry, Submission};
+use crate::timing::{AuctionTimingTrace, BidStrategy, TimingParams};
 use eth_types::{Address, BlsPublicKey, DayIndex, Gas, GasPrice, Slot, Transaction, Wei};
 use execution::Mempool;
 use mev::Bundle;
 use rand::Rng;
 use rayon::prelude::*;
-use simcore::{telemetry, SeedDomain};
+use simcore::{telemetry, SeedDomain, SimTime, TickGrid};
 
 /// Static per-slot auction parameters.
 #[derive(Debug, Clone)]
@@ -38,6 +39,9 @@ pub struct SlotAuction<'a> {
     pub jitter_zero_prob: f64,
     /// Maximum relative bid decay when jitter applies.
     pub jitter_max_frac: f64,
+    /// Streamed-auction timing parameters. `None` runs the legacy
+    /// one-shot submission phase, byte-identical to pre-timing builds.
+    pub timing: Option<&'a TimingParams>,
 }
 
 /// One builder→relay submission, as the relay-data crawl would record it.
@@ -86,6 +90,8 @@ pub struct SlotResult {
     /// The MEV-Boost client's decision trail (empty without a client; only
     /// the trivial signed/delivered pair when every relay is healthy).
     pub events: Vec<BoostEvent>,
+    /// Sub-slot timing trace (streamed auctions only).
+    pub timing: Option<AuctionTimingTrace>,
 }
 
 /// A builder's fully-assembled slot candidate, produced by the parallel
@@ -101,8 +107,30 @@ struct Candidate {
     /// the propose phase can materialize the winning variant without
     /// rescanning the block.
     scan: Option<CensorScan>,
-    /// `(relay, pre-jitter bid, sandwich count)` in profile order.
-    relay_variants: Vec<(RelayId, Wei, usize)>,
+    /// `(relay, pre-jitter bid, variant value, sandwich count)` in
+    /// profile order. The value is the margin-free ceiling a streamed
+    /// sniper can escalate a contested bid up to.
+    relay_variants: Vec<(RelayId, Wei, Wei, usize)>,
+}
+
+/// One message on a builder→relay wire in the streamed auction.
+#[derive(Debug, Clone, Copy)]
+enum TimedMessage {
+    /// A bid submission.
+    Bid {
+        relay: RelayId,
+        builder: BuilderId,
+        pubkey: BlsPublicKey,
+        declared: Wei,
+        true_bid: Wei,
+        sandwiches: usize,
+    },
+    /// A cancellation of this builder's bid with the given declared value.
+    Cancel {
+        relay: RelayId,
+        builder: BuilderId,
+        declared: Wei,
+    },
 }
 
 impl<'a> SlotAuction<'a> {
@@ -172,7 +200,7 @@ impl<'a> SlotAuction<'a> {
                 // materialized here — only the winning variant is, in
                 // the propose phase.
                 let mut scan: Option<CensorScan> = None;
-                let mut views: Vec<(Option<&crate::ofac::RelayBlacklist>, Wei)> = Vec::new();
+                let mut views: Vec<(Option<&crate::ofac::RelayBlacklist>, Wei, Wei)> = Vec::new();
                 let relay_variants = builder
                     .profile
                     .relays
@@ -186,27 +214,27 @@ impl<'a> SlotAuction<'a> {
                                 CensorScan::of(&built.txs, self.base_fee, self.sanctions)
                             });
                             let view = relay.blacklist.as_ref();
-                            let bid = match views.iter().find(|(v, _)| *v == view) {
-                                Some(&(_, bid)) => {
+                            let (bid, value) = match views.iter().find(|(v, ..)| *v == view) {
+                                Some(&(_, bid, value)) => {
                                     telemetry::counter_add("pbs.auction.variant.view_reused", 1);
-                                    bid
+                                    (bid, value)
                                 }
                                 None => {
                                     let delta = scan.delta(view, self.day);
                                     let value = built.value.saturating_sub(delta.value);
                                     let bid = built.bid_at(value, builder.margin_on(value));
                                     telemetry::counter_add("pbs.auction.variant.incremental", 1);
-                                    views.push((view, bid));
-                                    bid
+                                    views.push((view, bid, value));
+                                    (bid, value)
                                 }
                             };
                             // Censoring strips transactions, never whole
                             // bundles from the count: `censored_variant`
                             // keeps `bundle_counts`, so the declared
                             // sandwich count is the base block's.
-                            (rid, bid, built.bundle_counts[0])
+                            (rid, bid, value, built.bundle_counts[0])
                         } else {
-                            (rid, honest_bid, built.bundle_counts[0])
+                            (rid, honest_bid, built.value, built.bundle_counts[0])
                         })
                     })
                     .collect();
@@ -224,78 +252,105 @@ impl<'a> SlotAuction<'a> {
 
         // 2. Submission phase: sequential, in ascending builder order, so
         // every jitter draw and relay state transition happens in the same
-        // order no matter how phase 1 was scheduled.
+        // order no matter how phase 1 was scheduled. The streamed path
+        // replays the exact same jitter draws to settle per-relay bid
+        // targets, then spreads the submissions over sub-slot time.
         let submit_span = simcore::span!("auction.submit");
         let mut jitter_rng = seeds.rng("jitter");
         let mut submissions: Vec<SubmissionRecord> = Vec::new();
-        for (bi, cand) in candidates.iter().enumerate() {
-            let builder_id = builders[bi].id;
-            for &(rid, variant_bid, variant_sandwiches) in &cand.relay_variants {
-                // Per-relay bid decay (latency: the last bid update differs
-                // across relays).
-                let decay = if jitter_rng.random::<f64>() < self.jitter_zero_prob {
-                    Wei::ZERO
-                } else {
-                    let f = jitter_rng.random::<f64>() * self.jitter_max_frac;
-                    variant_bid.mul_ratio((f * 1_000_000.0) as u128, 1_000_000)
-                };
-                let mut declared = variant_bid.saturating_sub(decay);
-                let mut true_bid = declared;
+        let mut timing_trace: Option<AuctionTimingTrace> = None;
+        if let Some(tp) = self.timing {
+            timing_trace = Some(self.submit_streamed(
+                builders,
+                &candidates,
+                relays,
+                tp,
+                &mut jitter_rng,
+                dishonest_bid,
+                &mut submissions,
+            ));
+        } else {
+            for (bi, cand) in candidates.iter().enumerate() {
+                let builder_id = builders[bi].id;
+                for &(rid, variant_bid, _variant_value, variant_sandwiches) in &cand.relay_variants
+                {
+                    // Per-relay bid decay (latency: the last bid update differs
+                    // across relays).
+                    let decay = if jitter_rng.random::<f64>() < self.jitter_zero_prob {
+                        Wei::ZERO
+                    } else {
+                        let f = jitter_rng.random::<f64>() * self.jitter_max_frac;
+                        variant_bid.mul_ratio((f * 1_000_000.0) as u128, 1_000_000)
+                    };
+                    let mut declared = variant_bid.saturating_sub(decay);
+                    let mut true_bid = declared;
 
-                // The exploit path: declare an inflated bid; relays that
-                // verify will reject it, Manifold (pre-fix) will not.
-                if let Some((cheater, inflated)) = dishonest_bid {
-                    if cheater == builder_id {
-                        declared = inflated;
-                        true_bid = variant_bid;
+                    // The exploit path: declare an inflated bid; relays that
+                    // verify will reject it, Manifold (pre-fix) will not.
+                    if let Some((cheater, inflated)) = dishonest_bid {
+                        if cheater == builder_id {
+                            declared = inflated;
+                            true_bid = variant_bid;
+                        }
                     }
-                }
 
-                let Some(relay) = relays.get_mut(rid) else {
-                    continue;
-                };
-                let accepted = relay.consider(
-                    Submission {
-                        slot: self.slot,
+                    let Some(relay) = relays.get_mut(rid) else {
+                        continue;
+                    };
+                    let accepted = relay.consider(
+                        Submission {
+                            slot: self.slot,
+                            builder: builder_id,
+                            pubkey: cand.pubkey,
+                            declared_bid: declared,
+                            true_bid,
+                            sandwich_count: variant_sandwiches,
+                            flagged_by_blacklist: false,
+                        },
+                        self.day,
+                    );
+                    if telemetry::enabled() {
+                        let name = &relay.info.name;
+                        telemetry::counter_add("pbs.auction.submissions", 1);
+                        telemetry::counter_add(
+                            &format!("pbs.relay.submissions{{relay=\"{name}\"}}"),
+                            1,
+                        );
+                        if accepted {
+                            telemetry::counter_add(
+                                &format!("pbs.relay.submissions_accepted{{relay=\"{name}\"}}"),
+                                1,
+                            );
+                        }
+                    }
+                    submissions.push(SubmissionRecord {
+                        relay: rid,
                         builder: builder_id,
                         pubkey: cand.pubkey,
                         declared_bid: declared,
-                        true_bid,
-                        sandwich_count: variant_sandwiches,
-                        flagged_by_blacklist: false,
-                    },
-                    self.day,
-                );
-                if telemetry::enabled() {
-                    let name = &relay.info.name;
-                    telemetry::counter_add("pbs.auction.submissions", 1);
-                    telemetry::counter_add(
-                        &format!("pbs.relay.submissions{{relay=\"{name}\"}}"),
-                        1,
-                    );
-                    if accepted {
-                        telemetry::counter_add(
-                            &format!("pbs.relay.submissions_accepted{{relay=\"{name}\"}}"),
-                            1,
-                        );
-                    }
+                        accepted,
+                    });
                 }
-                submissions.push(SubmissionRecord {
-                    relay: rid,
-                    builder: builder_id,
-                    pubkey: cand.pubkey,
-                    declared_bid: declared,
-                    accepted,
-                });
             }
         }
         drop(submit_span);
 
         // 3. Proposer side: the full MEV-Boost round (retry, fallback,
         // payload fetch); with every relay healthy it reduces to
-        // `best_header` plus a delivery from the primary relay.
+        // `best_header` plus a delivery from the primary relay. Streamed
+        // auctions answer `getHeader` from each relay's book at the
+        // configured query instant.
         let propose_span = simcore::span!("auction.propose");
-        let report = client.map(|c| c.propose(relays));
+        let report = client.map(|c| match self.timing {
+            Some(tp) => c.propose_timed(
+                relays,
+                TimedQuery {
+                    now: self.slot_start().plus_millis(tp.header_query_ms),
+                    staleness_lag_ms: tp.staleness_lag_ms,
+                },
+            ),
+            None => c.propose(relays),
+        });
         drop(propose_span);
         let (choice, payload_relay, missed, mut events) = match report {
             Some(r) => (r.choice, r.payload_relay, r.missed, r.events),
@@ -317,6 +372,7 @@ impl<'a> SlotAuction<'a> {
                     submissions,
                     missed: true,
                     events,
+                    timing: timing_trace,
                 }
             }
             (Some(choice), Some(delivering)) => {
@@ -416,6 +472,7 @@ impl<'a> SlotAuction<'a> {
                     submissions,
                     missed: false,
                     events,
+                    timing: timing_trace,
                 }
             }
             _ => {
@@ -437,6 +494,7 @@ impl<'a> SlotAuction<'a> {
                     submissions,
                     missed: false,
                     events,
+                    timing: timing_trace,
                 }
             }
         };
@@ -455,6 +513,391 @@ impl<'a> SlotAuction<'a> {
             relay.end_slot();
         }
         result
+    }
+
+    /// Absolute simulated time at which this slot opens.
+    fn slot_start(&self) -> SimTime {
+        SimTime::from_secs(self.slot.0 * eth_types::SECONDS_PER_SLOT)
+    }
+
+    /// The streamed submission phase: every builder's bid targets are
+    /// settled with the *same* jitter draws as the one-shot path, then
+    /// each builder's strategy unrolls those targets into a message
+    /// schedule (bids and cancellations), messages travel through the
+    /// builder→relay latency channels, and relays ingest them in arrival
+    /// order against the bid-eligibility deadline and cancellation
+    /// cutoff. Returns the slot's timing trace.
+    ///
+    /// Determinism: bid schedules are pure functions of the timing
+    /// parameters (strategy, latency, deadline), unrolled in ascending
+    /// builder order; arrival ties are broken by generation sequence.
+    /// With the degenerate parameter set (`Naive {rebids: 1}` everywhere,
+    /// zero latency, accrual floor 1000) relays see the exact submission
+    /// sequence of the legacy auction.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_streamed(
+        &self,
+        builders: &[Builder],
+        candidates: &[Candidate],
+        relays: &mut RelayRegistry,
+        tp: &TimingParams,
+        jitter_rng: &mut impl Rng,
+        dishonest_bid: Option<(BuilderId, Wei)>,
+        submissions: &mut Vec<SubmissionRecord>,
+    ) -> AuctionTimingTrace {
+        // Targets: replay the legacy jitter sequence per (builder, relay).
+        // `true_target` differs from `declared_target` only for the
+        // dishonest builder.
+        type BidTargets = Vec<(RelayId, Wei, Wei, Wei, usize)>;
+        let mut targets: Vec<BidTargets> = Vec::with_capacity(candidates.len());
+        for (bi, cand) in candidates.iter().enumerate() {
+            let builder_id = builders[bi].id;
+            let mut per_relay = Vec::with_capacity(cand.relay_variants.len());
+            for &(rid, variant_bid, variant_value, variant_sandwiches) in &cand.relay_variants {
+                let decay = if jitter_rng.random::<f64>() < self.jitter_zero_prob {
+                    Wei::ZERO
+                } else {
+                    let f = jitter_rng.random::<f64>() * self.jitter_max_frac;
+                    variant_bid.mul_ratio((f * 1_000_000.0) as u128, 1_000_000)
+                };
+                let mut declared = variant_bid.saturating_sub(decay);
+                let mut true_bid = declared;
+                if let Some((cheater, inflated)) = dishonest_bid {
+                    if cheater == builder_id {
+                        declared = inflated;
+                        true_bid = variant_bid;
+                    }
+                }
+                per_relay.push((rid, declared, true_bid, variant_value, variant_sandwiches));
+            }
+            targets.push(per_relay);
+        }
+
+        // The late-slot value increment is common — CEX–DEX arbitrage
+        // and other market-wide opportunities that open near the end of
+        // the slot are visible to every builder still bidding — so it is
+        // indexed to the best value any builder can realize on that
+        // relay. Only the floor share (exclusive flow, private bundles
+        // received early) stays builder-specific. Competition leaves no
+        // margin on the common component.
+        let mut relay_vmax: Vec<(RelayId, Wei)> = Vec::new();
+        for per_relay in &targets {
+            for &(rid, _, _, value, _) in per_relay {
+                match relay_vmax.iter_mut().find(|(r, _)| *r == rid) {
+                    Some((_, v)) => *v = (*v).max(value),
+                    None => relay_vmax.push((rid, value)),
+                }
+            }
+        }
+        let vmax_of = |rid: RelayId| {
+            relay_vmax
+                .iter()
+                .find(|(r, _)| *r == rid)
+                .map(|&(_, v)| v)
+                .unwrap_or(Wei::ZERO)
+        };
+        // What a bid built on `own` (the builder-specific component,
+        // margin already applied) and sent at `sent_ms` can commit to.
+        let floor = tp.accrual_floor_permille.min(1000) as u128;
+        let priced = |own: Wei, vmax: Wei, sent_ms: u64| -> Wei {
+            let inc = tp.accrual_permille(sent_ms) - floor;
+            own.mul_ratio(floor, 1000)
+                .saturating_add(vmax.mul_ratio(inc, 1000))
+        };
+
+        // Unroll strategies into a message stream. Events carry their
+        // send time; arrival adds the builder→relay channel delay. Every
+        // honest bid is priced at the value accrued by its send time —
+        // MEV arrives late in the slot, so bidding later commits more.
+        let deadline = tp.bid_deadline_ms;
+        let mut events: Vec<(u64, usize, TimedMessage)> = Vec::new();
+        let push = |events: &mut Vec<(u64, usize, TimedMessage)>,
+                    builder: BuilderId,
+                    rid: RelayId,
+                    sent_ms: u64,
+                    msg: TimedMessage| {
+            let arrival = tp
+                .channel(builder, rid)
+                .arrival(SimTime::from_millis(sent_ms));
+            let seq = events.len();
+            events.push((arrival.0, seq, msg));
+        };
+
+        // Non-snipers first (ascending builder id): their bids are what
+        // snipers can observe.
+        for (bi, per_relay) in targets.iter().enumerate() {
+            let builder_id = builders[bi].id;
+            let pubkey = candidates[bi].pubkey;
+            match tp.strategy_for(builder_id) {
+                BidStrategy::Sniper { .. } => continue,
+                BidStrategy::Naive { rebids } => {
+                    let n = rebids.max(1);
+                    for &(rid, declared_target, true_target, _value, sandwiches) in per_relay {
+                        for j in 0..n {
+                            let sent = (j as u64) * deadline / (n as u64);
+                            let declared = priced(declared_target, vmax_of(rid), sent);
+                            let true_bid = if declared_target == true_target {
+                                declared
+                            } else {
+                                true_target
+                            };
+                            push(
+                                &mut events,
+                                builder_id,
+                                rid,
+                                sent,
+                                TimedMessage::Bid {
+                                    relay: rid,
+                                    builder: builder_id,
+                                    pubkey,
+                                    declared,
+                                    true_bid,
+                                    sandwiches,
+                                },
+                            );
+                        }
+                    }
+                }
+                BidStrategy::Canceller { rebid_permille } => {
+                    for &(rid, declared_target, true_target, _value, sandwiches) in per_relay {
+                        // Bid high early…
+                        push(
+                            &mut events,
+                            builder_id,
+                            rid,
+                            deadline / 6,
+                            TimedMessage::Bid {
+                                relay: rid,
+                                builder: builder_id,
+                                pubkey,
+                                declared: declared_target,
+                                true_bid: true_target,
+                                sandwiches,
+                            },
+                        );
+                        // …pull it mid-slot…
+                        push(
+                            &mut events,
+                            builder_id,
+                            rid,
+                            deadline / 2,
+                            TimedMessage::Cancel {
+                                relay: rid,
+                                builder: builder_id,
+                                declared: declared_target,
+                            },
+                        );
+                        // …and rebid low, off the value accrued by then.
+                        let rebid_at = 2 * deadline / 3;
+                        let low = priced(declared_target, vmax_of(rid), rebid_at)
+                            .mul_ratio(rebid_permille as u128, 1000);
+                        let low_true = if declared_target == true_target {
+                            low
+                        } else {
+                            true_target
+                        };
+                        push(
+                            &mut events,
+                            builder_id,
+                            rid,
+                            rebid_at,
+                            TimedMessage::Bid {
+                                relay: rid,
+                                builder: builder_id,
+                                pubkey,
+                                declared: low,
+                                true_bid: low_true,
+                                sandwiches,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        // Snipers (ascending builder id): each sizes its bid off the top
+        // of book it can observe one builder-latency before sending.
+        for (bi, per_relay) in targets.iter().enumerate() {
+            let builder_id = builders[bi].id;
+            let BidStrategy::Sniper { lead_ms } = tp.strategy_for(builder_id) else {
+                continue;
+            };
+            let pubkey = candidates[bi].pubkey;
+            for &(rid, declared_target, true_target, variant_value, sandwiches) in per_relay {
+                // A sniper knows its own channel delay and dispatches one
+                // delay plus a safety slack (`lead_ms`) before the
+                // deadline, so the bid lands just in time — its latency
+                // cost is paid in value (an earlier send commits less
+                // accrued MEV) and in information (an older book view).
+                let channel = tp.channel(builder_id, rid).delay_ms;
+                let sent = deadline.saturating_sub(lead_ms + channel);
+                let observe_by = sent.saturating_sub(tp.builder_latency(builder_id));
+                let mut observed = Wei::ZERO;
+                for &(arrival, _, ref msg) in &events {
+                    let TimedMessage::Bid {
+                        relay,
+                        builder,
+                        declared,
+                        ..
+                    } = *msg
+                    else {
+                        continue;
+                    };
+                    if relay != rid || arrival > observe_by {
+                        continue;
+                    }
+                    // A bid the sniper saw cancelled is not top of book.
+                    let cancelled = events.iter().any(|&(ca, _, ref cm)| {
+                        matches!(
+                            *cm,
+                            TimedMessage::Cancel { relay: cr, builder: cb, declared: cd }
+                                if cr == rid && cb == builder && cd == declared && ca <= observe_by
+                        )
+                    });
+                    if !cancelled {
+                        observed = observed.max(declared);
+                    }
+                }
+                // The sniper's edge is timing: bidding at the deadline,
+                // it commits to nearly the full accrued value while
+                // everyone else's last bid left mid-slot. Uncontested it
+                // keeps its margin; contested it escalates the margin
+                // away, up to the value accrued at its send time, priced
+                // just above the (possibly stale) top of book — a
+                // high-latency sniper observes an older book and
+                // underbids, and its bid may miss the deadline entirely.
+                let margin_bid = priced(declared_target, vmax_of(rid), sent);
+                let value_cap = priced(variant_value, vmax_of(rid), sent);
+                let declared = if declared_target != true_target {
+                    declared_target // dishonest inflation is already maximal
+                } else if observed.is_zero() {
+                    margin_bid
+                } else {
+                    margin_bid.max(value_cap.min(observed.mul_ratio(101, 100)))
+                };
+                let true_bid = if declared_target == true_target {
+                    declared
+                } else {
+                    true_target
+                };
+                push(
+                    &mut events,
+                    builder_id,
+                    rid,
+                    sent,
+                    TimedMessage::Bid {
+                        relay: rid,
+                        builder: builder_id,
+                        pubkey,
+                        declared,
+                        true_bid,
+                        sandwiches,
+                    },
+                );
+            }
+        }
+
+        // Deliver in arrival order (generation sequence breaks ties).
+        events.sort_by_key(|&(arrival, seq, _)| (arrival, seq));
+        let t0 = self.slot_start();
+        let deadline_abs = t0.plus_millis(tp.bid_deadline_ms);
+        let cutoff_abs = t0.plus_millis(tp.cancel_cutoff_ms);
+        let mut trace = AuctionTimingTrace {
+            bids: 0,
+            cancels: 0,
+            late_bids: 0,
+            top_bid_by_tick: Vec::new(),
+        };
+        for (arrival_ms, _seq, msg) in events {
+            let arrival = t0.plus_millis(arrival_ms);
+            match msg {
+                TimedMessage::Bid {
+                    relay: rid,
+                    builder,
+                    pubkey,
+                    declared,
+                    true_bid,
+                    sandwiches,
+                } => {
+                    if arrival_ms > tp.bid_deadline_ms {
+                        trace.late_bids += 1;
+                    }
+                    let Some(relay) = relays.get_mut(rid) else {
+                        continue;
+                    };
+                    let accepted = relay.consider_timed(
+                        Submission {
+                            slot: self.slot,
+                            builder,
+                            pubkey,
+                            declared_bid: declared,
+                            true_bid,
+                            sandwich_count: sandwiches,
+                            flagged_by_blacklist: false,
+                        },
+                        self.day,
+                        arrival,
+                        deadline_abs,
+                    );
+                    if accepted {
+                        trace.bids += 1;
+                    }
+                    if telemetry::enabled() {
+                        let name = &relay.info.name;
+                        telemetry::counter_add("pbs.auction.submissions", 1);
+                        telemetry::counter_add(
+                            &format!("pbs.relay.submissions{{relay=\"{name}\"}}"),
+                            1,
+                        );
+                        if accepted {
+                            telemetry::counter_add(
+                                &format!("pbs.relay.submissions_accepted{{relay=\"{name}\"}}"),
+                                1,
+                            );
+                        }
+                    }
+                    submissions.push(SubmissionRecord {
+                        relay: rid,
+                        builder,
+                        pubkey,
+                        declared_bid: declared,
+                        accepted,
+                    });
+                }
+                TimedMessage::Cancel {
+                    relay: rid,
+                    builder,
+                    declared,
+                } => {
+                    let Some(relay) = relays.get_mut(rid) else {
+                        continue;
+                    };
+                    if relay.cancel_timed(builder, declared, arrival, cutoff_abs) {
+                        trace.cancels += 1;
+                        telemetry::counter_add("pbs.auction.cancels", 1);
+                    }
+                }
+            }
+        }
+
+        // Sample the escalation curve: top declared bid across all relay
+        // books at each tick. Views only ever grow with t (cancellation
+        // is retroactive), so the curve is monotone non-decreasing.
+        let grid = TickGrid {
+            tick_ms: tp.tick_ms,
+            deadline_ms: tp.bid_deadline_ms,
+        };
+        for t in grid.ticks() {
+            let at = t0.plus_millis(t);
+            let mut top = Wei::ZERO;
+            for relay in relays.iter() {
+                if let Some(best) = relay.book_view_at(at) {
+                    top = top.max(best.submission.declared_bid);
+                }
+            }
+            trace.top_bid_by_tick.push(top);
+        }
+        trace
     }
 
     /// Convenience: whether any transaction in a list touches the
@@ -502,6 +945,7 @@ mod tests {
             sanctions,
             jitter_zero_prob: 0.15,
             jitter_max_frac: 0.03,
+            timing: None,
         }
     }
 

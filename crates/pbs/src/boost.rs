@@ -13,6 +13,17 @@ use crate::builder::BuilderId;
 use crate::relay::{RelayId, RelayRegistry};
 use eth_types::{Gas, GasPrice, Transaction, Wei};
 use execution::Mempool;
+use simcore::SimTime;
+
+/// A timed `getHeader` round: when the proposer's query hits the relays,
+/// and how far a degraded stale relay's served view lags behind it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedQuery {
+    /// The query instant (absolute simulated time).
+    pub now: SimTime,
+    /// Staleness lag for degraded relays, in milliseconds.
+    pub staleness_lag_ms: u64,
+}
 
 /// The winning header as MEV-Boost sees it: who bid what, through which
 /// relays.
@@ -221,14 +232,26 @@ impl MevBoostClient {
     /// [`MevBoostClient::best_header`] plus a successful payload fetch
     /// from the primary relay.
     pub fn propose(&self, relays: &RelayRegistry) -> ProposeReport {
-        let report = self.propose_inner(relays);
+        let report = self.propose_inner(relays, None);
         if simcore::telemetry::enabled() {
             record_boost_telemetry(&report, relays);
         }
         report
     }
 
-    fn propose_inner(&self, relays: &RelayRegistry) -> ProposeReport {
+    /// [`MevBoostClient::propose`] against the relays' timed bid books:
+    /// every `getHeader` is answered from the relay's view *as of the
+    /// query instant* (degraded stale relays serve the view as of
+    /// `now - staleness_lag`), so faults now interact with sub-slot time.
+    pub fn propose_timed(&self, relays: &RelayRegistry, query: TimedQuery) -> ProposeReport {
+        let report = self.propose_inner(relays, Some(query));
+        if simcore::telemetry::enabled() {
+            record_boost_telemetry(&report, relays);
+        }
+        report
+    }
+
+    fn propose_inner(&self, relays: &RelayRegistry, timed: Option<TimedQuery>) -> ProposeReport {
         let mut events = Vec::new();
         let mut best: Option<HeaderChoice> = None;
         for &rid in &self.subscribed {
@@ -250,10 +273,20 @@ impl MevBoostClient {
                     continue;
                 }
             }
-            let served = relay.serve_header();
+            // Timed rounds read the bid book at the query instant; the
+            // one-shot path reads the flat escrow. The stale event fires
+            // when the served view differs from the relay's own fresh
+            // view at the same instant.
+            let (served, fresh) = match timed {
+                Some(q) => (
+                    relay.serve_header_at(q.now, q.staleness_lag_ms),
+                    relay.book_view_at(q.now),
+                ),
+                None => (relay.serve_header(), relay.best_bid()),
+            };
             if relay.faults.stale_response
                 && served.map(|b| b.submission.declared_bid)
-                    != relay.best_bid().map(|b| b.submission.declared_bid)
+                    != fresh.map(|b| b.submission.declared_bid)
             {
                 events.push(BoostEvent::StaleHeader { relay: rid });
             }

@@ -13,16 +13,19 @@
 //! * [`boost`] — the validator-side MEV-Boost client: relay subscriptions,
 //!   blinded-header selection, signing, and local-build fallback,
 //! * [`auction`] — the per-slot orchestration tying it all together and
-//!   emitting the records the measurement pipeline crawls.
+//!   emitting the records the measurement pipeline crawls,
+//! * [`timing`] — the streamed-auction extension: bid strategies,
+//!   builder→relay latency geometry, and sub-slot timing policies.
 
 pub mod auction;
 pub mod boost;
 pub mod builder;
 pub mod ofac;
 pub mod relay;
+pub mod timing;
 
-pub use auction::{SlotAuction, SlotResult};
-pub use boost::{BoostEvent, LocalBuilder, MevBoostClient, ProposeReport, RetryPolicy};
+pub use auction::{SlotAuction, SlotResult, SubmissionRecord};
+pub use boost::{BoostEvent, LocalBuilder, MevBoostClient, ProposeReport, RetryPolicy, TimedQuery};
 pub use builder::{
     BuildInputs, Builder, BuilderId, BuilderProfile, BuiltBlock, MarginPolicy, SubsidyPolicy,
 };
@@ -31,5 +34,7 @@ pub use ofac::{
     CensorScan, RelayBlacklist, SanctionsList, TRON_SANCTIONED_FROM,
 };
 pub use relay::{
-    BuilderPolicy, Relay, RelayId, RelayRegistry, RelayStaticInfo, Submission, PAPER_RELAYS,
+    BookEntry, BuilderPolicy, Relay, RelayId, RelayRegistry, RelayStaticInfo, Submission,
+    PAPER_RELAYS,
 };
+pub use timing::{AuctionTimingTrace, BidStrategy, StrategyKind, TimingParams};

@@ -19,7 +19,7 @@ use eth_types::{BlsPublicKey, DayIndex, Slot, Wei};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use simcore::{ComponentFaults, Health};
+use simcore::{ComponentFaults, Health, SimTime};
 use std::collections::BTreeSet;
 
 /// Index of a relay in the registry (stable across the run).
@@ -179,11 +179,80 @@ pub struct Submission {
     pub flagged_by_blacklist: bool,
 }
 
+impl simcore::Snapshot for Submission {
+    fn encode(&self, w: &mut simcore::SnapWriter) {
+        self.slot.encode(w);
+        self.builder.encode(w);
+        self.pubkey.encode(w);
+        self.declared_bid.encode(w);
+        self.true_bid.encode(w);
+        self.sandwich_count.encode(w);
+        self.flagged_by_blacklist.encode(w);
+    }
+
+    fn decode(r: &mut simcore::SnapReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        use simcore::Snapshot;
+        Ok(Submission {
+            slot: Snapshot::decode(r)?,
+            builder: Snapshot::decode(r)?,
+            pubkey: Snapshot::decode(r)?,
+            declared_bid: Snapshot::decode(r)?,
+            true_bid: Snapshot::decode(r)?,
+            sandwich_count: Snapshot::decode(r)?,
+            flagged_by_blacklist: Snapshot::decode(r)?,
+        })
+    }
+}
+
 /// A submission the relay accepted and holds in escrow.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AcceptedBid {
     /// The underlying submission.
     pub submission: Submission,
+}
+
+impl simcore::Snapshot for AcceptedBid {
+    fn encode(&self, w: &mut simcore::SnapWriter) {
+        self.submission.encode(w);
+    }
+
+    fn decode(r: &mut simcore::SnapReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        Ok(AcceptedBid {
+            submission: simcore::Snapshot::decode(r)?,
+        })
+    }
+}
+
+/// One entry of a relay's time-ordered bid book (the streamed auction's
+/// replacement for the flat escrow `pending` list).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BookEntry {
+    /// The accepted bid.
+    pub bid: AcceptedBid,
+    /// When the bid arrived at the relay (absolute simulated time).
+    pub arrival: SimTime,
+    /// Whether the builder cancelled this bid before the cutoff. A
+    /// cancellation voids the bid for *every* view — the relay treats a
+    /// cancelled bid as if it never existed, so a cancelled bid can never
+    /// win under any serving policy.
+    pub cancelled: bool,
+}
+
+impl simcore::Snapshot for BookEntry {
+    fn encode(&self, w: &mut simcore::SnapWriter) {
+        self.bid.encode(w);
+        self.arrival.encode(w);
+        self.cancelled.encode(w);
+    }
+
+    fn decode(r: &mut simcore::SnapReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        use simcore::Snapshot;
+        Ok(BookEntry {
+            bid: Snapshot::decode(r)?,
+            arrival: Snapshot::decode(r)?,
+            cancelled: Snapshot::decode(r)?,
+        })
+    }
 }
 
 /// A live relay: static info plus behavioural state.
@@ -213,6 +282,7 @@ pub struct Relay {
     /// Validators currently registered with this relay.
     registered: BTreeSet<ValidatorId>,
     pending: Vec<AcceptedBid>,
+    book: Vec<BookEntry>,
     rng: StdRng,
 }
 
@@ -233,6 +303,7 @@ impl Relay {
             faults: ComponentFaults::default(),
             registered: BTreeSet::new(),
             pending: Vec::new(),
+            book: Vec::new(),
             rng,
         }
     }
@@ -276,6 +347,19 @@ impl Relay {
     /// that slipped through bloXroute (E) in the study); bid mismatch
     /// when verification is on.
     pub fn consider(&mut self, submission: Submission, day: DayIndex) -> bool {
+        if !self.passes_gates(&submission, day) {
+            return false;
+        }
+        self.pending.push(AcceptedBid { submission });
+        true
+    }
+
+    /// The admission gates shared by [`Relay::consider`] and
+    /// [`Relay::consider_timed`]. The gate *order* (and therefore the RNG
+    /// draw sequence of the MEV filter) is part of the determinism
+    /// contract: a timed auction in which every bid arrives instantly must
+    /// consume `self.rng` exactly as the one-shot auction does.
+    fn passes_gates(&mut self, submission: &Submission, day: DayIndex) -> bool {
         if self.faults.is_down() {
             return false;
         }
@@ -299,8 +383,60 @@ impl Relay {
         if self.verifies_bids_on(day) && submission.declared_bid > submission.true_bid {
             return false;
         }
-        self.pending.push(AcceptedBid { submission });
         true
+    }
+
+    /// Considers a timed submission for the bid book; returns `true` if
+    /// accepted. A bid arriving after `deadline` is rejected *before* any
+    /// policy gate (and before any RNG draw), so latency causality holds
+    /// by construction: a late bid can never appear in any served view.
+    pub fn consider_timed(
+        &mut self,
+        submission: Submission,
+        day: DayIndex,
+        arrival: SimTime,
+        deadline: SimTime,
+    ) -> bool {
+        if arrival > deadline {
+            return false;
+        }
+        if !self.passes_gates(&submission, day) {
+            return false;
+        }
+        self.book.push(BookEntry {
+            bid: AcceptedBid { submission },
+            arrival,
+            cancelled: false,
+        });
+        true
+    }
+
+    /// Processes a cancellation message arriving at `arrival`: voids the
+    /// most recent live book entry matching `(builder, declared_bid)`.
+    /// Returns `true` when a bid was actually cancelled. Messages arriving
+    /// after `cutoff` are ignored (the bid stands — the paper-world rule
+    /// that relays stop honoring cancellations near the slot boundary),
+    /// as are cancels reaching a relay that is down.
+    pub fn cancel_timed(
+        &mut self,
+        builder: BuilderId,
+        declared_bid: Wei,
+        arrival: SimTime,
+        cutoff: SimTime,
+    ) -> bool {
+        if arrival > cutoff || self.faults.is_down() {
+            return false;
+        }
+        for entry in self.book.iter_mut().rev() {
+            if !entry.cancelled
+                && entry.bid.submission.builder == builder
+                && entry.bid.submission.declared_bid == declared_bid
+            {
+                entry.cancelled = true;
+                return true;
+            }
+        }
+        false
     }
 
     /// The best pending bid (what goes into the proposer's header).
@@ -316,16 +452,58 @@ impl Relay {
     /// Shared best-bid selection over an escrow slice, with the
     /// deterministic tie-break documented on [`Relay::best_bid`].
     fn best_of(bids: &[AcceptedBid]) -> Option<&AcceptedBid> {
-        bids.iter()
-            .enumerate()
-            .max_by(|(ia, a), (ib, b)| {
-                a.submission
-                    .declared_bid
-                    .cmp(&b.submission.declared_bid)
-                    .then_with(|| b.submission.builder.cmp(&a.submission.builder))
-                    .then_with(|| ib.cmp(ia))
-            })
-            .map(|(_, b)| b)
+        Self::best_of_iter(bids.iter().enumerate())
+    }
+
+    /// Best-bid selection over any indexed subset of bids, with the same
+    /// tie-break as [`Relay::best_of`] (lower builder id, then the earlier
+    /// index — book and escrow indices are arrival-ordered).
+    fn best_of_iter<'a>(
+        bids: impl Iterator<Item = (usize, &'a AcceptedBid)>,
+    ) -> Option<&'a AcceptedBid> {
+        bids.max_by(|(ia, a), (ib, b)| {
+            a.submission
+                .declared_bid
+                .cmp(&b.submission.declared_bid)
+                .then_with(|| b.submission.builder.cmp(&a.submission.builder))
+                .then_with(|| ib.cmp(ia))
+        })
+        .map(|(_, b)| b)
+    }
+
+    /// The relay's top of book as of instant `t`: the best accepted,
+    /// never-cancelled bid that had arrived by `t`. Cancellation voids a
+    /// bid for every view (see [`BookEntry::cancelled`]), so this is
+    /// monotone in `t` — later views never lose value.
+    pub fn book_view_at(&self, t: SimTime) -> Option<&AcceptedBid> {
+        Self::best_of_iter(
+            self.book
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.arrival <= t && !e.cancelled)
+                .map(|(i, e)| (i, &e.bid)),
+        )
+    }
+
+    /// The header this relay serves a timed `getHeader` query at `now`,
+    /// honoring injected faults: a down relay serves nothing, and a
+    /// degraded relay with a stale cache serves its view as of
+    /// `now - staleness_lag` — the sub-slot generalization of the
+    /// one-shot "previous best" stale view, pinned by the regression test
+    /// `degraded_stale_relay_serves_the_lagged_view`.
+    pub fn serve_header_at(&self, now: SimTime, staleness_lag_ms: u64) -> Option<&AcceptedBid> {
+        match self.faults.health {
+            Health::Down => None,
+            Health::Degraded if self.faults.stale_response => {
+                self.book_view_at(SimTime(now.0.saturating_sub(staleness_lag_ms)))
+            }
+            _ => self.book_view_at(now),
+        }
+    }
+
+    /// Number of live (non-cancelled) entries in the bid book.
+    pub fn book_len(&self) -> usize {
+        self.book.iter().filter(|e| !e.cancelled).count()
     }
 
     /// The header this relay serves a `getHeader` request right now,
@@ -360,8 +538,9 @@ impl Relay {
         None
     }
 
-    /// Clears per-slot escrow.
+    /// Clears per-slot escrow (both the one-shot list and the timed book).
     pub fn end_slot(&mut self) -> Vec<AcceptedBid> {
+        self.book.clear();
         std::mem::take(&mut self.pending)
     }
 
@@ -385,6 +564,10 @@ impl Relay {
             self.pending.is_empty(),
             "relay escrow must be drained before checkpointing"
         );
+        assert!(
+            self.book.is_empty(),
+            "relay bid book must be drained before checkpointing"
+        );
         self.registered.encode(w);
         self.rng.encode(w);
     }
@@ -398,6 +581,7 @@ impl Relay {
         self.registered = Snapshot::decode(r)?;
         self.rng = Snapshot::decode(r)?;
         self.pending.clear();
+        self.book.clear();
         Ok(())
     }
 }
@@ -700,6 +884,141 @@ mod tests {
         }
         let rate = shortfalls as f64 / 4000.0;
         assert!((rate - 0.25).abs() < 0.04, "shortfall rate {rate}");
+    }
+
+    #[test]
+    fn timed_book_serves_the_view_at_query_time() {
+        let mut reg = registry();
+        let id = reg.id_by_name("UltraSound");
+        let relay = reg.get_mut(id).unwrap();
+        let day = DayIndex(0);
+        let deadline = SimTime::from_millis(12_000);
+        assert!(relay.consider_timed(submission(0.05, 0.05), day, SimTime(1_000), deadline));
+        assert!(relay.consider_timed(submission(0.09, 0.09), day, SimTime(8_000), deadline));
+        // Before the second bid lands the view only holds the first.
+        assert_eq!(
+            relay
+                .book_view_at(SimTime(5_000))
+                .unwrap()
+                .submission
+                .declared_bid,
+            Wei::from_eth(0.05)
+        );
+        assert_eq!(
+            relay
+                .book_view_at(SimTime(8_000))
+                .unwrap()
+                .submission
+                .declared_bid,
+            Wei::from_eth(0.09)
+        );
+        // A bid past the deadline never enters any view.
+        assert!(!relay.consider_timed(submission(9.0, 9.0), day, SimTime(12_001), deadline));
+        assert_eq!(
+            relay
+                .book_view_at(SimTime(u64::MAX))
+                .unwrap()
+                .submission
+                .declared_bid,
+            Wei::from_eth(0.09)
+        );
+        assert_eq!(relay.book_len(), 2);
+        relay.end_slot();
+        assert!(relay.book_view_at(SimTime(u64::MAX)).is_none());
+    }
+
+    #[test]
+    fn cancellation_voids_the_bid_before_the_cutoff_only() {
+        let mut reg = registry();
+        let id = reg.id_by_name("UltraSound");
+        let relay = reg.get_mut(id).unwrap();
+        let day = DayIndex(0);
+        let deadline = SimTime::from_millis(12_000);
+        let cutoff = SimTime::from_millis(11_000);
+        assert!(relay.consider_timed(submission(0.30, 0.30), day, SimTime(2_000), deadline));
+        assert!(relay.consider_timed(submission(0.10, 0.10), day, SimTime(3_000), deadline));
+        // Cancel the high bid in time: it vanishes from every view,
+        // including views *before* the cancel arrived.
+        assert!(relay.cancel_timed(BuilderId(0), Wei::from_eth(0.30), SimTime(6_000), cutoff));
+        assert_eq!(
+            relay
+                .book_view_at(SimTime(2_500))
+                .map(|b| b.submission.declared_bid),
+            None,
+            "a cancelled bid must never appear in any view"
+        );
+        assert_eq!(
+            relay
+                .book_view_at(SimTime(12_000))
+                .unwrap()
+                .submission
+                .declared_bid,
+            Wei::from_eth(0.10)
+        );
+        // A cancel after the cutoff is ignored — the bid stands.
+        assert!(!relay.cancel_timed(BuilderId(0), Wei::from_eth(0.10), SimTime(11_001), cutoff));
+        assert_eq!(
+            relay
+                .book_view_at(SimTime(12_000))
+                .unwrap()
+                .submission
+                .declared_bid,
+            Wei::from_eth(0.10)
+        );
+        // Cancelling a bid that was never booked is a no-op.
+        assert!(!relay.cancel_timed(BuilderId(0), Wei::from_eth(7.0), SimTime(6_000), cutoff));
+    }
+
+    #[test]
+    fn degraded_stale_relay_serves_the_lagged_view() {
+        // Regression (PR 7): under sub-slot time a degraded stale relay
+        // must serve its view as of `now - staleness_lag`, not one fixed
+        // stale snapshot per slot.
+        let mut reg = registry();
+        let id = reg.id_by_name("UltraSound");
+        let relay = reg.get_mut(id).unwrap();
+        let day = DayIndex(0);
+        let deadline = SimTime::from_millis(12_000);
+        assert!(relay.consider_timed(submission(0.05, 0.05), day, SimTime(1_000), deadline));
+        assert!(relay.consider_timed(submission(0.09, 0.09), day, SimTime(10_500), deadline));
+        relay.faults = ComponentFaults {
+            health: Health::Degraded,
+            stale_response: true,
+            ..ComponentFaults::default()
+        };
+        // Query at 12s with a 2s lag: the view as of 10s predates the
+        // second bid, so the stale relay still serves 0.05 ETH…
+        assert_eq!(
+            relay
+                .serve_header_at(SimTime(12_000), 2_000)
+                .unwrap()
+                .submission
+                .declared_bid,
+            Wei::from_eth(0.05)
+        );
+        // …while the lag window sliding past the bid's arrival brings the
+        // served view up to date — the lag is relative to `now`, never a
+        // fixed per-slot snapshot.
+        assert_eq!(
+            relay
+                .serve_header_at(SimTime(12_600), 2_000)
+                .unwrap()
+                .submission
+                .declared_bid,
+            Wei::from_eth(0.09)
+        );
+        // Healthy serving at query time; down serves nothing.
+        relay.faults = ComponentFaults::default();
+        assert_eq!(
+            relay
+                .serve_header_at(SimTime(12_000), 2_000)
+                .unwrap()
+                .submission
+                .declared_bid,
+            Wei::from_eth(0.09)
+        );
+        relay.faults.health = Health::Down;
+        assert!(relay.serve_header_at(SimTime(12_000), 2_000).is_none());
     }
 
     #[test]

@@ -1,0 +1,320 @@
+//! Intra-slot auction timing: bid strategies and latency geometry.
+//!
+//! The one-shot auction compresses the 12-second slot into a single
+//! instant; this module carries everything the streamed model adds on
+//! top — which strategy each builder plays, how far (in milliseconds)
+//! each builder sits from each relay, and the slot-level timing policies
+//! (bid deadline, cancellation cutoff, header-query instant). All of it
+//! is drawn once per run from the scenario's seed domain, so the timed
+//! auction stays exactly as deterministic as the legacy one.
+
+use crate::builder::BuilderId;
+use crate::relay::RelayId;
+use eth_types::Wei;
+use serde::{Deserialize, Serialize};
+use simcore::{LatencyChannel, SnapReader, SnapWriter, Snapshot, SnapshotError};
+
+/// The strategy family a builder plays, for records and analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// Periodic re-bids escalating toward the builder's full value.
+    Naive,
+    /// One last-moment bid sized just above the observed top of book.
+    Sniper,
+    /// Bid high early, cancel before the cutoff, rebid low.
+    Canceller,
+}
+
+impl StrategyKind {
+    /// Stable lowercase name for CSV artifacts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategyKind::Naive => "naive",
+            StrategyKind::Sniper => "sniper",
+            StrategyKind::Canceller => "canceller",
+        }
+    }
+}
+
+impl Snapshot for StrategyKind {
+    fn encode(&self, w: &mut SnapWriter) {
+        (match self {
+            StrategyKind::Naive => 0u8,
+            StrategyKind::Sniper => 1,
+            StrategyKind::Canceller => 2,
+        })
+        .encode(w);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match u8::decode(r)? {
+            0 => StrategyKind::Naive,
+            1 => StrategyKind::Sniper,
+            2 => StrategyKind::Canceller,
+            t => return Err(SnapshotError::Corrupt(format!("StrategyKind tag {t:#x}"))),
+        })
+    }
+}
+
+/// A builder's bid-stream strategy with its tuned parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BidStrategy {
+    /// Submit `rebids` bids spread over the slot, each capped by the
+    /// value accrued at its send time. `rebids == 1` degenerates to the
+    /// legacy one-shot submission at t=0.
+    Naive {
+        /// How many bids to spread over the slot (min 1).
+        rebids: u32,
+    },
+    /// Send a single bid `lead_ms` before the eligibility deadline,
+    /// priced just above the top of book the builder has observed.
+    Sniper {
+        /// How long before the deadline the bid leaves the builder.
+        lead_ms: u64,
+    },
+    /// Bid the full target early, cancel mid-slot, rebid at
+    /// `rebid_permille`/1000 of the target.
+    Canceller {
+        /// Final bid as a per-mille fraction of the full target.
+        rebid_permille: u16,
+    },
+}
+
+impl BidStrategy {
+    /// The strategy family, for records.
+    pub fn kind(&self) -> StrategyKind {
+        match self {
+            BidStrategy::Naive { .. } => StrategyKind::Naive,
+            BidStrategy::Sniper { .. } => StrategyKind::Sniper,
+            BidStrategy::Canceller { .. } => StrategyKind::Canceller,
+        }
+    }
+}
+
+impl Snapshot for BidStrategy {
+    fn encode(&self, w: &mut SnapWriter) {
+        match self {
+            BidStrategy::Naive { rebids } => {
+                0u8.encode(w);
+                rebids.encode(w);
+            }
+            BidStrategy::Sniper { lead_ms } => {
+                1u8.encode(w);
+                lead_ms.encode(w);
+            }
+            BidStrategy::Canceller { rebid_permille } => {
+                2u8.encode(w);
+                (*rebid_permille as u32).encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match u8::decode(r)? {
+            0 => BidStrategy::Naive {
+                rebids: Snapshot::decode(r)?,
+            },
+            1 => BidStrategy::Sniper {
+                lead_ms: Snapshot::decode(r)?,
+            },
+            2 => BidStrategy::Canceller {
+                rebid_permille: u32::decode(r)? as u16,
+            },
+            t => return Err(SnapshotError::Corrupt(format!("BidStrategy tag {t:#x}"))),
+        })
+    }
+}
+
+/// Run-level timing parameters for the streamed auction: policies plus
+/// the per-builder strategy and latency tables (indexed by id).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingParams {
+    /// Sampling spacing for the bid-escalation trace, in ms.
+    pub tick_ms: u64,
+    /// Bids arriving after this offset from slot start are ineligible.
+    pub bid_deadline_ms: u64,
+    /// Cancel messages arriving after this offset are ignored.
+    pub cancel_cutoff_ms: u64,
+    /// When the proposer queries `getHeader`, offset from slot start.
+    pub header_query_ms: u64,
+    /// How far behind `now` a degraded stale relay's view lags.
+    pub staleness_lag_ms: u64,
+    /// Fraction (permille) of a block's final value already extractable
+    /// at slot start; the rest accrues quadratically toward the bid
+    /// deadline (most MEV arrives late in the slot). 1000 disables
+    /// accrual — the degenerate one-shot geometry.
+    pub accrual_floor_permille: u64,
+    /// One-way builder submission latency in ms, indexed by `BuilderId`.
+    pub builder_latency_ms: Vec<u64>,
+    /// Extra per-relay ingestion latency in ms, indexed by `RelayId`.
+    pub relay_extra_ms: Vec<u64>,
+    /// Each builder's strategy, indexed by `BuilderId`.
+    pub strategies: Vec<BidStrategy>,
+}
+
+impl TimingParams {
+    /// The strategy builder `b` plays (out-of-table builders bid once,
+    /// like the legacy auction).
+    pub fn strategy_for(&self, b: BuilderId) -> BidStrategy {
+        self.strategies
+            .get(b.0 as usize)
+            .copied()
+            .unwrap_or(BidStrategy::Naive { rebids: 1 })
+    }
+
+    /// Builder `b`'s one-way submission latency in ms.
+    pub fn builder_latency(&self, b: BuilderId) -> u64 {
+        self.builder_latency_ms
+            .get(b.0 as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The builder→relay latency channel: builder distance plus the
+    /// relay's own ingestion delay.
+    pub fn channel(&self, b: BuilderId, r: RelayId) -> LatencyChannel {
+        let extra = self.relay_extra_ms.get(r.0 as usize).copied().unwrap_or(0);
+        LatencyChannel {
+            delay_ms: self.builder_latency(b) + extra,
+        }
+    }
+
+    /// Fraction (permille) of a block's final value a bid sent `sent_ms`
+    /// into the slot can commit to. Quartic in time: most extractable
+    /// value (CEX–DEX arbitrage, late order flow) materialises in the
+    /// final moments of the slot, which is exactly why last-moment
+    /// bidding pays and why latency decides who can play it — every
+    /// millisecond of channel delay pushes the send time, and the value
+    /// ceiling, back down the steep end of this curve.
+    pub fn accrual_permille(&self, sent_ms: u64) -> u128 {
+        let floor = self.accrual_floor_permille.min(1000) as u128;
+        let d = self.bid_deadline_ms.max(1) as u128;
+        let t = sent_ms.min(self.bid_deadline_ms) as u128;
+        floor + (1000 - floor) * t * t * t * t / (d * d * d * d)
+    }
+
+    /// `value` discounted to what a bid sent at `sent_ms` can commit to.
+    pub fn accrued(&self, value: Wei, sent_ms: u64) -> Wei {
+        value.mul_ratio(self.accrual_permille(sent_ms), 1000)
+    }
+
+    /// A degenerate parameter set: every builder bids once at t=0 over a
+    /// zero-latency channel, with value accrual disabled. Used by the
+    /// one-shot-equivalence property — this configuration must reproduce
+    /// the legacy auction bid-for-bid.
+    pub fn one_shot_degenerate(builders: usize, relays: usize) -> TimingParams {
+        TimingParams {
+            tick_ms: 1500,
+            bid_deadline_ms: 12_000,
+            cancel_cutoff_ms: 11_000,
+            header_query_ms: 12_000,
+            staleness_lag_ms: 2_000,
+            accrual_floor_permille: 1000,
+            builder_latency_ms: vec![0; builders],
+            relay_extra_ms: vec![0; relays],
+            strategies: vec![BidStrategy::Naive { rebids: 1 }; builders],
+        }
+    }
+}
+
+impl Snapshot for TimingParams {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.tick_ms.encode(w);
+        self.bid_deadline_ms.encode(w);
+        self.cancel_cutoff_ms.encode(w);
+        self.header_query_ms.encode(w);
+        self.staleness_lag_ms.encode(w);
+        self.accrual_floor_permille.encode(w);
+        self.builder_latency_ms.encode(w);
+        self.relay_extra_ms.encode(w);
+        self.strategies.encode(w);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(TimingParams {
+            tick_ms: Snapshot::decode(r)?,
+            bid_deadline_ms: Snapshot::decode(r)?,
+            cancel_cutoff_ms: Snapshot::decode(r)?,
+            header_query_ms: Snapshot::decode(r)?,
+            staleness_lag_ms: Snapshot::decode(r)?,
+            accrual_floor_permille: Snapshot::decode(r)?,
+            builder_latency_ms: Snapshot::decode(r)?,
+            relay_extra_ms: Snapshot::decode(r)?,
+            strategies: Snapshot::decode(r)?,
+        })
+    }
+}
+
+/// Per-slot timing trace the streamed auction attaches to its result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuctionTimingTrace {
+    /// Bid messages accepted into some relay's book.
+    pub bids: u32,
+    /// Cancellations that took effect (arrived before the cutoff and
+    /// matched a live bid).
+    pub cancels: u32,
+    /// Bid messages that arrived after the eligibility deadline.
+    pub late_bids: u32,
+    /// Top declared bid across all relay books at each tick of the
+    /// sampling grid (0, tick, 2·tick, … ≤ deadline).
+    pub top_bid_by_tick: Vec<Wei>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_kinds_have_stable_names() {
+        assert_eq!(StrategyKind::Naive.name(), "naive");
+        assert_eq!(
+            BidStrategy::Sniper { lead_ms: 200 }.kind(),
+            StrategyKind::Sniper
+        );
+        assert_eq!(
+            BidStrategy::Canceller {
+                rebid_permille: 400
+            }
+            .kind(),
+            StrategyKind::Canceller
+        );
+    }
+
+    #[test]
+    fn out_of_table_builders_fall_back_to_one_shot() {
+        let tp = TimingParams::one_shot_degenerate(2, 3);
+        assert_eq!(
+            tp.strategy_for(BuilderId(9)),
+            BidStrategy::Naive { rebids: 1 }
+        );
+        assert_eq!(tp.builder_latency(BuilderId(9)), 0);
+        assert_eq!(tp.channel(BuilderId(9), RelayId(7)).delay_ms, 0);
+    }
+
+    #[test]
+    fn accrual_is_quartic_between_floor_and_full() {
+        let tp = TimingParams {
+            accrual_floor_permille: 400,
+            ..TimingParams::one_shot_degenerate(1, 1)
+        };
+        assert_eq!(tp.accrual_permille(0), 400);
+        assert_eq!(tp.accrual_permille(6_000), 400 + 600 / 16);
+        assert_eq!(tp.accrual_permille(12_000), 1000);
+        // Past the deadline clamps; a floor of 1000 disables accrual.
+        assert_eq!(tp.accrual_permille(20_000), 1000);
+        let flat = TimingParams::one_shot_degenerate(1, 1);
+        assert_eq!(flat.accrual_permille(0), 1000);
+        assert_eq!(flat.accrued(Wei::from_gwei(7), 0), Wei::from_gwei(7));
+    }
+
+    #[test]
+    fn channel_sums_builder_and_relay_latency() {
+        let tp = TimingParams {
+            builder_latency_ms: vec![100, 20],
+            relay_extra_ms: vec![5, 40],
+            ..TimingParams::one_shot_degenerate(2, 2)
+        };
+        assert_eq!(tp.channel(BuilderId(0), RelayId(1)).delay_ms, 140);
+        assert_eq!(tp.channel(BuilderId(1), RelayId(0)).delay_ms, 25);
+    }
+}

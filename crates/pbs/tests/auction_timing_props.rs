@@ -1,0 +1,345 @@
+//! Property tests for the streamed auction's timing semantics.
+//!
+//! Four laws pin the intra-slot microstructure:
+//!
+//! 1. **Bid-book totality** — the winner at the deadline is exactly the
+//!    maximum eligible, non-cancelled bid (with the documented
+//!    deterministic tie-break).
+//! 2. **Cancellation monotonicity** — a cancelled bid never wins, at any
+//!    query instant, under any staleness policy.
+//! 3. **Latency causality** — a bid arriving after the relay's
+//!    eligibility deadline never appears in any `getHeader` view.
+//! 4. **One-shot equivalence** — the degenerate timed configuration
+//!    (every builder bids once at t=0 over zero-latency channels)
+//!    reproduces the legacy auction bid-for-bid.
+//!
+//! Plus snapshot round-trips for the new timing state (strategies,
+//! timing parameters, book entries).
+
+use eth_types::{Address, BlsPublicKey, DayIndex, Gas, GasPrice, Slot, Transaction, Wei};
+use execution::Mempool;
+use mev::Bundle;
+use pbs::ofac::SanctionsList;
+use pbs::relay::AcceptedBid;
+use pbs::{
+    BidStrategy, Builder, BuilderId, BuilderProfile, MarginPolicy, MevBoostClient, RelayRegistry,
+    SlotAuction, SlotResult, StrategyKind, Submission, SubsidyPolicy, TimingParams,
+};
+use proptest::prelude::*;
+use simcore::{SeedDomain, SimTime, SnapReader, SnapWriter, Snapshot};
+
+const DEADLINE_MS: u64 = 12_000;
+const CUTOFF_MS: u64 = 11_000;
+
+fn roundtrip<T: Snapshot + PartialEq + std::fmt::Debug>(value: &T) {
+    let mut w = SnapWriter::new();
+    value.encode(&mut w);
+    let bytes = w.into_bytes();
+    let mut r = SnapReader::new(&bytes);
+    let back = T::decode(&mut r).expect("decodes");
+    r.expect_end().expect("no trailing bytes");
+    assert_eq!(&back, value);
+}
+
+fn submission(builder: u32, declared: Wei) -> Submission {
+    Submission {
+        slot: Slot(1),
+        builder: BuilderId(builder),
+        pubkey: BlsPublicKey::derive(&format!("key:{builder}")),
+        declared_bid: declared,
+        true_bid: declared,
+        sandwich_count: 0,
+        flagged_by_blacklist: false,
+    }
+}
+
+/// A permissionless, non-censoring, non-filtering relay: every honest
+/// bid passes the gates, so acceptance is decided by timing alone.
+fn open_registry() -> (RelayRegistry, pbs::RelayId) {
+    let reg = RelayRegistry::paper(&SeedDomain::new(77));
+    let us = reg.id_by_name("UltraSound");
+    (reg, us)
+}
+
+proptest! {
+    /// Law 1: the book view at the deadline equals the model winner —
+    /// max declared bid over accepted, non-cancelled, in-time entries,
+    /// ties to the lower builder id then earlier arrival-order index.
+    #[test]
+    fn winner_is_the_max_eligible_noncancelled_bid(
+        bids in proptest::collection::vec(
+            (1u64..1_000_000, 0u64..15_000, any::<bool>(), 0u64..12_000),
+            1..24,
+        )
+    ) {
+        let (mut reg, us) = open_registry();
+        let relay = reg.get_mut(us).unwrap();
+        let deadline = SimTime::from_millis(DEADLINE_MS);
+        let cutoff = SimTime::from_millis(CUTOFF_MS);
+
+        // Model book: (builder, declared, live).
+        let mut model: Vec<(u32, Wei, bool)> = Vec::new();
+        for (i, &(value, arrive_ms, do_cancel, cancel_delay)) in bids.iter().enumerate() {
+            let cancel = do_cancel.then_some(cancel_delay);
+            let b = i as u32 % 5;
+            let declared = Wei(value as u128);
+            let arrival = SimTime::from_millis(arrive_ms);
+            let accepted = relay.consider_timed(submission(b, declared), DayIndex(0), arrival, deadline);
+            prop_assert_eq!(accepted, arrive_ms <= DEADLINE_MS);
+            if !accepted {
+                continue;
+            }
+            let mut live = true;
+            if let Some(cancel_ms) = cancel {
+                let took = relay.cancel_timed(
+                    BuilderId(b),
+                    declared,
+                    arrival.plus_millis(cancel_ms),
+                    cutoff,
+                );
+                // The cancel lands iff it reaches the relay in time; it
+                // always matches (the bid was just accepted, and ours is
+                // the most recent live entry with this exact value).
+                prop_assert_eq!(took, arrive_ms + cancel_ms <= CUTOFF_MS);
+                live = !took;
+            }
+            model.push((b, declared, live));
+        }
+
+        let expect = model
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, _, live))| live)
+            .max_by(|(ia, (ba, va, _)), (ib, (bb, vb, _))| {
+                va.cmp(vb).then_with(|| bb.cmp(ba)).then_with(|| ib.cmp(ia))
+            })
+            .map(|(_, &(b, v, _))| (BuilderId(b), v));
+        let got = relay
+            .book_view_at(deadline)
+            .map(|a| (a.submission.builder, a.submission.declared_bid));
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Law 2: once a cancel has taken effect, that bid wins no view —
+    /// at any query instant, healthy or degraded-stale.
+    #[test]
+    fn cancelled_bids_never_win(
+        bids in proptest::collection::vec((1u64..1_000_000, 0u64..11_000), 2..16),
+        victim in 0usize..16,
+        lag in 0u64..5_000,
+        probe in 0u64..20_000,
+    ) {
+        let (mut reg, us) = open_registry();
+        let relay = reg.get_mut(us).unwrap();
+        let deadline = SimTime::from_millis(DEADLINE_MS);
+        let cutoff = SimTime::from_millis(CUTOFF_MS);
+
+        // Distinct values so the cancelled bid is identifiable.
+        for (i, &(value, arrive_ms)) in bids.iter().enumerate() {
+            let declared = Wei(value as u128 * 32 + i as u128);
+            relay.consider_timed(
+                submission(i as u32, declared),
+                DayIndex(0),
+                SimTime::from_millis(arrive_ms),
+                deadline,
+            );
+        }
+        let victim = victim % bids.len();
+        let (value, arrive_ms) = bids[victim];
+        let cancelled_bid = Wei(value as u128 * 32 + victim as u128);
+        let took = relay.cancel_timed(
+            BuilderId(victim as u32),
+            cancelled_bid,
+            SimTime::from_millis(arrive_ms),
+            cutoff,
+        );
+        prop_assert!(took, "an in-time cancel of an accepted bid must land");
+
+        let loses_at = |view: Option<&AcceptedBid>| {
+            view.map(|a| (a.submission.builder, a.submission.declared_bid))
+                != Some((BuilderId(victim as u32), cancelled_bid))
+        };
+        let probe = SimTime::from_millis(probe);
+        prop_assert!(loses_at(relay.book_view_at(probe)));
+        prop_assert!(loses_at(relay.serve_header_at(probe, lag)));
+        relay.faults.health = simcore::Health::Degraded;
+        relay.faults.stale_response = true;
+        prop_assert!(loses_at(relay.serve_header_at(probe, lag)));
+    }
+
+    /// Law 3: a bid that reaches the relay after the eligibility
+    /// deadline is rejected outright and never surfaces in any view.
+    #[test]
+    fn late_bids_never_appear_in_any_view(
+        ontime in proptest::collection::vec((1u64..1_000, 0u64..12_001), 0..8),
+        late in proptest::collection::vec((1u64..1_000, 12_001u64..30_000), 1..8),
+        lag in 0u64..5_000,
+        probe in 0u64..40_000,
+    ) {
+        let (mut reg, us) = open_registry();
+        let relay = reg.get_mut(us).unwrap();
+        let deadline = SimTime::from_millis(DEADLINE_MS);
+
+        for (i, &(value, arrive_ms)) in ontime.iter().enumerate() {
+            relay.consider_timed(
+                submission(i as u32, Wei::from_gwei(value)),
+                DayIndex(0),
+                SimTime::from_millis(arrive_ms),
+                deadline,
+            );
+        }
+        // Late bids dwarf every on-time bid — if one leaked into the
+        // book it would instantly win every view.
+        for (i, &(value, arrive_ms)) in late.iter().enumerate() {
+            let accepted = relay.consider_timed(
+                submission(i as u32, Wei::from_eth(value as f64)),
+                DayIndex(0),
+                SimTime::from_millis(arrive_ms),
+                deadline,
+            );
+            prop_assert!(!accepted, "late bid at {arrive_ms}ms accepted");
+        }
+
+        let ceiling = Wei::from_gwei(1_000);
+        let probe = SimTime::from_millis(probe);
+        for best in [relay.book_view_at(probe), relay.serve_header_at(probe, lag)]
+            .into_iter()
+            .flatten()
+        {
+            prop_assert!(best.submission.declared_bid < ceiling);
+        }
+    }
+
+    /// Law 4: the degenerate timed configuration (one bid per builder at
+    /// t=0, zero latency everywhere) reproduces the legacy one-shot
+    /// auction bid-for-bid: same submissions, same winner, same block.
+    #[test]
+    fn degenerate_timed_config_matches_one_shot(
+        seed in 0u64..1_000,
+        tips in proptest::collection::vec(1u64..200, 1..10),
+        margins in proptest::collection::vec(1u64..50, 2..5),
+    ) {
+        let run = |timed: bool| -> SlotResult {
+            let mut relays = RelayRegistry::paper(&SeedDomain::new(seed));
+            let us = relays.id_by_name("UltraSound");
+            let fb = relays.id_by_name("Flashbots");
+            let mut builders: Vec<Builder> = margins
+                .iter()
+                .enumerate()
+                .map(|(i, &m)| {
+                    let mut profile = BuilderProfile::new(
+                        &format!("b{i}"),
+                        MarginPolicy::FixedEth(m as f64 * 1e-4),
+                        SubsidyPolicy::Never,
+                        1.0,
+                    );
+                    profile.relays = vec![us, fb];
+                    Builder::new(BuilderId(i as u32), profile)
+                })
+                .collect();
+            let mempool: Vec<Transaction> = tips
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| {
+                    Transaction::transfer(
+                        Address::derive(&format!("t{i}")),
+                        Address::derive("sink"),
+                        Wei::from_eth(0.1),
+                        0,
+                        GasPrice::from_gwei(t as f64),
+                        GasPrice::from_gwei(1000.0),
+                    )
+                })
+                .collect();
+            let sanctions = SanctionsList::new();
+            let tp = TimingParams::one_shot_degenerate(builders.len(), relays.len());
+            let auction = SlotAuction {
+                slot: Slot(7),
+                day: DayIndex(20),
+                base_fee: GasPrice::from_gwei(10.0),
+                gas_limit: Gas::BLOCK_LIMIT,
+                sanctions: &sanctions,
+                jitter_zero_prob: 0.2,
+                jitter_max_frac: 0.05,
+                timing: if timed { Some(&tp) } else { None },
+            };
+            let bundles: Vec<Vec<Bundle>> = builders.iter().map(|_| Vec::new()).collect();
+            let client = MevBoostClient::new(vec![us, fb]);
+            let pool = Mempool::new(64);
+            auction.run(
+                &mut builders,
+                &bundles,
+                &mempool,
+                &mut relays,
+                Some(&client),
+                Address::derive("proposer"),
+                &pool,
+                &[],
+                &SeedDomain::new(seed).subdomain("auction"),
+                None,
+            )
+        };
+        let legacy = run(false);
+        let timed = run(true);
+
+        prop_assert_eq!(&timed.submissions, &legacy.submissions);
+        prop_assert_eq!(timed.builder, legacy.builder);
+        prop_assert_eq!(timed.pubkey, legacy.pubkey);
+        prop_assert_eq!(&timed.winning_relays, &legacy.winning_relays);
+        prop_assert_eq!(timed.promised, legacy.promised);
+        prop_assert_eq!(timed.delivered, legacy.delivered);
+        prop_assert_eq!(&timed.txs, &legacy.txs);
+        prop_assert_eq!(&timed.events, &legacy.events);
+        prop_assert_eq!(timed.pbs, legacy.pbs);
+        prop_assert_eq!(timed.missed, legacy.missed);
+        // The only allowed divergence: the timed run carries a trace.
+        let trace = timed.timing.expect("timed run records a trace");
+        prop_assert!(legacy.timing.is_none());
+        prop_assert_eq!(trace.cancels, 0);
+        prop_assert_eq!(trace.late_bids, 0);
+        let accepted = legacy.submissions.iter().filter(|s| s.accepted).count() as u32;
+        prop_assert_eq!(trace.bids, accepted);
+    }
+
+    /// New timing state survives snapshot round-trips.
+    #[test]
+    fn timing_state_round_trips(
+        tick in 1u64..5_000,
+        lats in proptest::collection::vec(0u64..500, 0..8),
+        strat_picks in proptest::collection::vec((0u8..3, 1u32..8, 50u64..500, 100u64..900), 0..8),
+    ) {
+        let strategies: Vec<BidStrategy> = strat_picks
+            .iter()
+            .map(|&(tag, rebids, lead, permille)| match tag {
+                0 => BidStrategy::Naive { rebids },
+                1 => BidStrategy::Sniper { lead_ms: lead },
+                _ => BidStrategy::Canceller { rebid_permille: permille as u16 },
+            })
+            .collect();
+        for s in &strategies {
+            roundtrip(s);
+            roundtrip(&s.kind());
+        }
+        let tp = TimingParams {
+            tick_ms: tick,
+            bid_deadline_ms: DEADLINE_MS,
+            cancel_cutoff_ms: CUTOFF_MS,
+            header_query_ms: DEADLINE_MS,
+            staleness_lag_ms: 2_000,
+            accrual_floor_permille: 350,
+            builder_latency_ms: lats.clone(),
+            relay_extra_ms: lats,
+            strategies,
+        };
+        roundtrip(&tp);
+    }
+}
+
+/// Non-property check: the strategy names written into CSV artifacts are
+/// the stable public vocabulary the analysis layer keys on.
+#[test]
+fn strategy_vocabulary_is_stable() {
+    assert_eq!(StrategyKind::Naive.name(), "naive");
+    assert_eq!(StrategyKind::Sniper.name(), "sniper");
+    assert_eq!(StrategyKind::Canceller.name(), "canceller");
+}

@@ -210,6 +210,7 @@ proptest! {
             // variant bids, so they can be checked against a rebuild.
             jitter_zero_prob: 1.0,
             jitter_max_frac: 0.0,
+            timing: None,
         };
         let client = MevBoostClient::new(vec![fb]);
         let pool = Mempool::new(64);

@@ -64,6 +64,7 @@ proptest! {
             sanctions: &sanctions,
             jitter_zero_prob: 0.2,
             jitter_max_frac: 0.05,
+            timing: None,
         };
         let client = MevBoostClient::new(vec![us, gn]);
         let pool = Mempool::new(64);

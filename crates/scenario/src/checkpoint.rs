@@ -12,7 +12,7 @@ use std::path::{Path, PathBuf};
 
 /// Schema version of the runner checkpoint body. Bump on any change to
 /// the field layout written by `Runner::checkpoint`.
-pub const CHECKPOINT_VERSION: u32 = 1;
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 const FILE_PREFIX: &str = "checkpoint-day-";
 

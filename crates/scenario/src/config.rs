@@ -153,6 +153,93 @@ impl FaultConfig {
     }
 }
 
+/// Which intra-slot auction model the run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AuctionTimingPreset {
+    /// Legacy model: every builder submits one bid per relay, instantly,
+    /// once per slot. The study-period default.
+    #[default]
+    OneShot,
+    /// Sub-slot model: builders stream bids over latency channels, relays
+    /// keep a time-ordered book with cancellations, and `getHeader` is
+    /// served from the book as of the query instant.
+    Streamed,
+}
+
+/// Intra-slot auction timing configuration. `OneShot` (the default) leaves
+/// every random stream and artifact byte-identical to a build without the
+/// timing model — the same contract [`FaultConfig`] keeps for `Off`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AuctionTimingConfig {
+    /// Which auction model to run.
+    pub preset: AuctionTimingPreset,
+    /// Sampling spacing for the bid-escalation trace, in ms.
+    pub tick_ms: u64,
+    /// Bid-eligibility deadline: bids arriving after this offset from
+    /// slot start never enter any relay's book.
+    pub bid_deadline_ms: u64,
+    /// Cancellation cutoff: cancel messages arriving after this offset
+    /// are ignored (the bid stands).
+    pub cancel_cutoff_ms: u64,
+    /// When the proposer's `getHeader` query hits the relays, as an
+    /// offset from slot start.
+    pub header_query_ms: u64,
+    /// How far behind `now` a degraded stale relay's served view lags.
+    pub staleness_lag_ms: u64,
+    /// Fraction (permille) of a block's final value already extractable
+    /// at slot start; the rest accrues quadratically toward the bid
+    /// deadline, so late bids can commit to more value. 1000 disables
+    /// sub-slot accrual.
+    pub accrual_floor_permille: u64,
+    /// Lower bound on a builder's one-way submission latency, in ms.
+    pub min_latency_ms: u64,
+    /// Upper bound on a builder's one-way submission latency, in ms.
+    pub max_latency_ms: u64,
+    /// Fraction of builders playing the last-moment `Sniper` strategy.
+    pub sniper_share: f64,
+    /// Fraction of builders playing the bid-high-cancel-rebid-low
+    /// `Canceller` strategy (the rest re-bid periodically, `Naive`).
+    pub canceller_share: f64,
+}
+
+impl Default for AuctionTimingConfig {
+    fn default() -> Self {
+        AuctionTimingConfig {
+            preset: AuctionTimingPreset::OneShot,
+            tick_ms: 1500,
+            bid_deadline_ms: 12_000,
+            cancel_cutoff_ms: 11_000,
+            header_query_ms: 12_000,
+            staleness_lag_ms: 2_000,
+            accrual_floor_permille: 350,
+            min_latency_ms: 5,
+            max_latency_ms: 450,
+            sniper_share: 0.3,
+            canceller_share: 0.2,
+        }
+    }
+}
+
+impl AuctionTimingConfig {
+    /// The default: the legacy one-shot auction.
+    pub fn one_shot() -> Self {
+        AuctionTimingConfig::default()
+    }
+
+    /// The streamed sub-slot auction with the calibrated defaults.
+    pub fn streamed() -> Self {
+        AuctionTimingConfig {
+            preset: AuctionTimingPreset::Streamed,
+            ..AuctionTimingConfig::default()
+        }
+    }
+
+    /// True when the run uses the legacy one-shot auction.
+    pub fn is_one_shot(&self) -> bool {
+        self.preset == AuctionTimingPreset::OneShot
+    }
+}
+
 /// Full scenario configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioConfig {
@@ -178,6 +265,8 @@ pub struct ScenarioConfig {
     pub knobs: AblationKnobs,
     /// Fault injection (off by default).
     pub faults: FaultConfig,
+    /// Intra-slot auction timing (one-shot by default).
+    pub auction_timing: AuctionTimingConfig,
 }
 
 // Hand-written serde: the `faults` field is emitted only when a preset is
@@ -202,6 +291,9 @@ impl Serialize for ScenarioConfig {
         if !self.faults.is_off() {
             fields.push(("faults".to_string(), self.faults.to_value()));
         }
+        if !self.auction_timing.is_one_shot() {
+            fields.push(("auction_timing".to_string(), self.auction_timing.to_value()));
+        }
         Value::Object(fields)
     }
 }
@@ -222,6 +314,10 @@ impl Deserialize for ScenarioConfig {
                 Value::Null => FaultConfig::off(),
                 fv => FaultConfig::from_value(fv)?,
             },
+            auction_timing: match struct_field(v, "auction_timing") {
+                Value::Null => AuctionTimingConfig::one_shot(),
+                tv => AuctionTimingConfig::from_value(tv)?,
+            },
         })
     }
 }
@@ -239,6 +335,7 @@ impl Default for ScenarioConfig {
             gas_limit: 30_000_000,
             knobs: AblationKnobs::default(),
             faults: FaultConfig::off(),
+            auction_timing: AuctionTimingConfig::one_shot(),
         }
     }
 }
@@ -258,6 +355,7 @@ impl ScenarioConfig {
             gas_limit: 9_000_000,
             knobs: AblationKnobs::default(),
             faults: FaultConfig::off(),
+            auction_timing: AuctionTimingConfig::one_shot(),
         }
     }
 }
@@ -313,6 +411,30 @@ mod tests {
             let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
             assert_eq!(back, c);
         }
+    }
+
+    #[test]
+    fn one_shot_timing_is_invisible_in_json() {
+        let json = serde_json::to_string(&ScenarioConfig::default()).unwrap();
+        assert!(
+            !json.contains("auction_timing"),
+            "one-shot config must serialize exactly as before the timing model"
+        );
+        // And a pre-timing JSON document (no `auction_timing` key) loads.
+        let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
+        assert!(back.auction_timing.is_one_shot());
+    }
+
+    #[test]
+    fn streamed_timing_round_trips() {
+        let c = ScenarioConfig {
+            auction_timing: AuctionTimingConfig::streamed(),
+            ..ScenarioConfig::test_small(3, 2)
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("auction_timing"));
+        let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
     }
 
     #[test]

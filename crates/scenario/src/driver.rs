@@ -9,7 +9,10 @@
 use crate::cast::{builder_cast, validator_entities, BuilderCastEntry};
 use crate::checkpoint::CheckpointPolicy;
 use crate::config::{FaultPreset, ScenarioConfig};
-use crate::records::{BlockRecord, FaultEventKind, FaultEventRecord, RunArtifacts, RunTotals};
+use crate::records::{
+    AuctionTimingRecord, BlockRecord, FaultEventKind, FaultEventRecord, RunArtifacts, RunTotals,
+    TimingBuilderRecord,
+};
 use crate::timeline::{days, Timeline};
 use crate::workload::{binance_sender, sanctions_list, WorkloadGenerator};
 use beacon::{BeaconChain, ProposerSchedule, ValidatorRegistry};
@@ -19,8 +22,8 @@ use execution::{BlockExecutor, FeeMarket, Mempool, StateLedger};
 use mev::{CyclicArbitrageur, LabelSource, LiquidationBot, MevKind, SandwichAttacker};
 use netsim::{GossipNetwork, MempoolObservers, NodeId, ObservationLog, Topology};
 use pbs::{
-    BoostEvent, Builder, BuilderId, MevBoostClient, RelayBlacklist, RelayId, RelayRegistry,
-    SlotAuction, SlotResult,
+    BidStrategy, BoostEvent, Builder, BuilderId, MevBoostClient, RelayBlacklist, RelayId,
+    RelayRegistry, SlotAuction, SlotResult, TimingParams,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -198,6 +201,7 @@ pub struct Runner {
     executor: BlockExecutor,
     censoring: Vec<RelayId>,
     all_relays: Vec<RelayId>,
+    timing: Option<TimingParams>,
     // cursor
     next_slot: u64,
     current_day: Option<DayIndex>,
@@ -207,6 +211,7 @@ pub struct Runner {
     // accumulation
     blocks: Vec<BlockRecord>,
     fault_events: Vec<FaultEventRecord>,
+    timing_slots: Vec<AuctionTimingRecord>,
     missed: u64,
     relay_builders: BTreeMap<(u32, u32), BTreeSet<u32>>,
     totals: RunTotals,
@@ -275,6 +280,7 @@ impl Runner {
 
         let censoring = relays.censoring_ids();
         let all_relays: Vec<RelayId> = (0..relays.len() as u32).map(RelayId).collect();
+        let timing = Self::build_timing_params(cfg, cast.len(), relays.len(), &seeds);
 
         // Seed the lending market with positions to liquidate later.
         let mut runner = Runner {
@@ -304,12 +310,14 @@ impl Runner {
             executor: BlockExecutor::new(Gas(cfg.gas_limit)),
             censoring,
             all_relays,
+            timing,
             next_slot: 0,
             current_day: None,
             binance_queue: Vec::new(),
             private_user_txs: Vec::new(),
             blocks: Vec::new(),
             fault_events: Vec::new(),
+            timing_slots: Vec::new(),
             missed: 0,
             relay_builders: BTreeMap::new(),
             totals: RunTotals {
@@ -422,6 +430,58 @@ impl Runner {
             cfg.calendar.total_slots(),
             profiles,
         ))
+    }
+
+    /// Draws the run-level streamed-auction tables (per-builder strategy
+    /// and latency, per-relay ingestion delay) from a dedicated seed
+    /// subdomain; `None` for one-shot runs, so the timed machinery draws
+    /// nothing and legacy artifacts stay byte-identical.
+    fn build_timing_params(
+        cfg: &ScenarioConfig,
+        builders: usize,
+        relays: usize,
+        seeds: &SeedDomain,
+    ) -> Option<TimingParams> {
+        let t = &cfg.auction_timing;
+        if t.is_one_shot() {
+            return None;
+        }
+        let td = seeds.subdomain("auction_timing");
+        let span = t.max_latency_ms.saturating_sub(t.min_latency_ms);
+        let mut builder_latency_ms = Vec::with_capacity(builders);
+        let mut strategies = Vec::with_capacity(builders);
+        for b in 0..builders {
+            let mut r = td.stream("builder", b as u64);
+            builder_latency_ms.push(t.min_latency_ms + r.random_range(0..=span));
+            let roll = r.random::<f64>();
+            strategies.push(if roll < t.sniper_share {
+                BidStrategy::Sniper {
+                    lead_ms: 150 + r.random_range(0..=300u64),
+                }
+            } else if roll < t.sniper_share + t.canceller_share {
+                BidStrategy::Canceller {
+                    rebid_permille: 300 + r.random_range(0..=400u64) as u16,
+                }
+            } else {
+                BidStrategy::Naive {
+                    rebids: 2 + r.random_range(0..=4u32),
+                }
+            });
+        }
+        let relay_extra_ms = (0..relays)
+            .map(|i| td.stream("relay", i as u64).random_range(0..=40u64))
+            .collect();
+        Some(TimingParams {
+            tick_ms: t.tick_ms,
+            bid_deadline_ms: t.bid_deadline_ms,
+            cancel_cutoff_ms: t.cancel_cutoff_ms,
+            header_query_ms: t.header_query_ms,
+            staleness_lag_ms: t.staleness_lag_ms,
+            accrual_floor_permille: t.accrual_floor_permille,
+            builder_latency_ms,
+            relay_extra_ms,
+            strategies,
+        })
     }
 
     /// Persists the slot's boost decisions as [`FaultEventRecord`]s (only
@@ -871,6 +931,7 @@ impl Runner {
             sanctions: &self.sanctions,
             jitter_zero_prob: 0.10,
             jitter_max_frac: 0.02,
+            timing: self.timing.as_ref(),
         };
         let slot_seeds = self.seeds.subdomain(&format!("slot:{s}"));
         let auction_span = simcore::span!("driver.auction");
@@ -893,6 +954,28 @@ impl Runner {
         // undeliverable (the 10 Nov 2022 failure mode, now mechanized).
         if self.fault_schedule.is_some() {
             self.record_fault_events(slot, day, &result);
+        }
+        // Streamed-auction trace: one row per auctioned slot, recorded
+        // before the missed-slot return (a sniped-but-undelivered auction
+        // is still microstructure data; it just has no winner).
+        if let Some(trace) = result.timing.take() {
+            let tp = self.timing.as_ref().expect("trace implies timing params");
+            let winner = if result.pbs && !result.missed {
+                result.builder
+            } else {
+                None
+            };
+            self.timing_slots.push(AuctionTimingRecord {
+                slot,
+                day,
+                winner,
+                winner_strategy: winner.map(|b| tp.strategy_for(b).kind()),
+                winner_latency_ms: winner.map(|b| tp.builder_latency(b)).unwrap_or(0),
+                bids: trace.bids,
+                cancels: trace.cancels,
+                late_bids: trace.late_bids,
+                top_bid_by_tick: trace.top_bid_by_tick,
+            });
         }
         if result.missed {
             telemetry::counter_add("scenario.slots.missed.payload", 1);
@@ -1086,6 +1169,20 @@ impl Runner {
             .iter()
             .map(|((d, r), set)| (DayIndex(*d), RelayId(*r), set.len() as u32))
             .collect();
+        let timing_builders: Vec<TimingBuilderRecord> = match &self.timing {
+            Some(tp) => self
+                .cast
+                .iter()
+                .enumerate()
+                .map(|(i, entry)| TimingBuilderRecord {
+                    builder: BuilderId(i as u32),
+                    name: entry.profile.name.clone(),
+                    strategy: tp.strategy_for(BuilderId(i as u32)).kind(),
+                    latency_ms: tp.builder_latency(BuilderId(i as u32)),
+                })
+                .collect(),
+            None => Vec::new(),
+        };
 
         RunArtifacts {
             config: self.cfg.clone(),
@@ -1105,6 +1202,8 @@ impl Runner {
                 .collect(),
             totals: self.totals,
             fault_events: self.fault_events,
+            timing_slots: self.timing_slots,
+            timing_builders,
         }
     }
 
@@ -1136,6 +1235,7 @@ impl Runner {
         self.private_user_txs.encode(&mut w);
         self.blocks.encode(&mut w);
         self.fault_events.encode(&mut w);
+        self.timing_slots.encode(&mut w);
         w.u64(self.missed);
         self.relay_builders.encode(&mut w);
         self.totals.encode(&mut w);
@@ -1186,6 +1286,7 @@ impl Runner {
         self.private_user_txs = Snapshot::decode(&mut r)?;
         self.blocks = Snapshot::decode(&mut r)?;
         self.fault_events = Snapshot::decode(&mut r)?;
+        self.timing_slots = Snapshot::decode(&mut r)?;
         self.missed = r.u64()?;
         self.relay_builders = Snapshot::decode(&mut r)?;
         self.totals = Snapshot::decode(&mut r)?;
@@ -1499,6 +1600,73 @@ mod tests {
         let baseline = Runner::new(&cfg).run();
         assert_eq!(resumed.run().blocks, baseline.blocks);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streamed_timing_traces_cover_every_auctioned_slot() {
+        let mut cfg = ScenarioConfig::test_small(21, 2);
+        cfg.auction_timing = crate::config::AuctionTimingConfig::streamed();
+        let run = Simulation::new(cfg.clone()).run();
+
+        // One strategy/latency row per cast builder, latencies in range.
+        assert_eq!(run.timing_builders.len(), builder_cast().len());
+        for b in &run.timing_builders {
+            assert!(b.latency_ms >= cfg.auction_timing.min_latency_ms);
+            assert!(b.latency_ms <= cfg.auction_timing.max_latency_ms);
+        }
+
+        assert!(!run.timing_slots.is_empty(), "no timing traces recorded");
+        let ticks = cfg.auction_timing.bid_deadline_ms / cfg.auction_timing.tick_ms + 1;
+        for t in &run.timing_slots {
+            assert_eq!(t.top_bid_by_tick.len(), ticks as usize);
+            // Retroactive cancellation makes the book view monotone: the
+            // top bid over sub-slot time can only grow as bids arrive.
+            for w in t.top_bid_by_tick.windows(2) {
+                assert!(w[0] <= w[1], "top-of-book regressed at slot {:?}", t.slot);
+            }
+            if let Some(winner) = t.winner {
+                let block = run
+                    .blocks
+                    .iter()
+                    .find(|b| b.slot == t.slot)
+                    .expect("timing winner without a block");
+                assert!(block.pbs_truth);
+                assert_eq!(block.builder, Some(winner));
+                assert_eq!(
+                    t.winner_strategy,
+                    Some(run.timing_builders[winner.0 as usize].strategy)
+                );
+            }
+        }
+        // Every PBS block's auction left a trace.
+        for b in run.blocks.iter().filter(|b| b.pbs_truth) {
+            assert!(run.timing_slots.iter().any(|t| t.slot == b.slot));
+        }
+
+        // The default one-shot run records nothing: the timed machinery
+        // is invisible unless asked for.
+        let legacy = tiny_run(21, 2);
+        assert!(legacy.timing_slots.is_empty());
+        assert!(legacy.timing_builders.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_a_timed_run() {
+        let mut cfg = ScenarioConfig::test_small(42, 3);
+        cfg.auction_timing = crate::config::AuctionTimingConfig::streamed();
+        let baseline = Runner::new(&cfg).run();
+        assert!(!baseline.timing_slots.is_empty());
+        let mut first = Runner::new(&cfg);
+        first.step_day();
+        let body = first.checkpoint();
+        let mut resumed = Runner::new(&cfg);
+        resumed.restore(&body).unwrap();
+        let run = resumed.run();
+        assert_eq!(run.blocks, baseline.blocks);
+        assert_eq!(run.timing_slots, baseline.timing_slots);
+        assert_eq!(run.timing_builders, baseline.timing_builders);
+        assert_eq!(run.totals, baseline.totals);
+        assert_eq!(run.missed_slots, baseline.missed_slots);
     }
 
     #[test]

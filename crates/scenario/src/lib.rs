@@ -28,8 +28,14 @@ pub mod workload;
 
 pub use cast::{builder_cast, validator_entities, BuilderCastEntry};
 pub use checkpoint::{CheckpointPolicy, CHECKPOINT_VERSION};
-pub use config::{AblationKnobs, FaultConfig, FaultPreset, ScenarioConfig};
+pub use config::{
+    AblationKnobs, AuctionTimingConfig, AuctionTimingPreset, FaultConfig, FaultPreset,
+    ScenarioConfig,
+};
 pub use driver::{Runner, Simulation};
-pub use records::{BlockRecord, FaultEventKind, FaultEventRecord, RunArtifacts, RunTotals};
+pub use records::{
+    AuctionTimingRecord, BlockRecord, FaultEventKind, FaultEventRecord, RunArtifacts, RunTotals,
+    TimingBuilderRecord,
+};
 pub use timeline::Timeline;
 pub use workload::WorkloadGenerator;

@@ -7,7 +7,7 @@
 use crate::config::ScenarioConfig;
 use beacon::ValidatorId;
 use eth_types::{Address, BlsPublicKey, DayIndex, Gas, GasPrice, Slot, Wei};
-use pbs::{BuilderId, RelayId};
+use pbs::{BuilderId, RelayId, StrategyKind};
 use serde::{struct_field, DeError, Deserialize, Serialize, Value};
 
 /// Everything the pipeline records about one proposed block.
@@ -275,6 +275,72 @@ impl simcore::Snapshot for FaultEventRecord {
     }
 }
 
+/// Per-slot trace of the streamed auction's sub-slot microstructure
+/// (recorded only when [`ScenarioConfig::auction_timing`] is streamed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuctionTimingRecord {
+    /// Slot the auction ran for.
+    pub slot: Slot,
+    /// Calendar day.
+    pub day: DayIndex,
+    /// Winning builder, when the slot produced a PBS block.
+    pub winner: Option<BuilderId>,
+    /// The winner's strategy family.
+    pub winner_strategy: Option<StrategyKind>,
+    /// The winner's one-way submission latency, in ms.
+    pub winner_latency_ms: u64,
+    /// Bid messages accepted into some relay's book.
+    pub bids: u32,
+    /// Cancellations that took effect.
+    pub cancels: u32,
+    /// Bid messages that arrived after the eligibility deadline.
+    pub late_bids: u32,
+    /// Top declared bid across relays at each sampling tick.
+    pub top_bid_by_tick: Vec<Wei>,
+}
+
+/// The drawn timing identity of one builder for a streamed run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingBuilderRecord {
+    /// The builder.
+    pub builder: BuilderId,
+    /// Display name.
+    pub name: String,
+    /// Strategy family the builder played all run.
+    pub strategy: StrategyKind,
+    /// One-way submission latency, in ms.
+    pub latency_ms: u64,
+}
+
+impl simcore::Snapshot for AuctionTimingRecord {
+    fn encode(&self, w: &mut simcore::SnapWriter) {
+        self.slot.encode(w);
+        self.day.encode(w);
+        self.winner.encode(w);
+        self.winner_strategy.encode(w);
+        self.winner_latency_ms.encode(w);
+        self.bids.encode(w);
+        self.cancels.encode(w);
+        self.late_bids.encode(w);
+        self.top_bid_by_tick.encode(w);
+    }
+
+    fn decode(r: &mut simcore::SnapReader<'_>) -> Result<Self, simcore::SnapshotError> {
+        use simcore::Snapshot;
+        Ok(AuctionTimingRecord {
+            slot: Snapshot::decode(r)?,
+            day: Snapshot::decode(r)?,
+            winner: Snapshot::decode(r)?,
+            winner_strategy: Snapshot::decode(r)?,
+            winner_latency_ms: Snapshot::decode(r)?,
+            bids: Snapshot::decode(r)?,
+            cancels: Snapshot::decode(r)?,
+            late_bids: Snapshot::decode(r)?,
+            top_bid_by_tick: Snapshot::decode(r)?,
+        })
+    }
+}
+
 impl simcore::Snapshot for BlockRecord {
     fn encode(&self, w: &mut simcore::SnapWriter) {
         self.slot.encode(w);
@@ -375,11 +441,17 @@ pub struct RunArtifacts {
     pub totals: RunTotals,
     /// Fault observations, slot-ordered (empty when faults are off).
     pub fault_events: Vec<FaultEventRecord>,
+    /// Per-slot auction timing traces, slot-ordered (empty for one-shot
+    /// runs).
+    pub timing_slots: Vec<AuctionTimingRecord>,
+    /// Per-builder timing identities (empty for one-shot runs).
+    pub timing_builders: Vec<TimingBuilderRecord>,
 }
 
-// Hand-written serde: `fault_events` is emitted only when non-empty, so
-// fault-free `run.json` artifacts stay byte-identical to those produced
-// before the fault model existed.
+// Hand-written serde: `fault_events` (and likewise the timing vectors)
+// are emitted only when non-empty, so fault-free one-shot `run.json`
+// artifacts stay byte-identical to those produced before either
+// subsystem existed.
 impl Serialize for RunArtifacts {
     fn to_value(&self) -> Value {
         let mut fields = vec![
@@ -405,6 +477,15 @@ impl Serialize for RunArtifacts {
         if !self.fault_events.is_empty() {
             fields.push(("fault_events".to_string(), self.fault_events.to_value()));
         }
+        if !self.timing_slots.is_empty() {
+            fields.push(("timing_slots".to_string(), self.timing_slots.to_value()));
+        }
+        if !self.timing_builders.is_empty() {
+            fields.push((
+                "timing_builders".to_string(),
+                self.timing_builders.to_value(),
+            ));
+        }
         Value::Object(fields)
     }
 }
@@ -424,6 +505,14 @@ impl Deserialize for RunArtifacts {
             fault_events: match struct_field(v, "fault_events") {
                 Value::Null => Vec::new(),
                 fv => Vec::from_value(fv)?,
+            },
+            timing_slots: match struct_field(v, "timing_slots") {
+                Value::Null => Vec::new(),
+                tv => Vec::from_value(tv)?,
+            },
+            timing_builders: match struct_field(v, "timing_builders") {
+                Value::Null => Vec::new(),
+                tv => Vec::from_value(tv)?,
             },
         })
     }
@@ -552,6 +641,8 @@ mod tests {
             entity_names: vec!["e".into()],
             totals: RunTotals::default(),
             fault_events: Vec::new(),
+            timing_slots: Vec::new(),
+            timing_builders: Vec::new(),
         }
     }
 
@@ -562,9 +653,52 @@ mod tests {
             !json.contains("fault_events"),
             "fault-free artifacts must serialize exactly as before the fault model"
         );
+        assert!(
+            !json.contains("timing_"),
+            "one-shot artifacts must serialize exactly as before the timing model"
+        );
         let back: RunArtifacts = serde_json::from_str(&json).unwrap();
         assert!(back.fault_events.is_empty());
+        assert!(back.timing_slots.is_empty());
+        assert!(back.timing_builders.is_empty());
         assert_eq!(back.blocks, artifacts().blocks);
+    }
+
+    fn timing_record() -> AuctionTimingRecord {
+        AuctionTimingRecord {
+            slot: Slot(3),
+            day: DayIndex(0),
+            winner: Some(BuilderId(2)),
+            winner_strategy: Some(StrategyKind::Sniper),
+            winner_latency_ms: 180,
+            bids: 14,
+            cancels: 2,
+            late_bids: 1,
+            top_bid_by_tick: vec![Wei::ZERO, Wei::from_eth(0.04), Wei::from_eth(0.05)],
+        }
+    }
+
+    #[test]
+    fn timing_records_round_trip_in_json_and_snapshot() {
+        let mut run = artifacts();
+        run.timing_slots.push(timing_record());
+        run.timing_builders.push(TimingBuilderRecord {
+            builder: BuilderId(2),
+            name: "beaverbuild".into(),
+            strategy: StrategyKind::Sniper,
+            latency_ms: 180,
+        });
+        let json = serde_json::to_string(&run).unwrap();
+        assert!(json.contains("timing_slots") && json.contains("timing_builders"));
+        let back: RunArtifacts = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.timing_slots, run.timing_slots);
+        assert_eq!(back.timing_builders, run.timing_builders);
+        snapshot_roundtrip(&timing_record());
+        snapshot_roundtrip(&AuctionTimingRecord {
+            winner: None,
+            winner_strategy: None,
+            ..timing_record()
+        });
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! the slot loop, and retries/fallbacks are resolved in subscription
 //! order, so a faulted run is just as thread-invariant as a clean one.
 
-use scenario::{FaultConfig, ScenarioConfig, Simulation};
+use scenario::{AuctionTimingConfig, FaultConfig, ScenarioConfig, Simulation};
 
 /// Serializes a full 7-day run at a given global thread count.
 fn run_serialized(seed: u64, threads: usize, faults: FaultConfig) -> String {
@@ -22,6 +22,21 @@ fn run_serialized(seed: u64, threads: usize, faults: FaultConfig) -> String {
         .unwrap();
     let cfg = ScenarioConfig {
         faults,
+        ..ScenarioConfig::test_small(seed, 7)
+    };
+    let run = Simulation::new(cfg).run();
+    serde_json::to_string(&run).expect("RunArtifacts serializes")
+}
+
+/// Serializes a streamed-auction run (sub-slot bids, latency channels,
+/// cancellations) at a given global thread count.
+fn run_timed_serialized(seed: u64, threads: usize) -> String {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build_global()
+        .unwrap();
+    let cfg = ScenarioConfig {
+        auction_timing: AuctionTimingConfig::streamed(),
         ..ScenarioConfig::test_small(seed, 7)
     };
     let run = Simulation::new(cfg).run();
@@ -61,6 +76,28 @@ fn artifacts_are_byte_identical_across_thread_counts() {
     let uniform_seq = run_serialized(42, 1, FaultConfig::uniform());
     let uniform_par = run_serialized(42, 4, FaultConfig::uniform());
     assert_eq!(uniform_seq, uniform_par);
+
+    // Streamed auctions: bid schedules, latency channels, and
+    // cancellations are all drawn label-addressed from seed subdomains,
+    // so the timed microstructure obeys the same contract.
+    let timed_seq = run_timed_serialized(42, 1);
+    let timed_par = run_timed_serialized(42, 4);
+    assert_eq!(
+        timed_seq, timed_par,
+        "streamed auctions must stay byte-identical at 1 and 4 threads"
+    );
+    assert_ne!(
+        timed_seq, sequential,
+        "the streamed preset must actually change the run"
+    );
+    assert!(
+        timed_seq.contains("timing_slots"),
+        "timed artifacts must carry the per-slot traces"
+    );
+    assert!(
+        !sequential.contains("timing_"),
+        "one-shot artifacts must not mention timing at all"
+    );
 
     rayon::ThreadPoolBuilder::new()
         .num_threads(0)

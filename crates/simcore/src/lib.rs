@@ -42,6 +42,7 @@ pub mod rng;
 pub mod snapshot;
 pub mod telemetry;
 pub mod time;
+pub mod timing;
 
 pub use arena::BufferPool;
 pub use digest::{sha256, sha256_hex};
@@ -54,3 +55,4 @@ pub use rng::SeedDomain;
 pub use snapshot::{SnapReader, SnapWriter, Snapshot, SnapshotError};
 pub use telemetry::{Histogram, HistogramSnapshot, SpanStack, Telemetry, TelemetrySnapshot};
 pub use time::SimTime;
+pub use timing::{LatencyChannel, TickGrid};

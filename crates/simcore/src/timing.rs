@@ -1,0 +1,131 @@
+//! Sub-slot timing primitives on the simulated clock.
+//!
+//! The intra-slot auction runs on millisecond resolution inside a
+//! 12-second slot: builders emit bid streams, messages cross
+//! builder→relay latency channels, and analysis samples the market state
+//! on a fixed tick grid. Everything here is pure arithmetic over
+//! [`SimTime`] — no wall clock, so timed runs stay exactly as
+//! deterministic as one-shot runs.
+
+use crate::snapshot::{SnapReader, SnapWriter, Snapshot, SnapshotError};
+use crate::time::SimTime;
+
+/// A fixed-delay one-way message channel (builder → relay).
+///
+/// Real bid submission latency is dominated by a stable per-pair network
+/// distance, so the channel is a constant delay drawn once per pair from
+/// the scenario's seed domain rather than per-message noise — this keeps
+/// the win-rate-vs-latency curve a function of the builder's position,
+/// the quantity the cited auction studies measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyChannel {
+    /// One-way propagation delay in milliseconds.
+    pub delay_ms: u64,
+}
+
+impl LatencyChannel {
+    /// A zero-latency channel (messages arrive the instant they are sent).
+    pub const ZERO: LatencyChannel = LatencyChannel { delay_ms: 0 };
+
+    /// When a message sent at `sent` arrives at the far end.
+    pub fn arrival(&self, sent: SimTime) -> SimTime {
+        sent.plus_millis(self.delay_ms)
+    }
+}
+
+impl Snapshot for LatencyChannel {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.delay_ms.encode(w);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(LatencyChannel {
+            delay_ms: Snapshot::decode(r)?,
+        })
+    }
+}
+
+/// A fixed grid of sampling offsets inside a slot: `0, tick, 2·tick, …`
+/// up to and including `deadline_ms` (the bid-eligibility deadline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickGrid {
+    /// Spacing between samples, in milliseconds (must be nonzero).
+    pub tick_ms: u64,
+    /// Last offset covered by the grid, in milliseconds.
+    pub deadline_ms: u64,
+}
+
+impl TickGrid {
+    /// The sample offsets, in milliseconds from slot start.
+    pub fn ticks(&self) -> impl Iterator<Item = u64> + '_ {
+        let step = self.tick_ms.max(1);
+        (0..=self.deadline_ms / step).map(move |i| i * step)
+    }
+
+    /// Number of samples the grid produces.
+    pub fn len(&self) -> usize {
+        (self.deadline_ms / self.tick_ms.max(1)) as usize + 1
+    }
+
+    /// A grid always holds at least the t=0 sample.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl Snapshot for TickGrid {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.tick_ms.encode(w);
+        self.deadline_ms.encode(w);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(TickGrid {
+            tick_ms: Snapshot::decode(r)?,
+            deadline_ms: Snapshot::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_shifts_arrival_by_its_delay() {
+        let ch = LatencyChannel { delay_ms: 35 };
+        assert_eq!(ch.arrival(SimTime::from_millis(100)), SimTime(135));
+        assert_eq!(LatencyChannel::ZERO.arrival(SimTime(7)), SimTime(7));
+    }
+
+    #[test]
+    fn tick_grid_covers_the_slot_inclusively() {
+        let grid = TickGrid {
+            tick_ms: 1500,
+            deadline_ms: 12_000,
+        };
+        let ticks: Vec<u64> = grid.ticks().collect();
+        assert_eq!(ticks.len(), grid.len());
+        assert_eq!(ticks.first(), Some(&0));
+        assert_eq!(ticks.last(), Some(&12_000));
+        assert_eq!(ticks[1], 1500);
+    }
+
+    #[test]
+    fn tick_grid_with_ragged_deadline_stops_before_it() {
+        let grid = TickGrid {
+            tick_ms: 5000,
+            deadline_ms: 12_000,
+        };
+        assert_eq!(grid.ticks().collect::<Vec<_>>(), vec![0, 5000, 10_000]);
+    }
+
+    #[test]
+    fn degenerate_tick_spacing_is_clamped() {
+        let grid = TickGrid {
+            tick_ms: 0,
+            deadline_ms: 3,
+        };
+        assert_eq!(grid.ticks().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+}

@@ -5,7 +5,10 @@
 
 use proptest::prelude::*;
 use simcore::snapshot::{read_envelope, write_envelope};
-use simcore::{FaultProfile, FaultSchedule, SeedDomain, SnapReader, SnapWriter, Snapshot};
+use simcore::{
+    FaultProfile, FaultSchedule, LatencyChannel, SeedDomain, SimTime, SnapReader, SnapWriter,
+    Snapshot, TickGrid,
+};
 
 fn roundtrip<T: Snapshot + PartialEq + std::fmt::Debug>(value: &T) {
     let mut w = SnapWriter::new();
@@ -69,6 +72,22 @@ proptest! {
         roundtrip(&floats);
         roundtrip(&text);
         roundtrip(&flags);
+    }
+
+    #[test]
+    fn timing_primitives_round_trip(
+        now in any::<u64>(),
+        delays in proptest::collection::vec(any::<u64>(), 0..8),
+        tick in 1u64..5_000,
+        deadline in 0u64..20_000,
+    ) {
+        roundtrip(&SimTime::from_millis(now));
+        let channels: Vec<LatencyChannel> = delays
+            .iter()
+            .map(|&delay_ms| LatencyChannel { delay_ms })
+            .collect();
+        roundtrip(&channels);
+        roundtrip(&TickGrid { tick_ms: tick, deadline_ms: deadline });
     }
 
     #[test]

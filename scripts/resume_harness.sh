@@ -2,7 +2,8 @@
 # Kill-and-resume byte-identity harness.
 #
 # For every combination of PBS_THREADS in {1, 4} and fault preset in
-# {off, paper-incidents}:
+# {off, paper-incidents}, plus a streamed auction-timing leg per thread
+# count (4-day run verified against tests/golden/manifest_timing.json):
 #
 #   1. start the small seed-42 pipeline (`pbs-repro resume --small`) with
 #      per-day checkpointing and PBS_KILL_AFTER_DAY set, so the process
@@ -27,6 +28,7 @@ set -u
 cd "$(dirname "$0")/.."
 BIN=target/release/pbs-repro
 MANIFEST=tests/golden/manifest.json
+TIMING_MANIFEST=tests/golden/manifest_timing.json
 FAILDIR=target/resume-harness-failure
 
 if [ ! -x "$BIN" ]; then
@@ -101,8 +103,68 @@ for threads in 1 4; do
     done
 done
 
+# Streamed-timing leg: 4-day run, so cap the kill day at 2 (the last
+# day is excluded so the resumed invocation always has work left).
+TIMED_KILL_DAY=$(( KILL_DAY < 2 ? KILL_DAY : 2 ))
+for threads in 1 4; do
+    tag="threads=$threads timing=streamed"
+    work=$(mktemp -d "${TMPDIR:-/tmp}/pbs-resume-XXXXXX")
+    out="$work/out"
+    ckpt="$work/checkpoints"
+
+    run() {
+        env PBS_THREADS="$threads" \
+            PBS_CHECKPOINT_EVERY=1 \
+            PBS_CHECKPOINT_DIR="$ckpt" \
+            "$@" \
+            "$BIN" resume --small --days 4 --seed 42 --timing streamed --out "$out"
+    }
+
+    echo "--- $tag: first run (SIGKILL after day $TIMED_KILL_DAY) ---"
+    run PBS_KILL_AFTER_DAY="$TIMED_KILL_DAY" 2> "$work/first.log"
+    status=$?
+    if [ "$status" -eq 0 ]; then
+        echo "FAIL [$tag]: first run survived its own SIGKILL (status 0)"
+        cat "$work/first.log"
+        fail=1
+        continue
+    fi
+    if ! ls "$ckpt"/checkpoint-day-* > /dev/null 2>&1; then
+        echo "FAIL [$tag]: killed run left no checkpoint in $ckpt"
+        cat "$work/first.log"
+        fail=1
+        continue
+    fi
+
+    echo "--- $tag: resumed run ---"
+    if ! run 2> "$work/second.log"; then
+        echo "FAIL [$tag]: resumed run failed"
+        cat "$work/second.log"
+        fail=1
+        continue
+    fi
+    if ! grep -q "resuming from" "$work/second.log"; then
+        echo "FAIL [$tag]: second run did not resume from a checkpoint"
+        cat "$work/second.log"
+        fail=1
+        continue
+    fi
+
+    if "$BIN" verify-bundle --dir "$out" --manifest "$TIMING_MANIFEST" --prefix timed; then
+        echo "OK [$tag]: resumed bundle matches $TIMING_MANIFEST (timed/)"
+        rm -rf "$work"
+    else
+        echo "FAIL [$tag]: resumed bundle diverges from $TIMING_MANIFEST (timed/)"
+        mkdir -p "$FAILDIR"
+        cp -r "$out" "$FAILDIR/timed-threads$threads"
+        cp "$work/first.log" "$FAILDIR/timed-threads$threads-first.log"
+        cp "$work/second.log" "$FAILDIR/timed-threads$threads-second.log"
+        fail=1
+    fi
+done
+
 if [ "$fail" -ne 0 ]; then
-    echo "=== resume harness FAILED (kill day $KILL_DAY) ==="
+    echo "=== resume harness FAILED (kill day $KILL_DAY, timed kill day $TIMED_KILL_DAY) ==="
     exit 1
 fi
-echo "=== resume harness passed: all 4 combinations byte-identical (kill day $KILL_DAY) ==="
+echo "=== resume harness passed: all 6 combinations byte-identical (kill day $KILL_DAY, timed kill day $TIMED_KILL_DAY) ==="

@@ -29,7 +29,7 @@
 //! them against a manifest, exiting nonzero on any divergence.
 
 use analysis::{write_artifact_bundle, PaperReport};
-use scenario::{FaultConfig, ScenarioConfig, Simulation};
+use scenario::{AuctionTimingConfig, FaultConfig, ScenarioConfig, Simulation};
 use simcore::telemetry;
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -41,6 +41,7 @@ struct Args {
     out: Option<String>,
     small: bool,
     faults: String,
+    timing: String,
     dir: String,
     manifest: String,
     prefix: String,
@@ -65,6 +66,7 @@ fn usage() -> ! {
          --seed N       master seed (default 42)\n\
          --small        use the small golden-test population sizes\n\
          --faults P     fault preset: off | paper-incidents (default off)\n\
+         --timing P     auction-timing preset: one-shot | streamed (default one-shot)\n\
          --out DIR      output directory (telemetry: \"telemetry\", bundle: \"out\")\n\
          --dir DIR      bundle directory to verify (verify-bundle)\n\
          --manifest F   manifest file of expected digests (verify-bundle)\n\
@@ -81,6 +83,7 @@ fn parse_flags(rest: &[String]) -> Args {
         out: None,
         small: false,
         faults: "off".into(),
+        timing: "one-shot".into(),
         dir: String::new(),
         manifest: String::new(),
         prefix: String::new(),
@@ -116,6 +119,14 @@ fn parse_flags(rest: &[String]) -> Args {
                     std::process::exit(2);
                 }
                 args.faults = v.to_string();
+            }
+            "--timing" => {
+                let v = value(flag, &mut it);
+                if v != "one-shot" && v != "streamed" {
+                    eprintln!("error: --timing must be one-shot or streamed, got {v:?}");
+                    std::process::exit(2);
+                }
+                args.timing = v.to_string();
             }
             "--dir" => args.dir = value(flag, &mut it).to_string(),
             "--manifest" => args.manifest = value(flag, &mut it).to_string(),
@@ -153,9 +164,12 @@ fn simulate(args: &Args) -> scenario::RunArtifacts {
     if args.faults == "paper-incidents" {
         cfg.faults = FaultConfig::paper_incidents();
     }
+    if args.timing == "streamed" {
+        cfg.auction_timing = AuctionTimingConfig::streamed();
+    }
     eprintln!(
-        "simulating {} days × {} blocks/day (seed {}, faults {}) …",
-        args.days, bpd, args.seed, args.faults
+        "simulating {} days × {} blocks/day (seed {}, faults {}, timing {}) …",
+        args.days, bpd, args.seed, args.faults, args.timing
     );
     Simulation::new(cfg).run()
 }

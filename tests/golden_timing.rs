@@ -1,0 +1,119 @@
+//! Golden artifacts and headline curves for the streamed auction.
+//!
+//! Runs a small seed-42 pipeline with the `streamed` auction-timing
+//! preset, pins the SHA-256 digest of every bundle file against
+//! `tests/golden/manifest_timing.json`, and asserts the two
+//! microstructure findings the timing CSVs exist to show:
+//!
+//! * sniper win rate falls with builder latency (a late bid that misses
+//!   the eligibility deadline is worthless),
+//! * the median top-of-book bid is non-decreasing over sub-slot time
+//!   (bids accumulate; cancellations are retroactive).
+//!
+//! Re-bless after an intentional output change:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test -p pbs-repro --test golden_timing
+//! ```
+
+use analysis::{auction_timing, write_artifact_bundle, PaperReport};
+use datasets::{digest_dir, parse_manifest, render_manifest};
+use scenario::{AuctionTimingConfig, ScenarioConfig, Simulation};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+#[test]
+fn timed_golden_artifacts_and_curves() {
+    let cfg = ScenarioConfig {
+        auction_timing: AuctionTimingConfig::streamed(),
+        ..ScenarioConfig::test_small(42, 4)
+    };
+    let run = Simulation::new(cfg).run();
+    let report = PaperReport::compute(&run);
+
+    let tmp = std::env::temp_dir().join(format!("pbs-golden-timing-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    write_artifact_bundle(&report, &run, &tmp.join("timed")).expect("bundle writes");
+
+    let mut actual = BTreeMap::new();
+    for (name, hex) in digest_dir(&tmp.join("timed")).expect("bundle dir readable") {
+        actual.insert(format!("timed/{name}"), hex);
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    // The timing CSVs exist exactly because the run streamed bids.
+    assert!(actual.contains_key("timed/auction_timing_win_rate.csv"));
+    assert!(actual.contains_key("timed/auction_timing_escalation.csv"));
+
+    // --- Curve shape: sniper win rate vs latency ------------------------
+    let buckets = auction_timing::sniper_win_rate_by_latency_bucket(&run, 200);
+    assert!(
+        buckets.len() >= 2,
+        "need at least two sniper latency buckets, got {buckets:?}"
+    );
+    let first = buckets.first().unwrap();
+    let last = buckets.last().unwrap();
+    assert!(
+        first.1 > last.1,
+        "sniper win rate must fall with latency: {buckets:?}"
+    );
+
+    // --- Curve shape: bid escalation over sub-slot time -----------------
+    let curve = auction_timing::escalation_curve(&run);
+    assert!(!curve.is_empty());
+    for w in curve.windows(2) {
+        assert!(
+            w[0].median_top_bid_eth <= w[1].median_top_bid_eth + 1e-12,
+            "median top bid regressed between ticks {} and {}",
+            w[0].tick_ms,
+            w[1].tick_ms
+        );
+    }
+    assert!(curve.last().unwrap().median_top_bid_eth > 0.0);
+
+    // --- Digest pinning -------------------------------------------------
+    let manifest_path = repo_path("tests/golden/manifest_timing.json");
+    if std::env::var("GOLDEN_BLESS").as_deref() == Ok("1") {
+        simcore::atomic_write(&manifest_path, render_manifest(&actual).as_bytes()).unwrap();
+        eprintln!(
+            "blessed {} entries into {}",
+            actual.len(),
+            manifest_path.display()
+        );
+        return;
+    }
+
+    let text = std::fs::read_to_string(&manifest_path)
+        .expect("tests/golden/manifest_timing.json missing — bless it with GOLDEN_BLESS=1");
+    let expected = parse_manifest(&text).expect("manifest parses");
+
+    if actual != expected {
+        let actual_path = repo_path("target/golden-manifest-timing-actual.json");
+        let _ = simcore::atomic_write(&actual_path, render_manifest(&actual).as_bytes());
+
+        let mut diff = String::new();
+        let names: std::collections::BTreeSet<_> = expected.keys().chain(actual.keys()).collect();
+        for name in names {
+            match (expected.get(name), actual.get(name)) {
+                (Some(e), Some(a)) if e != a => {
+                    diff.push_str(&format!(
+                        "  changed: {name}\n    expected {e}\n    actual   {a}\n"
+                    ));
+                }
+                (Some(_), None) => diff.push_str(&format!("  missing: {name}\n")),
+                (None, Some(_)) => diff.push_str(&format!("  extra:   {name}\n")),
+                _ => {}
+            }
+        }
+        panic!(
+            "timed golden artifacts drifted from tests/golden/manifest_timing.json \
+             (observed digests written to {}):\n{diff}\
+             If the change is intentional, re-bless with GOLDEN_BLESS=1.",
+            actual_path.display()
+        );
+    }
+}

@@ -12,7 +12,9 @@
 //! sides mod 2^64 — still an exact identity, since both sides count the
 //! same wei.
 
-use scenario::{FaultConfig, FaultEventKind, RunArtifacts, ScenarioConfig, Simulation};
+use scenario::{
+    AuctionTimingConfig, FaultConfig, FaultEventKind, RunArtifacts, ScenarioConfig, Simulation,
+};
 use simcore::telemetry::{self, TelemetrySnapshot};
 use std::sync::Mutex;
 
@@ -216,6 +218,43 @@ fn conservation_holds_under_paper_incidents() {
     });
     assert!(!run.fault_events.is_empty(), "preset must inject faults");
     assert_conservation(&run, &snap, "paper-incidents");
+}
+
+#[test]
+fn conservation_holds_with_streamed_timing() {
+    // The streamed auction reprices, cancels, and snipes bids over
+    // sub-slot time — none of which may break the accounting identities,
+    // even with relay faults active at the same time.
+    let (run, snap) = instrumented_run(ScenarioConfig {
+        auction_timing: AuctionTimingConfig::streamed(),
+        faults: FaultConfig::paper_incidents(),
+        ..ScenarioConfig::test_small(42, 7)
+    });
+    assert!(
+        !run.timing_slots.is_empty(),
+        "streamed preset recorded no timing traces"
+    );
+    assert_conservation(&run, &snap, "streamed-timing");
+
+    // The microstructure actually happened: cancellations landed, and the
+    // driver's trace totals reconcile with the auction's own counter.
+    let cancels: u64 = run.timing_slots.iter().map(|t| t.cancels as u64).sum();
+    assert!(cancels > 0, "canceller strategies never cancelled");
+    assert_eq!(
+        counter(&snap, "pbs.auction.cancels"),
+        cancels,
+        "trace cancels vs telemetry"
+    );
+    // Every winner the traces name belongs to a PBS block of that slot.
+    for t in run.timing_slots.iter().filter(|t| t.winner.is_some()) {
+        let b = run
+            .blocks
+            .iter()
+            .find(|b| b.slot == t.slot)
+            .expect("winner without a block");
+        assert!(b.pbs_truth);
+        assert_eq!(b.builder, t.winner);
+    }
 }
 
 #[test]
