@@ -40,8 +40,12 @@ pub mod relay_audit;
 pub mod relay_share;
 pub mod report;
 pub mod stats;
+pub mod sweep_agg;
 pub mod tables;
 pub mod util;
 
 pub use report::{write_artifact_bundle, PaperReport};
 pub use stats::{hhi, mean, percentile, std_dev, BoxStats};
+pub use sweep_agg::{
+    write_sweep_bundle, Band, InProcessRunner, JobMetrics, SweepAccumulator, SweepAggregate,
+};

@@ -1,0 +1,587 @@
+//! Seed-wise aggregation of sweep campaigns.
+//!
+//! The scenario crate owns the job matrix and the scheduler
+//! (`scenario::sweep`); this module owns everything that needs the
+//! measurement pipeline: extracting one [`JobMetrics`] row per finished
+//! run, executing a job in-process ([`InProcessRunner`]), and folding the
+//! per-job rows into per-cell aggregate artifacts — median and P10/P90
+//! bands over seeds for every scalar metric, builder share, and relay
+//! share, plus the raw per-seed distributions.
+//!
+//! Aggregation is order-free by construction: the accumulator sorts and
+//! de-duplicates by job id before grouping, so adding jobs in any order —
+//! or merging partial accumulators from separate resumes — produces the
+//! same [`SweepAggregate`], and therefore byte-identical CSVs.
+
+use crate::report::PaperReport;
+use crate::stats::{mean, percentile};
+use datasets::{sha256_hex, write_csv, CsvTable};
+use pbs::RelayId;
+use scenario::checkpoint::CheckpointPolicy;
+use scenario::sweep::{job_checkpoint_dir, job_dir};
+use scenario::{JobRunner, JobSpec, JobStatus, RunArtifacts, Simulation, SweepSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Schema version of `metrics.json`. Bump on any field change so stale
+/// job outputs are re-run instead of mis-aggregated.
+pub const METRICS_FORMAT: u32 = 1;
+
+/// The scalar metrics every job reports, in manifest order.
+pub const SCALAR_METRICS: [&str; 6] = [
+    "builder_hhi_mean",
+    "censoring_relay_share_mean",
+    "missed_slot_rate",
+    "pbs_share",
+    "relay_hhi_mean",
+    "sanctioned_block_share",
+];
+
+/// One finished job, reduced to the numbers the sweep aggregates —
+/// written as `metrics.json` in the job directory and pinned to the spec
+/// digest plus job id so resume can trust what it finds on disk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// Schema version ([`METRICS_FORMAT`]).
+    pub format: u32,
+    /// Hex digest of the sweep spec this job belongs to.
+    pub spec_digest: String,
+    /// The job's id in the expansion.
+    pub job_id: String,
+    /// The configuration cell (job id minus the seed).
+    pub cell: String,
+    /// The job's master seed.
+    pub seed: u64,
+    /// Slots in the simulated calendar.
+    pub total_slots: u64,
+    /// Blocks actually produced.
+    pub blocks: u64,
+    /// Slots with no block.
+    pub missed_slots: u64,
+    /// Scalar metrics, keyed by [`SCALAR_METRICS`] names.
+    pub scalars: BTreeMap<String, f64>,
+    /// Each builder's share of all blocks.
+    pub builder_share: BTreeMap<String, f64>,
+    /// Each relay's share of all blocks (multi-relay blocks count for
+    /// every winning relay).
+    pub relay_share: BTreeMap<String, f64>,
+}
+
+impl JobMetrics {
+    /// Extracts the metrics row from a finished run.
+    pub fn from_run(
+        spec: &SweepSpec,
+        job: &JobSpec,
+        run: &RunArtifacts,
+        report: &PaperReport,
+    ) -> JobMetrics {
+        let total_slots = run.config.calendar.total_slots();
+        let blocks = run.blocks.len() as u64;
+        let denom = (blocks as f64).max(1.0);
+
+        let mut scalars = BTreeMap::new();
+        scalars.insert(
+            "missed_slot_rate".to_string(),
+            run.missed_slots as f64 / (total_slots as f64).max(1.0),
+        );
+        scalars.insert(
+            "relay_hhi_mean".to_string(),
+            report.fig6_concentration.relay_mean(),
+        );
+        scalars.insert(
+            "builder_hhi_mean".to_string(),
+            report.fig6_concentration.builder_mean(),
+        );
+        scalars.insert(
+            "censoring_relay_share_mean".to_string(),
+            mean(&report.fig17_censoring_share.compliant_share),
+        );
+        scalars.insert(
+            "pbs_share".to_string(),
+            run.blocks.iter().filter(|b| b.pbs_truth).count() as f64 / denom,
+        );
+        scalars.insert(
+            "sanctioned_block_share".to_string(),
+            run.blocks.iter().filter(|b| b.sanctioned).count() as f64 / denom,
+        );
+
+        let mut builder_share = BTreeMap::new();
+        for (i, name) in run.builder_names.iter().enumerate() {
+            let won = run
+                .blocks
+                .iter()
+                .filter(|b| b.builder.map(|id| id.0 as usize) == Some(i))
+                .count();
+            builder_share.insert(name.clone(), won as f64 / denom);
+        }
+        let mut relay_share = BTreeMap::new();
+        for r in 0..crate::relay_share::NUM_RELAYS {
+            let name = crate::relay_share::relay_name(RelayId(r as u32));
+            let won = run
+                .blocks
+                .iter()
+                .filter(|b| b.relays.contains(&RelayId(r as u32)))
+                .count();
+            relay_share.insert(name.to_string(), won as f64 / denom);
+        }
+
+        JobMetrics {
+            format: METRICS_FORMAT,
+            spec_digest: spec.digest_hex(),
+            job_id: job.id.clone(),
+            cell: job.cell.clone(),
+            seed: job.seed,
+            total_slots,
+            blocks,
+            missed_slots: run.missed_slots,
+            scalars,
+            builder_share,
+            relay_share,
+        }
+    }
+}
+
+/// Runs one sweep job in this process: simulate (checkpointed, resumable
+/// from this job's own hidden store), measure, write `metrics.json`
+/// atomically, then drop the checkpoint store so a resumed and an
+/// uninterrupted campaign leave byte-identical trees.
+pub fn run_job(spec: &SweepSpec, job: &JobSpec, dir: &Path) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let ckpt = job_checkpoint_dir(dir);
+    let policy = if spec.checkpoint_every > 0 {
+        CheckpointPolicy {
+            every_days: spec.checkpoint_every,
+            dir: ckpt.clone(),
+            keep: 3,
+        }
+    } else {
+        CheckpointPolicy::disabled()
+    };
+    let run = Simulation::new(spec.job_config(job)).run_with_policy(&policy);
+    let report = PaperReport::compute(&run);
+    let metrics = JobMetrics::from_run(spec, job, &run, &report);
+    let json = serde_json::to_string(&metrics).map_err(|e| format!("serialize metrics: {e}"))?;
+    simcore::atomic_write(&dir.join("metrics.json"), json.as_bytes())
+        .map_err(|e| format!("write metrics: {e}"))?;
+    let _ = std::fs::remove_dir_all(&ckpt);
+    Ok(())
+}
+
+/// Whether `dir` holds a valid `metrics.json` for this job under this
+/// spec — the resume predicate. A row from another spec, another job, or
+/// another schema version does not count.
+pub fn job_is_done(spec: &SweepSpec, job: &JobSpec, dir: &Path) -> bool {
+    let Ok(text) = std::fs::read_to_string(dir.join("metrics.json")) else {
+        return false;
+    };
+    let Ok(m) = serde_json::from_str::<JobMetrics>(&text) else {
+        return false;
+    };
+    m.format == METRICS_FORMAT && m.job_id == job.id && m.spec_digest == spec.digest_hex()
+}
+
+/// The [`JobRunner`] cargo tests and the `--in-process` CLI path use:
+/// jobs run as plain function calls on the scheduler's worker threads.
+pub struct InProcessRunner;
+
+impl JobRunner for InProcessRunner {
+    fn run(&self, spec: &SweepSpec, job: &JobSpec, dir: &Path) -> Result<(), String> {
+        run_job(spec, job, dir)
+    }
+
+    fn is_done(&self, spec: &SweepSpec, job: &JobSpec, dir: &Path) -> bool {
+        job_is_done(spec, job, dir)
+    }
+}
+
+/// Median and percentile band of one metric over seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Band {
+    /// Number of seeds.
+    pub n: usize,
+    /// Median over seeds.
+    pub median: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Band {
+    /// Computes the band (zeros for an empty slice, matching
+    /// [`percentile`]).
+    pub fn of(values: &[f64]) -> Band {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if values.is_empty() {
+            min = 0.0;
+            max = 0.0;
+        }
+        Band {
+            n: values.len(),
+            median: percentile(values, 50.0),
+            p10: percentile(values, 10.0),
+            p90: percentile(values, 90.0),
+            min,
+            max,
+        }
+    }
+}
+
+/// One configuration cell's aggregate over its seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellAggregate {
+    /// Cell name.
+    pub cell: String,
+    /// Seeds aggregated.
+    pub seeds: usize,
+    /// Bands for every scalar metric.
+    pub scalars: BTreeMap<String, Band>,
+    /// Bands for every builder's block share.
+    pub builder_share: BTreeMap<String, Band>,
+    /// Bands for every relay's block share.
+    pub relay_share: BTreeMap<String, Band>,
+}
+
+/// The finalized aggregate: one [`CellAggregate`] per cell, plus the
+/// canonically ordered metric rows they were computed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepAggregate {
+    /// Cells, sorted by name.
+    pub cells: Vec<CellAggregate>,
+    /// The rows, sorted by (cell, seed, job id) and de-duplicated.
+    pub metrics: Vec<JobMetrics>,
+}
+
+/// Folds [`JobMetrics`] rows into a [`SweepAggregate`]. Insertion order
+/// never matters, duplicates (same job id) collapse, and merging partial
+/// accumulators equals one-shot accumulation — the properties the sweep's
+/// resume and parallelism guarantees rest on.
+#[derive(Debug, Clone, Default)]
+pub struct SweepAccumulator {
+    rows: Vec<JobMetrics>,
+}
+
+impl SweepAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        SweepAccumulator::default()
+    }
+
+    /// Adds one job's metrics.
+    pub fn add(&mut self, m: JobMetrics) {
+        self.rows.push(m);
+    }
+
+    /// Absorbs another accumulator (e.g. from a partial resume).
+    pub fn merge(&mut self, other: SweepAccumulator) {
+        self.rows.extend(other.rows);
+    }
+
+    /// Canonicalizes and groups: sort by (cell, seed, job id), drop
+    /// duplicate job ids, band every metric per cell.
+    pub fn finalize(&self) -> SweepAggregate {
+        let mut rows = self.rows.clone();
+        rows.sort_by(|a, b| (&a.cell, a.seed, &a.job_id).cmp(&(&b.cell, b.seed, &b.job_id)));
+        rows.dedup_by(|a, b| a.job_id == b.job_id);
+
+        let mut cells: Vec<CellAggregate> = Vec::new();
+        for row in &rows {
+            if cells.last().map(|c| c.cell.as_str()) != Some(row.cell.as_str()) {
+                cells.push(CellAggregate {
+                    cell: row.cell.clone(),
+                    seeds: 0,
+                    scalars: BTreeMap::new(),
+                    builder_share: BTreeMap::new(),
+                    relay_share: BTreeMap::new(),
+                });
+            }
+        }
+        for cell in &mut cells {
+            let group: Vec<&JobMetrics> = rows.iter().filter(|m| m.cell == cell.cell).collect();
+            cell.seeds = group.len();
+            for &name in &SCALAR_METRICS {
+                let values: Vec<f64> = group
+                    .iter()
+                    .filter_map(|m| m.scalars.get(name).copied())
+                    .collect();
+                cell.scalars.insert(name.to_string(), Band::of(&values));
+            }
+            for key in group.iter().flat_map(|m| m.builder_share.keys()) {
+                let values: Vec<f64> = group
+                    .iter()
+                    .map(|m| m.builder_share.get(key).copied().unwrap_or(0.0))
+                    .collect();
+                cell.builder_share.insert(key.clone(), Band::of(&values));
+            }
+            for key in group.iter().flat_map(|m| m.relay_share.keys()) {
+                let values: Vec<f64> = group
+                    .iter()
+                    .map(|m| m.relay_share.get(key).copied().unwrap_or(0.0))
+                    .collect();
+                cell.relay_share.insert(key.clone(), Band::of(&values));
+            }
+        }
+        SweepAggregate {
+            cells,
+            metrics: rows,
+        }
+    }
+}
+
+fn band_row(cell: &str, name: &str, b: &Band) -> Vec<String> {
+    vec![
+        cell.to_string(),
+        name.to_string(),
+        b.n.to_string(),
+        b.median.to_string(),
+        b.p10.to_string(),
+        b.p90.to_string(),
+        b.min.to_string(),
+        b.max.to_string(),
+    ]
+}
+
+const BAND_HEADERS: [&str; 8] = [
+    "cell", "metric", "seeds", "median", "p10", "p90", "min", "max",
+];
+
+/// The per-cell scalar-band table (`sweep_summary.csv`).
+pub fn summary_csv(agg: &SweepAggregate) -> CsvTable {
+    let mut t = CsvTable::new(&BAND_HEADERS);
+    for cell in &agg.cells {
+        for (name, band) in &cell.scalars {
+            t.push_row(band_row(&cell.cell, name, band));
+        }
+    }
+    t
+}
+
+/// The per-cell builder-share band table (`sweep_builder_share.csv`).
+pub fn builder_share_csv(agg: &SweepAggregate) -> CsvTable {
+    let mut t = CsvTable::new(&[
+        "cell", "builder", "seeds", "median", "p10", "p90", "min", "max",
+    ]);
+    for cell in &agg.cells {
+        for (name, band) in &cell.builder_share {
+            t.push_row(band_row(&cell.cell, name, band));
+        }
+    }
+    t
+}
+
+/// The per-cell relay-share band table (`sweep_relay_share.csv`).
+pub fn relay_share_csv(agg: &SweepAggregate) -> CsvTable {
+    let mut t = CsvTable::new(&[
+        "cell", "relay", "seeds", "median", "p10", "p90", "min", "max",
+    ]);
+    for cell in &agg.cells {
+        for (name, band) in &cell.relay_share {
+            t.push_row(band_row(&cell.cell, name, band));
+        }
+    }
+    t
+}
+
+/// The raw per-seed distributions (`sweep_distributions.csv`) — the HHI
+/// and missed-slot-rate (and every other scalar) values the bands
+/// summarize, one row per (cell, metric, seed).
+pub fn distributions_csv(agg: &SweepAggregate) -> CsvTable {
+    let mut t = CsvTable::new(&["cell", "metric", "seed", "value"]);
+    for m in &agg.metrics {
+        for (name, value) in &m.scalars {
+            t.push_row(vec![
+                m.cell.clone(),
+                name.clone(),
+                m.seed.to_string(),
+                value.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Renders the `sweep.json` campaign manifest: spec digest, schema
+/// revisions, and one entry per job in deterministic expansion order with
+/// its status and the digest of its metrics row. Contains nothing
+/// wall-clock dependent, so the manifest is byte-identical across
+/// parallelism levels and resumes.
+pub fn render_sweep_manifest(
+    spec: &SweepSpec,
+    statuses: &[JobStatus],
+    metrics_digests: &BTreeMap<String, String>,
+) -> String {
+    let jobs = spec.jobs();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"name\": \"{}\",\n", spec.name));
+    out.push_str(&format!("  \"spec_digest\": \"{}\",\n", spec.digest_hex()));
+    out.push_str(&format!("  \"metrics_format\": {METRICS_FORMAT},\n"));
+    out.push_str(&format!(
+        "  \"checkpoint_rev\": {},\n",
+        scenario::CHECKPOINT_VERSION
+    ));
+    out.push_str("  \"jobs\": [\n");
+    for (i, job) in jobs.iter().enumerate() {
+        let status = statuses
+            .get(job.index)
+            .copied()
+            .unwrap_or(JobStatus::Pending);
+        let digest = metrics_digests
+            .get(&job.id)
+            .map(String::as_str)
+            .unwrap_or("");
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"cell\": \"{}\", \"seed\": {}, \"status\": \"{}\", \"metrics_sha256\": \"{}\"}}{}\n",
+            job.id,
+            job.cell,
+            job.seed,
+            status.as_str(),
+            digest,
+            if i + 1 == jobs.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Reads every finished job's `metrics.json` under `out`, aggregates, and
+/// writes the sweep bundle: the four aggregate CSVs plus `sweep.json`.
+/// All writes are atomic. Returns the aggregate.
+pub fn write_sweep_bundle(
+    spec: &SweepSpec,
+    statuses: &[JobStatus],
+    out: &Path,
+) -> io::Result<SweepAggregate> {
+    let mut acc = SweepAccumulator::new();
+    let mut digests = BTreeMap::new();
+    for job in spec.jobs() {
+        if statuses.get(job.index) != Some(&JobStatus::Done) {
+            continue;
+        }
+        let path = job_dir(out, &job).join("metrics.json");
+        let bytes = std::fs::read(&path)?;
+        let m: JobMetrics = serde_json::from_str(&String::from_utf8_lossy(&bytes))
+            .map_err(|e| io::Error::other(format!("{}: {e}", path.display())))?;
+        digests.insert(job.id.clone(), sha256_hex(&bytes));
+        acc.add(m);
+    }
+    let agg = acc.finalize();
+    write_csv(&out.join("sweep_summary.csv"), &summary_csv(&agg))?;
+    write_csv(
+        &out.join("sweep_builder_share.csv"),
+        &builder_share_csv(&agg),
+    )?;
+    write_csv(&out.join("sweep_relay_share.csv"), &relay_share_csv(&agg))?;
+    write_csv(
+        &out.join("sweep_distributions.csv"),
+        &distributions_csv(&agg),
+    )?;
+    let manifest = render_sweep_manifest(spec, statuses, &digests);
+    simcore::atomic_write(&out.join("sweep.json"), manifest.as_bytes())?;
+    Ok(agg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(cell: &str, seed: u64, value: f64) -> JobMetrics {
+        let mut scalars = BTreeMap::new();
+        for &name in &SCALAR_METRICS {
+            scalars.insert(name.to_string(), value);
+        }
+        JobMetrics {
+            format: METRICS_FORMAT,
+            spec_digest: "d".into(),
+            job_id: format!("{cell}-s{seed}"),
+            cell: cell.into(),
+            seed,
+            total_slots: 100,
+            blocks: 99,
+            missed_slots: 1,
+            scalars,
+            builder_share: BTreeMap::from([("b".to_string(), value)]),
+            relay_share: BTreeMap::from([("r".to_string(), value)]),
+        }
+    }
+
+    #[test]
+    fn band_is_bounded_and_ordered() {
+        let b = Band::of(&[0.3, 0.1, 0.2, 0.4]);
+        assert_eq!(b.n, 4);
+        assert_eq!(b.min, 0.1);
+        assert_eq!(b.max, 0.4);
+        assert!(b.p10 <= b.median && b.median <= b.p90);
+        assert!(b.min <= b.p10 && b.p90 <= b.max);
+        let empty = Band::of(&[]);
+        assert_eq!(
+            empty,
+            Band {
+                n: 0,
+                median: 0.0,
+                p10: 0.0,
+                p90: 0.0,
+                min: 0.0,
+                max: 0.0
+            }
+        );
+        // A single observation collapses the whole band onto it.
+        let one = Band::of(&[0.7]);
+        assert_eq!(
+            (one.median, one.p10, one.p90, one.min, one.max),
+            (0.7, 0.7, 0.7, 0.7, 0.7)
+        );
+    }
+
+    #[test]
+    fn finalize_sorts_groups_and_dedups() {
+        let mut acc = SweepAccumulator::new();
+        acc.add(metrics("z", 2, 0.2));
+        acc.add(metrics("a", 1, 0.5));
+        acc.add(metrics("z", 1, 0.4));
+        acc.add(metrics("z", 2, 0.2)); // duplicate job
+        let agg = acc.finalize();
+        assert_eq!(agg.metrics.len(), 3);
+        let names: Vec<&str> = agg.cells.iter().map(|c| c.cell.as_str()).collect();
+        assert_eq!(names, vec!["a", "z"]);
+        assert_eq!(agg.cells[1].seeds, 2);
+        let band = agg.cells[1].scalars["pbs_share"];
+        assert_eq!(band.min, 0.2);
+        assert_eq!(band.max, 0.4);
+    }
+
+    #[test]
+    fn metrics_json_round_trips() {
+        let m = metrics("cell", 7, 0.123456789);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: JobMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn manifest_lists_every_job_in_order() {
+        let spec = SweepSpec::small("m", 2);
+        let jobs = spec.jobs();
+        let statuses = vec![JobStatus::Done, JobStatus::Failed];
+        let digests = BTreeMap::from([(jobs[0].id.clone(), "abc".to_string())]);
+        let text = render_sweep_manifest(&spec, &statuses, &digests);
+        assert!(text.contains(&format!("\"spec_digest\": \"{}\"", spec.digest_hex())));
+        let first = text.find(&jobs[0].id).unwrap();
+        let second = text.find(&jobs[1].id).unwrap();
+        assert!(first < second, "expansion order is preserved");
+        assert!(text.contains("\"status\": \"failed\""));
+        assert!(text.contains("\"metrics_sha256\": \"abc\""));
+        // Same inputs, same bytes.
+        assert_eq!(text, render_sweep_manifest(&spec, &statuses, &digests));
+    }
+}

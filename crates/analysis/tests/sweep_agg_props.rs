@@ -1,0 +1,199 @@
+//! Property tests for sweep aggregation (`analysis::sweep_agg`).
+//!
+//! Four laws pin the statistical layer the sweep orchestrator's
+//! byte-identity guarantees rest on:
+//!
+//! 1. **Permutation invariance** — folding the same job rows in any
+//!    order (and with duplicates) finalizes to the same aggregate, so
+//!    worker scheduling can never leak into the artifacts.
+//! 2. **Band soundness** — every percentile band is monotone
+//!    (p10 ≤ median ≤ p90) and bounded by the per-seed extremes it
+//!    summarizes (min/max are exactly the observed extremes).
+//! 3. **Merge associativity** — merging partial accumulators (the
+//!    resume path) equals one-shot accumulation over all rows.
+//! 4. **Single-seed exactness** — a sweep job is the lone run with the
+//!    same config, bit for bit: its `metrics.json` equals the metrics
+//!    extracted from a direct `Simulation::run`, and its bands collapse
+//!    onto the single observation.
+
+use analysis::sweep_agg::{run_job, SCALAR_METRICS};
+use analysis::{JobMetrics, PaperReport, SweepAccumulator};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use scenario::{Simulation, SweepSpec};
+use std::collections::BTreeMap;
+
+/// Builds a synthetic metrics row. The job id is a function of
+/// (cell, seed), matching the real expansion, so two rows with the same
+/// coordinates are duplicates of the same job.
+fn row(cell_idx: u8, seed: u64, value: f64) -> JobMetrics {
+    let cell = format!("cell{cell_idx}");
+    let mut scalars = BTreeMap::new();
+    for &name in &SCALAR_METRICS {
+        scalars.insert(name.to_string(), value);
+    }
+    JobMetrics {
+        format: analysis::sweep_agg::METRICS_FORMAT,
+        spec_digest: "propdigest".to_string(),
+        job_id: format!("{cell}-s{seed}"),
+        cell,
+        seed,
+        total_slots: 100,
+        blocks: 99,
+        missed_slots: 1,
+        scalars,
+        builder_share: BTreeMap::from([("b0".to_string(), value), ("b1".to_string(), 1.0 - value)]),
+        relay_share: BTreeMap::from([("r0".to_string(), value)]),
+    }
+}
+
+/// Rows from generated coordinates. The value is canonicalized per
+/// (cell, seed) — in a real campaign a repeated job id always carries
+/// identical metrics (the runs are deterministic), so duplicates here
+/// are exact copies too.
+fn rows_from(coords: &[(u8, u64, f64)]) -> Vec<JobMetrics> {
+    let mut canon: BTreeMap<(u8, u64), f64> = BTreeMap::new();
+    for &(c, s, v) in coords {
+        canon.entry((c % 4, s % 32)).or_insert(v);
+    }
+    coords
+        .iter()
+        .map(|&(c, s, _)| row(c % 4, s % 32, canon[&(c % 4, s % 32)]))
+        .collect()
+}
+
+/// Deterministic Fisher–Yates driven by an xorshift stream — the shuffle
+/// is a pure function of the generated `seed`.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        items.swap(i, (seed % (i as u64 + 1)) as usize);
+    }
+}
+
+fn finalize(rows: &[JobMetrics]) -> analysis::SweepAggregate {
+    let mut acc = SweepAccumulator::new();
+    for r in rows {
+        acc.add(r.clone());
+    }
+    acc.finalize()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn aggregation_is_permutation_invariant(
+        coords in vec((0u8..4, 0u64..32, 0.0f64..1.0), 1..20),
+        perm_seed in 1u64..u64::MAX,
+    ) {
+        let rows = rows_from(&coords);
+        let baseline = finalize(&rows);
+
+        let mut shuffled = rows.clone();
+        shuffle(&mut shuffled, perm_seed);
+        prop_assert_eq!(&finalize(&shuffled), &baseline);
+
+        // Duplicated jobs collapse: re-adding every row changes nothing.
+        let mut doubled = rows.clone();
+        doubled.extend(rows.iter().cloned());
+        shuffle(&mut doubled, perm_seed.rotate_left(11));
+        prop_assert_eq!(&finalize(&doubled), &baseline);
+    }
+
+    #[test]
+    fn bands_are_monotone_and_bounded_by_extremes(
+        coords in vec((0u8..4, 0u64..32, 0.0f64..1.0), 1..20),
+    ) {
+        let rows = rows_from(&coords);
+        let agg = finalize(&rows);
+        for cell in &agg.cells {
+            // The surviving (post-dedup) per-seed values for this cell.
+            let values: Vec<f64> = agg
+                .metrics
+                .iter()
+                .filter(|m| m.cell == cell.cell)
+                .map(|m| m.scalars["missed_slot_rate"])
+                .collect();
+            prop_assert_eq!(cell.seeds, values.len());
+            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for band in cell
+                .scalars
+                .values()
+                .chain(cell.builder_share.values())
+                .chain(cell.relay_share.values())
+            {
+                prop_assert_eq!(band.n, values.len());
+                prop_assert!(band.p10 <= band.median && band.median <= band.p90);
+                prop_assert!(band.min <= band.p10 && band.p90 <= band.max);
+            }
+            // Scalars all carry the same generated value per row, so the
+            // band extremes must be exactly the observed extremes.
+            let b = &cell.scalars["missed_slot_rate"];
+            prop_assert_eq!(b.min, lo);
+            prop_assert_eq!(b.max, hi);
+            prop_assert!(values.iter().all(|v| (b.min..=b.max).contains(v)));
+        }
+    }
+
+    #[test]
+    fn merging_partials_equals_one_shot(
+        coords in vec((0u8..4, 0u64..32, 0.0f64..1.0), 1..20),
+        cut in 0u64..20,
+    ) {
+        let rows = rows_from(&coords);
+        let k = (cut as usize) % (rows.len() + 1);
+
+        let mut left = SweepAccumulator::new();
+        for r in &rows[..k] {
+            left.add(r.clone());
+        }
+        let mut right = SweepAccumulator::new();
+        for r in &rows[k..] {
+            right.add(r.clone());
+        }
+        left.merge(right);
+        prop_assert_eq!(&left.finalize(), &finalize(&rows));
+    }
+}
+
+/// A single-seed sweep job is the lone run, exactly: the `metrics.json`
+/// the job runner writes equals the metrics extracted from a direct
+/// `Simulation::run` of the same configuration, and aggregating the one
+/// row collapses every band onto it.
+#[test]
+fn single_seed_sweep_reproduces_lone_run() {
+    let mut spec = SweepSpec::small("prop-single", 2);
+    spec.seeds = vec![42];
+    let jobs = spec.jobs();
+    assert_eq!(jobs.len(), 1, "one cell x one seed");
+    let job = &jobs[0];
+
+    let dir = std::env::temp_dir().join(format!("pbs-sweep-props-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    run_job(&spec, job, &dir).expect("job runs");
+    let text = std::fs::read_to_string(dir.join("metrics.json")).expect("metrics written");
+    let from_sweep: JobMetrics = serde_json::from_str(&text).expect("metrics parse");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let run = Simulation::new(spec.job_config(job)).run();
+    let report = PaperReport::compute(&run);
+    let direct = JobMetrics::from_run(&spec, job, &run, &report);
+    assert_eq!(from_sweep, direct, "sweep job drifted from the lone run");
+
+    let mut acc = SweepAccumulator::new();
+    acc.add(direct.clone());
+    let agg = acc.finalize();
+    assert_eq!(agg.cells.len(), 1);
+    for (name, band) in &agg.cells[0].scalars {
+        let v = direct.scalars[name];
+        assert_eq!(
+            (band.median, band.p10, band.p90, band.min, band.max),
+            (v, v, v, v, v),
+            "single-seed band for {name} must collapse onto the observation"
+        );
+    }
+}

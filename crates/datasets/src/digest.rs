@@ -30,6 +30,44 @@ pub fn digest_dir(dir: &Path) -> std::io::Result<BTreeMap<String, String>> {
     Ok(out)
 }
 
+/// Digests every regular file under `dir` recursively, keyed by its
+/// `/`-joined relative path, sorted. Hidden entries (dot-prefixed file or
+/// directory names) are skipped at every level: orchestration state and
+/// per-job checkpoint stores are not artifacts, and a resumed campaign
+/// must digest identically to an uninterrupted one.
+pub fn digest_tree(dir: &Path) -> std::io::Result<BTreeMap<String, String>> {
+    let mut out = BTreeMap::new();
+    walk_tree(dir, String::new(), &mut out)?;
+    Ok(out)
+}
+
+fn walk_tree(
+    dir: &Path,
+    prefix: String,
+    out: &mut BTreeMap<String, String>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with('.') {
+            continue;
+        }
+        let rel = if prefix.is_empty() {
+            name
+        } else {
+            format!("{prefix}/{name}")
+        };
+        let ft = entry.file_type()?;
+        if ft.is_dir() {
+            walk_tree(&entry.path(), rel, out)?;
+        } else if ft.is_file() {
+            let bytes = std::fs::read(entry.path())?;
+            out.insert(rel, sha256_hex(&bytes));
+        }
+    }
+    Ok(())
+}
+
 /// Renders a digest manifest as stable, pretty-enough JSON (sorted keys,
 /// one entry per line) — the format checked in under `tests/golden/`.
 pub fn render_manifest(digests: &BTreeMap<String, String>) -> String {
@@ -112,6 +150,31 @@ mod tests {
         // Stable rendering: keys sorted, newline-terminated.
         assert!(text.starts_with("{\n  \"blocks.csv\""));
         assert!(text.ends_with("\n}\n"));
+    }
+
+    #[test]
+    fn digest_tree_recurses_and_skips_hidden_entries() {
+        let dir = std::env::temp_dir().join("pbs-digest-tree-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("jobs/j1/.checkpoints")).unwrap();
+        std::fs::write(dir.join("top.csv"), "top").unwrap();
+        std::fs::write(dir.join("jobs/j1/metrics.json"), "m").unwrap();
+        std::fs::write(dir.join("jobs/j1/.checkpoints/checkpoint-day-00001"), "c").unwrap();
+        std::fs::write(dir.join(".sweep-state"), "s").unwrap();
+        let d = digest_tree(&dir).unwrap();
+        assert_eq!(
+            d.keys().collect::<Vec<_>>(),
+            vec!["jobs/j1/metrics.json", "top.csv"]
+        );
+        assert_eq!(d["jobs/j1/metrics.json"], sha256_hex(b"m"));
+        // On a flat, visible-only directory it agrees with `digest_dir`.
+        let flat = std::env::temp_dir().join("pbs-digest-tree-flat");
+        let _ = std::fs::remove_dir_all(&flat);
+        std::fs::create_dir_all(&flat).unwrap();
+        std::fs::write(flat.join("a.txt"), "alpha").unwrap();
+        assert_eq!(digest_tree(&flat).unwrap(), digest_dir(&flat).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&flat);
     }
 
     #[test]

@@ -10,6 +10,6 @@ pub mod digest;
 pub mod export;
 pub mod summary;
 
-pub use digest::{digest_dir, parse_manifest, render_manifest, sha256, sha256_hex};
+pub use digest::{digest_dir, digest_tree, parse_manifest, render_manifest, sha256, sha256_hex};
 pub use export::{write_csv, CsvTable};
 pub use summary::{table1_rows, Table1Row};

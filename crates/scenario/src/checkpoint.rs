@@ -45,7 +45,8 @@ impl CheckpointPolicy {
         }
     }
 
-    /// Reads the policy from the environment (see the type docs).
+    /// Reads the policy from the environment (see the type docs), via the
+    /// shared [`crate::env`] parsers.
     ///
     /// # Panics
     ///
@@ -53,25 +54,21 @@ impl CheckpointPolicy {
     /// something that does not parse — a misspelled knob must not
     /// silently run without crash safety.
     pub fn from_env() -> Self {
-        let every_days = match std::env::var("PBS_CHECKPOINT_EVERY") {
-            Ok(v) => v.trim().parse::<u32>().unwrap_or_else(|_| {
-                panic!("PBS_CHECKPOINT_EVERY must be a non-negative integer, got {v:?}")
-            }),
-            Err(_) => 0,
-        };
-        let dir = std::env::var("PBS_CHECKPOINT_DIR")
-            .map(PathBuf::from)
-            .unwrap_or_else(|_| PathBuf::from("checkpoints"));
-        let keep = match std::env::var("PBS_CHECKPOINT_KEEP") {
-            Ok(v) => v.trim().parse::<usize>().unwrap_or_else(|_| {
-                panic!("PBS_CHECKPOINT_KEEP must be a positive integer, got {v:?}")
-            }),
-            Err(_) => 3,
-        };
         CheckpointPolicy {
-            every_days,
+            every_days: crate::env::checkpoint_every().unwrap_or(0),
+            dir: crate::env::checkpoint_dir().unwrap_or_else(|| PathBuf::from("checkpoints")),
+            keep: crate::env::checkpoint_keep().unwrap_or(3),
+        }
+    }
+
+    /// A policy checkpointing every day into `dir`, default retention —
+    /// what each sweep worker runs with so an interrupted job resumes
+    /// from its own per-job store.
+    pub fn every_day_in(dir: PathBuf) -> Self {
+        CheckpointPolicy {
+            every_days: 1,
             dir,
-            keep: keep.max(1),
+            keep: 3,
         }
     }
 

@@ -267,6 +267,12 @@ pub struct ScenarioConfig {
     pub faults: FaultConfig,
     /// Intra-slot auction timing (one-shot by default).
     pub auction_timing: AuctionTimingConfig,
+    /// Multiplier on the calibrated PBS-adoption ramp (clamped into
+    /// `[0, 1]` after scaling) — the sweep's adoption axis. `1.0` (the
+    /// default) reproduces the paper's ramp bit-for-bit and is omitted
+    /// from serialized configs, the same contract `faults`/`auction_timing`
+    /// keep for their defaults.
+    pub adoption_scale: f64,
 }
 
 // Hand-written serde: the `faults` field is emitted only when a preset is
@@ -294,6 +300,9 @@ impl Serialize for ScenarioConfig {
         if !self.auction_timing.is_one_shot() {
             fields.push(("auction_timing".to_string(), self.auction_timing.to_value()));
         }
+        if self.adoption_scale != 1.0 {
+            fields.push(("adoption_scale".to_string(), self.adoption_scale.to_value()));
+        }
         Value::Object(fields)
     }
 }
@@ -318,6 +327,10 @@ impl Deserialize for ScenarioConfig {
                 Value::Null => AuctionTimingConfig::one_shot(),
                 tv => AuctionTimingConfig::from_value(tv)?,
             },
+            adoption_scale: match struct_field(v, "adoption_scale") {
+                Value::Null => 1.0,
+                av => f64::from_value(av)?,
+            },
         })
     }
 }
@@ -336,6 +349,7 @@ impl Default for ScenarioConfig {
             knobs: AblationKnobs::default(),
             faults: FaultConfig::off(),
             auction_timing: AuctionTimingConfig::one_shot(),
+            adoption_scale: 1.0,
         }
     }
 }
@@ -356,6 +370,7 @@ impl ScenarioConfig {
             knobs: AblationKnobs::default(),
             faults: FaultConfig::off(),
             auction_timing: AuctionTimingConfig::one_shot(),
+            adoption_scale: 1.0,
         }
     }
 }
@@ -423,6 +438,29 @@ mod tests {
         // And a pre-timing JSON document (no `auction_timing` key) loads.
         let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
         assert!(back.auction_timing.is_one_shot());
+    }
+
+    #[test]
+    fn default_adoption_scale_is_invisible_in_json() {
+        let json = serde_json::to_string(&ScenarioConfig::default()).unwrap();
+        assert!(
+            !json.contains("adoption_scale"),
+            "scale-1.0 config must serialize exactly as before the adoption axis"
+        );
+        let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.adoption_scale, 1.0);
+    }
+
+    #[test]
+    fn scaled_adoption_round_trips() {
+        let c = ScenarioConfig {
+            adoption_scale: 0.6,
+            ..ScenarioConfig::test_small(3, 2)
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("adoption_scale"));
+        let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
     }
 
     #[test]

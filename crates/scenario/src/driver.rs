@@ -69,8 +69,15 @@ impl Simulation {
     /// the newest valid checkpoint on disk and writes a fresh one at each
     /// configured day boundary.
     pub fn run(&self) -> RunArtifacts {
+        self.run_with_policy(&CheckpointPolicy::from_env())
+    }
+
+    /// [`run`](Simulation::run) with an explicit checkpoint policy —
+    /// the entry point sweep workers use, so per-job checkpoint
+    /// directories never go through (and never collide in) the
+    /// process-global environment.
+    pub fn run_with_policy(&self, policy: &CheckpointPolicy) -> RunArtifacts {
         configure_thread_pool();
-        let policy = CheckpointPolicy::from_env();
         if !policy.enabled() {
             return Runner::new(&self.cfg).run();
         }
@@ -94,13 +101,9 @@ impl Simulation {
 /// kill-and-resume harness uses this to die at a reproducible point no
 /// matter how fast the run is; it is never set in normal operation.
 fn maybe_kill_self(day: u32) {
-    let Ok(v) = std::env::var("PBS_KILL_AFTER_DAY") else {
+    let Some(target) = crate::env::kill_after_day() else {
         return;
     };
-    let target = v
-        .trim()
-        .parse::<u32>()
-        .unwrap_or_else(|_| panic!("PBS_KILL_AFTER_DAY must be a non-negative integer, got {v:?}"));
     if day == target {
         eprintln!("kill harness: SIGKILL after the day-{day} checkpoint");
         let _ = std::process::Command::new("kill")
@@ -122,13 +125,7 @@ fn maybe_kill_self(day: u32) {
 fn configure_thread_pool() {
     static CONFIGURED: OnceLock<()> = OnceLock::new();
     CONFIGURED.get_or_init(|| {
-        if let Ok(v) = std::env::var("PBS_THREADS") {
-            let n = v
-                .trim()
-                .parse::<usize>()
-                .ok()
-                .filter(|&n| n > 0)
-                .unwrap_or_else(|| panic!("PBS_THREADS must be a positive integer, got {v:?}"));
+        if let Some(n) = crate::env::threads() {
             // `build_global` fails when something else (a bench, a test)
             // configured the pool first; artifacts do not depend on the
             // thread count, so that is not worth failing the run over.
@@ -604,8 +601,12 @@ impl Runner {
     /// Applies day-boundary updates: adoption, relay wiring, prices,
     /// subsidy windows, fresh lending positions.
     fn on_new_day(&mut self, day: DayIndex) {
-        self.registry
-            .set_mev_boost_share(self.timeline.pbs_adoption(day));
+        // `* 1.0` is exact in IEEE 754 and the calibrated ramp already
+        // lives in [0, 1], so the default scale reproduces the paper's
+        // adoption bit-for-bit.
+        self.registry.set_mev_boost_share(
+            (self.timeline.pbs_adoption(day) * self.cfg.adoption_scale).clamp(0.0, 1.0),
+        );
         let era = self.timeline.era(day);
         for (i, entry) in self.cast.iter().enumerate() {
             let active = day >= entry.active_from;

@@ -1,0 +1,185 @@
+//! Centralized parsing of the `PBS_*` environment knobs.
+//!
+//! Every subcommand and subsystem reads its knobs through these helpers
+//! so garbage values fail loudly and identically everywhere — a typo'd
+//! `PBS_THREADS=fast` or `PBS_SWEEP_JOBS=-2` must never silently fall
+//! back to a default and burn hours at the wrong configuration. The
+//! knobs:
+//!
+//! * `PBS_THREADS` — rayon worker count (positive),
+//! * `PBS_CHECKPOINT_EVERY` — checkpoint every N days (non-negative,
+//!   0 disables),
+//! * `PBS_CHECKPOINT_DIR` — checkpoint directory,
+//! * `PBS_CHECKPOINT_KEEP` — checkpoint retention (clamped to ≥ 1),
+//! * `PBS_SWEEP_JOBS` — concurrent sweep worker processes (positive),
+//! * `PBS_KILL_AFTER_DAY` / `PBS_SWEEP_KILL_AFTER_JOBS` — crash-test
+//!   hooks (non-negative; never set in normal operation).
+
+use std::path::PathBuf;
+
+/// The raw value of `name`, if set.
+fn raw(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}
+
+/// A non-negative integer knob. `None` when unset.
+///
+/// # Panics
+///
+/// When the variable is set but does not parse as a `u64`.
+pub fn non_negative(name: &str) -> Option<u64> {
+    raw(name).map(|v| {
+        v.trim()
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("{name} must be a non-negative integer, got {v:?}"))
+    })
+}
+
+/// A strictly positive integer knob. `None` when unset.
+///
+/// # Panics
+///
+/// When the variable is set but is not a positive integer (zero
+/// included — a knob like `PBS_THREADS=0` has no meaning).
+pub fn positive(name: &str) -> Option<u64> {
+    raw(name).map(|v| {
+        v.trim()
+            .parse::<u64>()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| panic!("{name} must be a positive integer, got {v:?}"))
+    })
+}
+
+/// A directory-path knob. `None` when unset; never validated against the
+/// filesystem (the consumer creates it).
+pub fn dir(name: &str) -> Option<PathBuf> {
+    raw(name).map(PathBuf::from)
+}
+
+/// `PBS_THREADS`: the pinned rayon worker count.
+pub fn threads() -> Option<usize> {
+    positive("PBS_THREADS").map(|n| n as usize)
+}
+
+/// `PBS_CHECKPOINT_EVERY`: checkpoint cadence in days (0 = off).
+pub fn checkpoint_every() -> Option<u32> {
+    non_negative("PBS_CHECKPOINT_EVERY").map(|n| n as u32)
+}
+
+/// `PBS_CHECKPOINT_DIR`: where checkpoint files land.
+pub fn checkpoint_dir() -> Option<PathBuf> {
+    dir("PBS_CHECKPOINT_DIR")
+}
+
+/// `PBS_CHECKPOINT_KEEP`: retention, clamped to at least one file so a
+/// resumable run always leaves a restart point.
+pub fn checkpoint_keep() -> Option<usize> {
+    non_negative("PBS_CHECKPOINT_KEEP").map(|n| (n as usize).max(1))
+}
+
+/// `PBS_SWEEP_JOBS`: concurrent sweep worker processes.
+pub fn sweep_jobs() -> Option<usize> {
+    positive("PBS_SWEEP_JOBS").map(|n| n as usize)
+}
+
+/// `PBS_KILL_AFTER_DAY`: crash-test hook — SIGKILL the process after
+/// this day's checkpoint lands.
+pub fn kill_after_day() -> Option<u32> {
+    non_negative("PBS_KILL_AFTER_DAY").map(|n| n as u32)
+}
+
+/// `PBS_SWEEP_KILL_AFTER_JOBS`: crash-test hook — SIGKILL the sweep
+/// orchestrator once this many jobs have completed.
+pub fn sweep_kill_after_jobs() -> Option<usize> {
+    non_negative("PBS_SWEEP_KILL_AFTER_JOBS").map(|n| n as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs `f` with `name` set to `value`, restoring the prior state.
+    /// Each test uses a unique variable name, so concurrently running
+    /// tests never race on the same process-global entry.
+    fn with_var<T>(name: &str, value: &str, f: impl FnOnce() -> T + std::panic::UnwindSafe) -> T {
+        std::env::set_var(name, value);
+        let out = std::panic::catch_unwind(f);
+        std::env::remove_var(name);
+        match out {
+            Ok(v) => v,
+            Err(e) => std::panic::resume_unwind(e),
+        }
+    }
+
+    fn rejects(name: &'static str, value: &str, parse: impl Fn() + std::panic::UnwindSafe) {
+        std::env::set_var(name, value);
+        let out = std::panic::catch_unwind(parse);
+        std::env::remove_var(name);
+        assert!(out.is_err(), "{name}={value:?} must be a hard error");
+    }
+
+    #[test]
+    fn unset_knobs_are_none() {
+        assert_eq!(non_negative("PBS_TEST_UNSET_NN"), None);
+        assert_eq!(positive("PBS_TEST_UNSET_POS"), None);
+        assert_eq!(dir("PBS_TEST_UNSET_DIR"), None);
+    }
+
+    #[test]
+    fn valid_values_parse_with_whitespace() {
+        assert_eq!(
+            with_var("PBS_TEST_NN_OK", " 7 ", || non_negative("PBS_TEST_NN_OK")),
+            Some(7)
+        );
+        assert_eq!(
+            with_var("PBS_TEST_NN_ZERO", "0", || non_negative("PBS_TEST_NN_ZERO")),
+            Some(0)
+        );
+        assert_eq!(
+            with_var("PBS_TEST_POS_OK", "4", || positive("PBS_TEST_POS_OK")),
+            Some(4)
+        );
+        assert_eq!(
+            with_var("PBS_TEST_DIR_OK", "a/b", || dir("PBS_TEST_DIR_OK")),
+            Some(PathBuf::from("a/b"))
+        );
+    }
+
+    #[test]
+    fn garbage_is_a_hard_error_everywhere() {
+        rejects("PBS_TEST_NN_GARBAGE", "soon", || {
+            let _ = non_negative("PBS_TEST_NN_GARBAGE");
+        });
+        rejects("PBS_TEST_NN_NEGATIVE", "-1", || {
+            let _ = non_negative("PBS_TEST_NN_NEGATIVE");
+        });
+        rejects("PBS_TEST_POS_GARBAGE", "many", || {
+            let _ = positive("PBS_TEST_POS_GARBAGE");
+        });
+        rejects("PBS_TEST_POS_ZERO", "0", || {
+            let _ = positive("PBS_TEST_POS_ZERO");
+        });
+        rejects("PBS_TEST_POS_FLOAT", "1.5", || {
+            let _ = positive("PBS_TEST_POS_FLOAT");
+        });
+        rejects("PBS_TEST_POS_EMPTY", "", || {
+            let _ = positive("PBS_TEST_POS_EMPTY");
+        });
+    }
+
+    #[test]
+    fn named_knobs_route_through_the_shared_parsers() {
+        assert_eq!(
+            with_var("PBS_CHECKPOINT_KEEP", "0", checkpoint_keep),
+            Some(1),
+            "retention is clamped to at least one file"
+        );
+        rejects("PBS_SWEEP_JOBS", "all", || {
+            let _ = sweep_jobs();
+        });
+        rejects("PBS_KILL_AFTER_DAY", "tomorrow", || {
+            let _ = kill_after_day();
+        });
+    }
+}

@@ -16,13 +16,19 @@
 //!   assembles into the paper's Table 1 datasets,
 //! * [`driver`] — the day-stepped simulation state machine,
 //! * [`checkpoint`] — crash-safe checkpoint files: atomic writes,
-//!   retention, and newest-valid discovery for resumable runs.
+//!   retention, and newest-valid discovery for resumable runs,
+//! * [`env`] — centralized parsing of the `PBS_*` environment knobs,
+//! * [`sweep`] — multi-seed × multi-config campaign orchestration: the
+//!   declarative job matrix, the resumable sweep state, and the bounded
+//!   worker scheduler.
 
 pub mod cast;
 pub mod checkpoint;
 pub mod config;
 pub mod driver;
+pub mod env;
 pub mod records;
+pub mod sweep;
 pub mod timeline;
 pub mod workload;
 
@@ -36,6 +42,10 @@ pub use driver::{Runner, Simulation};
 pub use records::{
     AuctionTimingRecord, BlockRecord, FaultEventKind, FaultEventRecord, RunArtifacts, RunTotals,
     TimingBuilderRecord,
+};
+pub use sweep::{
+    run_campaign, BaseProfile, CampaignOutcome, CensorshipRegime, JobRunner, JobSpec, JobStatus,
+    SweepSpec,
 };
 pub use timeline::Timeline;
 pub use workload::WorkloadGenerator;

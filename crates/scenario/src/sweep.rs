@@ -1,0 +1,804 @@
+//! Sweep campaigns: a declarative multi-seed × multi-config job matrix.
+//!
+//! A [`SweepSpec`] names a seed list and up to four config axes — fault
+//! preset, auction timing, censorship regime, adoption scale — and expands
+//! deterministically into a flat job matrix: one [`JobSpec`] per
+//! (configuration cell × seed), in a fixed order with stable, path-safe
+//! job ids. [`run_campaign`] drives the matrix through a pluggable
+//! [`JobRunner`] with a bounded worker pool; every job is an ordinary
+//! checkpointed `Simulation` run in its own directory, so a SIGKILL at any
+//! point loses at most one day per in-flight job.
+//!
+//! The campaign itself is crash-safe too: job statuses live in a
+//! [`SweepState`] snapshot (the same versioned envelope checkpoints use)
+//! written atomically after every completion. On resume the state is
+//! reconciled against the disk — a job counts as done if and only if its
+//! runner can validate the output in the job directory — so finished jobs
+//! are never re-run, a stale state file never lies about lost output, and
+//! workers orphaned by an orchestrator kill still get credit for results
+//! they landed.
+//!
+//! Everything here is orchestration; metric extraction and seed-wise
+//! aggregation live in `analysis::sweep_agg`, and the process-per-job
+//! runner lives in the binary (a worker is `pbs-repro sweep-worker`).
+
+use crate::config::{
+    AuctionTimingConfig, AuctionTimingPreset, FaultConfig, FaultPreset, ScenarioConfig,
+};
+use serde::{Deserialize, Serialize};
+use simcore::{SeedDomain, Snapshot, SnapshotError};
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Schema version of the sweep state body. Bump on any layout change.
+pub const SWEEP_STATE_VERSION: u32 = 1;
+
+/// How relays track OFAC list updates — the sweep's censorship axis,
+/// mapped onto the `relay_blacklist_lag_days` ablation knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CensorshipRegime {
+    /// The study-period default: compliant relays adopt updates two days
+    /// after publication.
+    #[default]
+    Baseline,
+    /// Updates land instantly (lag 0).
+    Instant,
+    /// Relays never update past their initial blacklist copy.
+    Frozen,
+}
+
+impl CensorshipRegime {
+    /// The value the regime writes into `knobs.relay_blacklist_lag_days`.
+    pub fn blacklist_lag_days(self) -> Option<u32> {
+        match self {
+            CensorshipRegime::Baseline => Some(2),
+            CensorshipRegime::Instant => Some(0),
+            CensorshipRegime::Frozen => None,
+        }
+    }
+
+    /// Short path-safe tag used in job ids and cell names.
+    pub fn slug(self) -> &'static str {
+        match self {
+            CensorshipRegime::Baseline => "lag2",
+            CensorshipRegime::Instant => "lag0",
+            CensorshipRegime::Frozen => "frozen",
+        }
+    }
+}
+
+/// Which base configuration the jobs start from before the axes apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BaseProfile {
+    /// [`ScenarioConfig::test_small`] over `days` days — the CI and
+    /// golden-test scale.
+    #[default]
+    Small,
+    /// [`ScenarioConfig::default`]: the full 198-day paper window
+    /// (`days` is ignored).
+    Paper,
+}
+
+fn fault_slug(p: FaultPreset) -> &'static str {
+    match p {
+        FaultPreset::Off => "off",
+        FaultPreset::Uniform => "uni",
+        FaultPreset::PaperIncidents => "inc",
+    }
+}
+
+fn timing_slug(p: AuctionTimingPreset) -> &'static str {
+    match p {
+        AuctionTimingPreset::OneShot => "one",
+        AuctionTimingPreset::Streamed => "str",
+    }
+}
+
+/// A declarative sweep: seeds × configuration axes.
+///
+/// The expansion order is part of the format: configuration cells vary
+/// outermost (faults, then timing, then censorship, then adoption), seeds
+/// innermost, exactly as the vectors are listed. Job ids, the state file,
+/// and the aggregate artifacts all key off this order, so two machines
+/// given the same spec produce byte-identical campaigns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Campaign name (informational; lands in `sweep.json`).
+    pub name: String,
+    /// Base configuration the axes are applied to.
+    pub profile: BaseProfile,
+    /// Days per job under the `Small` profile.
+    pub days: u32,
+    /// Master seeds, one job per seed per cell, used verbatim as
+    /// `ScenarioConfig::seed` — a single-seed sweep therefore reproduces
+    /// the corresponding lone run exactly.
+    pub seeds: Vec<u64>,
+    /// Fault-schedule axis.
+    pub faults: Vec<FaultPreset>,
+    /// Auction-timing axis.
+    pub timing: Vec<AuctionTimingPreset>,
+    /// Censorship-regime axis.
+    pub censorship: Vec<CensorshipRegime>,
+    /// Adoption-ramp axis, as a permille multiplier (1000 = the paper's
+    /// calibrated ramp). Integers keep job ids and spec digests free of
+    /// float formatting.
+    pub adoption_permille: Vec<u32>,
+    /// Checkpoint cadence inside each job, in days (0 disables).
+    pub checkpoint_every: u32,
+}
+
+impl SweepSpec {
+    /// A small 2-seed campaign over the fault axis — the starting point
+    /// the CLI mutates from flags.
+    pub fn small(name: &str, days: u32) -> Self {
+        SweepSpec {
+            name: name.to_string(),
+            profile: BaseProfile::Small,
+            days,
+            seeds: vec![42, 43],
+            faults: vec![FaultPreset::Off],
+            timing: vec![AuctionTimingPreset::OneShot],
+            censorship: vec![CensorshipRegime::Baseline],
+            adoption_permille: vec![1000],
+            checkpoint_every: 1,
+        }
+    }
+
+    /// Expands `count` seeds from a master seed via the order-free
+    /// [`SeedDomain::derived_seed`] family, so the seed list is a pure
+    /// function of (master, count) and never of scheduling.
+    pub fn derive_seeds(master: u64, count: usize) -> Vec<u64> {
+        let dom = SeedDomain::new(master);
+        (0..count as u64)
+            .map(|i| dom.derived_seed("sweep", i))
+            .collect()
+    }
+
+    /// Rejects specs that cannot expand into a meaningful matrix.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.seeds.is_empty() {
+            return Err("sweep spec has no seeds".into());
+        }
+        let mut sorted = self.seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != self.seeds.len() {
+            return Err("sweep spec has duplicate seeds".into());
+        }
+        if self.faults.is_empty()
+            || self.timing.is_empty()
+            || self.censorship.is_empty()
+            || self.adoption_permille.is_empty()
+        {
+            return Err("every sweep axis needs at least one value".into());
+        }
+        if self.adoption_permille.iter().any(|&p| p > 1000) {
+            return Err("adoption_permille values must be <= 1000".into());
+        }
+        if self.profile == BaseProfile::Small && self.days == 0 {
+            return Err("small-profile sweeps need days >= 1".into());
+        }
+        Ok(())
+    }
+
+    /// The deterministic job matrix: cells outermost, seeds innermost.
+    pub fn jobs(&self) -> Vec<JobSpec> {
+        let mut out = Vec::new();
+        for &faults in &self.faults {
+            for &timing in &self.timing {
+                for &censorship in &self.censorship {
+                    for &adoption_permille in &self.adoption_permille {
+                        let cell = format!(
+                            "f{}-t{}-c{}-a{:04}",
+                            fault_slug(faults),
+                            timing_slug(timing),
+                            censorship.slug(),
+                            adoption_permille
+                        );
+                        for &seed in &self.seeds {
+                            out.push(JobSpec {
+                                index: out.len(),
+                                id: format!("{cell}-s{seed}"),
+                                cell: cell.clone(),
+                                seed,
+                                faults,
+                                timing,
+                                censorship,
+                                adoption_permille,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The full scenario configuration for one job.
+    pub fn job_config(&self, job: &JobSpec) -> ScenarioConfig {
+        let mut cfg = match self.profile {
+            BaseProfile::Small => ScenarioConfig::test_small(job.seed, self.days),
+            BaseProfile::Paper => ScenarioConfig {
+                seed: job.seed,
+                ..ScenarioConfig::default()
+            },
+        };
+        cfg.faults = match job.faults {
+            FaultPreset::Off => FaultConfig::off(),
+            FaultPreset::Uniform => FaultConfig::uniform(),
+            FaultPreset::PaperIncidents => FaultConfig::paper_incidents(),
+        };
+        cfg.auction_timing = match job.timing {
+            AuctionTimingPreset::OneShot => AuctionTimingConfig::one_shot(),
+            AuctionTimingPreset::Streamed => AuctionTimingConfig::streamed(),
+        };
+        cfg.knobs.relay_blacklist_lag_days = job.censorship.blacklist_lag_days();
+        cfg.adoption_scale = job.adoption_permille as f64 / 1000.0;
+        cfg
+    }
+
+    /// SHA-256 of the canonical spec JSON — the identity every state
+    /// file, job metric, and manifest is pinned to.
+    pub fn digest(&self) -> [u8; 32] {
+        let json = serde_json::to_string(self).expect("spec serializes");
+        simcore::sha256(json.as_bytes())
+    }
+
+    /// [`digest`](SweepSpec::digest) as lowercase hex.
+    pub fn digest_hex(&self) -> String {
+        hex(&self.digest())
+    }
+}
+
+/// Lowercase hex of a byte string.
+pub fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// One expanded job: a configuration cell plus a seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Position in the deterministic expansion (also the state index).
+    pub index: usize,
+    /// Path-safe unique id, `<cell>-s<seed>`.
+    pub id: String,
+    /// The configuration cell this job belongs to (id minus the seed) —
+    /// aggregation groups by this.
+    pub cell: String,
+    /// Master seed, used verbatim.
+    pub seed: u64,
+    /// Fault axis value.
+    pub faults: FaultPreset,
+    /// Timing axis value.
+    pub timing: AuctionTimingPreset,
+    /// Censorship axis value.
+    pub censorship: CensorshipRegime,
+    /// Adoption axis value.
+    pub adoption_permille: u32,
+}
+
+/// Where a job stands in the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Not yet run (or its output did not validate).
+    Pending,
+    /// Output validated on disk.
+    Done,
+    /// The runner reported an error this campaign.
+    Failed,
+}
+
+impl JobStatus {
+    /// Manifest string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Pending => "pending",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// The resumable campaign state: which jobs are done. Serialized in the
+/// standard snapshot envelope, pinned to the spec digest so a state file
+/// can never resume a different campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepState {
+    /// Digest of the spec this state belongs to.
+    pub spec_digest: [u8; 32],
+    /// One status per job, in expansion order.
+    pub statuses: Vec<JobStatus>,
+}
+
+impl SweepState {
+    /// A fresh all-pending state for `jobs` jobs.
+    pub fn fresh(spec_digest: [u8; 32], jobs: usize) -> Self {
+        SweepState {
+            spec_digest,
+            statuses: vec![JobStatus::Pending; jobs],
+        }
+    }
+
+    /// Number of jobs marked done.
+    pub fn done(&self) -> usize {
+        self.statuses
+            .iter()
+            .filter(|s| **s == JobStatus::Done)
+            .count()
+    }
+}
+
+impl Snapshot for SweepState {
+    fn encode(&self, w: &mut simcore::SnapWriter) {
+        w.bytes(&self.spec_digest);
+        w.u64(self.statuses.len() as u64);
+        for s in &self.statuses {
+            w.u8(match s {
+                JobStatus::Pending => 0,
+                JobStatus::Done => 1,
+                JobStatus::Failed => 2,
+            });
+        }
+    }
+
+    fn decode(r: &mut simcore::SnapReader) -> Result<Self, SnapshotError> {
+        let mut spec_digest = [0u8; 32];
+        spec_digest.copy_from_slice(r.bytes(32)?);
+        let n = r.u64()? as usize;
+        let mut statuses = Vec::with_capacity(n);
+        for _ in 0..n {
+            statuses.push(match r.u8()? {
+                0 => JobStatus::Pending,
+                1 => JobStatus::Done,
+                2 => JobStatus::Failed,
+                k => return Err(SnapshotError::Corrupt(format!("bad job status tag {k}"))),
+            });
+        }
+        Ok(SweepState {
+            spec_digest,
+            statuses,
+        })
+    }
+}
+
+/// The spec file inside a campaign directory (part of the bundle).
+pub fn spec_path(out: &Path) -> PathBuf {
+    out.join("sweep_spec.json")
+}
+
+/// The state file. Dot-prefixed: orchestration state is not an artifact,
+/// and tree digests skip hidden entries.
+pub fn state_path(out: &Path) -> PathBuf {
+    out.join(".sweep-state")
+}
+
+/// The directory one job runs in.
+pub fn job_dir(out: &Path, job: &JobSpec) -> PathBuf {
+    out.join("jobs").join(&job.id)
+}
+
+/// A job's private checkpoint store (hidden, removed on success).
+pub fn job_checkpoint_dir(job_dir: &Path) -> PathBuf {
+    job_dir.join(".checkpoints")
+}
+
+/// Writes the campaign state atomically in the versioned envelope.
+pub fn save_state(out: &Path, state: &SweepState) -> Result<(), SnapshotError> {
+    let mut w = simcore::SnapWriter::new();
+    state.encode(&mut w);
+    let envelope = simcore::snapshot::write_envelope(SWEEP_STATE_VERSION, &w.into_bytes());
+    simcore::atomic_write(&state_path(out), &envelope)?;
+    Ok(())
+}
+
+/// Reads the campaign state, if present and valid.
+pub fn load_state(out: &Path) -> Result<Option<SweepState>, SnapshotError> {
+    let path = state_path(out);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let body = simcore::snapshot::read_envelope(&bytes, SWEEP_STATE_VERSION)?;
+    let mut r = simcore::SnapReader::new(body);
+    let state = SweepState::decode(&mut r)?;
+    r.expect_end()?;
+    Ok(Some(state))
+}
+
+/// Executes (and validates) individual jobs for [`run_campaign`]. The
+/// in-process implementation lives in `analysis::sweep_agg`; the binary
+/// adds a worker-process one.
+pub trait JobRunner: Sync {
+    /// Runs one job to completion inside `dir`, leaving a validatable
+    /// result behind.
+    fn run(&self, spec: &SweepSpec, job: &JobSpec, dir: &Path) -> Result<(), String>;
+
+    /// Whether `dir` already holds a valid result for this job under this
+    /// spec — the resume predicate. Disk wins over any state file.
+    fn is_done(&self, spec: &SweepSpec, job: &JobSpec, dir: &Path) -> bool;
+}
+
+/// What a campaign did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignOutcome {
+    /// Final per-job statuses, in expansion order.
+    pub statuses: Vec<JobStatus>,
+    /// Jobs executed by this invocation.
+    pub ran: usize,
+    /// Jobs whose prior output validated and were skipped.
+    pub reused: usize,
+}
+
+impl CampaignOutcome {
+    /// Indices of jobs that failed.
+    pub fn failed(&self) -> Vec<usize> {
+        self.statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == JobStatus::Failed)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// True when every job is done.
+    pub fn complete(&self) -> bool {
+        self.statuses.iter().all(|s| *s == JobStatus::Done)
+    }
+}
+
+struct Shared {
+    queue: VecDeque<usize>,
+    state: SweepState,
+    completed_this_run: usize,
+}
+
+/// Runs (or resumes) a campaign in `out` with up to `workers` concurrent
+/// jobs. Completed jobs are detected via `runner.is_done` and skipped;
+/// state is persisted atomically after every completion, so the campaign
+/// survives SIGKILL at any instant. Failures are recorded, not fatal —
+/// the rest of the matrix still runs, and a later resume retries them.
+pub fn run_campaign(
+    spec: &SweepSpec,
+    out: &Path,
+    workers: usize,
+    runner: &dyn JobRunner,
+) -> Result<CampaignOutcome, String> {
+    spec.validate()?;
+    std::fs::create_dir_all(out).map_err(|e| format!("create {}: {e}", out.display()))?;
+    let spec_json = serde_json::to_string(spec).expect("spec serializes");
+    simcore::atomic_write(&spec_path(out), spec_json.as_bytes())
+        .map_err(|e| format!("write sweep spec: {e}"))?;
+
+    let digest = spec.digest();
+    let jobs = spec.jobs();
+    let mut state = match load_state(out).map_err(|e| format!("read sweep state: {e}"))? {
+        Some(s) if s.spec_digest != digest => {
+            return Err(format!(
+                "{} holds a different campaign (spec digest mismatch); \
+                 use a fresh directory or delete it",
+                out.display()
+            ));
+        }
+        Some(s) if s.statuses.len() != jobs.len() => {
+            return Err(format!(
+                "sweep state tracks {} jobs but the spec expands to {}",
+                s.statuses.len(),
+                jobs.len()
+            ));
+        }
+        Some(s) => s,
+        None => SweepState::fresh(digest, jobs.len()),
+    };
+
+    // Reconcile with the disk: output validity is the only truth. This
+    // both revokes statuses whose files were lost and credits workers
+    // that finished after the orchestrator died.
+    let mut reused = 0usize;
+    for job in &jobs {
+        let done = runner.is_done(spec, job, &job_dir(out, job));
+        state.statuses[job.index] = if done {
+            reused += 1;
+            JobStatus::Done
+        } else {
+            JobStatus::Pending
+        };
+    }
+    save_state(out, &state).map_err(|e| format!("write sweep state: {e}"))?;
+
+    let queue: VecDeque<usize> = state
+        .statuses
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| **s == JobStatus::Pending)
+        .map(|(i, _)| i)
+        .collect();
+    let pending = queue.len();
+    let kill_after = crate::env::sweep_kill_after_jobs();
+    let shared = Mutex::new(Shared {
+        queue,
+        state,
+        completed_this_run: 0,
+    });
+
+    let workers = workers.max(1).min(pending.max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = {
+                    let mut sh = shared.lock().expect("sweep lock");
+                    match sh.queue.pop_front() {
+                        Some(i) => i,
+                        None => return,
+                    }
+                };
+                let job = &jobs[index];
+                let dir = job_dir(out, job);
+                let result = runner.run(spec, job, &dir);
+                let mut sh = shared.lock().expect("sweep lock");
+                sh.state.statuses[index] = match result {
+                    Ok(()) => JobStatus::Done,
+                    Err(e) => {
+                        eprintln!("sweep: job {} failed: {e}", job.id);
+                        JobStatus::Failed
+                    }
+                };
+                if let Err(e) = save_state(out, &sh.state) {
+                    eprintln!("sweep: state write failed: {e}");
+                }
+                sh.completed_this_run += 1;
+                if kill_after == Some(sh.completed_this_run) {
+                    sigkill_self(&format!("after {} completed jobs", sh.completed_this_run));
+                }
+            });
+        }
+    });
+
+    let sh = shared.into_inner().expect("sweep lock");
+    Ok(CampaignOutcome {
+        ran: sh.completed_this_run,
+        reused,
+        statuses: sh.state.statuses,
+    })
+}
+
+/// Crash-test hook used by `PBS_SWEEP_KILL_AFTER_JOBS`: SIGKILL this
+/// process at a reproducible point, mirroring the per-run
+/// `PBS_KILL_AFTER_DAY` hook. Never fired in normal operation.
+fn sigkill_self(context: &str) {
+    eprintln!("kill harness: SIGKILL {context}");
+    let _ = std::process::Command::new("kill")
+        .args(["-9", &std::process::id().to_string()])
+        .status();
+    // SIGKILL is not deliverable on every platform; never run on.
+    std::process::abort();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn spec() -> SweepSpec {
+        SweepSpec {
+            seeds: vec![1, 2, 3],
+            faults: vec![FaultPreset::Off, FaultPreset::PaperIncidents],
+            ..SweepSpec::small("test", 2)
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pbs-sweep-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A runner that just drops a marker file; `is_done` checks for it.
+    struct MarkerRunner {
+        runs: AtomicUsize,
+        fail_id: Option<&'static str>,
+    }
+
+    impl MarkerRunner {
+        fn new() -> Self {
+            MarkerRunner {
+                runs: AtomicUsize::new(0),
+                fail_id: None,
+            }
+        }
+    }
+
+    impl JobRunner for MarkerRunner {
+        fn run(&self, _spec: &SweepSpec, job: &JobSpec, dir: &Path) -> Result<(), String> {
+            self.runs.fetch_add(1, Ordering::SeqCst);
+            if self.fail_id == Some(job.id.as_str()) {
+                return Err("injected failure".into());
+            }
+            simcore::atomic_write(&dir.join("marker"), job.id.as_bytes()).map_err(|e| e.to_string())
+        }
+
+        fn is_done(&self, _spec: &SweepSpec, job: &JobSpec, dir: &Path) -> bool {
+            std::fs::read(dir.join("marker"))
+                .map(|b| b == job.id.as_bytes())
+                .unwrap_or(false)
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic_cells_outer_seeds_inner() {
+        let s = spec();
+        let jobs = s.jobs();
+        assert_eq!(jobs.len(), 6);
+        assert_eq!(jobs, s.jobs());
+        // Seeds vary fastest.
+        assert_eq!(jobs[0].id, "foff-tone-clag2-a1000-s1");
+        assert_eq!(jobs[1].id, "foff-tone-clag2-a1000-s2");
+        assert_eq!(jobs[3].id, "finc-tone-clag2-a1000-s1");
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.index, i);
+            assert!(j.id.ends_with(&format!("s{}", j.seed)));
+            assert!(j.id.starts_with(&j.cell));
+        }
+        let ids: std::collections::BTreeSet<&str> = jobs.iter().map(|j| j.id.as_str()).collect();
+        assert_eq!(ids.len(), jobs.len(), "job ids must be unique");
+    }
+
+    #[test]
+    fn job_config_applies_every_axis() {
+        let s = SweepSpec {
+            seeds: vec![9],
+            faults: vec![FaultPreset::Uniform],
+            timing: vec![AuctionTimingPreset::Streamed],
+            censorship: vec![CensorshipRegime::Frozen],
+            adoption_permille: vec![600],
+            ..SweepSpec::small("axes", 3)
+        };
+        let jobs = s.jobs();
+        let cfg = s.job_config(&jobs[0]);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.calendar.num_days(), 3);
+        assert_eq!(cfg.faults.preset, FaultPreset::Uniform);
+        assert_eq!(cfg.auction_timing.preset, AuctionTimingPreset::Streamed);
+        assert_eq!(cfg.knobs.relay_blacklist_lag_days, None);
+        assert_eq!(cfg.adoption_scale, 0.6);
+        // The baseline cell reproduces the plain test config exactly.
+        let base = SweepSpec::small("base", 3);
+        let bjobs = base.jobs();
+        assert_eq!(
+            base.job_config(&bjobs[0]),
+            ScenarioConfig::test_small(42, 3)
+        );
+    }
+
+    #[test]
+    fn digest_tracks_every_field() {
+        let s = spec();
+        assert_eq!(s.digest(), s.digest());
+        let mut t = s.clone();
+        t.seeds.push(99);
+        assert_ne!(s.digest(), t.digest());
+        let mut t = s.clone();
+        t.adoption_permille = vec![500];
+        assert_ne!(s.digest(), t.digest());
+        let mut t = s.clone();
+        t.checkpoint_every = 7;
+        assert_ne!(s.digest(), t.digest());
+        // And the spec round-trips through its JSON form.
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SweepSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_specs() {
+        assert!(spec().validate().is_ok());
+        let mut s = spec();
+        s.seeds.clear();
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.seeds = vec![1, 1];
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.timing.clear();
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.adoption_permille = vec![1200];
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.days = 0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn state_round_trips_through_the_envelope() {
+        let dir = tmpdir("state");
+        let mut st = SweepState::fresh([7u8; 32], 4);
+        st.statuses[1] = JobStatus::Done;
+        st.statuses[3] = JobStatus::Failed;
+        save_state(&dir, &st).unwrap();
+        assert_eq!(load_state(&dir).unwrap(), Some(st));
+        // Corruption is a typed error, not garbage state.
+        let path = state_path(&dir);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_state(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn campaign_runs_everything_once_and_resumes_for_free() {
+        let dir = tmpdir("campaign");
+        let s = spec();
+        let runner = MarkerRunner::new();
+        let out = run_campaign(&s, &dir, 3, &runner).unwrap();
+        assert!(out.complete());
+        assert_eq!(out.ran, 6);
+        assert_eq!(out.reused, 0);
+        assert_eq!(runner.runs.load(Ordering::SeqCst), 6);
+        // Resume: everything validates on disk, nothing re-runs.
+        let runner2 = MarkerRunner::new();
+        let again = run_campaign(&s, &dir, 1, &runner2).unwrap();
+        assert!(again.complete());
+        assert_eq!(again.ran, 0);
+        assert_eq!(again.reused, 6);
+        assert_eq!(runner2.runs.load(Ordering::SeqCst), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lost_output_is_rerun_even_when_the_state_says_done() {
+        let dir = tmpdir("lost");
+        let s = spec();
+        run_campaign(&s, &dir, 2, &MarkerRunner::new()).unwrap();
+        // Delete one job's output behind the state file's back.
+        let victim = &s.jobs()[2];
+        std::fs::remove_file(job_dir(&dir, victim).join("marker")).unwrap();
+        let runner = MarkerRunner::new();
+        let out = run_campaign(&s, &dir, 2, &runner).unwrap();
+        assert!(out.complete());
+        assert_eq!(out.ran, 1, "only the lost job re-runs");
+        assert_eq!(out.reused, 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failures_are_recorded_and_retried_on_resume() {
+        let dir = tmpdir("fail");
+        let s = spec();
+        let mut runner = MarkerRunner::new();
+        runner.fail_id = Some("finc-tone-clag2-a1000-s2");
+        let out = run_campaign(&s, &dir, 1, &runner).unwrap();
+        assert!(!out.complete());
+        assert_eq!(out.failed(), vec![4]);
+        // Resume with a healthy runner: only the failed job runs.
+        let healthy = MarkerRunner::new();
+        let again = run_campaign(&s, &dir, 1, &healthy).unwrap();
+        assert!(again.complete());
+        assert_eq!(again.ran, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_state_is_rejected() {
+        let dir = tmpdir("foreign");
+        let s = spec();
+        run_campaign(&s, &dir, 1, &MarkerRunner::new()).unwrap();
+        let mut other = s.clone();
+        other.seeds = vec![1, 2, 3, 4];
+        let err = run_campaign(&other, &dir, 1, &MarkerRunner::new()).unwrap_err();
+        assert!(err.contains("spec digest mismatch"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn derived_seed_list_is_stable_and_unique() {
+        let a = SweepSpec::derive_seeds(42, 5);
+        assert_eq!(a, SweepSpec::derive_seeds(42, 5));
+        assert_eq!(a[..3], SweepSpec::derive_seeds(42, 3)[..]);
+        let unique: std::collections::BTreeSet<u64> = a.iter().copied().collect();
+        assert_eq!(unique.len(), 5);
+    }
+}

@@ -14,6 +14,12 @@
 #   3. verify the bundle byte-for-byte against the golden manifest
 #      (`pbs-repro verify-bundle` vs tests/golden/manifest.json).
 #
+# A final sweep leg does the same at the campaign level: a 4-job sweep
+# (2 seeds × {off, paper-incidents}) is run uninterrupted at
+# PBS_SWEEP_JOBS=1, again at 4 workers, and a third time SIGKILLed via
+# PBS_SWEEP_KILL_AFTER_JOBS=2 then resumed — all three visible trees
+# must be byte-identical.
+#
 # On divergence the offending bundle is copied to
 # target/resume-harness-failure/ for CI artifact upload, and the script
 # exits nonzero.
@@ -163,8 +169,70 @@ for threads in 1 4; do
     fi
 done
 
+# Sweep leg: campaign-level kill-and-resume plus parallelism
+# byte-identity. One reference campaign at 1 worker, one at 4, one
+# SIGKILLed after 2 of its 4 jobs and resumed — same visible tree.
+sweep_work=$(mktemp -d "${TMPDIR:-/tmp}/pbs-resume-XXXXXX")
+sweep_run() {
+    out_dir=$1
+    shift
+    env "$@" "$BIN" sweep run --out "$out_dir" --name harness --days 2 \
+        --num-seeds 2 --faults off,paper-incidents
+}
+
+echo "--- sweep: reference campaign (PBS_SWEEP_JOBS=1) ---"
+if ! sweep_run "$sweep_work/ref" PBS_SWEEP_JOBS=1 > "$sweep_work/ref.log" 2>&1; then
+    echo "FAIL [sweep]: reference campaign failed"
+    cat "$sweep_work/ref.log"
+    fail=1
+else
+    echo "--- sweep: parallel campaign (PBS_SWEEP_JOBS=4) ---"
+    if ! sweep_run "$sweep_work/par" PBS_SWEEP_JOBS=4 > "$sweep_work/par.log" 2>&1; then
+        echo "FAIL [sweep]: parallel campaign failed"
+        cat "$sweep_work/par.log"
+        fail=1
+    elif ! diff -r --exclude='.*' "$sweep_work/ref" "$sweep_work/par" > /dev/null; then
+        echo "FAIL [sweep]: PBS_SWEEP_JOBS=4 tree diverges from PBS_SWEEP_JOBS=1"
+        mkdir -p "$FAILDIR"
+        cp -r "$sweep_work/ref" "$FAILDIR/sweep-ref"
+        cp -r "$sweep_work/par" "$FAILDIR/sweep-par"
+        fail=1
+    else
+        echo "OK [sweep]: 4-worker tree byte-identical to 1-worker tree"
+    fi
+
+    echo "--- sweep: killed campaign (SIGKILL after 2 of 4 jobs) ---"
+    sweep_run "$sweep_work/killed" PBS_SWEEP_JOBS=1 PBS_SWEEP_KILL_AFTER_JOBS=2 \
+        > "$sweep_work/killed.log" 2>&1
+    if [ "$?" -eq 0 ]; then
+        echo "FAIL [sweep]: killed campaign survived its own SIGKILL (status 0)"
+        cat "$sweep_work/killed.log"
+        fail=1
+    elif ! env PBS_SWEEP_JOBS=1 "$BIN" sweep resume --out "$sweep_work/killed" \
+            > "$sweep_work/resumed.log" 2>&1; then
+        echo "FAIL [sweep]: resume after SIGKILL failed"
+        cat "$sweep_work/resumed.log"
+        fail=1
+    elif ! grep -q "reused" "$sweep_work/resumed.log"; then
+        echo "FAIL [sweep]: resume re-ran everything instead of reusing finished jobs"
+        cat "$sweep_work/resumed.log"
+        fail=1
+    elif ! diff -r --exclude='.*' "$sweep_work/ref" "$sweep_work/killed" > /dev/null; then
+        echo "FAIL [sweep]: resumed tree diverges from the uninterrupted one"
+        mkdir -p "$FAILDIR"
+        cp -r "$sweep_work/ref" "$FAILDIR/sweep-ref"
+        cp -r "$sweep_work/killed" "$FAILDIR/sweep-killed"
+        cp "$sweep_work/killed.log" "$FAILDIR/sweep-killed.log"
+        cp "$sweep_work/resumed.log" "$FAILDIR/sweep-resumed.log"
+        fail=1
+    else
+        echo "OK [sweep]: killed+resumed tree byte-identical to the uninterrupted one"
+    fi
+fi
+[ "$fail" -eq 0 ] && rm -rf "$sweep_work"
+
 if [ "$fail" -ne 0 ]; then
     echo "=== resume harness FAILED (kill day $KILL_DAY, timed kill day $TIMED_KILL_DAY) ==="
     exit 1
 fi
-echo "=== resume harness passed: all 6 combinations byte-identical (kill day $KILL_DAY, timed kill day $TIMED_KILL_DAY) ==="
+echo "=== resume harness passed: all 6 run combinations and the sweep legs byte-identical (kill day $KILL_DAY, timed kill day $TIMED_KILL_DAY) ==="

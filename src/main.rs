@@ -27,12 +27,26 @@
 //! interrupted run picks up from the newest valid checkpoint.
 //! `verify-bundle` recomputes a bundle directory's digests and compares
 //! them against a manifest, exiting nonzero on any divergence.
+//!
+//! `sweep run|resume|status` orchestrates multi-seed × multi-config
+//! campaigns: a declarative job matrix executed as shared-nothing worker
+//! processes (bounded by `--jobs` / `PBS_SWEEP_JOBS`), each job an
+//! ordinary checkpointed run in its own directory under `--out`, with
+//! per-cell median + P10/P90 aggregate CSVs and a `sweep.json` manifest
+//! written when the matrix completes. Campaigns survive SIGKILL: `sweep
+//! resume --out DIR` re-runs only the jobs whose output is missing or
+//! invalid. (`sweep-worker` is the hidden per-job entry point `sweep run`
+//! spawns; it is not part of the supported surface.)
 
 use analysis::{write_artifact_bundle, PaperReport};
-use scenario::{AuctionTimingConfig, FaultConfig, ScenarioConfig, Simulation};
+use scenario::sweep::{self, JobRunner, JobSpec, SweepSpec};
+use scenario::{
+    AuctionTimingConfig, AuctionTimingPreset, CensorshipRegime, FaultConfig, FaultPreset,
+    ScenarioConfig, Simulation,
+};
 use simcore::telemetry;
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 struct Args {
     days: u32,
@@ -45,6 +59,16 @@ struct Args {
     dir: String,
     manifest: String,
     prefix: String,
+    name: String,
+    seeds: String,
+    num_seeds: Option<usize>,
+    censorship: String,
+    adoption: String,
+    checkpoint_every: u32,
+    jobs: Option<usize>,
+    in_process: bool,
+    paper: bool,
+    job_index: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -60,17 +84,36 @@ fn usage() -> ! {
          \x20              interrupted run resumes from the newest checkpoint\n\
          verify-bundle  recompute --dir digests and compare against the\n\
          \x20              --prefix entries of --manifest; exit 1 on divergence\n\
+         sweep run      expand a multi-seed × multi-config campaign and run it\n\
+         \x20              to completion with bounded parallel worker processes\n\
+         sweep resume   continue the campaign in --out, re-running only jobs\n\
+         \x20              whose output is missing or invalid\n\
+         sweep status   report the campaign in --out without running anything\n\
          \n\
          --days N       days to simulate, from the merge (default 30; 7 with --small)\n\
          --bpd  N       blocks per day (default 120; 40 with --small)\n\
-         --seed N       master seed (default 42)\n\
+         --seed N       master seed (default 42; sweep: seed-list master)\n\
          --small        use the small golden-test population sizes\n\
-         --faults P     fault preset: off | paper-incidents (default off)\n\
-         --timing P     auction-timing preset: one-shot | streamed (default one-shot)\n\
-         --out DIR      output directory (telemetry: \"telemetry\", bundle: \"out\")\n\
+         --faults P     fault preset(s): off | uniform | paper-incidents\n\
+         \x20              (default off; sweep accepts a comma-separated axis)\n\
+         --timing P     auction-timing preset(s): one-shot | streamed (default\n\
+         \x20              one-shot; sweep accepts a comma-separated axis)\n\
+         --out DIR      output directory (telemetry: \"telemetry\", bundle: \"out\",\n\
+         \x20              sweep: \"out/sweep\")\n\
          --dir DIR      bundle directory to verify (verify-bundle)\n\
          --manifest F   manifest file of expected digests (verify-bundle)\n\
-         --prefix P     manifest key prefix to verify against (verify-bundle)"
+         --prefix P     manifest key prefix to verify against (verify-bundle)\n\
+         \n\
+         sweep-only flags:\n\
+         --name S            campaign name (default \"campaign\")\n\
+         --seeds A,B,…       explicit seed list (overrides --num-seeds)\n\
+         --num-seeds N       derive N order-free seeds from --seed (default 2)\n\
+         --censorship LIST   baseline | instant | frozen (default baseline)\n\
+         --adoption LIST     adoption-ramp permille values, 0..=1000 (default 1000)\n\
+         --checkpoint-every N  per-job checkpoint cadence in days (default 1)\n\
+         --jobs N            concurrent jobs (default PBS_SWEEP_JOBS, else 1)\n\
+         --in-process        run jobs on threads instead of worker processes\n\
+         --paper             full 198-day paper profile instead of --small scale"
     );
     std::process::exit(2);
 }
@@ -87,6 +130,16 @@ fn parse_flags(rest: &[String]) -> Args {
         dir: String::new(),
         manifest: String::new(),
         prefix: String::new(),
+        name: "campaign".into(),
+        seeds: String::new(),
+        num_seeds: None,
+        censorship: "baseline".into(),
+        adoption: "1000".into(),
+        checkpoint_every: 1,
+        jobs: None,
+        in_process: false,
+        paper: false,
+        job_index: None,
     };
     let mut days: Option<u32> = None;
     let mut it = rest.iter();
@@ -114,20 +167,49 @@ fn parse_flags(rest: &[String]) -> Args {
             "--small" => args.small = true,
             "--faults" => {
                 let v = value(flag, &mut it);
-                if v != "off" && v != "paper-incidents" {
-                    eprintln!("error: --faults must be off or paper-incidents, got {v:?}");
-                    std::process::exit(2);
+                for part in v.split(',') {
+                    if !matches!(part, "off" | "uniform" | "paper-incidents") {
+                        eprintln!(
+                            "error: --faults must be off, uniform, or paper-incidents, got {part:?}"
+                        );
+                        std::process::exit(2);
+                    }
                 }
                 args.faults = v.to_string();
             }
             "--timing" => {
                 let v = value(flag, &mut it);
-                if v != "one-shot" && v != "streamed" {
-                    eprintln!("error: --timing must be one-shot or streamed, got {v:?}");
-                    std::process::exit(2);
+                for part in v.split(',') {
+                    if !matches!(part, "one-shot" | "streamed") {
+                        eprintln!("error: --timing must be one-shot or streamed, got {part:?}");
+                        std::process::exit(2);
+                    }
                 }
                 args.timing = v.to_string();
             }
+            "--censorship" => {
+                let v = value(flag, &mut it);
+                for part in v.split(',') {
+                    if !matches!(part, "baseline" | "instant" | "frozen") {
+                        eprintln!(
+                            "error: --censorship must be baseline, instant, or frozen, got {part:?}"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+                args.censorship = v.to_string();
+            }
+            "--adoption" => args.adoption = value(flag, &mut it).to_string(),
+            "--name" => args.name = value(flag, &mut it).to_string(),
+            "--seeds" => args.seeds = value(flag, &mut it).to_string(),
+            "--num-seeds" => args.num_seeds = Some(parse(flag, value(flag, &mut it)) as usize),
+            "--checkpoint-every" => {
+                args.checkpoint_every = parse(flag, value(flag, &mut it)) as u32
+            }
+            "--jobs" => args.jobs = Some(parse(flag, value(flag, &mut it)) as usize),
+            "--job-index" => args.job_index = Some(parse(flag, value(flag, &mut it)) as usize),
+            "--in-process" => args.in_process = true,
+            "--paper" => args.paper = true,
             "--dir" => args.dir = value(flag, &mut it).to_string(),
             "--manifest" => args.manifest = value(flag, &mut it).to_string(),
             "--prefix" => args.prefix = value(flag, &mut it).to_string(),
@@ -151,6 +233,10 @@ fn parse_flags(rest: &[String]) -> Args {
 }
 
 fn simulate(args: &Args) -> scenario::RunArtifacts {
+    if args.faults.contains(',') || args.timing.contains(',') {
+        eprintln!("error: this subcommand takes a single preset, not an axis list");
+        std::process::exit(2);
+    }
     let mut cfg = if args.small {
         ScenarioConfig::test_small(args.seed, args.days)
     } else {
@@ -163,6 +249,9 @@ fn simulate(args: &Args) -> scenario::RunArtifacts {
     cfg.calendar = eth_types::StudyCalendar::new(bpd, args.days);
     if args.faults == "paper-incidents" {
         cfg.faults = FaultConfig::paper_incidents();
+    }
+    if args.faults == "uniform" {
+        cfg.faults = FaultConfig::uniform();
     }
     if args.timing == "streamed" {
         cfg.auction_timing = AuctionTimingConfig::streamed();
@@ -243,9 +332,244 @@ fn verify_bundle(args: &Args) {
     std::process::exit(1);
 }
 
+fn parse_list<T>(flag: &str, raw: &str, one: impl Fn(&str) -> Option<T>) -> Vec<T> {
+    raw.split(',')
+        .map(|part| {
+            one(part).unwrap_or_else(|| {
+                eprintln!("error: bad {flag} value {part:?}");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+/// Builds the campaign spec from `sweep run` flags.
+fn sweep_spec_from_args(args: &Args) -> SweepSpec {
+    let seeds = if args.seeds.is_empty() {
+        SweepSpec::derive_seeds(args.seed, args.num_seeds.unwrap_or(2))
+    } else {
+        parse_list("--seeds", &args.seeds, |s| s.parse::<u64>().ok())
+    };
+    let spec = SweepSpec {
+        name: args.name.clone(),
+        profile: if args.paper {
+            scenario::BaseProfile::Paper
+        } else {
+            scenario::BaseProfile::Small
+        },
+        days: args.days,
+        seeds,
+        faults: parse_list("--faults", &args.faults, |s| match s {
+            "off" => Some(FaultPreset::Off),
+            "uniform" => Some(FaultPreset::Uniform),
+            "paper-incidents" => Some(FaultPreset::PaperIncidents),
+            _ => None,
+        }),
+        timing: parse_list("--timing", &args.timing, |s| match s {
+            "one-shot" => Some(AuctionTimingPreset::OneShot),
+            "streamed" => Some(AuctionTimingPreset::Streamed),
+            _ => None,
+        }),
+        censorship: parse_list("--censorship", &args.censorship, |s| match s {
+            "baseline" => Some(CensorshipRegime::Baseline),
+            "instant" => Some(CensorshipRegime::Instant),
+            "frozen" => Some(CensorshipRegime::Frozen),
+            _ => None,
+        }),
+        adoption_permille: parse_list("--adoption", &args.adoption, |s| s.parse::<u32>().ok()),
+        checkpoint_every: args.checkpoint_every,
+    };
+    if let Err(e) = spec.validate() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+    spec
+}
+
+/// Reads the spec a campaign directory was created with.
+fn load_sweep_spec(out: &Path) -> SweepSpec {
+    let path = sweep::spec_path(out);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!(
+            "error: reading {}: {e} (run `sweep run` first?)",
+            path.display()
+        );
+        std::process::exit(1);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("error: parsing {}: {e}", path.display());
+        std::process::exit(1);
+    })
+}
+
+/// The default job runner: each job is a `pbs-repro sweep-worker`
+/// process, so jobs share nothing and a crash in one cannot corrupt
+/// another. The worker re-reads the spec from the campaign directory.
+struct ProcessRunner {
+    exe: PathBuf,
+    out: PathBuf,
+}
+
+impl JobRunner for ProcessRunner {
+    fn run(&self, _spec: &SweepSpec, job: &JobSpec, _dir: &Path) -> Result<(), String> {
+        let status = std::process::Command::new(&self.exe)
+            .arg("sweep-worker")
+            .arg("--dir")
+            .arg(&self.out)
+            .args(["--job-index", &job.index.to_string()])
+            .env_remove("PBS_SWEEP_KILL_AFTER_JOBS")
+            .status()
+            .map_err(|e| format!("spawn worker: {e}"))?;
+        if status.success() {
+            Ok(())
+        } else {
+            Err(format!("worker exited with {status}"))
+        }
+    }
+
+    fn is_done(&self, spec: &SweepSpec, job: &JobSpec, dir: &Path) -> bool {
+        analysis::sweep_agg::job_is_done(spec, job, dir)
+    }
+}
+
+/// Runs (or resumes) a campaign and, when every job is done, writes the
+/// aggregate bundle. Exits nonzero if any job failed.
+fn run_sweep(spec: &SweepSpec, args: &Args) {
+    let out = PathBuf::from(args.out.as_deref().unwrap_or("out/sweep"));
+    let workers = args.jobs.or_else(scenario::env::sweep_jobs).unwrap_or(1);
+    let total = spec.jobs().len();
+    eprintln!(
+        "sweep {}: {} jobs ({} seeds × {} cells), {} worker{} ({}) …",
+        spec.name,
+        total,
+        spec.seeds.len(),
+        total / spec.seeds.len(),
+        workers,
+        if workers == 1 { "" } else { "s" },
+        if args.in_process {
+            "in-process"
+        } else {
+            "processes"
+        }
+    );
+    let in_process = analysis::InProcessRunner;
+    let process;
+    let runner: &dyn JobRunner = if args.in_process {
+        &in_process
+    } else {
+        let exe = std::env::current_exe().unwrap_or_else(|e| {
+            eprintln!("error: cannot locate own executable: {e}");
+            std::process::exit(1);
+        });
+        process = ProcessRunner {
+            exe,
+            out: out.clone(),
+        };
+        &process
+    };
+    let outcome = sweep::run_campaign(spec, &out, workers, runner).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let agg = analysis::write_sweep_bundle(spec, &outcome.statuses, &out).unwrap_or_else(|e| {
+        eprintln!("error: writing sweep bundle: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "sweep {}: {} ran, {} reused, {} cells aggregated -> {}/",
+        spec.name,
+        outcome.ran,
+        outcome.reused,
+        agg.cells.len(),
+        out.display()
+    );
+    if !outcome.complete() {
+        for i in outcome.failed() {
+            eprintln!("failed: {}", spec.jobs()[i].id);
+        }
+        eprintln!(
+            "error: campaign incomplete; `sweep resume --out {}` retries",
+            out.display()
+        );
+        std::process::exit(1);
+    }
+}
+
+/// `sweep status`: reconcile against the disk read-only and report.
+fn sweep_status(args: &Args) {
+    let out = PathBuf::from(args.out.as_deref().unwrap_or("out/sweep"));
+    let spec = load_sweep_spec(&out);
+    let jobs = spec.jobs();
+    let mut done = 0usize;
+    let mut pending = Vec::new();
+    for job in &jobs {
+        if analysis::sweep_agg::job_is_done(&spec, job, &sweep::job_dir(&out, job)) {
+            done += 1;
+        } else {
+            pending.push(job.id.clone());
+        }
+    }
+    println!(
+        "campaign {} in {}: {}/{} jobs done (spec digest {})",
+        spec.name,
+        out.display(),
+        done,
+        jobs.len(),
+        &spec.digest_hex()[..12]
+    );
+    for id in &pending {
+        println!("pending: {id}");
+    }
+    if !pending.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+/// The hidden per-job entry point `sweep run` spawns.
+fn sweep_worker(args: &Args) {
+    let out = PathBuf::from(&args.dir);
+    let Some(index) = args.job_index else {
+        eprintln!("error: sweep-worker requires --dir and --job-index");
+        std::process::exit(2);
+    };
+    let spec = load_sweep_spec(&out);
+    let jobs = spec.jobs();
+    let Some(job) = jobs.get(index) else {
+        eprintln!(
+            "error: job index {index} out of range ({} jobs)",
+            jobs.len()
+        );
+        std::process::exit(2);
+    };
+    if let Err(e) = analysis::sweep_agg::run_job(&spec, job, &sweep::job_dir(&out, job)) {
+        eprintln!("error: job {}: {e}", job.id);
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else { usage() };
+    if cmd == "sweep" {
+        let Some(verb) = argv.get(1) else {
+            eprintln!("error: sweep requires a verb: run | resume | status");
+            usage();
+        };
+        let args = parse_flags(&argv[2..]);
+        match verb.as_str() {
+            "run" => run_sweep(&sweep_spec_from_args(&args), &args),
+            "resume" => {
+                let out = PathBuf::from(args.out.as_deref().unwrap_or("out/sweep"));
+                run_sweep(&load_sweep_spec(&out), &args);
+            }
+            "status" => sweep_status(&args),
+            other => {
+                eprintln!("error: unknown sweep verb {other:?}");
+                usage();
+            }
+        }
+        return;
+    }
     let args = parse_flags(&argv[1..]);
     match cmd.as_str() {
         "summary" => {
@@ -287,6 +611,7 @@ fn main() {
             write_bundle(&args);
         }
         "verify-bundle" => verify_bundle(&args),
+        "sweep-worker" => sweep_worker(&args),
         "--help" | "-h" => usage(),
         other => {
             eprintln!("error: unknown subcommand {other:?}");

@@ -1,0 +1,137 @@
+//! Golden-artifact regression test for sweep campaigns.
+//!
+//! Runs a small 3-seed × 2-cell sweep (faults off vs `paper_incidents`)
+//! through the same orchestrator + aggregation path as `pbs-repro sweep
+//! run --in-process`, then pins the SHA-256 digest of every visible file
+//! in the campaign tree — per-job `metrics.json`, the four aggregate
+//! CSVs, `sweep.json`, and the spec — against
+//! `tests/golden/manifest_sweep.json`.
+//!
+//! To regenerate after an intentional output change:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test -p pbs-repro --test golden_sweep
+//! ```
+//!
+//! On a mismatch the observed digests land in
+//! `target/golden-sweep-manifest-actual.json` so CI can upload the diff.
+//! The single-run manifest (`tests/golden/manifest.json`) is asserted
+//! untouched: the sweep pins a separate file and never rewrites it.
+
+use analysis::InProcessRunner;
+use datasets::{digest_tree, parse_manifest, render_manifest};
+use scenario::{run_campaign, FaultPreset, SweepSpec};
+use std::path::{Path, PathBuf};
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// The campaign the manifest pins: 3 seeds × {off, paper_incidents},
+/// 2 days each — 6 jobs, small enough for CI, wide enough to exercise
+/// both the seed and the config dimension of the aggregation.
+fn golden_spec() -> SweepSpec {
+    SweepSpec {
+        seeds: vec![42, 43, 44],
+        faults: vec![FaultPreset::Off, FaultPreset::PaperIncidents],
+        ..SweepSpec::small("golden-sweep", 2)
+    }
+}
+
+#[test]
+fn golden_sweep_matches_manifest() {
+    let single_run_manifest = repo_path("tests/golden/manifest.json");
+    let single_before = std::fs::read(&single_run_manifest).ok();
+
+    let tmp = std::env::temp_dir().join(format!("pbs-golden-sweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    // Worker count must never reach the bytes: CI runs this test at
+    // PBS_SWEEP_JOBS=1 and 4 against the same manifest.
+    let workers = scenario::env::sweep_jobs().unwrap_or(2);
+    let spec = golden_spec();
+    let outcome = run_campaign(&spec, &tmp, workers, &InProcessRunner).expect("campaign runs");
+    assert!(outcome.complete(), "all 6 jobs must finish");
+    assert_eq!(outcome.ran, 6);
+    analysis::write_sweep_bundle(&spec, &outcome.statuses, &tmp).expect("bundle writes");
+
+    let actual = digest_tree(&tmp).expect("campaign tree readable");
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    // The tree shape itself is part of the contract: 6 job rows plus the
+    // five top-level bundle files, and no hidden state leaked into it.
+    assert_eq!(
+        actual
+            .keys()
+            .filter(|k| k.ends_with("/metrics.json"))
+            .count(),
+        6
+    );
+    for file in [
+        "sweep.json",
+        "sweep_spec.json",
+        "sweep_summary.csv",
+        "sweep_builder_share.csv",
+        "sweep_relay_share.csv",
+        "sweep_distributions.csv",
+    ] {
+        assert!(actual.contains_key(file), "bundle is missing {file}");
+    }
+    assert_eq!(actual.len(), 12, "6 metrics files + 6 bundle files");
+
+    let manifest_path = repo_path("tests/golden/manifest_sweep.json");
+    if std::env::var("GOLDEN_BLESS").as_deref() == Ok("1") {
+        simcore::atomic_write(&manifest_path, render_manifest(&actual).as_bytes()).unwrap();
+        eprintln!(
+            "blessed {} entries into {}",
+            actual.len(),
+            manifest_path.display()
+        );
+    } else {
+        let text = std::fs::read_to_string(&manifest_path)
+            .expect("tests/golden/manifest_sweep.json missing — bless it with GOLDEN_BLESS=1");
+        let expected = parse_manifest(&text).expect("sweep manifest parses");
+
+        if actual != expected {
+            let actual_path = repo_path("target/golden-sweep-manifest-actual.json");
+            let _ = simcore::atomic_write(&actual_path, render_manifest(&actual).as_bytes());
+
+            let mut diff = String::new();
+            let names: std::collections::BTreeSet<_> =
+                expected.keys().chain(actual.keys()).collect();
+            for name in names {
+                match (expected.get(name), actual.get(name)) {
+                    (Some(e), Some(a)) if e != a => {
+                        diff.push_str(&format!(
+                            "  changed: {name}\n    expected {e}\n    actual   {a}\n"
+                        ));
+                    }
+                    (Some(_), None) => diff.push_str(&format!("  missing: {name}\n")),
+                    (None, Some(_)) => diff.push_str(&format!("  extra:   {name}\n")),
+                    _ => {}
+                }
+            }
+            panic!(
+                "sweep artifacts drifted from tests/golden/manifest_sweep.json \
+                 (observed digests written to {}):\n{diff}\
+                 If the change is intentional, re-bless with GOLDEN_BLESS=1.",
+                actual_path.display()
+            );
+        }
+    }
+
+    // The sweep pins its own manifest; the 49-file single-run manifest
+    // must come through byte-identical, with no sweep entries in it.
+    let single_after = std::fs::read(&single_run_manifest).ok();
+    assert_eq!(
+        single_before, single_after,
+        "tests/golden/manifest.json must not be rewritten by the sweep test"
+    );
+    if let Some(bytes) = single_after {
+        let single = parse_manifest(&String::from_utf8_lossy(&bytes)).expect("manifest parses");
+        assert!(
+            single.keys().all(|k| !k.contains("sweep")),
+            "single-run manifest must stay sweep-free"
+        );
+    }
+}
