@@ -25,10 +25,7 @@ fn run_with(days: u32, mutator: impl FnOnce(&mut ScenarioConfig)) -> RunArtifact
 }
 
 fn main() {
-    let days: u32 = std::env::var("PBS_ABL_DAYS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(60);
+    let days: u32 = scenario::env::ablation_days().unwrap_or(60);
     println!("ablation window: {days} days × 24 blocks/day\n");
 
     // 1. Builder sophistication.

@@ -27,13 +27,6 @@
 use scenario::{ScenarioConfig, Simulation};
 use simcore::telemetry;
 
-fn env_u32(name: &str, default: u32) -> u32 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
 /// One timed simulation at a fixed global thread count, returning the
 /// block count, throughput, and the per-phase span totals in ms.
 fn measure(threads: usize, days: u32) -> (usize, f64, Vec<(String, f64)>) {
@@ -121,8 +114,33 @@ fn field_str<'a>(record: &'a str, key: &str) -> Option<&'a str> {
     Some(&rest[..rest.find('"')?])
 }
 
+/// Drops history records superseded by a newer run of the same benchmark:
+/// same git revision and same workload shape (`days` × `blocks_per_day`).
+/// Without this, re-running the bench at an unchanged revision (local
+/// retries, CI re-runs) appended a duplicate record per invocation and the
+/// "delta vs previous" line compared a run against itself. The newest
+/// record of each key wins; records from other revisions are untouched.
+fn dedup_history(history: &mut Vec<String>) {
+    let mut seen = std::collections::BTreeSet::new();
+    let keep: Vec<bool> = history
+        .iter()
+        .rev()
+        .map(|r| {
+            let key = format!(
+                "{}|{:?}|{:?}",
+                field_str(r, "\"rev\": \"").unwrap_or("?"),
+                field_num(r, "\"days\": "),
+                field_num(r, "\"blocks_per_day\": "),
+            );
+            seen.insert(key)
+        })
+        .collect();
+    let mut from_end = keep.into_iter().rev();
+    history.retain(|_| from_end.next().unwrap_or(true));
+}
+
 fn main() -> std::io::Result<()> {
-    let days = env_u32("PBS_BENCH_DAYS", 30);
+    let days = scenario::env::bench_days().unwrap_or(30);
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -167,7 +185,15 @@ fn main() -> std::io::Result<()> {
     let build_ms = t1("auction.build_candidates");
     let auction_ms = t1("driver.auction");
     let slot_ms = t1("driver.slot");
-    if let Some(prev) = history.last() {
+    let rev = git_rev();
+    // Compare against the newest record from a *different* revision: a
+    // re-run at the same rev replaces its own record below, and a delta
+    // of a run against itself would always read ~0%.
+    let prev_record = history
+        .iter()
+        .rev()
+        .find(|r| field_str(r, "\"rev\": \"") != Some(rev.as_str()));
+    if let Some(prev) = prev_record {
         let prev_rev = field_str(prev, "\"rev\": \"").unwrap_or("?");
         if let (Some(pb), Some(pbps)) = (
             field_num(prev, "\"build_candidates_ms\": "),
@@ -188,9 +214,9 @@ fn main() -> std::io::Result<()> {
         }
     }
     history.push(format!(
-        "{{ \"rev\": \"{}\", \"days\": {days}, \"blocks_per_day\": 40, \"threads\": 1, \"build_candidates_ms\": {build_ms:.3}, \"auction_ms\": {auction_ms:.3}, \"slot_ms\": {slot_ms:.3}, \"blocks_per_sec\": {baseline:.1} }}",
-        git_rev()
+        "{{ \"rev\": \"{rev}\", \"days\": {days}, \"blocks_per_day\": 40, \"threads\": 1, \"build_candidates_ms\": {build_ms:.3}, \"auction_ms\": {auction_ms:.3}, \"slot_ms\": {slot_ms:.3}, \"blocks_per_sec\": {baseline:.1} }}"
     ));
+    dedup_history(&mut history);
     let history_block = history
         .iter()
         .map(|r| format!("    {r}"))
@@ -208,4 +234,44 @@ fn main() -> std::io::Result<()> {
         history.len()
     );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(rev: &str, days: u32, bps: f64) -> String {
+        format!(
+            "{{ \"rev\": \"{rev}\", \"days\": {days}, \"blocks_per_day\": 40, \"threads\": 1, \"build_candidates_ms\": 1.0, \"auction_ms\": 2.0, \"slot_ms\": 3.0, \"blocks_per_sec\": {bps:.1} }}"
+        )
+    }
+
+    #[test]
+    fn rerun_at_the_same_rev_keeps_only_the_newest_record() {
+        let mut h = vec![
+            rec("aaaa111", 30, 100.0),
+            rec("bbbb222", 30, 110.0),
+            rec("bbbb222", 30, 125.0),
+        ];
+        dedup_history(&mut h);
+        assert_eq!(h.len(), 2);
+        assert_eq!(field_str(&h[0], "\"rev\": \""), Some("aaaa111"));
+        assert_eq!(field_str(&h[1], "\"rev\": \""), Some("bbbb222"));
+        assert_eq!(field_num(&h[1], "\"blocks_per_sec\": "), Some(125.0));
+    }
+
+    #[test]
+    fn different_workload_shapes_at_one_rev_both_survive() {
+        let mut h = vec![rec("cccc333", 30, 100.0), rec("cccc333", 60, 50.0)];
+        dedup_history(&mut h);
+        assert_eq!(h.len(), 2, "distinct day counts are distinct benchmarks");
+    }
+
+    #[test]
+    fn distinct_revisions_are_never_dropped() {
+        let mut h = vec![rec("a", 30, 1.0), rec("b", 30, 2.0), rec("c", 30, 3.0)];
+        let before = h.clone();
+        dedup_history(&mut h);
+        assert_eq!(h, before);
+    }
 }

@@ -52,10 +52,7 @@ fn describe(name: &str, run: &RunArtifacts) {
 }
 
 fn main() {
-    let days: u32 = std::env::var("PBS_EPBS_DAYS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(60);
+    let days: u32 = scenario::env::epbs_days().unwrap_or(60);
     println!("enshrined-PBS experiment: {days} days × 24 blocks/day, same seed\n");
 
     let status_quo = run(days, false);

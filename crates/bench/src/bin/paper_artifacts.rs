@@ -26,19 +26,10 @@ use analysis::{write_artifact_bundle, PaperReport};
 use scenario::{ScenarioConfig, Simulation};
 use std::path::PathBuf;
 
-fn env_u32(name: &str, default: u32) -> u32 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
 fn main() -> std::io::Result<()> {
-    let bpd = env_u32("PBS_BPD", 360);
-    let seed = env_u32("PBS_SEED", 42) as u64;
-    let out: PathBuf = std::env::var("PBS_OUT")
-        .unwrap_or_else(|_| "out".into())
-        .into();
+    let bpd = scenario::env::bpd().unwrap_or(360);
+    let seed = scenario::env::seed().unwrap_or(42);
+    let out: PathBuf = scenario::env::out_dir().unwrap_or_else(|| "out".into());
 
     let mut cfg = ScenarioConfig {
         seed,
@@ -64,9 +55,7 @@ fn main() -> std::io::Result<()> {
     println!("artifacts written to {}/", out.display());
 
     if simcore::telemetry::enabled() {
-        let tdir: PathBuf = std::env::var("PBS_TELEMETRY_OUT")
-            .unwrap_or_else(|_| "telemetry".into())
-            .into();
+        let tdir: PathBuf = scenario::env::telemetry_out().unwrap_or_else(|| "telemetry".into());
         simcore::telemetry::write_snapshot_files(&tdir)?;
         println!(
             "telemetry snapshot written to {}/telemetry.{{json,prom}}",

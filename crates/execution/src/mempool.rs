@@ -86,6 +86,22 @@ impl Mempool {
     /// `producer_value / gas_used` descending and packs greedily until the
     /// gas limit.
     pub fn select_value_greedy(&self, base_fee: GasPrice, gas_limit: Gas) -> Vec<Transaction> {
+        let mut out = Vec::new();
+        self.select_value_greedy_into(base_fee, gas_limit, &mut out);
+        out
+    }
+
+    /// [`select_value_greedy`](Mempool::select_value_greedy) writing into a
+    /// caller-owned buffer (cleared first), so a per-slot caller reuses one
+    /// allocation across the whole run instead of growing a fresh vector
+    /// every slot.
+    pub fn select_value_greedy_into(
+        &self,
+        base_fee: GasPrice,
+        gas_limit: Gas,
+        out: &mut Vec<Transaction>,
+    ) {
+        out.clear();
         let mut candidates: Vec<&Transaction> = self
             .txs
             .values()
@@ -98,7 +114,7 @@ impl Mempool {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.hash.cmp(&b.hash))
         });
-        pack(candidates, gas_limit)
+        pack_into(candidates, gas_limit, out);
     }
 
     /// Selects transactions by raw gas price (the historical naive proposer
@@ -172,6 +188,11 @@ fn per_gas_value(t: &Transaction, base_fee: GasPrice) -> f64 {
 
 fn pack(candidates: Vec<&Transaction>, gas_limit: Gas) -> Vec<Transaction> {
     let mut out = Vec::new();
+    pack_into(candidates, gas_limit, &mut out);
+    out
+}
+
+fn pack_into(candidates: Vec<&Transaction>, gas_limit: Gas, out: &mut Vec<Transaction>) {
     let mut used = Gas::ZERO;
     for tx in candidates {
         let g = tx.gas_used();
@@ -180,7 +201,6 @@ fn pack(candidates: Vec<&Transaction>, gas_limit: Gas) -> Vec<Transaction> {
             out.push(tx.clone());
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -178,76 +178,98 @@ impl<'a> SlotAuction<'a> {
         let relays_ro: &RelayRegistry = relays;
         let indices: Vec<usize> = (0..builders_ro.len()).collect();
         let build_span = simcore::span!("auction.build_candidates");
-        let candidates: Vec<Candidate> = indices
-            .par_iter()
-            .map(|&bi| {
-                let builder = &builders_ro[bi];
-                let mut build_rng = seeds.stream("build", builder.id.0 as u64);
-                let built = builder.build(
-                    &BuildInputs {
-                        base_fee: self.base_fee,
-                        gas_limit: self.gas_limit,
-                        mempool: public_mempool,
-                        bundles: &bundles_per_builder[bi],
-                    },
-                    &mut build_rng,
-                );
-                let honest_bid = built.bid(builder.margin_on(built.value));
-                // The block is scanned once; each censoring relay's bid
-                // is then settled by delta (removed value only), and
-                // relays sharing the same blacklist view (lag +
-                // staleness cutoff) share one delta. Nothing censored is
-                // materialized here — only the winning variant is, in
-                // the propose phase.
-                let mut scan: Option<CensorScan> = None;
-                let mut views: Vec<(Option<&crate::ofac::RelayBlacklist>, Wei, Wei)> = Vec::new();
-                let relay_variants = builder
-                    .profile
-                    .relays
-                    .iter()
-                    .filter_map(|&rid| {
-                        // Unknown relay ids in a profile are skipped, not
-                        // indexed blind.
-                        let relay = relays_ro.get(rid)?;
-                        Some(if relay.info.ofac_compliant {
-                            let scan = scan.get_or_insert_with(|| {
-                                CensorScan::of(&built.txs, self.base_fee, self.sanctions)
-                            });
-                            let view = relay.blacklist.as_ref();
-                            let (bid, value) = match views.iter().find(|(v, ..)| *v == view) {
-                                Some(&(_, bid, value)) => {
-                                    telemetry::counter_add("pbs.auction.variant.view_reused", 1);
-                                    (bid, value)
-                                }
-                                None => {
-                                    let delta = scan.delta(view, self.day);
-                                    let value = built.value.saturating_sub(delta.value);
-                                    let bid = built.bid_at(value, builder.margin_on(value));
-                                    telemetry::counter_add("pbs.auction.variant.incremental", 1);
-                                    views.push((view, bid, value));
-                                    (bid, value)
-                                }
-                            };
-                            // Censoring strips transactions, never whole
-                            // bundles from the count: `censored_variant`
-                            // keeps `bundle_counts`, so the declared
-                            // sandwich count is the base block's.
-                            (rid, bid, value, built.bundle_counts[0])
-                        } else {
-                            (rid, honest_bid, built.value, built.bundle_counts[0])
-                        })
+        // The mempool lookup index and density fill order are identical
+        // for every builder of the slot (same view, same base fee):
+        // compute them once here — in arena-pooled buffers — and share
+        // them across the parallel builds instead of sorting the same
+        // transactions per builder.
+        let candidates: Vec<Candidate> = crate::builder::with_slot_tables(
+            public_mempool,
+            self.base_fee,
+            |mempool_index, density_order| {
+                indices
+                    .par_iter()
+                    .map(|&bi| {
+                        let builder = &builders_ro[bi];
+                        let mut build_rng = seeds.stream("build", builder.id.0 as u64);
+                        let built = builder.build_shared(
+                            &BuildInputs {
+                                base_fee: self.base_fee,
+                                gas_limit: self.gas_limit,
+                                mempool: public_mempool,
+                                bundles: &bundles_per_builder[bi],
+                            },
+                            mempool_index,
+                            density_order,
+                            &mut build_rng,
+                        );
+                        let honest_bid = built.bid(builder.margin_on(built.value));
+                        // The block is scanned once; each censoring relay's bid
+                        // is then settled by delta (removed value only), and
+                        // relays sharing the same blacklist view (lag +
+                        // staleness cutoff) share one delta. Nothing censored is
+                        // materialized here — only the winning variant is, in
+                        // the propose phase.
+                        let mut scan: Option<CensorScan> = None;
+                        let mut views: Vec<(Option<&crate::ofac::RelayBlacklist>, Wei, Wei)> =
+                            Vec::new();
+                        let relay_variants = builder
+                            .profile
+                            .relays
+                            .iter()
+                            .filter_map(|&rid| {
+                                // Unknown relay ids in a profile are skipped, not
+                                // indexed blind.
+                                let relay = relays_ro.get(rid)?;
+                                Some(if relay.info.ofac_compliant {
+                                    let scan = scan.get_or_insert_with(|| {
+                                        CensorScan::of(&built.txs, self.base_fee, self.sanctions)
+                                    });
+                                    let view = relay.blacklist.as_ref();
+                                    let (bid, value) = match views.iter().find(|(v, ..)| *v == view)
+                                    {
+                                        Some(&(_, bid, value)) => {
+                                            telemetry::counter_add(
+                                                "pbs.auction.variant.view_reused",
+                                                1,
+                                            );
+                                            (bid, value)
+                                        }
+                                        None => {
+                                            let delta = scan.delta(view, self.day);
+                                            let value = built.value.saturating_sub(delta.value);
+                                            let bid = built.bid_at(value, builder.margin_on(value));
+                                            telemetry::counter_add(
+                                                "pbs.auction.variant.incremental",
+                                                1,
+                                            );
+                                            views.push((view, bid, value));
+                                            (bid, value)
+                                        }
+                                    };
+                                    // Censoring strips transactions, never whole
+                                    // bundles from the count: `censored_variant`
+                                    // keeps `bundle_counts`, so the declared
+                                    // sandwich count is the base block's.
+                                    (rid, bid, value, built.bundle_counts[0])
+                                } else {
+                                    (rid, honest_bid, built.value, built.bundle_counts[0])
+                                })
+                            })
+                            .collect();
+                        Candidate {
+                            built,
+                            pubkey: builder.pubkey_for_slot(self.slot),
+                            scan,
+                            relay_variants,
+                        }
                     })
-                    .collect();
-                Candidate {
-                    built,
-                    pubkey: builder.pubkey_for_slot(self.slot),
-                    scan,
-                    relay_variants,
-                }
-            })
-            .collect();
+                    .collect()
+            },
+        );
 
         drop(build_span);
+        telemetry::counter_add("pbs.auction.slots", 1);
         telemetry::counter_add("pbs.auction.candidates_built", candidates.len() as u64);
 
         // 2. Submission phase: sequential, in ascending builder order, so

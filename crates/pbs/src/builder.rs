@@ -21,8 +21,7 @@ use mev::{Bundle, MevKind};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use simcore::{BufferPool, LogNormal};
-use std::collections::BTreeSet;
+use simcore::{BufferPool, FxHashSet, LogNormal};
 
 thread_local! {
     /// Slot-scoped scratch reused across builders on the same rayon
@@ -33,6 +32,67 @@ thread_local! {
     static BUNDLE_ORDER: BufferPool<(Wei, TxHash, u32)> = const { BufferPool::new() };
     static MEMPOOL_INDEX: BufferPool<(TxHash, u32)> = const { BufferPool::new() };
     static DENSITY_ORDER: BufferPool<(f64, TxHash, u32)> = const { BufferPool::new() };
+}
+
+/// Fills caller-provided (pooled) buffers with the per-slot tables.
+fn fill_slot_tables(
+    mempool_index: &mut Vec<(TxHash, u32)>,
+    density_order: &mut Vec<(f64, TxHash, u32)>,
+    mempool: &[Transaction],
+    base_fee: GasPrice,
+) {
+    // Hash → mempool position, replacing the per-builder BTreeMap.
+    // The stable sort keeps duplicate hashes in input order and
+    // lookups take the *last* match, preserving the map's
+    // insert-wins semantics.
+    mempool_index.extend(mempool.iter().enumerate().map(|(i, t)| (t.hash, i as u32)));
+    mempool_index.sort_by_key(|e| e.0);
+    // Mempool fill order, value-densest first. Density keys are
+    // precomputed (one `producer_value` per tx instead of one per
+    // comparison) and ordered by `total_cmp`, which stays total on
+    // degenerate float values; densities here are non-negative and
+    // finite, where `total_cmp` and `partial_cmp` agree.
+    density_order.extend(
+        mempool
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.includable_at(base_fee))
+            .map(|(i, t)| {
+                let density = t.producer_value(base_fee).0 as f64 / t.gas_used().0.max(1) as f64;
+                (density, t.hash, i as u32)
+            }),
+    );
+    density_order.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+}
+
+/// Computes the per-slot ordering tables in arena-pooled buffers and runs
+/// `f` against them.
+///
+/// The mempool lookup index and the density-sorted fill order depend only
+/// on (mempool view, base fee) — both identical across the slot's
+/// builders — so the auction computes them once here and every builder of
+/// the slot reads them via [`Builder::build_shared`], instead of each
+/// builder sorting the same few hundred transactions again. Per-builder
+/// conflict state (`used_txs`) is applied at iteration time, which leaves
+/// the fill sequence byte-identical to a per-builder sort over the
+/// filtered set. The backing storage comes from the same thread-local
+/// [`BufferPool`]s the solo [`Builder::build`] path uses, so the tables
+/// cost two arena acquisitions per slot rather than two heap growths.
+pub fn with_slot_tables<R>(
+    mempool: &[Transaction],
+    base_fee: GasPrice,
+    f: impl FnOnce(&[(TxHash, u32)], &[(f64, TxHash, u32)]) -> R,
+) -> R {
+    MEMPOOL_INDEX.with(|index_pool| {
+        DENSITY_ORDER.with(|density_pool| {
+            index_pool.scope(|mempool_index| {
+                density_pool.scope(|density_order| {
+                    fill_slot_tables(mempool_index, density_order, mempool, base_fee);
+                    f(mempool_index, density_order)
+                })
+            })
+        })
+    })
 }
 
 /// Index of a builder in the scenario's builder table.
@@ -221,35 +281,52 @@ impl Builder {
     ///    derived from (slot, builder id), which keeps parallel builds
     ///    deterministic.
     pub fn build(&self, inputs: &BuildInputs<'_>, rng: &mut StdRng) -> BuiltBlock {
+        with_slot_tables(
+            inputs.mempool,
+            inputs.base_fee,
+            |mempool_index, density_order| {
+                self.build_inner(inputs, mempool_index, density_order, rng)
+            },
+        )
+    }
+
+    /// [`Builder::build`] against precomputed per-slot tables — the
+    /// auction's entry point, where all builders of a slot share one
+    /// [`with_slot_tables`] scope instead of re-sorting the same mempool
+    /// view.
+    pub fn build_shared(
+        &self,
+        inputs: &BuildInputs<'_>,
+        mempool_index: &[(TxHash, u32)],
+        density_order: &[(f64, TxHash, u32)],
+        rng: &mut StdRng,
+    ) -> BuiltBlock {
+        self.build_inner(inputs, mempool_index, density_order, rng)
+    }
+
+    /// The packer core, reading the (shared or locally computed) tables.
+    fn build_inner(
+        &self,
+        inputs: &BuildInputs<'_>,
+        mempool_index: &[(TxHash, u32)],
+        density_order: &[(f64, TxHash, u32)],
+        rng: &mut StdRng,
+    ) -> BuiltBlock {
         BUNDLE_ORDER.with(|bundle_pool| {
-            MEMPOOL_INDEX.with(|index_pool| {
-                DENSITY_ORDER.with(|density_pool| {
-                    bundle_pool.scope(|bundle_order| {
-                        index_pool.scope(|mempool_index| {
-                            density_pool.scope(|density_order| {
-                                self.build_with_scratch(
-                                    inputs,
-                                    rng,
-                                    bundle_order,
-                                    mempool_index,
-                                    density_order,
-                                )
-                            })
-                        })
-                    })
-                })
+            bundle_pool.scope(|bundle_order| {
+                self.build_with_scratch(inputs, rng, bundle_order, mempool_index, density_order)
             })
         })
     }
 
-    /// [`Builder::build`] with caller-provided (pooled) scratch buffers.
+    /// [`Builder::build`] with caller-provided tables and (pooled) scratch.
     fn build_with_scratch(
         &self,
         inputs: &BuildInputs<'_>,
         rng: &mut StdRng,
         bundle_order: &mut Vec<(Wei, TxHash, u32)>,
-        mempool_index: &mut Vec<(TxHash, u32)>,
-        density_order: &mut Vec<(f64, TxHash, u32)>,
+        mempool_index: &[(TxHash, u32)],
+        density_order: &[(f64, TxHash, u32)],
     ) -> BuiltBlock {
         let base = inputs.base_fee;
         // Reserve room for the final builder→proposer payment transaction;
@@ -260,8 +337,8 @@ impl Builder {
         let mut gas = Gas::ZERO;
         let mut value = Wei::ZERO;
         let mut bundle_counts = [0usize; 3];
-        let mut used_victims: BTreeSet<TxHash> = BTreeSet::new();
-        let mut used_txs: BTreeSet<TxHash> = BTreeSet::new();
+        let mut used_victims: FxHashSet<TxHash> = FxHashSet::default();
+        let mut used_txs: FxHashSet<TxHash> = FxHashSet::default();
 
         // 1. bundles, best first. Ordering keys are computed once per
         // bundle (`bid_value` walks the bundle's txs) instead of once per
@@ -275,20 +352,6 @@ impl Builder {
                 .map(|(i, b)| (b.bid_value(base), b.txs[0].hash, i as u32)),
         );
         bundle_order.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
-
-        // Hash → mempool position, replacing the per-builder BTreeMap.
-        // The stable sort keeps duplicate hashes in input order and
-        // lookups take the *last* match, preserving the map's
-        // insert-wins semantics.
-        mempool_index.extend(
-            inputs
-                .mempool
-                .iter()
-                .enumerate()
-                .map(|(i, t)| (t.hash, i as u32)),
-        );
-        mempool_index.sort_by_key(|e| e.0);
-        let mempool_index: &[(TxHash, u32)] = mempool_index;
         let lookup = |h: TxHash| -> Option<&Transaction> {
             let end = mempool_index.partition_point(|e| e.0 <= h);
             let &(hash, i) = mempool_index[..end].last()?;
@@ -345,25 +408,17 @@ impl Builder {
             }] += 1;
         }
 
-        // 2. fill with mempool flow, value-densest first. Density keys
-        // are precomputed (one `producer_value` per tx instead of one
-        // per comparison) and ordered by `total_cmp`, which stays total
-        // on degenerate float values; densities here are non-negative
-        // and finite, where `total_cmp` and `partial_cmp` agree.
-        density_order.extend(
-            inputs
-                .mempool
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| !used_txs.contains(&t.hash) && t.includable_at(base))
-                .map(|(i, t)| {
-                    let density = t.producer_value(base).0 as f64 / t.gas_used().0.max(1) as f64;
-                    (density, t.hash, i as u32)
-                }),
-        );
-        density_order.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        // 2. fill with mempool flow, value-densest first, reading the
+        // shared density table. Bundle-consumed transactions are skipped
+        // here rather than at table construction (the table is shared
+        // across builders with different conflict sets); filtering before
+        // or after the sort leaves the survivors in the same order, so
+        // the fill sequence is unchanged.
         for &(_, _, ti) in density_order.iter() {
             let t = &inputs.mempool[ti as usize];
+            if !used_txs.is_empty() && used_txs.contains(&t.hash) {
+                continue;
+            }
             let g = t.gas_used();
             if gas.0 + g.0 > gas_limit.0 {
                 continue;

@@ -27,7 +27,8 @@ pub mod timing;
 pub use auction::{SlotAuction, SlotResult, SubmissionRecord};
 pub use boost::{BoostEvent, LocalBuilder, MevBoostClient, ProposeReport, RetryPolicy, TimedQuery};
 pub use builder::{
-    BuildInputs, Builder, BuilderId, BuilderProfile, BuiltBlock, MarginPolicy, SubsidyPolicy,
+    with_slot_tables, BuildInputs, Builder, BuilderId, BuilderProfile, BuiltBlock, MarginPolicy,
+    SubsidyPolicy,
 };
 pub use ofac::{
     block_touches_sanctioned, tx_touches_sanctioned, tx_touches_sanctioned_on, CensorDelta,

@@ -15,10 +15,12 @@ use crate::records::{
 };
 use crate::timeline::{days, Timeline};
 use crate::workload::{binance_sender, sanctions_list, WorkloadGenerator};
-use beacon::{BeaconChain, ProposerSchedule, ValidatorRegistry};
+use beacon::{BeaconChain, ProposerSchedule, ValidatorId, ValidatorRegistry};
 use defi::{DefiWorld, Position};
-use eth_types::{Address, DayIndex, Gas, GasPrice, Slot, Token, Transaction, TxEffect, Wei};
-use execution::{BlockExecutor, FeeMarket, Mempool, StateLedger};
+use eth_types::{
+    Address, BlsPublicKey, DayIndex, Gas, GasPrice, Slot, Token, Transaction, TxEffect, TxHash, Wei,
+};
+use execution::{BlockExecutor, ExecutedBlock, FeeMarket, Mempool, StateLedger};
 use mev::{CyclicArbitrageur, LabelSource, LiquidationBot, MevKind, SandwichAttacker};
 use netsim::{GossipNetwork, MempoolObservers, NodeId, ObservationLog, Topology};
 use pbs::{
@@ -27,10 +29,13 @@ use pbs::{
 };
 use rand::rngs::StdRng;
 use rand::Rng;
-use simcore::{telemetry, Exponential, FaultProfile, FaultSchedule, SeedDomain, SnapshotError};
+use simcore::{
+    telemetry, Exponential, FaultProfile, FaultSchedule, FxHashSet, SeedDomain, SnapshotError,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 use std::sync::OnceLock;
+use std::thread::JoinHandle;
 
 /// Per-relay shortfall calibration: (name, probability, lost fraction),
 /// matched to Table 4's "share over-promised" column.
@@ -47,6 +52,245 @@ const SHORTFALLS: [(&str, f64, f64); 11] = [
     ("Relayooor", 0.021, 0.003),
     ("UltraSound", 0.0095, 0.001),
 ];
+
+/// Everything the per-day measurement fold needs from one proposed slot,
+/// captured on the simulation path and folded off it (see [`fold_day`]).
+///
+/// The split keeps the pipeline path-exact: every field here is a *copy*
+/// (or a move of the slot's own output, like the executed block) taken at
+/// the moment the legacy sequential code would have measured it, so the
+/// fold can run a day behind the simulation without observing newer state.
+struct MeasureJob {
+    slot: Slot,
+    day: DayIndex,
+    number: u64,
+    proposer: ValidatorId,
+    entity_idx: u32,
+    proposer_fee_recipient: Address,
+    base_fee: GasPrice,
+    pbs: bool,
+    winning_relays: Vec<RelayId>,
+    builder: Option<BuilderId>,
+    pubkey: Option<BlsPublicKey>,
+    promised: Wei,
+    delivered: Wei,
+    /// `(relay, builder)` id pairs of every accepted submission.
+    submissions: Vec<(u32, u32)>,
+    executed: ExecutedBlock,
+    // Propagation-delay measurement must stay on the simulation path (it
+    // consumes the observation log, which later slots read), so its
+    // results travel with the job instead of being recomputed in the fold.
+    private_txs: u32,
+    delay_sum_ms: u64,
+    delay_count: u32,
+    sanctioned_delay_sum_ms: u64,
+    sanctioned_delay_count: u32,
+}
+
+/// One finished day's worth of folded measurement, merged back into the
+/// runner in day order by [`Runner::merge_day`].
+struct DayMeasure {
+    records: Vec<BlockRecord>,
+    /// `(day, relay, builder)` triples feeding `relay_builders`.
+    relay_builder_pairs: Vec<(u32, u32, u32)>,
+    totals: MeasureTotals,
+    /// Telemetry counter deltas. An entry is pushed on first touch even at
+    /// value zero, mirroring `counter_add`'s key interning so checkpointed
+    /// counter key-sets match the unpipelined run exactly.
+    counters: Vec<(&'static str, u64)>,
+}
+
+/// The subset of [`RunTotals`] a day fold accumulates as deltas.
+#[derive(Default)]
+struct MeasureTotals {
+    blocks: u64,
+    transactions: u64,
+    binance_included_txs: u64,
+    logs: u64,
+    traces: u64,
+    relay_rows: u64,
+    labels_per_source: [u64; 3],
+    union_labels: u64,
+}
+
+fn counter_delta(counters: &mut Vec<(&'static str, u64)>, name: &'static str, by: u64) {
+    match counters.iter_mut().find(|(n, _)| *n == name) {
+        Some((_, v)) => *v += by,
+        None => counters.push((name, by)),
+    }
+}
+
+/// Runs the enabled label providers over a block and unions the result:
+/// `(per_source_counts, sandwich, arbitrage, liquidation, union, value)`.
+fn label_block(
+    block: &eth_types::Block,
+    base_fee: GasPrice,
+    label_sources: [bool; 3],
+) -> ([u64; 3], u32, u32, u32, u32, Wei) {
+    let mut union: BTreeMap<TxHash, MevKind> = BTreeMap::new();
+    let mut per_source = [0u64; 3];
+    for (i, source) in LabelSource::ALL.iter().enumerate() {
+        if !label_sources[i] {
+            continue;
+        }
+        let labels = source.label_block(block);
+        per_source[i] += labels.len() as u64;
+        for l in labels {
+            union.entry(l.tx_hash).or_insert(l.kind);
+        }
+    }
+    let mut counts = [0u32; 3];
+    for kind in union.values() {
+        counts[match kind {
+            MevKind::Sandwich => 0,
+            MevKind::Arbitrage => 1,
+            MevKind::Liquidation => 2,
+        }] += 1;
+    }
+    let mev_value: Wei = block
+        .body
+        .transactions
+        .iter()
+        .filter(|t| union.contains_key(&t.hash))
+        .map(|t| t.producer_value(base_fee))
+        .sum();
+    (
+        per_source,
+        counts[0],
+        counts[1],
+        counts[2],
+        union.len() as u32,
+        mev_value,
+    )
+}
+
+/// Folds one day's deferred measurement jobs into records and totals.
+///
+/// Pure with respect to the runner: it reads only the jobs and the (static)
+/// sanctions list, so it can run on a spawned thread while the simulation
+/// path works on the next day. Job order is slot order, so the produced
+/// records extend `Runner::blocks` byte-identically to inline measurement.
+fn fold_day(
+    jobs: Vec<MeasureJob>,
+    sanctions: &pbs::SanctionsList,
+    label_sources: [bool; 3],
+    telemetry_on: bool,
+) -> DayMeasure {
+    let _span = simcore::span!("driver.measure");
+    let mut m = DayMeasure {
+        records: Vec::with_capacity(jobs.len()),
+        relay_builder_pairs: Vec::new(),
+        totals: MeasureTotals::default(),
+        counters: Vec::new(),
+    };
+    for job in jobs {
+        let block = &job.executed.block;
+        let (per_source, sandwich_txs, arbitrage_txs, liquidation_txs, mev_tx_count, mev_value) =
+            label_block(block, job.base_fee, label_sources);
+        for (i, n) in per_source.into_iter().enumerate() {
+            m.totals.labels_per_source[i] += n;
+        }
+        m.totals.union_labels += mev_tx_count as u64;
+        let sanctioned = pbs::block_touches_sanctioned(block, sanctions, job.day);
+        let payment_detected = block.last_tx().and_then(|t| {
+            (t.sender == block.header.fee_recipient && t.to != t.sender).then_some(t.value)
+        });
+
+        m.totals.blocks += 1;
+        m.totals.transactions += block.tx_count() as u64;
+        m.totals.binance_included_txs += block
+            .body
+            .transactions
+            .iter()
+            .filter(|t| t.sender == binance_sender())
+            .count() as u64;
+        m.totals.logs += block
+            .body
+            .receipts
+            .iter()
+            .map(|r| r.logs.len() as u64)
+            .sum::<u64>();
+        m.totals.traces += block.body.traces.len() as u64;
+        m.totals.relay_rows += job.submissions.len() as u64;
+        for &(relay, builder) in &job.submissions {
+            m.relay_builder_pairs.push((job.day.0, relay, builder));
+        }
+
+        let rec = BlockRecord {
+            slot: job.slot,
+            day: job.day,
+            number: job.number,
+            proposer: job.proposer,
+            proposer_entity: job.entity_idx,
+            proposer_fee_recipient: job.proposer_fee_recipient,
+            fee_recipient: block.header.fee_recipient,
+            pbs_truth: job.pbs,
+            relays: job.winning_relays,
+            builder: job.builder,
+            builder_pubkey: job.pubkey,
+            promised: job.promised,
+            delivered: if job.pbs {
+                job.delivered
+            } else {
+                job.executed.block_value()
+            },
+            block_value: job.executed.block_value(),
+            priority_fees: job.executed.priority_fees,
+            direct_transfers: job.executed.direct_transfers,
+            burned: job.executed.burned,
+            payment_detected,
+            gas_used: block.header.gas_used,
+            gas_limit: block.header.gas_limit,
+            base_fee: job.base_fee,
+            tx_count: block.tx_count() as u32,
+            private_txs: job.private_txs,
+            sandwich_txs,
+            arbitrage_txs,
+            liquidation_txs,
+            mev_tx_count,
+            mev_value,
+            sanctioned,
+            delay_sum_ms: job.delay_sum_ms,
+            delay_count: job.delay_count,
+            sanctioned_delay_sum_ms: job.sanctioned_delay_sum_ms,
+            sanctioned_delay_count: job.sanctioned_delay_count,
+        };
+
+        // Deterministic value-flow counters (wei, wrapping mod 2^64):
+        // accumulated independently per component so the invariant
+        // suite can cross-check conservation against `RunArtifacts`.
+        if telemetry_on {
+            let c = &mut m.counters;
+            counter_delta(c, "scenario.slots.proposed", 1);
+            if rec.pbs_truth {
+                counter_delta(c, "scenario.pbs.blocks", 1);
+                counter_delta(c, "scenario.wei.promised", rec.promised.0 as u64);
+                counter_delta(c, "scenario.wei.delivered", rec.delivered.0 as u64);
+                counter_delta(
+                    c,
+                    "scenario.wei.shortfall",
+                    rec.promised.saturating_sub(rec.delivered).0 as u64,
+                );
+                if let Some(paid) = rec.payment_detected {
+                    counter_delta(c, "scenario.payments.detected", 1);
+                    counter_delta(c, "scenario.wei.payment_detected", paid.0 as u64);
+                }
+            } else {
+                counter_delta(c, "scenario.local.blocks", 1);
+            }
+            counter_delta(c, "scenario.wei.burned", rec.burned.0 as u64);
+            counter_delta(c, "scenario.wei.priority_fees", rec.priority_fees.0 as u64);
+            counter_delta(
+                c,
+                "scenario.wei.direct_transfers",
+                rec.direct_transfers.0 as u64,
+            );
+            counter_delta(c, "scenario.wei.block_value", rec.block_value.0 as u64);
+        }
+        m.records.push(rec);
+    }
+    m
+}
 
 /// The configured simulation, ready to run.
 pub struct Simulation {
@@ -214,6 +458,16 @@ pub struct Runner {
     totals: RunTotals,
     eden_done: bool,
     borrower_seq: u32,
+    // measurement pipeline — never serialized; drained (or empty) at
+    // every checkpointable boundary, so checkpoints stay path-exact
+    pipeline_enabled: bool,
+    day_jobs: Vec<MeasureJob>,
+    inflight: Option<JoinHandle<DayMeasure>>,
+    // per-slot scratch buffers, reused across the whole run
+    slot_tx_buf: Vec<Transaction>,
+    snapshot_buf: Vec<Transaction>,
+    bundle_scratch: Vec<Vec<mev::Bundle>>,
+    proprietary_addrs: Vec<Address>,
 }
 
 impl Runner {
@@ -253,9 +507,14 @@ impl Runner {
             ledger.mint(Address::derive(&format!("searcher:{name}")), funded);
         }
         // Proprietary searcher accounts pay large coinbase tips; fund them.
-        for entry in &cast {
-            let a = Address::derive(&format!("proprietary:{}", entry.profile.name));
-            ledger.mint(a, funded);
+        // Their derived addresses are cached: `route_bundles` needs them
+        // every slot and keccak-derivation is not free.
+        let proprietary_addrs: Vec<Address> = cast
+            .iter()
+            .map(|entry| Address::derive(&format!("proprietary:{}", entry.profile.name)))
+            .collect();
+        for a in &proprietary_addrs {
+            ledger.mint(*a, funded);
         }
 
         let topology = Topology::random(cfg.overlay_nodes, 3, 40.0, &seeds);
@@ -323,6 +582,13 @@ impl Runner {
             },
             eden_done: false,
             borrower_seq: 0,
+            pipeline_enabled: crate::env::pipeline(),
+            day_jobs: Vec::new(),
+            inflight: None,
+            slot_tx_buf: Vec::new(),
+            snapshot_buf: Vec::new(),
+            bundle_scratch: Vec::new(),
+            proprietary_addrs,
         };
         for _ in 0..20 {
             runner.open_lending_position();
@@ -649,13 +915,14 @@ impl Runner {
         }
     }
 
-    /// Routes one slot's worth of MEV bundles to each builder.
+    /// Routes one slot's worth of MEV bundles to each builder, filling the
+    /// reusable `bundle_scratch` (one vector per builder) in place.
     fn route_bundles(
         &mut self,
         base_fee: GasPrice,
         mempool_snapshot: &[Transaction],
         day: DayIndex,
-    ) -> Vec<Vec<mev::Bundle>> {
+    ) {
         let scale = self.cfg.knobs.private_flow_scale;
         let era = self.timeline.era(day);
         let activity = self.timeline.activity(day);
@@ -705,27 +972,29 @@ impl Runner {
 
         // Route each bundle to builders by flow access, plus proprietary
         // exclusive flow per builder.
-        let mut per_builder: Vec<Vec<mev::Bundle>> = vec![Vec::new(); self.builders.len()];
+        if self.bundle_scratch.len() != self.builders.len() {
+            self.bundle_scratch
+                .resize_with(self.builders.len(), Vec::new);
+        }
+        for v in &mut self.bundle_scratch {
+            v.clear();
+        }
         for bundle in all {
             for (bi, builder) in self.builders.iter().enumerate() {
                 if builder.profile.relays.is_empty() {
                     continue;
                 }
                 if self.rng.random::<f64>() < builder.profile.flow_access * scale {
-                    per_builder[bi].push(bundle.clone());
+                    self.bundle_scratch[bi].push(bundle.clone());
                 }
             }
         }
         if self.cfg.knobs.sophisticated_builders {
-            let flows: Vec<(usize, f64, String)> = self
-                .cast
-                .iter()
-                .enumerate()
-                .filter(|(bi, _)| !self.builders[*bi].profile.relays.is_empty())
-                .map(|(bi, entry)| (bi, entry.flow_mu[era], entry.profile.name.clone()))
-                .collect();
-            for (bi, mu_era, name) in flows {
-                let mu = mu_era * activity * scale.max(0.05);
+            for bi in 0..self.cast.len() {
+                if self.builders[bi].profile.relays.is_empty() {
+                    continue;
+                }
+                let mu = self.cast[bi].flow_mu[era] * activity * scale.max(0.05);
                 if mu <= 0.0 {
                     continue;
                 }
@@ -733,7 +1002,7 @@ impl Runner {
                 if value < 1e-6 {
                     continue;
                 }
-                let searcher = Address::derive(&format!("proprietary:{name}"));
+                let searcher = self.proprietary_addrs[bi];
                 let nonce = self.searcher_nonce(searcher);
                 // Exclusive flow pays mostly via priority fees on a fat
                 // transaction and partly via a coinbase bribe — matching
@@ -755,7 +1024,7 @@ impl Runner {
                 };
                 t.coinbase_tip = value_wei.mul_ratio(3, 10);
                 t.privacy = eth_types::TxPrivacy::Private { channel: 3 };
-                per_builder[bi].push(mev::Bundle {
+                self.bundle_scratch[bi].push(mev::Bundle {
                     txs: vec![t.finalize()],
                     pinned_victim: None,
                     kind: MevKind::Arbitrage, // internal tag; emits no logs
@@ -764,7 +1033,6 @@ impl Runner {
                 });
             }
         }
-        per_builder
     }
 
     /// Runs every remaining slot and returns the collected artifacts.
@@ -780,7 +1048,9 @@ impl Runner {
 
     /// Simulates every slot of the next calendar day and returns the day
     /// just completed, or `None` when the run is already finished. The
-    /// runner is checkpointable exactly at these boundaries.
+    /// runner is checkpointable exactly at these boundaries
+    /// ([`checkpoint`](Runner::checkpoint) settles the in-flight
+    /// measurement fold first).
     pub fn step_day(&mut self) -> Option<DayIndex> {
         let total_slots = self.cfg.calendar.total_slots();
         if self.next_slot >= total_slots {
@@ -793,7 +1063,66 @@ impl Runner {
             self.step_slot(Slot(self.next_slot));
             self.next_slot += 1;
         }
+        // Hand this day's deferred measurement to the fold pipeline: merge
+        // the previous day's fold first (results always land in day
+        // order), then overlap this day's fold with the next day's
+        // simulation — or fold inline when the pipeline is off. Either
+        // way the artifacts are byte-identical.
+        let jobs = std::mem::take(&mut self.day_jobs);
+        self.drain_pipeline();
+        let label_sources = self.cfg.knobs.label_sources;
+        let telemetry_on = telemetry::enabled();
+        if self.pipeline_enabled {
+            let sanctions = self.sanctions.clone();
+            self.inflight = Some(std::thread::spawn(move || {
+                fold_day(jobs, &sanctions, label_sources, telemetry_on)
+            }));
+        } else {
+            let m = fold_day(jobs, &self.sanctions, label_sources, telemetry_on);
+            self.merge_day(m);
+        }
         Some(day)
+    }
+
+    /// Joins the in-flight day fold, if any, and merges its results. After
+    /// this returns, records and totals are complete up to the last
+    /// simulated day — checkpointing and artifact assembly call it first.
+    fn drain_pipeline(&mut self) {
+        if let Some(handle) = self.inflight.take() {
+            let m = handle.join().expect("day-fold thread panicked");
+            self.merge_day(m);
+        }
+    }
+
+    /// Merges one folded day into the runner's accumulated state.
+    fn merge_day(&mut self, m: DayMeasure) {
+        self.totals.blocks += m.totals.blocks;
+        self.totals.transactions += m.totals.transactions;
+        self.totals.binance_included_txs += m.totals.binance_included_txs;
+        self.totals.logs += m.totals.logs;
+        self.totals.traces += m.totals.traces;
+        self.totals.relay_rows += m.totals.relay_rows;
+        for (i, n) in m.totals.labels_per_source.into_iter().enumerate() {
+            self.totals.labels_per_source[i] += n;
+        }
+        self.totals.union_labels += m.totals.union_labels;
+        for (d, r, b) in m.relay_builder_pairs {
+            self.relay_builders.entry((d, r)).or_default().insert(b);
+        }
+        self.blocks.extend(m.records);
+        for (name, v) in m.counters {
+            telemetry::counter_add(name, v);
+        }
+    }
+
+    /// Forces the measurement pipeline on or off for this runner,
+    /// overriding the `PBS_PIPELINE` environment knob — tests compare both
+    /// modes in one process without racing on global state. Artifacts are
+    /// byte-identical either way; only the overlap of per-day measurement
+    /// with the next day's simulation changes.
+    pub fn set_pipeline(&mut self, enabled: bool) {
+        self.drain_pipeline();
+        self.pipeline_enabled = enabled;
     }
 
     /// Simulates one slot end to end: workload → gossip → searchers →
@@ -813,15 +1142,17 @@ impl Runner {
 
         // 1. Workload.
         let workload_span = simcore::span!("driver.workload");
-        let txs = self.workload.slot_txs(
+        let mut txs = std::mem::take(&mut self.slot_tx_buf);
+        self.workload.slot_txs_into(
             day,
             base_fee,
             &self.world,
             &self.timeline,
             self.cfg.knobs.private_flow_scale,
+            &mut txs,
         );
         let t0 = simcore::SimTime::from_secs(slot.0 * eth_types::SECONDS_PER_SLOT);
-        for tx in txs {
+        for tx in txs.drain(..) {
             if tx.privacy.is_private() {
                 self.private_user_txs.push(tx);
             } else {
@@ -832,6 +1163,7 @@ impl Runner {
                 self.mempool.insert(tx);
             }
         }
+        self.slot_tx_buf = txs;
         let binance_txs = self
             .workload
             .binance_private_txs(day, base_fee, &self.timeline);
@@ -864,18 +1196,19 @@ impl Runner {
             }
         }
 
-        // 3. Snapshot the mempool view builders work from.
-        let mut snapshot = self
-            .mempool
-            .select_value_greedy(base_fee, Gas(self.cfg.gas_limit * 2));
+        // 3. Snapshot the mempool view builders work from (into the
+        // run-long scratch buffer; returned after the auction).
+        let mut snapshot = std::mem::take(&mut self.snapshot_buf);
+        self.mempool
+            .select_value_greedy_into(base_fee, Gas(self.cfg.gas_limit * 2), &mut snapshot);
         // Builders also see private user flow (protect-style RPCs).
         if self.cfg.knobs.sophisticated_builders {
             snapshot.extend(self.private_user_txs.iter().cloned());
         }
 
-        // 4. Searchers & routing.
+        // 4. Searchers & routing (fills `bundle_scratch`).
         let bundles_span = simcore::span!("driver.route_bundles");
-        let bundles = self.route_bundles(base_fee, &snapshot, day);
+        self.route_bundles(base_fee, &snapshot, day);
         drop(bundles_span);
 
         // 5. Proposer setup.
@@ -888,8 +1221,8 @@ impl Runner {
         // a locally-built block can include it — builders never see the
         // private channel — so the proposer skips MEV-Boost for the slot
         // and self-builds, exactly the F14 vanilla-block pattern.
-        let entity_name = self.registry.entity_of(proposer).name.clone();
-        let direct: Vec<Transaction> = if entity_name == "ankr" {
+        let is_ankr = self.registry.entity_of(proposer).name == "ankr";
+        let direct: Vec<Transaction> = if is_ankr {
             std::mem::take(&mut self.binance_queue)
         } else {
             Vec::new()
@@ -934,11 +1267,11 @@ impl Runner {
             jitter_max_frac: 0.02,
             timing: self.timing.as_ref(),
         };
-        let slot_seeds = self.seeds.subdomain(&format!("slot:{s}"));
+        let slot_seeds = self.seeds.subdomain_indexed("slot", s);
         let auction_span = simcore::span!("driver.auction");
         let mut result = auction.run(
             &mut self.builders,
-            &bundles,
+            &self.bundle_scratch,
             &snapshot,
             &mut self.relays,
             client.as_ref(),
@@ -949,6 +1282,8 @@ impl Runner {
             dishonest,
         );
         drop(auction_span);
+        snapshot.clear();
+        self.snapshot_buf = snapshot;
 
         // Persist the boost decision trail while faults are active, and
         // miss the slot entirely when a signed header proved
@@ -1018,11 +1353,13 @@ impl Runner {
             &mut self.ledger,
             &mut self.world,
         );
-        let block = &executed.block;
         drop(execute_span);
 
-        // 8. Measure.
-        let measure_span = simcore::span!("driver.measure");
+        // 8. Observe propagation. This part of measurement must stay on
+        // the simulation path — it consumes the observation log, which
+        // later slots and checkpoints read. Everything else (records, MEV
+        // labels, totals, counters) is deferred to the per-day fold.
+        let observe_span = simcore::span!("driver.observe");
         let mut private_txs = 0u32;
         let mut delay_sum_ms = 0u64;
         let mut delay_count = 0u32;
@@ -1031,7 +1368,7 @@ impl Runner {
         let inclusion_time = simcore::SimTime::from_secs(
             slot.0 * eth_types::SECONDS_PER_SLOT + eth_types::SECONDS_PER_SLOT,
         );
-        for tx in &block.body.transactions {
+        for tx in &executed.block.body.transactions {
             if let Some(first_seen) = self.obs_log.first_seen(&tx.hash) {
                 let delay = inclusion_time.millis_since(first_seen);
                 delay_sum_ms += delay;
@@ -1045,126 +1382,60 @@ impl Runner {
                 private_txs += 1;
             }
         }
-        let (sandwich_txs, arbitrage_txs, liquidation_txs, mev_tx_count, mev_value) =
-            self.label_block(block, base_fee);
-        let sanctioned = pbs::block_touches_sanctioned(block, &self.sanctions, day);
-        let payment_detected = block.last_tx().and_then(|t| {
-            (t.sender == block.header.fee_recipient && t.to != t.sender).then_some(t.value)
-        });
+        drop(observe_span);
 
-        self.totals.blocks += 1;
-        self.totals.transactions += block.tx_count() as u64;
-        self.totals.binance_included_txs += block
+        // 9. Chain bookkeeping (before the fold handoff below moves the
+        // executed block out of the slot).
+        self.beacon
+            .record_proposal(slot, executed.block.header.hash);
+        self.fee_market.on_block(executed.block.header.gas_used);
+        self.mempool
+            .prune_included(executed.block.body.transactions.iter().map(|t| &t.hash));
+        // Consume included private user txs.
+        let included: FxHashSet<TxHash> = executed
+            .block
             .body
             .transactions
             .iter()
-            .filter(|t| t.sender == binance_sender())
-            .count() as u64;
-        self.totals.logs += block
-            .body
-            .receipts
-            .iter()
-            .map(|r| r.logs.len() as u64)
-            .sum::<u64>();
-        self.totals.traces += block.body.traces.len() as u64;
-        self.totals.relay_rows += result.submissions.len() as u64;
-        for sub in &result.submissions {
-            self.relay_builders
-                .entry((day.0, sub.relay.0))
-                .or_default()
-                .insert(sub.builder.0);
-        }
+            .map(|t| t.hash)
+            .collect();
+        self.private_user_txs
+            .retain(|t| !included.contains(&t.hash));
 
-        self.blocks.push(BlockRecord {
+        // Defer record assembly, labelling, totals and counters to the
+        // per-day measurement fold (see `fold_day`).
+        self.day_jobs.push(MeasureJob {
             slot,
             day,
             number,
             proposer,
-            proposer_entity: entity_idx,
+            entity_idx,
             proposer_fee_recipient: validator.fee_recipient,
-            fee_recipient: block.header.fee_recipient,
-            pbs_truth: result.pbs,
-            relays: result.winning_relays.clone(),
-            builder: result.builder,
-            builder_pubkey: result.pubkey,
-            promised: result.promised,
-            delivered: if result.pbs {
-                result.delivered
-            } else {
-                executed.block_value()
-            },
-            block_value: executed.block_value().saturating_sub(if result.pbs {
-                // The payment tx itself is a transfer, not block value;
-                // exclude nothing: payment carries no tip/bribe.
-                Wei::ZERO
-            } else {
-                Wei::ZERO
-            }),
-            priority_fees: executed.priority_fees,
-            direct_transfers: executed.direct_transfers,
-            burned: executed.burned,
-            payment_detected,
-            gas_used: block.header.gas_used,
-            gas_limit: block.header.gas_limit,
             base_fee,
-            tx_count: block.tx_count() as u32,
+            pbs: result.pbs,
+            winning_relays: result.winning_relays,
+            builder: result.builder,
+            pubkey: result.pubkey,
+            promised: result.promised,
+            delivered: result.delivered,
+            submissions: result
+                .submissions
+                .iter()
+                .map(|sub| (sub.relay.0, sub.builder.0))
+                .collect(),
+            executed,
             private_txs,
-            sandwich_txs,
-            arbitrage_txs,
-            liquidation_txs,
-            mev_tx_count,
-            mev_value,
-            sanctioned,
             delay_sum_ms,
             delay_count,
             sanctioned_delay_sum_ms,
             sanctioned_delay_count,
         });
-        drop(measure_span);
-
-        // Deterministic value-flow counters (wei, wrapping mod 2^64):
-        // accumulated independently per component so the invariant
-        // suite can cross-check conservation against `RunArtifacts`.
-        if telemetry::enabled() {
-            let rec = self.blocks.last().expect("just pushed");
-            telemetry::counter_add("scenario.slots.proposed", 1);
-            if rec.pbs_truth {
-                telemetry::counter_add("scenario.pbs.blocks", 1);
-                telemetry::counter_add("scenario.wei.promised", rec.promised.0 as u64);
-                telemetry::counter_add("scenario.wei.delivered", rec.delivered.0 as u64);
-                telemetry::counter_add(
-                    "scenario.wei.shortfall",
-                    rec.promised.saturating_sub(rec.delivered).0 as u64,
-                );
-                if let Some(paid) = rec.payment_detected {
-                    telemetry::counter_add("scenario.payments.detected", 1);
-                    telemetry::counter_add("scenario.wei.payment_detected", paid.0 as u64);
-                }
-            } else {
-                telemetry::counter_add("scenario.local.blocks", 1);
-            }
-            telemetry::counter_add("scenario.wei.burned", rec.burned.0 as u64);
-            telemetry::counter_add("scenario.wei.priority_fees", rec.priority_fees.0 as u64);
-            telemetry::counter_add(
-                "scenario.wei.direct_transfers",
-                rec.direct_transfers.0 as u64,
-            );
-            telemetry::counter_add("scenario.wei.block_value", rec.block_value.0 as u64);
-        }
-
-        // 9. Chain bookkeeping.
-        self.beacon.record_proposal(slot, block.header.hash);
-        self.fee_market.on_block(block.header.gas_used);
-        self.mempool
-            .prune_included(block.body.transactions.iter().map(|t| &t.hash));
-        // Consume included private user txs.
-        let included: BTreeSet<_> = block.body.transactions.iter().map(|t| t.hash).collect();
-        self.private_user_txs
-            .retain(|t| !included.contains(&t.hash));
     }
 
-    /// Consumes the runner and assembles the run's artifacts.
-    pub fn finish(self) -> RunArtifacts {
+    /// Consumes the runner and assembles the run's artifacts (joining the
+    /// last day's measurement fold first).
+    pub fn finish(mut self) -> RunArtifacts {
+        self.drain_pipeline();
         let relay_builders_daily = self
             .relay_builders
             .iter()
@@ -1213,8 +1484,13 @@ impl Runner {
     /// adds it). Leads with a digest of the configuration so a checkpoint
     /// can never silently resume a different run. Must be called at a day
     /// boundary: the relay escrow is only guaranteed drained there.
-    pub fn checkpoint(&self) -> Vec<u8> {
+    ///
+    /// Settles the measurement pipeline first — an in-flight day fold is
+    /// joined and merged, so the serialized record state is complete and
+    /// the checkpoint bytes match an unpipelined run exactly.
+    pub fn checkpoint(&mut self) -> Vec<u8> {
         use simcore::Snapshot;
+        self.drain_pipeline();
         let _span = simcore::span!("runner.checkpoint");
         let mut w = simcore::SnapWriter::new();
         w.bytes(&simcore::sha256(format!("{:?}", self.cfg).as_bytes()));
@@ -1255,6 +1531,11 @@ impl Runner {
     /// discard it and build a new one.
     pub fn restore(&mut self, body: &[u8]) -> Result<(), SnapshotError> {
         use simcore::Snapshot;
+        // A fold still in flight would merge stale records after the
+        // restore; settle it first (everything it merges is then
+        // overwritten below).
+        self.drain_pipeline();
+        self.day_jobs.clear();
         let mut r = simcore::SnapReader::new(body);
         let digest = r.bytes(32)?;
         if digest != simcore::sha256(format!("{:?}", self.cfg).as_bytes()).as_slice() {
@@ -1297,48 +1578,6 @@ impl Runner {
         r.expect_end()?;
         telemetry::restore_counters(&counters);
         Ok(())
-    }
-
-    /// Runs the enabled label providers over a block and unions the result.
-    fn label_block(
-        &mut self,
-        block: &eth_types::Block,
-        base_fee: GasPrice,
-    ) -> (u32, u32, u32, u32, Wei) {
-        let mut union: BTreeMap<eth_types::TxHash, MevKind> = BTreeMap::new();
-        for (i, source) in LabelSource::ALL.iter().enumerate() {
-            if !self.cfg.knobs.label_sources[i] {
-                continue;
-            }
-            let labels = source.label_block(block);
-            self.totals.labels_per_source[i] += labels.len() as u64;
-            for l in labels {
-                union.entry(l.tx_hash).or_insert(l.kind);
-            }
-        }
-        self.totals.union_labels += union.len() as u64;
-        let mut counts = [0u32; 3];
-        for kind in union.values() {
-            counts[match kind {
-                MevKind::Sandwich => 0,
-                MevKind::Arbitrage => 1,
-                MevKind::Liquidation => 2,
-            }] += 1;
-        }
-        let mev_value: Wei = block
-            .body
-            .transactions
-            .iter()
-            .filter(|t| union.contains_key(&t.hash))
-            .map(|t| t.producer_value(base_fee))
-            .sum();
-        (
-            counts[0],
-            counts[1],
-            counts[2],
-            union.len() as u32,
-            mev_value,
-        )
     }
 }
 
@@ -1551,6 +1790,43 @@ mod tests {
             assert_eq!(run.fault_events, baseline.fault_events);
             assert_eq!(run.relay_builders_daily, baseline.relay_builders_daily);
         }
+    }
+
+    #[test]
+    fn checkpoint_bytes_are_identical_with_and_without_pipelining() {
+        // `checkpoint` drains the in-flight day fold before encoding, so a
+        // snapshot taken mid-pipeline must be byte-identical to one from a
+        // purely sequential runner — counters, interning order and all.
+        let cfg = ScenarioConfig::test_small(42, 3);
+        let mut on = Runner::new(&cfg);
+        on.set_pipeline(true);
+        let mut off = Runner::new(&cfg);
+        off.set_pipeline(false);
+        for _ in 0..2 {
+            on.step_day();
+            off.step_day();
+        }
+        assert_eq!(on.checkpoint(), off.checkpoint());
+    }
+
+    #[test]
+    fn restore_discards_an_inflight_day_fold() {
+        // Restoring must join and discard any fold still in flight from
+        // the pre-restore timeline, then replay to the same artifacts.
+        let cfg = ScenarioConfig::test_small(42, 3);
+        let baseline = Runner::new(&cfg).run();
+        let mut donor = Runner::new(&cfg);
+        donor.step_day();
+        let body = donor.checkpoint();
+        let mut resumed = Runner::new(&cfg);
+        resumed.set_pipeline(true);
+        resumed.step_day();
+        resumed.step_day(); // leaves day 1's fold in flight
+        resumed.restore(&body).unwrap();
+        let run = resumed.run();
+        assert_eq!(run.blocks, baseline.blocks);
+        assert_eq!(run.totals, baseline.totals);
+        assert_eq!(run.relay_builders_daily, baseline.relay_builders_daily);
     }
 
     #[test]

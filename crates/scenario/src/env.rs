@@ -3,19 +3,156 @@
 //! Every subcommand and subsystem reads its knobs through these helpers
 //! so garbage values fail loudly and identically everywhere — a typo'd
 //! `PBS_THREADS=fast` or `PBS_SWEEP_JOBS=-2` must never silently fall
-//! back to a default and burn hours at the wrong configuration. The
-//! knobs:
+//! back to a default and burn hours at the wrong configuration.
 //!
-//! * `PBS_THREADS` — rayon worker count (positive),
-//! * `PBS_CHECKPOINT_EVERY` — checkpoint every N days (non-negative,
-//!   0 disables),
-//! * `PBS_CHECKPOINT_DIR` — checkpoint directory,
-//! * `PBS_CHECKPOINT_KEEP` — checkpoint retention (clamped to ≥ 1),
-//! * `PBS_SWEEP_JOBS` — concurrent sweep worker processes (positive),
-//! * `PBS_KILL_AFTER_DAY` / `PBS_SWEEP_KILL_AFTER_JOBS` — crash-test
-//!   hooks (non-negative; never set in normal operation).
+//! Every knob the workspace understands is declared in [`KNOBS`]; the
+//! named accessors below resolve their variable name through that
+//! registry, so an accessor for an undeclared knob panics (and the README
+//! reference table, rendered by [`knob_table_markdown`], can never drift
+//! from the code).
 
 use std::path::PathBuf;
+
+/// One `PBS_*` environment knob: its name, the shape of accepted values,
+/// its default, and a one-line description of what it changes.
+pub struct Knob {
+    /// The environment variable, e.g. `PBS_THREADS`.
+    pub name: &'static str,
+    /// Accepted values, human-readable (e.g. "positive integer").
+    pub shape: &'static str,
+    /// Behaviour when unset, human-readable.
+    pub default: &'static str,
+    /// What the knob changes.
+    pub effect: &'static str,
+}
+
+/// The authoritative registry of every `PBS_*` knob the workspace reads.
+pub const KNOBS: &[Knob] = &[
+    Knob {
+        name: "PBS_THREADS",
+        shape: "positive integer",
+        default: "rayon picks (all cores)",
+        effect: "Pins the rayon worker count; artifacts are byte-identical for any value.",
+    },
+    Knob {
+        name: "PBS_PIPELINE",
+        shape: "`0` or `1`",
+        default: "`1` (on)",
+        effect: "Overlaps each day's measurement fold with the next day's simulation; `0` folds inline. Artifacts are byte-identical either way.",
+    },
+    Knob {
+        name: "PBS_BPD",
+        shape: "positive integer",
+        default: "360",
+        effect: "Blocks per simulated day for the paper-artifact runs (7200 = mainnet scale).",
+    },
+    Knob {
+        name: "PBS_TELEMETRY",
+        shape: "`1`/`true`/`on` to enable",
+        default: "off",
+        effect: "Turns on counters, spans and histograms (parsed in `simcore::telemetry`).",
+    },
+    Knob {
+        name: "PBS_TELEMETRY_OUT",
+        shape: "directory path",
+        default: "`telemetry/`",
+        effect: "Directory for the end-of-run `telemetry.{json,prom}` snapshot files.",
+    },
+    Knob {
+        name: "PBS_SEED",
+        shape: "non-negative integer",
+        default: "42",
+        effect: "Master seed for the paper-artifact runs; every stream derives from it.",
+    },
+    Knob {
+        name: "PBS_OUT",
+        shape: "directory path",
+        default: "`out/`",
+        effect: "Output directory for the paper-artifact bundle.",
+    },
+    Knob {
+        name: "PBS_CHECKPOINT_EVERY",
+        shape: "non-negative integer",
+        default: "0 (off)",
+        effect: "Checkpoint cadence in days; 0 disables checkpointing.",
+    },
+    Knob {
+        name: "PBS_CHECKPOINT_DIR",
+        shape: "directory path",
+        default: "`checkpoints/`",
+        effect: "Where checkpoint files land (created on demand).",
+    },
+    Knob {
+        name: "PBS_CHECKPOINT_KEEP",
+        shape: "non-negative integer",
+        default: "3",
+        effect: "Checkpoint retention, clamped to at least one file.",
+    },
+    Knob {
+        name: "PBS_SWEEP_JOBS",
+        shape: "positive integer",
+        default: "1",
+        effect: "Concurrent sweep worker processes for the sweep orchestrator.",
+    },
+    Knob {
+        name: "PBS_BENCH_DAYS",
+        shape: "positive integer",
+        default: "30",
+        effect: "Days simulated per `bench_parallel` measurement run.",
+    },
+    Knob {
+        name: "PBS_EPBS_DAYS",
+        shape: "positive integer",
+        default: "60",
+        effect: "Days simulated by the `epbs` counterfactual binary.",
+    },
+    Knob {
+        name: "PBS_ABL_DAYS",
+        shape: "positive integer",
+        default: "60",
+        effect: "Days simulated per `ablations` configuration.",
+    },
+    Knob {
+        name: "PBS_KILL_AFTER_DAY",
+        shape: "non-negative integer",
+        default: "unset (never)",
+        effect: "Crash-test hook: SIGKILL the process after this day's checkpoint lands.",
+    },
+    Knob {
+        name: "PBS_SWEEP_KILL_AFTER_JOBS",
+        shape: "non-negative integer",
+        default: "unset (never)",
+        effect: "Crash-test hook: SIGKILL the sweep orchestrator after N completed jobs.",
+    },
+];
+
+/// Renders [`KNOBS`] as the GitHub-flavoured markdown table embedded in
+/// the README's "Environment knobs" section; a unit test asserts the
+/// README copy matches, so the table cannot drift from the registry.
+pub fn knob_table_markdown() -> String {
+    let mut out = String::from(
+        "| Variable | Accepts | Default | Effect |\n\
+         | --- | --- | --- | --- |\n",
+    );
+    for k in KNOBS {
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} |\n",
+            k.name, k.shape, k.default, k.effect
+        ));
+    }
+    out
+}
+
+/// Resolves `name` through [`KNOBS`], panicking on an undeclared knob so
+/// an accessor can never read a variable the registry (and therefore the
+/// README table) does not document.
+fn registered(name: &str) -> &'static str {
+    KNOBS
+        .iter()
+        .find(|k| k.name == name)
+        .map(|k| k.name)
+        .unwrap_or_else(|| panic!("knob {name} is not declared in scenario::env::KNOBS"))
+}
 
 /// The raw value of `name`, if set.
 fn raw(name: &str) -> Option<String> {
@@ -59,40 +196,98 @@ pub fn dir(name: &str) -> Option<PathBuf> {
 
 /// `PBS_THREADS`: the pinned rayon worker count.
 pub fn threads() -> Option<usize> {
-    positive("PBS_THREADS").map(|n| n as usize)
+    positive(registered("PBS_THREADS")).map(|n| n as usize)
+}
+
+/// `PBS_PIPELINE`: whether the driver overlaps each day's measurement
+/// fold with the next day's simulation. Defaults to on; only `0`
+/// (off) and `1` (on) are accepted.
+///
+/// # Panics
+///
+/// When set to anything but `0` or `1` — the pipeline is
+/// artifact-invisible, so a typo must not silently flip it.
+pub fn pipeline() -> bool {
+    parse_pipeline(raw(registered("PBS_PIPELINE")).as_deref())
+}
+
+fn parse_pipeline(v: Option<&str>) -> bool {
+    match v {
+        None => true,
+        Some(v) => match v.trim() {
+            "0" => false,
+            "1" => true,
+            _ => panic!("PBS_PIPELINE must be 0 or 1, got {v:?}"),
+        },
+    }
+}
+
+/// `PBS_BPD`: blocks per simulated day for paper-artifact runs.
+pub fn bpd() -> Option<u32> {
+    positive(registered("PBS_BPD")).map(|n| n as u32)
+}
+
+/// `PBS_TELEMETRY_OUT`: where the end-of-run telemetry snapshot lands.
+pub fn telemetry_out() -> Option<PathBuf> {
+    dir(registered("PBS_TELEMETRY_OUT"))
+}
+
+/// `PBS_SEED`: master seed for paper-artifact runs.
+pub fn seed() -> Option<u64> {
+    non_negative(registered("PBS_SEED"))
+}
+
+/// `PBS_OUT`: output directory for the paper-artifact bundle.
+pub fn out_dir() -> Option<PathBuf> {
+    dir(registered("PBS_OUT"))
+}
+
+/// `PBS_EPBS_DAYS`: window length for the `epbs` counterfactual.
+pub fn epbs_days() -> Option<u32> {
+    positive(registered("PBS_EPBS_DAYS")).map(|n| n as u32)
+}
+
+/// `PBS_ABL_DAYS`: window length per `ablations` configuration.
+pub fn ablation_days() -> Option<u32> {
+    positive(registered("PBS_ABL_DAYS")).map(|n| n as u32)
 }
 
 /// `PBS_CHECKPOINT_EVERY`: checkpoint cadence in days (0 = off).
 pub fn checkpoint_every() -> Option<u32> {
-    non_negative("PBS_CHECKPOINT_EVERY").map(|n| n as u32)
+    non_negative(registered("PBS_CHECKPOINT_EVERY")).map(|n| n as u32)
 }
 
 /// `PBS_CHECKPOINT_DIR`: where checkpoint files land.
 pub fn checkpoint_dir() -> Option<PathBuf> {
-    dir("PBS_CHECKPOINT_DIR")
+    dir(registered("PBS_CHECKPOINT_DIR"))
 }
 
 /// `PBS_CHECKPOINT_KEEP`: retention, clamped to at least one file so a
 /// resumable run always leaves a restart point.
 pub fn checkpoint_keep() -> Option<usize> {
-    non_negative("PBS_CHECKPOINT_KEEP").map(|n| (n as usize).max(1))
+    non_negative(registered("PBS_CHECKPOINT_KEEP")).map(|n| (n as usize).max(1))
 }
 
 /// `PBS_SWEEP_JOBS`: concurrent sweep worker processes.
 pub fn sweep_jobs() -> Option<usize> {
-    positive("PBS_SWEEP_JOBS").map(|n| n as usize)
+    positive(registered("PBS_SWEEP_JOBS")).map(|n| n as usize)
+}
+
+/// `PBS_BENCH_DAYS`: days simulated per `bench_parallel` measurement.
+pub fn bench_days() -> Option<u32> {
+    positive(registered("PBS_BENCH_DAYS")).map(|n| n as u32)
 }
 
 /// `PBS_KILL_AFTER_DAY`: crash-test hook — SIGKILL the process after
 /// this day's checkpoint lands.
 pub fn kill_after_day() -> Option<u32> {
-    non_negative("PBS_KILL_AFTER_DAY").map(|n| n as u32)
+    non_negative(registered("PBS_KILL_AFTER_DAY")).map(|n| n as u32)
 }
 
 /// `PBS_SWEEP_KILL_AFTER_JOBS`: crash-test hook — SIGKILL the sweep
 /// orchestrator once this many jobs have completed.
 pub fn sweep_kill_after_jobs() -> Option<usize> {
-    non_negative("PBS_SWEEP_KILL_AFTER_JOBS").map(|n| n as usize)
+    non_negative(registered("PBS_SWEEP_KILL_AFTER_JOBS")).map(|n| n as usize)
 }
 
 #[cfg(test)]
@@ -166,6 +361,57 @@ mod tests {
         rejects("PBS_TEST_POS_EMPTY", "", || {
             let _ = positive("PBS_TEST_POS_EMPTY");
         });
+    }
+
+    #[test]
+    fn every_knob_is_well_formed_and_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for k in KNOBS {
+            assert!(
+                k.name.starts_with("PBS_"),
+                "{} lacks the PBS_ prefix",
+                k.name
+            );
+            assert!(seen.insert(k.name), "duplicate knob {}", k.name);
+            assert!(!k.shape.is_empty() && !k.default.is_empty() && !k.effect.is_empty());
+        }
+    }
+
+    #[test]
+    fn accessors_resolve_through_the_registry() {
+        assert_eq!(registered("PBS_THREADS"), "PBS_THREADS");
+        assert!(std::panic::catch_unwind(|| registered("PBS_NOT_A_KNOB")).is_err());
+    }
+
+    #[test]
+    fn pipeline_accepts_only_binary_values() {
+        assert!(parse_pipeline(None));
+        assert!(parse_pipeline(Some("1")));
+        assert!(parse_pipeline(Some(" 1 ")));
+        assert!(!parse_pipeline(Some("0")));
+        assert!(std::panic::catch_unwind(|| parse_pipeline(Some("yes"))).is_err());
+        assert!(std::panic::catch_unwind(|| parse_pipeline(Some(""))).is_err());
+    }
+
+    #[test]
+    fn readme_table_matches_the_registry() {
+        let readme =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"))
+                .expect("workspace README.md");
+        let table = knob_table_markdown();
+        for k in KNOBS {
+            assert!(
+                table.contains(k.name),
+                "rendered table is missing {}",
+                k.name
+            );
+        }
+        assert!(
+            readme.contains(&table),
+            "README env-knob table is out of date — regenerate it from \
+             scenario::env::knob_table_markdown() (every knob the registry \
+             declares must be listed verbatim)"
+        );
     }
 
     #[test]

@@ -17,10 +17,16 @@
 //! * [`driver`] — the day-stepped simulation state machine,
 //! * [`checkpoint`] — crash-safe checkpoint files: atomic writes,
 //!   retention, and newest-valid discovery for resumable runs,
-//! * [`env`] — centralized parsing of the `PBS_*` environment knobs,
+//! * [`mod@env`] — centralized parsing of the `PBS_*` environment knobs,
 //! * [`sweep`] — multi-seed × multi-config campaign orchestration: the
 //!   declarative job matrix, the resumable sweep state, and the bounded
 //!   worker scheduler.
+//!
+//! Every public item in this crate is documented; the `missing_docs`
+//! warning below and the CI `cargo doc --no-deps` job (with warnings
+//! denied) keep it that way.
+
+#![warn(missing_docs)]
 
 pub mod cast;
 pub mod checkpoint;

@@ -15,8 +15,7 @@ use eth_types::{
 use pbs::SanctionsList;
 use rand::rngs::StdRng;
 use rand::Rng;
-use simcore::{LogNormal, Poisson, SeedDomain};
-use std::collections::HashMap;
+use simcore::{FxHashMap, LogNormal, Poisson, SeedDomain};
 
 /// The documented Binance hot-wallet pair of §5.3.
 pub fn binance_sender() -> Address {
@@ -64,7 +63,10 @@ pub fn sanctions_entries() -> (SanctionsList, Vec<(Address, DayIndex)>) {
 pub struct WorkloadGenerator {
     users: Vec<Address>,
     sanctioned: Vec<(Address, DayIndex)>,
-    nonces: HashMap<Address, u64>,
+    nonces: FxHashMap<Address, u64>,
+    /// Scratch for the freshly-designated surge targets of the current
+    /// day; rebuilt per call, reusing the allocation.
+    fresh: Vec<Address>,
     rng: StdRng,
     /// Mean public transactions per slot at activity 1.0.
     pub txs_per_slot: f64,
@@ -89,7 +91,8 @@ impl WorkloadGenerator {
         WorkloadGenerator {
             users,
             sanctioned,
-            nonces: HashMap::new(),
+            nonces: FxHashMap::default(),
+            fresh: Vec::new(),
             rng: seeds.rng("workload"),
             txs_per_slot,
             private_fraction,
@@ -158,34 +161,56 @@ impl WorkloadGenerator {
         timeline: &Timeline,
         private_flow_scale: f64,
     ) -> Vec<Transaction> {
+        let mut out = Vec::new();
+        self.slot_txs_into(day, base_fee, world, timeline, private_flow_scale, &mut out);
+        out
+    }
+
+    /// [`slot_txs`](Self::slot_txs) writing into a caller-owned buffer
+    /// (cleared first): the driver calls this once per slot and reuses one
+    /// allocation for the whole run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn slot_txs_into(
+        &mut self,
+        day: DayIndex,
+        base_fee: GasPrice,
+        world: &DefiWorld,
+        timeline: &Timeline,
+        private_flow_scale: f64,
+        out: &mut Vec<Transaction>,
+    ) {
+        out.clear();
         let activity = timeline.activity(day);
         // Demand elasticity anchors the fee market: volume thins when the
         // base fee runs hot, recovering the paper's ~72% burned share.
         let base_gwei = base_fee.as_gwei().max(1.0);
         let demand = (15.0 / base_gwei).powf(0.6).clamp(0.3, 1.3);
         let n = Poisson::new(self.txs_per_slot * activity * demand).sample(&mut self.rng);
-        let mut out = Vec::with_capacity(n as usize);
+        out.reserve(n as usize);
+        // Freshly designated addresses surge for a few days as funds
+        // scramble — this is why the paper finds relay leaks clustered
+        // right after OFAC updates (§6): the relays' blacklists lag. The
+        // set depends only on the day (no draws), so it is hoisted out of
+        // the per-transaction loop.
+        self.fresh.clear();
+        self.fresh.extend(
+            self.sanctioned
+                .iter()
+                .filter(|(_, eff)| day.0 >= eff.0 && day.0 < eff.0 + 3 && eff.0 > 0)
+                .map(|(a, _)| *a),
+        );
         for _ in 0..n {
             let sender = self.pick_user();
             let (tip, cap) = self.fee_bid(base_fee);
             let roll: f64 = self.rng.random();
-
-            // Freshly designated addresses surge for a few days as funds
-            // scramble — this is why the paper finds relay leaks clustered
-            // right after OFAC updates (§6): the relays' blacklists lag.
-            let fresh: Vec<Address> = self
-                .sanctioned
-                .iter()
-                .filter(|(_, eff)| day.0 >= eff.0 && day.0 < eff.0 + 3 && eff.0 > 0)
-                .map(|(a, _)| *a)
-                .collect();
-            let surge = if fresh.is_empty() { 1.0 } else { 4.0 };
+            let surge = if self.fresh.is_empty() { 1.0 } else { 4.0 };
             let mut tx = if roll < self.sanctioned_fraction * surge {
                 // Sanctioned traffic: an ETH transfer to or from a listed
                 // address (we model the "to" side; "from" needs the listed
                 // party to act, which it also does occasionally).
-                let target = if !fresh.is_empty() && self.rng.random::<f64>() < 0.7 {
-                    fresh[self.rng.random_range(0..fresh.len())]
+                let target = if !self.fresh.is_empty() && self.rng.random::<f64>() < 0.7 {
+                    let fi = self.rng.random_range(0..self.fresh.len());
+                    self.fresh[fi]
                 } else {
                     let si = self.rng.random_range(0..self.sanctioned.len());
                     self.sanctioned[si].0
@@ -310,7 +335,6 @@ impl WorkloadGenerator {
             }
             out.push(tx.finalize());
         }
-        out
     }
 
     /// The December Binance→AnkrPool direct transfers (§5.3): plain ETH
@@ -393,7 +417,7 @@ mod tests {
         let mut g = generator();
         let world = DefiWorld::standard(2);
         let t = Timeline;
-        let mut per_sender: HashMap<Address, Vec<u64>> = HashMap::new();
+        let mut per_sender: std::collections::HashMap<Address, Vec<u64>> = Default::default();
         for _ in 0..30 {
             for tx in g.slot_txs(DayIndex(10), base(), &world, &t, 1.0) {
                 per_sender.entry(tx.sender).or_default().push(tx.nonce);

@@ -12,7 +12,7 @@
 //! the slot loop, and retries/fallbacks are resolved in subscription
 //! order, so a faulted run is just as thread-invariant as a clean one.
 
-use scenario::{AuctionTimingConfig, FaultConfig, ScenarioConfig, Simulation};
+use scenario::{AuctionTimingConfig, FaultConfig, Runner, ScenarioConfig, Simulation};
 
 /// Serializes a full 7-day run at a given global thread count.
 fn run_serialized(seed: u64, threads: usize, faults: FaultConfig) -> String {
@@ -103,4 +103,34 @@ fn artifacts_are_byte_identical_across_thread_counts() {
         .num_threads(0)
         .build_global()
         .unwrap();
+}
+
+/// The measurement pipeline — day N's analysis fold overlapped with day
+/// N+1's slot loop — must be invisible in the artifacts: a pipelined run
+/// is byte-identical to an unpipelined one at every thread count, with
+/// and without faults.
+#[test]
+fn pipelining_is_artifact_invisible() {
+    for threads in [1usize, 4] {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .unwrap();
+        for faults in [FaultConfig::off(), FaultConfig::paper_incidents()] {
+            let cfg = ScenarioConfig {
+                faults,
+                ..ScenarioConfig::test_small(42, 5)
+            };
+            let mut on = Runner::new(&cfg);
+            on.set_pipeline(true);
+            let mut off = Runner::new(&cfg);
+            off.set_pipeline(false);
+            let pipelined = serde_json::to_string(&on.run()).expect("RunArtifacts serializes");
+            let sequential = serde_json::to_string(&off.run()).expect("RunArtifacts serializes");
+            assert_eq!(
+                pipelined, sequential,
+                "pipelining must be artifact-invisible at {threads} threads"
+            );
+        }
+    }
 }

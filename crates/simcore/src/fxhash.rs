@@ -1,0 +1,116 @@
+//! A cheap, deterministic hasher for hot-path membership structures.
+//!
+//! The default `std` hasher (SipHash) is keyed per process and an order
+//! of magnitude slower than needed for the simulator's internal sets —
+//! conflict tracking in the block packer, per-slot inclusion checks in
+//! the driver. Those structures are pure membership queries: nothing
+//! ever iterates them into an artifact, so the hash function is not part
+//! of the determinism contract and can be as cheap as possible.
+//!
+//! This is the classic "Fx" multiply-rotate hash (as used by rustc).
+//! It is **not** collision-resistant and must never feed anything that
+//! reaches an artifact, a checkpoint, or a golden digest — integrity
+//! hashing stays on SHA-256 ([`crate::sha256`]) and seed derivation on
+//! Keccak ([`crate::SeedDomain`]).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const ROTATE: u32 = 5;
+const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, fixed-key, non-cryptographic [`Hasher`].
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED64);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// [`HashMap`] keyed by [`FxHasher`] — for internal lookups only.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// [`HashSet`] keyed by [`FxHasher`] — for internal membership only.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(b"slot:17"), hash_of(b"slot:17"));
+        assert_ne!(hash_of(b"slot:17"), hash_of(b"slot:18"));
+    }
+
+    #[test]
+    fn tail_length_disambiguates_zero_padding() {
+        // A short input must not collide with itself plus trailing zeros
+        // (the tail word encodes the remainder length).
+        assert_ne!(hash_of(&[1]), hash_of(&[1, 0]));
+        assert_ne!(hash_of(&[]), hash_of(&[0]));
+    }
+
+    #[test]
+    fn set_and_map_aliases_behave() {
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        assert!(set.insert(7));
+        assert!(!set.insert(7));
+        assert!(set.contains(&7));
+        let mut map: FxHashMap<&str, u32> = FxHashMap::default();
+        map.insert("a", 1);
+        assert_eq!(map.get("a"), Some(&1));
+    }
+}

@@ -11,6 +11,10 @@
 //! given a seed — the same scenario seed always produces the same chain,
 //! byte for byte.
 //!
+//! Every public item in this crate is documented; the `missing_docs`
+//! warning below and the CI `cargo doc --no-deps` job (with warnings
+//! denied) keep it that way.
+//!
 //! # Example
 //!
 //! ```
@@ -31,12 +35,15 @@
 //! assert_eq!(q.pop().unwrap().1, "first");
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod arena;
 pub mod digest;
 pub mod dist;
 pub mod events;
 pub mod faults;
 pub mod fsio;
+pub mod fxhash;
 pub mod metrics;
 pub mod rng;
 pub mod snapshot;
@@ -50,6 +57,7 @@ pub use dist::{Exponential, LogNormal, Pareto, Poisson};
 pub use events::EventQueue;
 pub use faults::{ComponentFaults, FaultProfile, FaultSchedule, Health};
 pub use fsio::atomic_write;
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use metrics::MetricsRegistry;
 pub use rng::SeedDomain;
 pub use snapshot::{SnapReader, SnapWriter, Snapshot, SnapshotError};

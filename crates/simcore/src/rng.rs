@@ -6,10 +6,66 @@
 //! guaranteeing that adding a new component never perturbs the random
 //! stream of an existing one — the property that makes ablation experiments
 //! comparable run-to-run.
+//!
+//! Seed strings are composed into a stack buffer before hashing: the hot
+//! path derives thousands of per-slot streams ("slot:N", "build#i", …)
+//! and must not pay a heap allocation per derivation. The *bytes* hashed
+//! are identical to the former `format!`-built strings, so every derived
+//! stream — and therefore every artifact — is unchanged.
 
 use eth_types::H256;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::fmt::{self, Write};
+
+/// Stack-first byte buffer for composing seed labels without a heap
+/// allocation; spills to the heap only for unusually long labels.
+struct LabelBuf {
+    inline: [u8; 96],
+    len: usize,
+    spill: Vec<u8>,
+}
+
+impl LabelBuf {
+    fn new() -> Self {
+        LabelBuf {
+            inline: [0; 96],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    fn as_bytes(&self) -> &[u8] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl Write for LabelBuf {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        if !self.spill.is_empty() {
+            self.spill.extend_from_slice(s.as_bytes());
+        } else if self.len + s.len() <= self.inline.len() {
+            self.inline[self.len..self.len + s.len()].copy_from_slice(s.as_bytes());
+            self.len += s.len();
+        } else {
+            self.spill.reserve(self.len + s.len());
+            self.spill.extend_from_slice(&self.inline[..self.len]);
+            self.spill.extend_from_slice(s.as_bytes());
+        }
+        Ok(())
+    }
+}
+
+/// Keccak of the formatted label, composed without allocating.
+fn hash_label(args: fmt::Arguments<'_>) -> H256 {
+    let mut buf = LabelBuf::new();
+    buf.write_fmt(args).expect("label formatting is infallible");
+    H256::of(buf.as_bytes())
+}
 
 /// A factory for independent, reproducible RNG streams.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,7 +86,7 @@ impl SeedDomain {
 
     /// Derives the 32-byte seed for `label` (Keccak of master ++ label).
     pub fn seed_bytes(&self, label: &str) -> [u8; 32] {
-        H256::of(format!("seed:{}:{}", self.master, label).as_bytes()).0
+        hash_label(format_args!("seed:{}:{}", self.master, label)).0
     }
 
     /// Derives an independent RNG stream for `label`.
@@ -41,7 +97,17 @@ impl SeedDomain {
     /// Derives a sub-domain, for components that themselves own many
     /// streams (e.g. one per builder per day).
     pub fn subdomain(&self, label: &str) -> SeedDomain {
-        let h = H256::of(format!("sub:{}:{}", self.master, label).as_bytes());
+        let h = hash_label(format_args!("sub:{}:{}", self.master, label));
+        SeedDomain {
+            master: h.to_seed(),
+        }
+    }
+
+    /// The `index`-th sub-domain of a labelled family — identical to
+    /// `subdomain(&format!("{label}:{index}"))` without the allocation.
+    /// The driver derives one of these per slot.
+    pub fn subdomain_indexed(&self, label: &str, index: u64) -> SeedDomain {
+        let h = hash_label(format_args!("sub:{}:{label}:{index}", self.master));
         SeedDomain {
             master: h.to_seed(),
         }
@@ -53,7 +119,8 @@ impl SeedDomain {
     /// (master seed, label, index) and results cannot depend on which
     /// thread ran which index.
     pub fn stream(&self, label: &str, index: u64) -> StdRng {
-        self.rng(&format!("{label}#{index}"))
+        let h = hash_label(format_args!("seed:{}:{label}#{index}", self.master));
+        StdRng::from_seed(h.0)
     }
 
     /// Derives the `index`-th master seed of a labelled family — the
@@ -63,7 +130,7 @@ impl SeedDomain {
     /// function of (master seed, label, N). Scheduling order, worker
     /// count, and which other jobs exist cannot perturb it.
     pub fn derived_seed(&self, label: &str, index: u64) -> u64 {
-        H256::of(format!("jobseed:{}:{label}#{index}", self.master).as_bytes()).to_seed()
+        hash_label(format_args!("jobseed:{}:{label}#{index}", self.master)).to_seed()
     }
 }
 
@@ -96,11 +163,55 @@ mod tests {
     }
 
     #[test]
+    fn seed_bytes_match_the_heap_formatted_string() {
+        // The no-alloc formatter must hash byte-for-byte the same string
+        // the original `format!`-based derivation hashed: every golden
+        // artifact depends on it.
+        let d = SeedDomain::new(42);
+        assert_eq!(
+            d.seed_bytes("workload"),
+            H256::of(format!("seed:{}:{}", 42, "workload").as_bytes()).0
+        );
+        assert_eq!(
+            d.subdomain("faults").master(),
+            H256::of(format!("sub:{}:{}", 42, "faults").as_bytes()).to_seed()
+        );
+    }
+
+    #[test]
+    fn long_labels_spill_without_changing_the_hash() {
+        let d = SeedDomain::new(9);
+        let long = "x".repeat(300);
+        assert_eq!(
+            d.seed_bytes(&long),
+            H256::of(format!("seed:9:{long}").as_bytes()).0
+        );
+    }
+
+    #[test]
     fn subdomain_is_stable_and_distinct() {
         let d = SeedDomain::new(7);
         assert_eq!(d.subdomain("s"), d.subdomain("s"));
         assert_ne!(d.subdomain("s").master(), d.master());
         assert_ne!(d.subdomain("s"), d.subdomain("t"));
+    }
+
+    #[test]
+    fn indexed_subdomain_matches_the_formatted_label() {
+        let d = SeedDomain::new(7);
+        assert_eq!(
+            d.subdomain_indexed("slot", 1234),
+            d.subdomain("slot:1234"),
+            "the indexed form must be a pure spelling of the string form"
+        );
+    }
+
+    #[test]
+    fn stream_matches_the_formatted_label() {
+        let d = SeedDomain::new(7);
+        let a: u64 = d.stream("build", 3).random();
+        let b: u64 = d.rng("build#3").random();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -14,6 +14,11 @@
 #   3. verify the bundle byte-for-byte against the golden manifest
 #      (`pbs-repro verify-bundle` vs tests/golden/manifest.json).
 #
+# A pipeline-drain leg SIGKILLs a pipelined run at an arbitrary
+# wall-clock moment (not at the cooperative post-checkpoint hook), so the
+# process can die while a day fold is still in flight; the surviving
+# checkpoints must still resume to the byte-exact golden bundle.
+#
 # A final sweep leg does the same at the campaign level: a 4-job sweep
 # (2 seeds × {off, paper-incidents}) is run uninterrupted at
 # PBS_SWEEP_JOBS=1, again at 4 workers, and a third time SIGKILLed via
@@ -169,6 +174,76 @@ for threads in 1 4; do
     fi
 done
 
+# Pipeline-drain leg: the PBS_KILL_AFTER_DAY hook above is cooperative —
+# it fires right after a day's checkpoint hits the disk. This leg instead
+# SIGKILLs the pipelined run at an arbitrary wall-clock moment, so the
+# process can die mid-slot-loop, mid-day-fold, or mid-checkpoint-drain.
+# Whatever survives on disk must still lead to the byte-exact golden
+# bundle: resume from the newest valid checkpoint when one exists, or
+# rerun from scratch when the kill beat the first checkpoint. If the run
+# finishes before the timer, that's a clean completion to verify as-is.
+#
+#   PIPE_KILL_SECS  override the kill delay in seconds (default 0.05)
+PIPE_KILL_SECS="${PIPE_KILL_SECS:-0.05}"
+tag="pipeline-drain kill=${PIPE_KILL_SECS}s"
+work=$(mktemp -d "${TMPDIR:-/tmp}/pbs-resume-XXXXXX")
+out="$work/out"
+ckpt="$work/checkpoints"
+
+pipe_run() {
+    env PBS_THREADS=4 \
+        PBS_PIPELINE=1 \
+        PBS_CHECKPOINT_EVERY=1 \
+        PBS_CHECKPOINT_DIR="$ckpt" \
+        "$@" "$BIN" resume --small --seed 42 --faults off --out "$out"
+}
+
+echo "--- $tag: first run (SIGKILL after ${PIPE_KILL_SECS}s) ---"
+timeout -s KILL "$PIPE_KILL_SECS" \
+    env PBS_THREADS=4 PBS_PIPELINE=1 PBS_CHECKPOINT_EVERY=1 \
+        PBS_CHECKPOINT_DIR="$ckpt" \
+    "$BIN" resume --small --seed 42 --faults off --out "$out" \
+    2> "$work/first.log"
+status=$?
+leg_fail=0
+if [ "$status" -eq 0 ]; then
+    echo "note [$tag]: run completed before the kill timer; verifying as-is"
+else
+    if ls "$ckpt"/checkpoint-day-* > /dev/null 2>&1; then
+        echo "--- $tag: resumed run ---"
+        if ! pipe_run 2> "$work/second.log"; then
+            echo "FAIL [$tag]: resumed run failed"
+            cat "$work/second.log"
+            leg_fail=1
+        elif ! grep -q "resuming from" "$work/second.log"; then
+            echo "FAIL [$tag]: second run did not resume from a checkpoint"
+            cat "$work/second.log"
+            leg_fail=1
+        fi
+    else
+        echo "note [$tag]: kill landed before the first checkpoint; rerunning from scratch"
+        if ! pipe_run 2> "$work/second.log"; then
+            echo "FAIL [$tag]: rerun from scratch failed"
+            cat "$work/second.log"
+            leg_fail=1
+        fi
+    fi
+fi
+if [ "$leg_fail" -ne 0 ]; then
+    fail=1
+else
+    if "$BIN" verify-bundle --dir "$out" --manifest "$MANIFEST" --prefix baseline; then
+        echo "OK [$tag]: bundle matches $MANIFEST (baseline/)"
+        rm -rf "$work"
+    else
+        echo "FAIL [$tag]: bundle diverges from $MANIFEST (baseline/)"
+        mkdir -p "$FAILDIR"
+        cp -r "$out" "$FAILDIR/pipeline-drain" 2>/dev/null
+        cp "$work"/*.log "$FAILDIR/" 2>/dev/null
+        fail=1
+    fi
+fi
+
 # Sweep leg: campaign-level kill-and-resume plus parallelism
 # byte-identity. One reference campaign at 1 worker, one at 4, one
 # SIGKILLed after 2 of its 4 jobs and resumed — same visible tree.
@@ -235,4 +310,4 @@ if [ "$fail" -ne 0 ]; then
     echo "=== resume harness FAILED (kill day $KILL_DAY, timed kill day $TIMED_KILL_DAY) ==="
     exit 1
 fi
-echo "=== resume harness passed: all 6 run combinations and the sweep legs byte-identical (kill day $KILL_DAY, timed kill day $TIMED_KILL_DAY) ==="
+echo "=== resume harness passed: all run combinations, the pipeline-drain leg, and the sweep legs byte-identical (kill day $KILL_DAY, timed kill day $TIMED_KILL_DAY) ==="

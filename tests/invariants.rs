@@ -201,11 +201,14 @@ fn incremental_variant_counters_reconcile() {
         "materialized {materialized} > pbs blocks {pbs_blocks}"
     );
 
-    // The builder arena hands out exactly three scratch buffers per
-    // candidate build — a pure function of the workload.
+    // The builder arena hands out exactly one bundle-order scratch buffer
+    // per candidate build plus the two shared per-slot ordering tables
+    // per auctioned slot — a pure function of the workload.
+    let slots = counter(&snap, "pbs.auction.slots");
+    assert!(slots > 0, "auction slot counter must be exercised");
     assert_eq!(
         counter(&snap, "simcore.arena.acquires"),
-        3 * candidates,
+        candidates + 2 * slots,
         "arena acquisitions must be workload-determined"
     );
 }
