@@ -19,6 +19,8 @@
 //! * [`mev_stats`] — Figures 15, 16, 20–22,
 //! * [`censorship`] — Figures 17 and 18,
 //! * [`relay_audit`] — Table 4 and the §5.4 bloXroute (E) filter gap,
+//! * [`resilience`] — chaos-run fault attribution per stack tier and the
+//!   circuit-breaker transition log,
 //! * [`tables`] — renderers for Tables 2, 3 and 5,
 //! * [`report`] — one call that computes everything.
 
@@ -39,6 +41,7 @@ pub mod profit_split;
 pub mod relay_audit;
 pub mod relay_share;
 pub mod report;
+pub mod resilience;
 pub mod stats;
 pub mod sweep_agg;
 pub mod tables;

@@ -172,6 +172,13 @@ pub fn fault_audit(run: &RunArtifacts) -> Vec<FaultAuditRow> {
             FaultEventKind::StaleHeader => row.stale_headers += 1,
             FaultEventKind::PayloadFailed => row.payload_failures += 1,
             FaultEventKind::BelowMinBid | FaultEventKind::SelfBuild => {}
+            // Chaos-layer events are the resilience pass's domain (see
+            // `crate::resilience`); Table 5 keeps its legacy columns.
+            FaultEventKind::BudgetExhausted
+            | FaultEventKind::BuilderShortfall
+            | FaultEventKind::BuilderCrash
+            | FaultEventKind::MessageLost
+            | FaultEventKind::BreakerSkip => {}
         }
     }
     map.into_values().collect()
@@ -315,6 +322,7 @@ mod tests {
             slot: Slot(slot),
             day: DayIndex(day),
             relay: Some(RelayId(relay)),
+            builder: None,
             kind,
             promised: Wei::from_eth(p),
             delivered: Wei::from_eth(d),
@@ -336,6 +344,7 @@ mod tests {
                 slot: Slot(9),
                 day: DayIndex(0),
                 relay: None,
+                builder: None,
                 kind: FaultEventKind::SelfBuild,
                 promised: Wei::ZERO,
                 delivered: Wei::ZERO,

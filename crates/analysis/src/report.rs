@@ -524,7 +524,12 @@ pub fn write_artifact_bundle(
     let summary = report.render_summary(run);
     simcore::atomic_write(&dir.join("summary.txt"), summary.as_bytes())?;
 
-    let json = datasets::export::run_to_json(run).expect("serializable");
+    let json = datasets::export::run_to_json(run).map_err(|e| {
+        std::io::Error::other(format!(
+            "serializing {} failed: {e}",
+            dir.join("run.json").display()
+        ))
+    })?;
     simcore::atomic_write(&dir.join("run.json"), json.as_bytes())?;
     datasets::write_csv(&dir.join("blocks.csv"), &datasets::export::blocks_csv(run))?;
 
@@ -557,6 +562,36 @@ pub fn write_artifact_bundle(
             ]);
         }
         datasets::write_csv(&dir.join("fault_audit.csv"), &t)?;
+    }
+
+    // The resilience pass exists only for chaos-injection runs (the same
+    // invisibility contract as `fault_audit.csv`): per-tier fault
+    // attribution, plus the breaker transition log when the run had the
+    // breaker tier enabled.
+    if !run.config.chaos.is_off() {
+        let mut t = CsvTable::new(&["day", "tier", "events", "affected_slots", "lost_eth"]);
+        for r in crate::resilience::fault_attribution(run) {
+            t.push_row(vec![
+                r.day.iso(),
+                r.tier.name().to_string(),
+                r.events.to_string(),
+                r.affected_slots.to_string(),
+                r.lost_eth.to_string(),
+            ]);
+        }
+        datasets::write_csv(&dir.join("resilience_attribution.csv"), &t)?;
+
+        let mut t = CsvTable::new(&["slot", "day", "relay", "from", "to"]);
+        for (slot, day, relay, from, to) in crate::resilience::transition_rows(run) {
+            t.push_row(vec![
+                slot.to_string(),
+                day.iso(),
+                relay.to_string(),
+                from.to_string(),
+                to.to_string(),
+            ]);
+        }
+        datasets::write_csv(&dir.join("breaker_transitions.csv"), &t)?;
     }
 
     // Auction-timing aggregations exist only for streamed runs; the

@@ -1,0 +1,289 @@
+//! Resilience analysis for chaos-injection runs.
+//!
+//! The chaos layer (builder crashes, bid-network faults, proposer-side
+//! circuit breakers) persists its whole decision trail into the run's
+//! fault-event stream. This pass re-reads that stream and answers the
+//! operator's questions: *which tier of the stack caused the damage*, and
+//! *what did the breakers actually do about it*. Both views are only
+//! meaningful — and only written into the artifact bundle — for runs with
+//! a chaos preset enabled.
+
+use eth_types::DayIndex;
+use pbs::{BreakerTransition, PAPER_RELAYS};
+use scenario::{FaultEventKind, RunArtifacts};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// The layer of the stack a fault event is charged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultTier {
+    /// Block-builder failures: crash windows and insolvent payments.
+    Builder,
+    /// Bid-fabric failures: dropped messages and partition losses.
+    Network,
+    /// Relay failures: timeouts, outages, stale headers, payload
+    /// failures, payment shortfalls, and missed slots they caused.
+    Relay,
+    /// Proposer-side defenses firing: breaker skips, budget exhaustion,
+    /// local fallbacks, min-bid rejections.
+    Proposer,
+}
+
+impl FaultTier {
+    /// Stable lowercase label used in CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultTier::Builder => "builder",
+            FaultTier::Network => "network",
+            FaultTier::Relay => "relay",
+            FaultTier::Proposer => "proposer",
+        }
+    }
+
+    /// The tier a fault-event kind belongs to.
+    pub fn of(kind: FaultEventKind) -> FaultTier {
+        match kind {
+            FaultEventKind::BuilderCrash | FaultEventKind::BuilderShortfall => FaultTier::Builder,
+            FaultEventKind::MessageLost => FaultTier::Network,
+            FaultEventKind::HeaderTimeout
+            | FaultEventKind::RelayUnreachable
+            | FaultEventKind::StaleHeader
+            | FaultEventKind::PayloadFailed
+            | FaultEventKind::Shortfall
+            | FaultEventKind::MissedSlot => FaultTier::Relay,
+            FaultEventKind::BreakerSkip
+            | FaultEventKind::BudgetExhausted
+            | FaultEventKind::SelfBuild
+            | FaultEventKind::BelowMinBid => FaultTier::Proposer,
+        }
+    }
+}
+
+/// One per-day, per-tier attribution cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributionRow {
+    /// Calendar day.
+    pub day: DayIndex,
+    /// The tier charged.
+    pub tier: FaultTier,
+    /// Fault events charged to the tier that day.
+    pub events: u64,
+    /// Distinct slots with at least one such event.
+    pub affected_slots: u64,
+    /// ETH the tier's shortfall-class events cost proposers
+    /// (`promised − delivered`, summed).
+    pub lost_eth: f64,
+}
+
+/// Aggregates the fault-event stream per `(day, tier)`. Rows are ordered
+/// by day then tier; empty when the run recorded no fault events.
+pub fn fault_attribution(run: &RunArtifacts) -> Vec<AttributionRow> {
+    let mut slots: BTreeMap<(u32, FaultTier), BTreeSet<u64>> = BTreeMap::new();
+    let mut map: BTreeMap<(u32, FaultTier), AttributionRow> = BTreeMap::new();
+    for e in &run.fault_events {
+        let tier = FaultTier::of(e.kind);
+        let row = map
+            .entry((e.day.0, tier))
+            .or_insert_with(|| AttributionRow {
+                day: e.day,
+                tier,
+                events: 0,
+                affected_slots: 0,
+                lost_eth: 0.0,
+            });
+        row.events += 1;
+        row.lost_eth += e.promised.saturating_sub(e.delivered).as_eth();
+        slots.entry((e.day.0, tier)).or_default().insert(e.slot.0);
+    }
+    for ((day, tier), set) in slots {
+        map.get_mut(&(day, tier))
+            .expect("row exists")
+            .affected_slots = set.len() as u64;
+    }
+    map.into_values().collect()
+}
+
+/// Per-relay totals of breaker activity over the whole run, in relay id
+/// order (relays whose breaker never moved are omitted).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerSummaryRow {
+    /// Relay display name.
+    pub name: &'static str,
+    /// Closed→Open trips.
+    pub trips: u64,
+    /// Open→HalfOpen probe admissions.
+    pub probes: u64,
+    /// HalfOpen→Closed recoveries.
+    pub recoveries: u64,
+    /// HalfOpen→Open re-trips (the probe failed).
+    pub retrips: u64,
+}
+
+/// Folds the transition log into per-relay counts.
+pub fn breaker_summary(run: &RunArtifacts) -> Vec<BreakerSummaryRow> {
+    use pbs::BreakerState::{Closed, HalfOpen, Open};
+    let mut map: BTreeMap<u32, BreakerSummaryRow> = BTreeMap::new();
+    for t in &run.breaker_transitions {
+        let row = map.entry(t.relay.0).or_insert_with(|| BreakerSummaryRow {
+            name: PAPER_RELAYS[t.relay.0 as usize].name,
+            trips: 0,
+            probes: 0,
+            recoveries: 0,
+            retrips: 0,
+        });
+        match (t.from, t.to) {
+            (Closed, Open) => row.trips += 1,
+            (Open, HalfOpen) => row.probes += 1,
+            (HalfOpen, Closed) => row.recoveries += 1,
+            (HalfOpen, Open) => row.retrips += 1,
+            _ => {}
+        }
+    }
+    map.into_values().collect()
+}
+
+/// The raw transition log with relay names and calendar days resolved,
+/// ready for CSV export.
+pub fn transition_rows(
+    run: &RunArtifacts,
+) -> Vec<(u64, DayIndex, &'static str, &'static str, &'static str)> {
+    run.breaker_transitions
+        .iter()
+        .map(|t: &BreakerTransition| {
+            (
+                t.slot,
+                run.config.calendar.day_of_slot(eth_types::Slot(t.slot)),
+                PAPER_RELAYS[t.relay.0 as usize].name,
+                t.from.name(),
+                t.to.name(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eth_types::{Slot, Wei};
+    use pbs::{BreakerState, RelayId};
+    use scenario::{FaultEventRecord, ScenarioConfig, Simulation};
+
+    fn chaos_run() -> RunArtifacts {
+        let mut cfg = ScenarioConfig::test_small(23, 3);
+        cfg.chaos = scenario::ChaosConfig::drills();
+        Simulation::new(cfg).run()
+    }
+
+    #[test]
+    fn every_kind_maps_to_exactly_one_tier() {
+        use FaultEventKind as K;
+        let all = [
+            K::MissedSlot,
+            K::Shortfall,
+            K::HeaderTimeout,
+            K::RelayUnreachable,
+            K::StaleHeader,
+            K::PayloadFailed,
+            K::BelowMinBid,
+            K::SelfBuild,
+            K::BudgetExhausted,
+            K::BuilderShortfall,
+            K::BuilderCrash,
+            K::MessageLost,
+            K::BreakerSkip,
+        ];
+        for k in all {
+            // `of` is total; the tier label is one of the four.
+            assert!(["builder", "network", "relay", "proposer"].contains(&FaultTier::of(k).name()));
+        }
+        assert_eq!(FaultTier::of(K::BuilderCrash), FaultTier::Builder);
+        assert_eq!(FaultTier::of(K::MessageLost), FaultTier::Network);
+        assert_eq!(FaultTier::of(K::Shortfall), FaultTier::Relay);
+        assert_eq!(FaultTier::of(K::BreakerSkip), FaultTier::Proposer);
+    }
+
+    #[test]
+    fn attribution_counts_events_slots_and_lost_value() {
+        let mut run = Simulation::new(ScenarioConfig::test_small(1, 1)).run();
+        let ev = |slot: u64, kind, p: f64, d: f64| FaultEventRecord {
+            slot: Slot(slot),
+            day: DayIndex(0),
+            relay: None,
+            builder: Some(pbs::BuilderId(2)),
+            kind,
+            promised: Wei::from_eth(p),
+            delivered: Wei::from_eth(d),
+        };
+        run.fault_events = vec![
+            ev(1, FaultEventKind::BuilderCrash, 0.0, 0.0),
+            ev(1, FaultEventKind::BuilderCrash, 0.0, 0.0),
+            ev(2, FaultEventKind::BuilderShortfall, 1.0, 0.65),
+            ev(3, FaultEventKind::MessageLost, 0.0, 0.0),
+        ];
+        let rows = fault_attribution(&run);
+        assert_eq!(rows.len(), 2);
+        let builder = &rows[0];
+        assert_eq!(builder.tier, FaultTier::Builder);
+        assert_eq!(builder.events, 3);
+        assert_eq!(builder.affected_slots, 2, "two crashes share slot 1");
+        assert!((builder.lost_eth - 0.35).abs() < 1e-9);
+        let net = &rows[1];
+        assert_eq!(net.tier, FaultTier::Network);
+        assert_eq!(net.events, 1);
+        assert_eq!(net.affected_slots, 1);
+    }
+
+    #[test]
+    fn chaos_run_attributes_builder_and_network_tiers() {
+        let run = chaos_run();
+        let rows = fault_attribution(&run);
+        assert!(rows.iter().any(|r| r.tier == FaultTier::Builder));
+        assert!(rows.iter().any(|r| r.tier == FaultTier::Network));
+        // Total events reconcile with the raw stream.
+        let total: u64 = rows.iter().map(|r| r.events).sum();
+        assert_eq!(total, run.fault_events.len() as u64);
+    }
+
+    #[test]
+    fn breaker_summary_folds_synthetic_transitions() {
+        let mut run = Simulation::new(ScenarioConfig::test_small(1, 1)).run();
+        let t = |slot: u64, relay: u32, from, to| BreakerTransition {
+            slot,
+            relay: RelayId(relay),
+            from,
+            to,
+        };
+        use BreakerState::{Closed, HalfOpen, Open};
+        run.breaker_transitions = vec![
+            t(10, 3, Closed, Open),
+            t(18, 3, Open, HalfOpen),
+            t(19, 3, HalfOpen, Open),
+            t(27, 3, Open, HalfOpen),
+            t(29, 3, HalfOpen, Closed),
+            t(40, 7, Closed, Open),
+        ];
+        let rows = breaker_summary(&run);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, PAPER_RELAYS[3].name);
+        assert_eq!(rows[0].trips, 1);
+        assert_eq!(rows[0].probes, 2);
+        assert_eq!(rows[0].recoveries, 1);
+        assert_eq!(rows[0].retrips, 1);
+        assert_eq!(rows[1].trips, 1);
+        // Transition rows resolve names and calendar days.
+        let raw = transition_rows(&run);
+        assert_eq!(raw.len(), 6);
+        assert_eq!(raw[0].2, PAPER_RELAYS[3].name);
+        assert_eq!(raw[0].3, "closed");
+        assert_eq!(raw[0].4, "open");
+        assert_eq!(raw[5].1, run.config.calendar.day_of_slot(Slot(40)));
+    }
+
+    #[test]
+    fn chaos_free_run_yields_empty_views() {
+        let run = Simulation::new(ScenarioConfig::test_small(1, 1)).run();
+        assert!(fault_attribution(&run).is_empty());
+        assert!(breaker_summary(&run).is_empty());
+        assert!(transition_rows(&run).is_empty());
+    }
+}

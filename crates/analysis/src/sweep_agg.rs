@@ -430,6 +430,18 @@ pub fn render_sweep_manifest(
         "  \"checkpoint_rev\": {},\n",
         scenario::CHECKPOINT_VERSION
     ));
+    // Quarantined jobs get a top-level list so an operator (or CI) can
+    // spot them without scanning the per-job entries. Omitted when empty,
+    // keeping pre-quarantine manifests byte-identical.
+    let quarantined: Vec<&str> = jobs
+        .iter()
+        .filter(|j| statuses.get(j.index) == Some(&JobStatus::Quarantined))
+        .map(|j| j.id.as_str())
+        .collect();
+    if !quarantined.is_empty() {
+        let list: Vec<String> = quarantined.iter().map(|id| format!("\"{id}\"")).collect();
+        out.push_str(&format!("  \"quarantined\": [{}],\n", list.join(", ")));
+    }
     out.push_str("  \"jobs\": [\n");
     for (i, job) in jobs.iter().enumerate() {
         let status = statuses
@@ -581,7 +593,21 @@ mod tests {
         assert!(first < second, "expansion order is preserved");
         assert!(text.contains("\"status\": \"failed\""));
         assert!(text.contains("\"metrics_sha256\": \"abc\""));
+        assert!(
+            !text.contains("quarantined"),
+            "no quarantine key without quarantined jobs"
+        );
         // Same inputs, same bytes.
         assert_eq!(text, render_sweep_manifest(&spec, &statuses, &digests));
+    }
+
+    #[test]
+    fn manifest_lists_quarantined_jobs_up_front() {
+        let spec = SweepSpec::small("q", 2);
+        let jobs = spec.jobs();
+        let statuses = vec![JobStatus::Quarantined, JobStatus::Done];
+        let text = render_sweep_manifest(&spec, &statuses, &BTreeMap::new());
+        assert!(text.contains(&format!("\"quarantined\": [\"{}\"],", jobs[0].id)));
+        assert!(text.contains("\"status\": \"quarantined\""));
     }
 }

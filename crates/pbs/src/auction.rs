@@ -13,7 +13,7 @@ use crate::boost::{BoostEvent, LocalBuilder, MevBoostClient, TimedQuery};
 use crate::builder::{BuildInputs, Builder, BuilderId, BuiltBlock};
 use crate::ofac::{tx_touches_sanctioned, CensorScan, SanctionsList};
 use crate::relay::{RelayId, RelayRegistry, Submission};
-use crate::timing::{AuctionTimingTrace, BidStrategy, TimingParams};
+use crate::timing::{AuctionTimingTrace, BidStrategy, SlotChaos, TimingParams};
 use eth_types::{Address, BlsPublicKey, DayIndex, Gas, GasPrice, Slot, Transaction, Wei};
 use execution::Mempool;
 use mev::Bundle;
@@ -42,6 +42,11 @@ pub struct SlotAuction<'a> {
     /// Streamed-auction timing parameters. `None` runs the legacy
     /// one-shot submission phase, byte-identical to pre-timing builds.
     pub timing: Option<&'a TimingParams>,
+    /// This slot's resolved chaos state (builder crashes, latency
+    /// spikes, insolvency, network faults). `None` — the default for
+    /// every chaos-off run — reproduces the pre-chaos auction byte for
+    /// byte and draws zero extra randomness.
+    pub chaos: Option<&'a SlotChaos>,
 }
 
 /// One builder→relay submission, as the relay-data crawl would record it.
@@ -92,6 +97,9 @@ pub struct SlotResult {
     pub events: Vec<BoostEvent>,
     /// Sub-slot timing trace (streamed auctions only).
     pub timing: Option<AuctionTimingTrace>,
+    /// Bid/cancel messages lost to network chaos (drop or partition),
+    /// in generation order. Always empty without network chaos.
+    pub lost_messages: Vec<(BuilderId, RelayId)>,
 }
 
 /// A builder's fully-assembled slot candidate, produced by the parallel
@@ -279,7 +287,15 @@ impl<'a> SlotAuction<'a> {
         // targets, then spreads the submissions over sub-slot time.
         let submit_span = simcore::span!("auction.submit");
         let mut jitter_rng = seeds.rng("jitter");
+        // Message-level network-fault draws come from their own labeled
+        // stream, created only when network chaos is actually on — a
+        // chaos-off slot creates no stream and draws nothing.
+        let mut net_rng = self
+            .chaos
+            .and_then(|c| c.net.as_ref())
+            .map(|_| seeds.rng("chaos_net"));
         let mut submissions: Vec<SubmissionRecord> = Vec::new();
+        let mut lost_messages: Vec<(BuilderId, RelayId)> = Vec::new();
         let mut timing_trace: Option<AuctionTimingTrace> = None;
         if let Some(tp) = self.timing {
             timing_trace = Some(self.submit_streamed(
@@ -288,12 +304,24 @@ impl<'a> SlotAuction<'a> {
                 relays,
                 tp,
                 &mut jitter_rng,
+                &mut net_rng,
                 dishonest_bid,
                 &mut submissions,
+                &mut lost_messages,
             ));
         } else {
             for (bi, cand) in candidates.iter().enumerate() {
                 let builder_id = builders[bi].id;
+                // A crashed builder submits nothing this slot — and draws
+                // no jitter, exactly like a builder with no relays.
+                if self
+                    .chaos
+                    .map(|c| c.builder(builder_id).crashed)
+                    .unwrap_or(false)
+                {
+                    telemetry::counter_add("pbs.auction.chaos.builder_crashes", 1);
+                    continue;
+                }
                 for &(rid, variant_bid, _variant_value, variant_sandwiches) in &cand.relay_variants
                 {
                     // Per-relay bid decay (latency: the last bid update differs
@@ -316,6 +344,18 @@ impl<'a> SlotAuction<'a> {
                         }
                     }
 
+                    // Network chaos: a partitioned or dropped submission
+                    // never reaches the relay (the one-shot model has no
+                    // time axis, so jitter is a no-op here).
+                    if let (Some(net), Some(rng)) =
+                        (self.chaos.and_then(|c| c.net.as_ref()), net_rng.as_mut())
+                    {
+                        if net.message_fate(builder_id, rid, rng).is_none() {
+                            telemetry::counter_add("pbs.auction.chaos.messages_lost", 1);
+                            lost_messages.push((builder_id, rid));
+                            continue;
+                        }
+                    }
                     let Some(relay) = relays.get_mut(rid) else {
                         continue;
                     };
@@ -395,6 +435,7 @@ impl<'a> SlotAuction<'a> {
                     missed: true,
                     events,
                     timing: timing_trace,
+                    lost_messages,
                 }
             }
             (Some(choice), Some(delivering)) => {
@@ -466,6 +507,27 @@ impl<'a> SlotAuction<'a> {
                         delivered = forced;
                     }
                 }
+                // Builder insolvency: the builder cannot cover the bid it
+                // promised; the payment tx falls short by the drawn
+                // fraction. Attributed to the builder, not the relay.
+                if let Some(frac) = self.chaos.and_then(|c| c.builder(choice.builder).shortfall) {
+                    let forced = delivered
+                        .saturating_sub(
+                            delivered.mul_ratio((frac * 1_000_000.0) as u128, 1_000_000),
+                        )
+                        .min(delivered.saturating_sub(Wei(1)));
+                    if forced < delivered {
+                        events.push(BoostEvent::BuilderShortfall {
+                            builder: choice.builder,
+                            promised: delivered,
+                            delivered: forced,
+                        });
+                        if telemetry::enabled() {
+                            telemetry::counter_add("pbs.boost.builder_shortfalls", 1);
+                        }
+                        delivered = forced;
+                    }
+                }
 
                 let bundle_counts = final_built.bundle_counts;
                 // The censored path already owns its filtered tx list;
@@ -495,6 +557,7 @@ impl<'a> SlotAuction<'a> {
                     missed: false,
                     events,
                     timing: timing_trace,
+                    lost_messages,
                 }
             }
             _ => {
@@ -517,6 +580,7 @@ impl<'a> SlotAuction<'a> {
                     missed: false,
                     events,
                     timing: timing_trace,
+                    lost_messages,
                 }
             }
         };
@@ -564,16 +628,28 @@ impl<'a> SlotAuction<'a> {
         relays: &mut RelayRegistry,
         tp: &TimingParams,
         jitter_rng: &mut impl Rng,
+        net_rng: &mut Option<rand::rngs::StdRng>,
         dishonest_bid: Option<(BuilderId, Wei)>,
         submissions: &mut Vec<SubmissionRecord>,
+        lost_messages: &mut Vec<(BuilderId, RelayId)>,
     ) -> AuctionTimingTrace {
         // Targets: replay the legacy jitter sequence per (builder, relay).
         // `true_target` differs from `declared_target` only for the
-        // dishonest builder.
+        // dishonest builder. A crashed builder submits nothing and draws
+        // no jitter — identical to the one-shot path's crash handling.
         type BidTargets = Vec<(RelayId, Wei, Wei, Wei, usize)>;
         let mut targets: Vec<BidTargets> = Vec::with_capacity(candidates.len());
         for (bi, cand) in candidates.iter().enumerate() {
             let builder_id = builders[bi].id;
+            if self
+                .chaos
+                .map(|c| c.builder(builder_id).crashed)
+                .unwrap_or(false)
+            {
+                telemetry::counter_add("pbs.auction.chaos.builder_crashes", 1);
+                targets.push(Vec::new());
+                continue;
+            }
             let mut per_relay = Vec::with_capacity(cand.relay_variants.len());
             for &(rid, variant_bid, variant_value, variant_sandwiches) in &cand.relay_variants {
                 let decay = if jitter_rng.random::<f64>() < self.jitter_zero_prob {
@@ -633,16 +709,34 @@ impl<'a> SlotAuction<'a> {
         // MEV arrives late in the slot, so bidding later commits more.
         let deadline = tp.bid_deadline_ms;
         let mut events: Vec<(u64, usize, TimedMessage)> = Vec::new();
-        let push = |events: &mut Vec<(u64, usize, TimedMessage)>,
-                    builder: BuilderId,
-                    rid: RelayId,
-                    sent_ms: u64,
-                    msg: TimedMessage| {
+        // Chaos applies at push time, before delivery: a partitioned or
+        // dropped message never enters the stream (so relay books — and
+        // sniper observations of them — stay consistent by construction),
+        // a latency spike or jitter burst shifts its arrival.
+        let mut push = |events: &mut Vec<(u64, usize, TimedMessage)>,
+                        builder: BuilderId,
+                        rid: RelayId,
+                        sent_ms: u64,
+                        msg: TimedMessage| {
+            let mut extra_ms = 0u64;
+            if let Some(chaos) = self.chaos {
+                extra_ms += chaos.builder(builder).spike_ms;
+                if let (Some(net), Some(rng)) = (chaos.net.as_ref(), net_rng.as_mut()) {
+                    match net.message_fate(builder, rid, rng) {
+                        None => {
+                            telemetry::counter_add("pbs.auction.chaos.messages_lost", 1);
+                            lost_messages.push((builder, rid));
+                            return;
+                        }
+                        Some(jitter) => extra_ms += jitter,
+                    }
+                }
+            }
             let arrival = tp
                 .channel(builder, rid)
                 .arrival(SimTime::from_millis(sent_ms));
             let seq = events.len();
-            events.push((arrival.0, seq, msg));
+            events.push((arrival.0.saturating_add(extra_ms), seq, msg));
         };
 
         // Non-snipers first (ascending builder id): their bids are what
@@ -968,6 +1062,7 @@ mod tests {
             jitter_zero_prob: 0.15,
             jitter_max_frac: 0.03,
             timing: None,
+            chaos: None,
         }
     }
 

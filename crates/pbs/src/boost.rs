@@ -13,7 +13,8 @@ use crate::builder::BuilderId;
 use crate::relay::{RelayId, RelayRegistry};
 use eth_types::{Gas, GasPrice, Transaction, Wei};
 use execution::Mempool;
-use simcore::SimTime;
+use serde::{Deserialize, Serialize};
+use simcore::{SimTime, SnapReader, SnapWriter, Snapshot, SnapshotError};
 
 /// A timed `getHeader` round: when the proposer's query hits the relays,
 /// and how far a degraded stale relay's served view lags behind it.
@@ -139,6 +140,322 @@ pub enum BoostEvent {
         /// What actually arrived.
         delivered: Wei,
     },
+    /// The per-slot deadline budget ran out before this relay could be
+    /// queried; it and every relay after it were skipped.
+    BudgetExhausted {
+        /// The first relay the client could no longer afford to query.
+        relay: RelayId,
+    },
+    /// The winning builder was insolvent: its payment at `getPayload`
+    /// fell short of the promised bid. Attributed to the builder — the
+    /// relay faithfully forwarded what it was given.
+    BuilderShortfall {
+        /// The insolvent builder.
+        builder: BuilderId,
+        /// What the header promised.
+        promised: Wei,
+        /// What actually arrived.
+        delivered: Wei,
+    },
+}
+
+/// Per-slot wall-clock budget for the getHeader/getPayload sequence.
+/// Every relay query costs `query_cost_ms` of simulated time and every
+/// retry backoff is waited out; once `budget_ms` is spent, remaining
+/// relays are skipped instead of retried into a missed slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotBudget {
+    /// Total simulated milliseconds available for relay traffic.
+    pub budget_ms: u64,
+    /// Cost of a single getHeader/getPayload round trip, in ms.
+    pub query_cost_ms: u64,
+}
+
+/// A circuit-breaker state, per relay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Healthy: the relay is queried normally.
+    Closed,
+    /// Tripped: the relay is skipped until its cooldown expires.
+    Open,
+    /// Cooldown expired: the relay is probed; one more failure re-opens
+    /// it, enough successes close it.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase name for CSV artifacts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+impl Snapshot for BreakerState {
+    fn encode(&self, w: &mut SnapWriter) {
+        (match self {
+            BreakerState::Closed => 0u8,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        })
+        .encode(w);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match u8::decode(r)? {
+            0 => BreakerState::Closed,
+            1 => BreakerState::Open,
+            2 => BreakerState::HalfOpen,
+            t => return Err(SnapshotError::Corrupt(format!("BreakerState tag {t:#x}"))),
+        })
+    }
+}
+
+/// Thresholds driving the per-relay breaker state machine. Entirely
+/// deterministic: transitions are a pure function of the `BoostEvent`
+/// trail, no randomness involved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive failed slots that trip a Closed breaker Open.
+    pub trip_failures: u32,
+    /// Slots an Open breaker waits before allowing a HalfOpen probe.
+    pub open_slots: u64,
+    /// Consecutive successful probes that close a HalfOpen breaker.
+    pub probe_successes: u32,
+}
+
+impl Snapshot for BreakerPolicy {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.trip_failures.encode(w);
+        self.open_slots.encode(w);
+        self.probe_successes.encode(w);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(BreakerPolicy {
+            trip_failures: Snapshot::decode(r)?,
+            open_slots: Snapshot::decode(r)?,
+            probe_successes: Snapshot::decode(r)?,
+        })
+    }
+}
+
+/// One breaker state change, for the resilience audit trail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerTransition {
+    /// Slot at which the transition happened.
+    pub slot: u64,
+    /// The relay whose breaker moved.
+    pub relay: RelayId,
+    /// State before.
+    pub from: BreakerState,
+    /// State after.
+    pub to: BreakerState,
+}
+
+impl Snapshot for BreakerTransition {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.slot.encode(w);
+        self.relay.encode(w);
+        self.from.encode(w);
+        self.to.encode(w);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(BreakerTransition {
+            slot: Snapshot::decode(r)?,
+            relay: Snapshot::decode(r)?,
+            from: Snapshot::decode(r)?,
+            to: Snapshot::decode(r)?,
+        })
+    }
+}
+
+/// One relay's breaker bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RelayBreaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: u64,
+    probe_ok: u32,
+}
+
+impl Default for RelayBreaker {
+    fn default() -> Self {
+        RelayBreaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: 0,
+            probe_ok: 0,
+        }
+    }
+}
+
+impl Snapshot for RelayBreaker {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.state.encode(w);
+        self.consecutive_failures.encode(w);
+        self.opened_at.encode(w);
+        self.probe_ok.encode(w);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(RelayBreaker {
+            state: Snapshot::decode(r)?,
+            consecutive_failures: Snapshot::decode(r)?,
+            opened_at: Snapshot::decode(r)?,
+            probe_ok: Snapshot::decode(r)?,
+        })
+    }
+}
+
+/// Per-relay circuit breakers for the MEV-Boost client, the defense the
+/// real sidecar grew after relay incidents turned retries into missed
+/// slots. Feed it each slot's [`BoostEvent`] trail; it decides which
+/// relays the next slot may query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerBank {
+    policy: BreakerPolicy,
+    states: Vec<RelayBreaker>,
+    transitions: Vec<BreakerTransition>,
+}
+
+impl BreakerBank {
+    /// A bank of `relays` breakers, all Closed.
+    pub fn new(policy: BreakerPolicy, relays: usize) -> Self {
+        BreakerBank {
+            policy,
+            states: vec![RelayBreaker::default(); relays],
+            transitions: Vec::new(),
+        }
+    }
+
+    fn slot_mut(&mut self, r: RelayId) -> &mut RelayBreaker {
+        let idx = r.0 as usize;
+        if idx >= self.states.len() {
+            self.states.resize(idx + 1, RelayBreaker::default());
+        }
+        &mut self.states[idx]
+    }
+
+    /// The current state of relay `r`'s breaker.
+    pub fn state(&self, r: RelayId) -> BreakerState {
+        self.states
+            .get(r.0 as usize)
+            .map(|b| b.state)
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    fn transition(&mut self, slot: u64, relay: RelayId, to: BreakerState) {
+        let b = self.slot_mut(relay);
+        let from = b.state;
+        if from == to {
+            return;
+        }
+        b.state = to;
+        self.transitions.push(BreakerTransition {
+            slot,
+            relay,
+            from,
+            to,
+        });
+    }
+
+    /// Splits `subscribed` into the relays the client may query this slot
+    /// and the relays skipped by an Open breaker. Open breakers whose
+    /// cooldown has expired move to HalfOpen (and are admitted as
+    /// probes).
+    pub fn admit(&mut self, slot: u64, subscribed: &[RelayId]) -> (Vec<RelayId>, Vec<RelayId>) {
+        let mut admitted = Vec::with_capacity(subscribed.len());
+        let mut skipped = Vec::new();
+        for &rid in subscribed {
+            let b = *self.slot_mut(rid);
+            match b.state {
+                BreakerState::Open
+                    if slot >= b.opened_at.saturating_add(self.policy.open_slots) =>
+                {
+                    self.slot_mut(rid).probe_ok = 0;
+                    self.transition(slot, rid, BreakerState::HalfOpen);
+                    admitted.push(rid);
+                }
+                BreakerState::Open => skipped.push(rid),
+                BreakerState::Closed | BreakerState::HalfOpen => admitted.push(rid),
+            }
+        }
+        (admitted, skipped)
+    }
+
+    /// Scores one slot's event trail: each admitted relay either failed
+    /// (a failure-class event names it) or behaved. Failures accumulate
+    /// toward a trip; successes reset Closed counters and advance
+    /// HalfOpen probes toward re-closing.
+    pub fn observe(&mut self, slot: u64, admitted: &[RelayId], events: &[BoostEvent]) {
+        for &rid in admitted {
+            let failed = events.iter().any(|e| {
+                matches!(
+                    e,
+                    BoostEvent::RelayUnreachable { relay }
+                        | BoostEvent::StaleHeader { relay }
+                        | BoostEvent::PayloadFailed { relay }
+                        | BoostEvent::ShortfallInjected { relay, .. }
+                    if *relay == rid
+                )
+            });
+            let policy = self.policy;
+            let b = self.slot_mut(rid);
+            match (b.state, failed) {
+                (BreakerState::Closed, true) => {
+                    b.consecutive_failures += 1;
+                    if b.consecutive_failures >= policy.trip_failures {
+                        self.slot_mut(rid).opened_at = slot;
+                        self.transition(slot, rid, BreakerState::Open);
+                    }
+                }
+                (BreakerState::Closed, false) => b.consecutive_failures = 0,
+                (BreakerState::HalfOpen, true) => {
+                    b.opened_at = slot;
+                    b.probe_ok = 0;
+                    self.transition(slot, rid, BreakerState::Open);
+                }
+                (BreakerState::HalfOpen, false) => {
+                    b.probe_ok += 1;
+                    if b.probe_ok >= policy.probe_successes {
+                        let s = self.slot_mut(rid);
+                        s.consecutive_failures = 0;
+                        s.probe_ok = 0;
+                        self.transition(slot, rid, BreakerState::Closed);
+                    }
+                }
+                // Open relays were not admitted; nothing to score.
+                (BreakerState::Open, _) => {}
+            }
+        }
+    }
+
+    /// Drains the transitions recorded since the last call (the driver
+    /// folds them into the run's audit trail each slot).
+    pub fn drain_transitions(&mut self) -> Vec<BreakerTransition> {
+        std::mem::take(&mut self.transitions)
+    }
+}
+
+impl Snapshot for BreakerBank {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.policy.encode(w);
+        self.states.encode(w);
+        self.transitions.encode(w);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(BreakerBank {
+            policy: Snapshot::decode(r)?,
+            states: Snapshot::decode(r)?,
+            transitions: Snapshot::decode(r)?,
+        })
+    }
 }
 
 /// The outcome of one full MEV-Boost proposal round.
@@ -168,6 +485,9 @@ pub struct MevBoostClient {
     pub min_bid: Wei,
     /// Per-relay request retry policy.
     pub retry: RetryPolicy,
+    /// Optional per-slot deadline budget; `None` (the default) reproduces
+    /// the pre-chaos client byte for byte.
+    pub budget: Option<SlotBudget>,
 }
 
 impl MevBoostClient {
@@ -177,6 +497,7 @@ impl MevBoostClient {
             subscribed,
             min_bid: Wei::ZERO,
             retry: RetryPolicy::default(),
+            budget: None,
         }
     }
 
@@ -189,6 +510,12 @@ impl MevBoostClient {
     /// Sets the retry policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Sets the per-slot deadline budget.
+    pub fn with_budget(mut self, budget: SlotBudget) -> Self {
+        self.budget = Some(budget);
         self
     }
 
@@ -254,25 +581,41 @@ impl MevBoostClient {
     fn propose_inner(&self, relays: &RelayRegistry, timed: Option<TimedQuery>) -> ProposeReport {
         let mut events = Vec::new();
         let mut best: Option<HeaderChoice> = None;
+        // Deadline-budget accounting: every query round trip and every
+        // retry backoff is waited out in simulated time. `None` budget
+        // never exhausts, keeping the pre-chaos event trail byte-exact.
+        let query_cost = self.budget.map(|b| b.query_cost_ms).unwrap_or(0);
+        let mut spent_ms = 0u64;
+        let exhausted =
+            |spent: u64, budget: Option<SlotBudget>| budget.is_some_and(|b| spent >= b.budget_ms);
         for &rid in &self.subscribed {
             let Some(relay) = relays.get(rid) else {
                 continue;
             };
+            if exhausted(spent_ms, self.budget) {
+                events.push(BoostEvent::BudgetExhausted { relay: rid });
+                break;
+            }
             let wasted = relay.faults.wasted_attempts;
             if wasted > 0 {
                 let answered_on = wasted.saturating_add(1);
                 for attempt in 1..=self.retry.max_attempts.min(wasted) {
+                    let backoff_ms = self.retry.backoff_ms(attempt);
                     events.push(BoostEvent::HeaderTimeout {
                         relay: rid,
                         attempt,
-                        backoff_ms: self.retry.backoff_ms(attempt),
+                        backoff_ms,
                     });
+                    spent_ms = spent_ms
+                        .saturating_add(query_cost)
+                        .saturating_add(backoff_ms);
                 }
                 if answered_on > self.retry.max_attempts {
                     events.push(BoostEvent::RelayUnreachable { relay: rid });
                     continue;
                 }
             }
+            spent_ms = spent_ms.saturating_add(query_cost);
             // Timed rounds read the bid book at the query instant; the
             // one-shot path reads the flat escrow. The stale event fires
             // when the served view differs from the relay's own fresh
@@ -319,6 +662,11 @@ impl MevBoostClient {
         });
         let mut payload_relay = None;
         for &rid in &choice.relays {
+            if exhausted(spent_ms, self.budget) {
+                events.push(BoostEvent::BudgetExhausted { relay: rid });
+                break;
+            }
+            spent_ms = spent_ms.saturating_add(query_cost);
             let fails = relays
                 .get(rid)
                 .map(|r| r.faults.payload_failure)
@@ -371,6 +719,10 @@ fn record_boost_telemetry(report: &ProposeReport, relays: &RelayRegistry) {
             BoostEvent::SelfBuild => telemetry::counter_add("pbs.boost.self_builds", 1),
             BoostEvent::SlotMissed { relay } => labeled("pbs.boost.missed_slots", relay),
             BoostEvent::ShortfallInjected { relay, .. } => labeled("pbs.boost.shortfalls", relay),
+            BoostEvent::BudgetExhausted { relay } => labeled("pbs.boost.budget_exhausted", relay),
+            BoostEvent::BuilderShortfall { .. } => {
+                telemetry::counter_add("pbs.boost.builder_shortfalls", 1)
+            }
         }
     }
     // A delivery by a non-primary carrying relay is a successful fallback.
@@ -721,6 +1073,205 @@ mod tests {
         assert_eq!(report.choice, None);
         assert!(!report.missed);
         assert_eq!(report.events, vec![BoostEvent::SelfBuild]);
+    }
+
+    fn test_policy() -> BreakerPolicy {
+        BreakerPolicy {
+            trip_failures: 3,
+            open_slots: 8,
+            probe_successes: 2,
+        }
+    }
+
+    #[test]
+    fn breaker_trips_open_after_consecutive_failures() {
+        let mut bank = BreakerBank::new(test_policy(), 4);
+        let rid = RelayId(1);
+        for slot in 0..3 {
+            let (admitted, skipped) = bank.admit(slot, &[rid]);
+            assert_eq!(admitted, vec![rid]);
+            assert!(skipped.is_empty());
+            bank.observe(
+                slot,
+                &admitted,
+                &[BoostEvent::RelayUnreachable { relay: rid }],
+            );
+        }
+        assert_eq!(bank.state(rid), BreakerState::Open);
+        // While Open the relay is skipped, not queried.
+        let (admitted, skipped) = bank.admit(3, &[rid]);
+        assert!(admitted.is_empty());
+        assert_eq!(skipped, vec![rid]);
+        let t = bank.drain_transitions();
+        assert_eq!(
+            t,
+            vec![BreakerTransition {
+                slot: 2,
+                relay: rid,
+                from: BreakerState::Closed,
+                to: BreakerState::Open,
+            }]
+        );
+        assert!(bank.drain_transitions().is_empty(), "drain clears the log");
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut bank = BreakerBank::new(test_policy(), 4);
+        let rid = RelayId(0);
+        for slot in 0..2 {
+            bank.observe(slot, &[rid], &[BoostEvent::PayloadFailed { relay: rid }]);
+        }
+        // A clean slot (no failure event naming the relay) resets.
+        bank.observe(2, &[rid], &[]);
+        for slot in 3..5 {
+            bank.observe(slot, &[rid], &[BoostEvent::PayloadFailed { relay: rid }]);
+        }
+        assert_eq!(bank.state(rid), BreakerState::Closed);
+        bank.observe(5, &[rid], &[BoostEvent::PayloadFailed { relay: rid }]);
+        assert_eq!(bank.state(rid), BreakerState::Open);
+    }
+
+    #[test]
+    fn breaker_half_opens_then_closes_on_probe_successes() {
+        let mut bank = BreakerBank::new(test_policy(), 4);
+        let rid = RelayId(2);
+        for slot in 0..3 {
+            bank.observe(slot, &[rid], &[BoostEvent::StaleHeader { relay: rid }]);
+        }
+        assert_eq!(bank.state(rid), BreakerState::Open);
+        // Cooldown not yet expired at slot 9 (opened at 2, opens at 10).
+        let (admitted, _) = bank.admit(9, &[rid]);
+        assert!(admitted.is_empty());
+        // At slot 10 the breaker half-opens and the relay is probed.
+        let (admitted, skipped) = bank.admit(10, &[rid]);
+        assert_eq!(admitted, vec![rid]);
+        assert!(skipped.is_empty());
+        assert_eq!(bank.state(rid), BreakerState::HalfOpen);
+        bank.observe(10, &admitted, &[]);
+        assert_eq!(bank.state(rid), BreakerState::HalfOpen);
+        let (admitted, _) = bank.admit(11, &[rid]);
+        bank.observe(11, &admitted, &[]);
+        assert_eq!(bank.state(rid), BreakerState::Closed);
+        let kinds: Vec<(BreakerState, BreakerState)> = bank
+            .drain_transitions()
+            .iter()
+            .map(|t| (t.from, t.to))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (BreakerState::Closed, BreakerState::Open),
+                (BreakerState::Open, BreakerState::HalfOpen),
+                (BreakerState::HalfOpen, BreakerState::Closed),
+            ]
+        );
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_restarts_the_cooldown() {
+        let mut bank = BreakerBank::new(test_policy(), 4);
+        let rid = RelayId(3);
+        for slot in 0..3 {
+            bank.observe(slot, &[rid], &[BoostEvent::PayloadFailed { relay: rid }]);
+        }
+        let (admitted, _) = bank.admit(10, &[rid]);
+        assert_eq!(bank.state(rid), BreakerState::HalfOpen);
+        bank.observe(10, &admitted, &[BoostEvent::PayloadFailed { relay: rid }]);
+        assert_eq!(bank.state(rid), BreakerState::Open);
+        // The cooldown restarts from the failed probe's slot.
+        let (admitted, _) = bank.admit(17, &[rid]);
+        assert!(admitted.is_empty());
+        let (admitted, _) = bank.admit(18, &[rid]);
+        assert_eq!(admitted, vec![rid]);
+    }
+
+    #[test]
+    fn breaker_bank_round_trips_through_snapshot() {
+        let mut bank = BreakerBank::new(test_policy(), 11);
+        for slot in 0..3 {
+            bank.observe(
+                slot,
+                &[RelayId(5)],
+                &[BoostEvent::RelayUnreachable { relay: RelayId(5) }],
+            );
+        }
+        let mut w = SnapWriter::new();
+        bank.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = BreakerBank::decode(&mut SnapReader::new(&bytes)).unwrap();
+        assert_eq!(bank, back);
+    }
+
+    #[test]
+    fn no_budget_never_exhausts() {
+        let (mut relays, a, u) = two_relay_setup();
+        let best = relays.get_mut(u).unwrap();
+        best.faults.health = simcore::Health::Degraded;
+        best.faults.wasted_attempts = u32::MAX;
+        let client = MevBoostClient::new(vec![u, a]);
+        let report = client.propose(&relays);
+        assert!(!report
+            .events
+            .iter()
+            .any(|e| matches!(e, BoostEvent::BudgetExhausted { .. })));
+    }
+
+    #[test]
+    fn exhausted_budget_skips_remaining_relays() {
+        let (mut relays, a, u) = two_relay_setup();
+        // `u` burns the whole budget with retries; `a` is never queried.
+        let best = relays.get_mut(u).unwrap();
+        best.faults.health = simcore::Health::Degraded;
+        best.faults.wasted_attempts = u32::MAX;
+        let client = MevBoostClient::new(vec![u, a]).with_budget(SlotBudget {
+            budget_ms: 300,
+            query_cost_ms: 150,
+        });
+        let report = client.propose(&relays);
+        // 3 timeouts (150+50, 150+100, 150+200 = 800ms ≥ 300) exhaust
+        // the budget before relay `a`'s turn; the client then self-builds.
+        assert_eq!(
+            &report.events[4..],
+            &[
+                BoostEvent::BudgetExhausted { relay: a },
+                BoostEvent::SelfBuild,
+            ]
+        );
+        assert_eq!(report.choice, None, "no relay answered in budget");
+        assert!(!report.missed, "nothing signed, proposer self-builds");
+    }
+
+    #[test]
+    fn budget_exhaustion_after_signing_misses_the_slot() {
+        let (relays, a, u) = two_relay_setup();
+        let _ = a;
+        // One header query fits the budget exactly; getPayload does not.
+        let client = MevBoostClient::new(vec![u]).with_budget(SlotBudget {
+            budget_ms: 150,
+            query_cost_ms: 150,
+        });
+        let report = client.propose(&relays);
+        assert!(report.missed);
+        assert_eq!(report.payload_relay, None);
+        assert_eq!(
+            &report.events[1..],
+            &[
+                BoostEvent::BudgetExhausted { relay: u },
+                BoostEvent::SlotMissed { relay: u },
+            ]
+        );
+    }
+
+    #[test]
+    fn generous_budget_changes_nothing() {
+        let (relays, a, u) = two_relay_setup();
+        let plain = MevBoostClient::new(vec![a, u]);
+        let budgeted = plain.clone().with_budget(SlotBudget {
+            budget_ms: 12_000,
+            query_cost_ms: 150,
+        });
+        assert_eq!(plain.propose(&relays), budgeted.propose(&relays));
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub mod relay;
 pub mod timing;
 
 pub use auction::{SlotAuction, SlotResult, SubmissionRecord};
-pub use boost::{BoostEvent, LocalBuilder, MevBoostClient, ProposeReport, RetryPolicy, TimedQuery};
+pub use boost::{
+    BoostEvent, BreakerBank, BreakerPolicy, BreakerState, BreakerTransition, LocalBuilder,
+    MevBoostClient, ProposeReport, RetryPolicy, SlotBudget, TimedQuery,
+};
 pub use builder::{
     with_slot_tables, BuildInputs, Builder, BuilderId, BuilderProfile, BuiltBlock, MarginPolicy,
     SubsidyPolicy,
@@ -38,4 +41,7 @@ pub use relay::{
     BookEntry, BuilderPolicy, Relay, RelayId, RelayRegistry, RelayStaticInfo, Submission,
     PAPER_RELAYS,
 };
-pub use timing::{AuctionTimingTrace, BidStrategy, StrategyKind, TimingParams};
+pub use timing::{
+    AuctionTimingTrace, BidStrategy, BuilderChaos, NetChaos, NetFaultParams, NetFaultSchedule,
+    SlotChaos, StrategyKind, TimingParams,
+};

@@ -11,8 +11,12 @@
 use crate::builder::BuilderId;
 use crate::relay::RelayId;
 use eth_types::Wei;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
-use simcore::{LatencyChannel, SnapReader, SnapWriter, Snapshot, SnapshotError};
+use simcore::{
+    build_windows, in_window, LatencyChannel, SeedDomain, SnapReader, SnapWriter, Snapshot,
+    SnapshotError, Windows,
+};
 
 /// The strategy family a builder plays, for records and analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -245,6 +249,218 @@ impl Snapshot for TimingParams {
     }
 }
 
+/// Chaos rates for the builder↔relay message fabric, in primitive units
+/// so `pbs` stays independent of the scenario configuration types.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetFaultParams {
+    /// Probability an individual bid or cancel message is silently lost.
+    pub drop_prob: f64,
+    /// Probability a message suffers a jitter burst on top of its
+    /// channel delay.
+    pub jitter_prob: f64,
+    /// Maximum extra delay (ms) a jitter burst adds, drawn uniformly.
+    pub jitter_max_ms: u64,
+    /// Mean builder↔relay partition windows per day, per channel.
+    pub partitions_per_day: f64,
+    /// Mean partition length in slots.
+    pub partition_mean_slots: f64,
+}
+
+impl NetFaultParams {
+    /// True when every rate is zero — the fabric never misbehaves.
+    pub fn is_inert(&self) -> bool {
+        self.drop_prob == 0.0 && self.jitter_prob == 0.0 && self.partitions_per_day == 0.0
+    }
+}
+
+impl Snapshot for NetFaultParams {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.drop_prob.encode(w);
+        self.jitter_prob.encode(w);
+        self.jitter_max_ms.encode(w);
+        self.partitions_per_day.encode(w);
+        self.partition_mean_slots.encode(w);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(NetFaultParams {
+            drop_prob: Snapshot::decode(r)?,
+            jitter_prob: Snapshot::decode(r)?,
+            jitter_max_ms: Snapshot::decode(r)?,
+            partitions_per_day: Snapshot::decode(r)?,
+            partition_mean_slots: Snapshot::decode(r)?,
+        })
+    }
+}
+
+/// Seeded network-fault layout for a whole run: one partition-window
+/// schedule per builder↔relay channel plus the constant drop/jitter
+/// rates. Built once from a dedicated seed sub-domain, so the layout is
+/// a pure function of the master seed and the chaos knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetFaultSchedule {
+    params: NetFaultParams,
+    relays: u32,
+    /// Partition windows, indexed `builder * relays + relay`.
+    partitions: Vec<Windows>,
+}
+
+impl NetFaultSchedule {
+    /// Lays out the schedule. `domain` should be a dedicated sub-domain
+    /// (e.g. `seeds.subdomain("net_faults")`) so partition draws cannot
+    /// collide with any other stream.
+    pub fn build(
+        domain: &SeedDomain,
+        params: NetFaultParams,
+        builders: u32,
+        relays: u32,
+        slots_per_day: u64,
+        total_slots: u64,
+    ) -> Self {
+        let spd = slots_per_day.max(1);
+        let mut partitions = Vec::with_capacity((builders * relays) as usize);
+        for b in 0..builders {
+            for r in 0..relays {
+                let mut rng = domain.rng(&format!("partition:{b}:{r}"));
+                partitions.push(build_windows(
+                    &mut rng,
+                    params.partitions_per_day,
+                    params.partition_mean_slots,
+                    spd,
+                    total_slots,
+                ));
+            }
+        }
+        NetFaultSchedule {
+            params,
+            relays,
+            partitions,
+        }
+    }
+
+    /// Whether builder `b`'s channel to relay `r` is partitioned during
+    /// `slot`. Out-of-table channels never partition.
+    pub fn partitioned(&self, b: BuilderId, r: RelayId, slot: u64) -> bool {
+        let idx = b.0 as usize * self.relays as usize + r.0 as usize;
+        match self.partitions.get(idx) {
+            Some(w) => in_window(w, slot),
+            None => false,
+        }
+    }
+
+    /// The per-slot chaos view the auction consumes: constant rates plus
+    /// the partition predicate resolved for this slot.
+    pub fn slot_view(&self, slot: u64) -> NetChaos {
+        NetChaos {
+            drop_prob: self.params.drop_prob,
+            jitter_prob: self.params.jitter_prob,
+            jitter_max_ms: self.params.jitter_max_ms,
+            relays: self.relays,
+            partitioned: self.partitions.iter().map(|w| in_window(w, slot)).collect(),
+        }
+    }
+}
+
+impl Snapshot for NetFaultSchedule {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.params.encode(w);
+        self.relays.encode(w);
+        self.partitions.encode(w);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(NetFaultSchedule {
+            params: Snapshot::decode(r)?,
+            relays: Snapshot::decode(r)?,
+            partitions: Snapshot::decode(r)?,
+        })
+    }
+}
+
+/// Network chaos resolved for one slot: rates plus a per-channel
+/// partition bitmap. Message-level drop/jitter draws stay with the
+/// caller so the auction controls exactly which RNG stream they come
+/// from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetChaos {
+    /// Probability an individual message is silently lost.
+    pub drop_prob: f64,
+    /// Probability a message suffers a jitter burst.
+    pub jitter_prob: f64,
+    /// Maximum extra delay (ms) a jitter burst adds, drawn uniformly.
+    pub jitter_max_ms: u64,
+    relays: u32,
+    partitioned: Vec<bool>,
+}
+
+impl NetChaos {
+    /// Whether builder `b`'s channel to relay `r` is partitioned this
+    /// slot.
+    pub fn is_partitioned(&self, b: BuilderId, r: RelayId) -> bool {
+        let idx = b.0 as usize * self.relays as usize + r.0 as usize;
+        self.partitioned.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Decides the fate of one message on builder `b`'s channel to relay
+    /// `r`: `None` when the message is lost (partition or drop), else
+    /// the extra jitter delay (ms) to add on top of the channel latency.
+    ///
+    /// Always draws the same number of randoms for a non-partitioned
+    /// channel (one for drop, one for jitter, one for the jitter size
+    /// when the burst fires), keeping downstream draws aligned across
+    /// configs that differ only in whether a given message survives.
+    pub fn message_fate(&self, b: BuilderId, r: RelayId, rng: &mut impl Rng) -> Option<u64> {
+        if self.is_partitioned(b, r) {
+            return None;
+        }
+        let dropped = rng.random::<f64>() < self.drop_prob;
+        let jittered = rng.random::<f64>() < self.jitter_prob;
+        let extra = if jittered && self.jitter_max_ms > 0 {
+            rng.random_range(0..=self.jitter_max_ms)
+        } else {
+            0
+        };
+        if dropped {
+            None
+        } else {
+            Some(extra)
+        }
+    }
+}
+
+/// One builder's chaos state for one slot, resolved by the driver from
+/// the builder-tier fault schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BuilderChaos {
+    /// The builder is down this slot and submits nothing.
+    pub crashed: bool,
+    /// Extra one-way latency (ms) added to every message the builder
+    /// sends this slot.
+    pub spike_ms: u64,
+    /// When set, the builder is insolvent: its payment at `getPayload`
+    /// falls short of the promised bid by this fraction.
+    pub shortfall: Option<f64>,
+}
+
+/// Everything chaotic the auction needs to know about one slot. Absent
+/// (`None` on [`crate::auction::SlotAuction`]) the auction behaves
+/// exactly as before chaos existed — byte for byte.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SlotChaos {
+    /// Per-builder faults, indexed by `BuilderId`. Out-of-table builders
+    /// are healthy.
+    pub builders: Vec<BuilderChaos>,
+    /// Network fabric faults, when the network tier is enabled.
+    pub net: Option<NetChaos>,
+}
+
+impl SlotChaos {
+    /// Builder `b`'s chaos state (healthy when out of table).
+    pub fn builder(&self, b: BuilderId) -> BuilderChaos {
+        self.builders.get(b.0 as usize).copied().unwrap_or_default()
+    }
+}
+
 /// Per-slot timing trace the streamed auction attaches to its result.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AuctionTimingTrace {
@@ -305,6 +521,124 @@ mod tests {
         let flat = TimingParams::one_shot_degenerate(1, 1);
         assert_eq!(flat.accrual_permille(0), 1000);
         assert_eq!(flat.accrued(Wei::from_gwei(7), 0), Wei::from_gwei(7));
+    }
+
+    fn stormy_net() -> NetFaultParams {
+        NetFaultParams {
+            drop_prob: 0.2,
+            jitter_prob: 0.5,
+            jitter_max_ms: 500,
+            partitions_per_day: 40.0,
+            partition_mean_slots: 6.0,
+        }
+    }
+
+    #[test]
+    fn inert_params_draw_no_partitions() {
+        let inert = NetFaultParams {
+            drop_prob: 0.0,
+            jitter_prob: 0.0,
+            jitter_max_ms: 700,
+            partitions_per_day: 0.0,
+            partition_mean_slots: 5.0,
+        };
+        assert!(inert.is_inert());
+        assert!(!stormy_net().is_inert());
+        let domain = SeedDomain::new(7).subdomain("net_faults");
+        let sched = NetFaultSchedule::build(&domain, inert, 4, 3, 100, 1000);
+        for slot in [0, 17, 999] {
+            assert!(!sched.partitioned(BuilderId(1), RelayId(2), slot));
+        }
+    }
+
+    #[test]
+    fn partition_layout_is_deterministic_and_per_channel() {
+        let domain = SeedDomain::new(9).subdomain("net_faults");
+        let a = NetFaultSchedule::build(&domain, stormy_net(), 3, 2, 50, 500);
+        let b = NetFaultSchedule::build(&domain, stormy_net(), 3, 2, 50, 500);
+        assert_eq!(a, b);
+        // With 40 windows/day over 10 days, at least one channel must
+        // differ from another somewhere — channels are independent.
+        let mut differs = false;
+        for slot in 0..500 {
+            if a.partitioned(BuilderId(0), RelayId(0), slot)
+                != a.partitioned(BuilderId(2), RelayId(1), slot)
+            {
+                differs = true;
+                break;
+            }
+        }
+        assert!(differs, "independent channels never diverged");
+        // Out-of-table channels never partition.
+        assert!(!a.partitioned(BuilderId(9), RelayId(0), 0));
+        // The slot view agrees with the schedule.
+        let view = a.slot_view(123);
+        for bi in 0..3u32 {
+            for ri in 0..2u32 {
+                assert_eq!(
+                    view.is_partitioned(BuilderId(bi), RelayId(ri)),
+                    a.partitioned(BuilderId(bi), RelayId(ri), 123)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn message_fate_draws_are_aligned() {
+        let domain = SeedDomain::new(11).subdomain("net_faults");
+        let sched = NetFaultSchedule::build(&domain, stormy_net(), 2, 2, 50, 500);
+        let view = sched.slot_view(3);
+        // Same RNG stream → same fate sequence.
+        let mut r1 = domain.rng("msgs");
+        let mut r2 = domain.rng("msgs");
+        for _ in 0..200 {
+            assert_eq!(
+                view.message_fate(BuilderId(0), RelayId(1), &mut r1),
+                view.message_fate(BuilderId(0), RelayId(1), &mut r2)
+            );
+        }
+        // A partitioned channel consumes no randomness.
+        let mut part = view.clone();
+        part.partitioned = vec![true; 4];
+        let mut r3 = domain.rng("probe");
+        assert_eq!(part.message_fate(BuilderId(0), RelayId(0), &mut r3), None);
+        let mut r4 = domain.rng("probe");
+        let a: u64 = r3.random();
+        let b: u64 = r4.random();
+        assert_eq!(a, b, "partitioned fate advanced the RNG");
+    }
+
+    #[test]
+    fn net_fault_schedule_round_trips_through_snapshot() {
+        let domain = SeedDomain::new(13).subdomain("net_faults");
+        let sched = NetFaultSchedule::build(&domain, stormy_net(), 3, 4, 50, 300);
+        let mut w = SnapWriter::new();
+        sched.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = NetFaultSchedule::decode(&mut r).unwrap();
+        assert_eq!(sched, back);
+    }
+
+    #[test]
+    fn slot_chaos_defaults_to_healthy() {
+        let chaos = SlotChaos {
+            builders: vec![
+                BuilderChaos {
+                    crashed: true,
+                    ..BuilderChaos::default()
+                },
+                BuilderChaos {
+                    spike_ms: 900,
+                    shortfall: Some(0.35),
+                    ..BuilderChaos::default()
+                },
+            ],
+            net: None,
+        };
+        assert!(chaos.builder(BuilderId(0)).crashed);
+        assert_eq!(chaos.builder(BuilderId(1)).spike_ms, 900);
+        assert_eq!(chaos.builder(BuilderId(7)), BuilderChaos::default());
     }
 
     #[test]

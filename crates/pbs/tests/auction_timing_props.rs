@@ -262,6 +262,7 @@ proptest! {
                 jitter_zero_prob: 0.2,
                 jitter_max_frac: 0.05,
                 timing: if timed { Some(&tp) } else { None },
+                chaos: None,
             };
             let bundles: Vec<Vec<Bundle>> = builders.iter().map(|_| Vec::new()).collect();
             let client = MevBoostClient::new(vec![us, fb]);

@@ -211,6 +211,7 @@ proptest! {
             jitter_zero_prob: 1.0,
             jitter_max_frac: 0.0,
             timing: None,
+            chaos: None,
         };
         let client = MevBoostClient::new(vec![fb]);
         let pool = Mempool::new(64);

@@ -4,8 +4,9 @@
 use eth_types::{Address, BlsPublicKey, DayIndex, Gas, GasPrice, Slot, Transaction, Wei};
 use execution::Mempool;
 use pbs::{
-    BoostEvent, Builder, BuilderId, BuilderProfile, MarginPolicy, MevBoostClient, RelayRegistry,
-    SanctionsList, SlotAuction, Submission, SubsidyPolicy,
+    BoostEvent, BreakerBank, BreakerPolicy, BreakerState, Builder, BuilderChaos, BuilderId,
+    BuilderProfile, MarginPolicy, MevBoostClient, RelayId, RelayRegistry, SanctionsList,
+    SlotAuction, SlotChaos, Submission, SubsidyPolicy,
 };
 use proptest::prelude::*;
 use simcore::{Health, SeedDomain};
@@ -65,6 +66,7 @@ proptest! {
             jitter_zero_prob: 0.2,
             jitter_max_frac: 0.05,
             timing: None,
+            chaos: None,
         };
         let client = MevBoostClient::new(vec![us, gn]);
         let pool = Mempool::new(64);
@@ -320,5 +322,275 @@ proptest! {
         )));
         let choice = report.choice.as_ref().unwrap();
         prop_assert_eq!(report.payload_relay, Some(choice.relays[0]));
+    }
+}
+
+/// A deliberately naive mirror of one relay's breaker, written straight
+/// from the policy's prose: trip Open after `trip_failures` consecutive
+/// admitted failures, probe HalfOpen once `open_slots` have elapsed,
+/// close again after `probe_successes` clean probes. The property tests
+/// check [`BreakerBank`] against this model slot by slot.
+#[derive(Clone, Copy)]
+struct MirrorBreaker {
+    state: BreakerState,
+    fails: u32,
+    opened_at: u64,
+    probes: u32,
+}
+
+impl MirrorBreaker {
+    fn new() -> Self {
+        MirrorBreaker {
+            state: BreakerState::Closed,
+            fails: 0,
+            opened_at: 0,
+            probes: 0,
+        }
+    }
+
+    /// Whether the relay is admitted this slot (mutating Open→HalfOpen
+    /// when the cooldown has expired, exactly as `admit` documents).
+    fn admit(&mut self, slot: u64, policy: &BreakerPolicy) -> bool {
+        match self.state {
+            BreakerState::Open if slot >= self.opened_at + policy.open_slots => {
+                self.state = BreakerState::HalfOpen;
+                self.probes = 0;
+                true
+            }
+            BreakerState::Open => false,
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+        }
+    }
+
+    fn observe(&mut self, slot: u64, failed: bool, policy: &BreakerPolicy) {
+        match (self.state, failed) {
+            (BreakerState::Closed, true) => {
+                self.fails += 1;
+                if self.fails >= policy.trip_failures {
+                    self.state = BreakerState::Open;
+                    self.opened_at = slot;
+                }
+            }
+            (BreakerState::Closed, false) => self.fails = 0,
+            (BreakerState::HalfOpen, true) => {
+                self.state = BreakerState::Open;
+                self.opened_at = slot;
+                self.probes = 0;
+            }
+            (BreakerState::HalfOpen, false) => {
+                self.probes += 1;
+                if self.probes >= policy.probe_successes {
+                    self.state = BreakerState::Closed;
+                    self.fails = 0;
+                    self.probes = 0;
+                }
+            }
+            (BreakerState::Open, _) => {}
+        }
+    }
+}
+
+/// Synthesizes the failure-class event the bank should count against
+/// `relay`, cycling through all four classes so each one is exercised.
+fn failure_event(slot: u64, relay: RelayId) -> BoostEvent {
+    match (slot + relay.0 as u64) % 4 {
+        0 => BoostEvent::RelayUnreachable { relay },
+        1 => BoostEvent::StaleHeader { relay },
+        2 => BoostEvent::PayloadFailed { relay },
+        _ => BoostEvent::ShortfallInjected {
+            relay,
+            promised: Wei::from_eth(0.1),
+            delivered: Wei::from_eth(0.05),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any policy and any per-slot failure pattern, the breaker bank
+    /// tracks the naive reference model exactly — same admitted/skipped
+    /// split every slot, same per-relay state — and replaying the same
+    /// trail on a fresh bank reproduces the identical transition log.
+    #[test]
+    fn breaker_bank_matches_the_reference_model(
+        trip in 1u32..4,
+        open_slots in 1u64..5,
+        probe_successes in 1u32..3,
+        fails in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..60),
+    ) {
+        let policy = BreakerPolicy { trip_failures: trip, open_slots, probe_successes };
+        let relays = [RelayId(0), RelayId(1)];
+        let mut bank = BreakerBank::new(policy, relays.len());
+        let mut mirror = [MirrorBreaker::new(), MirrorBreaker::new()];
+        // The trail the bank actually saw, replayed verbatim below.
+        let mut trail: Vec<(u64, Vec<RelayId>, Vec<BoostEvent>)> = Vec::new();
+
+        for (slot, &(f0, f1)) in fails.iter().enumerate() {
+            let slot = slot as u64;
+            let (admitted, skipped) = bank.admit(slot, &relays);
+            let mirror_admitted: Vec<RelayId> = relays
+                .iter()
+                .zip(mirror.iter_mut())
+                .filter_map(|(&rid, m)| m.admit(slot, &policy).then_some(rid))
+                .collect();
+            prop_assert_eq!(&admitted, &mirror_admitted, "admit split at slot {}", slot);
+            for rid in &skipped {
+                prop_assert_eq!(bank.state(*rid), BreakerState::Open);
+            }
+
+            let mut events = Vec::new();
+            for &rid in &admitted {
+                let failed = if rid.0 == 0 { f0 } else { f1 };
+                if failed {
+                    events.push(failure_event(slot, rid));
+                } else {
+                    // Success is the *absence* of a failure class; benign
+                    // events about the same relay must not count.
+                    events.push(BoostEvent::PayloadDelivered { relay: rid });
+                }
+            }
+            bank.observe(slot, &admitted, &events);
+            for (&rid, m) in relays.iter().zip(mirror.iter_mut()) {
+                if admitted.contains(&rid) {
+                    let failed = if rid.0 == 0 { f0 } else { f1 };
+                    m.observe(slot, failed, &policy);
+                }
+                prop_assert_eq!(bank.state(rid), m.state, "state of relay {} after slot {}", rid.0, slot);
+            }
+            trail.push((slot, admitted, events));
+        }
+
+        // Transitions are well-formed: every hop changes state, and each
+        // relay's hops chain (the `to` of one is the `from` of the next).
+        let transitions = bank.drain_transitions();
+        let mut last: [BreakerState; 2] = [BreakerState::Closed; 2];
+        for t in &transitions {
+            prop_assert_ne!(t.from, t.to);
+            prop_assert_eq!(t.from, last[t.relay.0 as usize]);
+            last[t.relay.0 as usize] = t.to;
+        }
+        for (&rid, s) in relays.iter().zip(last.iter()) {
+            prop_assert_eq!(bank.state(rid), *s);
+        }
+
+        // Determinism: a fresh bank fed the recorded trail lands on the
+        // identical transition log and final states.
+        let mut replay = BreakerBank::new(policy, relays.len());
+        for (slot, admitted, events) in &trail {
+            let (re_admitted, _) = replay.admit(*slot, &relays);
+            prop_assert_eq!(&re_admitted, admitted, "replay diverged at slot {}", slot);
+            replay.observe(*slot, admitted, events);
+        }
+        prop_assert_eq!(replay.drain_transitions(), transitions);
+        for &rid in &relays {
+            prop_assert_eq!(replay.state(rid), bank.state(rid));
+        }
+    }
+
+    /// Builder crashes never break proposal safety: whatever subset of
+    /// builders is down, the slot signs at most one header, crashed
+    /// builders submit nothing anywhere, and the whole resolution is
+    /// deterministic.
+    #[test]
+    fn one_signed_header_per_slot_under_builder_crashes(
+        crashed in proptest::collection::vec(any::<bool>(), 1..=4),
+        txs in proptest::collection::vec((1u32..300, 0u32..100), 1..12),
+        seed in any::<u64>(),
+    ) {
+        let run_once = || {
+            let seeds = SeedDomain::new(seed);
+            let mut relays = RelayRegistry::paper(&seeds);
+            let us = relays.id_by_name("UltraSound");
+            let gn = relays.id_by_name("GnosisDAO");
+
+            let mut builders: Vec<Builder> = crashed
+                .iter()
+                .enumerate()
+                .map(|(i, _)| {
+                    let mut profile = BuilderProfile::new(
+                        &format!("crashy{i}"),
+                        MarginPolicy::Share(0.05),
+                        SubsidyPolicy::Never,
+                        1.0,
+                    );
+                    profile.relays = vec![us, gn];
+                    Builder::new(BuilderId(i as u32), profile)
+                })
+                .collect();
+            let mempool: Vec<Transaction> = txs
+                .iter()
+                .enumerate()
+                .map(|(i, (tip, bribe))| mk_tx(i, *tip, *bribe))
+                .collect();
+            let chaos = SlotChaos {
+                builders: crashed
+                    .iter()
+                    .map(|&c| BuilderChaos { crashed: c, ..BuilderChaos::default() })
+                    .collect(),
+                net: None,
+            };
+
+            let sanctions = SanctionsList::new();
+            let auction = SlotAuction {
+                slot: Slot(5),
+                day: DayIndex(10),
+                base_fee: GasPrice::from_gwei(10.0),
+                gas_limit: Gas::BLOCK_LIMIT,
+                sanctions: &sanctions,
+                jitter_zero_prob: 0.2,
+                jitter_max_frac: 0.05,
+                timing: None,
+                chaos: Some(&chaos),
+            };
+            let client = MevBoostClient::new(vec![us, gn]);
+            let pool = Mempool::new(64);
+            let bundles = vec![Vec::new(); builders.len()];
+            auction.run(
+                &mut builders,
+                &bundles,
+                &mempool,
+                &mut relays,
+                Some(&client),
+                Address::derive("proposer"),
+                &pool,
+                &[],
+                &seeds.subdomain("auction"),
+                None,
+            )
+        };
+        let result = run_once();
+
+        // Safety: at most one signed header, regardless of who crashed.
+        let signed = result
+            .events
+            .iter()
+            .filter(|e| matches!(e, BoostEvent::HeaderSigned { .. }))
+            .count();
+        prop_assert!(signed <= 1);
+
+        // A crashed builder submits nothing to any relay, and can never
+        // win; survivors all submit to both relays.
+        let alive = crashed.iter().filter(|c| !**c).count();
+        for s in &result.submissions {
+            prop_assert!(!crashed[s.builder.0 as usize], "crashed builder submitted");
+        }
+        prop_assert_eq!(result.submissions.len(), 2 * alive);
+        if let Some(winner) = result.builder {
+            prop_assert!(!crashed[winner.0 as usize], "crashed builder won");
+        }
+
+        // With every builder down the slot degrades to a local build —
+        // never a miss.
+        if alive == 0 {
+            prop_assert!(!result.pbs);
+            prop_assert!(!result.missed);
+            prop_assert!(signed == 0);
+            prop_assert_eq!(result.fee_recipient, Address::derive("proposer"));
+        }
+        prop_assert!(result.delivered <= result.promised);
+
+        // Determinism: the identical crash pattern resolves identically.
+        prop_assert_eq!(run_once(), result);
     }
 }

@@ -10,6 +10,35 @@
 use simcore::SnapshotError;
 use std::path::{Path, PathBuf};
 
+/// A checkpoint operation that failed, carrying the file it was touching
+/// so the operator knows *which* checkpoint to inspect or delete —
+/// a bare [`SnapshotError`] can only say what went wrong, not where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointError {
+    /// The checkpoint file the operation failed on.
+    pub path: PathBuf,
+    /// What went wrong with it.
+    pub source: SnapshotError,
+}
+
+impl CheckpointError {
+    /// Attaches `path` to a raw snapshot error.
+    pub fn at(path: &Path, source: SnapshotError) -> Self {
+        CheckpointError {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "checkpoint {}: {}", self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
 /// Schema version of the runner checkpoint body. Bump on any change to
 /// the field layout written by `Runner::checkpoint`.
 pub const CHECKPOINT_VERSION: u32 = 2;
@@ -127,10 +156,10 @@ pub fn write_checkpoint(
     day: u32,
     body: &[u8],
     keep: usize,
-) -> Result<PathBuf, SnapshotError> {
+) -> Result<PathBuf, CheckpointError> {
     let envelope = simcore::snapshot::write_envelope(CHECKPOINT_VERSION, body);
     let path = checkpoint_path(dir, day);
-    simcore::atomic_write(&path, &envelope)?;
+    simcore::atomic_write(&path, &envelope).map_err(|e| CheckpointError::at(&path, e.into()))?;
     prune(dir, keep);
     Ok(path)
 }
@@ -147,10 +176,12 @@ pub fn prune(dir: &Path, keep: usize) {
 }
 
 /// Reads a checkpoint file and validates its envelope, returning the
-/// body bytes.
-pub fn read_checkpoint(path: &Path) -> Result<Vec<u8>, SnapshotError> {
-    let bytes = std::fs::read(path)?;
-    let body = simcore::snapshot::read_envelope(&bytes, CHECKPOINT_VERSION)?;
+/// body bytes. Every failure names the offending file.
+pub fn read_checkpoint(path: &Path) -> Result<Vec<u8>, CheckpointError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| CheckpointError::at(path, SnapshotError::Io(e.to_string())))?;
+    let body = simcore::snapshot::read_envelope(&bytes, CHECKPOINT_VERSION)
+        .map_err(|e| CheckpointError::at(path, e))?;
     Ok(body.to_vec())
 }
 
@@ -211,7 +242,10 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x40;
         std::fs::write(&path, &bytes).unwrap();
-        assert_eq!(read_checkpoint(&path), Err(SnapshotError::ChecksumMismatch));
+        let err = read_checkpoint(&path).unwrap_err();
+        assert_eq!(err.source, SnapshotError::ChecksumMismatch);
+        assert_eq!(err.path, path, "error must name the offending file");
+        assert!(err.to_string().contains("checkpoint-day-00001"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -153,6 +153,170 @@ impl FaultConfig {
     }
 }
 
+/// Which full-stack chaos schedule the run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ChaosPreset {
+    /// No chaos: builders, the bid network, and the boost client are
+    /// perfect (the pre-chaos model). Draws zero randomness.
+    #[default]
+    Off,
+    /// Full chaos with the proposer defended: builder crashes, latency
+    /// spikes, insolvency, message drops, jitter bursts, and partitions —
+    /// with the per-relay circuit breakers and slot deadline budget on.
+    Drills,
+    /// The same fault rates as `Drills` but with the circuit breakers and
+    /// budget off, so the breaker's value is a measurable sweep axis.
+    Unshielded,
+}
+
+/// Full-stack chaos configuration: builder-tier faults, bid-network
+/// faults, and the proposer-side circuit breakers. `Off` (the default)
+/// draws zero chaos randomness and keeps every artifact byte-identical to
+/// a build without the chaos layer — the same contract [`FaultConfig`]
+/// keeps for `Off`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Which chaos schedule to build.
+    pub preset: ChaosPreset,
+    /// Mean per-builder crash windows per day (the builder submits
+    /// nothing while crashed).
+    pub builder_crashes_per_day: f64,
+    /// Mean crash-window length in slots.
+    pub builder_crash_mean_slots: f64,
+    /// Mean per-builder latency-spike windows per day.
+    pub builder_spikes_per_day: f64,
+    /// Mean spike-window length in slots.
+    pub builder_spike_mean_slots: f64,
+    /// Extra one-way latency added to every message of a spiking builder,
+    /// in ms.
+    pub builder_spike_ms: u64,
+    /// Per-slot probability a (non-crashed) builder bids above its
+    /// realizable value — caught at `getPayload` as a payment shortfall
+    /// attributed to the builder.
+    pub builder_insolvency_prob: f64,
+    /// Fraction of the promise an insolvent builder cannot pay.
+    pub builder_insolvency_frac: f64,
+    /// Per-message drop probability on every builder→relay channel.
+    pub net_drop_prob: f64,
+    /// Per-message probability of a jitter burst (extra delay).
+    pub net_jitter_prob: f64,
+    /// Maximum jitter-burst delay, in ms.
+    pub net_jitter_max_ms: u64,
+    /// Mean builder↔relay partition windows per channel per day (all
+    /// messages on a partitioned channel vanish).
+    pub net_partitions_per_day: f64,
+    /// Mean partition-window length in slots.
+    pub net_partition_mean_slots: f64,
+    /// Consecutive failure score that trips a relay's breaker
+    /// Closed→Open.
+    pub breaker_trip_failures: u32,
+    /// Slots an open breaker waits before admitting a half-open probe.
+    pub breaker_open_slots: u64,
+    /// Clean probe slots required to close a half-open breaker.
+    pub breaker_probe_successes: u32,
+    /// Per-slot wall-clock budget for the getHeader/getPayload sequence,
+    /// in ms (0 disables the budget).
+    pub breaker_budget_ms: u64,
+    /// Modeled cost of one relay query (header attempt or payload
+    /// fetch) against the budget, in ms.
+    pub breaker_query_cost_ms: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            preset: ChaosPreset::Off,
+            builder_crashes_per_day: 0.0,
+            builder_crash_mean_slots: 6.0,
+            builder_spikes_per_day: 0.0,
+            builder_spike_mean_slots: 10.0,
+            builder_spike_ms: 900,
+            builder_insolvency_prob: 0.0,
+            builder_insolvency_frac: 0.35,
+            net_drop_prob: 0.0,
+            net_jitter_prob: 0.0,
+            net_jitter_max_ms: 700,
+            net_partitions_per_day: 0.0,
+            net_partition_mean_slots: 5.0,
+            breaker_trip_failures: 3,
+            breaker_open_slots: 8,
+            breaker_probe_successes: 2,
+            breaker_budget_ms: 0,
+            breaker_query_cost_ms: 150,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// The default: no chaos.
+    pub fn off() -> Self {
+        ChaosConfig::default()
+    }
+
+    /// The calibrated fault rates shared by `Drills` and `Unshielded`.
+    fn stormy(preset: ChaosPreset) -> Self {
+        ChaosConfig {
+            preset,
+            builder_crashes_per_day: 1.5,
+            builder_crash_mean_slots: 6.0,
+            builder_spikes_per_day: 3.0,
+            builder_spike_mean_slots: 10.0,
+            builder_spike_ms: 900,
+            builder_insolvency_prob: 0.01,
+            builder_insolvency_frac: 0.35,
+            net_drop_prob: 0.03,
+            net_jitter_prob: 0.05,
+            net_jitter_max_ms: 700,
+            net_partitions_per_day: 0.6,
+            net_partition_mean_slots: 5.0,
+            breaker_trip_failures: 3,
+            breaker_open_slots: 8,
+            breaker_probe_successes: 2,
+            breaker_budget_ms: 2_000,
+            breaker_query_cost_ms: 150,
+        }
+    }
+
+    /// Full chaos with circuit breakers and the slot budget on.
+    pub fn drills() -> Self {
+        ChaosConfig::stormy(ChaosPreset::Drills)
+    }
+
+    /// The same chaos with the proposer undefended (no breakers, no
+    /// budget) — the control cell for measuring the breaker's value.
+    pub fn unshielded() -> Self {
+        ChaosConfig::stormy(ChaosPreset::Unshielded)
+    }
+
+    /// True when the run carries no chaos schedule at all.
+    pub fn is_off(&self) -> bool {
+        self.preset == ChaosPreset::Off
+    }
+
+    /// Whether the proposer-side circuit breakers and budget are active.
+    pub fn breaker_enabled(&self) -> bool {
+        self.preset == ChaosPreset::Drills
+    }
+
+    /// The [`FaultProfile`] every builder gets: crash windows map onto
+    /// outages, latency-spike windows onto degradation, insolvency onto
+    /// the shortfall machinery. Timeout/stale/payload rates stay zero —
+    /// those are relay-tier failure modes.
+    pub fn builder_profile(&self) -> FaultProfile {
+        FaultProfile {
+            outages_per_day: self.builder_crashes_per_day,
+            outage_mean_slots: self.builder_crash_mean_slots,
+            degraded_per_day: self.builder_spikes_per_day,
+            degraded_mean_slots: self.builder_spike_mean_slots,
+            timeout_prob: 0.0,
+            stale_prob: 0.0,
+            payload_failure_prob: 0.0,
+            shortfall_prob: self.builder_insolvency_prob,
+            shortfall_frac: self.builder_insolvency_frac,
+        }
+    }
+}
+
 /// Which intra-slot auction model the run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum AuctionTimingPreset {
@@ -273,6 +437,8 @@ pub struct ScenarioConfig {
     /// from serialized configs, the same contract `faults`/`auction_timing`
     /// keep for their defaults.
     pub adoption_scale: f64,
+    /// Full-stack chaos injection (off by default).
+    pub chaos: ChaosConfig,
 }
 
 // Hand-written serde: the `faults` field is emitted only when a preset is
@@ -303,6 +469,9 @@ impl Serialize for ScenarioConfig {
         if self.adoption_scale != 1.0 {
             fields.push(("adoption_scale".to_string(), self.adoption_scale.to_value()));
         }
+        if !self.chaos.is_off() {
+            fields.push(("chaos".to_string(), self.chaos.to_value()));
+        }
         Value::Object(fields)
     }
 }
@@ -331,6 +500,10 @@ impl Deserialize for ScenarioConfig {
                 Value::Null => 1.0,
                 av => f64::from_value(av)?,
             },
+            chaos: match struct_field(v, "chaos") {
+                Value::Null => ChaosConfig::off(),
+                cv => ChaosConfig::from_value(cv)?,
+            },
         })
     }
 }
@@ -350,6 +523,7 @@ impl Default for ScenarioConfig {
             faults: FaultConfig::off(),
             auction_timing: AuctionTimingConfig::one_shot(),
             adoption_scale: 1.0,
+            chaos: ChaosConfig::off(),
         }
     }
 }
@@ -371,6 +545,7 @@ impl ScenarioConfig {
             faults: FaultConfig::off(),
             auction_timing: AuctionTimingConfig::one_shot(),
             adoption_scale: 1.0,
+            chaos: ChaosConfig::off(),
         }
     }
 }
@@ -473,6 +648,58 @@ mod tests {
         assert!(json.contains("auction_timing"));
         let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn chaos_off_is_invisible_in_json() {
+        let json = serde_json::to_string(&ScenarioConfig::default()).unwrap();
+        assert!(
+            !json.contains("chaos"),
+            "chaos-free config must serialize exactly as before the chaos layer"
+        );
+        // And a pre-chaos JSON document (no `chaos` key) still loads.
+        let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
+        assert!(back.chaos.is_off());
+    }
+
+    #[test]
+    fn chaos_presets_round_trip() {
+        for chaos in [ChaosConfig::drills(), ChaosConfig::unshielded()] {
+            let c = ScenarioConfig {
+                chaos,
+                ..ScenarioConfig::test_small(3, 2)
+            };
+            let json = serde_json::to_string(&c).unwrap();
+            assert!(json.contains("chaos"));
+            let back: ScenarioConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, c);
+        }
+    }
+
+    #[test]
+    fn chaos_presets_differ_only_in_the_breaker() {
+        let drills = ChaosConfig::drills();
+        let unshielded = ChaosConfig::unshielded();
+        assert!(drills.breaker_enabled());
+        assert!(!unshielded.breaker_enabled());
+        assert!(!ChaosConfig::off().breaker_enabled());
+        // Same storm, different defense.
+        let mut aligned = unshielded;
+        aligned.preset = ChaosPreset::Drills;
+        assert_eq!(aligned, drills);
+    }
+
+    #[test]
+    fn builder_profile_maps_chaos_knobs() {
+        let c = ChaosConfig::drills();
+        let p = c.builder_profile();
+        assert_eq!(p.outages_per_day, c.builder_crashes_per_day);
+        assert_eq!(p.degraded_per_day, c.builder_spikes_per_day);
+        assert_eq!(p.shortfall_prob, c.builder_insolvency_prob);
+        assert_eq!(p.shortfall_frac, c.builder_insolvency_frac);
+        assert_eq!(p.timeout_prob, 0.0);
+        assert_eq!(p.payload_failure_prob, 0.0);
+        assert!(ChaosConfig::off().builder_profile().is_inert());
     }
 
     #[test]

@@ -24,13 +24,15 @@ use execution::{BlockExecutor, ExecutedBlock, FeeMarket, Mempool, StateLedger};
 use mev::{CyclicArbitrageur, LabelSource, LiquidationBot, MevKind, SandwichAttacker};
 use netsim::{GossipNetwork, MempoolObservers, NodeId, ObservationLog, Topology};
 use pbs::{
-    BidStrategy, BoostEvent, Builder, BuilderId, MevBoostClient, RelayBlacklist, RelayId,
-    RelayRegistry, SlotAuction, SlotResult, TimingParams,
+    BidStrategy, BoostEvent, BreakerBank, BreakerPolicy, BreakerTransition, Builder, BuilderChaos,
+    BuilderId, MevBoostClient, NetFaultParams, NetFaultSchedule, RelayBlacklist, RelayId,
+    RelayRegistry, SlotAuction, SlotBudget, SlotChaos, SlotResult, TimingParams,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
 use simcore::{
-    telemetry, Exponential, FaultProfile, FaultSchedule, FxHashSet, SeedDomain, SnapshotError,
+    telemetry, Exponential, FaultProfile, FaultSchedule, FxHashSet, Health, SeedDomain,
+    SnapshotError,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
@@ -292,6 +294,29 @@ fn fold_day(
     m
 }
 
+/// Run-long state of the full-stack chaos layer, built once per run from
+/// [`crate::config::ChaosConfig`]. `Runner::chaos` is `Some` exactly when
+/// the configuration's chaos preset is not `Off`.
+///
+/// The schedules are pure functions of the seed and are rebuilt by
+/// [`Runner::new`]; only the breaker bank (and the accumulated transition
+/// log on the runner) is path-dependent and therefore checkpointed.
+struct ChaosState {
+    /// Builder-tier fault windows: crash ↔ outage, latency spike ↔
+    /// degradation, insolvency ↔ shortfall — one component per cast
+    /// builder, drawn from the dedicated `builder_faults` seed subdomain.
+    builder_sched: FaultSchedule,
+    /// Bid-network fabric faults (drop, jitter, partitions), drawn from
+    /// the `net_faults` subdomain; `None` when every network rate is zero.
+    net: Option<NetFaultSchedule>,
+    /// Proposer-side per-relay circuit breakers; `None` for the
+    /// `Unshielded` preset.
+    breakers: Option<BreakerBank>,
+    /// Per-slot getHeader/getPayload deadline budget; `None` when the
+    /// breaker tier is off or the budget knob is zero.
+    budget: Option<SlotBudget>,
+}
+
 /// The configured simulation, ready to run.
 pub struct Simulation {
     cfg: ScenarioConfig,
@@ -387,8 +412,11 @@ fn configure_thread_pool() {
 fn resume_or_fresh(cfg: &ScenarioConfig, dir: &Path) -> Runner {
     let mut runner = Runner::new(cfg);
     for (day, path) in crate::checkpoint::candidates(dir) {
-        let outcome =
-            crate::checkpoint::read_checkpoint(&path).and_then(|body| runner.restore(&body));
+        let outcome = crate::checkpoint::read_checkpoint(&path).and_then(|body| {
+            runner
+                .restore(&body)
+                .map_err(|e| crate::checkpoint::CheckpointError::at(&path, e))
+        });
         match outcome {
             Ok(()) => {
                 eprintln!("resuming from {} (after day {day})", path.display());
@@ -438,6 +466,7 @@ pub struct Runner {
     seeds: SeedDomain,
     rng: StdRng,
     fault_schedule: Option<FaultSchedule>,
+    chaos: Option<ChaosState>,
     // derived once per run, never serialized
     executor: BlockExecutor,
     censoring: Vec<RelayId>,
@@ -452,6 +481,7 @@ pub struct Runner {
     // accumulation
     blocks: Vec<BlockRecord>,
     fault_events: Vec<FaultEventRecord>,
+    breaker_transitions: Vec<BreakerTransition>,
     timing_slots: Vec<AuctionTimingRecord>,
     missed: u64,
     relay_builders: BTreeMap<(u32, u32), BTreeSet<u32>>,
@@ -485,6 +515,7 @@ impl Runner {
         let fault_schedule = Self::build_fault_schedule(&relays, cfg, &seeds);
 
         let cast = builder_cast();
+        let chaos = Self::build_chaos(cfg, cast.len(), relays.len(), &seeds);
         let builders: Vec<Builder> = cast
             .iter()
             .enumerate()
@@ -563,6 +594,7 @@ impl Runner {
             seeds,
             rng: SeedDomain::new(cfg.seed).rng("driver"),
             fault_schedule,
+            chaos,
             executor: BlockExecutor::new(Gas(cfg.gas_limit)),
             censoring,
             all_relays,
@@ -573,6 +605,7 @@ impl Runner {
             private_user_txs: Vec::new(),
             blocks: Vec::new(),
             fault_events: Vec::new(),
+            breaker_transitions: Vec::new(),
             timing_slots: Vec::new(),
             missed: 0,
             relay_builders: BTreeMap::new(),
@@ -695,6 +728,93 @@ impl Runner {
         ))
     }
 
+    /// Builds the full-stack chaos layer the configuration asks for;
+    /// `None` when chaos is off (the default), so no chaos stream is ever
+    /// drawn and artifacts match a build without the chaos model. Builder
+    /// and network schedules draw from their own dedicated seed
+    /// subdomains, so turning one tier on never perturbs the other.
+    fn build_chaos(
+        cfg: &ScenarioConfig,
+        builders: usize,
+        relays: usize,
+        seeds: &SeedDomain,
+    ) -> Option<ChaosState> {
+        let c = &cfg.chaos;
+        if c.is_off() {
+            return None;
+        }
+        let builder_sched = FaultSchedule::build(
+            seeds.subdomain("builder_faults"),
+            cfg.calendar.blocks_per_day as u64,
+            cfg.calendar.total_slots(),
+            vec![c.builder_profile(); builders],
+        );
+        let net_params = NetFaultParams {
+            drop_prob: c.net_drop_prob,
+            jitter_prob: c.net_jitter_prob,
+            jitter_max_ms: c.net_jitter_max_ms,
+            partitions_per_day: c.net_partitions_per_day,
+            partition_mean_slots: c.net_partition_mean_slots,
+        };
+        let net = (!net_params.is_inert()).then(|| {
+            NetFaultSchedule::build(
+                &seeds.subdomain("net_faults"),
+                net_params,
+                builders as u32,
+                relays as u32,
+                cfg.calendar.blocks_per_day as u64,
+                cfg.calendar.total_slots(),
+            )
+        });
+        let breakers = c.breaker_enabled().then(|| {
+            BreakerBank::new(
+                BreakerPolicy {
+                    trip_failures: c.breaker_trip_failures,
+                    open_slots: c.breaker_open_slots,
+                    probe_successes: c.breaker_probe_successes,
+                },
+                relays,
+            )
+        });
+        let budget = (c.breaker_enabled() && c.breaker_budget_ms > 0).then_some(SlotBudget {
+            budget_ms: c.breaker_budget_ms,
+            query_cost_ms: c.breaker_query_cost_ms,
+        });
+        Some(ChaosState {
+            builder_sched,
+            net,
+            breakers,
+            budget,
+        })
+    }
+
+    /// Resolves the chaos layer's view of one slot: each builder's
+    /// crash/spike/insolvency state plus the network fabric's partition
+    /// map. `None` whenever chaos is off, so the auction takes the
+    /// pre-chaos path exactly.
+    fn slot_chaos(&self, slot: u64) -> Option<SlotChaos> {
+        let ch = self.chaos.as_ref()?;
+        let spike_ms = self.cfg.chaos.builder_spike_ms;
+        let builders = (0..self.builders.len())
+            .map(|b| {
+                let f = ch.builder_sched.component_faults(b, slot);
+                BuilderChaos {
+                    crashed: f.is_down(),
+                    spike_ms: if f.health == Health::Degraded {
+                        spike_ms
+                    } else {
+                        0
+                    },
+                    shortfall: f.shortfall,
+                }
+            })
+            .collect();
+        Some(SlotChaos {
+            builders,
+            net: ch.net.as_ref().map(|n| n.slot_view(slot)),
+        })
+    }
+
     /// Draws the run-level streamed-auction tables (per-builder strategy
     /// and latency, per-relay ingestion delay) from a dedicated seed
     /// subdomain; `None` for one-shot runs, so the timed machinery draws
@@ -748,33 +868,37 @@ impl Runner {
     }
 
     /// Persists the slot's boost decisions as [`FaultEventRecord`]s (only
-    /// called when a fault schedule is active).
+    /// called when a fault schedule or the chaos layer is active).
     fn record_fault_events(&mut self, slot: Slot, day: DayIndex, result: &SlotResult) {
         for ev in &result.events {
-            let (relay, kind, promised, delivered) = match *ev {
+            let (relay, builder, kind, promised, delivered) = match *ev {
                 BoostEvent::HeaderTimeout { relay, .. } => (
                     Some(relay),
+                    None,
                     FaultEventKind::HeaderTimeout,
                     Wei::ZERO,
                     Wei::ZERO,
                 ),
                 BoostEvent::RelayUnreachable { relay } => (
                     Some(relay),
+                    None,
                     FaultEventKind::RelayUnreachable,
                     Wei::ZERO,
                     Wei::ZERO,
                 ),
                 BoostEvent::StaleHeader { relay } => (
                     Some(relay),
+                    None,
                     FaultEventKind::StaleHeader,
                     Wei::ZERO,
                     Wei::ZERO,
                 ),
                 BoostEvent::BelowMinBid { promised } => {
-                    (None, FaultEventKind::BelowMinBid, promised, Wei::ZERO)
+                    (None, None, FaultEventKind::BelowMinBid, promised, Wei::ZERO)
                 }
                 BoostEvent::PayloadFailed { relay } => (
                     Some(relay),
+                    None,
                     FaultEventKind::PayloadFailed,
                     Wei::ZERO,
                     Wei::ZERO,
@@ -785,6 +909,7 @@ impl Runner {
                 // column on top of its timeout entries.
                 BoostEvent::SlotMissed { relay } if result.missed => (
                     Some(relay),
+                    None,
                     FaultEventKind::MissedSlot,
                     result.promised,
                     Wei::ZERO,
@@ -794,8 +919,37 @@ impl Runner {
                     relay,
                     promised,
                     delivered,
-                } => (Some(relay), FaultEventKind::Shortfall, promised, delivered),
-                BoostEvent::SelfBuild => (None, FaultEventKind::SelfBuild, Wei::ZERO, Wei::ZERO),
+                } => (
+                    Some(relay),
+                    None,
+                    FaultEventKind::Shortfall,
+                    promised,
+                    delivered,
+                ),
+                // The insolvency twin of `ShortfallInjected`, charged to
+                // the builder whose payment fell short — never to the
+                // relay that faithfully forwarded it.
+                BoostEvent::BuilderShortfall {
+                    builder,
+                    promised,
+                    delivered,
+                } => (
+                    None,
+                    Some(builder),
+                    FaultEventKind::BuilderShortfall,
+                    promised,
+                    delivered,
+                ),
+                BoostEvent::BudgetExhausted { relay } => (
+                    Some(relay),
+                    None,
+                    FaultEventKind::BudgetExhausted,
+                    Wei::ZERO,
+                    Wei::ZERO,
+                ),
+                BoostEvent::SelfBuild => {
+                    (None, None, FaultEventKind::SelfBuild, Wei::ZERO, Wei::ZERO)
+                }
                 // Healthy-path decisions are not faults.
                 BoostEvent::HeaderSigned { .. } | BoostEvent::PayloadDelivered { .. } => continue,
             };
@@ -803,6 +957,7 @@ impl Runner {
                 slot,
                 day,
                 relay,
+                builder,
                 kind,
                 promised,
                 delivered,
@@ -1228,6 +1383,11 @@ impl Runner {
             Vec::new()
         };
 
+        // With the breaker tier on, the client only queries relays whose
+        // breaker admits them this slot; the (admitted, skipped) split is
+        // kept so the post-auction observation feeds the same relays the
+        // client actually touched.
+        let mut breaker_admit: Option<(Vec<RelayId>, Vec<RelayId>)> = None;
         let client = if validator.mev_boost && !fallback && direct.is_empty() {
             let subscribed = if validator.censoring_only {
                 self.censoring.clone()
@@ -1239,8 +1399,21 @@ impl Runner {
                     relay.register_validator(proposer);
                 }
             }
+            let queried = match self.chaos.as_mut().and_then(|c| c.breakers.as_mut()) {
+                Some(bank) => {
+                    let (admitted, skipped) = bank.admit(s, &subscribed);
+                    let queried = admitted.clone();
+                    breaker_admit = Some((admitted, skipped));
+                    queried
+                }
+                None => subscribed,
+            };
             let min_bid = Wei::from_eth(self.cfg.knobs.min_bid_eth);
-            Some(MevBoostClient::new(subscribed).with_min_bid(min_bid))
+            let mut boost = MevBoostClient::new(queried).with_min_bid(min_bid);
+            if let Some(budget) = self.chaos.as_ref().and_then(|c| c.budget) {
+                boost = boost.with_budget(budget);
+            }
+            Some(boost)
         } else {
             None
         };
@@ -1257,6 +1430,7 @@ impl Runner {
         };
 
         // 6. Auction.
+        let slot_chaos = self.slot_chaos(s);
         let auction = SlotAuction {
             slot,
             day,
@@ -1266,6 +1440,7 @@ impl Runner {
             jitter_zero_prob: 0.10,
             jitter_max_frac: 0.02,
             timing: self.timing.as_ref(),
+            chaos: slot_chaos.as_ref(),
         };
         let slot_seeds = self.seeds.subdomain_indexed("slot", s);
         let auction_span = simcore::span!("driver.auction");
@@ -1285,10 +1460,61 @@ impl Runner {
         snapshot.clear();
         self.snapshot_buf = snapshot;
 
-        // Persist the boost decision trail while faults are active, and
-        // miss the slot entirely when a signed header proved
+        // Feed the breaker bank what actually happened on the relays it
+        // admitted, and log its state changes (trips, probes, closes).
+        if let Some((admitted, _)) = &breaker_admit {
+            if let Some(bank) = self.chaos.as_mut().and_then(|c| c.breakers.as_mut()) {
+                bank.observe(s, admitted, &result.events);
+                self.breaker_transitions.extend(bank.drain_transitions());
+            }
+        }
+
+        // Persist the boost decision trail while faults or chaos are
+        // active, and miss the slot entirely when a signed header proved
         // undeliverable (the 10 Nov 2022 failure mode, now mechanized).
-        if self.fault_schedule.is_some() {
+        // Driver-resolved chaos faults come first, in pre-auction order:
+        // breaker skips (decided before any query), builder crashes, then
+        // the messages the fabric ate; the client's own trail follows.
+        if self.fault_schedule.is_some() || self.chaos.is_some() {
+            if let Some((_, skipped)) = &breaker_admit {
+                for &r in skipped {
+                    self.fault_events.push(FaultEventRecord {
+                        slot,
+                        day,
+                        relay: Some(r),
+                        builder: None,
+                        kind: FaultEventKind::BreakerSkip,
+                        promised: Wei::ZERO,
+                        delivered: Wei::ZERO,
+                    });
+                }
+            }
+            if let Some(sc) = &slot_chaos {
+                for (b, bc) in sc.builders.iter().enumerate() {
+                    if bc.crashed {
+                        self.fault_events.push(FaultEventRecord {
+                            slot,
+                            day,
+                            relay: None,
+                            builder: Some(BuilderId(b as u32)),
+                            kind: FaultEventKind::BuilderCrash,
+                            promised: Wei::ZERO,
+                            delivered: Wei::ZERO,
+                        });
+                    }
+                }
+            }
+            for &(b, r) in &result.lost_messages {
+                self.fault_events.push(FaultEventRecord {
+                    slot,
+                    day,
+                    relay: Some(r),
+                    builder: Some(b),
+                    kind: FaultEventKind::MessageLost,
+                    promised: Wei::ZERO,
+                    delivered: Wei::ZERO,
+                });
+            }
             self.record_fault_events(slot, day, &result);
         }
         // Streamed-auction trace: one row per auctioned slot, recorded
@@ -1474,6 +1700,7 @@ impl Runner {
                 .collect(),
             totals: self.totals,
             fault_events: self.fault_events,
+            breaker_transitions: self.breaker_transitions,
             timing_slots: self.timing_slots,
             timing_builders,
         }
@@ -1520,6 +1747,16 @@ impl Runner {
         w.u32(self.borrower_seq);
         let counters: Vec<(String, u64)> = telemetry::snapshot().counters.into_iter().collect();
         counters.encode(&mut w);
+        // Chaos section, appended at the very end and only for chaos-on
+        // configurations: the breaker bank is path-dependent (its trips
+        // depend on the realized event trail), so it cannot be rebuilt
+        // from the seed. Chaos-off bodies stay byte-identical to
+        // pre-chaos builds, and the config digest above guarantees
+        // encoder and decoder agree on whether the section exists.
+        if let Some(ch) = &self.chaos {
+            ch.breakers.encode(&mut w);
+            self.breaker_transitions.encode(&mut w);
+        }
         w.into_bytes()
     }
 
@@ -1575,6 +1812,10 @@ impl Runner {
         self.eden_done = r.bool()?;
         self.borrower_seq = r.u32()?;
         let counters: Vec<(String, u64)> = Snapshot::decode(&mut r)?;
+        if let Some(ch) = &mut self.chaos {
+            ch.breakers = Snapshot::decode(&mut r)?;
+            self.breaker_transitions = Snapshot::decode(&mut r)?;
+        }
         r.expect_end()?;
         telemetry::restore_counters(&counters);
         Ok(())
@@ -1686,6 +1927,137 @@ mod tests {
     fn faults_off_emits_no_fault_events() {
         let run = tiny_run(1, 2);
         assert!(run.fault_events.is_empty());
+        assert!(run.breaker_transitions.is_empty());
+    }
+
+    #[test]
+    fn inert_chaos_schedule_changes_nothing() {
+        // A chaos preset whose rates are all zero builds the whole layer
+        // (schedules, breaker bank, per-slot resolution) yet must leave
+        // the chain byte-identical to a chaos-free run: the chaos
+        // schedules draw only from their dedicated seed subdomains.
+        let base = tiny_run(13, 2);
+        let mut cfg = ScenarioConfig::test_small(13, 2);
+        cfg.chaos = crate::config::ChaosConfig {
+            preset: crate::config::ChaosPreset::Drills,
+            ..crate::config::ChaosConfig::off()
+        };
+        let run = Simulation::new(cfg).run();
+        assert_eq!(base.blocks, run.blocks);
+        assert_eq!(base.missed_slots, run.missed_slots);
+        assert_eq!(base.totals, run.totals);
+        assert!(run.breaker_transitions.is_empty());
+        // Only self-build notations can appear; nothing ever faulted.
+        assert!(run
+            .fault_events
+            .iter()
+            .all(|e| e.kind == FaultEventKind::SelfBuild));
+    }
+
+    #[test]
+    fn chaos_drills_are_deterministic_and_builder_attributed() {
+        let mk = || {
+            let mut cfg = ScenarioConfig::test_small(23, 3);
+            cfg.chaos = crate::config::ChaosConfig::drills();
+            Simulation::new(cfg).run()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.blocks, b.blocks);
+        assert_eq!(a.fault_events, b.fault_events);
+        assert_eq!(a.breaker_transitions, b.breaker_transitions);
+        // The builder tier actually misbehaved, and its faults carry the
+        // builder attribution (never a relay).
+        let crashes: Vec<_> = a
+            .fault_events
+            .iter()
+            .filter(|e| e.kind == FaultEventKind::BuilderCrash)
+            .collect();
+        assert!(!crashes.is_empty(), "no builder crashes in 3 stormy days");
+        for c in &crashes {
+            assert!(c.builder.is_some());
+            assert!(c.relay.is_none());
+        }
+        // The fabric ate messages, attributed to both ends of the channel.
+        let lost: Vec<_> = a
+            .fault_events
+            .iter()
+            .filter(|e| e.kind == FaultEventKind::MessageLost)
+            .collect();
+        assert!(!lost.is_empty(), "no messages lost in 3 stormy days");
+        for l in &lost {
+            assert!(l.builder.is_some());
+            assert!(l.relay.is_some());
+        }
+        // Participation still accounts for every slot.
+        assert_eq!(a.blocks.len() as u64 + a.missed_slots, 3 * 40);
+    }
+
+    /// Relay weather foul enough that a breaker's trip threshold (three
+    /// consecutive failed slots) is actually reachable inside a short
+    /// test run: long outage windows covering about half of all slots.
+    fn stormy_relay_faults() -> crate::config::FaultConfig {
+        crate::config::FaultConfig {
+            outages_per_day: 4.0,
+            outage_mean_slots: 12.0,
+            ..crate::config::FaultConfig::uniform()
+        }
+    }
+
+    #[test]
+    fn breakers_trip_under_relay_faults_and_unshielded_does_not() {
+        let mk = |chaos: crate::config::ChaosConfig| {
+            let mut cfg = ScenarioConfig::test_small(31, 3);
+            cfg.faults = stormy_relay_faults();
+            cfg.chaos = chaos;
+            Simulation::new(cfg).run()
+        };
+        let shielded = mk(crate::config::ChaosConfig::drills());
+        let unshielded = mk(crate::config::ChaosConfig::unshielded());
+        assert!(
+            !shielded.breaker_transitions.is_empty(),
+            "relay outages never tripped a breaker in 3 days"
+        );
+        assert!(shielded
+            .fault_events
+            .iter()
+            .any(|e| e.kind == FaultEventKind::BreakerSkip));
+        // The control cell runs the same faults with no defenses: no
+        // transitions, no skips, no budget events.
+        assert!(unshielded.breaker_transitions.is_empty());
+        assert!(unshielded.fault_events.iter().all(|e| {
+            e.kind != FaultEventKind::BreakerSkip && e.kind != FaultEventKind::BudgetExhausted
+        }));
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_a_chaos_run() {
+        // Breaker state is path-dependent; the checkpoint's chaos section
+        // must carry it across a kill boundary exactly.
+        let mut cfg = ScenarioConfig::test_small(42, 3);
+        cfg.faults = stormy_relay_faults();
+        cfg.chaos = crate::config::ChaosConfig::drills();
+        let baseline = Runner::new(&cfg).run();
+        assert!(
+            !baseline.breaker_transitions.is_empty(),
+            "nothing tripped; the chaos section is untested"
+        );
+        for stop_after in 0..2u64 {
+            let mut first = Runner::new(&cfg);
+            for _ in 0..=stop_after {
+                first.step_day();
+            }
+            let body = first.checkpoint();
+            drop(first);
+            let mut resumed = Runner::new(&cfg);
+            resumed.restore(&body).unwrap();
+            let run = resumed.run();
+            assert_eq!(run.blocks, baseline.blocks);
+            assert_eq!(run.fault_events, baseline.fault_events);
+            assert_eq!(run.breaker_transitions, baseline.breaker_transitions);
+            assert_eq!(run.missed_slots, baseline.missed_slots);
+            assert_eq!(run.totals, baseline.totals);
+        }
     }
 
     #[test]

@@ -89,10 +89,34 @@ pub const KNOBS: &[Knob] = &[
         effect: "Checkpoint retention, clamped to at least one file.",
     },
     Knob {
+        name: "PBS_CHAOS",
+        shape: "`off`, `drills`, or `unshielded`",
+        default: "`off`",
+        effect: "Chaos preset for CLI simulation runs: builder/network fault injection, with (`drills`) or without (`unshielded`) the MEV-Boost circuit breakers.",
+    },
+    Knob {
         name: "PBS_SWEEP_JOBS",
         shape: "positive integer",
         default: "1",
         effect: "Concurrent sweep worker processes for the sweep orchestrator.",
+    },
+    Knob {
+        name: "PBS_SWEEP_JOB_TIMEOUT_SECS",
+        shape: "positive integer",
+        default: "unset (no limit)",
+        effect: "Wall-clock budget per sweep worker process; a worker past it is SIGKILLed and the attempt counts as failed.",
+    },
+    Knob {
+        name: "PBS_SWEEP_RETRIES",
+        shape: "non-negative integer",
+        default: "0",
+        effect: "Extra attempts per failed sweep job within one invocation, with exponential backoff between attempts.",
+    },
+    Knob {
+        name: "PBS_SWEEP_QUARANTINE_AFTER",
+        shape: "non-negative integer",
+        default: "0 (never)",
+        effect: "Recorded failures after which a sweep job is quarantined: skipped by later resumes and listed in `sweep.json`.",
     },
     Knob {
         name: "PBS_BENCH_DAYS",
@@ -268,9 +292,44 @@ pub fn checkpoint_keep() -> Option<usize> {
     non_negative(registered("PBS_CHECKPOINT_KEEP")).map(|n| (n as usize).max(1))
 }
 
+/// `PBS_CHAOS`: chaos preset for CLI simulation runs.
+///
+/// # Panics
+///
+/// When set to anything but `off`, `drills`, or `unshielded` — a typo'd
+/// chaos knob must not silently run the wrong experiment.
+pub fn chaos() -> Option<crate::config::ChaosPreset> {
+    parse_chaos(raw(registered("PBS_CHAOS")).as_deref())
+}
+
+fn parse_chaos(v: Option<&str>) -> Option<crate::config::ChaosPreset> {
+    use crate::config::ChaosPreset;
+    v.map(|v| match v.trim() {
+        "off" => ChaosPreset::Off,
+        "drills" => ChaosPreset::Drills,
+        "unshielded" => ChaosPreset::Unshielded,
+        _ => panic!("PBS_CHAOS must be off, drills, or unshielded, got {v:?}"),
+    })
+}
+
 /// `PBS_SWEEP_JOBS`: concurrent sweep worker processes.
 pub fn sweep_jobs() -> Option<usize> {
     positive(registered("PBS_SWEEP_JOBS")).map(|n| n as usize)
+}
+
+/// `PBS_SWEEP_JOB_TIMEOUT_SECS`: wall-clock budget per sweep worker.
+pub fn sweep_job_timeout_secs() -> Option<u64> {
+    positive(registered("PBS_SWEEP_JOB_TIMEOUT_SECS"))
+}
+
+/// `PBS_SWEEP_RETRIES`: extra attempts per failed sweep job.
+pub fn sweep_retries() -> Option<u32> {
+    non_negative(registered("PBS_SWEEP_RETRIES")).map(|n| n as u32)
+}
+
+/// `PBS_SWEEP_QUARANTINE_AFTER`: failures before a job is quarantined.
+pub fn sweep_quarantine_after() -> Option<u64> {
+    non_negative(registered("PBS_SWEEP_QUARANTINE_AFTER"))
 }
 
 /// `PBS_BENCH_DAYS`: days simulated per `bench_parallel` measurement.
@@ -412,6 +471,20 @@ mod tests {
              scenario::env::knob_table_markdown() (every knob the registry \
              declares must be listed verbatim)"
         );
+    }
+
+    #[test]
+    fn chaos_accepts_only_the_three_presets() {
+        use crate::config::ChaosPreset;
+        assert_eq!(parse_chaos(None), None);
+        assert_eq!(parse_chaos(Some("off")), Some(ChaosPreset::Off));
+        assert_eq!(parse_chaos(Some(" drills ")), Some(ChaosPreset::Drills));
+        assert_eq!(
+            parse_chaos(Some("unshielded")),
+            Some(ChaosPreset::Unshielded)
+        );
+        assert!(std::panic::catch_unwind(|| parse_chaos(Some("mayhem"))).is_err());
+        assert!(std::panic::catch_unwind(|| parse_chaos(Some(""))).is_err());
     }
 
     #[test]

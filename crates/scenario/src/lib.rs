@@ -39,10 +39,10 @@ pub mod timeline;
 pub mod workload;
 
 pub use cast::{builder_cast, validator_entities, BuilderCastEntry};
-pub use checkpoint::{CheckpointPolicy, CHECKPOINT_VERSION};
+pub use checkpoint::{CheckpointError, CheckpointPolicy, CHECKPOINT_VERSION};
 pub use config::{
-    AblationKnobs, AuctionTimingConfig, AuctionTimingPreset, FaultConfig, FaultPreset,
-    ScenarioConfig,
+    AblationKnobs, AuctionTimingConfig, AuctionTimingPreset, ChaosConfig, ChaosPreset, FaultConfig,
+    FaultPreset, ScenarioConfig,
 };
 pub use driver::{Runner, Simulation};
 pub use records::{
@@ -50,8 +50,8 @@ pub use records::{
     TimingBuilderRecord,
 };
 pub use sweep::{
-    run_campaign, BaseProfile, CampaignOutcome, CensorshipRegime, JobRunner, JobSpec, JobStatus,
-    SweepSpec,
+    run_campaign, run_campaign_supervised, BaseProfile, CampaignOutcome, CensorshipRegime,
+    JobRunner, JobSpec, JobStatus, Supervision, SweepSpec,
 };
 pub use timeline::Timeline;
 pub use workload::WorkloadGenerator;

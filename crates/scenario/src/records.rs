@@ -7,7 +7,7 @@
 use crate::config::ScenarioConfig;
 use beacon::ValidatorId;
 use eth_types::{Address, BlsPublicKey, DayIndex, Gas, GasPrice, Slot, Wei};
-use pbs::{BuilderId, RelayId, StrategyKind};
+use pbs::{BreakerTransition, BuilderId, RelayId, StrategyKind};
 use serde::{struct_field, DeError, Deserialize, Serialize, Value};
 
 /// Everything the pipeline records about one proposed block.
@@ -162,11 +162,24 @@ pub enum FaultEventKind {
     Shortfall,
     /// No relay header was acceptable; the proposer built locally.
     SelfBuild,
+    /// The per-slot deadline budget ran out; remaining relays skipped.
+    BudgetExhausted,
+    /// The winning builder's payment fell short of its promised bid
+    /// (builder insolvency — attributed to the builder, not the relay).
+    BuilderShortfall,
+    /// A builder was down this slot and submitted nothing.
+    BuilderCrash,
+    /// A bid or cancel message was lost on the builder↔relay fabric
+    /// (drop or partition).
+    MessageLost,
+    /// The MEV-Boost client skipped a relay because its circuit breaker
+    /// was open.
+    BreakerSkip,
 }
 
 /// One persisted fault observation — the audit trail `relay_audit`
 /// aggregates into Table 5-style per-relay incident counts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultEventRecord {
     /// Slot in which the event occurred.
     pub slot: Slot,
@@ -181,6 +194,46 @@ pub struct FaultEventRecord {
     pub promised: Wei,
     /// Delivered value, where meaningful (`Shortfall`).
     pub delivered: Wei,
+    /// The builder involved (`None` for all relay- and client-tier
+    /// events; set for the builder-tier chaos kinds).
+    pub builder: Option<BuilderId>,
+}
+
+// Hand-written serde: `builder` is emitted only when set, so fault
+// trails recorded before the builder tier existed — including the
+// blessed faulted golden run — serialize byte-identically.
+impl Serialize for FaultEventRecord {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("slot".to_string(), self.slot.to_value()),
+            ("day".to_string(), self.day.to_value()),
+            ("relay".to_string(), self.relay.to_value()),
+            ("kind".to_string(), self.kind.to_value()),
+            ("promised".to_string(), self.promised.to_value()),
+            ("delivered".to_string(), self.delivered.to_value()),
+        ];
+        if self.builder.is_some() {
+            fields.push(("builder".to_string(), self.builder.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for FaultEventRecord {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(FaultEventRecord {
+            slot: Slot::from_value(struct_field(v, "slot"))?,
+            day: DayIndex::from_value(struct_field(v, "day"))?,
+            relay: Option::from_value(struct_field(v, "relay"))?,
+            kind: FaultEventKind::from_value(struct_field(v, "kind"))?,
+            promised: Wei::from_value(struct_field(v, "promised"))?,
+            delivered: Wei::from_value(struct_field(v, "delivered"))?,
+            builder: match struct_field(v, "builder") {
+                Value::Null => None,
+                bv => Option::from_value(bv)?,
+            },
+        })
+    }
 }
 
 impl simcore::Snapshot for RunTotals {
@@ -229,6 +282,11 @@ impl simcore::Snapshot for FaultEventKind {
             FaultEventKind::MissedSlot => 5,
             FaultEventKind::Shortfall => 6,
             FaultEventKind::SelfBuild => 7,
+            FaultEventKind::BudgetExhausted => 8,
+            FaultEventKind::BuilderShortfall => 9,
+            FaultEventKind::BuilderCrash => 10,
+            FaultEventKind::MessageLost => 11,
+            FaultEventKind::BreakerSkip => 12,
         };
         tag.encode(w);
     }
@@ -243,6 +301,11 @@ impl simcore::Snapshot for FaultEventKind {
             5 => FaultEventKind::MissedSlot,
             6 => FaultEventKind::Shortfall,
             7 => FaultEventKind::SelfBuild,
+            8 => FaultEventKind::BudgetExhausted,
+            9 => FaultEventKind::BuilderShortfall,
+            10 => FaultEventKind::BuilderCrash,
+            11 => FaultEventKind::MessageLost,
+            12 => FaultEventKind::BreakerSkip,
             t => {
                 return Err(simcore::SnapshotError::Corrupt(format!(
                     "unknown FaultEventKind tag {t}"
@@ -260,6 +323,7 @@ impl simcore::Snapshot for FaultEventRecord {
         self.kind.encode(w);
         self.promised.encode(w);
         self.delivered.encode(w);
+        self.builder.encode(w);
     }
 
     fn decode(r: &mut simcore::SnapReader<'_>) -> Result<Self, simcore::SnapshotError> {
@@ -271,6 +335,7 @@ impl simcore::Snapshot for FaultEventRecord {
             kind: Snapshot::decode(r)?,
             promised: Snapshot::decode(r)?,
             delivered: Snapshot::decode(r)?,
+            builder: Snapshot::decode(r)?,
         })
     }
 }
@@ -446,6 +511,9 @@ pub struct RunArtifacts {
     pub timing_slots: Vec<AuctionTimingRecord>,
     /// Per-builder timing identities (empty for one-shot runs).
     pub timing_builders: Vec<TimingBuilderRecord>,
+    /// Circuit-breaker state changes, slot-ordered (empty unless the
+    /// chaos breaker is enabled).
+    pub breaker_transitions: Vec<BreakerTransition>,
 }
 
 // Hand-written serde: `fault_events` (and likewise the timing vectors)
@@ -486,6 +554,12 @@ impl Serialize for RunArtifacts {
                 self.timing_builders.to_value(),
             ));
         }
+        if !self.breaker_transitions.is_empty() {
+            fields.push((
+                "breaker_transitions".to_string(),
+                self.breaker_transitions.to_value(),
+            ));
+        }
         Value::Object(fields)
     }
 }
@@ -513,6 +587,10 @@ impl Deserialize for RunArtifacts {
             timing_builders: match struct_field(v, "timing_builders") {
                 Value::Null => Vec::new(),
                 tv => Vec::from_value(tv)?,
+            },
+            breaker_transitions: match struct_field(v, "breaker_transitions") {
+                Value::Null => Vec::new(),
+                bv => Vec::from_value(bv)?,
             },
         })
     }
@@ -643,6 +721,7 @@ mod tests {
             fault_events: Vec::new(),
             timing_slots: Vec::new(),
             timing_builders: Vec::new(),
+            breaker_transitions: Vec::new(),
         }
     }
 
@@ -657,10 +736,15 @@ mod tests {
             !json.contains("timing_"),
             "one-shot artifacts must serialize exactly as before the timing model"
         );
+        assert!(
+            !json.contains("breaker_"),
+            "chaos-off artifacts must serialize exactly as before the chaos layer"
+        );
         let back: RunArtifacts = serde_json::from_str(&json).unwrap();
         assert!(back.fault_events.is_empty());
         assert!(back.timing_slots.is_empty());
         assert!(back.timing_builders.is_empty());
+        assert!(back.breaker_transitions.is_empty());
         assert_eq!(back.blocks, artifacts().blocks);
     }
 
@@ -711,11 +795,49 @@ mod tests {
             kind: FaultEventKind::Shortfall,
             promised: Wei::from_eth(0.2),
             delivered: Wei::from_eth(0.19),
+            builder: None,
         });
         let json = serde_json::to_string(&run).unwrap();
         assert!(json.contains("fault_events"));
+        assert!(
+            !json.contains("builder\":null") && !json.contains("\"builder\": null"),
+            "an unset builder must not appear in the serialized record"
+        );
         let back: RunArtifacts = serde_json::from_str(&json).unwrap();
         assert_eq!(back.fault_events, run.fault_events);
+    }
+
+    #[test]
+    fn builder_attributed_fault_events_round_trip() {
+        let mut run = artifacts();
+        run.fault_events.push(FaultEventRecord {
+            slot: Slot(11),
+            day: DayIndex(0),
+            relay: None,
+            kind: FaultEventKind::BuilderCrash,
+            promised: Wei::ZERO,
+            delivered: Wei::ZERO,
+            builder: Some(BuilderId(3)),
+        });
+        let json = serde_json::to_string(&run).unwrap();
+        assert!(json.contains("BuilderCrash"));
+        let back: RunArtifacts = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.fault_events, run.fault_events);
+    }
+
+    #[test]
+    fn breaker_transitions_round_trip() {
+        let mut run = artifacts();
+        run.breaker_transitions.push(BreakerTransition {
+            slot: 42,
+            relay: RelayId(6),
+            from: pbs::BreakerState::Closed,
+            to: pbs::BreakerState::Open,
+        });
+        let json = serde_json::to_string(&run).unwrap();
+        assert!(json.contains("breaker_transitions"));
+        let back: RunArtifacts = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.breaker_transitions, run.breaker_transitions);
     }
 
     fn snapshot_roundtrip<T: simcore::Snapshot + PartialEq + std::fmt::Debug>(value: &T) {
@@ -741,6 +863,11 @@ mod tests {
             FaultEventKind::MissedSlot,
             FaultEventKind::Shortfall,
             FaultEventKind::SelfBuild,
+            FaultEventKind::BudgetExhausted,
+            FaultEventKind::BuilderShortfall,
+            FaultEventKind::BuilderCrash,
+            FaultEventKind::MessageLost,
+            FaultEventKind::BreakerSkip,
         ] {
             snapshot_roundtrip(&FaultEventRecord {
                 slot: Slot(9),
@@ -749,6 +876,7 @@ mod tests {
                 kind,
                 promised: Wei::from_eth(0.2),
                 delivered: Wei::from_eth(0.19),
+                builder: Some(BuilderId(1)),
             });
         }
     }

@@ -23,7 +23,8 @@
 //! runner lives in the binary (a worker is `pbs-repro sweep-worker`).
 
 use crate::config::{
-    AuctionTimingConfig, AuctionTimingPreset, FaultConfig, FaultPreset, ScenarioConfig,
+    AuctionTimingConfig, AuctionTimingPreset, ChaosConfig, ChaosPreset, FaultConfig, FaultPreset,
+    ScenarioConfig,
 };
 use serde::{Deserialize, Serialize};
 use simcore::{SeedDomain, Snapshot, SnapshotError};
@@ -32,7 +33,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// Schema version of the sweep state body. Bump on any layout change.
-pub const SWEEP_STATE_VERSION: u32 = 1;
+pub const SWEEP_STATE_VERSION: u32 = 2;
 
 /// How relays track OFAC list updates — the sweep's censorship axis,
 /// mapped onto the `relay_blacklist_lag_days` ablation knob.
@@ -95,6 +96,24 @@ fn timing_slug(p: AuctionTimingPreset) -> &'static str {
     }
 }
 
+fn chaos_slug(p: ChaosPreset) -> &'static str {
+    match p {
+        ChaosPreset::Off => "off",
+        ChaosPreset::Drills => "dri",
+        ChaosPreset::Unshielded => "uns",
+    }
+}
+
+/// The chaos axis a spec has when the field is absent from its JSON —
+/// plain no-chaos runs, matching every pre-chaos campaign on disk.
+fn default_chaos_axis() -> Vec<ChaosPreset> {
+    vec![ChaosPreset::Off]
+}
+
+fn is_default_chaos_axis(axis: &[ChaosPreset]) -> bool {
+    axis == [ChaosPreset::Off]
+}
+
 /// A declarative sweep: seeds × configuration axes.
 ///
 /// The expansion order is part of the format: configuration cells vary
@@ -102,7 +121,7 @@ fn timing_slug(p: AuctionTimingPreset) -> &'static str {
 /// innermost, exactly as the vectors are listed. Job ids, the state file,
 /// and the aggregate artifacts all key off this order, so two machines
 /// given the same spec produce byte-identical campaigns.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
     /// Campaign name (informational; lands in `sweep.json`).
     pub name: String,
@@ -126,6 +145,65 @@ pub struct SweepSpec {
     pub adoption_permille: Vec<u32>,
     /// Checkpoint cadence inside each job, in days (0 disables).
     pub checkpoint_every: u32,
+    /// Chaos-preset axis. Serialized only when it differs from the plain
+    /// `[Off]` axis, so every pre-chaos spec file, digest, and state file
+    /// keeps its exact bytes.
+    pub chaos: Vec<ChaosPreset>,
+}
+
+// Hand-written (de)serialization in the derive's exact field order: the
+// chaos axis is emitted only when non-default and defaults to `[Off]`
+// when absent, keeping pre-chaos spec files, digests, and job ids
+// byte-for-byte stable.
+impl Serialize for SweepSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("profile".to_string(), self.profile.to_value()),
+            ("days".to_string(), self.days.to_value()),
+            ("seeds".to_string(), self.seeds.to_value()),
+            ("faults".to_string(), self.faults.to_value()),
+            ("timing".to_string(), self.timing.to_value()),
+            ("censorship".to_string(), self.censorship.to_value()),
+            (
+                "adoption_permille".to_string(),
+                self.adoption_permille.to_value(),
+            ),
+            (
+                "checkpoint_every".to_string(),
+                self.checkpoint_every.to_value(),
+            ),
+        ];
+        if !is_default_chaos_axis(&self.chaos) {
+            fields.push(("chaos".to_string(), self.chaos.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for SweepSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        if v.as_object().is_none() {
+            return Err(serde::DeError::expected("struct SweepSpec", v));
+        }
+        let field = |name: &str| serde::struct_field(v, name);
+        let chaos = match field("chaos") {
+            serde::Value::Null => default_chaos_axis(),
+            present => Deserialize::from_value(present)?,
+        };
+        Ok(SweepSpec {
+            name: Deserialize::from_value(field("name"))?,
+            profile: Deserialize::from_value(field("profile"))?,
+            days: Deserialize::from_value(field("days"))?,
+            seeds: Deserialize::from_value(field("seeds"))?,
+            faults: Deserialize::from_value(field("faults"))?,
+            timing: Deserialize::from_value(field("timing"))?,
+            censorship: Deserialize::from_value(field("censorship"))?,
+            adoption_permille: Deserialize::from_value(field("adoption_permille"))?,
+            checkpoint_every: Deserialize::from_value(field("checkpoint_every"))?,
+            chaos,
+        })
+    }
 }
 
 impl SweepSpec {
@@ -142,6 +220,7 @@ impl SweepSpec {
             censorship: vec![CensorshipRegime::Baseline],
             adoption_permille: vec![1000],
             checkpoint_every: 1,
+            chaos: default_chaos_axis(),
         }
     }
 
@@ -170,6 +249,7 @@ impl SweepSpec {
             || self.timing.is_empty()
             || self.censorship.is_empty()
             || self.adoption_permille.is_empty()
+            || self.chaos.is_empty()
         {
             return Err("every sweep axis needs at least one value".into());
         }
@@ -183,30 +263,38 @@ impl SweepSpec {
     }
 
     /// The deterministic job matrix: cells outermost, seeds innermost.
+    /// The chaos segment (`-x<slug>`) only appears in cell names for
+    /// non-`Off` presets, so chaos-free ids match the pre-chaos format.
     pub fn jobs(&self) -> Vec<JobSpec> {
         let mut out = Vec::new();
         for &faults in &self.faults {
             for &timing in &self.timing {
                 for &censorship in &self.censorship {
                     for &adoption_permille in &self.adoption_permille {
-                        let cell = format!(
-                            "f{}-t{}-c{}-a{:04}",
-                            fault_slug(faults),
-                            timing_slug(timing),
-                            censorship.slug(),
-                            adoption_permille
-                        );
-                        for &seed in &self.seeds {
-                            out.push(JobSpec {
-                                index: out.len(),
-                                id: format!("{cell}-s{seed}"),
-                                cell: cell.clone(),
-                                seed,
-                                faults,
-                                timing,
-                                censorship,
-                                adoption_permille,
-                            });
+                        for &chaos in &self.chaos {
+                            let mut cell = format!(
+                                "f{}-t{}-c{}-a{:04}",
+                                fault_slug(faults),
+                                timing_slug(timing),
+                                censorship.slug(),
+                                adoption_permille
+                            );
+                            if chaos != ChaosPreset::Off {
+                                cell.push_str(&format!("-x{}", chaos_slug(chaos)));
+                            }
+                            for &seed in &self.seeds {
+                                out.push(JobSpec {
+                                    index: out.len(),
+                                    id: format!("{cell}-s{seed}"),
+                                    cell: cell.clone(),
+                                    seed,
+                                    faults,
+                                    timing,
+                                    censorship,
+                                    adoption_permille,
+                                    chaos,
+                                });
+                            }
                         }
                     }
                 }
@@ -235,6 +323,11 @@ impl SweepSpec {
         };
         cfg.knobs.relay_blacklist_lag_days = job.censorship.blacklist_lag_days();
         cfg.adoption_scale = job.adoption_permille as f64 / 1000.0;
+        cfg.chaos = match job.chaos {
+            ChaosPreset::Off => ChaosConfig::off(),
+            ChaosPreset::Drills => ChaosConfig::drills(),
+            ChaosPreset::Unshielded => ChaosConfig::unshielded(),
+        };
         cfg
     }
 
@@ -276,6 +369,8 @@ pub struct JobSpec {
     pub censorship: CensorshipRegime,
     /// Adoption axis value.
     pub adoption_permille: u32,
+    /// Chaos axis value.
+    pub chaos: ChaosPreset,
 }
 
 /// Where a job stands in the campaign.
@@ -287,6 +382,10 @@ pub enum JobStatus {
     Done,
     /// The runner reported an error this campaign.
     Failed,
+    /// Failed too many times ([`Supervision::quarantine_after`]); the
+    /// scheduler skips it until its failure history is cleared (or it
+    /// finally leaves valid output on disk).
+    Quarantined,
 }
 
 impl JobStatus {
@@ -296,6 +395,7 @@ impl JobStatus {
             JobStatus::Pending => "pending",
             JobStatus::Done => "done",
             JobStatus::Failed => "failed",
+            JobStatus::Quarantined => "quarantined",
         }
     }
 }
@@ -309,6 +409,9 @@ pub struct SweepState {
     pub spec_digest: [u8; 32],
     /// One status per job, in expansion order.
     pub statuses: Vec<JobStatus>,
+    /// Failed attempts recorded per job, in expansion order — the
+    /// quarantine counter. Survives resumes; reset when a job succeeds.
+    pub failures: Vec<u64>,
 }
 
 impl SweepState {
@@ -317,6 +420,7 @@ impl SweepState {
         SweepState {
             spec_digest,
             statuses: vec![JobStatus::Pending; jobs],
+            failures: vec![0; jobs],
         }
     }
 
@@ -338,8 +442,10 @@ impl Snapshot for SweepState {
                 JobStatus::Pending => 0,
                 JobStatus::Done => 1,
                 JobStatus::Failed => 2,
+                JobStatus::Quarantined => 3,
             });
         }
+        self.failures.encode(w);
     }
 
     fn decode(r: &mut simcore::SnapReader) -> Result<Self, SnapshotError> {
@@ -352,12 +458,21 @@ impl Snapshot for SweepState {
                 0 => JobStatus::Pending,
                 1 => JobStatus::Done,
                 2 => JobStatus::Failed,
+                3 => JobStatus::Quarantined,
                 k => return Err(SnapshotError::Corrupt(format!("bad job status tag {k}"))),
             });
+        }
+        let failures: Vec<u64> = Snapshot::decode(r)?;
+        if failures.len() != n {
+            return Err(SnapshotError::Corrupt(format!(
+                "state tracks {n} statuses but {} failure counters",
+                failures.len()
+            )));
         }
         Ok(SweepState {
             spec_digest,
             statuses,
+            failures,
         })
     }
 }
@@ -392,7 +507,10 @@ pub fn save_state(out: &Path, state: &SweepState) -> Result<(), SnapshotError> {
     Ok(())
 }
 
-/// Reads the campaign state, if present and valid.
+/// Reads the campaign state, if present and valid. A state file from an
+/// older schema revision reads as absent, not as an error: orchestration
+/// state is fully reconstructible from the disk reconcile, so a version
+/// bump must never strand an in-flight campaign.
 pub fn load_state(out: &Path) -> Result<Option<SweepState>, SnapshotError> {
     let path = state_path(out);
     let bytes = match std::fs::read(&path) {
@@ -400,7 +518,11 @@ pub fn load_state(out: &Path) -> Result<Option<SweepState>, SnapshotError> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e.into()),
     };
-    let body = simcore::snapshot::read_envelope(&bytes, SWEEP_STATE_VERSION)?;
+    let body = match simcore::snapshot::read_envelope(&bytes, SWEEP_STATE_VERSION) {
+        Ok(b) => b,
+        Err(SnapshotError::VersionMismatch { .. }) => return Ok(None),
+        Err(e) => return Err(e),
+    };
     let mut r = simcore::SnapReader::new(body);
     let state = SweepState::decode(&mut r)?;
     r.expect_end()?;
@@ -418,6 +540,53 @@ pub trait JobRunner: Sync {
     /// Whether `dir` already holds a valid result for this job under this
     /// spec — the resume predicate. Disk wins over any state file.
     fn is_done(&self, spec: &SweepSpec, job: &JobSpec, dir: &Path) -> bool;
+}
+
+/// How the scheduler treats failing jobs: in-run retries with
+/// exponential backoff, and a persistent quarantine threshold.
+///
+/// The defaults are the historical behaviour — one attempt, no
+/// quarantine — so existing campaigns are unaffected unless the
+/// `PBS_SWEEP_RETRIES` / `PBS_SWEEP_QUARANTINE_AFTER` knobs are set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Supervision {
+    /// Extra attempts after a failed one, within a single campaign
+    /// invocation (0 = fail immediately, the historical behaviour).
+    pub retries: u32,
+    /// Backoff before the first retry, in milliseconds; doubles on each
+    /// further retry.
+    pub backoff_ms: u64,
+    /// Total recorded failures (across resumes) after which a job is
+    /// quarantined instead of retried (0 = never quarantine).
+    pub quarantine_after: u64,
+}
+
+impl Default for Supervision {
+    fn default() -> Self {
+        Supervision {
+            retries: 0,
+            backoff_ms: 250,
+            quarantine_after: 0,
+        }
+    }
+}
+
+impl Supervision {
+    /// Reads the policy from `PBS_SWEEP_RETRIES` and
+    /// `PBS_SWEEP_QUARANTINE_AFTER`.
+    pub fn from_env() -> Self {
+        Supervision {
+            retries: crate::env::sweep_retries().unwrap_or(0),
+            quarantine_after: crate::env::sweep_quarantine_after().unwrap_or(0),
+            ..Supervision::default()
+        }
+    }
+
+    /// Whether `failures` recorded failures put a job over the
+    /// quarantine threshold.
+    fn quarantines(&self, failures: u64) -> bool {
+        self.quarantine_after > 0 && failures >= self.quarantine_after
+    }
 }
 
 /// What a campaign did.
@@ -442,6 +611,16 @@ impl CampaignOutcome {
             .collect()
     }
 
+    /// Indices of quarantined jobs.
+    pub fn quarantined(&self) -> Vec<usize> {
+        self.statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == JobStatus::Quarantined)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
     /// True when every job is done.
     pub fn complete(&self) -> bool {
         self.statuses.iter().all(|s| *s == JobStatus::Done)
@@ -455,15 +634,31 @@ struct Shared {
 }
 
 /// Runs (or resumes) a campaign in `out` with up to `workers` concurrent
-/// jobs. Completed jobs are detected via `runner.is_done` and skipped;
-/// state is persisted atomically after every completion, so the campaign
-/// survives SIGKILL at any instant. Failures are recorded, not fatal —
-/// the rest of the matrix still runs, and a later resume retries them.
+/// jobs under the default (no-retry, no-quarantine) [`Supervision`].
+/// Completed jobs are detected via `runner.is_done` and skipped; state is
+/// persisted atomically after every completion, so the campaign survives
+/// SIGKILL at any instant. Failures are recorded, not fatal — the rest of
+/// the matrix still runs, and a later resume retries them.
 pub fn run_campaign(
     spec: &SweepSpec,
     out: &Path,
     workers: usize,
     runner: &dyn JobRunner,
+) -> Result<CampaignOutcome, String> {
+    run_campaign_supervised(spec, out, workers, runner, Supervision::default())
+}
+
+/// [`run_campaign`] with an explicit [`Supervision`] policy: each failing
+/// job is retried up to `supervision.retries` times with exponential
+/// backoff before counting as failed, and jobs whose persistent failure
+/// count reaches `supervision.quarantine_after` are quarantined — skipped
+/// by this and every later invocation until they validate on disk.
+pub fn run_campaign_supervised(
+    spec: &SweepSpec,
+    out: &Path,
+    workers: usize,
+    runner: &dyn JobRunner,
+    supervision: Supervision,
 ) -> Result<CampaignOutcome, String> {
     spec.validate()?;
     std::fs::create_dir_all(out).map_err(|e| format!("create {}: {e}", out.display()))?;
@@ -494,13 +689,18 @@ pub fn run_campaign(
 
     // Reconcile with the disk: output validity is the only truth. This
     // both revokes statuses whose files were lost and credits workers
-    // that finished after the orchestrator died.
+    // that finished after the orchestrator died. A job that validates
+    // also clears its failure history — even a quarantined one is
+    // rehabilitated by a valid result (e.g. produced out of band).
     let mut reused = 0usize;
     for job in &jobs {
         let done = runner.is_done(spec, job, &job_dir(out, job));
         state.statuses[job.index] = if done {
             reused += 1;
+            state.failures[job.index] = 0;
             JobStatus::Done
+        } else if supervision.quarantines(state.failures[job.index]) {
+            JobStatus::Quarantined
         } else {
             JobStatus::Pending
         };
@@ -535,15 +735,46 @@ pub fn run_campaign(
                 };
                 let job = &jobs[index];
                 let dir = job_dir(out, job);
-                let result = runner.run(spec, job, &dir);
-                let mut sh = shared.lock().expect("sweep lock");
-                sh.state.statuses[index] = match result {
-                    Ok(()) => JobStatus::Done,
-                    Err(e) => {
-                        eprintln!("sweep: job {} failed: {e}", job.id);
-                        JobStatus::Failed
+                let mut attempt = 0u32;
+                let status = loop {
+                    match runner.run(spec, job, &dir) {
+                        Ok(()) => break JobStatus::Done,
+                        Err(e) => {
+                            let failures = {
+                                let mut sh = shared.lock().expect("sweep lock");
+                                sh.state.failures[index] += 1;
+                                sh.state.failures[index]
+                            };
+                            eprintln!(
+                                "sweep: job {} failed (attempt {}, {} recorded): {e}",
+                                job.id,
+                                attempt + 1,
+                                failures
+                            );
+                            if supervision.quarantines(failures) {
+                                break JobStatus::Quarantined;
+                            }
+                            if attempt >= supervision.retries {
+                                break JobStatus::Failed;
+                            }
+                            // Exponential backoff: base, 2×base, 4×base, …
+                            let wait = supervision.backoff_ms.saturating_mul(1 << attempt.min(16));
+                            std::thread::sleep(std::time::Duration::from_millis(wait));
+                            attempt += 1;
+                        }
                     }
                 };
+                let mut sh = shared.lock().expect("sweep lock");
+                sh.state.statuses[index] = status;
+                if status == JobStatus::Done {
+                    sh.state.failures[index] = 0;
+                }
+                if status == JobStatus::Quarantined {
+                    eprintln!(
+                        "sweep: job {} quarantined after {} recorded failures",
+                        job.id, sh.state.failures[index]
+                    );
+                }
                 if let Err(e) = save_state(out, &sh.state) {
                     eprintln!("sweep: state write failed: {e}");
                 }
@@ -790,6 +1021,90 @@ mod tests {
         other.seeds = vec![1, 2, 3, 4];
         let err = run_campaign(&other, &dir, 1, &MarkerRunner::new()).unwrap_err();
         assert!(err.contains("spec digest mismatch"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_axis_expands_with_marked_cells_and_stable_default_bytes() {
+        // The default axis adds no id segment, no JSON key, and leaves
+        // the spec digest exactly where the pre-chaos format had it.
+        let base = spec();
+        assert_eq!(base.chaos, vec![ChaosPreset::Off]);
+        let json = serde_json::to_string(&base).unwrap();
+        assert!(!json.contains("chaos"), "default axis must not serialize");
+        let back: SweepSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, base);
+        assert_eq!(base.jobs()[0].id, "foff-tone-clag2-a1000-s1");
+
+        // A real axis triples the matrix and marks only non-Off cells.
+        let mut s = spec();
+        s.chaos = vec![
+            ChaosPreset::Off,
+            ChaosPreset::Drills,
+            ChaosPreset::Unshielded,
+        ];
+        assert_ne!(s.digest(), base.digest());
+        let jobs = s.jobs();
+        assert_eq!(jobs.len(), 18);
+        assert_eq!(jobs[0].id, "foff-tone-clag2-a1000-s1");
+        assert_eq!(jobs[3].id, "foff-tone-clag2-a1000-xdri-s1");
+        assert_eq!(jobs[6].id, "foff-tone-clag2-a1000-xuns-s1");
+        let round: SweepSpec = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(round, s);
+
+        // And the axis lands in the job config.
+        let cfg = s.job_config(&jobs[3]);
+        assert_eq!(cfg.chaos, ChaosConfig::drills());
+        assert_eq!(s.job_config(&jobs[0]).chaos, ChaosConfig::off());
+
+        let mut empty = spec();
+        empty.chaos.clear();
+        assert!(empty.validate().is_err());
+    }
+
+    #[test]
+    fn failing_jobs_retry_with_backoff_then_quarantine() {
+        let dir = tmpdir("supervise");
+        let s = spec();
+        let sup = Supervision {
+            retries: 2,
+            backoff_ms: 1,
+            quarantine_after: 5,
+        };
+        // Run 1: the bad job burns 3 attempts (1 + 2 retries) -> Failed.
+        let mut runner = MarkerRunner::new();
+        runner.fail_id = Some("finc-tone-clag2-a1000-s2");
+        let out = run_campaign_supervised(&s, &dir, 1, &runner, sup).unwrap();
+        assert_eq!(out.failed(), vec![4]);
+        assert!(out.quarantined().is_empty());
+        assert_eq!(runner.runs.load(Ordering::SeqCst), 5 + 3);
+        assert_eq!(load_state(&dir).unwrap().unwrap().failures[4], 3);
+
+        // Run 2: two more failures reach the threshold -> Quarantined,
+        // and the counter survived the restart to get there.
+        let mut runner = MarkerRunner::new();
+        runner.fail_id = Some("finc-tone-clag2-a1000-s2");
+        let out = run_campaign_supervised(&s, &dir, 1, &runner, sup).unwrap();
+        assert_eq!(out.quarantined(), vec![4]);
+        assert!(!out.complete());
+        assert_eq!(
+            runner.runs.load(Ordering::SeqCst),
+            2,
+            "only the bad job re-ran"
+        );
+
+        // Run 3: the quarantined job is skipped entirely.
+        let runner = MarkerRunner::new();
+        let out = run_campaign_supervised(&s, &dir, 1, &runner, sup).unwrap();
+        assert_eq!(out.quarantined(), vec![4]);
+        assert_eq!(runner.runs.load(Ordering::SeqCst), 0);
+
+        // A healthy default-supervision resume rehabilitates it: with no
+        // quarantine threshold the job is pending again and succeeds.
+        let healthy = MarkerRunner::new();
+        let out = run_campaign(&s, &dir, 1, &healthy).unwrap();
+        assert!(out.complete());
+        assert_eq!(load_state(&dir).unwrap().unwrap().failures[4], 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -102,9 +102,12 @@ impl ComponentFaults {
 }
 
 /// Sorted, half-open `[start, end)` slot windows.
-type Windows = Vec<(u64, u64)>;
+pub type Windows = Vec<(u64, u64)>;
 
-fn in_window(windows: &Windows, slot: u64) -> bool {
+/// Whether `slot` falls inside any of the (sorted, non-overlapping)
+/// `windows`. Binary search, so schedules with many windows stay cheap to
+/// query per slot.
+pub fn in_window(windows: &Windows, slot: u64) -> bool {
     match windows.partition_point(|&(start, _)| start <= slot) {
         0 => false,
         i => slot < windows[i - 1].1,
@@ -112,8 +115,10 @@ fn in_window(windows: &Windows, slot: u64) -> bool {
 }
 
 /// Lays out windows for one component: exponential gaps between window
-/// starts, exponential-plus-one durations.
-fn build_windows(
+/// starts, exponential-plus-one durations. Public so other crates can lay
+/// out their own seeded windows (e.g. network partition schedules) with
+/// the same geometry as component outages.
+pub fn build_windows(
     rng: &mut impl Rng,
     per_day: f64,
     mean_slots: f64,

@@ -55,7 +55,9 @@ pub use arena::BufferPool;
 pub use digest::{sha256, sha256_hex};
 pub use dist::{Exponential, LogNormal, Pareto, Poisson};
 pub use events::EventQueue;
-pub use faults::{ComponentFaults, FaultProfile, FaultSchedule, Health};
+pub use faults::{
+    build_windows, in_window, ComponentFaults, FaultProfile, FaultSchedule, Health, Windows,
+};
 pub use fsio::atomic_write;
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use metrics::MetricsRegistry;

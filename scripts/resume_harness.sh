@@ -14,6 +14,13 @@
 #   3. verify the bundle byte-for-byte against the golden manifest
 #      (`pbs-repro verify-bundle` vs tests/golden/manifest.json).
 #
+# A chaos leg runs the same kill-and-resume cycle with `--chaos drills`
+# over uniform relay faults (no golden manifest exists for chaos-on
+# runs, so the reference is an uninterrupted run of the same command):
+# the circuit breakers trip, and their path-dependent state must ride
+# the checkpoint's chaos section across the kill — the resumed bundle is
+# diffed byte-for-byte, breaker_transitions.csv included.
+#
 # A pipeline-drain leg SIGKILLs a pipelined run at an arbitrary
 # wall-clock moment (not at the cooperative post-checkpoint hook), so the
 # process can die while a day fold is still in flight; the surviving
@@ -174,6 +181,72 @@ for threads in 1 4; do
     fi
 done
 
+# Chaos leg: drills weather over uniform relay faults trips the circuit
+# breakers, whose path-dependent state rides in the checkpoint's chaos
+# section. Chaos-on runs have no golden manifest; the reference is the
+# identical command run uninterrupted. The killed run (4 threads,
+# pipeline on) is resumed at 1 thread with the pipeline off — the bundle
+# must still match the reference byte for byte, breaker CSV included.
+tag="chaos=drills kill-day=$KILL_DAY"
+work=$(mktemp -d "${TMPDIR:-/tmp}/pbs-resume-XXXXXX")
+ref="$work/ref"
+out="$work/out"
+ckpt="$work/checkpoints"
+
+chaos_run() {
+    ckpt_dir=$1
+    out_dir=$2
+    shift 2
+    env PBS_CHECKPOINT_EVERY=1 PBS_CHECKPOINT_DIR="$ckpt_dir" "$@" \
+        "$BIN" resume --small --seed 42 --faults uniform --chaos drills \
+        --out "$out_dir"
+}
+
+echo "--- $tag: uninterrupted reference run ---"
+if ! chaos_run "$work/ckpt-ref" "$ref" PBS_THREADS=4 2> "$work/ref.log"; then
+    echo "FAIL [$tag]: reference run failed"
+    cat "$work/ref.log"
+    fail=1
+elif [ "$(wc -l < "$ref/breaker_transitions.csv")" -le 1 ]; then
+    echo "FAIL [$tag]: reference run tripped no breaker; the chaos checkpoint section is untested"
+    fail=1
+else
+    echo "--- $tag: first run (SIGKILL after day $KILL_DAY) ---"
+    chaos_run "$ckpt" "$out" PBS_THREADS=4 PBS_PIPELINE=1 \
+        PBS_KILL_AFTER_DAY="$KILL_DAY" 2> "$work/first.log"
+    if [ "$?" -eq 0 ]; then
+        echo "FAIL [$tag]: first run survived its own SIGKILL (status 0)"
+        cat "$work/first.log"
+        fail=1
+    elif ! ls "$ckpt"/checkpoint-day-* > /dev/null 2>&1; then
+        echo "FAIL [$tag]: killed run left no checkpoint in $ckpt"
+        cat "$work/first.log"
+        fail=1
+    else
+        echo "--- $tag: resumed run (PBS_THREADS=1, pipeline off) ---"
+        if ! chaos_run "$ckpt" "$out" PBS_THREADS=1 PBS_PIPELINE=0 \
+                2> "$work/second.log"; then
+            echo "FAIL [$tag]: resumed run failed"
+            cat "$work/second.log"
+            fail=1
+        elif ! grep -q "resuming from" "$work/second.log"; then
+            echo "FAIL [$tag]: second run did not resume from a checkpoint"
+            cat "$work/second.log"
+            fail=1
+        elif ! diff -r "$ref" "$out" > /dev/null; then
+            echo "FAIL [$tag]: resumed chaos bundle diverges from the uninterrupted one"
+            mkdir -p "$FAILDIR"
+            cp -r "$ref" "$FAILDIR/chaos-ref"
+            cp -r "$out" "$FAILDIR/chaos-resumed"
+            cp "$work"/*.log "$FAILDIR/" 2>/dev/null
+            fail=1
+        else
+            echo "OK [$tag]: resumed chaos bundle byte-identical (breaker state rode the checkpoint)"
+            rm -rf "$work"
+        fi
+    fi
+fi
+
 # Pipeline-drain leg: the PBS_KILL_AFTER_DAY hook above is cooperative —
 # it fires right after a day's checkpoint hits the disk. This leg instead
 # SIGKILLs the pipelined run at an arbitrary wall-clock moment, so the
@@ -310,4 +383,4 @@ if [ "$fail" -ne 0 ]; then
     echo "=== resume harness FAILED (kill day $KILL_DAY, timed kill day $TIMED_KILL_DAY) ==="
     exit 1
 fi
-echo "=== resume harness passed: all run combinations, the pipeline-drain leg, and the sweep legs byte-identical (kill day $KILL_DAY, timed kill day $TIMED_KILL_DAY) ==="
+echo "=== resume harness passed: all run combinations, the chaos, pipeline-drain, and sweep legs byte-identical (kill day $KILL_DAY, timed kill day $TIMED_KILL_DAY) ==="

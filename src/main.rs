@@ -39,10 +39,10 @@
 //! spawns; it is not part of the supported surface.)
 
 use analysis::{write_artifact_bundle, PaperReport};
-use scenario::sweep::{self, JobRunner, JobSpec, SweepSpec};
+use scenario::sweep::{self, JobRunner, JobSpec, Supervision, SweepSpec};
 use scenario::{
-    AuctionTimingConfig, AuctionTimingPreset, CensorshipRegime, FaultConfig, FaultPreset,
-    ScenarioConfig, Simulation,
+    AuctionTimingConfig, AuctionTimingPreset, CensorshipRegime, ChaosConfig, ChaosPreset,
+    FaultConfig, FaultPreset, ScenarioConfig, Simulation,
 };
 use simcore::telemetry;
 use std::collections::BTreeMap;
@@ -56,6 +56,7 @@ struct Args {
     small: bool,
     faults: String,
     timing: String,
+    chaos: String,
     dir: String,
     manifest: String,
     prefix: String,
@@ -98,6 +99,8 @@ fn usage() -> ! {
          \x20              (default off; sweep accepts a comma-separated axis)\n\
          --timing P     auction-timing preset(s): one-shot | streamed (default\n\
          \x20              one-shot; sweep accepts a comma-separated axis)\n\
+         --chaos P      chaos preset(s): off | drills | unshielded (default\n\
+         \x20              PBS_CHAOS, else off; sweep accepts a comma axis)\n\
          --out DIR      output directory (telemetry: \"telemetry\", bundle: \"out\",\n\
          \x20              sweep: \"out/sweep\")\n\
          --dir DIR      bundle directory to verify (verify-bundle)\n\
@@ -127,6 +130,7 @@ fn parse_flags(rest: &[String]) -> Args {
         small: false,
         faults: "off".into(),
         timing: "one-shot".into(),
+        chaos: String::new(),
         dir: String::new(),
         manifest: String::new(),
         prefix: String::new(),
@@ -187,6 +191,18 @@ fn parse_flags(rest: &[String]) -> Args {
                 }
                 args.timing = v.to_string();
             }
+            "--chaos" => {
+                let v = value(flag, &mut it);
+                for part in v.split(',') {
+                    if !matches!(part, "off" | "drills" | "unshielded") {
+                        eprintln!(
+                            "error: --chaos must be off, drills, or unshielded, got {part:?}"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+                args.chaos = v.to_string();
+            }
             "--censorship" => {
                 let v = value(flag, &mut it);
                 for part in v.split(',') {
@@ -232,8 +248,31 @@ fn parse_flags(rest: &[String]) -> Args {
     args
 }
 
+/// The effective chaos preset: the `--chaos` flag when given, else the
+/// `PBS_CHAOS` knob, else off.
+fn effective_chaos(args: &Args) -> ChaosPreset {
+    match args.chaos.as_str() {
+        "" => scenario::env::chaos().unwrap_or(ChaosPreset::Off),
+        "off" => ChaosPreset::Off,
+        "drills" => ChaosPreset::Drills,
+        "unshielded" => ChaosPreset::Unshielded,
+        other => {
+            eprintln!("error: --chaos must be off, drills, or unshielded, got {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn chaos_config(preset: ChaosPreset) -> ChaosConfig {
+    match preset {
+        ChaosPreset::Off => ChaosConfig::off(),
+        ChaosPreset::Drills => ChaosConfig::drills(),
+        ChaosPreset::Unshielded => ChaosConfig::unshielded(),
+    }
+}
+
 fn simulate(args: &Args) -> scenario::RunArtifacts {
-    if args.faults.contains(',') || args.timing.contains(',') {
+    if args.faults.contains(',') || args.timing.contains(',') || args.chaos.contains(',') {
         eprintln!("error: this subcommand takes a single preset, not an axis list");
         std::process::exit(2);
     }
@@ -256,9 +295,11 @@ fn simulate(args: &Args) -> scenario::RunArtifacts {
     if args.timing == "streamed" {
         cfg.auction_timing = AuctionTimingConfig::streamed();
     }
+    let chaos = effective_chaos(args);
+    cfg.chaos = chaos_config(chaos);
     eprintln!(
-        "simulating {} days × {} blocks/day (seed {}, faults {}, timing {}) …",
-        args.days, bpd, args.seed, args.faults, args.timing
+        "simulating {} days × {} blocks/day (seed {}, faults {}, timing {}, chaos {:?}) …",
+        args.days, bpd, args.seed, args.faults, args.timing, chaos
     );
     Simulation::new(cfg).run()
 }
@@ -378,6 +419,20 @@ fn sweep_spec_from_args(args: &Args) -> SweepSpec {
         }),
         adoption_permille: parse_list("--adoption", &args.adoption, |s| s.parse::<u32>().ok()),
         checkpoint_every: args.checkpoint_every,
+        chaos: parse_list(
+            "--chaos",
+            if args.chaos.is_empty() {
+                "off"
+            } else {
+                &args.chaos
+            },
+            |s| match s {
+                "off" => Some(ChaosPreset::Off),
+                "drills" => Some(ChaosPreset::Drills),
+                "unshielded" => Some(ChaosPreset::Unshielded),
+                _ => None,
+            },
+        ),
     };
     if let Err(e) = spec.validate() {
         eprintln!("error: {e}");
@@ -408,18 +463,46 @@ fn load_sweep_spec(out: &Path) -> SweepSpec {
 struct ProcessRunner {
     exe: PathBuf,
     out: PathBuf,
+    /// Wall-clock budget per worker (`PBS_SWEEP_JOB_TIMEOUT_SECS`);
+    /// `None` waits forever.
+    timeout_secs: Option<u64>,
 }
 
 impl JobRunner for ProcessRunner {
     fn run(&self, _spec: &SweepSpec, job: &JobSpec, _dir: &Path) -> Result<(), String> {
-        let status = std::process::Command::new(&self.exe)
+        let mut child = std::process::Command::new(&self.exe)
             .arg("sweep-worker")
             .arg("--dir")
             .arg(&self.out)
             .args(["--job-index", &job.index.to_string()])
             .env_remove("PBS_SWEEP_KILL_AFTER_JOBS")
-            .status()
+            .spawn()
             .map_err(|e| format!("spawn worker: {e}"))?;
+        let status = match self.timeout_secs {
+            None => child.wait().map_err(|e| format!("wait for worker: {e}"))?,
+            Some(secs) => {
+                // Poll rather than block so a hung worker can be
+                // SIGKILLed at its wall-clock deadline; the job's own
+                // checkpoints make the kill safe to retry from.
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(secs);
+                loop {
+                    match child.try_wait() {
+                        Ok(Some(status)) => break status,
+                        Ok(None) if std::time::Instant::now() >= deadline => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            return Err(format!("worker exceeded {secs}s wall clock; killed"));
+                        }
+                        Ok(None) => std::thread::sleep(std::time::Duration::from_millis(50)),
+                        Err(e) => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            return Err(format!("poll worker: {e}"));
+                        }
+                    }
+                }
+            }
+        };
         if status.success() {
             Ok(())
         } else {
@@ -464,13 +547,16 @@ fn run_sweep(spec: &SweepSpec, args: &Args) {
         process = ProcessRunner {
             exe,
             out: out.clone(),
+            timeout_secs: scenario::env::sweep_job_timeout_secs(),
         };
         &process
     };
-    let outcome = sweep::run_campaign(spec, &out, workers, runner).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    });
+    let supervision = Supervision::from_env();
+    let outcome = sweep::run_campaign_supervised(spec, &out, workers, runner, supervision)
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
     let agg = analysis::write_sweep_bundle(spec, &outcome.statuses, &out).unwrap_or_else(|e| {
         eprintln!("error: writing sweep bundle: {e}");
         std::process::exit(1);
@@ -486,6 +572,9 @@ fn run_sweep(spec: &SweepSpec, args: &Args) {
     if !outcome.complete() {
         for i in outcome.failed() {
             eprintln!("failed: {}", spec.jobs()[i].id);
+        }
+        for i in outcome.quarantined() {
+            eprintln!("quarantined: {}", spec.jobs()[i].id);
         }
         eprintln!(
             "error: campaign incomplete; `sweep resume --out {}` retries",

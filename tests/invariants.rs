@@ -13,7 +13,8 @@
 //! same wei.
 
 use scenario::{
-    AuctionTimingConfig, FaultConfig, FaultEventKind, RunArtifacts, ScenarioConfig, Simulation,
+    AuctionTimingConfig, ChaosConfig, FaultConfig, FaultEventKind, RunArtifacts, Runner,
+    ScenarioConfig, Simulation,
 };
 use simcore::telemetry::{self, TelemetrySnapshot};
 use std::sync::Mutex;
@@ -258,6 +259,81 @@ fn conservation_holds_with_streamed_timing() {
         assert!(b.pbs_truth);
         assert_eq!(b.builder, t.winner);
     }
+}
+
+/// Chaos drills over foul relay weather: builder crashes, network drops,
+/// and enough consecutive relay failures to actually trip the circuit
+/// breakers inside a short run.
+fn chaos_drills_config(seed: u64, days: u32) -> ScenarioConfig {
+    ScenarioConfig {
+        faults: FaultConfig {
+            outages_per_day: 4.0,
+            outage_mean_slots: 12.0,
+            ..FaultConfig::uniform()
+        },
+        chaos: ChaosConfig::drills(),
+        ..ScenarioConfig::test_small(seed, days)
+    }
+}
+
+#[test]
+fn conservation_holds_under_chaos_drills() {
+    // Builder crashes, injected shortfalls, lost messages, breaker skips
+    // — none of it may unbalance the books: whatever the payment tx
+    // carries is what the proposer got, and every slot is accounted for.
+    let (run, snap) = instrumented_run(chaos_drills_config(42, 7));
+    assert!(
+        !run.breaker_transitions.is_empty(),
+        "chaos drills never tripped a breaker"
+    );
+    assert!(
+        run.fault_events
+            .iter()
+            .any(|e| e.kind == FaultEventKind::BuilderCrash),
+        "chaos drills never crashed a builder"
+    );
+    assert_conservation(&run, &snap, "chaos-drills");
+}
+
+#[test]
+fn chaos_artifacts_are_pipeline_invariant() {
+    let run_with = |pipelined: bool| {
+        let cfg = chaos_drills_config(42, 4);
+        let mut runner = Runner::new(&cfg);
+        runner.set_pipeline(pipelined);
+        runner.run()
+    };
+    let folded = run_with(false);
+    let piped = run_with(true);
+    assert!(!piped.breaker_transitions.is_empty());
+    assert_eq!(
+        serde_json::to_string(&folded).expect("serializes"),
+        serde_json::to_string(&piped).expect("serializes"),
+        "chaos artifacts must not depend on the measurement pipeline"
+    );
+}
+
+#[test]
+fn chaos_counters_are_thread_count_invariant() {
+    let run_at = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("vendored rayon pool config is infallible");
+        instrumented_run(chaos_drills_config(42, 4))
+    };
+    let (run1, snap1) = run_at(1);
+    let (run4, snap4) = run_at(4);
+    assert!(!run1.breaker_transitions.is_empty());
+    assert_eq!(
+        serde_json::to_string(&run1).expect("serializes"),
+        serde_json::to_string(&run4).expect("serializes"),
+        "chaos artifacts must not depend on thread count"
+    );
+    assert_eq!(
+        snap1.counters, snap4.counters,
+        "deterministic chaos counters must not depend on thread count"
+    );
 }
 
 #[test]
